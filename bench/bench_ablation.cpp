@@ -1,0 +1,182 @@
+// EA — ablations of the design choices DESIGN.md calls out.
+//
+// Rows:
+//  (a) decoder candidate set: restricting Newton root search to the alive
+//      vertices (as the pruning decode does) versus scanning all of {1..n};
+//  (b) exact BigUInt power sums versus the 64-bit fast path when the values
+//      provably fit (the price of always-exact arithmetic);
+//  (c) sketch redundancy: connectivity accuracy as the per-round copy count
+//      sweeps 1..5 (the failure-probability knob of E8);
+//  (d) framing overhead: Elias-delta length prefixes versus the raw payload
+//      in the Theorem 2/3 reductions' bundled messages.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "model/simulator.hpp"
+#include "numth/decoder.hpp"
+#include "numth/power_sums.hpp"
+#include "reductions/oracles.hpp"
+#include "reductions/reductions.hpp"
+#include "sketch/connectivity.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace referee;
+
+void BM_DecoderCandidateSet(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const bool restricted = state.range(1) != 0;
+  const unsigned k = 3;
+  Rng rng(0xAB);
+  const NewtonDecoder decoder;
+  // Candidates: either everyone or a random 25% "alive" subset containing
+  // the answer.
+  std::vector<NodeId> everyone(n);
+  std::iota(everyone.begin(), everyone.end(), 1u);
+  std::vector<std::vector<BigUInt>> sums;
+  std::vector<std::vector<NodeId>> candidate_sets;
+  for (int i = 0; i < 64; ++i) {
+    auto subset = rng.sample_subset(n / 4, k);  // ids within the low quarter
+    std::vector<NodeId> ids;
+    for (const auto v : subset) ids.push_back(v + 1);
+    sums.push_back(power_sums(ids, k));
+    if (restricted) {
+      std::vector<NodeId> cands(n / 4);
+      std::iota(cands.begin(), cands.end(), 1u);
+      candidate_sets.push_back(std::move(cands));
+    } else {
+      candidate_sets.push_back(everyone);
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto ids = decoder.decode(k, sums[i], candidate_sets[i]);
+    benchmark::DoNotOptimize(ids.size());
+    i = (i + 1) % sums.size();
+  }
+  state.counters["restricted"] = restricted ? 1 : 0;
+  state.counters["candidates"] =
+      static_cast<double>(candidate_sets[0].size());
+}
+
+void BM_PowerSumsBigInt(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  Rng rng(0xAB + 1);
+  std::vector<NodeId> ids;
+  for (const auto v : rng.sample_subset(n, 16)) ids.push_back(v + 1);
+  for (auto _ : state) {
+    const auto sums = power_sums(ids, k);
+    benchmark::DoNotOptimize(sums.size());
+  }
+}
+
+void BM_PowerSumsU64(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  REFEREE_CHECK(power_sums_fit_u64(n, k, 16));
+  Rng rng(0xAB + 1);
+  std::vector<NodeId> ids;
+  for (const auto v : rng.sample_subset(n, 16)) ids.push_back(v + 1);
+  for (auto _ : state) {
+    const auto sums = power_sums_u64(ids, k);
+    benchmark::DoNotOptimize(sums.data());
+  }
+}
+
+void BM_DecodeSmallNewton(benchmark::State& state) {
+  // Whole-pipeline comparison point for (b): the same decode workload as
+  // BM_DecoderCandidateSet, through the i128 fast path.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const unsigned k = 3;
+  Rng rng(0xAB);
+  const SmallNewtonDecoder decoder(n, k);
+  std::vector<NodeId> everyone(n);
+  std::iota(everyone.begin(), everyone.end(), 1u);
+  std::vector<std::vector<BigUInt>> sums;
+  for (int i = 0; i < 64; ++i) {
+    auto subset = rng.sample_subset(n, k);
+    std::vector<NodeId> ids;
+    for (const auto v : subset) ids.push_back(v + 1);
+    sums.push_back(power_sums(ids, k));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto ids = decoder.decode(k, sums[i], everyone);
+    benchmark::DoNotOptimize(ids.size());
+    i = (i + 1) % sums.size();
+  }
+}
+
+void BM_SketchCopies(benchmark::State& state) {
+  const auto copies = static_cast<unsigned>(state.range(0));
+  const std::size_t n = 96;
+  Rng rng(0xAB + 2);
+  const Simulator sim;
+  int correct = 0;
+  int total = 0;
+  double bits = 0;
+  for (auto _ : state) {
+    const Graph g = gen::gnp(n, 0.04, rng);
+    const SketchConnectivityProtocol protocol(SketchParams{
+        .seed = 0xC0u + static_cast<std::uint64_t>(total), .rounds = 0,
+        .copies = copies});
+    FrugalityReport report;
+    const bool answer = sim.run_decision(g, protocol, &report);
+    correct += (answer == is_connected(g));
+    ++total;
+    bits = static_cast<double>(report.max_bits);
+  }
+  state.counters["copies"] = static_cast<double>(copies);
+  state.counters["accuracy"] =
+      total == 0 ? 1.0 : static_cast<double>(correct) / total;
+  state.counters["bits_per_node"] = bits;
+}
+
+void BM_FramingOverhead(benchmark::State& state) {
+  // How many of Δ's bits are Elias-delta framing rather than Γ payload, in
+  // the triangle reduction (2 framed sub-messages per node).
+  const auto half = static_cast<std::size_t>(state.range(0));
+  Rng rng(0xAB + 3);
+  const Graph g = gen::random_bipartite(half, half, 0.3, rng);
+  const auto n = 2 * half;
+  const auto gamma = make_triangle_oracle();
+  const TriangleReduction delta(gamma);
+  double overhead = 0;
+  for (auto _ : state) {
+    std::size_t delta_bits = 0;
+    std::size_t payload_bits = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      const auto view = local_view_of(g, v);
+      delta_bits += delta.local(view).bit_size();
+      auto with_apex = view.neighbor_ids;
+      with_apex.push_back(static_cast<NodeId>(n + 1));
+      payload_bits +=
+          gamma->local(make_view(view.id, static_cast<std::uint32_t>(n + 1),
+                                 view.neighbor_ids))
+              .bit_size() +
+          gamma->local(make_view(view.id, static_cast<std::uint32_t>(n + 1),
+                                 std::move(with_apex)))
+              .bit_size();
+    }
+    overhead = static_cast<double>(delta_bits - payload_bits) /
+               static_cast<double>(delta_bits);
+    benchmark::DoNotOptimize(overhead);
+  }
+  state.counters["framing_fraction"] = overhead;
+}
+
+}  // namespace
+
+BENCHMARK(BM_DecoderCandidateSet)
+    ->ArgsProduct({{256, 1024}, {0, 1}});
+BENCHMARK(BM_PowerSumsBigInt)->ArgsProduct({{1000}, {2, 3, 4}});
+BENCHMARK(BM_PowerSumsU64)->ArgsProduct({{1000}, {2, 3, 4}});
+BENCHMARK(BM_DecodeSmallNewton)->Arg(256)->Arg(1024);
+BENCHMARK(BM_SketchCopies)->DenseRange(1, 5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FramingOverhead)->Arg(32)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,87 @@
+// E9 — §IV "ongoing work": one-round bipartiteness via the double cover,
+// on top of the sketch connectivity of E8.
+//
+// Rows: accuracy and message size on (a) even/odd cycles — the minimal
+// bipartite/non-bipartite pair; (b) random bipartite graphs and the same
+// graphs with a planted same-side edge; (c) disconnected mixtures.
+#include <benchmark/benchmark.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "model/simulator.hpp"
+#include "sketch/bipartiteness.hpp"
+
+namespace {
+
+using namespace referee;
+
+void BM_BipartiteCycles(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Simulator sim;
+  int correct = 0;
+  int total = 0;
+  double bits = 0;
+  for (auto _ : state) {
+    const SketchBipartitenessProtocol protocol(SketchParams{
+        .seed = 0xE9u + static_cast<std::uint64_t>(total), .rounds = 0,
+        .copies = 3});
+    FrugalityReport report;
+    const bool even_ok =
+        sim.run_decision(gen::cycle(n), protocol, &report);
+    const bool odd_ok = !sim.run_decision(gen::cycle(n + 1), protocol);
+    correct += even_ok + odd_ok;
+    total += 2;
+    bits = static_cast<double>(report.max_bits);
+  }
+  state.counters["accuracy"] =
+      total == 0 ? 1.0 : static_cast<double>(correct) / total;
+  state.counters["bits_per_node"] = bits;
+}
+
+void BM_BipartiteRandomWithPlant(benchmark::State& state) {
+  const auto half = static_cast<std::size_t>(state.range(0));
+  Rng rng(0xE9 + 1);
+  const Simulator sim;
+  int correct = 0;
+  int total = 0;
+  for (auto _ : state) {
+    const SketchBipartitenessProtocol protocol(SketchParams{
+        .seed = 0x51u + static_cast<std::uint64_t>(total), .rounds = 0,
+        .copies = 3});
+    Graph g = gen::random_bipartite(half, half, 0.2, rng);
+    correct += (sim.run_decision(g, protocol) == is_bipartite(g));
+    Graph planted = g;
+    planted.add_edge(0, 1);  // same side: odd cycle iff already connected
+    correct += (sim.run_decision(planted, protocol) == is_bipartite(planted));
+    total += 2;
+  }
+  state.counters["accuracy"] =
+      total == 0 ? 1.0 : static_cast<double>(correct) / total;
+}
+
+void BM_BipartiteDisconnected(benchmark::State& state) {
+  const Simulator sim;
+  const Graph both_even = disjoint_union(gen::cycle(8), gen::cycle(12));
+  const Graph with_odd = disjoint_union(gen::cycle(8), gen::cycle(11));
+  int correct = 0;
+  int total = 0;
+  for (auto _ : state) {
+    const SketchBipartitenessProtocol protocol(SketchParams{
+        .seed = 0x77u + static_cast<std::uint64_t>(total), .rounds = 0,
+        .copies = 3});
+    correct += sim.run_decision(both_even, protocol);
+    correct += !sim.run_decision(with_odd, protocol);
+    total += 2;
+  }
+  state.counters["accuracy"] =
+      total == 0 ? 1.0 : static_cast<double>(correct) / total;
+}
+
+}  // namespace
+
+BENCHMARK(BM_BipartiteCycles)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BipartiteRandomWithPlant)->Arg(16)->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BipartiteDisconnected)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,113 @@
+// E8 — the paper's main open question (§IV): one-round connectivity.
+//
+// Rows: (a) AGM sketch connectivity around the G(n,p) connectivity threshold
+// p = ln n / n: accuracy over 20 seeds and bits per node (the randomised
+// answer, at O(log³ n) bits — above the paper's frugal budget, quantified
+// here); (b) adversarial instances (unions of cliques and long paths);
+// (c) the deterministic O(k log n)-per-node k-partition algorithm the
+// conclusion sketches.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "model/simulator.hpp"
+#include "sketch/connectivity.hpp"
+#include "sketch/partitioned.hpp"
+
+namespace {
+
+using namespace referee;
+
+void BM_SketchGnpThreshold(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // multiplier/10 of the sharp threshold ln(n)/n.
+  const double factor = static_cast<double>(state.range(1)) / 10.0;
+  const double p = factor * std::log(static_cast<double>(n)) /
+                   static_cast<double>(n);
+  Rng rng(0xE8);
+  int correct = 0;
+  int total = 0;
+  double bits_per_node = 0;
+  const Simulator sim;
+  for (auto _ : state) {
+    const Graph g = gen::gnp(n, p, rng);
+    const SketchConnectivityProtocol protocol(SketchParams{
+        .seed = 0xABCu + static_cast<std::uint64_t>(total), .rounds = 0,
+        .copies = 3});
+    FrugalityReport report;
+    const bool answer = sim.run_decision(g, protocol, &report);
+    correct += (answer == is_connected(g));
+    ++total;
+    bits_per_node = static_cast<double>(report.max_bits);
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["p_over_threshold"] = factor;
+  state.counters["accuracy"] =
+      total == 0 ? 1.0 : static_cast<double>(correct) / total;
+  state.counters["bits_per_node"] = bits_per_node;
+  state.counters["log_units"] =
+      bits_per_node / std::log2(static_cast<double>(n) + 1);
+}
+
+void BM_SketchAdversarial(benchmark::State& state) {
+  // Two cliques joined by a single long path: exactly the kind of instance
+  // where one missed bridge flips the answer.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(0xE8 + 1);
+  Graph g = disjoint_union(gen::complete(n / 4), gen::complete(n / 4));
+  const Vertex path_start = g.add_vertices(n / 2);
+  g.add_edge(0, path_start);
+  for (Vertex v = path_start; v + 1 < g.vertex_count(); ++v) {
+    g.add_edge(v, v + 1);
+  }
+  g.add_edge(static_cast<Vertex>(g.vertex_count() - 1),
+             static_cast<Vertex>(n / 4));  // close into one component
+  int correct = 0;
+  int total = 0;
+  const Simulator sim;
+  for (auto _ : state) {
+    const SketchConnectivityProtocol protocol(SketchParams{
+        .seed = 0x99u + static_cast<std::uint64_t>(total), .rounds = 0,
+        .copies = 3});
+    const bool answer = sim.run_decision(g, protocol);
+    correct += (answer == is_connected(g));
+    ++total;
+  }
+  state.counters["accuracy"] =
+      total == 0 ? 1.0 : static_cast<double>(correct) / total;
+}
+
+void BM_PartitionedConnectivity(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  Rng rng(0xE8 + 2);
+  const Graph g = gen::gnp(n, 1.2 * std::log(static_cast<double>(n)) /
+                                  static_cast<double>(n),
+                           rng);
+  const auto part = balanced_partition(n, k);
+  PartitionedConnectivityResult result;
+  for (auto _ : state) {
+    result = partitioned_connectivity(g, part, k);
+    benchmark::DoNotOptimize(result.connected);
+  }
+  // Deterministic and exact by construction; report the traffic.
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["bits_per_node"] = result.bits_per_node;
+  state.counters["exact"] =
+      result.connected == is_connected(g) ? 1.0 : 0.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_SketchGnpThreshold)
+    ->ArgsProduct({{128, 512}, {5, 10, 15, 30}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SketchAdversarial)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PartitionedConnectivity)
+    ->ArgsProduct({{256, 1024}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);

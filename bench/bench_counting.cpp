@@ -1,0 +1,66 @@
+// E7 — Lemma 1 + Kleitman–Winston: the counting race that powers every
+// impossibility result in §II.
+//
+// Rows: (a) exact labelled counts of square-free graphs (exhaustive up to
+// n = 7) against the total 2^{C(n,2)}; (b) the asymptotic race — family
+// log-sizes (all graphs: n²/2; square-free model: n^{3/2}/2; fixed
+// bipartite: n²/4) versus frugal capacity c·n·log2(n+1) across five decades
+// of n, reporting the capacity/family ratio that crosses below 1.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "graph/enumerate.hpp"
+#include "reductions/counting.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace referee;
+
+void BM_ExactSquareFreeCount(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool;
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    count = count_square_free_graphs(n, &pool);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["square_free"] = static_cast<double>(count);
+  state.counters["all_graphs"] =
+      std::pow(2.0, static_cast<double>(n * (n - 1) / 2));
+  state.counters["log2_square_free"] =
+      std::log2(static_cast<double>(count));
+}
+
+void BM_CapacityRace(benchmark::State& state) {
+  // Pure arithmetic: one row per n, capacity constant c = 4.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const double c = 4.0;
+  double cap = 0;
+  double all = 0;
+  double sf = 0;
+  double bip = 0;
+  for (auto _ : state) {
+    cap = frugal_capacity_bits(n, c);
+    all = log2_all_graphs(n);
+    sf = log2_square_free_model(n);
+    bip = log2_fixed_bipartite(n);
+    benchmark::DoNotOptimize(cap);
+  }
+  state.counters["capacity_bits"] = cap;
+  state.counters["cap_over_allgraphs"] = cap / all;
+  state.counters["cap_over_squarefree"] = cap / sf;
+  state.counters["cap_over_bipartite"] = cap / bip;
+  state.counters["allgraphs_feasible"] = lemma1_feasible(all, n, c) ? 1 : 0;
+  state.counters["squarefree_feasible"] = lemma1_feasible(sf, n, c) ? 1 : 0;
+  state.counters["bipartite_feasible"] = lemma1_feasible(bip, n, c) ? 1 : 0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ExactSquareFreeCount)->DenseRange(4, 7)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_CapacityRace)
+    ->Arg(1 << 4)->Arg(1 << 6)->Arg(1 << 8)->Arg(1 << 10)->Arg(1 << 14)
+    ->Arg(1 << 18)->Arg(1 << 22);

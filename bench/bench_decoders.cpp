@@ -1,0 +1,109 @@
+// E3 — Lemma 3's trade-off: the O(n^k)-entry look-up table answers a
+// neighbourhood query in O(k log n), versus the table-free Newton decoder's
+// O(n·k) per query with zero preprocessing.
+//
+// Rows: table construction time and footprint per (n, k); per-query decode
+// latency for both strategies on the same workload of random <= k-subsets.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "numth/decoder.hpp"
+#include "numth/lookup.hpp"
+#include "numth/power_sums.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace referee;
+
+struct Workload {
+  std::vector<unsigned> degrees;
+  std::vector<std::vector<BigUInt>> sums;
+  std::vector<NodeId> everyone;
+};
+
+Workload make_workload(std::uint32_t n, unsigned k, std::size_t queries) {
+  Rng rng(0xE3 + n + k);
+  Workload w;
+  w.everyone.resize(n);
+  std::iota(w.everyone.begin(), w.everyone.end(), 1u);
+  for (std::size_t q = 0; q < queries; ++q) {
+    const unsigned d = static_cast<unsigned>(rng.below(k + 1));
+    auto subset = rng.sample_subset(n, d);
+    std::vector<NodeId> ids;
+    for (const auto v : subset) ids.push_back(v + 1);
+    w.degrees.push_back(d);
+    w.sums.push_back(power_sums(ids, k));
+  }
+  return w;
+}
+
+void BM_TableBuild(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const NeighborhoodTable table(n, k);
+    entries = table.entry_count();
+    bytes = table.memory_bytes();
+    benchmark::DoNotOptimize(entries);
+  }
+  state.counters["entries"] = static_cast<double>(entries);
+  state.counters["mem_kb"] = static_cast<double>(bytes) / 1024.0;
+}
+
+void BM_TableBuildParallel(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  ThreadPool pool;
+  for (auto _ : state) {
+    const NeighborhoodTable table(n, k, &pool);
+    benchmark::DoNotOptimize(table.entry_count());
+  }
+  state.counters["threads"] = static_cast<double>(pool.size());
+}
+
+void BM_DecodeTable(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  const auto table = std::make_shared<NeighborhoodTable>(n, k);
+  const TableDecoder decoder(table);
+  const Workload w = make_workload(n, k, 512);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& ids =
+        decoder.decode(w.degrees[i], w.sums[i], w.everyone);
+    benchmark::DoNotOptimize(ids.size());
+    i = (i + 1) % w.degrees.size();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["k"] = static_cast<double>(k);
+}
+
+void BM_DecodeNewton(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  const NewtonDecoder decoder;
+  const Workload w = make_workload(n, k, 512);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto ids = decoder.decode(w.degrees[i], w.sums[i], w.everyone);
+    benchmark::DoNotOptimize(ids.size());
+    i = (i + 1) % w.degrees.size();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["k"] = static_cast<double>(k);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TableBuild)
+    ->ArgsProduct({{50, 100, 200}, {2, 3}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TableBuildParallel)
+    ->Args({200, 3})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_DecodeTable)->ArgsProduct({{50, 100, 200}, {2, 3}});
+BENCHMARK(BM_DecodeNewton)->ArgsProduct({{50, 100, 200}, {2, 3}});

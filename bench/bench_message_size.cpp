@@ -1,0 +1,43 @@
+// E1 — Lemma 2: the degeneracy protocol's message is O(k² log n) bits.
+//
+// Rows: for each (n, k), the maximum message length over all nodes of a
+// random graph of degeneracy exactly k, both in raw bits and in log-n units
+// (the `c` of c·log n). The paper's claim is that `c` is O(k²) and does not
+// grow with n; the series below makes both visible.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "model/frugality.hpp"
+#include "model/simulator.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+
+namespace {
+
+using namespace referee;
+
+void BM_MessageSize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  Rng rng(0xE1 + n + k);
+  const Graph g = gen::random_k_degenerate(n, k, rng, /*exactly_k=*/true);
+  const DegeneracyReconstruction protocol(k);
+  const Simulator sim;
+  FrugalityReport report;
+  for (auto _ : state) {
+    const auto msgs = sim.run_local_phase(g, protocol);
+    report = audit_frugality(static_cast<std::uint32_t>(n), msgs);
+    benchmark::DoNotOptimize(report.max_bits);
+  }
+  state.counters["max_bits"] = static_cast<double>(report.max_bits);
+  state.counters["avg_bits"] =
+      static_cast<double>(report.total_bits) / static_cast<double>(n);
+  state.counters["log_units_c"] = report.constant();
+  state.counters["c_over_k2"] =
+      report.constant() / static_cast<double>(k) / static_cast<double>(k);
+}
+
+}  // namespace
+
+BENCHMARK(BM_MessageSize)
+    ->ArgsProduct({{64, 256, 1024, 4096, 16384}, {1, 2, 3, 4, 6}})
+    ->Unit(benchmark::kMillisecond);

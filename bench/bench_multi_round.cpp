@@ -1,0 +1,54 @@
+// EB — the fixed-rounds frontier (§IV's closing question), quantified for
+// the one concrete multi-round protocol in the library: adaptive
+// reconstruction with doubling guesses.
+//
+// Rows: for graphs of degeneracy exactly k, the adaptive protocol's round
+// count (= ceil(log2 k) + 1), its total per-node uplink, and the overhead
+// ratio against the one-round protocol that was told k — the measurable
+// price of not knowing k.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "model/simulator.hpp"
+#include "protocols/adaptive_degeneracy.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace referee;
+
+void BM_AdaptiveVsKnownK(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  Rng rng(0xEB + k);
+  const Graph g = gen::random_k_degenerate(n, k, rng, /*exactly_k=*/true);
+  const Simulator sim;
+  const AdaptiveDegeneracyReconstruction adaptive;
+  MultiRoundReport multi_report;
+  for (auto _ : state) {
+    const Graph h = sim.run_multi_round(g, adaptive, &multi_report);
+    REFEREE_CHECK_MSG(h == g, "adaptive reconstruction mismatch");
+  }
+  // One-round baseline that knows k.
+  const DegeneracyReconstruction known(k);
+  FrugalityReport known_report;
+  sim.run_reconstruction(g, known, &known_report);
+
+  std::size_t adaptive_total = 0;
+  for (const auto& r : multi_report.per_round) adaptive_total += r.max_bits;
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["rounds"] = static_cast<double>(multi_report.rounds_used);
+  state.counters["uplink_bits"] = static_cast<double>(adaptive_total);
+  state.counters["overhead_vs_known_k"] =
+      static_cast<double>(adaptive_total) /
+      static_cast<double>(known_report.max_bits);
+  state.counters["broadcast_bits"] =
+      static_cast<double>(multi_report.broadcast_bits);
+}
+
+}  // namespace
+
+BENCHMARK(BM_AdaptiveVsKnownK)
+    ->ArgsProduct({{256, 1024}, {1, 2, 3, 5, 8}})
+    ->Unit(benchmark::kMillisecond);

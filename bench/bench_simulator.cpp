@@ -1,0 +1,72 @@
+// E10 — the substrate itself: simulator throughput for the one-round local
+// phase (nodes encoded per second) as the thread pool scales, plus the
+// referee-side decode. The local phase is embarrassingly parallel; the
+// scaling curve documents how far that takes us on this hardware.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "model/simulator.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace referee;
+
+void BM_LocalPhaseScaling(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 20000;
+  Rng rng(0xEA);
+  const Graph g = gen::random_k_degenerate(n, 3, rng);
+  const DegeneracyReconstruction protocol(3);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  const Simulator sim(pool.get());
+  for (auto _ : state) {
+    const auto msgs = sim.run_local_phase(g, protocol);
+    benchmark::DoNotOptimize(msgs.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["threads"] =
+      static_cast<double>(threads == 0 ? 1 : threads);
+}
+
+void BM_RefereeDecode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(0xEA + 1);
+  const Graph g = gen::random_k_degenerate(n, 3, rng);
+  const DegeneracyReconstruction protocol(3);
+  const Simulator sim;
+  const auto msgs = sim.run_local_phase(g, protocol);
+  for (auto _ : state) {
+    const Graph h =
+        protocol.reconstruct(static_cast<std::uint32_t>(n), msgs);
+    benchmark::DoNotOptimize(h.edge_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_EndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(0xEA + 2);
+  const Graph g = gen::random_k_degenerate(n, 2, rng);
+  const DegeneracyReconstruction protocol(2);
+  ThreadPool pool;
+  const Simulator sim(&pool);
+  for (auto _ : state) {
+    const Graph h = sim.run_reconstruction(g, protocol);
+    benchmark::DoNotOptimize(h.edge_count());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_LocalPhaseScaling)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_RefereeDecode)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEnd)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,68 @@
+// The impossibility machinery, run forwards: why no frugal one-round
+// protocol can decide squares, triangles, or diameter <= 3.
+//
+// The demo (1) verifies the gadget equivalences of Figures 1 and 2 on a
+// concrete graph, (2) runs the actual reduction Δ of Algorithm 1/2 against
+// an exact-but-non-frugal oracle Γ and watches it reconstruct the whole
+// graph, and (3) shows the Lemma 1 counting argument that turns this
+// reconstruction power into a contradiction for any *frugal* Γ.
+#include <cstdio>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraphs.hpp"
+#include "model/simulator.hpp"
+#include "reductions/counting.hpp"
+#include "reductions/gadgets.hpp"
+#include "reductions/oracles.hpp"
+#include "reductions/reductions.hpp"
+
+int main() {
+  using namespace referee;
+  Rng rng(508);  // first page of the paper's page range
+  const Simulator sim;
+
+  // -- Figure 1: the diameter gadget --------------------------------------
+  const Graph g = gen::gnp(12, 0.25, rng);
+  std::printf("gadget check (Figure 1): diam(G'_{s,t}) over all pairs:\n");
+  int ok = 0;
+  int pairs = 0;
+  for (Vertex s = 0; s < g.vertex_count(); ++s) {
+    for (Vertex t = s + 1; t < g.vertex_count(); ++t) {
+      const auto d = diameter(diameter_gadget(g, s, t));
+      const bool expect_small = g.has_edge(s, t);
+      ok += (d.has_value() && ((*d <= 3) == expect_small));
+      ++pairs;
+    }
+  }
+  std::printf("  %d/%d pairs satisfy: diam <= 3  <=>  {s,t} is an edge\n",
+              ok, pairs);
+
+  // -- Algorithm 2 as code: Δ reconstructs G from a diameter oracle -------
+  const DiameterReduction delta(make_diameter_oracle(3));
+  const Graph rebuilt = sim.run_reconstruction(g, delta);
+  std::printf("reduction Δ[diameter<=3 oracle] reconstructs G: %s\n",
+              rebuilt == g ? "EXACT" : "failed");
+
+  // -- Figure 2: the triangle gadget on a bipartite graph -----------------
+  const Graph b = gen::random_bipartite(6, 6, 0.4, rng);
+  const TriangleReduction tri_delta(make_triangle_oracle());
+  const Graph b_rebuilt = sim.run_reconstruction(b, tri_delta);
+  std::printf("reduction Δ[triangle oracle] reconstructs bipartite G: %s\n",
+              b_rebuilt == b ? "EXACT" : "failed");
+
+  // -- Lemma 1: why this kills any frugal Γ --------------------------------
+  std::printf("\nLemma 1 ledger (capacity constant c = 4):\n");
+  std::printf("  %-10s %-18s %-18s %-12s\n", "n", "capacity bits",
+              "log2 |families|", "feasible?");
+  for (const std::uint32_t n : {16u, 256u, 4096u, 65536u}) {
+    const double cap = frugal_capacity_bits(n, 4.0);
+    const double all = log2_all_graphs(n);
+    std::printf("  %-10u %-18.0f %-18.0f %s\n", n, cap, all,
+                lemma1_feasible(all, n, 4.0) ? "yes" : "NO — contradiction");
+  }
+  std::printf("a frugal Γ for diameter<=3 would reconstruct *all* graphs\n"
+              "via Δ, but the capacity row above cannot cover them: QED.\n");
+
+  return (ok == pairs && rebuilt == g && b_rebuilt == b) ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Transcript forensics: because the protocol is ONE round, the referee's
+// entire evidence is a fixed, serialisable artefact. This example captures
+// the round on a "live" network, writes it to a byte buffer (in production:
+// a file or object store), then — long after the network is gone — replays
+// it offline: full reconstruction, degree statistics, and tamper detection
+// when a byte of the stored transcript is altered.
+#include <cstdio>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "model/simulator.hpp"
+#include "model/transcript.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+#include "protocols/statistics.hpp"
+
+int main() {
+  using namespace referee;
+
+  // --- day 0: the network is alive; capture one frugal round -------------
+  Rng rng(1848);
+  const Graph network = gen::random_partial_k_tree(120, 3, 0.85, rng);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(3);
+  Transcript capture{static_cast<std::uint32_t>(network.vertex_count()),
+                     sim.run_local_phase(network, protocol)};
+  const std::string archived = transcript_to_string(capture);
+  std::printf("archived one round: %u nodes, %zu bytes on disk\n", capture.n,
+              archived.size());
+
+  // --- day N: the network no longer exists; replay from the archive ------
+  const Transcript replay = transcript_from_string(archived);
+  const Graph rebuilt = protocol.reconstruct(replay.n, replay.messages);
+  std::printf("offline reconstruction: %zu edges, %s\n",
+              rebuilt.edge_count(),
+              rebuilt == network ? "matches the captured network"
+                                 : "MISMATCH");
+
+  // Cheap statistics decode straight off the same messages? No — the
+  // statistics protocol has its own (smaller) message format; capture both
+  // in practice. Here we just derive stats from the reconstruction:
+  std::printf("forensic stats: max degree %zu, min degree %zu\n",
+              rebuilt.max_degree(), rebuilt.min_degree());
+
+  // --- tampering: flip one byte of the archive ----------------------------
+  std::string tampered = archived;
+  tampered[archived.size() / 2] =
+      static_cast<char>(tampered[archived.size() / 2] ^ 0x10);
+  bool caught = false;
+  try {
+    const Transcript bad = transcript_from_string(tampered);
+    const Graph forged = protocol.reconstruct(bad.n, bad.messages);
+    caught = !(forged == network);  // decoded, but not to the original
+    std::printf("tampered archive decoded to a %s graph\n",
+                caught ? "DIFFERENT" : "identical");
+  } catch (const DecodeError& e) {
+    caught = true;
+    std::printf("tampered archive rejected: %s\n", e.what());
+  }
+
+  return (rebuilt == network && caught) ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+#include "bigint/bigint.hpp"
+
+#include "support/check.hpp"
+
+namespace referee {
+
+BigInt BigInt::from_decimal(std::string_view s) {
+  REFEREE_CHECK_MSG(!s.empty(), "empty decimal string");
+  bool neg = false;
+  if (s.front() == '-') {
+    neg = true;
+    s.remove_prefix(1);
+  }
+  return BigInt(BigUInt::from_decimal(s), neg);
+}
+
+const BigUInt& BigInt::to_biguint() const {
+  REFEREE_CHECK_MSG(!negative_, "negative BigInt where unsigned expected");
+  return magnitude_;
+}
+
+std::int64_t BigInt::to_i64() const {
+  REFEREE_CHECK_MSG(magnitude_.fits_u64(), "BigInt out of i64 range");
+  const std::uint64_t m = magnitude_.to_u64();
+  if (negative_) {
+    REFEREE_CHECK_MSG(m <= static_cast<std::uint64_t>(INT64_MAX) + 1,
+                      "BigInt out of i64 range");
+    return m == static_cast<std::uint64_t>(INT64_MAX) + 1
+               ? INT64_MIN
+               : -static_cast<std::int64_t>(m);
+  }
+  REFEREE_CHECK_MSG(m <= static_cast<std::uint64_t>(INT64_MAX),
+                    "BigInt out of i64 range");
+  return static_cast<std::int64_t>(m);
+}
+
+std::string BigInt::to_decimal() const {
+  return negative_ ? "-" + magnitude_.to_decimal() : magnitude_.to_decimal();
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    magnitude_ += rhs.magnitude_;
+  } else if (magnitude_ >= rhs.magnitude_) {
+    magnitude_ -= rhs.magnitude_;
+    if (magnitude_.is_zero()) negative_ = false;
+  } else {
+    BigUInt m = rhs.magnitude_;
+    m -= magnitude_;
+    magnitude_ = std::move(m);
+    negative_ = rhs.negative_;
+  }
+  return *this;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  magnitude_ *= rhs.magnitude_;
+  negative_ = magnitude_.is_zero() ? false : (negative_ != rhs.negative_);
+  return *this;
+}
+
+BigInt BigInt::div_exact(const BigInt& rhs) const {
+  REFEREE_CHECK_MSG(!rhs.is_zero(), "division by zero");
+  const auto dm = magnitude_.divmod(rhs.magnitude_);
+  if (!dm.remainder.is_zero()) {
+    throw DecodeError("BigInt::div_exact: inexact division");
+  }
+  return BigInt(dm.quotient, negative_ != rhs.negative_);
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& rhs) const {
+  if (negative_ != rhs.negative_) {
+    return negative_ ? std::strong_ordering::less
+                     : std::strong_ordering::greater;
+  }
+  const auto mag = magnitude_ <=> rhs.magnitude_;
+  if (!negative_) return mag;
+  if (mag == std::strong_ordering::less) return std::strong_ordering::greater;
+  if (mag == std::strong_ordering::greater) return std::strong_ordering::less;
+  return std::strong_ordering::equal;
+}
+
+}  // namespace referee

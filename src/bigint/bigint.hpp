@@ -1,0 +1,67 @@
+// Signed arbitrary-precision integers (sign-magnitude over BigUInt).
+//
+// Newton's identities alternate signs, so the power-sum -> elementary-
+// symmetric conversion needs signed exact arithmetic even though all inputs
+// and final outputs are non-negative.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "bigint/biguint.hpp"
+
+namespace referee {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t v)  // NOLINT(google-explicit-constructor)
+      : negative_(v < 0),
+        magnitude_(v < 0 ? static_cast<std::uint64_t>(-(v + 1)) + 1
+                         : static_cast<std::uint64_t>(v)) {}
+  explicit BigInt(BigUInt magnitude, bool negative = false)
+      : negative_(negative && !magnitude.is_zero()),
+        magnitude_(std::move(magnitude)) {}
+
+  static BigInt from_decimal(std::string_view s);
+
+  bool is_zero() const { return magnitude_.is_zero(); }
+  bool is_negative() const { return negative_; }
+  const BigUInt& magnitude() const { return magnitude_; }
+
+  /// Magnitude as unsigned; throws CheckError if negative.
+  const BigUInt& to_biguint() const;
+  std::int64_t to_i64() const;  // throws if out of range
+
+  std::string to_decimal() const;
+
+  BigInt operator-() const {
+    BigInt r = *this;
+    if (!r.is_zero()) r.negative_ = !r.negative_;
+    return r;
+  }
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs) { return *this += -rhs; }
+  BigInt& operator*=(const BigInt& rhs);
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+
+  /// Exact division: throws DecodeError if `rhs` does not divide `this`.
+  /// (Newton's identities divide exactly on well-formed messages; a remainder
+  /// signals a corrupt or impossible power-sum vector.)
+  BigInt div_exact(const BigInt& rhs) const;
+
+  std::strong_ordering operator<=>(const BigInt& rhs) const;
+  bool operator==(const BigInt& rhs) const {
+    return negative_ == rhs.negative_ && magnitude_ == rhs.magnitude_;
+  }
+
+ private:
+  bool negative_ = false;
+  BigUInt magnitude_;
+};
+
+}  // namespace referee

@@ -1,0 +1,246 @@
+#include "bigint/biguint.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+#include "support/check.hpp"
+#include "support/varint.hpp"
+
+namespace referee {
+
+namespace {
+using u64 = std::uint64_t;
+__extension__ typedef unsigned __int128 u128;
+}  // namespace
+
+void BigUInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUInt BigUInt::from_decimal(std::string_view s) {
+  REFEREE_CHECK_MSG(!s.empty(), "empty decimal string");
+  BigUInt result;
+  for (const char c : s) {
+    REFEREE_CHECK_MSG(c >= '0' && c <= '9', "non-digit in decimal string");
+    result *= BigUInt(10);
+    result += BigUInt(static_cast<u64>(c - '0'));
+  }
+  return result;
+}
+
+std::uint64_t BigUInt::to_u64() const {
+  REFEREE_CHECK_MSG(fits_u64(), "BigUInt does not fit in 64 bits");
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+std::size_t BigUInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return (limbs_.size() - 1) * 64 +
+         static_cast<std::size_t>(bit_width_nonzero(limbs_.back()));
+}
+
+std::string BigUInt::to_decimal() const {
+  if (is_zero()) return "0";
+  BigUInt tmp = *this;
+  std::string digits;
+  while (!tmp.is_zero()) {
+    const u64 rem = tmp.div_small(10);
+    digits.push_back(static_cast<char>('0' + rem));
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+BigUInt& BigUInt::operator+=(const BigUInt& rhs) {
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  limbs_.resize(n, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 b = i < rhs.limbs_.size() ? rhs.limbs_[i] : 0;
+    const u128 sum = static_cast<u128>(limbs_[i]) + b + carry;
+    limbs_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  if (carry) limbs_.push_back(carry);
+  return *this;
+}
+
+BigUInt& BigUInt::operator-=(const BigUInt& rhs) {
+  REFEREE_CHECK_MSG(*this >= rhs, "BigUInt underflow");
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u64 b = i < rhs.limbs_.size() ? rhs.limbs_[i] : 0;
+    const u128 sub = static_cast<u128>(limbs_[i]) - b - borrow;
+    limbs_[i] = static_cast<u64>(sub);
+    borrow = (sub >> 64) ? 1 : 0;  // wrapped => borrowed
+  }
+  REFEREE_DCHECK(borrow == 0);
+  trim();
+  return *this;
+}
+
+BigUInt& BigUInt::operator*=(const BigUInt& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<u64> out(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 carry = 0;
+    const u128 a = limbs_[i];
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      const u128 cur = static_cast<u128>(out[i + j]) + a * rhs.limbs_[j] + carry;
+      out[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    std::size_t pos = i + rhs.limbs_.size();
+    while (carry) {
+      const u128 cur = static_cast<u128>(out[pos]) + carry;
+      out[pos] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+      ++pos;
+    }
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+std::uint64_t BigUInt::div_small(std::uint64_t divisor) {
+  REFEREE_CHECK_MSG(divisor != 0, "division by zero");
+  u128 rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const u128 cur = (rem << 64) | limbs_[i];
+    limbs_[i] = static_cast<u64>(cur / divisor);
+    rem = cur % divisor;
+  }
+  trim();
+  return static_cast<u64>(rem);
+}
+
+BigUInt::DivMod BigUInt::divmod(const BigUInt& divisor) const {
+  REFEREE_CHECK_MSG(!divisor.is_zero(), "division by zero");
+  if (*this < divisor) return {BigUInt{}, *this};
+  if (divisor.fits_u64()) {
+    DivMod dm;
+    dm.quotient = *this;
+    dm.remainder = BigUInt(dm.quotient.div_small(divisor.to_u64()));
+    return dm;
+  }
+  // Bitwise long division; operands in this library are a few limbs, so the
+  // O(bits * limbs) cost is irrelevant next to clarity.
+  BigUInt quotient;
+  BigUInt remainder;
+  const std::size_t bits = bit_length();
+  quotient.limbs_.assign((bits + 63) / 64, 0);
+  for (std::size_t b = bits; b-- > 0;) {
+    remainder <<= 1;
+    const bool bit_set =
+        (limbs_[b / 64] >> (b % 64)) & 1u;
+    if (bit_set) {
+      if (remainder.limbs_.empty()) remainder.limbs_.push_back(0);
+      remainder.limbs_[0] |= 1u;
+    }
+    if (remainder >= divisor) {
+      remainder -= divisor;
+      quotient.limbs_[b / 64] |= (u64{1} << (b % 64));
+    }
+  }
+  quotient.trim();
+  remainder.trim();
+  return {std::move(quotient), std::move(remainder)};
+}
+
+BigUInt& BigUInt::operator<<=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  const std::size_t old_size = limbs_.size();
+  limbs_.resize(old_size + limb_shift + 1, 0);
+  for (std::size_t i = old_size; i-- > 0;) {
+    const u64 v = limbs_[i];
+    limbs_[i] = 0;
+    if (bit_shift == 0) {
+      limbs_[i + limb_shift] |= v;
+    } else {
+      limbs_[i + limb_shift + 1] |= v >> (64 - bit_shift);
+      limbs_[i + limb_shift] |= v << bit_shift;
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigUInt& BigUInt::operator>>=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    return *this;
+  }
+  const std::size_t new_size = limbs_.size() - limb_shift;
+  for (std::size_t i = 0; i < new_size; ++i) {
+    u64 v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+    limbs_[i] = v;
+  }
+  limbs_.resize(new_size);
+  trim();
+  return *this;
+}
+
+BigUInt BigUInt::pow(std::uint64_t e) const {
+  BigUInt result(1);
+  BigUInt base = *this;
+  while (e != 0) {
+    if (e & 1u) result *= base;
+    e >>= 1;
+    if (e != 0) base *= base;
+  }
+  return result;
+}
+
+BigUInt BigUInt::upow(std::uint64_t base, std::uint64_t e) {
+  return BigUInt(base).pow(e);
+}
+
+std::strong_ordering BigUInt::operator<=>(const BigUInt& rhs) const {
+  if (limbs_.size() != rhs.limbs_.size()) {
+    return limbs_.size() <=> rhs.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != rhs.limbs_[i]) return limbs_[i] <=> rhs.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+void BigUInt::write(BitWriter& w) const {
+  const std::size_t bits = bit_length();
+  write_delta0(w, bits);
+  for (std::size_t b = 0; b < bits; ++b) {
+    w.write_bit((limbs_[b / 64] >> (b % 64)) & 1u);
+  }
+}
+
+BigUInt BigUInt::read(BitReader& r) {
+  const u64 bits = read_delta0(r);
+  if (bits > (u64{1} << 30)) throw DecodeError("BigUInt: absurd bit length");
+  BigUInt out;
+  out.limbs_.assign((static_cast<std::size_t>(bits) + 63) / 64, 0);
+  for (u64 b = 0; b < bits; ++b) {
+    if (r.read_bit()) out.limbs_[b / 64] |= (u64{1} << (b % 64));
+  }
+  out.trim();
+  if (out.bit_length() != bits) throw DecodeError("BigUInt: non-canonical");
+  return out;
+}
+
+std::size_t BigUInt::encoded_bits() const {
+  const std::size_t bits = bit_length();
+  return static_cast<std::size_t>(elias_delta_bits(bits + 1)) + bits;
+}
+
+}  // namespace referee

@@ -1,0 +1,97 @@
+// Arbitrary-precision unsigned integers.
+//
+// The degeneracy protocol ships power sums Σ ID(w)^p with p up to k and
+// IDs up to n, so values reach n^{k+1} — far past 64 bits for the (n, k)
+// ranges the benchmarks sweep. This is a small, dependency-free bignum:
+// 64-bit limbs, little-endian, schoolbook multiplication (operand sizes here
+// are a handful of limbs, so asymptotically fancy algorithms would lose).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/bitstream.hpp"
+
+namespace referee {
+
+class BigUInt {
+ public:
+  BigUInt() = default;
+  BigUInt(std::uint64_t v) {  // NOLINT(google-explicit-constructor)
+    if (v != 0) limbs_.push_back(v);
+  }
+
+  /// Parse a decimal string (digits only). Throws CheckError on bad input.
+  static BigUInt from_decimal(std::string_view s);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool fits_u64() const { return limbs_.size() <= 1; }
+  std::uint64_t to_u64() const;  // throws if it does not fit
+
+  /// Number of bits in the binary representation (0 for zero).
+  std::size_t bit_length() const;
+
+  std::string to_decimal() const;
+
+  // Arithmetic. Subtraction throws CheckError on underflow — the protocol
+  // layer treats an underflowing power-sum update as a decode failure.
+  BigUInt& operator+=(const BigUInt& rhs);
+  BigUInt& operator-=(const BigUInt& rhs);
+  BigUInt& operator*=(const BigUInt& rhs);
+  friend BigUInt operator+(BigUInt a, const BigUInt& b) { return a += b; }
+  friend BigUInt operator-(BigUInt a, const BigUInt& b) { return a -= b; }
+  friend BigUInt operator*(BigUInt a, const BigUInt& b) { return a *= b; }
+
+  /// Quotient and remainder; divisor must be non-zero.
+  struct DivMod;
+  DivMod divmod(const BigUInt& divisor) const;
+  BigUInt operator/(const BigUInt& d) const;
+  BigUInt operator%(const BigUInt& d) const;
+
+  /// Fast path: divide by a 64-bit value, returning the 64-bit remainder.
+  std::uint64_t div_small(std::uint64_t divisor);
+
+  BigUInt& operator<<=(std::size_t bits);
+  BigUInt& operator>>=(std::size_t bits);
+  friend BigUInt operator<<(BigUInt a, std::size_t b) { return a <<= b; }
+  friend BigUInt operator>>(BigUInt a, std::size_t b) { return a >>= b; }
+
+  /// this^e by square-and-multiply.
+  BigUInt pow(std::uint64_t e) const;
+
+  /// base^e for small base, as a free helper (used for ID^p terms).
+  static BigUInt upow(std::uint64_t base, std::uint64_t e);
+
+  std::strong_ordering operator<=>(const BigUInt& rhs) const;
+  bool operator==(const BigUInt& rhs) const { return limbs_ == rhs.limbs_; }
+
+  /// Serialise as delta(bit_length+1) then the raw bits, LSB-first.
+  void write(BitWriter& w) const;
+  static BigUInt read(BitReader& r);
+  /// Exact number of bits write() will produce.
+  std::size_t encoded_bits() const;
+
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+
+ private:
+  void trim();
+
+  std::vector<std::uint64_t> limbs_;  // little-endian, no trailing zeros
+};
+
+struct BigUInt::DivMod {
+  BigUInt quotient;
+  BigUInt remainder;
+};
+
+inline BigUInt BigUInt::operator/(const BigUInt& d) const {
+  return divmod(d).quotient;
+}
+inline BigUInt BigUInt::operator%(const BigUInt& d) const {
+  return divmod(d).remainder;
+}
+
+}  // namespace referee

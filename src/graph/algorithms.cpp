@@ -1,0 +1,206 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace referee {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
+  REFEREE_CHECK_MSG(source < g.vertex_count(), "source out of range");
+  std::vector<std::uint32_t> dist(g.vertex_count(), kUnreachable);
+  std::deque<Vertex> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    for (const Vertex v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint32_t> comp(n, kUnreachable);
+  std::uint32_t next_id = 0;
+  std::deque<Vertex> queue;
+  for (Vertex s = 0; s < n; ++s) {
+    if (comp[s] != kUnreachable) continue;
+    comp[s] = next_id;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop_front();
+      for (const Vertex v : g.neighbors(u)) {
+        if (comp[v] == kUnreachable) {
+          comp[v] = next_id;
+          queue.push_back(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return comp;
+}
+
+std::size_t component_count(const Graph& g) {
+  const auto comp = connected_components(g);
+  return comp.empty() ? 0 : 1 + *std::max_element(comp.begin(), comp.end());
+}
+
+bool is_connected(const Graph& g) {
+  return g.vertex_count() <= 1 || component_count(g) == 1;
+}
+
+std::optional<std::uint32_t> eccentricity(const Graph& g, Vertex v) {
+  const auto dist = bfs_distances(g, v);
+  std::uint32_t ecc = 0;
+  for (const auto d : dist) {
+    if (d == kUnreachable) return std::nullopt;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::optional<std::uint32_t> diameter(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return std::nullopt;
+  std::uint32_t best = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const auto ecc = eccentricity(g, v);
+    if (!ecc) return std::nullopt;
+    best = std::max(best, *ecc);
+  }
+  return best;
+}
+
+std::optional<std::uint32_t> girth(const Graph& g) {
+  // BFS from every vertex; a non-tree edge at depth d closes a cycle of
+  // length <= 2d + 1. Standard O(n * m) exact girth for simple graphs.
+  const std::size_t n = g.vertex_count();
+  std::uint32_t best = kUnreachable;
+  std::vector<std::uint32_t> dist(n);
+  std::vector<Vertex> parent(n);
+  for (Vertex s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    std::deque<Vertex> queue{s};
+    dist[s] = 0;
+    parent[s] = s;
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop_front();
+      if (2 * dist[u] >= best) break;  // cannot improve from here
+      for (const Vertex v : g.neighbors(u)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = dist[u] + 1;
+          parent[v] = u;
+          queue.push_back(v);
+        } else if (parent[u] != v && dist[v] >= dist[u]) {
+          best = std::min(best, dist[u] + dist[v] + 1);
+        }
+      }
+    }
+  }
+  if (best == kUnreachable) return std::nullopt;
+  return best;
+}
+
+std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint8_t> side(n, 2);  // 2 = unvisited
+  std::deque<Vertex> queue;
+  for (Vertex s = 0; s < n; ++s) {
+    if (side[s] != 2) continue;
+    side[s] = 0;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop_front();
+      for (const Vertex v : g.neighbors(u)) {
+        if (side[v] == 2) {
+          side[v] = static_cast<std::uint8_t>(1 - side[u]);
+          queue.push_back(v);
+        } else if (side[v] == side[u]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return side;
+}
+
+bool is_bipartite(const Graph& g) { return bipartition(g).has_value(); }
+
+std::vector<Edge> spanning_forest(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<Edge> out;
+  std::vector<bool> seen(n, false);
+  std::deque<Vertex> queue;
+  for (Vertex s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    seen[s] = true;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop_front();
+      for (const Vertex v : g.neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          out.emplace_back(u, v);
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool satisfies_euler_planar_bound(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n < 3) return true;
+  return g.edge_count() <= 3 * n - 6;
+}
+
+std::size_t treewidth_upper_bound_min_degree(const Graph& g) {
+  // Eliminate a minimum-degree vertex, turn its neighbourhood into a clique,
+  // repeat; the largest eliminated degree upper-bounds treewidth.
+  const std::size_t n = g.vertex_count();
+  std::vector<std::set<Vertex>> adj(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    adj[v].insert(nb.begin(), nb.end());
+  }
+  std::vector<bool> gone(n, false);
+  std::size_t width = 0;
+  for (std::size_t step = 0; step < n; ++step) {
+    Vertex best = 0;
+    std::size_t best_deg = SIZE_MAX;
+    for (Vertex v = 0; v < n; ++v) {
+      if (!gone[v] && adj[v].size() < best_deg) {
+        best = v;
+        best_deg = adj[v].size();
+      }
+    }
+    width = std::max(width, best_deg);
+    const std::vector<Vertex> nb(adj[best].begin(), adj[best].end());
+    for (const Vertex u : nb) {
+      adj[u].erase(best);
+      for (const Vertex w : nb) {
+        if (u < w) {
+          adj[u].insert(w);
+          adj[w].insert(u);
+        }
+      }
+    }
+    adj[best].clear();
+    gone[best] = true;
+  }
+  return width;
+}
+
+}  // namespace referee

@@ -1,0 +1,48 @@
+// Classical graph algorithms used as ground truth by the protocol layer:
+// what a protocol claims about G is always checked against these.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace referee {
+
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS distances from `source` (kUnreachable where disconnected).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source);
+
+/// Component id per vertex (ids are 0-based, in order of discovery).
+std::vector<std::uint32_t> connected_components(const Graph& g);
+std::size_t component_count(const Graph& g);
+bool is_connected(const Graph& g);
+
+/// Largest eccentricity, or nullopt when g is disconnected/empty.
+std::optional<std::uint32_t> diameter(const Graph& g);
+
+/// Eccentricity of one vertex (nullopt if it cannot reach everyone).
+std::optional<std::uint32_t> eccentricity(const Graph& g, Vertex v);
+
+/// Length of the shortest cycle; nullopt for forests.
+std::optional<std::uint32_t> girth(const Graph& g);
+
+/// Two-colourability; returns the side of each vertex or nullopt.
+std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g);
+bool is_bipartite(const Graph& g);
+
+/// Spanning forest as an edge list (one tree per component).
+std::vector<Edge> spanning_forest(const Graph& g);
+
+/// m <= 3n - 6 Euler bound — a cheap *necessary* planarity condition used to
+/// sanity-check the planar generators (not a full planarity test).
+bool satisfies_euler_planar_bound(const Graph& g);
+
+/// Greedy treewidth upper bound via the min-degree elimination heuristic.
+std::size_t treewidth_upper_bound_min_degree(const Graph& g);
+
+}  // namespace referee

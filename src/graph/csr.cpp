@@ -1,0 +1,16 @@
+#include "graph/csr.hpp"
+
+namespace referee {
+
+CsrGraph::CsrGraph(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  offsets_.assign(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + g.degree(v);
+  targets_.reserve(offsets_[n]);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    targets_.insert(targets_.end(), nb.begin(), nb.end());
+  }
+}
+
+}  // namespace referee

@@ -1,0 +1,38 @@
+// Immutable compressed-sparse-row view of a Graph.
+//
+// Traversal-heavy algorithms (all-pairs BFS for diameter, triangle counting)
+// run noticeably faster on the flat CSR arrays than on vector-of-vectors;
+// the conversion is one pass.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace referee {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  explicit CsrGraph(const Graph& g);
+
+  std::size_t vertex_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t edge_count() const { return targets_.size() / 2; }
+
+  std::size_t degree(Vertex v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  // n+1 entries
+  std::vector<Vertex> targets_;       // 2m entries, sorted per row
+};
+
+}  // namespace referee

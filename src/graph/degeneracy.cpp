@@ -1,0 +1,116 @@
+#include "graph/degeneracy.hpp"
+
+#include <algorithm>
+
+namespace referee {
+
+DegeneracyResult degeneracy(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  DegeneracyResult result;
+  result.removal_order.reserve(n);
+  result.core_number.assign(n, 0);
+  if (n == 0) return result;
+
+  // Bucket queue keyed by residual degree.
+  std::vector<std::size_t> deg(n);
+  std::size_t max_deg = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  std::vector<std::vector<Vertex>> buckets(max_deg + 1);
+  for (Vertex v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+
+  std::size_t k = 0;
+  std::size_t cursor = 0;  // lowest possibly non-empty bucket
+  for (std::size_t step = 0; step < n; ++step) {
+    // Find the minimum-degree live vertex.
+    while (cursor < buckets.size()) {
+      // Drop stale entries (vertices whose degree has since decreased or
+      // that were already removed).
+      auto& bucket = buckets[cursor];
+      while (!bucket.empty() &&
+             (removed[bucket.back()] || deg[bucket.back()] != cursor)) {
+        bucket.pop_back();
+      }
+      if (!bucket.empty()) break;
+      ++cursor;
+    }
+    REFEREE_DCHECK(cursor < buckets.size());
+    const Vertex v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    removed[v] = true;
+    k = std::max(k, deg[v]);
+    result.core_number[v] = static_cast<std::uint32_t>(k);
+    result.removal_order.push_back(v);
+    for (const Vertex w : g.neighbors(v)) {
+      if (!removed[w]) {
+        --deg[w];
+        buckets[deg[w]].push_back(w);
+        if (deg[w] < cursor) cursor = deg[w];
+      }
+    }
+  }
+  result.degeneracy = k;
+  return result;
+}
+
+bool has_degeneracy_at_most(const Graph& g, std::size_t k) {
+  return degeneracy(g).degeneracy <= k;
+}
+
+bool is_valid_elimination_order(const Graph& g, std::span<const Vertex> order,
+                                std::size_t k) {
+  const std::size_t n = g.vertex_count();
+  if (order.size() != n) return false;
+  // position[v] = i means v == r_{i+1}; r_i must have <= k neighbours with
+  // smaller position (those are its neighbours inside G_i).
+  std::vector<std::size_t> position(n, SIZE_MAX);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vertex v = order[i];
+    if (v >= n || position[v] != SIZE_MAX) return false;  // not a permutation
+    position[v] = i;
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    std::size_t earlier = 0;
+    for (const Vertex w : g.neighbors(v)) {
+      if (position[w] < position[v]) ++earlier;
+    }
+    if (earlier > k) return false;
+  }
+  return true;
+}
+
+GeneralizedDegeneracyResult generalized_degeneracy_order(const Graph& g,
+                                                         std::size_t k) {
+  const std::size_t n = g.vertex_count();
+  GeneralizedDegeneracyResult result;
+  result.removal_order.reserve(n);
+  std::vector<std::size_t> deg(n);
+  for (Vertex v = 0; v < n; ++v) deg[v] = g.degree(v);
+  std::vector<bool> removed(n, false);
+  std::size_t alive = n;
+  while (alive > 0) {
+    bool found = false;
+    for (Vertex v = 0; v < n && !found; ++v) {
+      if (removed[v]) continue;
+      const std::size_t co_deg = alive - 1 - deg[v];
+      if (deg[v] <= k || co_deg <= k) {
+        result.removal_order.push_back(v);
+        result.used_complement.push_back(deg[v] > k);
+        removed[v] = true;
+        --alive;
+        for (const Vertex w : g.neighbors(v)) {
+          if (!removed[w]) --deg[w];
+        }
+        found = true;
+      }
+    }
+    if (!found) return result;  // feasible stays false
+  }
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace referee

@@ -1,0 +1,54 @@
+// Degeneracy, k-cores and elimination orders (Matula–Beck bucket algorithm).
+//
+// Definition 2 of the paper: G has degeneracy k if there is an ordering
+// (r_1,…,r_n) where each r_i has degree <= k in G[{r_1,…,r_i}]. The referee's
+// global decoder replays exactly such an ordering, so this module both
+// certifies generator families and provides ground truth for the
+// recognition protocol.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace referee {
+
+struct DegeneracyResult {
+  std::size_t degeneracy = 0;
+  /// Elimination order: order[i] is removed i-th; each has <= degeneracy
+  /// neighbours among the *later-removed* prefix... see note below.
+  /// Convention: order is the Matula–Beck removal order (min residual degree
+  /// first); reversing it gives the paper's (r_1, ..., r_n).
+  std::vector<Vertex> removal_order;
+  /// Core number per vertex (largest k such that v is in the k-core).
+  std::vector<std::uint32_t> core_number;
+};
+
+/// O(n + m) bucket implementation.
+DegeneracyResult degeneracy(const Graph& g);
+
+/// Convenience: degeneracy(g).degeneracy <= k.
+bool has_degeneracy_at_most(const Graph& g, std::size_t k);
+
+/// Checks that `order` (paper convention, r_1 first) is a valid
+/// k-elimination order for g per Definition 2.
+bool is_valid_elimination_order(const Graph& g,
+                                std::span<const Vertex> order,
+                                std::size_t k);
+
+/// Generalised degeneracy (paper §III, last paragraph): each r_i must have
+/// degree <= k in G_i *or* in the complement of G_i. Computed greedily by
+/// removing any vertex satisfying either bound; greedy is safe because
+/// removing a vertex never increases residual degrees on either side.
+struct GeneralizedDegeneracyResult {
+  bool feasible = false;
+  std::vector<Vertex> removal_order;
+  /// For each removed vertex: false = small in G_i, true = small in
+  /// complement of G_i.
+  std::vector<bool> used_complement;
+};
+GeneralizedDegeneracyResult generalized_degeneracy_order(const Graph& g,
+                                                         std::size_t k);
+
+}  // namespace referee

@@ -1,0 +1,69 @@
+#include "graph/enumerate.hpp"
+
+#include <atomic>
+
+#include "graph/subgraphs.hpp"
+
+namespace referee {
+
+namespace {
+std::size_t pair_count(std::size_t n) { return n * (n - 1) / 2; }
+}  // namespace
+
+Graph graph_from_mask(std::size_t n, std::uint64_t mask) {
+  REFEREE_CHECK_MSG(pair_count(n) <= 63, "mask enumeration limited to n <= 11");
+  Graph g(n);
+  std::size_t bit = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v, ++bit) {
+      if ((mask >> bit) & 1u) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+std::uint64_t mask_from_graph(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  REFEREE_CHECK_MSG(pair_count(n) <= 63, "mask enumeration limited to n <= 11");
+  std::uint64_t mask = 0;
+  std::size_t bit = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v, ++bit) {
+      if (g.has_edge(u, v)) mask |= (std::uint64_t{1} << bit);
+    }
+  }
+  return mask;
+}
+
+void for_each_labelled_graph(std::size_t n,
+                             const std::function<void(const Graph&)>& visit) {
+  REFEREE_CHECK_MSG(n <= 8, "exhaustive enumeration limited to n <= 8");
+  const std::uint64_t total = std::uint64_t{1} << pair_count(n);
+  for (std::uint64_t mask = 0; mask < total; ++mask) {
+    visit(graph_from_mask(n, mask));
+  }
+}
+
+std::uint64_t count_labelled_graphs(
+    std::size_t n, const std::function<bool(const Graph&)>& pred,
+    ThreadPool* pool) {
+  REFEREE_CHECK_MSG(n <= 8, "exhaustive enumeration limited to n <= 8");
+  const std::uint64_t total = std::uint64_t{1} << pair_count(n);
+  std::atomic<std::uint64_t> count{0};
+  maybe_parallel_for(
+      pool, 0, static_cast<std::size_t>(total),
+      [&](std::size_t mask) {
+        if (pred(graph_from_mask(n, static_cast<std::uint64_t>(mask)))) {
+          count.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      /*serial_cutoff=*/1 << 12);
+  return count.load();
+}
+
+std::uint64_t count_square_free_graphs(std::size_t n, ThreadPool* pool) {
+  return count_labelled_graphs(
+      n, [](const Graph& g) { return !has_square(g); }, pool);
+}
+
+}  // namespace referee

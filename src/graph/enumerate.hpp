@@ -1,0 +1,41 @@
+// Exhaustive enumeration of labelled graphs on n vertices.
+//
+// Lemma 1's counting argument compares |family| against the 2^{O(n log n)}
+// capacity of a frugal one-round protocol. For small n we count families
+// *exactly* by enumerating all 2^{C(n,2)} labelled graphs; experiment E7
+// uses this to exhibit the gap for square-free graphs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "support/thread_pool.hpp"
+
+namespace referee {
+
+/// Builds the graph whose upper-triangle bitmap is `mask` (pair (u,v),
+/// u < v, in lexicographic order maps to bit index).
+Graph graph_from_mask(std::size_t n, std::uint64_t mask);
+
+/// Upper-triangle bitmap of g (inverse of graph_from_mask). n <= 11.
+std::uint64_t mask_from_graph(const Graph& g);
+
+/// Calls `visit` for every labelled graph on n vertices. n <= 8 enforced
+/// (2^28 graphs already takes a while).
+void for_each_labelled_graph(std::size_t n,
+                             const std::function<void(const Graph&)>& visit);
+
+/// Number of labelled graphs on n vertices satisfying `pred`, parallelised
+/// over the mask space when a pool is supplied.
+std::uint64_t count_labelled_graphs(
+    std::size_t n, const std::function<bool(const Graph&)>& pred,
+    ThreadPool* pool = nullptr);
+
+/// Exact count of square-free (no C4 subgraph) labelled graphs. Known values
+/// (OEIS A006855 counts maximal sizes; here we count all C4-free graphs):
+/// n=1:1, 2:2, 3:8, 4:54 ... used as cross-checks in tests.
+std::uint64_t count_square_free_graphs(std::size_t n,
+                                       ThreadPool* pool = nullptr);
+
+}  // namespace referee

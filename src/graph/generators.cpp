@@ -1,0 +1,387 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "graph/transforms.hpp"
+
+namespace referee::gen {
+
+Graph empty(std::size_t n) { return Graph(n); }
+
+Graph path(std::size_t n) {
+  Graph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle(std::size_t n) {
+  REFEREE_CHECK_MSG(n == 0 || n >= 3, "cycle needs >= 3 vertices");
+  Graph g = path(n);
+  if (n >= 3) g.add_edge(static_cast<Vertex>(n - 1), 0);
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  Graph g(a + b);
+  for (Vertex u = 0; u < a; ++u)
+    for (Vertex v = 0; v < b; ++v)
+      g.add_edge(u, static_cast<Vertex>(a + v));
+  return g;
+}
+
+Graph star(std::size_t leaves) {
+  Graph g(leaves + 1);
+  for (Vertex v = 1; v <= leaves; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  const auto at = [cols](std::size_t i, std::size_t j) {
+    return static_cast<Vertex>(i * cols + j);
+  };
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (j + 1 < cols) g.add_edge(at(i, j), at(i, j + 1));
+      if (i + 1 < rows) g.add_edge(at(i, j), at(i + 1, j));
+    }
+  }
+  return g;
+}
+
+Graph torus(std::size_t rows, std::size_t cols) {
+  REFEREE_CHECK_MSG(rows >= 3 && cols >= 3, "torus needs dims >= 3");
+  Graph g = grid(rows, cols);
+  const auto at = [cols](std::size_t i, std::size_t j) {
+    return static_cast<Vertex>(i * cols + j);
+  };
+  for (std::size_t i = 0; i < rows; ++i) g.add_edge(at(i, 0), at(i, cols - 1));
+  for (std::size_t j = 0; j < cols; ++j) g.add_edge(at(0, j), at(rows - 1, j));
+  return g;
+}
+
+Graph hypercube(unsigned dims) {
+  REFEREE_CHECK_MSG(dims < 26, "hypercube too large");
+  const std::size_t n = std::size_t{1} << dims;
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (unsigned b = 0; b < dims; ++b) {
+      const std::size_t w = v ^ (std::size_t{1} << b);
+      if (w > v) g.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(w));
+    }
+  }
+  return g;
+}
+
+Graph binary_tree(std::size_t n) {
+  Graph g(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    g.add_edge(static_cast<Vertex>(v), static_cast<Vertex>((v - 1) / 2));
+  }
+  return g;
+}
+
+Graph caterpillar(std::size_t spine, std::size_t legs) {
+  Graph g(spine + spine * legs);
+  for (Vertex v = 0; v + 1 < spine; ++v) g.add_edge(v, v + 1);
+  Vertex next = static_cast<Vertex>(spine);
+  for (Vertex s = 0; s < spine; ++s) {
+    for (std::size_t l = 0; l < legs; ++l) g.add_edge(s, next++);
+  }
+  return g;
+}
+
+Graph fat_tree(unsigned k, bool with_hosts) {
+  REFEREE_CHECK_MSG(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+  const std::size_t half = k / 2;
+  const std::size_t cores = half * half;
+  const std::size_t aggs = static_cast<std::size_t>(k) * half;
+  const std::size_t edges_sw = aggs;
+  const std::size_t hosts = with_hosts ? edges_sw * half : 0;
+  Graph g(cores + aggs + edges_sw + hosts);
+  const auto core_at = [&](std::size_t i) { return static_cast<Vertex>(i); };
+  const auto agg_at = [&](std::size_t pod, std::size_t i) {
+    return static_cast<Vertex>(cores + pod * half + i);
+  };
+  const auto edge_at = [&](std::size_t pod, std::size_t i) {
+    return static_cast<Vertex>(cores + aggs + pod * half + i);
+  };
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    for (std::size_t a = 0; a < half; ++a) {
+      // Aggregation switch a in this pod uplinks to core group a.
+      for (std::size_t c = 0; c < half; ++c) {
+        g.add_edge(agg_at(pod, a), core_at(a * half + c));
+      }
+      // Full bipartite agg <-> edge inside the pod.
+      for (std::size_t e = 0; e < half; ++e) {
+        g.add_edge(agg_at(pod, a), edge_at(pod, e));
+      }
+    }
+  }
+  if (with_hosts) {
+    Vertex host = static_cast<Vertex>(cores + aggs + edges_sw);
+    for (std::size_t pod = 0; pod < k; ++pod) {
+      for (std::size_t e = 0; e < half; ++e) {
+        for (std::size_t h = 0; h < half; ++h) {
+          g.add_edge(edge_at(pod, e), host++);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph gnp(std::size_t n, double p, Rng& rng) {
+  Graph g(n);
+  if (p <= 0.0) return g;
+  if (p >= 1.0) return complete(n);
+  // Geometric skipping over the C(n,2) pair sequence: O(m) expected time.
+  const double log1mp = std::log(1.0 - p);
+  std::size_t total = n * (n - 1) / 2;
+  std::size_t idx = 0;
+  const auto pair_of = [n](std::size_t t) {
+    // Invert t = index of pair (u,v), u < v, in row-major order.
+    std::size_t u = 0;
+    std::size_t row = n - 1;
+    while (t >= row) {
+      t -= row;
+      --row;
+      ++u;
+    }
+    return std::pair<Vertex, Vertex>{static_cast<Vertex>(u),
+                                     static_cast<Vertex>(u + 1 + t)};
+  };
+  while (idx < total) {
+    const double r = std::max(rng.uniform01(), 1e-300);
+    const auto skip = static_cast<std::size_t>(std::log(r) / log1mp);
+    if (idx + skip >= total) break;
+    idx += skip;
+    const auto [u, v] = pair_of(idx);
+    g.add_edge(u, v);
+    ++idx;
+  }
+  return g;
+}
+
+Graph gnm(std::size_t n, std::size_t m, Rng& rng) {
+  const std::size_t total = n * (n - 1) / 2;
+  REFEREE_CHECK_MSG(m <= total, "too many edges requested");
+  Graph g(n);
+  std::size_t added = 0;
+  while (added < m) {
+    const auto u = static_cast<Vertex>(rng.below(n));
+    const auto v = static_cast<Vertex>(rng.below(n));
+    if (u != v && g.add_edge(u, v)) ++added;
+  }
+  return g;
+}
+
+Graph connected_gnp(std::size_t n, double p, Rng& rng) {
+  Graph g = gnp(n, p, rng);
+  if (n <= 1) return g;
+  // Stitch a random spanning tree on top (random attachment order).
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < n; ++i) {
+    const Vertex parent = order[rng.below(i)];
+    g.add_edge(order[i], parent);
+  }
+  return g;
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  Graph g(n);
+  if (n <= 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Prüfer decoding: uniform over the n^(n-2) labelled trees.
+  std::vector<Vertex> pruefer(n - 2);
+  for (auto& x : pruefer) x = static_cast<Vertex>(rng.below(n));
+  std::vector<std::size_t> deg(n, 1);
+  for (const Vertex x : pruefer) ++deg[x];
+  // `ptr` scans for the smallest leaf; `leaf` tracks the current one.
+  std::size_t ptr = 0;
+  while (deg[ptr] != 1) ++ptr;
+  std::size_t leaf = ptr;
+  for (const Vertex x : pruefer) {
+    g.add_edge(static_cast<Vertex>(leaf), x);
+    if (--deg[x] == 1 && x < ptr) {
+      leaf = x;
+    } else {
+      ++ptr;
+      while (deg[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  g.add_edge(static_cast<Vertex>(leaf), static_cast<Vertex>(n - 1));
+  return g;
+}
+
+Graph random_forest(std::size_t n, double drop, Rng& rng) {
+  Graph g = random_tree(n, rng);
+  for (const Edge& e : g.edges()) {
+    if (rng.chance(drop)) g.remove_edge(e.u, e.v);
+  }
+  return g;
+}
+
+Graph random_bipartite(std::size_t a, std::size_t b, double p, Rng& rng) {
+  Graph g(a + b);
+  for (Vertex u = 0; u < a; ++u) {
+    for (Vertex v = 0; v < b; ++v) {
+      if (rng.chance(p)) g.add_edge(u, static_cast<Vertex>(a + v));
+    }
+  }
+  return g;
+}
+
+Graph random_k_degenerate(std::size_t n, unsigned k, Rng& rng,
+                          bool exactly_k) {
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t cap = std::min<std::size_t>(i, k);
+    std::size_t links = cap;
+    if (!exactly_k && cap > 0) {
+      links = 1 + rng.below(cap);  // at least one keeps it connected
+    }
+    const auto targets =
+        rng.sample_subset(static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(links));
+    for (const auto t : targets) g.add_edge(static_cast<Vertex>(i), t);
+  }
+  return shuffle_labels(g, rng);
+}
+
+Graph random_k_tree(std::size_t n, unsigned k, Rng& rng) {
+  REFEREE_CHECK_MSG(n >= k + 1, "k-tree needs at least k+1 vertices");
+  Graph g(n);
+  std::vector<std::vector<Vertex>> cliques;  // all k-cliques usable as bases
+  std::vector<Vertex> base(k + 1);
+  std::iota(base.begin(), base.end(), 0u);
+  for (unsigned i = 0; i <= k; ++i)
+    for (unsigned j = i + 1; j <= k; ++j) g.add_edge(base[i], base[j]);
+  // Seed the k-clique list with all k-subsets of the initial (k+1)-clique.
+  for (unsigned skip = 0; skip <= k; ++skip) {
+    std::vector<Vertex> c;
+    for (unsigned i = 0; i <= k; ++i)
+      if (i != skip) c.push_back(base[i]);
+    cliques.push_back(std::move(c));
+  }
+  for (std::size_t v = k + 1; v < n; ++v) {
+    const auto& c = cliques[rng.below(cliques.size())];
+    const std::vector<Vertex> chosen = c;  // copy before cliques reallocates
+    for (const Vertex u : chosen) g.add_edge(static_cast<Vertex>(v), u);
+    for (unsigned skip = 0; skip < k; ++skip) {
+      std::vector<Vertex> nc;
+      nc.reserve(k);
+      for (unsigned i = 0; i < k; ++i)
+        if (i != skip) nc.push_back(chosen[i]);
+      nc.push_back(static_cast<Vertex>(v));
+      cliques.push_back(std::move(nc));
+    }
+  }
+  return shuffle_labels(g, rng);
+}
+
+Graph random_partial_k_tree(std::size_t n, unsigned k, double keep,
+                            Rng& rng) {
+  Graph g = random_k_tree(n, k, rng);
+  for (const Edge& e : g.edges()) {
+    if (!rng.chance(keep)) g.remove_edge(e.u, e.v);
+  }
+  return g;
+}
+
+Graph random_apollonian(std::size_t n, Rng& rng) {
+  REFEREE_CHECK_MSG(n >= 3, "apollonian network needs >= 3 vertices");
+  Graph g(n);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  std::vector<std::array<Vertex, 3>> faces{{0, 1, 2}};
+  for (std::size_t v = 3; v < n; ++v) {
+    const std::size_t f = rng.below(faces.size());
+    const auto face = faces[f];
+    for (const Vertex u : face) g.add_edge(static_cast<Vertex>(v), u);
+    faces[f] = {face[0], face[1], static_cast<Vertex>(v)};
+    faces.push_back({face[0], face[2], static_cast<Vertex>(v)});
+    faces.push_back({face[1], face[2], static_cast<Vertex>(v)});
+  }
+  return shuffle_labels(g, rng);
+}
+
+Graph random_regular(std::size_t n, unsigned d, Rng& rng) {
+  REFEREE_CHECK_MSG(d < n && (n * d) % 2 == 0,
+                    "need d < n and n*d even for a d-regular graph");
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<Vertex> stubs;
+    stubs.reserve(n * d);
+    for (Vertex v = 0; v < n; ++v)
+      for (unsigned i = 0; i < d; ++i) stubs.push_back(v);
+    rng.shuffle(stubs);
+    Graph g(n);
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const Vertex u = stubs[i];
+      const Vertex v = stubs[i + 1];
+      if (u == v || !g.add_edge(u, v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  throw CheckError("random_regular: configuration model failed to converge");
+}
+
+namespace {
+/// True iff adding {u, v} to square-free `g` closes a 4-cycle, i.e. there is
+/// a u–b–a–v path of length 3 (any C4 created by a new edge must contain it).
+bool edge_closes_square(const Graph& g, Vertex u, Vertex v) {
+  for (const Vertex b : g.neighbors(u)) {
+    if (b == v) continue;
+    for (const Vertex a : g.neighbors(b)) {
+      if (a == u || a == v) continue;
+      if (g.has_edge(a, v)) return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+Graph random_square_free(std::size_t n, std::size_t attempts, Rng& rng) {
+  Graph g(n);
+  if (n < 2) return g;
+  for (std::size_t t = 0; t < attempts; ++t) {
+    const auto u = static_cast<Vertex>(rng.below(n));
+    const auto v = static_cast<Vertex>(rng.below(n));
+    if (u == v || g.has_edge(u, v)) continue;
+    // Reject if u and v already share a neighbour (would make a C4 u-x-v plus
+    // this edge? no — a shared neighbour makes a triangle; triangles are
+    // fine) — only a length-3 path closes a square.
+    if (!edge_closes_square(g, u, v)) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph shuffle_labels(const Graph& g, Rng& rng) {
+  std::vector<Vertex> perm(g.vertex_count());
+  std::iota(perm.begin(), perm.end(), 0u);
+  rng.shuffle(perm);
+  return permute(g, perm);
+}
+
+}  // namespace referee::gen

@@ -1,0 +1,90 @@
+// Graph families used by the tests, examples and benchmarks.
+//
+// Deterministic topologies (paths, grids, hypercubes, fat-trees…) model the
+// interconnection networks the paper's title refers to; the random families
+// (G(n,p), random k-degenerate, k-trees, Apollonian networks, square-free…)
+// provide the graph classes §III's reconstruction protocol is about and the
+// hard instances behind §II's impossibility arguments.
+//
+// All random generators take an explicit Rng so every experiment is
+// reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+
+namespace referee::gen {
+
+// ---- deterministic families ------------------------------------------------
+
+Graph empty(std::size_t n);
+Graph path(std::size_t n);
+Graph cycle(std::size_t n);
+Graph complete(std::size_t n);
+Graph complete_bipartite(std::size_t a, std::size_t b);
+Graph star(std::size_t leaves);  // n = leaves + 1, centre is vertex 0
+
+/// r-by-c grid; vertex (i,j) is i*c + j.
+Graph grid(std::size_t rows, std::size_t cols);
+/// r-by-c torus (grid with wraparound rows/cols, needs dim >= 3 to stay simple).
+Graph torus(std::size_t rows, std::size_t cols);
+/// d-dimensional hypercube, n = 2^d.
+Graph hypercube(unsigned dims);
+/// Complete binary tree with `n` vertices (heap indexing).
+Graph binary_tree(std::size_t n);
+/// Caterpillar: a spine path, each spine vertex with `legs` pendant leaves.
+Graph caterpillar(std::size_t spine, std::size_t legs);
+/// k-ary fat-tree (k even): the classic 3-tier datacenter switch fabric,
+/// optionally with k^3/4 hosts attached to the edge tier.
+Graph fat_tree(unsigned k, bool with_hosts = false);
+
+// ---- random families -------------------------------------------------------
+
+/// Erdős–Rényi G(n, p).
+Graph gnp(std::size_t n, double p, Rng& rng);
+/// Uniform G(n, m): exactly m distinct edges.
+Graph gnm(std::size_t n, std::size_t m, Rng& rng);
+/// G(n, p) conditioned on connectivity by adding a random spanning tree.
+Graph connected_gnp(std::size_t n, double p, Rng& rng);
+
+/// Uniform random labelled tree (Prüfer decoding).
+Graph random_tree(std::size_t n, Rng& rng);
+/// Random forest: random tree with each edge independently deleted w.p. drop.
+Graph random_forest(std::size_t n, double drop, Rng& rng);
+
+/// Random bipartite graph with parts {0..a-1} and {a..a+b-1}, edge prob p.
+Graph random_bipartite(std::size_t a, std::size_t b, double p, Rng& rng);
+
+/// Random graph of degeneracy <= k: vertices arrive in random order, each
+/// linking to at most k uniformly chosen predecessors; labels are then
+/// shuffled so the elimination order is hidden from protocols.
+/// If `exactly_k`, every vertex after the k-th links to exactly k
+/// predecessors, forcing degeneracy == k.
+Graph random_k_degenerate(std::size_t n, unsigned k, Rng& rng,
+                          bool exactly_k = false);
+
+/// Random k-tree (treewidth exactly k for n > k): start from a (k+1)-clique,
+/// each new vertex joins a uniformly random existing k-clique.
+Graph random_k_tree(std::size_t n, unsigned k, Rng& rng);
+/// Partial k-tree: random k-tree with each edge kept with probability keep.
+Graph random_partial_k_tree(std::size_t n, unsigned k, double keep, Rng& rng);
+
+/// Random Apollonian network (planar 3-tree): repeatedly subdivide a random
+/// triangular face. Maximal planar, degeneracy 3.
+Graph random_apollonian(std::size_t n, Rng& rng);
+
+/// Random d-regular graph via the configuration model with restarts
+/// (requires n*d even, d < n). Throws CheckError if it fails to converge.
+Graph random_regular(std::size_t n, unsigned d, Rng& rng);
+
+/// Greedy C4-free graph: scan `attempts` random vertex pairs, adding each
+/// edge unless it would close a 4-cycle. Produces Θ(n^{3/2})-edge square-free
+/// graphs — the dense family behind Theorem 1's counting argument.
+Graph random_square_free(std::size_t n, std::size_t attempts, Rng& rng);
+
+/// Random permutation of vertex labels of g (uniform).
+Graph shuffle_labels(const Graph& g, Rng& rng);
+
+}  // namespace referee::gen

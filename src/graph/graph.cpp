@@ -1,0 +1,76 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace referee {
+
+Graph::Graph(std::size_t n, std::span<const Edge> edges) : adj_(n) {
+  for (const Edge& e : edges) add_edge(e.u, e.v);
+}
+
+bool Graph::add_edge(Vertex u, Vertex v) {
+  REFEREE_CHECK_MSG(u < adj_.size() && v < adj_.size(), "vertex out of range");
+  REFEREE_CHECK_MSG(u != v, "self-loop");
+  auto& nu = adj_[u];
+  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return false;
+  nu.insert(it, v);
+  auto& nv = adj_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::remove_edge(Vertex u, Vertex v) {
+  REFEREE_CHECK_MSG(u < adj_.size() && v < adj_.size(), "vertex out of range");
+  auto& nu = adj_[u];
+  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it == nu.end() || *it != v) return false;
+  nu.erase(it);
+  auto& nv = adj_[v];
+  nv.erase(std::lower_bound(nv.begin(), nv.end(), u));
+  --edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  if (u >= adj_.size() || v >= adj_.size() || u == v) return false;
+  const auto& nu = adj_[u];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+Vertex Graph::add_vertices(std::size_t count) {
+  const auto first = static_cast<Vertex>(adj_.size());
+  adj_.resize(adj_.size() + count);
+  return first;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count_);
+  for (Vertex u = 0; u < adj_.size(); ++u) {
+    for (const Vertex v : adj_[u]) {
+      if (v > u) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& nb : adj_) best = std::max(best, nb.size());
+  return best;
+}
+
+std::size_t Graph::min_degree() const {
+  if (adj_.empty()) return 0;
+  std::size_t best = adj_[0].size();
+  for (const auto& nb : adj_) best = std::min(best, nb.size());
+  return best;
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  return a.adj_ == b.adj_;
+}
+
+}  // namespace referee

@@ -1,0 +1,82 @@
+// Simple undirected labelled graphs.
+//
+// Vertices are 0-based `Vertex` values 0..n-1 internally; the referee-model
+// layer converts to the paper's 1-based IDs at the protocol boundary.
+// Adjacency lists are kept sorted, so neighbour queries are O(log deg) and
+// iteration is ordered (which keeps every downstream computation
+// deterministic).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace referee {
+
+using Vertex = std::uint32_t;
+
+/// An undirected edge with endpoints normalised so u <= v.
+struct Edge {
+  Vertex u;
+  Vertex v;
+
+  Edge() : u(0), v(0) {}
+  Edge(Vertex a, Vertex b) : u(a < b ? a : b), v(a < b ? b : a) {}
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t n) : adj_(n) {}
+
+  /// Build from an edge list; duplicate edges are collapsed.
+  Graph(std::size_t n, std::span<const Edge> edges);
+
+  std::size_t vertex_count() const { return adj_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds the edge {u, v}. Self-loops are rejected. Returns false if the
+  /// edge was already present.
+  bool add_edge(Vertex u, Vertex v);
+
+  /// Removes the edge {u, v}; returns false if it was absent.
+  bool remove_edge(Vertex u, Vertex v);
+
+  bool has_edge(Vertex u, Vertex v) const;
+
+  std::size_t degree(Vertex v) const {
+    REFEREE_DCHECK(v < adj_.size());
+    return adj_[v].size();
+  }
+
+  /// Sorted neighbour list of v.
+  std::span<const Vertex> neighbors(Vertex v) const {
+    REFEREE_DCHECK(v < adj_.size());
+    return adj_[v];
+  }
+
+  /// Appends `count` isolated vertices; returns the index of the first one.
+  Vertex add_vertices(std::size_t count);
+
+  /// All edges, sorted lexicographically.
+  std::vector<Edge> edges() const;
+
+  std::size_t max_degree() const;
+  std::size_t min_degree() const;
+
+  /// Structural equality (same vertex count and edge set) — the correctness
+  /// criterion for reconstruction protocols on labelled graphs.
+  friend bool operator==(const Graph& a, const Graph& b);
+
+ private:
+  std::vector<std::vector<Vertex>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace referee

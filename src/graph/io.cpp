@@ -1,0 +1,103 @@
+#include "graph/io.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace referee {
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << g.vertex_count() << ' ' << g.edge_count() << '\n';
+  for (const Edge& e : g.edges()) os << e.u << ' ' << e.v << '\n';
+  return os.str();
+}
+
+Graph from_edge_list(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::size_t n = 0;
+  std::size_t m = 0;
+  REFEREE_CHECK_MSG(static_cast<bool>(is >> n >> m), "bad edge list header");
+  Graph g(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    Vertex u = 0;
+    Vertex v = 0;
+    REFEREE_CHECK_MSG(static_cast<bool>(is >> u >> v), "truncated edge list");
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+std::string to_graph6(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  REFEREE_CHECK_MSG(n < (1u << 18), "graph6: n too large for this encoder");
+  std::string out;
+  if (n <= 62) {
+    out.push_back(static_cast<char>(n + 63));
+  } else {
+    out.push_back(126);
+    out.push_back(static_cast<char>(((n >> 12) & 63) + 63));
+    out.push_back(static_cast<char>(((n >> 6) & 63) + 63));
+    out.push_back(static_cast<char>((n & 63) + 63));
+  }
+  // Upper triangle, column-major: bit for (u, v), u < v, ordered by (v, u).
+  int bit_pos = 5;
+  char current = 0;
+  for (Vertex v = 1; v < n; ++v) {
+    for (Vertex u = 0; u < v; ++u) {
+      if (g.has_edge(u, v)) current |= static_cast<char>(1 << bit_pos);
+      if (--bit_pos < 0) {
+        out.push_back(static_cast<char>(current + 63));
+        current = 0;
+        bit_pos = 5;
+      }
+    }
+  }
+  if (bit_pos != 5) out.push_back(static_cast<char>(current + 63));
+  return out;
+}
+
+Graph from_graph6(std::string_view text) {
+  REFEREE_CHECK_MSG(!text.empty(), "graph6: empty input");
+  std::size_t pos = 0;
+  std::size_t n = 0;
+  if (static_cast<unsigned char>(text[0]) == 126) {
+    REFEREE_CHECK_MSG(text.size() >= 4, "graph6: truncated size");
+    n = (static_cast<std::size_t>(text[1] - 63) << 12) |
+        (static_cast<std::size_t>(text[2] - 63) << 6) |
+        static_cast<std::size_t>(text[3] - 63);
+    pos = 4;
+  } else {
+    n = static_cast<std::size_t>(text[0] - 63);
+    pos = 1;
+  }
+  Graph g(n);
+  int bit_pos = 5;
+  for (Vertex v = 1; v < n; ++v) {
+    for (Vertex u = 0; u < v; ++u) {
+      REFEREE_CHECK_MSG(pos < text.size(), "graph6: truncated bitmap");
+      const int bits = text[pos] - 63;
+      REFEREE_CHECK_MSG(bits >= 0 && bits < 64, "graph6: bad character");
+      if ((bits >> bit_pos) & 1) g.add_edge(u, v);
+      if (--bit_pos < 0) {
+        bit_pos = 5;
+        ++pos;
+      }
+    }
+  }
+  return g;
+}
+
+std::string to_ascii_matrix(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::string out;
+  out.reserve(n * (n + 1));
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      out.push_back(g.has_edge(u, v) ? '1' : '0');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace referee

@@ -1,0 +1,25 @@
+// Graph serialisation: a plain edge-list text format and the compact
+// graph6-style binary-in-ASCII encoding (compatible with nauty's graph6 for
+// n < 2^18).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "graph/graph.hpp"
+
+namespace referee {
+
+/// "n m\n" header then one "u v" line per edge (0-based vertices).
+std::string to_edge_list(const Graph& g);
+Graph from_edge_list(std::string_view text);
+
+/// graph6 encoding (upper-triangle bitmap, 6 bits per printable char).
+std::string to_graph6(const Graph& g);
+Graph from_graph6(std::string_view text);
+
+/// Human-readable adjacency matrix (rows of 0/1), for debugging and docs.
+std::string to_ascii_matrix(const Graph& g);
+
+}  // namespace referee

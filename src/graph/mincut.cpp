@@ -1,0 +1,67 @@
+#include "graph/mincut.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+
+namespace referee {
+
+std::optional<std::uint64_t> global_min_cut(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n < 2) return std::nullopt;
+  if (!is_connected(g)) return 0;
+
+  // Stoer–Wagner with an adjacency-matrix of contracted weights. O(n³),
+  // fine for certificate graphs (<= k·n edges, n in the hundreds).
+  std::vector<std::vector<std::uint64_t>> w(n,
+                                            std::vector<std::uint64_t>(n, 0));
+  for (const Edge& e : g.edges()) {
+    w[e.u][e.v] = 1;
+    w[e.v][e.u] = 1;
+  }
+  std::vector<bool> merged(n, false);
+  std::uint64_t best = UINT64_MAX;
+  for (std::size_t phase = 0; phase + 1 < n; ++phase) {
+    // Maximum-adjacency search over the still-active supervertices.
+    std::vector<std::uint64_t> conn(n, 0);
+    std::vector<bool> in_a(n, false);
+    std::size_t prev = SIZE_MAX;
+    std::size_t last = SIZE_MAX;
+    for (std::size_t step = 0; step + phase < n; ++step) {
+      std::size_t pick = SIZE_MAX;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (merged[v] || in_a[v]) continue;
+        if (pick == SIZE_MAX || conn[v] > conn[pick]) pick = v;
+      }
+      in_a[pick] = true;
+      prev = last;
+      last = pick;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!merged[v] && !in_a[v]) conn[v] += w[pick][v];
+      }
+    }
+    best = std::min(best, conn[last]);
+    // Contract `last` into `prev`.
+    merged[last] = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (merged[v] || v == prev) continue;
+      w[prev][v] += w[last][v];
+      w[v][prev] = w[prev][v];
+    }
+  }
+  return best;
+}
+
+std::uint64_t edge_connectivity(const Graph& g) {
+  const auto cut = global_min_cut(g);
+  return cut.value_or(0);
+}
+
+bool is_k_edge_connected(const Graph& g, std::uint64_t k) {
+  if (k == 0) return true;
+  if (g.vertex_count() < 2) return false;
+  return edge_connectivity(g) >= k;
+}
+
+}  // namespace referee

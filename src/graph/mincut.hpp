@@ -1,0 +1,26 @@
+// Global minimum edge cut (Stoer–Wagner) and edge connectivity λ(G).
+//
+// Ground truth for the sketch-based k-edge-connectivity extension: the AGM
+// peeling certificate H = F_1 ∪ … ∪ F_k satisfies
+//   min(λ(G), k) == min(λ(H), k),
+// which the tests verify against this exact algorithm.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+
+namespace referee {
+
+/// Weight of a global minimum edge cut of g. Returns nullopt for graphs
+/// with fewer than 2 vertices (no cut exists); 0 when disconnected.
+std::optional<std::uint64_t> global_min_cut(const Graph& g);
+
+/// Edge connectivity λ(G): 0 when disconnected or trivial.
+std::uint64_t edge_connectivity(const Graph& g);
+
+/// λ(G) >= k?
+bool is_k_edge_connected(const Graph& g, std::uint64_t k);
+
+}  // namespace referee

@@ -1,0 +1,35 @@
+// Detection and counting of the small subgraphs the paper's impossibility
+// results are about: triangles (C3) and squares (C4), as *not necessarily
+// induced* subgraphs, matching §II.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+
+namespace referee {
+
+/// Some triangle {a, b, c}, or nullopt. O(m * min-deg) via edge iteration.
+std::optional<std::array<Vertex, 3>> find_triangle(const Graph& g);
+bool has_triangle(const Graph& g);
+/// Exact triangle count. O(sum deg^2) worst case.
+std::uint64_t count_triangles(const Graph& g);
+
+/// Some 4-cycle (a, b, c, d) with edges ab, bc, cd, da, or nullopt.
+/// O(sum deg^2) via the two-common-neighbours criterion.
+std::optional<std::array<Vertex, 4>> find_square(const Graph& g);
+bool has_square(const Graph& g);
+/// Exact C4 count: sum over vertex pairs of C(common_neighbours, 2) / 2... —
+/// computed as sum C(cn,2) over unordered pairs, divided by 2 (each C4 is
+/// counted once per diagonal).
+std::uint64_t count_squares(const Graph& g);
+
+/// C4 as an *induced* subgraph (4-cycle with neither chord). The paper's
+/// §II-A closing remark extends Theorem 1 to this variant; the gadget's
+/// created square is chordless, so the same reduction applies.
+std::optional<std::array<Vertex, 4>> find_induced_square(const Graph& g);
+bool has_induced_square(const Graph& g);
+
+}  // namespace referee

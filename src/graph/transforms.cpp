@@ -1,0 +1,76 @@
+#include "graph/transforms.hpp"
+
+#include <algorithm>
+
+namespace referee {
+
+Graph permute(const Graph& g, std::span<const Vertex> perm) {
+  const std::size_t n = g.vertex_count();
+  REFEREE_CHECK_MSG(perm.size() == n, "permutation size mismatch");
+  Graph out(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex v : g.neighbors(u)) {
+      if (v > u) out.add_edge(perm[u], perm[v]);
+    }
+  }
+  return out;
+}
+
+Graph complement(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  Graph out(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v)) out.add_edge(u, v);
+    }
+  }
+  return out;
+}
+
+Graph induced_subgraph(const Graph& g, std::span<const Vertex> keep) {
+  std::vector<Vertex> sorted(keep.begin(), keep.end());
+  std::sort(sorted.begin(), sorted.end());
+  REFEREE_CHECK_MSG(
+      std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+      "duplicate vertex in induced_subgraph");
+  std::vector<Vertex> index(g.vertex_count(), ~Vertex{0});
+  for (std::size_t i = 0; i < keep.size(); ++i) index[keep[i]] = static_cast<Vertex>(i);
+  Graph out(keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    for (const Vertex w : g.neighbors(keep[i])) {
+      const Vertex j = index[w];
+      if (j != ~Vertex{0} && j > i) out.add_edge(static_cast<Vertex>(i), j);
+    }
+  }
+  return out;
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  const std::size_t na = a.vertex_count();
+  Graph out(na + b.vertex_count());
+  for (const Edge& e : a.edges()) out.add_edge(e.u, e.v);
+  for (const Edge& e : b.edges()) {
+    out.add_edge(static_cast<Vertex>(e.u + na), static_cast<Vertex>(e.v + na));
+  }
+  return out;
+}
+
+Graph double_cover(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  Graph out(2 * n);
+  for (const Edge& e : g.edges()) {
+    out.add_edge(e.u, static_cast<Vertex>(e.v + n));
+    out.add_edge(e.v, static_cast<Vertex>(e.u + n));
+  }
+  return out;
+}
+
+Graph with_universal_vertex(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  Graph out(n + 1);
+  for (const Edge& e : g.edges()) out.add_edge(e.u, e.v);
+  for (Vertex v = 0; v < n; ++v) out.add_edge(v, static_cast<Vertex>(n));
+  return out;
+}
+
+}  // namespace referee

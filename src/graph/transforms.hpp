@@ -1,0 +1,33 @@
+// Structural graph transforms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace referee {
+
+/// Relabel: vertex v of `g` becomes perm[v]. `perm` must be a permutation.
+Graph permute(const Graph& g, std::span<const Vertex> perm);
+
+/// Complement graph (no self-loops).
+Graph complement(const Graph& g);
+
+/// Subgraph induced by `keep` (sorted or not); vertex keep[i] becomes i.
+Graph induced_subgraph(const Graph& g, std::span<const Vertex> keep);
+
+/// Disjoint union; vertices of `b` are shifted by a.vertex_count().
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// Bipartite double cover: vertices (v,0),(v,1) = v and v+n; every edge
+/// {u,v} becomes {u, v+n} and {v, u+n}. Connected g is bipartite iff the
+/// cover has two components — the reduction behind the paper's §IV remark
+/// that one-round bipartiteness reduces to one-round connectivity.
+Graph double_cover(const Graph& g);
+
+/// g plus one new vertex adjacent to every original vertex (the referee v0
+/// made explicit as a graph vertex; also the gadget core of Theorem 2).
+Graph with_universal_vertex(const Graph& g);
+
+}  // namespace referee

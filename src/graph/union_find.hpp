@@ -1,0 +1,53 @@
+// Disjoint-set union with path halving and union by size.
+//
+// Used by the sketch referee (Borůvka over merged sketches), the k-edge-
+// connectivity peeler, and available to users as a plain utility.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace referee {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns false if already together.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --sets_;
+    return true;
+  }
+
+  bool connected(std::size_t a, std::size_t b) {
+    return find(a) == find(b);
+  }
+
+  std::size_t set_count() const { return sets_; }
+  std::size_t set_size(std::size_t x) { return size_[find(x)]; }
+  std::size_t element_count() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t sets_;
+};
+
+}  // namespace referee

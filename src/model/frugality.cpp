@@ -1,0 +1,21 @@
+#include "model/frugality.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+
+namespace referee {
+
+FrugalityReport audit_frugality(std::uint32_t n,
+                                std::span<const Message> messages) {
+  FrugalityReport report;
+  report.n = n;
+  report.budget_bits = static_cast<std::size_t>(log_budget_bits(n));
+  for (const Message& m : messages) {
+    report.max_bits = std::max(report.max_bits, m.bit_size());
+    report.total_bits += m.bit_size();
+  }
+  return report;
+}
+
+}  // namespace referee

@@ -1,0 +1,35 @@
+// Frugality accounting (§I-B): a protocol is frugal when every message fits
+// in O(log n) bits. The library never *assumes* a protocol is frugal — it
+// measures real message lengths and reports the constant in front of log n.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "model/message.hpp"
+
+namespace referee {
+
+struct FrugalityReport {
+  std::uint32_t n = 0;
+  std::size_t max_bits = 0;     // max_v |m_v|, the paper's |Γ^l(G)|
+  std::size_t total_bits = 0;   // referee-side inbound traffic
+  std::size_t budget_bits = 0;  // ceil(log2(n+1)), the unit of "O(log n)"
+
+  /// max message length expressed in log-n units: the c in c * log n.
+  double constant() const {
+    return budget_bits == 0
+               ? 0.0
+               : static_cast<double>(max_bits) / static_cast<double>(budget_bits);
+  }
+
+  /// Frugal w.r.t. an explicit constant bound.
+  bool is_frugal(double max_constant) const {
+    return constant() <= max_constant;
+  }
+};
+
+FrugalityReport audit_frugality(std::uint32_t n,
+                                std::span<const Message> messages);
+
+}  // namespace referee

@@ -1,0 +1,37 @@
+#include "model/local_view.hpp"
+
+#include <algorithm>
+
+namespace referee {
+
+LocalView local_view_of(const Graph& g, Vertex v) {
+  REFEREE_CHECK_MSG(v < g.vertex_count(), "vertex out of range");
+  LocalView view;
+  view.id = v + 1;
+  view.n = static_cast<std::uint32_t>(g.vertex_count());
+  view.neighbor_ids.reserve(g.degree(v));
+  for (const Vertex w : g.neighbors(v)) view.neighbor_ids.push_back(w + 1);
+  return view;
+}
+
+std::vector<LocalView> local_views(const Graph& g) {
+  std::vector<LocalView> views;
+  views.reserve(g.vertex_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    views.push_back(local_view_of(g, v));
+  }
+  return views;
+}
+
+LocalView make_view(NodeId id, std::uint32_t n, std::vector<NodeId> neighbors) {
+  REFEREE_CHECK_MSG(id >= 1 && id <= n, "id out of range");
+  std::sort(neighbors.begin(), neighbors.end());
+  neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                  neighbors.end());
+  for (const NodeId w : neighbors) {
+    REFEREE_CHECK_MSG(w >= 1 && w <= n && w != id, "bad neighbour id");
+  }
+  return LocalView{id, n, std::move(neighbors)};
+}
+
+}  // namespace referee

@@ -1,0 +1,37 @@
+// A node's entire knowledge in the paper's model (§I-B): its own identifier,
+// the identifiers of its neighbours, and the network size n. Identifiers are
+// 1-based ({1, ..., n}) exactly as in the paper; the 0-based graph layer
+// converts at this boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace referee {
+
+using NodeId = std::uint32_t;  // 1-based protocol-level identifier
+
+struct LocalView {
+  NodeId id = 0;
+  std::uint32_t n = 0;
+  std::vector<NodeId> neighbor_ids;  // sorted ascending, 1-based
+
+  std::size_t degree() const { return neighbor_ids.size(); }
+
+  friend bool operator==(const LocalView&, const LocalView&) = default;
+};
+
+/// The view node `v` (0-based) has of graph `g`.
+LocalView local_view_of(const Graph& g, Vertex v);
+
+/// Views of all n nodes, indexed by id-1.
+std::vector<LocalView> local_views(const Graph& g);
+
+/// A synthetic view for protocol functions evaluated on hypothetical
+/// (id, neighbourhood) pairs — Definition 1 lets Γ^l_n be evaluated anywhere,
+/// and the reduction proofs exploit exactly that.
+LocalView make_view(NodeId id, std::uint32_t n, std::vector<NodeId> neighbors);
+
+}  // namespace referee

@@ -1,0 +1,29 @@
+#include "model/message.hpp"
+
+#include "support/check.hpp"
+
+namespace referee {
+
+Message Message::seal(BitWriter&& w) {
+  Message m;
+  m.bit_size_ = w.bit_size();
+  m.bytes_ = w.take_bytes();
+  return m;
+}
+
+void Message::flip_bit(std::size_t index) {
+  REFEREE_CHECK_MSG(index < bit_size_, "flip_bit out of range");
+  bytes_[index >> 3] ^= static_cast<std::uint8_t>(1u << (index & 7));
+}
+
+void Message::truncate(std::size_t keep_bits) {
+  REFEREE_CHECK_MSG(keep_bits <= bit_size_, "truncate grows message");
+  bit_size_ = keep_bits;
+  bytes_.resize((keep_bits + 7) / 8);
+  // Zero the tail of the last byte so equality stays canonical.
+  if (keep_bits % 8 != 0 && !bytes_.empty()) {
+    bytes_.back() &= static_cast<std::uint8_t>((1u << (keep_bits % 8)) - 1);
+  }
+}
+
+}  // namespace referee

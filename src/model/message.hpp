@@ -1,0 +1,35 @@
+// The bitstring a node ships to the referee.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitstream.hpp"
+
+namespace referee {
+
+class Message {
+ public:
+  Message() = default;
+
+  /// Seal the bits accumulated in `w` into a message (w is consumed).
+  static Message seal(BitWriter&& w);
+
+  std::size_t bit_size() const { return bit_size_; }
+  bool empty() const { return bit_size_ == 0; }
+
+  BitReader reader() const { return BitReader(bytes_, bit_size_); }
+
+  /// Failure injection: flip bit `index` in place.
+  void flip_bit(std::size_t index);
+  /// Failure injection: drop all bits from `keep_bits` on.
+  void truncate(std::size_t keep_bits);
+
+  friend bool operator==(const Message&, const Message&) = default;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_size_ = 0;
+};
+
+}  // namespace referee

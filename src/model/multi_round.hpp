@@ -1,0 +1,61 @@
+// Multi-round referee protocols — the scaffolding for the paper's final
+// open question ("investigate properties that can(not) be decided by a
+// frugal protocol with fixed number of rounds", §IV).
+//
+// The model follows §I-B: in each round every node may send one message to
+// the referee and receive one back. We restrict the referee's downlink to a
+// broadcast (the same message to every node), which is weaker than the model
+// allows — protocols built here are therefore valid in the paper's model.
+// Frugality is audited per round: a T-round protocol is frugal when every
+// message of every round fits in O(log n) bits.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "model/frugality.hpp"
+#include "model/protocol.hpp"
+
+namespace referee {
+
+class MultiRoundProtocol {
+ public:
+  virtual ~MultiRoundProtocol() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Hard cap on rounds; the simulator aborts (DecodeError) past it.
+  virtual unsigned max_rounds() const = 0;
+
+  /// Node side of round `round` (0-based): a pure function of the view and
+  /// the referee's broadcasts from rounds 0..round-1.
+  virtual Message node_message(const LocalView& view, unsigned round,
+                               std::span<const Message> feedback) const = 0;
+
+  /// Referee side after collecting round `round`'s messages.
+  /// `inbox[r][i]` is node i+1's message in round r (r <= round).
+  struct RoundOutcome {
+    /// Set when the protocol has finished; the simulator returns it.
+    std::optional<Graph> result;
+    /// Otherwise: broadcast to every node before the next round.
+    Message broadcast;
+  };
+  virtual RoundOutcome referee_round(
+      std::uint32_t n, unsigned round,
+      const std::vector<std::vector<Message>>& inbox) const = 0;
+};
+
+/// Transcript statistics for a multi-round run.
+struct MultiRoundReport {
+  unsigned rounds_used = 0;
+  /// Per-round uplink audit (node -> referee).
+  std::vector<FrugalityReport> per_round;
+  /// Largest uplink message across all rounds.
+  std::size_t max_bits = 0;
+  /// Total downlink (broadcast) bits.
+  std::size_t broadcast_bits = 0;
+};
+
+}  // namespace referee

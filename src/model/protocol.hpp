@@ -1,0 +1,50 @@
+// One-round protocols, Definition 1 of the paper.
+//
+// A protocol is a pair (Γ^l_n, Γ^g_n): a *local function* mapping a node's
+// view to a message, and a *global function* the referee applies to the
+// message vector. The local function must be evaluable on arbitrary
+// (id, neighbourhood) pairs — not just the ones realised by the input graph —
+// because the reduction technique of §II simulates it on the gadget graphs
+// G'_{s,t}. The interface below exposes exactly that.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "model/local_view.hpp"
+#include "model/message.hpp"
+
+namespace referee {
+
+/// The local half Γ^l of a one-round protocol.
+class LocalEncoder {
+ public:
+  virtual ~LocalEncoder() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Γ^l_n evaluated on (view.id, view.neighbor_ids) for graphs of size
+  /// view.n. Must be a pure function of the view.
+  virtual Message local(const LocalView& view) const = 0;
+};
+
+/// A protocol whose referee outputs the adjacency structure of G.
+/// Reconstruction throws DecodeError when the message vector is not
+/// consistent with any graph in the protocol's class (never silently
+/// returns a wrong graph).
+class ReconstructionProtocol : public LocalEncoder {
+ public:
+  virtual Graph reconstruct(std::uint32_t n,
+                            std::span<const Message> messages) const = 0;
+};
+
+/// A protocol whose referee answers a yes/no question about G.
+class DecisionProtocol : public LocalEncoder {
+ public:
+  virtual bool decide(std::uint32_t n,
+                      std::span<const Message> messages) const = 0;
+};
+
+}  // namespace referee

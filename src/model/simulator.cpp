@@ -1,0 +1,77 @@
+#include "model/simulator.hpp"
+
+#include <algorithm>
+
+namespace referee {
+
+std::vector<Message> Simulator::run_local_phase(
+    const Graph& g, const LocalEncoder& protocol) const {
+  const std::size_t n = g.vertex_count();
+  std::vector<Message> messages(n);
+  maybe_parallel_for(pool_, 0, n, [&](std::size_t v) {
+    messages[v] = protocol.local(local_view_of(g, static_cast<Vertex>(v)));
+  });
+  return messages;
+}
+
+Graph Simulator::run_reconstruction(const Graph& g,
+                                    const ReconstructionProtocol& protocol,
+                                    FrugalityReport* report) const {
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const auto messages = run_local_phase(g, protocol);
+  if (report != nullptr) *report = audit_frugality(n, messages);
+  return protocol.reconstruct(n, messages);
+}
+
+bool Simulator::run_decision(const Graph& g, const DecisionProtocol& protocol,
+                             FrugalityReport* report) const {
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const auto messages = run_local_phase(g, protocol);
+  if (report != nullptr) *report = audit_frugality(n, messages);
+  return protocol.decide(n, messages);
+}
+
+Graph Simulator::run_multi_round(const Graph& g,
+                                 const MultiRoundProtocol& protocol,
+                                 MultiRoundReport* report) const {
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const auto views = local_views(g);
+  std::vector<std::vector<Message>> inbox;     // inbox[round][node]
+  std::vector<Message> feedback;               // broadcasts so far
+  MultiRoundReport local_report;
+  for (unsigned round = 0; round < protocol.max_rounds(); ++round) {
+    std::vector<Message> round_msgs(n);
+    maybe_parallel_for(pool_, 0, n, [&](std::size_t v) {
+      round_msgs[v] = protocol.node_message(views[v], round, feedback);
+    });
+    local_report.per_round.push_back(audit_frugality(n, round_msgs));
+    local_report.max_bits =
+        std::max(local_report.max_bits, local_report.per_round.back().max_bits);
+    local_report.rounds_used = round + 1;
+    inbox.push_back(std::move(round_msgs));
+    auto outcome = protocol.referee_round(n, round, inbox);
+    if (outcome.result.has_value()) {
+      if (report != nullptr) *report = std::move(local_report);
+      return *std::move(outcome.result);
+    }
+    local_report.broadcast_bits += outcome.broadcast.bit_size();
+    feedback.push_back(std::move(outcome.broadcast));
+  }
+  throw DecodeError(protocol.name() + ": exceeded max_rounds without result");
+}
+
+void Simulator::inject_faults(std::vector<Message>& messages,
+                              const FaultPlan& plan) {
+  if (!plan.active()) return;
+  Rng rng(plan.seed);
+  for (Message& m : messages) {
+    if (m.bit_size() > 0 && rng.chance(plan.bit_flip_chance)) {
+      m.flip_bit(rng.below(m.bit_size()));
+    }
+    if (m.bit_size() > 0 && rng.chance(plan.truncate_chance)) {
+      m.truncate(rng.below(m.bit_size()));
+    }
+  }
+}
+
+}  // namespace referee

@@ -1,0 +1,71 @@
+// Executes one-round protocols over an interconnection network.
+//
+// This is the substrate substitution described in DESIGN.md §2: the paper's
+// abstract network becomes an in-process simulation. The simulator
+//   1. derives every node's LocalView from the graph,
+//   2. evaluates the protocol's local function at every node (optionally in
+//      parallel — the local phase is embarrassingly parallel),
+//   3. delivers the message vector to the referee (the global function),
+//   4. accounts message sizes for the frugality audit.
+// One round of an asynchronous network is modelled faithfully: the referee
+// waits for exactly one message per node and sees nothing else (§I-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "model/frugality.hpp"
+#include "model/multi_round.hpp"
+#include "model/protocol.hpp"
+#include "support/random.hpp"
+#include "support/thread_pool.hpp"
+
+namespace referee {
+
+/// Message-level fault injection applied between the local and global phase.
+struct FaultPlan {
+  /// Probability that any given message has one uniformly chosen bit flipped.
+  double bit_flip_chance = 0.0;
+  /// Probability that any given message is truncated to a uniform prefix.
+  double truncate_chance = 0.0;
+  std::uint64_t seed = 1;
+
+  bool active() const { return bit_flip_chance > 0 || truncate_chance > 0; }
+};
+
+class Simulator {
+ public:
+  /// `pool` may be null (sequential local phase). Not owned.
+  explicit Simulator(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Local phase only: message vector indexed by id-1.
+  std::vector<Message> run_local_phase(const Graph& g,
+                                       const LocalEncoder& protocol) const;
+
+  /// Full run of a reconstruction protocol. `report`, if non-null, receives
+  /// the frugality audit of the transcript.
+  Graph run_reconstruction(const Graph& g,
+                           const ReconstructionProtocol& protocol,
+                           FrugalityReport* report = nullptr) const;
+
+  /// Full run of a decision protocol.
+  bool run_decision(const Graph& g, const DecisionProtocol& protocol,
+                    FrugalityReport* report = nullptr) const;
+
+  /// Executes a multi-round protocol to completion (§IV's fixed-rounds
+  /// setting). Throws DecodeError if the protocol exceeds max_rounds()
+  /// without producing a result.
+  Graph run_multi_round(const Graph& g, const MultiRoundProtocol& protocol,
+                        MultiRoundReport* report = nullptr) const;
+
+  /// Applies `plan` to a transcript in place (deterministic in plan.seed).
+  static void inject_faults(std::vector<Message>& messages,
+                            const FaultPlan& plan);
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace referee

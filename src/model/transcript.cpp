@@ -1,0 +1,94 @@
+#include "model/transcript.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace referee {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'F', 'T', '1'};
+
+template <typename T>
+void write_le(std::ostream& os, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    os.put(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+template <typename T>
+T read_le(std::istream& is) {
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    const int c = is.get();
+    if (c == EOF) throw DecodeError("transcript: truncated stream");
+    value |= static_cast<T>(static_cast<unsigned char>(c)) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_transcript(std::ostream& os, const Transcript& t) {
+  REFEREE_CHECK_MSG(t.messages.size() == t.n,
+                    "transcript must hold one message per node");
+  os.write(kMagic, sizeof(kMagic));
+  write_le<std::uint32_t>(os, t.n);
+  for (const Message& m : t.messages) {
+    write_le<std::uint64_t>(os, m.bit_size());
+    BitReader r = m.reader();
+    // Re-pack through the reader so only canonical bits are written.
+    std::size_t remaining = m.bit_size();
+    while (remaining > 0) {
+      const int chunk = remaining >= 8 ? 8 : static_cast<int>(remaining);
+      os.put(static_cast<char>(r.read_bits(chunk)));
+      remaining -= static_cast<std::size_t>(chunk);
+    }
+  }
+}
+
+Transcript read_transcript(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (is.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    throw DecodeError("transcript: bad magic");
+  }
+  Transcript t;
+  t.n = read_le<std::uint32_t>(is);
+  if (t.n > (1u << 26)) throw DecodeError("transcript: absurd node count");
+  t.messages.resize(t.n);
+  for (std::uint32_t i = 0; i < t.n; ++i) {
+    const std::uint64_t bits = read_le<std::uint64_t>(is);
+    if (bits > (1ull << 32)) throw DecodeError("transcript: absurd message");
+    BitWriter w;
+    std::uint64_t remaining = bits;
+    while (remaining > 0) {
+      const int c = is.get();
+      if (c == EOF) throw DecodeError("transcript: truncated message");
+      const int chunk = remaining >= 8 ? 8 : static_cast<int>(remaining);
+      w.write_bits(static_cast<std::uint64_t>(c) &
+                       ((std::uint64_t{1} << chunk) - 1),
+                   chunk);
+      remaining -= static_cast<std::uint64_t>(chunk);
+    }
+    t.messages[i] = Message::seal(std::move(w));
+  }
+  return t;
+}
+
+std::string transcript_to_string(const Transcript& t) {
+  std::ostringstream os(std::ios::binary);
+  write_transcript(os, t);
+  return os.str();
+}
+
+Transcript transcript_from_string(const std::string& data) {
+  std::istringstream is(data, std::ios::binary);
+  return read_transcript(is);
+}
+
+}  // namespace referee

@@ -1,0 +1,29 @@
+// Transcript persistence: the message vector of a round, serialised to a
+// byte stream. A referee can capture the (single!) round on the live
+// network and decode it offline, later, elsewhere — one-round protocols
+// make the transcript a complete, replayable artefact.
+//
+// Format (little-endian):
+//   magic "RFT1", u32 n, then per message: u64 bit_size + ceil(bits/8) bytes.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "model/message.hpp"
+
+namespace referee {
+
+struct Transcript {
+  std::uint32_t n = 0;
+  std::vector<Message> messages;
+};
+
+void write_transcript(std::ostream& os, const Transcript& t);
+Transcript read_transcript(std::istream& is);
+
+/// Convenience wrappers over string payloads (used by the CLI and tests).
+std::string transcript_to_string(const Transcript& t);
+Transcript transcript_from_string(const std::string& data);
+
+}  // namespace referee

@@ -1,0 +1,98 @@
+#include "numth/decoder.hpp"
+
+#include "numth/newton.hpp"
+#include "numth/roots.hpp"
+#include "support/check.hpp"
+
+namespace referee {
+
+std::vector<NodeId> NewtonDecoder::decode(
+    unsigned degree, std::span<const BigUInt> sums,
+    std::span<const NodeId> candidates) const {
+  if (degree == 0) return {};
+  if (sums.size() < degree) {
+    throw DecodeError("newton decode: fewer sums than degree");
+  }
+  const auto elementary =
+      elementary_from_power_sums(sums.subspan(0, degree));
+  return roots_among(elementary, candidates);
+}
+
+namespace {
+__extension__ typedef __int128 i128;
+}  // namespace
+
+SmallNewtonDecoder::SmallNewtonDecoder(std::uint32_t n, unsigned k)
+    : n_(n), k_(k) {
+  // Need every power sum (<= k values of size n^k each... conservatively
+  // n * n^k) below 2^62 so i64 holds them and i128 holds all intermediates.
+  long double bound = static_cast<long double>(n);
+  for (unsigned p = 0; p < k; ++p) bound *= static_cast<long double>(n);
+  REFEREE_CHECK_MSG(bound < 4.6e18L,
+                    "SmallNewtonDecoder: n^k out of 64-bit range");
+}
+
+std::vector<NodeId> SmallNewtonDecoder::decode(
+    unsigned degree, std::span<const BigUInt> sums,
+    std::span<const NodeId> candidates) const {
+  if (degree == 0) return {};
+  if (sums.size() < degree) {
+    throw DecodeError("newton-u64 decode: fewer sums than degree");
+  }
+  // Power sums as native integers (they fit by the constructor guard; a
+  // corrupt message that does not fit is just as corrupt either way).
+  std::vector<i128> p(degree);
+  for (unsigned i = 0; i < degree; ++i) {
+    if (!sums[i].fits_u64()) {
+      throw DecodeError("newton-u64 decode: power sum exceeds 64 bits");
+    }
+    p[i] = static_cast<i128>(sums[i].to_u64());
+  }
+  // Newton's identities in i128: i*e_i = Σ (−1)^{j−1} e_{i−j} p_j.
+  std::vector<i128> e(degree + 1);
+  e[0] = 1;
+  for (unsigned i = 1; i <= degree; ++i) {
+    i128 acc = 0;
+    for (unsigned j = 1; j <= i; ++j) {
+      const i128 term = e[i - j] * p[j - 1];
+      acc += (j % 2 == 0) ? -term : term;
+    }
+    if (acc % static_cast<i128>(i) != 0) {
+      throw DecodeError("newton-u64 decode: inexact division");
+    }
+    e[i] = acc / static_cast<i128>(i);
+  }
+  // Monic coefficients c_j = (−1)^j e_j; root scan with synthetic division.
+  std::vector<i128> c(degree + 1);
+  for (unsigned j = 0; j <= degree; ++j) {
+    c[j] = (j % 2 == 0) ? e[j] : -e[j];
+  }
+  std::vector<NodeId> roots;
+  roots.reserve(degree);
+  std::vector<i128> b(degree + 1);
+  for (const NodeId r : candidates) {
+    if (roots.size() == degree) break;
+    i128 carry = c[0];
+    for (std::size_t j = 1; j < c.size(); ++j) {
+      b[j - 1] = carry;
+      carry = c[j] + carry * static_cast<i128>(r);
+    }
+    if (carry == 0) {
+      roots.push_back(r);
+      c.pop_back();
+      for (std::size_t j = 0; j < c.size(); ++j) c[j] = b[j];
+    }
+  }
+  if (roots.size() != degree) {
+    throw DecodeError("newton-u64 decode: missing roots");
+  }
+  return roots;
+}
+
+std::vector<NodeId> TableDecoder::decode(
+    unsigned degree, std::span<const BigUInt> sums,
+    std::span<const NodeId> /*candidates*/) const {
+  return table_->find(degree, sums);
+}
+
+}  // namespace referee

@@ -1,0 +1,79 @@
+// Pluggable neighbourhood-decoding strategies for the referee's global phase.
+//
+// The paper offers two ways to invert b(x) = A(k,n)·x for a vertex of degree
+// d <= k:
+//  * Lemma 3's precomputed O(n^k) table (fast queries, heavy preprocessing);
+//  * implicitly, the algebraic route: Newton's identities + root extraction
+//    (no preprocessing, O(n·d) per query).
+// Both are exposed behind one interface so protocols and experiment E3 can
+// swap them freely.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bigint/biguint.hpp"
+#include "model/local_view.hpp"
+#include "numth/lookup.hpp"
+
+namespace referee {
+
+class NeighborhoodDecoder {
+ public:
+  virtual ~NeighborhoodDecoder() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Recover the `degree` neighbour ids whose power sums are
+  /// `sums[0..degree)`. `candidates` (sorted, 1-based) is the set of ids the
+  /// neighbours are known to lie in — during the pruning decode these are
+  /// the still-alive vertices. Implementations may ignore it (the subset is
+  /// unique over all of {1..n} anyway, by Theorem 4).
+  virtual std::vector<NodeId> decode(
+      unsigned degree, std::span<const BigUInt> sums,
+      std::span<const NodeId> candidates) const = 0;
+};
+
+/// Table-free decoder: Newton's identities then synthetic-division roots.
+class NewtonDecoder final : public NeighborhoodDecoder {
+ public:
+  std::string name() const override { return "newton"; }
+  std::vector<NodeId> decode(unsigned degree, std::span<const BigUInt> sums,
+                             std::span<const NodeId> candidates) const override;
+};
+
+/// 64-bit fast path of the Newton decoder: when k·n^k fits comfortably in a
+/// machine word (checked at construction), power sums, Newton's identities
+/// and Horner evaluation all run in native integers (128-bit intermediates)
+/// instead of BigInt. Same wire format, same answers — ablation EA measures
+/// the speedup. Falls back is the caller's job: construction throws
+/// CheckError when (n, k) is out of range.
+class SmallNewtonDecoder final : public NeighborhoodDecoder {
+ public:
+  SmallNewtonDecoder(std::uint32_t n, unsigned k);
+
+  std::string name() const override { return "newton-u64"; }
+  std::vector<NodeId> decode(unsigned degree, std::span<const BigUInt> sums,
+                             std::span<const NodeId> candidates) const override;
+
+ private:
+  std::uint32_t n_;
+  unsigned k_;
+};
+
+/// Lemma 3 decoder over a prebuilt table (shared between queries).
+class TableDecoder final : public NeighborhoodDecoder {
+ public:
+  explicit TableDecoder(std::shared_ptr<const NeighborhoodTable> table)
+      : table_(std::move(table)) {}
+
+  std::string name() const override { return "table"; }
+  std::vector<NodeId> decode(unsigned degree, std::span<const BigUInt> sums,
+                             std::span<const NodeId> candidates) const override;
+
+ private:
+  std::shared_ptr<const NeighborhoodTable> table_;
+};
+
+}  // namespace referee

@@ -1,0 +1,124 @@
+#include "numth/lookup.hpp"
+
+#include <mutex>
+
+#include "numth/power_sums.hpp"
+#include "support/check.hpp"
+
+namespace referee {
+
+namespace {
+
+struct PendingEntry {
+  std::string key;
+  std::vector<NodeId> subset;
+};
+
+/// Enumerates all size-`target` subsets of {first.., n} extending `prefix`,
+/// maintaining power sums incrementally.
+void enumerate_subsets(std::uint32_t n, unsigned target, NodeId next,
+                       std::vector<NodeId>& prefix,
+                       std::vector<BigUInt>& sums,
+                       const std::function<void(const std::vector<NodeId>&,
+                                                const std::vector<BigUInt>&)>&
+                           emit) {
+  if (prefix.size() == target) {
+    emit(prefix, sums);
+    return;
+  }
+  const auto needed = static_cast<std::uint32_t>(target - prefix.size());
+  for (NodeId v = next; v + needed - 1 <= n; ++v) {
+    prefix.push_back(v);
+    add_contribution(sums, v);
+    enumerate_subsets(n, target, v + 1, prefix, sums, emit);
+    subtract_contribution(sums, v);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::string NeighborhoodTable::key_of(unsigned d,
+                                      std::span<const BigUInt> sums) {
+  REFEREE_CHECK_MSG(sums.size() >= d, "not enough power sums for degree");
+  std::string key;
+  for (unsigned p = 0; p < d; ++p) {
+    key += sums[p].to_decimal();
+    key.push_back('|');
+  }
+  return key;
+}
+
+NeighborhoodTable::NeighborhoodTable(std::uint32_t n, unsigned k,
+                                     ThreadPool* pool)
+    : n_(n), k_(k), tables_(k + 1) {
+  REFEREE_CHECK_MSG(k >= 1, "table needs k >= 1");
+  tables_[0].emplace(std::string{}, std::vector<NodeId>{});
+  for (unsigned d = 1; d <= k; ++d) {
+    auto& table = tables_[d];
+    // C(n, d) entries are coming; one up-front rehash beats ~20 growth
+    // rehashes of a million-entry map.
+    double expected = 1;
+    for (unsigned i = 0; i < d; ++i) {
+      expected *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+    }
+    table.reserve(static_cast<std::size_t>(expected) + 1);
+    std::mutex merge_mutex;
+    // Shard by smallest element: subsets beginning with f are independent.
+    maybe_parallel_for(
+        pool, 1, static_cast<std::size_t>(n) + 1,
+        [&](std::size_t f) {
+          std::vector<PendingEntry> local;
+          std::vector<NodeId> prefix{static_cast<NodeId>(f)};
+          std::vector<BigUInt> sums(d);
+          add_contribution(sums, static_cast<NodeId>(f));
+          enumerate_subsets(
+              n, d, static_cast<NodeId>(f) + 1, prefix, sums,
+              [&](const std::vector<NodeId>& subset,
+                  const std::vector<BigUInt>& s) {
+                local.push_back({key_of(d, s), subset});
+              });
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          for (auto& entry : local) {
+            const auto [it, inserted] =
+                table.try_emplace(std::move(entry.key), std::move(entry.subset));
+            REFEREE_CHECK_MSG(inserted,
+                              "power-sum collision contradicts Wright's theorem");
+          }
+        },
+        /*serial_cutoff=*/64);
+  }
+}
+
+std::size_t NeighborhoodTable::entry_count() const {
+  std::size_t count = 0;
+  for (const auto& t : tables_) count += t.size();
+  return count;
+}
+
+const std::vector<NodeId>& NeighborhoodTable::find(
+    unsigned d, std::span<const BigUInt> sums) const {
+  if (d >= tables_.size()) {
+    throw DecodeError("table lookup: degree exceeds k");
+  }
+  const auto it = tables_[d].find(key_of(d, sums));
+  if (it == tables_[d].end()) {
+    throw DecodeError("table lookup: no subset matches power sums");
+  }
+  return it->second;
+}
+
+std::size_t NeighborhoodTable::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& t : tables_) {
+    for (const auto& [key, subset] : t) {
+      bytes += sizeof(std::pair<std::string, std::vector<NodeId>>);
+      bytes += key.capacity();
+      bytes += subset.capacity() * sizeof(NodeId);
+    }
+    bytes += t.bucket_count() * sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace referee

@@ -1,0 +1,51 @@
+// The paper's Lemma 3 decoder: precompute b = A(k,n)·x for every subset of
+// {1..n} of size <= k and store them in a table keyed by the value vector, so
+// a neighbourhood look-up costs O(k log n) (hashing here instead of the
+// paper's sorted array — same preprocessing size, simpler constant-time
+// queries). The table has Σ_{d<=k} C(n,d) = O(n^k) entries; construction is
+// sharded over a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bigint/biguint.hpp"
+#include "model/local_view.hpp"
+#include "support/thread_pool.hpp"
+
+namespace referee {
+
+class NeighborhoodTable {
+ public:
+  /// Builds the table for ground set {1..n} and subset sizes 0..k.
+  /// Throws CheckError if two subsets collide on their power-sum vector —
+  /// which Wright's theorem (Theorem 4) proves cannot happen, so a collision
+  /// would falsify the implementation, not the mathematics.
+  NeighborhoodTable(std::uint32_t n, unsigned k, ThreadPool* pool = nullptr);
+
+  std::uint32_t n() const { return n_; }
+  unsigned k() const { return k_; }
+  std::size_t entry_count() const;
+
+  /// The unique subset of size `d` whose first d power sums equal
+  /// `sums[0..d)`. Throws DecodeError when absent.
+  const std::vector<NodeId>& find(unsigned d,
+                                  std::span<const BigUInt> sums) const;
+
+  /// Approximate memory footprint in bytes (for experiment E3's
+  /// table-size-vs-query-time trade-off report).
+  std::size_t memory_bytes() const;
+
+ private:
+  static std::string key_of(unsigned d, std::span<const BigUInt> sums);
+
+  std::uint32_t n_;
+  unsigned k_;
+  /// One map per subset size; key is the serialised power-sum vector.
+  std::vector<std::unordered_map<std::string, std::vector<NodeId>>> tables_;
+};
+
+}  // namespace referee

@@ -1,0 +1,45 @@
+#include "numth/newton.hpp"
+
+#include "support/check.hpp"
+
+namespace referee {
+
+std::vector<BigInt> elementary_from_power_sums(std::span<const BigUInt> p) {
+  const std::size_t d = p.size();
+  std::vector<BigInt> e(d + 1);
+  e[0] = BigInt(1);
+  for (std::size_t i = 1; i <= d; ++i) {
+    BigInt acc;
+    for (std::size_t j = 1; j <= i; ++j) {
+      BigInt term = e[i - j] * BigInt(p[j - 1]);
+      if (j % 2 == 0) term = -term;
+      acc += term;
+    }
+    e[i] = acc.div_exact(BigInt(static_cast<std::int64_t>(i)));
+  }
+  e.erase(e.begin());  // drop e_0
+  return e;
+}
+
+std::vector<BigInt> power_sums_from_elementary(std::span<const BigInt> e,
+                                               unsigned k) {
+  const std::size_t d = e.size();
+  std::vector<BigInt> p(k);
+  const auto e_at = [&](std::size_t i) -> BigInt {
+    return i == 0 ? BigInt(1) : (i <= d ? e[i - 1] : BigInt(0));
+  };
+  for (std::size_t i = 1; i <= k; ++i) {
+    // p_i = (-1)^{i-1} i e_i + Σ_{j=1..i-1} (-1)^{j-1} e_j p_{i-j}
+    BigInt acc = e_at(i) * BigInt(static_cast<std::int64_t>(i));
+    if (i % 2 == 0) acc = -acc;
+    for (std::size_t j = 1; j < i; ++j) {
+      BigInt term = e_at(j) * p[i - j - 1];
+      if (j % 2 == 0) term = -term;
+      acc += term;
+    }
+    p[i - 1] = acc;
+  }
+  return p;
+}
+
+}  // namespace referee

@@ -1,0 +1,30 @@
+// Newton's identities: convert power sums p_1..p_d of d (unknown) values to
+// the elementary symmetric polynomials e_1..e_d of those values. This is the
+// table-free half of neighbourhood decoding: it turns the message payload
+// into the coefficients of Π (X − ID_i), whose roots are then extracted over
+// {1..n} (roots.hpp).
+//
+//   i·e_i = Σ_{j=1..i} (−1)^{j−1} e_{i−j} p_j,   e_0 = 1.
+//
+// Every division is exact for genuine power-sum inputs; an inexact division
+// is reported as DecodeError (corrupt message).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "bigint/biguint.hpp"
+
+namespace referee {
+
+/// e_1..e_d from p_1..p_d. Throws DecodeError if the p's cannot be the power
+/// sums of any multiset of integers (inexact division).
+std::vector<BigInt> elementary_from_power_sums(std::span<const BigUInt> p);
+
+/// Inverse direction (used by tests and by the generalised protocol's
+/// re-encoding): p_1..p_k from values.
+std::vector<BigInt> power_sums_from_elementary(std::span<const BigInt> e,
+                                               unsigned k);
+
+}  // namespace referee

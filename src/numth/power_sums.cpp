@@ -1,0 +1,67 @@
+#include "numth/power_sums.hpp"
+
+#include "support/check.hpp"
+
+namespace referee {
+
+std::vector<BigUInt> power_sums(std::span<const NodeId> ids, unsigned k) {
+  std::vector<BigUInt> sums(k);
+  for (const NodeId id : ids) {
+    BigUInt power(1);
+    for (unsigned p = 0; p < k; ++p) {
+      power *= BigUInt(id);
+      sums[p] += power;
+    }
+  }
+  return sums;
+}
+
+void subtract_contribution(std::vector<BigUInt>& sums, NodeId id) {
+  BigUInt power(1);
+  for (auto& s : sums) {
+    power *= BigUInt(id);
+    if (s < power) {
+      throw DecodeError("power-sum underflow: transcript inconsistent");
+    }
+    s -= power;
+  }
+}
+
+void add_contribution(std::vector<BigUInt>& sums, NodeId id) {
+  BigUInt power(1);
+  for (auto& s : sums) {
+    power *= BigUInt(id);
+    s += power;
+  }
+}
+
+bool power_sums_fit_u64(std::uint32_t n, unsigned k, std::size_t max_degree) {
+  // d * n^k < 2^64, computed without overflow.
+  long double bound = static_cast<long double>(max_degree);
+  for (unsigned p = 0; p < k; ++p) bound *= static_cast<long double>(n);
+  return bound < 18446744073709551615.0L;
+}
+
+std::vector<std::uint64_t> power_sums_u64(std::span<const NodeId> ids,
+                                          unsigned k) {
+  std::vector<std::uint64_t> sums(k, 0);
+  for (const NodeId id : ids) {
+    std::uint64_t power = 1;
+    for (unsigned p = 0; p < k; ++p) {
+      power *= id;
+      sums[p] += power;
+    }
+  }
+  return sums;
+}
+
+bool matches_power_sums(std::span<const BigUInt> sums,
+                        std::span<const NodeId> ids) {
+  const auto expect = power_sums(ids, static_cast<unsigned>(sums.size()));
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    if (!(sums[i] == expect[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace referee

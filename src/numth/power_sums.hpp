@@ -1,0 +1,43 @@
+// The neighbourhood encoding of §III-C: b(x) = A(k,n)·x where A_{p,i} = i^p
+// and x is the incidence vector of x's neighbourhood. Concretely, entry p-1
+// of the result is Σ_{w ∈ N(x)} ID(w)^p — the sum of p-th powers of
+// neighbour identifiers (Algorithm 3's payload).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bigint/biguint.hpp"
+#include "model/local_view.hpp"
+
+namespace referee {
+
+/// Power sums p_1..p_k of `ids` (k entries; empty id set gives all zeros).
+std::vector<BigUInt> power_sums(std::span<const NodeId> ids, unsigned k);
+
+/// In-place update for the referee's pruning step (Algorithm 4): remove one
+/// id's contribution, i.e. sums[p-1] -= id^p for all p. Throws DecodeError if
+/// any entry would go negative — that means the transcript is inconsistent.
+void subtract_contribution(std::vector<BigUInt>& sums, NodeId id);
+
+/// Add a contribution (used by the generalised-degeneracy variant when
+/// re-encoding complements, and by tests).
+void add_contribution(std::vector<BigUInt>& sums, NodeId id);
+
+/// True iff `sums` equals the power sums of `ids` (full-length check; the
+/// degeneracy decoder uses it to validate a decoded neighbourhood against
+/// *all* k sums, not just the d used for decoding).
+bool matches_power_sums(std::span<const BigUInt> sums,
+                        std::span<const NodeId> ids);
+
+/// True when every power sum of a degree-d vertex fits in 64 bits, i.e.
+/// d · n^k < 2^64 — the precondition of the fast path below.
+bool power_sums_fit_u64(std::uint32_t n, unsigned k, std::size_t max_degree);
+
+/// Fast path: plain 64-bit power sums. The caller must have checked
+/// power_sums_fit_u64 (checked again per-term in debug builds). Ablation
+/// experiment EA measures the speedup over the exact BigUInt route.
+std::vector<std::uint64_t> power_sums_u64(std::span<const NodeId> ids,
+                                          unsigned k);
+
+}  // namespace referee

@@ -1,0 +1,62 @@
+#include "numth/roots.hpp"
+
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace referee {
+
+namespace {
+
+/// Monic coefficient vector c_0..c_d (c_0 = 1) with c_i = (−1)^i e_i.
+std::vector<BigInt> monic_coefficients(std::span<const BigInt> elementary) {
+  std::vector<BigInt> c;
+  c.reserve(elementary.size() + 1);
+  c.emplace_back(1);
+  for (std::size_t i = 0; i < elementary.size(); ++i) {
+    c.push_back(i % 2 == 0 ? -elementary[i] : elementary[i]);
+  }
+  return c;
+}
+
+/// Synthetic division of the monic polynomial `c` by (X − r).
+/// Returns the remainder; on exact division, `c` is replaced by the quotient.
+BigInt try_deflate(std::vector<BigInt>& c, NodeId r) {
+  std::vector<BigInt> b(c.size() - 1);
+  BigInt carry = c[0];
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    b[i - 1] = carry;
+    carry = c[i] + carry * BigInt(static_cast<std::int64_t>(r));
+  }
+  if (carry.is_zero()) c = std::move(b);
+  return carry;
+}
+
+}  // namespace
+
+std::vector<NodeId> roots_among(std::span<const BigInt> elementary,
+                                std::span<const NodeId> candidates) {
+  std::vector<BigInt> c = monic_coefficients(elementary);
+  const std::size_t degree = elementary.size();
+  std::vector<NodeId> roots;
+  roots.reserve(degree);
+  for (const NodeId r : candidates) {
+    if (roots.size() == degree) break;
+    // Neighbour IDs are distinct, so each candidate divides at most once.
+    if (try_deflate(c, r).is_zero()) roots.push_back(r);
+  }
+  if (roots.size() != degree) {
+    throw DecodeError("root extraction found " + std::to_string(roots.size()) +
+                      " of " + std::to_string(degree) + " neighbour ids");
+  }
+  return roots;
+}
+
+std::vector<NodeId> roots_in_range(std::span<const BigInt> elementary,
+                                   std::uint32_t n) {
+  std::vector<NodeId> candidates(n);
+  std::iota(candidates.begin(), candidates.end(), 1u);
+  return roots_among(elementary, candidates);
+}
+
+}  // namespace referee

@@ -1,0 +1,26 @@
+// Integer root extraction for the monic polynomial Π (X − ID_i) given its
+// elementary symmetric polynomials. Neighbour IDs live in {1..n} (and, during
+// the pruning decode, among the still-alive vertices), so roots are found by
+// trial evaluation + synthetic deflation over the candidate set — O(|cand|·d)
+// exact BigInt operations for degree d.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "model/local_view.hpp"
+
+namespace referee {
+
+/// All d roots of X^d − e1·X^{d−1} + e2·X^{d−2} − … among `candidates`
+/// (sorted ascending, distinct). Throws DecodeError unless exactly d distinct
+/// roots are found — a well-formed message always yields them (Corollary 1).
+std::vector<NodeId> roots_among(std::span<const BigInt> elementary,
+                                std::span<const NodeId> candidates);
+
+/// Convenience: candidates = {1..n}.
+std::vector<NodeId> roots_in_range(std::span<const BigInt> elementary,
+                                   std::uint32_t n);
+
+}  // namespace referee

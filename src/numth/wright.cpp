@@ -1,0 +1,82 @@
+#include "numth/wright.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "numth/power_sums.hpp"
+#include "support/check.hpp"
+
+namespace referee {
+
+namespace {
+
+void all_subsets(std::uint32_t n, unsigned k, NodeId next,
+                 std::vector<NodeId>& prefix,
+                 const std::function<void(const std::vector<NodeId>&)>& emit) {
+  if (prefix.size() == k) {
+    emit(prefix);
+    return;
+  }
+  const std::uint32_t needed = k - static_cast<std::uint32_t>(prefix.size());
+  for (NodeId v = next; v + needed - 1 <= n; ++v) {
+    prefix.push_back(v);
+    all_subsets(n, k, v + 1, prefix, emit);
+    prefix.pop_back();
+  }
+}
+
+std::string sums_key(const std::vector<NodeId>& subset, unsigned powers) {
+  const auto sums = power_sums(subset, powers);
+  std::string key;
+  for (const auto& s : sums) {
+    key += s.to_decimal();
+    key.push_back('|');
+  }
+  return key;
+}
+
+}  // namespace
+
+bool verify_wright_injectivity(std::uint32_t n, unsigned k,
+                               ThreadPool* pool) {
+  std::unordered_set<std::string> seen;
+  std::mutex mutex;
+  std::atomic<bool> injective{true};
+  maybe_parallel_for(
+      pool, 1, static_cast<std::size_t>(n) + 1,
+      [&](std::size_t f) {
+        if (!injective.load(std::memory_order_relaxed)) return;
+        std::vector<std::string> local;
+        std::vector<NodeId> prefix{static_cast<NodeId>(f)};
+        all_subsets(n, k, static_cast<NodeId>(f) + 1, prefix,
+                    [&](const std::vector<NodeId>& subset) {
+                      local.push_back(sums_key(subset, k));
+                    });
+        std::lock_guard<std::mutex> lock(mutex);
+        for (auto& key : local) {
+          if (!seen.insert(std::move(key)).second) {
+            injective.store(false, std::memory_order_relaxed);
+            return;
+          }
+        }
+      },
+      /*serial_cutoff=*/64);
+  return injective.load();
+}
+
+bool exists_collision_without_top_power(std::uint32_t n, unsigned k) {
+  REFEREE_CHECK_MSG(k >= 2, "needs k >= 2 to drop a power");
+  std::unordered_set<std::string> seen;
+  bool collision = false;
+  std::vector<NodeId> prefix;
+  all_subsets(n, k, 1, prefix, [&](const std::vector<NodeId>& subset) {
+    if (collision) return;
+    if (!seen.insert(sums_key(subset, k - 1)).second) collision = true;
+  });
+  return collision;
+}
+
+}  // namespace referee

@@ -1,0 +1,26 @@
+// Executable checks of Theorem 4 (Wright 1948): the system
+//   i_1^p + … + i_k^p = j_1^p + … + j_k^p   for p = 1..k
+// has only permutation solutions over the integers; i.e. the power-sum map
+// on k-subsets of {1..n} is injective. The protocol's soundness rests on
+// this, so the test suite verifies it exhaustively for small (n, k).
+#pragma once
+
+#include <cstdint>
+
+#include "support/thread_pool.hpp"
+
+namespace referee {
+
+/// Exhaustively verifies injectivity of the power-sum map on size-`k`
+/// subsets of {1..n}. Returns true iff no two distinct subsets share a
+/// power-sum vector.
+bool verify_wright_injectivity(std::uint32_t n, unsigned k,
+                               ThreadPool* pool = nullptr);
+
+/// Counter-example search for the *weakened* map that drops the highest
+/// power (p = 1..k-1 only, still on k-subsets). Wright's bound is tight in
+/// this sense — with one equation short, collisions exist; returns true iff
+/// a collision was found (used by tests to show the k sums are all needed).
+bool exists_collision_without_top_power(std::uint32_t n, unsigned k);
+
+}  // namespace referee

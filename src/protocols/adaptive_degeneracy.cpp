@@ -1,0 +1,46 @@
+#include "protocols/adaptive_degeneracy.hpp"
+
+#include "protocols/degeneracy_protocol.hpp"
+
+namespace referee {
+
+AdaptiveDegeneracyReconstruction::AdaptiveDegeneracyReconstruction(
+    unsigned round_cap, std::shared_ptr<const NeighborhoodDecoder> decoder)
+    : round_cap_(round_cap), decoder_(std::move(decoder)) {
+  REFEREE_CHECK_MSG(round_cap_ >= 1, "need at least one round");
+  if (!decoder_) decoder_ = std::make_shared<NewtonDecoder>();
+}
+
+std::string AdaptiveDegeneracyReconstruction::name() const {
+  return "adaptive-degeneracy-reconstruction(cap=" +
+         std::to_string(round_cap_) + ")";
+}
+
+Message AdaptiveDegeneracyReconstruction::node_message(
+    const LocalView& view, unsigned round,
+    std::span<const Message> feedback) const {
+  // The broadcast is a single "continue" bit; its content carries no
+  // information beyond scheduling, so nodes only need the round index.
+  (void)feedback;
+  const DegeneracyReconstruction one_round(k_for_round(round), decoder_);
+  return one_round.local(view);
+}
+
+MultiRoundProtocol::RoundOutcome
+AdaptiveDegeneracyReconstruction::referee_round(
+    std::uint32_t n, unsigned round,
+    const std::vector<std::vector<Message>>& inbox) const {
+  const DegeneracyReconstruction one_round(k_for_round(round), decoder_);
+  RoundOutcome outcome;
+  try {
+    outcome.result = one_round.reconstruct(n, inbox[round]);
+  } catch (const DecodeError&) {
+    // Guess too small: ask everyone to double. One bit of feedback.
+    BitWriter w;
+    w.write_bit(true);
+    outcome.broadcast = Message::seal(std::move(w));
+  }
+  return outcome;
+}
+
+}  // namespace referee

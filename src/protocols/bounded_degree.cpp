@@ -1,0 +1,70 @@
+#include "protocols/bounded_degree.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+
+namespace referee {
+
+BoundedDegreeReconstruction::BoundedDegreeReconstruction(
+    std::size_t max_degree)
+    : max_degree_(max_degree) {
+  REFEREE_CHECK_MSG(max_degree_ >= 1, "max degree must be >= 1");
+}
+
+std::string BoundedDegreeReconstruction::name() const {
+  return "bounded-degree-reconstruction(max=" + std::to_string(max_degree_) +
+         ")";
+}
+
+Message BoundedDegreeReconstruction::local(const LocalView& view) const {
+  REFEREE_CHECK_MSG(view.degree() <= max_degree_,
+                    "node degree exceeds the protocol's bound");
+  const int id_bits = log_budget_bits(view.n);
+  BitWriter w;
+  w.write_bits(view.id, id_bits);
+  w.write_bits(view.degree(), id_bits);
+  for (const NodeId nb : view.neighbor_ids) w.write_bits(nb, id_bits);
+  return Message::seal(std::move(w));
+}
+
+Graph BoundedDegreeReconstruction::reconstruct(
+    std::uint32_t n, std::span<const Message> messages) const {
+  if (messages.size() != n) {
+    throw DecodeError("expected one message per node");
+  }
+  const int id_bits = log_budget_bits(n);
+  std::vector<std::vector<NodeId>> claimed(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BitReader r = messages[i].reader();
+    const auto id = static_cast<NodeId>(r.read_bits(id_bits));
+    if (id != i + 1) throw DecodeError("message id does not match sender");
+    const std::uint64_t deg = r.read_bits(id_bits);
+    if (deg > max_degree_) throw DecodeError("claimed degree exceeds bound");
+    for (std::uint64_t j = 0; j < deg; ++j) {
+      const auto nb = static_cast<NodeId>(r.read_bits(id_bits));
+      if (nb < 1 || nb > n || nb == id) {
+        throw DecodeError("claimed neighbour id out of range");
+      }
+      claimed[i].push_back(nb);
+    }
+    if (!r.exhausted()) throw DecodeError("trailing bits in message");
+  }
+  // Cross-validate: {u, v} is an edge iff both endpoints report it.
+  Graph h(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (const NodeId nb : claimed[i]) {
+      const std::size_t j = nb - 1;
+      const auto& back = claimed[j];
+      const bool reciprocated =
+          std::find(back.begin(), back.end(), i + 1) != back.end();
+      if (!reciprocated) {
+        throw DecodeError("edge reported by one endpoint only");
+      }
+      if (j > i) h.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j));
+    }
+  }
+  return h;
+}
+
+}  // namespace referee

@@ -1,0 +1,28 @@
+// Footnote 1 of the paper: on bounded-degree networks the problem is
+// trivial — each processor ships its whole adjacency list, O(Δ log n) bits,
+// and the referee rebuilds the graph directly. Implemented both as the
+// baseline the paper contrasts against (Grumbach–Wu's bounded-degree
+// setting) and as an integrity-checked decoder: every edge must be reported
+// by both endpoints.
+#pragma once
+
+#include "model/protocol.hpp"
+
+namespace referee {
+
+class BoundedDegreeReconstruction final : public ReconstructionProtocol {
+ public:
+  /// `max_degree` is the Δ every node knows; local() rejects views that
+  /// exceed it (the protocol is only defined on that class).
+  explicit BoundedDegreeReconstruction(std::size_t max_degree);
+
+  std::string name() const override;
+  Message local(const LocalView& view) const override;
+  Graph reconstruct(std::uint32_t n,
+                    std::span<const Message> messages) const override;
+
+ private:
+  std::size_t max_degree_;
+};
+
+}  // namespace referee

@@ -1,0 +1,119 @@
+#include "protocols/degeneracy_protocol.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "numth/power_sums.hpp"
+#include "support/bits.hpp"
+
+namespace referee {
+
+DegeneracyReconstruction::DegeneracyReconstruction(
+    unsigned k, std::shared_ptr<const NeighborhoodDecoder> decoder)
+    : k_(k), decoder_(std::move(decoder)) {
+  REFEREE_CHECK_MSG(k_ >= 1, "degeneracy bound must be >= 1");
+  if (!decoder_) decoder_ = std::make_shared<NewtonDecoder>();
+}
+
+std::string DegeneracyReconstruction::name() const {
+  return "degeneracy-reconstruction(k=" + std::to_string(k_) + "," +
+         decoder_->name() + ")";
+}
+
+Message DegeneracyReconstruction::local(const LocalView& view) const {
+  const int id_bits = log_budget_bits(view.n);
+  BitWriter w;
+  w.write_bits(view.id, id_bits);
+  w.write_bits(view.degree(), id_bits);
+  const auto sums = power_sums(view.neighbor_ids, k_);
+  for (const auto& s : sums) s.write(w);
+  return Message::seal(std::move(w));
+}
+
+std::size_t DegeneracyReconstruction::message_bits(const LocalView& view,
+                                                   unsigned k) {
+  std::size_t bits = 2 * static_cast<std::size_t>(log_budget_bits(view.n));
+  for (const auto& s : power_sums(view.neighbor_ids, k)) {
+    bits += s.encoded_bits();
+  }
+  return bits;
+}
+
+Graph DegeneracyReconstruction::reconstruct(
+    std::uint32_t n, std::span<const Message> messages) const {
+  if (messages.size() != n) {
+    throw DecodeError("expected one message per node");
+  }
+  const int id_bits = log_budget_bits(n);
+
+  // Parse the transcript into the referee's working tuples B.
+  std::vector<std::size_t> deg(n);
+  std::vector<std::vector<BigUInt>> sums(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BitReader r = messages[i].reader();
+    const auto id = static_cast<NodeId>(r.read_bits(id_bits));
+    if (id != i + 1) throw DecodeError("message id does not match sender");
+    deg[i] = r.read_bits(id_bits);
+    if (deg[i] >= n) throw DecodeError("degree out of range");
+    sums[i].reserve(k_);
+    for (unsigned p = 0; p < k_; ++p) sums[i].push_back(BigUInt::read(r));
+    if (!r.exhausted()) throw DecodeError("trailing bits in message");
+  }
+
+  Graph h(n);
+  // Alive vertices as a sorted set of ids; `pending` drives the pruning by
+  // residual degree <= k.
+  std::vector<bool> alive(n, true);
+  std::vector<NodeId> alive_ids(n);
+  for (std::uint32_t i = 0; i < n; ++i) alive_ids[i] = i + 1;
+  std::set<NodeId> prunable;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (deg[i] <= k_) prunable.insert(i + 1);
+  }
+
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    if (prunable.empty()) {
+      throw DecodeError("pruning stalled: graph degeneracy exceeds k=" +
+                        std::to_string(k_));
+    }
+    const NodeId x = *prunable.begin();
+    prunable.erase(prunable.begin());
+    const std::size_t xi = x - 1;
+    if (!alive[xi]) continue;
+
+    const auto d = static_cast<unsigned>(deg[xi]);
+    // Candidates: alive vertices other than x.
+    std::vector<NodeId> candidates;
+    candidates.reserve(alive_ids.size());
+    for (const NodeId id : alive_ids) {
+      if (id != x) candidates.push_back(id);
+    }
+    const auto neighbors = decoder_->decode(d, sums[xi], candidates);
+    // Validate against every power (catches corrupted transcripts even when
+    // the first d sums accidentally decode).
+    if (!matches_power_sums(sums[xi], neighbors)) {
+      throw DecodeError("decoded neighbourhood fails power-sum check");
+    }
+
+    for (const NodeId w : neighbors) {
+      const std::size_t wi = w - 1;
+      if (!alive[wi]) {
+        throw DecodeError("decoded neighbour already pruned");
+      }
+      h.add_edge(static_cast<Vertex>(xi), static_cast<Vertex>(wi));
+      if (deg[wi] == 0) throw DecodeError("degree underflow");
+      --deg[wi];
+      subtract_contribution(sums[wi], x);
+      if (deg[wi] <= k_) prunable.insert(w);
+    }
+
+    alive[xi] = false;
+    alive_ids.erase(
+        std::lower_bound(alive_ids.begin(), alive_ids.end(), x));
+    --remaining;
+  }
+  return h;
+}
+
+}  // namespace referee

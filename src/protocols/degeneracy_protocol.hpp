@@ -1,0 +1,50 @@
+// The paper's positive result (Theorem 5): a one-round frugal protocol
+// reconstructing every graph of degeneracy <= k.
+//
+// Local function (Algorithm 3): node x sends the (k+2)-tuple
+//   ( ID(x), deg(x), Σ_{w∈N(x)} ID(w)^1, ..., Σ_{w∈N(x)} ID(w)^k )
+// — O(k² log n) bits (Lemma 2).
+//
+// Global function (Algorithm 4): the referee repeatedly takes a vertex of
+// residual degree <= k, decodes its residual neighbourhood from the power
+// sums (unique by Theorem 4 / Corollary 1), records the edges, and removes
+// the vertex by updating its neighbours' tuples:
+//   deg(v_i) -= 1,   b_p(v_i) -= ID(x)^p.
+// If the pruning ever stalls while vertices remain, the input graph has
+// degeneracy > k and the protocol reports that by throwing DecodeError —
+// which is exactly the recognition variant the paper sketches after Thm 5.
+#pragma once
+
+#include <memory>
+
+#include "model/protocol.hpp"
+#include "numth/decoder.hpp"
+
+namespace referee {
+
+class DegeneracyReconstruction final : public ReconstructionProtocol {
+ public:
+  /// `k`: the degeneracy bound every node is assumed to know (§III-B).
+  /// `decoder`: neighbourhood decoding strategy; defaults to the table-free
+  /// Newton decoder.
+  explicit DegeneracyReconstruction(
+      unsigned k, std::shared_ptr<const NeighborhoodDecoder> decoder = nullptr);
+
+  unsigned k() const { return k_; }
+
+  std::string name() const override;
+  Message local(const LocalView& view) const override;
+  Graph reconstruct(std::uint32_t n,
+                    std::span<const Message> messages) const override;
+
+  /// Exact number of bits the local function produces for a view — used by
+  /// experiment E1 to compare against the Lemma 2 bound without running the
+  /// whole protocol.
+  static std::size_t message_bits(const LocalView& view, unsigned k);
+
+ private:
+  unsigned k_;
+  std::shared_ptr<const NeighborhoodDecoder> decoder_;
+};
+
+}  // namespace referee

@@ -1,0 +1,74 @@
+#include "protocols/forest_protocol.hpp"
+
+#include <deque>
+#include <numeric>
+
+#include "support/bits.hpp"
+
+namespace referee {
+
+Message ForestReconstruction::local(const LocalView& view) const {
+  const int id_bits = log_budget_bits(view.n);
+  std::uint64_t sum = 0;
+  for (const NodeId w : view.neighbor_ids) sum += w;
+  BitWriter w;
+  w.write_bits(view.id, id_bits);
+  w.write_bits(view.degree(), id_bits);
+  w.write_bits(sum, 2 * id_bits);  // Σ ID <= n * n
+  return Message::seal(std::move(w));
+}
+
+Graph ForestReconstruction::reconstruct(
+    std::uint32_t n, std::span<const Message> messages) const {
+  if (messages.size() != n) {
+    throw DecodeError("expected one message per node");
+  }
+  const int id_bits = log_budget_bits(n);
+  std::vector<std::uint64_t> deg(n);
+  std::vector<std::uint64_t> sum(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BitReader r = messages[i].reader();
+    const auto id = static_cast<NodeId>(r.read_bits(id_bits));
+    if (id != i + 1) throw DecodeError("message id does not match sender");
+    deg[i] = r.read_bits(id_bits);
+    sum[i] = r.read_bits(2 * id_bits);
+    if (!r.exhausted()) throw DecodeError("trailing bits in message");
+  }
+
+  Graph h(n);
+  std::deque<NodeId> leaves;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (deg[i] <= 1) leaves.push_back(i + 1);
+  }
+  std::size_t processed = 0;
+  std::vector<bool> done(n, false);
+  while (!leaves.empty()) {
+    const NodeId v = leaves.front();
+    leaves.pop_front();
+    const std::size_t vi = v - 1;
+    if (done[vi]) continue;
+    done[vi] = true;
+    ++processed;
+    if (deg[vi] == 0) continue;  // isolated in the residual forest
+    const std::uint64_t w64 = sum[vi];
+    if (w64 < 1 || w64 > n) {
+      throw DecodeError("leaf sum is not a valid neighbour id");
+    }
+    const auto w = static_cast<NodeId>(w64);
+    const std::size_t wi = w - 1;
+    if (done[wi]) throw DecodeError("leaf points at a pruned vertex");
+    h.add_edge(static_cast<Vertex>(vi), static_cast<Vertex>(wi));
+    if (deg[wi] == 0 || sum[wi] < v) {
+      throw DecodeError("neighbour tuple inconsistent with leaf");
+    }
+    --deg[wi];
+    sum[wi] -= v;
+    if (deg[wi] <= 1) leaves.push_back(w);
+  }
+  if (processed != n) {
+    throw DecodeError("pruning stalled: the graph contains a cycle");
+  }
+  return h;
+}
+
+}  // namespace referee

@@ -1,0 +1,25 @@
+// §III-A, the k = 1 warm-up: forests.
+//
+// Every vertex sends (ID(v), deg_T(v), Σ_{w∈N(v)} ID(w)) — under 4·log n
+// bits. The referee repeatedly prunes a leaf: the leaf's sum *is* its unique
+// neighbour's id; the neighbour's triple is patched to describe T \ v.
+// A stalled pruning (no vertex of degree <= 1 left) certifies a cycle.
+//
+// This specialised implementation uses plain 64-bit sums (Σ ID <= n² fits
+// comfortably) and is therefore also the fast path benchmarked against the
+// general protocol at k = 1.
+#pragma once
+
+#include "model/protocol.hpp"
+
+namespace referee {
+
+class ForestReconstruction final : public ReconstructionProtocol {
+ public:
+  std::string name() const override { return "forest-reconstruction"; }
+  Message local(const LocalView& view) const override;
+  Graph reconstruct(std::uint32_t n,
+                    std::span<const Message> messages) const override;
+};
+
+}  // namespace referee

@@ -1,0 +1,150 @@
+#include "protocols/generalized_degeneracy.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "numth/power_sums.hpp"
+#include "support/bits.hpp"
+
+namespace referee {
+
+GeneralizedDegeneracyReconstruction::GeneralizedDegeneracyReconstruction(
+    unsigned k, std::shared_ptr<const NeighborhoodDecoder> decoder)
+    : k_(k), decoder_(std::move(decoder)) {
+  REFEREE_CHECK_MSG(k_ >= 1, "degeneracy bound must be >= 1");
+  if (!decoder_) decoder_ = std::make_shared<NewtonDecoder>();
+}
+
+std::string GeneralizedDegeneracyReconstruction::name() const {
+  return "generalized-degeneracy-reconstruction(k=" + std::to_string(k_) + ")";
+}
+
+Message GeneralizedDegeneracyReconstruction::local(
+    const LocalView& view) const {
+  const int id_bits = log_budget_bits(view.n);
+  // Non-neighbourhood = {1..n} \ N(x) \ {x}.
+  std::vector<NodeId> non_neighbors;
+  non_neighbors.reserve(view.n - 1 - view.neighbor_ids.size());
+  std::size_t cursor = 0;
+  for (NodeId id = 1; id <= view.n; ++id) {
+    if (id == view.id) continue;
+    if (cursor < view.neighbor_ids.size() &&
+        view.neighbor_ids[cursor] == id) {
+      ++cursor;
+      continue;
+    }
+    non_neighbors.push_back(id);
+  }
+  BitWriter w;
+  w.write_bits(view.id, id_bits);
+  w.write_bits(view.degree(), id_bits);
+  for (const auto& s : power_sums(view.neighbor_ids, k_)) s.write(w);
+  for (const auto& s : power_sums(non_neighbors, k_)) s.write(w);
+  return Message::seal(std::move(w));
+}
+
+Graph GeneralizedDegeneracyReconstruction::reconstruct(
+    std::uint32_t n, std::span<const Message> messages) const {
+  if (messages.size() != n) {
+    throw DecodeError("expected one message per node");
+  }
+  const int id_bits = log_budget_bits(n);
+  std::vector<std::size_t> deg(n);
+  std::vector<std::vector<BigUInt>> nb_sums(n);
+  std::vector<std::vector<BigUInt>> co_sums(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BitReader r = messages[i].reader();
+    const auto id = static_cast<NodeId>(r.read_bits(id_bits));
+    if (id != i + 1) throw DecodeError("message id does not match sender");
+    deg[i] = r.read_bits(id_bits);
+    if (deg[i] >= n) throw DecodeError("degree out of range");
+    for (unsigned p = 0; p < k_; ++p) nb_sums[i].push_back(BigUInt::read(r));
+    for (unsigned p = 0; p < k_; ++p) co_sums[i].push_back(BigUInt::read(r));
+    if (!r.exhausted()) throw DecodeError("trailing bits in message");
+  }
+
+  Graph h(n);
+  std::vector<bool> alive(n, true);
+  std::vector<NodeId> alive_ids(n);
+  for (std::uint32_t i = 0; i < n; ++i) alive_ids[i] = i + 1;
+  std::size_t remaining = n;
+
+  while (remaining > 0) {
+    // Find any vertex with residual degree or co-degree <= k. Linear scan is
+    // O(n) per step (O(n²) total), within Algorithm 4's stated budget.
+    NodeId x = 0;
+    bool use_complement = false;
+    for (const NodeId id : alive_ids) {
+      const std::size_t co = remaining - 1 - deg[id - 1];
+      if (deg[id - 1] <= k_) {
+        x = id;
+        use_complement = false;
+        break;
+      }
+      if (co <= k_) {
+        x = id;
+        use_complement = true;
+        break;
+      }
+    }
+    if (x == 0) {
+      throw DecodeError(
+          "pruning stalled: generalised degeneracy exceeds k=" +
+          std::to_string(k_));
+    }
+    const std::size_t xi = x - 1;
+    std::vector<NodeId> candidates;
+    candidates.reserve(remaining - 1);
+    for (const NodeId id : alive_ids) {
+      if (id != x) candidates.push_back(id);
+    }
+
+    std::vector<NodeId> neighbors;
+    if (!use_complement) {
+      neighbors =
+          decoder_->decode(static_cast<unsigned>(deg[xi]), nb_sums[xi],
+                           candidates);
+      if (!matches_power_sums(nb_sums[xi], neighbors)) {
+        throw DecodeError("decoded neighbourhood fails power-sum check");
+      }
+    } else {
+      const auto co_deg = static_cast<unsigned>(remaining - 1 - deg[xi]);
+      const auto non_neighbors =
+          decoder_->decode(co_deg, co_sums[xi], candidates);
+      if (!matches_power_sums(co_sums[xi], non_neighbors)) {
+        throw DecodeError("decoded co-neighbourhood fails power-sum check");
+      }
+      // Neighbours = alive candidates minus the decoded non-neighbours.
+      std::set_difference(candidates.begin(), candidates.end(),
+                          non_neighbors.begin(), non_neighbors.end(),
+                          std::back_inserter(neighbors));
+    }
+
+    // Record edges and patch every survivor's tuple: neighbours lose x from
+    // their neighbourhood side, non-neighbours lose x from their complement
+    // side.
+    std::size_t cursor = 0;
+    for (const NodeId u : alive_ids) {
+      if (u == x) continue;
+      const bool is_neighbor =
+          cursor < neighbors.size() && neighbors[cursor] == u;
+      const std::size_t ui = u - 1;
+      if (is_neighbor) {
+        ++cursor;
+        h.add_edge(static_cast<Vertex>(xi), static_cast<Vertex>(ui));
+        if (deg[ui] == 0) throw DecodeError("degree underflow");
+        --deg[ui];
+        subtract_contribution(nb_sums[ui], x);
+      } else {
+        subtract_contribution(co_sums[ui], x);
+      }
+    }
+
+    alive[xi] = false;
+    alive_ids.erase(std::lower_bound(alive_ids.begin(), alive_ids.end(), x));
+    --remaining;
+  }
+  return h;
+}
+
+}  // namespace referee

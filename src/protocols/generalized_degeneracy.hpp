@@ -1,0 +1,38 @@
+// The paper's closing extension (§III, last paragraph): graphs of
+// *generalised* degeneracy k — there is an ordering (r_1,…,r_n) where each
+// r_i has degree <= k in G_i **or** in the complement of G_i.
+//
+// Following the paper's hint, every node encodes both its neighbourhood and
+// its non-neighbourhood: the message carries deg(x) plus power sums of N(x)
+// and of V \ (N(x) ∪ {x}). The referee prunes a vertex whenever its residual
+// degree or residual co-degree is <= k, decoding whichever side is small and
+// patching both sides of the survivors' tuples. Message size doubles
+// (2k sums instead of k) — still O(k² log n).
+#pragma once
+
+#include <memory>
+
+#include "model/protocol.hpp"
+#include "numth/decoder.hpp"
+
+namespace referee {
+
+class GeneralizedDegeneracyReconstruction final
+    : public ReconstructionProtocol {
+ public:
+  explicit GeneralizedDegeneracyReconstruction(
+      unsigned k, std::shared_ptr<const NeighborhoodDecoder> decoder = nullptr);
+
+  unsigned k() const { return k_; }
+
+  std::string name() const override;
+  Message local(const LocalView& view) const override;
+  Graph reconstruct(std::uint32_t n,
+                    std::span<const Message> messages) const override;
+
+ private:
+  unsigned k_;
+  std::shared_ptr<const NeighborhoodDecoder> decoder_;
+};
+
+}  // namespace referee

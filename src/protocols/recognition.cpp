@@ -1,0 +1,43 @@
+#include "protocols/recognition.hpp"
+
+#include "protocols/degeneracy_protocol.hpp"
+#include "protocols/forest_protocol.hpp"
+
+namespace referee {
+
+RecognitionAdapter::RecognitionAdapter(
+    std::shared_ptr<const ReconstructionProtocol> inner,
+    std::function<bool(const Graph&)> verify)
+    : inner_(std::move(inner)), verify_(std::move(verify)) {
+  REFEREE_CHECK_MSG(inner_ != nullptr, "missing inner protocol");
+}
+
+std::string RecognitionAdapter::name() const {
+  return "recognize(" + inner_->name() + ")";
+}
+
+Message RecognitionAdapter::local(const LocalView& view) const {
+  return inner_->local(view);
+}
+
+bool RecognitionAdapter::decide(std::uint32_t n,
+                                std::span<const Message> messages) const {
+  try {
+    const Graph h = inner_->reconstruct(n, messages);
+    return verify_ ? verify_(h) : true;
+  } catch (const DecodeError&) {
+    return false;
+  }
+}
+
+std::shared_ptr<DecisionProtocol> make_degeneracy_recognizer(unsigned k) {
+  return std::make_shared<RecognitionAdapter>(
+      std::make_shared<DegeneracyReconstruction>(k));
+}
+
+std::shared_ptr<DecisionProtocol> make_forest_recognizer() {
+  return std::make_shared<RecognitionAdapter>(
+      std::make_shared<ForestReconstruction>());
+}
+
+}  // namespace referee

@@ -1,0 +1,39 @@
+// Recognition variants (§III, after Theorem 5): the reconstruction protocol
+// doubles as a class-membership test — run the decoder, accept iff it
+// completes. The adapter below turns any ReconstructionProtocol into a
+// DecisionProtocol with exactly that semantics, optionally cross-checking
+// the reconstruction with a caller-supplied predicate.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "model/protocol.hpp"
+
+namespace referee {
+
+class RecognitionAdapter final : public DecisionProtocol {
+ public:
+  /// `verify`, if set, must also hold for the reconstructed graph (e.g.
+  /// "is acyclic" for the forest recogniser).
+  explicit RecognitionAdapter(
+      std::shared_ptr<const ReconstructionProtocol> inner,
+      std::function<bool(const Graph&)> verify = nullptr);
+
+  std::string name() const override;
+  Message local(const LocalView& view) const override;
+  bool decide(std::uint32_t n,
+              std::span<const Message> messages) const override;
+
+ private:
+  std::shared_ptr<const ReconstructionProtocol> inner_;
+  std::function<bool(const Graph&)> verify_;
+};
+
+/// "degeneracy(G) <= k?" — one-round frugal recognition per the paper.
+std::shared_ptr<DecisionProtocol> make_degeneracy_recognizer(unsigned k);
+
+/// "is G a forest?" — k = 1 specialisation.
+std::shared_ptr<DecisionProtocol> make_forest_recognizer();
+
+}  // namespace referee

@@ -1,0 +1,93 @@
+#include "protocols/statistics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/bits.hpp"
+
+namespace referee {
+
+Message DegreeStatistics::local(const LocalView& view) const {
+  const int id_bits = log_budget_bits(view.n);
+  BitWriter w;
+  w.write_bits(view.id, id_bits);
+  w.write_bits(view.degree(), id_bits);
+  return Message::seal(std::move(w));
+}
+
+std::vector<std::uint32_t> DegreeStatistics::degree_sequence(
+    std::uint32_t n, std::span<const Message> messages) {
+  if (messages.size() != n) {
+    throw DecodeError("expected one message per node");
+  }
+  const int id_bits = log_budget_bits(n);
+  std::vector<std::uint32_t> degrees(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BitReader r = messages[i].reader();
+    const auto id = static_cast<NodeId>(r.read_bits(id_bits));
+    if (id != i + 1) throw DecodeError("message id does not match sender");
+    const std::uint64_t deg = r.read_bits(id_bits);
+    if (deg >= n) throw DecodeError("degree out of range");
+    degrees[i] = static_cast<std::uint32_t>(deg);
+    if (!r.exhausted()) throw DecodeError("trailing bits in message");
+  }
+  return degrees;
+}
+
+std::uint64_t DegreeStatistics::edge_count(std::uint32_t n,
+                                           std::span<const Message> messages) {
+  const auto degrees = degree_sequence(n, messages);
+  const std::uint64_t sum =
+      std::accumulate(degrees.begin(), degrees.end(), std::uint64_t{0});
+  if (sum % 2 != 0) {
+    throw DecodeError("odd degree sum: transcript impossible (handshake)");
+  }
+  return sum / 2;
+}
+
+std::uint32_t DegreeStatistics::max_degree(std::uint32_t n,
+                                           std::span<const Message> messages) {
+  const auto degrees = degree_sequence(n, messages);
+  return degrees.empty() ? 0
+                         : *std::max_element(degrees.begin(), degrees.end());
+}
+
+std::uint32_t DegreeStatistics::min_degree(std::uint32_t n,
+                                           std::span<const Message> messages) {
+  const auto degrees = degree_sequence(n, messages);
+  return degrees.empty() ? 0
+                         : *std::min_element(degrees.begin(), degrees.end());
+}
+
+bool DegreeStatistics::erdos_gallai_feasible(
+    std::uint32_t n, std::span<const Message> messages) {
+  auto d = degree_sequence(n, messages);
+  std::sort(d.rbegin(), d.rend());
+  const std::uint64_t total =
+      std::accumulate(d.begin(), d.end(), std::uint64_t{0});
+  if (total % 2 != 0) return false;
+  // For every k: Σ_{i<=k} d_i <= k(k-1) + Σ_{i>k} min(d_i, k).
+  std::uint64_t prefix = 0;
+  for (std::size_t k = 1; k <= d.size(); ++k) {
+    prefix += d[k - 1];
+    std::uint64_t cap = static_cast<std::uint64_t>(k) * (k - 1);
+    for (std::size_t i = k; i < d.size(); ++i) {
+      cap += std::min<std::uint64_t>(d[i], k);
+    }
+    if (prefix > cap) return false;
+  }
+  return true;
+}
+
+bool DegreeStatistics::connectivity_possible(
+    std::uint32_t n, std::span<const Message> messages) {
+  if (n <= 1) return true;
+  const auto degrees = degree_sequence(n, messages);
+  for (const auto d : degrees) {
+    if (d == 0) return false;
+  }
+  const std::uint64_t m = edge_count(n, messages);
+  return m >= n - 1;
+}
+
+}  // namespace referee

@@ -1,0 +1,51 @@
+// The easy side of the paper's dichotomy: statistics the referee *can*
+// compute from one frugal round without reconstruction. Each node ships
+// just (ID, deg) — 2·log n bits — and the referee derives the degree
+// sequence, edge count, max/min degree, and degree-based necessary
+// conditions (Erdős–Gallai feasibility of the claimed sequence, the
+// m >= n-1 connectivity precondition). These protocols calibrate the
+// impossibility results: the referee knows *every* degree exactly, yet
+// Theorems 1-3 show it cannot tell whether two specific high-degree
+// vertices close a square.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/protocol.hpp"
+
+namespace referee {
+
+class DegreeStatistics final : public LocalEncoder {
+ public:
+  std::string name() const override { return "degree-statistics"; }
+  Message local(const LocalView& view) const override;
+
+  /// Degree of node i+1, decoded from the transcript.
+  static std::vector<std::uint32_t> degree_sequence(
+      std::uint32_t n, std::span<const Message> messages);
+
+  /// |E| = (Σ deg) / 2. Throws DecodeError if the degree sum is odd — an
+  /// impossible transcript.
+  static std::uint64_t edge_count(std::uint32_t n,
+                                  std::span<const Message> messages);
+
+  static std::uint32_t max_degree(std::uint32_t n,
+                                  std::span<const Message> messages);
+  static std::uint32_t min_degree(std::uint32_t n,
+                                  std::span<const Message> messages);
+
+  /// Erdős–Gallai: is the claimed degree sequence realisable by *some*
+  /// simple graph? (A "no" certifies a corrupt transcript in one round.)
+  static bool erdos_gallai_feasible(std::uint32_t n,
+                                    std::span<const Message> messages);
+
+  /// Necessary conditions for connectivity visible from degrees alone:
+  /// no isolated vertex (n >= 2) and m >= n-1. The paper's open question
+  /// is precisely that these cannot be strengthened to a *sufficient* test
+  /// in one frugal round.
+  static bool connectivity_possible(std::uint32_t n,
+                                    std::span<const Message> messages);
+};
+
+}  // namespace referee

@@ -1,0 +1,36 @@
+#include "reductions/counting.hpp"
+
+#include <cmath>
+
+#include "graph/enumerate.hpp"
+#include "support/bits.hpp"
+
+namespace referee {
+
+double log2_all_graphs(std::uint32_t n) {
+  return static_cast<double>(n) * (n - 1) / 2.0;
+}
+
+double log2_fixed_bipartite(std::uint32_t n) {
+  const double a = std::floor(n / 2.0);
+  const double b = std::ceil(n / 2.0);
+  return a * b;
+}
+
+double log2_square_free_exact(std::uint32_t n, ThreadPool* pool) {
+  return std::log2(static_cast<double>(count_square_free_graphs(n, pool)));
+}
+
+double log2_square_free_model(std::uint32_t n) {
+  return 0.5 * std::pow(static_cast<double>(n), 1.5);
+}
+
+double frugal_capacity_bits(std::uint32_t n, double c) {
+  return c * static_cast<double>(n) * log_budget_bits(n);
+}
+
+bool lemma1_feasible(double log2_family, std::uint32_t n, double c) {
+  return log2_family <= frugal_capacity_bits(n, c);
+}
+
+}  // namespace referee

@@ -1,0 +1,38 @@
+// Lemma 1 made quantitative: a frugal one-round protocol delivers at most
+// c·n·log2(n+1) bits to the referee, so it can reconstruct at most
+// 2^{c·n·log2(n+1)} graphs of size n. The impossibility proofs pit that
+// capacity against families of size 2^{Θ(n^{3/2})} (square-free graphs,
+// Kleitman–Winston) and 2^{Ω(n²)} (all graphs / fixed-partition bipartite
+// graphs). Experiment E7 plots exactly this race.
+#pragma once
+
+#include <cstdint>
+
+#include "support/thread_pool.hpp"
+
+namespace referee {
+
+/// log2(number of labelled graphs on n vertices) = C(n, 2).
+double log2_all_graphs(std::uint32_t n);
+
+/// log2(number of bipartite graphs with fixed parts {1..n/2}, {n/2+1..n})
+/// = floor(n/2) * ceil(n/2) — the family of Theorem 3.
+double log2_fixed_bipartite(std::uint32_t n);
+
+/// Exact log2 of the number of square-free labelled graphs (exhaustive
+/// enumeration; n <= 8).
+double log2_square_free_exact(std::uint32_t n, ThreadPool* pool = nullptr);
+
+/// The Kleitman–Winston Θ(n^{3/2}) model curve used beyond the exhaustive
+/// range. Only the growth order matters to Lemma 1; the constant 1/2 matches
+/// the lower-bound construction (C4-free graphs with (1/2)·n^{3/2} edges).
+double log2_square_free_model(std::uint32_t n);
+
+/// Referee-side capacity of a frugal protocol: c · n · log2(n+1) bits.
+double frugal_capacity_bits(std::uint32_t n, double c);
+
+/// Lemma 1's verdict: can a frugal protocol with per-node constant `c`
+/// reconstruct a family of log2-size `log2_family` on n vertices?
+bool lemma1_feasible(double log2_family, std::uint32_t n, double c);
+
+}  // namespace referee

@@ -1,0 +1,44 @@
+#include "reductions/gadgets.hpp"
+
+namespace referee {
+
+namespace {
+void check_pair(const Graph& g, Vertex s, Vertex t) {
+  REFEREE_CHECK_MSG(s < g.vertex_count() && t < g.vertex_count(),
+                    "gadget endpoints out of range");
+  REFEREE_CHECK_MSG(s != t, "gadget endpoints must differ");
+}
+}  // namespace
+
+Graph square_gadget(const Graph& g, Vertex s, Vertex t) {
+  check_pair(g, s, t);
+  const auto n = static_cast<Vertex>(g.vertex_count());
+  Graph out(2 * static_cast<std::size_t>(n));
+  for (const Edge& e : g.edges()) out.add_edge(e.u, e.v);
+  for (Vertex i = 0; i < n; ++i) out.add_edge(i, n + i);
+  out.add_edge(n + s, n + t);
+  return out;
+}
+
+Graph diameter_gadget(const Graph& g, Vertex s, Vertex t) {
+  check_pair(g, s, t);
+  const auto n = static_cast<Vertex>(g.vertex_count());
+  Graph out(static_cast<std::size_t>(n) + 3);
+  for (const Edge& e : g.edges()) out.add_edge(e.u, e.v);
+  out.add_edge(s, n);
+  out.add_edge(t, n + 1);
+  for (Vertex v = 0; v < n; ++v) out.add_edge(v, n + 2);
+  return out;
+}
+
+Graph triangle_gadget(const Graph& g, Vertex s, Vertex t) {
+  check_pair(g, s, t);
+  const auto n = static_cast<Vertex>(g.vertex_count());
+  Graph out(static_cast<std::size_t>(n) + 1);
+  for (const Edge& e : g.edges()) out.add_edge(e.u, e.v);
+  out.add_edge(s, n);
+  out.add_edge(t, n);
+  return out;
+}
+
+}  // namespace referee

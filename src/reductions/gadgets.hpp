@@ -1,0 +1,29 @@
+// The auxiliary graphs G'_{s,t} from the impossibility proofs of §II.
+//
+// Each gadget turns the question "is {s,t} an edge of G?" into a property of
+// G'_{s,t} that a hypothetical one-round protocol Γ could answer — that is
+// the entire engine of Theorems 1, 2 and 3 (and of Figures 1 and 2, which
+// are drawings of diameter_gadget and triangle_gadget respectively).
+//
+// Vertices here are 0-based; the new gadget vertices take indices n, n+1, …
+// (the paper's n+1, n+2, … in its 1-based convention).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace referee {
+
+/// Theorem 1. 2n vertices: G, a pendant i↔(n+i) for every i, plus the edge
+/// {n+s, n+t}. For square-free G: G'_{s,t} contains a C4 iff {s,t} ∈ E(G).
+Graph square_gadget(const Graph& g, Vertex s, Vertex t);
+
+/// Theorem 2 / Figure 1. n+3 vertices: G, vertex n adjacent to s, vertex
+/// n+1 adjacent to t, vertex n+2 adjacent to every vertex of G.
+/// diam(G'_{s,t}) <= 3 iff {s,t} ∈ E(G) (otherwise it is exactly 4).
+Graph diameter_gadget(const Graph& g, Vertex s, Vertex t);
+
+/// Theorem 3 / Figure 2. n+1 vertices: G plus vertex n adjacent to s and t.
+/// For triangle-free (e.g. bipartite) G: triangle iff {s,t} ∈ E(G).
+Graph triangle_gadget(const Graph& g, Vertex s, Vertex t);
+
+}  // namespace referee

@@ -1,0 +1,71 @@
+#include "reductions/oracles.hpp"
+
+#include "graph/algorithms.hpp"
+#include "graph/subgraphs.hpp"
+#include "support/bits.hpp"
+
+namespace referee {
+
+AdjacencyListOracle::AdjacencyListOracle(
+    std::string name, std::function<bool(const Graph&)> predicate)
+    : name_(std::move(name)), predicate_(std::move(predicate)) {
+  REFEREE_CHECK_MSG(predicate_ != nullptr, "oracle needs a predicate");
+}
+
+Message AdjacencyListOracle::local(const LocalView& view) const {
+  const int id_bits = log_budget_bits(view.n);
+  BitWriter w;
+  w.write_bits(view.id, id_bits);
+  w.write_bits(view.degree(), id_bits);
+  for (const NodeId nb : view.neighbor_ids) w.write_bits(nb, id_bits);
+  return Message::seal(std::move(w));
+}
+
+Graph AdjacencyListOracle::decode_graph(std::uint32_t n,
+                                        std::span<const Message> messages) {
+  if (messages.size() != n) {
+    throw DecodeError("expected one message per node");
+  }
+  const int id_bits = log_budget_bits(n);
+  Graph g(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BitReader r = messages[i].reader();
+    const auto id = static_cast<NodeId>(r.read_bits(id_bits));
+    if (id != i + 1) throw DecodeError("message id does not match sender");
+    const std::uint64_t deg = r.read_bits(id_bits);
+    for (std::uint64_t j = 0; j < deg; ++j) {
+      const auto nb = static_cast<NodeId>(r.read_bits(id_bits));
+      if (nb < 1 || nb > n || nb == id) {
+        throw DecodeError("neighbour id out of range");
+      }
+      if (nb != id) g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(nb - 1));
+    }
+  }
+  return g;
+}
+
+bool AdjacencyListOracle::decide(std::uint32_t n,
+                                 std::span<const Message> messages) const {
+  return predicate_(decode_graph(n, messages));
+}
+
+std::shared_ptr<DecisionProtocol> make_square_oracle() {
+  return std::make_shared<AdjacencyListOracle>(
+      "square-oracle", [](const Graph& g) { return has_square(g); });
+}
+
+std::shared_ptr<DecisionProtocol> make_triangle_oracle() {
+  return std::make_shared<AdjacencyListOracle>(
+      "triangle-oracle", [](const Graph& g) { return has_triangle(g); });
+}
+
+std::shared_ptr<DecisionProtocol> make_diameter_oracle(std::uint32_t bound) {
+  return std::make_shared<AdjacencyListOracle>(
+      "diameter<=" + std::to_string(bound) + "-oracle",
+      [bound](const Graph& g) {
+        const auto d = diameter(g);
+        return d.has_value() && *d <= bound;
+      });
+}
+
+}  // namespace referee

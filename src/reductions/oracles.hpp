@@ -1,0 +1,47 @@
+// Stand-in Γ protocols for exercising the §II reductions.
+//
+// The theorems prove no *frugal* Γ exists; to run Algorithms 1/2 (and the
+// triangle analogue) as real code we plug in deliberately non-frugal oracles
+// whose local function ships the full adjacency list (O(Δ log n) bits) and
+// whose referee answers the property exactly. The reduction machinery is
+// oblivious to Γ's internals — swapping in these oracles demonstrates the
+// *simulation* part of the proofs and lets the benchmarks measure the
+// message-size relationships (k(2n), 3·k(n+3), 2·k(n+1)) the paper states.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "model/protocol.hpp"
+
+namespace referee {
+
+/// Decision oracle: local = full adjacency list, global = predicate on the
+/// decoded graph.
+class AdjacencyListOracle final : public DecisionProtocol {
+ public:
+  AdjacencyListOracle(std::string name,
+                      std::function<bool(const Graph&)> predicate);
+
+  std::string name() const override { return name_; }
+  Message local(const LocalView& view) const override;
+  bool decide(std::uint32_t n,
+              std::span<const Message> messages) const override;
+
+  /// The graph encoded by an oracle transcript (exposed for tests).
+  static Graph decode_graph(std::uint32_t n,
+                            std::span<const Message> messages);
+
+ private:
+  std::string name_;
+  std::function<bool(const Graph&)> predicate_;
+};
+
+/// "does G contain a C4?" — the Γ of Theorem 1.
+std::shared_ptr<DecisionProtocol> make_square_oracle();
+/// "does G contain a triangle?" — the Γ of Theorem 3.
+std::shared_ptr<DecisionProtocol> make_triangle_oracle();
+/// "is diam(G) <= bound?" — the Γ of Theorem 2 (bound = 3 in the paper).
+std::shared_ptr<DecisionProtocol> make_diameter_oracle(std::uint32_t bound);
+
+}  // namespace referee

@@ -1,0 +1,211 @@
+#include "reductions/reductions.hpp"
+
+#include <numeric>
+
+#include "support/varint.hpp"
+
+namespace referee {
+
+namespace {
+
+/// Frames a Γ-message inside a Δ-message (length prefix + payload bits), so
+/// Δ can bundle the several Γ evaluations Theorems 2 and 3 require.
+void write_framed(BitWriter& w, const Message& m) {
+  write_delta0(w, m.bit_size());
+  BitReader r = m.reader();
+  while (!r.exhausted()) w.write_bit(r.read_bit());
+}
+
+Message read_framed(BitReader& r) {
+  const std::uint64_t bits = read_delta0(r);
+  BitWriter w;
+  for (std::uint64_t i = 0; i < bits; ++i) w.write_bit(r.read_bit());
+  return Message::seal(std::move(w));
+}
+
+std::vector<NodeId> with_extra(const std::vector<NodeId>& base,
+                               std::initializer_list<NodeId> extra) {
+  std::vector<NodeId> out = base;
+  out.insert(out.end(), extra.begin(), extra.end());
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- squares --
+
+SquareReduction::SquareReduction(
+    std::shared_ptr<const DecisionProtocol> gamma)
+    : gamma_(std::move(gamma)) {
+  REFEREE_CHECK_MSG(gamma_ != nullptr, "missing Γ");
+}
+
+std::string SquareReduction::name() const {
+  return "square-reduction[" + gamma_->name() + "]";
+}
+
+Message SquareReduction::local(const LocalView& view) const {
+  // Δ^l_n(i, N) = Γ^l_{2n}(i, N ∪ {i+n}): node i's neighbourhood in G'_{s,t}
+  // is the same for every (s,t) — the crux of Algorithm 1.
+  const auto lifted = make_view(
+      view.id, 2 * view.n, with_extra(view.neighbor_ids, {view.id + view.n}));
+  return gamma_->local(lifted);
+}
+
+Graph SquareReduction::reconstruct(std::uint32_t n,
+                                   std::span<const Message> messages) const {
+  if (messages.size() != n) {
+    throw DecodeError("expected one message per node");
+  }
+  const std::uint32_t big = 2 * n;
+  std::vector<Message> sim(big);
+  for (std::uint32_t i = 0; i < n; ++i) sim[i] = messages[i];
+  // Default messages of the pendant vertices j = n+1..2n: neighbourhood
+  // {j - n}; they do not depend on G (Algorithm 1's inner loop).
+  for (NodeId j = n + 1; j <= big; ++j) {
+    sim[j - 1] = gamma_->local(make_view(j, big, {j - n}));
+  }
+  Graph h(n);
+  for (NodeId s = 1; s <= n; ++s) {
+    for (NodeId t = s + 1; t <= n; ++t) {
+      const Message saved_s = sim[n + s - 1];
+      const Message saved_t = sim[n + t - 1];
+      sim[n + s - 1] = gamma_->local(make_view(n + s, big, {s, n + t}));
+      sim[n + t - 1] = gamma_->local(make_view(n + t, big, {t, n + s}));
+      if (gamma_->decide(big, sim)) {
+        h.add_edge(static_cast<Vertex>(s - 1), static_cast<Vertex>(t - 1));
+      }
+      sim[n + s - 1] = saved_s;
+      sim[n + t - 1] = saved_t;
+    }
+  }
+  return h;
+}
+
+// --------------------------------------------------------------- diameter --
+
+DiameterReduction::DiameterReduction(
+    std::shared_ptr<const DecisionProtocol> gamma)
+    : gamma_(std::move(gamma)) {
+  REFEREE_CHECK_MSG(gamma_ != nullptr, "missing Γ");
+}
+
+std::string DiameterReduction::name() const {
+  return "diameter-reduction[" + gamma_->name() + "]";
+}
+
+Message DiameterReduction::local(const LocalView& view) const {
+  // The three possible neighbourhoods of node i across all gadgets G'_{s,t}
+  // (Algorithm 2): plain (plus the universal n+3), as s (plus n+1), as t
+  // (plus n+2). All 1-based in the paper; here ids n+1..n+3 of the lifted
+  // (n+3)-vertex view.
+  const std::uint32_t big = view.n + 3;
+  const Message m0 = gamma_->local(
+      make_view(view.id, big, with_extra(view.neighbor_ids, {view.n + 3})));
+  const Message ms = gamma_->local(make_view(
+      view.id, big, with_extra(view.neighbor_ids, {view.n + 1, view.n + 3})));
+  const Message mt = gamma_->local(make_view(
+      view.id, big, with_extra(view.neighbor_ids, {view.n + 2, view.n + 3})));
+  BitWriter w;
+  write_framed(w, m0);
+  write_framed(w, ms);
+  write_framed(w, mt);
+  return Message::seal(std::move(w));
+}
+
+Graph DiameterReduction::reconstruct(std::uint32_t n,
+                                     std::span<const Message> messages) const {
+  if (messages.size() != n) {
+    throw DecodeError("expected one message per node");
+  }
+  const std::uint32_t big = n + 3;
+  std::vector<Message> m0(n);
+  std::vector<Message> ms(n);
+  std::vector<Message> mt(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BitReader r = messages[i].reader();
+    m0[i] = read_framed(r);
+    ms[i] = read_framed(r);
+    mt[i] = read_framed(r);
+    if (!r.exhausted()) throw DecodeError("trailing bits in Δ message");
+  }
+  // Gadget-vertex messages. n+3's neighbourhood {1..n} is (s,t)-independent.
+  std::vector<NodeId> everyone(n);
+  std::iota(everyone.begin(), everyone.end(), 1u);
+  const Message hub = gamma_->local(make_view(n + 3, big, everyone));
+
+  Graph h(n);
+  std::vector<Message> sim(big);
+  for (NodeId s = 1; s <= n; ++s) {
+    for (NodeId t = s + 1; t <= n; ++t) {
+      for (std::uint32_t i = 0; i < n; ++i) sim[i] = m0[i];
+      sim[s - 1] = ms[s - 1];
+      sim[t - 1] = mt[t - 1];
+      sim[n] = gamma_->local(make_view(n + 1, big, {s}));
+      sim[n + 1] = gamma_->local(make_view(n + 2, big, {t}));
+      sim[n + 2] = hub;
+      if (gamma_->decide(big, sim)) {
+        h.add_edge(static_cast<Vertex>(s - 1), static_cast<Vertex>(t - 1));
+      }
+    }
+  }
+  return h;
+}
+
+// --------------------------------------------------------------- triangle --
+
+TriangleReduction::TriangleReduction(
+    std::shared_ptr<const DecisionProtocol> gamma)
+    : gamma_(std::move(gamma)) {
+  REFEREE_CHECK_MSG(gamma_ != nullptr, "missing Γ");
+}
+
+std::string TriangleReduction::name() const {
+  return "triangle-reduction[" + gamma_->name() + "]";
+}
+
+Message TriangleReduction::local(const LocalView& view) const {
+  // §II-C: m' for nodes away from {s,t}, m'' when playing s or t (the apex
+  // n+1 becomes a neighbour).
+  const std::uint32_t big = view.n + 1;
+  const Message plain =
+      gamma_->local(make_view(view.id, big, view.neighbor_ids));
+  const Message apexed = gamma_->local(
+      make_view(view.id, big, with_extra(view.neighbor_ids, {view.n + 1})));
+  BitWriter w;
+  write_framed(w, plain);
+  write_framed(w, apexed);
+  return Message::seal(std::move(w));
+}
+
+Graph TriangleReduction::reconstruct(std::uint32_t n,
+                                     std::span<const Message> messages) const {
+  if (messages.size() != n) {
+    throw DecodeError("expected one message per node");
+  }
+  const std::uint32_t big = n + 1;
+  std::vector<Message> plain(n);
+  std::vector<Message> apexed(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BitReader r = messages[i].reader();
+    plain[i] = read_framed(r);
+    apexed[i] = read_framed(r);
+    if (!r.exhausted()) throw DecodeError("trailing bits in Δ message");
+  }
+  Graph h(n);
+  std::vector<Message> sim(big);
+  for (NodeId s = 1; s <= n; ++s) {
+    for (NodeId t = s + 1; t <= n; ++t) {
+      for (std::uint32_t i = 0; i < n; ++i) sim[i] = plain[i];
+      sim[s - 1] = apexed[s - 1];
+      sim[t - 1] = apexed[t - 1];
+      sim[n] = gamma_->local(make_view(n + 1, big, {s, t}));
+      if (gamma_->decide(big, sim)) {
+        h.add_edge(static_cast<Vertex>(s - 1), static_cast<Vertex>(t - 1));
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace referee

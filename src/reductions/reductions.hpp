@@ -1,0 +1,70 @@
+// Executable versions of the reductions in Theorems 1, 2 and 3: given any
+// one-round protocol Γ deciding squares / diameter <= 3 / triangles, build
+// the one-round protocol Δ that reconstructs a graph family too large for
+// Lemma 1 — the contradiction that proves no frugal Γ exists.
+//
+// These are faithful implementations of Algorithm 1 (squares), Algorithm 2
+// (diameter) and the triangle construction of §II-C:
+//   * Δ's local function evaluates Γ's local function on the node's view
+//     *as it would appear inside the gadget* G'_{s,t} — possible because
+//     the original vertices' gadget neighbourhoods do not depend on (s,t)
+//     (squares), or take only 3 (diameter) or 2 (triangles) possible values,
+//     all computable locally.
+//   * Δ's global function simulates, for every pair (s,t), the messages of
+//     the gadget-only vertices (these depend on Γ, s, t — not on G), asks
+//     Γ's referee, and records {s,t} as an edge accordingly.
+//
+// Message-size relationships stated by the paper and measured by E4–E6:
+// |Δ| = |Γ|(2n) for squares, 3·|Γ|(n+3) + framing for diameter,
+// 2·|Γ|(n+1) + framing for triangles.
+#pragma once
+
+#include <memory>
+
+#include "model/protocol.hpp"
+
+namespace referee {
+
+/// Theorem 1 / Algorithm 1. Δ reconstructs *square-free* graphs from any
+/// square-deciding Γ.
+class SquareReduction final : public ReconstructionProtocol {
+ public:
+  explicit SquareReduction(std::shared_ptr<const DecisionProtocol> gamma);
+  std::string name() const override;
+  Message local(const LocalView& view) const override;
+  Graph reconstruct(std::uint32_t n,
+                    std::span<const Message> messages) const override;
+
+ private:
+  std::shared_ptr<const DecisionProtocol> gamma_;
+};
+
+/// Theorem 2 / Algorithm 2. Δ reconstructs *arbitrary* graphs from any Γ
+/// deciding "diameter <= 3".
+class DiameterReduction final : public ReconstructionProtocol {
+ public:
+  explicit DiameterReduction(std::shared_ptr<const DecisionProtocol> gamma);
+  std::string name() const override;
+  Message local(const LocalView& view) const override;
+  Graph reconstruct(std::uint32_t n,
+                    std::span<const Message> messages) const override;
+
+ private:
+  std::shared_ptr<const DecisionProtocol> gamma_;
+};
+
+/// Theorem 3. Δ reconstructs *triangle-free* (in the paper: bipartite)
+/// graphs from any triangle-deciding Γ.
+class TriangleReduction final : public ReconstructionProtocol {
+ public:
+  explicit TriangleReduction(std::shared_ptr<const DecisionProtocol> gamma);
+  std::string name() const override;
+  Message local(const LocalView& view) const override;
+  Graph reconstruct(std::uint32_t n,
+                    std::span<const Message> messages) const override;
+
+ private:
+  std::shared_ptr<const DecisionProtocol> gamma_;
+};
+
+}  // namespace referee

@@ -1,0 +1,73 @@
+#include "sketch/bipartiteness.hpp"
+
+#include "support/varint.hpp"
+
+namespace referee {
+
+SketchBipartitenessProtocol::SketchBipartitenessProtocol(SketchParams params)
+    : params_(params) {}
+
+std::string SketchBipartitenessProtocol::name() const {
+  return "sketch-bipartiteness(copies=" + std::to_string(params_.copies) +
+         ")";
+}
+
+LocalView SketchBipartitenessProtocol::cover_low(const LocalView& view) {
+  // Copy v (id unchanged) attaches to copies w + n.
+  std::vector<NodeId> nb;
+  nb.reserve(view.neighbor_ids.size());
+  for (const NodeId w : view.neighbor_ids) nb.push_back(w + view.n);
+  return make_view(view.id, 2 * view.n, std::move(nb));
+}
+
+LocalView SketchBipartitenessProtocol::cover_high(const LocalView& view) {
+  // Copy v + n attaches to low copies of neighbours.
+  return make_view(view.id + view.n, 2 * view.n, view.neighbor_ids);
+}
+
+Message SketchBipartitenessProtocol::local(const LocalView& view) const {
+  // One connectivity payload for G itself, two for the node's cover copies.
+  const SketchConnectivityProtocol base(params_);
+  const Message mg = base.local(view);
+  const Message mlow = base.local(cover_low(view));
+  const Message mhigh = base.local(cover_high(view));
+  BitWriter w;
+  write_delta0(w, mg.bit_size());
+  write_delta0(w, mlow.bit_size());
+  write_delta0(w, mhigh.bit_size());
+  for (const Message* m : {&mg, &mlow, &mhigh}) {
+    BitReader r = m->reader();
+    while (!r.exhausted()) w.write_bit(r.read_bit());
+  }
+  return Message::seal(std::move(w));
+}
+
+bool SketchBipartitenessProtocol::decide(
+    std::uint32_t n, std::span<const Message> messages) const {
+  if (messages.size() != n) {
+    throw DecodeError("expected one message per node");
+  }
+  std::vector<Message> graph_msgs(n);
+  std::vector<Message> cover_msgs(2 * static_cast<std::size_t>(n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BitReader r = messages[i].reader();
+    const std::uint64_t len_g = read_delta0(r);
+    const std::uint64_t len_low = read_delta0(r);
+    const std::uint64_t len_high = read_delta0(r);
+    const auto take = [&r](std::uint64_t bits) {
+      BitWriter w;
+      for (std::uint64_t b = 0; b < bits; ++b) w.write_bit(r.read_bit());
+      return Message::seal(std::move(w));
+    };
+    graph_msgs[i] = take(len_g);
+    cover_msgs[i] = take(len_low);
+    cover_msgs[i + n] = take(len_high);
+    if (!r.exhausted()) throw DecodeError("trailing bits in message");
+  }
+  const SketchConnectivityProtocol base(params_);
+  const auto comp_g = base.decode(n, graph_msgs).component_count;
+  const auto comp_cover = base.decode(2 * n, cover_msgs).component_count;
+  return comp_cover == 2 * comp_g;
+}
+
+}  // namespace referee

@@ -1,0 +1,37 @@
+// One-round bipartiteness via the double cover — the paper's §IV "ongoing
+// work" remark, run in the forward direction: bipartiteness *uses* a
+// one-round connectivity protocol.
+//
+// Fact: a graph G with c components is bipartite iff its bipartite double
+// cover has exactly 2c components (every bipartite component lifts to two
+// copies; every odd-cycle-containing component lifts to one).
+//
+// Each node can simulate both of its cover copies from its own view alone
+// (copy v attaches to copies w+n of neighbours w and vice versa), so one
+// round suffices: the node ships sketches for G and for the cover; the
+// referee counts components on both and compares.
+#pragma once
+
+#include "model/protocol.hpp"
+#include "sketch/connectivity.hpp"
+
+namespace referee {
+
+class SketchBipartitenessProtocol final : public DecisionProtocol {
+ public:
+  explicit SketchBipartitenessProtocol(SketchParams params = {});
+
+  std::string name() const override;
+  Message local(const LocalView& view) const override;
+  bool decide(std::uint32_t n,
+              std::span<const Message> messages) const override;
+
+ private:
+  SketchParams params_;
+
+  /// The two cover views node `id` is responsible for.
+  static LocalView cover_low(const LocalView& view);
+  static LocalView cover_high(const LocalView& view);
+};
+
+}  // namespace referee

@@ -1,0 +1,129 @@
+#include "sketch/connectivity.hpp"
+
+#include "graph/union_find.hpp"
+#include "support/bits.hpp"
+#include "support/random.hpp"
+
+namespace referee {
+
+std::uint64_t sketch_bank_seed(std::uint64_t master, unsigned round,
+                               unsigned copy) {
+  return mix64(master ^ (static_cast<std::uint64_t>(round) << 32) ^ copy);
+}
+
+unsigned SketchParams::rounds_for(std::uint32_t n) const {
+  if (rounds != 0) return rounds;
+  return static_cast<unsigned>(ceil_log2(n < 2 ? 2 : n)) + 2;
+}
+
+std::vector<EdgeSketch> node_sketch_bank(const LocalView& view,
+                                         const SketchParams& params) {
+  const unsigned rounds = params.rounds_for(view.n);
+  std::vector<EdgeSketch> bank;
+  bank.reserve(static_cast<std::size_t>(rounds) * params.copies);
+  for (unsigned r = 0; r < rounds; ++r) {
+    for (unsigned c = 0; c < params.copies; ++c) {
+      EdgeSketch s(view.n, sketch_bank_seed(params.seed, r, c));
+      for (const NodeId w : view.neighbor_ids) {
+        s.add_incident_edge(static_cast<Vertex>(view.id - 1),
+                            static_cast<Vertex>(w - 1));
+      }
+      bank.push_back(std::move(s));
+    }
+  }
+  return bank;
+}
+
+SketchConnectivityResult boruvka_decode(
+    std::uint32_t n, const std::vector<std::vector<EdgeSketch>>& banks,
+    const SketchParams& params) {
+  SketchConnectivityResult result;
+  if (n == 0) return result;
+  const unsigned rounds = params.rounds_for(n);
+  UnionFind uf(n);
+  for (unsigned r = 0; r < rounds && uf.set_count() > 1; ++r) {
+    // Group members by start-of-round root.
+    std::vector<std::vector<Vertex>> members(n);
+    for (Vertex v = 0; v < n; ++v) {
+      members[uf.find(v)].push_back(v);
+    }
+    bool any_merge = false;
+    for (Vertex root = 0; root < n; ++root) {
+      if (members[root].empty() || uf.set_count() == 1) continue;
+      bool sampled = false;
+      for (unsigned c = 0; c < params.copies && !sampled; ++c) {
+        const std::size_t idx =
+            static_cast<std::size_t>(r) * params.copies + c;
+        EdgeSketch merged = banks[members[root][0]][idx];
+        for (std::size_t i = 1; i < members[root].size(); ++i) {
+          merged.merge(banks[members[root][i]][idx]);
+        }
+        const auto edge = merged.sample();
+        if (edge) {
+          sampled = true;
+          if (uf.unite(edge->first, edge->second)) {
+            result.forest.emplace_back(edge->first, edge->second);
+            any_merge = true;
+          }
+        }
+      }
+      if (!sampled && members[root].size() < n) {
+        result.sampler_exhausted = true;
+      }
+    }
+    if (!any_merge) break;  // fixed point: all live components are maximal
+  }
+  result.component_count = uf.set_count();
+  return result;
+}
+
+SketchConnectivityResult sketch_components(const Graph& g,
+                                           const SketchParams& params) {
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  std::vector<std::vector<EdgeSketch>> banks(n);
+  for (Vertex v = 0; v < n; ++v) {
+    banks[v] = node_sketch_bank(local_view_of(g, v), params);
+  }
+  return boruvka_decode(n, banks, params);
+}
+
+SketchConnectivityProtocol::SketchConnectivityProtocol(SketchParams params)
+    : params_(params) {}
+
+std::string SketchConnectivityProtocol::name() const {
+  return "sketch-connectivity(copies=" + std::to_string(params_.copies) + ")";
+}
+
+Message SketchConnectivityProtocol::local(const LocalView& view) const {
+  BitWriter w;
+  for (const EdgeSketch& s : node_sketch_bank(view, params_)) s.write(w);
+  return Message::seal(std::move(w));
+}
+
+SketchConnectivityResult SketchConnectivityProtocol::decode(
+    std::uint32_t n, std::span<const Message> messages) const {
+  if (messages.size() != n) {
+    throw DecodeError("expected one message per node");
+  }
+  const unsigned rounds = params_.rounds_for(n);
+  std::vector<std::vector<EdgeSketch>> banks(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    BitReader r = messages[v].reader();
+    banks[v].reserve(static_cast<std::size_t>(rounds) * params_.copies);
+    for (unsigned round = 0; round < rounds; ++round) {
+      for (unsigned c = 0; c < params_.copies; ++c) {
+        banks[v].push_back(EdgeSketch::read(
+            r, n, sketch_bank_seed(params_.seed, round, c)));
+      }
+    }
+    if (!r.exhausted()) throw DecodeError("trailing bits in sketch message");
+  }
+  return boruvka_decode(n, banks, params_);
+}
+
+bool SketchConnectivityProtocol::decide(
+    std::uint32_t n, std::span<const Message> messages) const {
+  return decode(n, messages).component_count <= 1;
+}
+
+}  // namespace referee

@@ -1,0 +1,81 @@
+// One-round randomised connectivity with a referee — the AGM-style answer to
+// the paper's main open question (§IV).
+//
+// Each node, using shared public randomness, sends T·R independent
+// EdgeSketches of its incidence vector (O(log³ n) bits in total — not
+// O(log n), so this does not contradict the paper's conjecture for
+// deterministic frugal protocols; it locates connectivity just above the
+// paper's budget). The referee runs Borůvka over the *merged* sketches:
+// round r merges each current component's round-r sketches and samples one
+// outgoing edge per component, halving the component count w.h.p. per round.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/protocol.hpp"
+#include "sketch/l0_sampler.hpp"
+
+namespace referee {
+
+struct SketchParams {
+  std::uint64_t seed = 0xC0FFEEull;  // public randomness
+  /// Borůvka rounds; 0 = auto (ceil(log2 n) + 2).
+  unsigned rounds = 0;
+  /// Independent sketch copies per round (failure-probability knob).
+  unsigned copies = 3;
+
+  unsigned rounds_for(std::uint32_t n) const;
+};
+
+/// Result of the referee-side Borůvka decode.
+struct SketchConnectivityResult {
+  std::size_t component_count = 0;
+  std::vector<Edge> forest;  // spanning edges found (0-based vertices)
+  bool sampler_exhausted =
+      false;  // a live component failed to sample in some round
+};
+
+/// Whole-graph convenience API (bypasses Message serialisation; used by
+/// tests and by the bipartite double-cover reduction).
+SketchConnectivityResult sketch_components(const Graph& g,
+                                           const SketchParams& params);
+
+/// Lower-level building blocks, exposed for protocols that post-process
+/// sketch banks (the k-edge-connectivity peeler subtracts already-extracted
+/// forest edges before re-running Borůvka — legal because sketches are
+/// linear and the referee knows the public randomness).
+///
+/// One node's bank: rounds_for(n) * copies sketches in round-major order.
+std::vector<EdgeSketch> node_sketch_bank(const LocalView& view,
+                                         const SketchParams& params);
+/// Referee-side Borůvka over per-node banks (banks[v][round*copies+copy]).
+SketchConnectivityResult boruvka_decode(
+    std::uint32_t n, const std::vector<std::vector<EdgeSketch>>& banks,
+    const SketchParams& params);
+/// The derived seed for (round, copy) — needed to deserialise banks.
+std::uint64_t sketch_bank_seed(std::uint64_t master, unsigned round,
+                               unsigned copy);
+
+/// The model-integrated protocol: local() serialises the node's sketches,
+/// decide() answers "is G connected?".
+class SketchConnectivityProtocol final : public DecisionProtocol {
+ public:
+  explicit SketchConnectivityProtocol(SketchParams params = {});
+
+  std::string name() const override;
+  Message local(const LocalView& view) const override;
+  bool decide(std::uint32_t n,
+              std::span<const Message> messages) const override;
+
+  /// Full decode (component count + forest), for the spanning-forest
+  /// example and the benchmarks.
+  SketchConnectivityResult decode(std::uint32_t n,
+                                  std::span<const Message> messages) const;
+
+ private:
+  SketchParams params_;
+};
+
+}  // namespace referee

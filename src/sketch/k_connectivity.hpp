@@ -1,0 +1,41 @@
+// One-round k-edge-connectivity — pushing the sketching answer to the
+// paper's open question one structural property further.
+//
+// The AGM peeling argument: let F_1 be a spanning forest of G, F_2 a
+// spanning forest of G − F_1, …, F_k of G − F_1 − … − F_{k−1}. Then the
+// certificate H = F_1 ∪ … ∪ F_k (at most k·n edges) satisfies
+//   min(λ(H), k) == min(λ(G), k),
+// so λ(G) >= k iff λ(H) >= k, checkable exactly by Stoer–Wagner.
+//
+// One round suffices because sketches are *linear*: every node ships k
+// independent connectivity banks; after extracting F_i the referee
+// subtracts those edges from the remaining banks itself (it knows the edges
+// and the public randomness), then re-runs Borůvka. Nodes never speak
+// again. Message cost: k × the E8 connectivity payload.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sketch/connectivity.hpp"
+
+namespace referee {
+
+struct KEdgeConnectivityResult {
+  bool k_connected = false;
+  /// λ(H) capped at k (equals min(λ(G), k) when sampling succeeded).
+  std::uint64_t connectivity_lower_bound = 0;
+  /// The peeled forests F_1..F_k.
+  std::vector<std::vector<Edge>> forests;
+  /// The certificate H (union of the forests).
+  Graph certificate;
+  bool sampler_exhausted = false;
+};
+
+/// Whole-graph API (the Message-level plumbing is identical to E8's
+/// protocol, k banks instead of one).
+KEdgeConnectivityResult sketch_k_edge_connectivity(const Graph& g,
+                                                   unsigned k,
+                                                   const SketchParams& params);
+
+}  // namespace referee

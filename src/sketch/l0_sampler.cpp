@@ -1,0 +1,133 @@
+#include "sketch/l0_sampler.hpp"
+
+#include <bit>
+
+#include "sketch/modp.hpp"
+#include "support/bits.hpp"
+#include "support/check.hpp"
+#include "support/varint.hpp"
+
+namespace referee {
+
+std::uint64_t edge_slot(std::uint64_t n, Vertex u, Vertex w) {
+  REFEREE_DCHECK(u < w && w < n);
+  const std::uint64_t uu = u;
+  // Row-major upper triangle: row u starts after Σ_{r<u} (n-1-r).
+  return uu * (n - 1) - uu * (uu + 1) / 2 + (w - u - 1) + uu;
+}
+
+std::pair<Vertex, Vertex> slot_edge(std::uint64_t n, std::uint64_t slot) {
+  std::uint64_t u = 0;
+  std::uint64_t row = n - 1;
+  while (slot >= row) {
+    slot -= row;
+    --row;
+    ++u;
+  }
+  return {static_cast<Vertex>(u), static_cast<Vertex>(u + 1 + slot)};
+}
+
+void OneSparse::add(std::int64_t w, std::uint64_t slot, std::uint64_t z) {
+  weight_sum += w;
+  index_sum += w * static_cast<std::int64_t>(slot);
+  const std::uint64_t term = modp::pow(z, slot);
+  fingerprint = w > 0 ? modp::add(fingerprint, term)
+                      : modp::sub(fingerprint, term);
+}
+
+void OneSparse::merge(const OneSparse& other) {
+  weight_sum += other.weight_sum;
+  index_sum += other.index_sum;
+  fingerprint = modp::add(fingerprint, other.fingerprint);
+}
+
+std::optional<std::uint64_t> OneSparse::recover(
+    std::uint64_t z, std::uint64_t slot_count) const {
+  if (weight_sum != 1 && weight_sum != -1) return std::nullopt;
+  const std::int64_t slot_signed = index_sum * weight_sum;  // index / weight
+  if (slot_signed < 0 ||
+      static_cast<std::uint64_t>(slot_signed) >= slot_count) {
+    return std::nullopt;
+  }
+  const auto slot = static_cast<std::uint64_t>(slot_signed);
+  std::uint64_t expect = modp::pow(z, slot);
+  if (weight_sum < 0) expect = modp::sub(0, expect);
+  if (expect != fingerprint) return std::nullopt;
+  return slot;
+}
+
+EdgeSketch::EdgeSketch(std::uint64_t n, std::uint64_t seed)
+    : n_(n), seed_(seed), z_(modp::reduce(mix64(seed ^ 0xF1A9u)) | 2u) {
+  const std::uint64_t slots = n < 2 ? 1 : n * (n - 1) / 2;
+  const int max_level = ceil_log2(slots) + 1;
+  levels_.resize(static_cast<std::size_t>(max_level) + 1);
+}
+
+int EdgeSketch::level_of(std::uint64_t slot) const {
+  const std::uint64_t h = modp::keyed_hash(seed_, slot);
+  const int tz = h == 0 ? 63 : std::countr_zero(h);
+  return tz >= static_cast<int>(levels_.size())
+             ? static_cast<int>(levels_.size()) - 1
+             : tz;
+}
+
+void EdgeSketch::add_incident_edge(Vertex v, Vertex w) {
+  account(v, w, /*sign=*/1);
+}
+
+void EdgeSketch::subtract_incident_edge(Vertex v, Vertex w) {
+  account(v, w, /*sign=*/-1);
+}
+
+void EdgeSketch::account(Vertex v, Vertex w, int sign) {
+  REFEREE_CHECK_MSG(v != w && v < n_ && w < n_, "bad edge endpoints");
+  const bool positive = v < w;
+  const std::uint64_t slot =
+      positive ? edge_slot(n_, v, w) : edge_slot(n_, w, v);
+  // Edge at level ℓ contributes to every cell 0..ℓ (nested subsampling), so
+  // `recover` can use whichever level isolates a single edge.
+  const int lvl = level_of(slot);
+  const std::int64_t weight = positive ? sign : -sign;
+  for (int l = 0; l <= lvl; ++l) {
+    levels_[static_cast<std::size_t>(l)].add(weight, slot, z_);
+  }
+}
+
+void EdgeSketch::merge(const EdgeSketch& other) {
+  REFEREE_CHECK_MSG(n_ == other.n_ && seed_ == other.seed_,
+                    "merging incompatible sketches");
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    levels_[l].merge(other.levels_[l]);
+  }
+}
+
+std::optional<std::pair<Vertex, Vertex>> EdgeSketch::sample() const {
+  const std::uint64_t slots = n_ < 2 ? 1 : n_ * (n_ - 1) / 2;
+  // Prefer sparser (higher) levels; the first validated cell wins.
+  for (std::size_t l = levels_.size(); l-- > 0;) {
+    const auto slot = levels_[l].recover(z_, slots);
+    if (slot) return slot_edge(n_, *slot);
+  }
+  return std::nullopt;
+}
+
+void EdgeSketch::write(BitWriter& w) const {
+  for (const OneSparse& cell : levels_) {
+    write_signed_delta(w, cell.weight_sum);
+    write_signed_delta(w, cell.index_sum);
+    w.write_bits(cell.fingerprint, 61);
+  }
+}
+
+EdgeSketch EdgeSketch::read(BitReader& r, std::uint64_t n,
+                            std::uint64_t seed) {
+  EdgeSketch s(n, seed);
+  for (OneSparse& cell : s.levels_) {
+    cell.weight_sum = read_signed_delta(r);
+    cell.index_sum = read_signed_delta(r);
+    cell.fingerprint = r.read_bits(61);
+  }
+  return s;
+}
+
+}  // namespace referee

@@ -1,0 +1,82 @@
+// Linear ℓ0-sampling over signed edge-incidence vectors — the machinery that
+// answers the paper's main open question (§IV) in the randomised setting
+// (the AGM sketching approach).
+//
+// Every node v holds the vector a_v over edge slots {(u,w) : u < w} with
+//   a_v[(u,w)] = +1 if v == u and {u,w} ∈ E,  −1 if v == w and {u,w} ∈ E.
+// Summing a_v over a vertex set S cancels internal edges and leaves exactly
+// the boundary ∂S with ±1 weights — so a *linear* sketch of a_v can be
+// merged by the referee along arbitrary component unions.
+//
+// The sketch keeps, per geometric subsampling level ℓ, the triple
+//   (Σ w_e, Σ w_e·e, Σ w_e·z^e mod p)
+// over the edges hashed into level ℓ. A level containing exactly one edge
+// reproduces that edge; the fingerprint keeps false positives below ~m/p.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/local_view.hpp"
+#include "support/bitstream.hpp"
+
+namespace referee {
+
+/// Canonical index of edge slot (u, w), 0-based vertices, u < w.
+std::uint64_t edge_slot(std::uint64_t n, Vertex u, Vertex w);
+/// Inverse of edge_slot.
+std::pair<Vertex, Vertex> slot_edge(std::uint64_t n, std::uint64_t slot);
+
+struct OneSparse {
+  std::int64_t weight_sum = 0;
+  std::int64_t index_sum = 0;
+  std::uint64_t fingerprint = 0;  // Σ w_e z^e mod p
+
+  void add(std::int64_t w, std::uint64_t slot, std::uint64_t z);
+  void merge(const OneSparse& other);
+
+  /// The slot index if this cell holds exactly one ±1 entry; verified
+  /// against the fingerprint. nullopt otherwise.
+  std::optional<std::uint64_t> recover(std::uint64_t z,
+                                       std::uint64_t slot_count) const;
+};
+
+/// A full ℓ0-sampler: one OneSparse cell per subsampling level.
+class EdgeSketch {
+ public:
+  EdgeSketch() = default;
+  /// `seed` is the shared public randomness; `n` the vertex count of the
+  /// graph being sketched (fixes the slot universe and level count).
+  EdgeSketch(std::uint64_t n, std::uint64_t seed);
+
+  /// Account vertex `v`'s incidence on edge {v, w}.
+  void add_incident_edge(Vertex v, Vertex w);
+
+  /// Remove a previously accounted incidence (the sketch is linear, so the
+  /// referee can peel known edges out — e.g. spanning forests already
+  /// extracted, for the k-edge-connectivity certificate).
+  void subtract_incident_edge(Vertex v, Vertex w);
+
+  /// Linear merge (component union at the referee).
+  void merge(const EdgeSketch& other);
+
+  /// Try to produce one boundary edge.
+  std::optional<std::pair<Vertex, Vertex>> sample() const;
+
+  void write(BitWriter& w) const;
+  static EdgeSketch read(BitReader& r, std::uint64_t n, std::uint64_t seed);
+
+  std::size_t level_count() const { return levels_.size(); }
+
+ private:
+  int level_of(std::uint64_t slot) const;
+  void account(Vertex v, Vertex w, int sign);
+
+  std::uint64_t n_ = 0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t z_ = 0;  // fingerprint base, derived from seed
+  std::vector<OneSparse> levels_;
+};
+
+}  // namespace referee

@@ -1,0 +1,25 @@
+#include "sketch/modp.hpp"
+
+namespace referee::modp {
+
+__extension__ typedef unsigned __int128 u128;
+
+std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+  const u128 prod = static_cast<u128>(a) * b;
+  const std::uint64_t lo = static_cast<std::uint64_t>(prod & kP);
+  const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+  return reduce(lo + hi);
+}
+
+std::uint64_t pow(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t result = 1;
+  std::uint64_t b = reduce(base);
+  while (exp != 0) {
+    if (exp & 1u) result = mul(result, b);
+    b = mul(b, b);
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace referee::modp

@@ -1,0 +1,37 @@
+// Arithmetic in GF(p) with p = 2^61 − 1 (Mersenne), plus the keyed hashes
+// the sketches use as public randomness. Fingerprints over this field give
+// one-sparse recovery a false-positive probability of about m/p per test.
+#pragma once
+
+#include <cstdint>
+
+#include "support/random.hpp"
+
+namespace referee::modp {
+
+inline constexpr std::uint64_t kP = (std::uint64_t{1} << 61) - 1;
+
+inline std::uint64_t reduce(std::uint64_t x) {
+  x = (x & kP) + (x >> 61);
+  return x >= kP ? x - kP : x;
+}
+
+inline std::uint64_t add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;  // < 2^62, no overflow
+  return s >= kP ? s - kP : s;
+}
+
+inline std::uint64_t sub(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : a + kP - b;
+}
+
+std::uint64_t mul(std::uint64_t a, std::uint64_t b);
+
+std::uint64_t pow(std::uint64_t base, std::uint64_t exp);
+
+/// Stateless keyed 64-bit hash (splitmix over key ^ mixed input).
+inline std::uint64_t keyed_hash(std::uint64_t key, std::uint64_t x) {
+  return mix64(key ^ mix64(x + 0x9E3779B97F4A7C15ull));
+}
+
+}  // namespace referee::modp

@@ -1,0 +1,30 @@
+// Small bit-twiddling helpers shared across the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace referee {
+
+/// Number of bits needed to represent `v` (0 -> 1, by convention).
+constexpr int bit_width_nonzero(std::uint64_t v) {
+  return v == 0 ? 1 : std::bit_width(v);
+}
+
+/// ceil(log2(v)) for v >= 1; ceil_log2(1) == 0.
+constexpr int ceil_log2(std::uint64_t v) {
+  if (v <= 1) return 0;
+  return std::bit_width(v - 1);
+}
+
+/// floor(log2(v)) for v >= 1.
+constexpr int floor_log2(std::uint64_t v) { return std::bit_width(v) - 1; }
+
+/// The paper's message budget unit: messages are frugal when they fit in
+/// O(log n) bits. `log_budget_bits(n)` is the canonical \lceil log2(n+1) \rceil
+/// used to express per-node budgets as c * log_budget_bits(n).
+constexpr int log_budget_bits(std::uint64_t n) {
+  return bit_width_nonzero(n);
+}
+
+}  // namespace referee

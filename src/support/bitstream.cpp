@@ -1,0 +1,37 @@
+#include "support/bitstream.hpp"
+
+namespace referee {
+
+void BitWriter::write_bits(std::uint64_t value, int nbits) {
+  REFEREE_CHECK_MSG(nbits >= 0 && nbits <= 64, "nbits out of range");
+  if (nbits < 64) {
+    REFEREE_CHECK_MSG(value < (std::uint64_t{1} << nbits),
+                      "value does not fit in nbits");
+  }
+  for (int i = 0; i < nbits; ++i) {
+    const std::size_t bit_index = bit_count_ + static_cast<std::size_t>(i);
+    const std::size_t byte_index = bit_index >> 3;
+    if (byte_index >= bytes_.size()) bytes_.push_back(0);
+    if ((value >> i) & 1u) {
+      bytes_[byte_index] |= static_cast<std::uint8_t>(1u << (bit_index & 7));
+    }
+  }
+  bit_count_ += static_cast<std::size_t>(nbits);
+}
+
+std::uint64_t BitReader::read_bits(int nbits) {
+  REFEREE_CHECK_MSG(nbits >= 0 && nbits <= 64, "nbits out of range");
+  if (pos_ + static_cast<std::size_t>(nbits) > bit_size_) {
+    throw DecodeError("BitReader: read past end of message");
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < nbits; ++i) {
+    const std::size_t bit_index = pos_ + static_cast<std::size_t>(i);
+    const std::uint8_t byte = data_[bit_index >> 3];
+    if ((byte >> (bit_index & 7)) & 1u) value |= (std::uint64_t{1} << i);
+  }
+  pos_ += static_cast<std::size_t>(nbits);
+  return value;
+}
+
+}  // namespace referee

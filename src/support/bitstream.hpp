@@ -1,0 +1,72 @@
+// Bit-granular message serialisation.
+//
+// Protocol messages in the referee model are *bitstrings*: frugality is a
+// statement about the number of bits each node ships to the referee, so the
+// library materialises every message through BitWriter/BitReader rather than
+// counting abstract "words".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace referee {
+
+/// Append-only bit sink. Bits are packed LSB-first into bytes.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Append the low `nbits` bits of `value` (LSB first). nbits in [0, 64].
+  void write_bits(std::uint64_t value, int nbits);
+
+  /// Append a single bit.
+  void write_bit(bool bit) { write_bits(bit ? 1u : 0u, 1); }
+
+  /// Number of bits written so far.
+  std::size_t bit_size() const { return bit_count_; }
+
+  /// The packed payload; the final byte may be partially used.
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  /// Move the payload out, keeping the exact bit count separately.
+  std::vector<std::uint8_t> take_bytes() { return std::move(bytes_); }
+
+  void clear() {
+    bytes_.clear();
+    bit_count_ = 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+/// Sequential reader over a bitstring produced by BitWriter.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t bit_size)
+      : data_(data), bit_size_(bit_size) {}
+
+  explicit BitReader(const std::vector<std::uint8_t>& bytes,
+                     std::size_t bit_size)
+      : BitReader(bytes.data(), bit_size) {}
+
+  /// Read `nbits` bits (LSB-first). Throws DecodeError past end of stream.
+  std::uint64_t read_bits(int nbits);
+
+  bool read_bit() { return read_bits(1) != 0; }
+
+  std::size_t position() const { return pos_; }
+  std::size_t bit_size() const { return bit_size_; }
+  std::size_t remaining() const { return bit_size_ - pos_; }
+  bool exhausted() const { return pos_ >= bit_size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t bit_size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace referee

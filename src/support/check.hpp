@@ -1,0 +1,55 @@
+// Lightweight runtime checking for library invariants and user input.
+//
+// REFEREE_CHECK is always on (it guards protocol soundness: a decoder must
+// fail loudly rather than reconstruct a wrong graph). REFEREE_DCHECK compiles
+// away in NDEBUG builds and guards internal invariants only.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace referee {
+
+/// Thrown when a library precondition or protocol invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a decoder detects inconsistent or corrupt messages.
+/// Recognition protocols rely on this being distinguishable from bugs.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace referee
+
+#define REFEREE_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::referee::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define REFEREE_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::referee::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define REFEREE_DCHECK(expr) ((void)0)
+#else
+#define REFEREE_DCHECK(expr) REFEREE_CHECK(expr)
+#endif

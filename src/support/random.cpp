@@ -1,0 +1,67 @@
+#include "support/random.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace referee {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  REFEREE_CHECK_MSG(bound >= 1, "empty range");
+  // Rejection sampling on the top bits to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+  REFEREE_CHECK_MSG(lo <= hi, "inverted range");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::uint32_t> Rng::sample_subset(std::uint32_t n,
+                                              std::uint32_t k) {
+  REFEREE_CHECK_MSG(k <= n, "subset larger than ground set");
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (static_cast<std::uint64_t>(k) * 3 >= n) {
+    // Dense case: partial Fisher-Yates over the whole ground set.
+    std::vector<std::uint32_t> pool(n);
+    for (std::uint32_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint64_t j = i + below(n - i);
+      std::swap(pool[i], pool[j]);
+      out.push_back(pool[i]);
+    }
+  } else {
+    // Sparse case: rejection into a hash set.
+    std::unordered_set<std::uint32_t> seen;
+    seen.reserve(k * 2);
+    while (out.size() < k) {
+      const auto v = static_cast<std::uint32_t>(below(n));
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace referee

@@ -1,0 +1,91 @@
+// Deterministic, seedable PRNG used across generators, sketches and tests.
+//
+// xoshiro256** with a splitmix64 seeder — fast, high quality, and fully
+// reproducible across platforms (unlike std::mt19937 distributions, whose
+// outputs are implementation-defined for std::uniform_int_distribution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace referee {
+
+/// splitmix64 step; used for seeding and cheap stateless mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a single 64-bit value (for hashing seeds together).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EED5EED5EEDull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface.
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
+
+  /// Uniform integer in [0, bound), bound >= 1. Lemire-style rejection.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli(p) draw.
+  bool chance(double p);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniform k-subset of {0, ..., n-1}, returned sorted.
+  std::vector<std::uint32_t> sample_subset(std::uint32_t n, std::uint32_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace referee

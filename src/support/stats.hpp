@@ -1,0 +1,92 @@
+// Small statistics helpers used by the benchmark harness to turn raw series
+// into the fitted constants the experiment write-ups report (e.g. the slope
+// of message bits against log2 n in E1).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "support/check.hpp"
+
+namespace referee {
+
+/// Welford online mean/variance.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min_seen() const { return min_; }
+  double max_seen() const { return max_; }
+
+  void add_tracked(double x) {
+    add(x);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// Ordinary least squares y = intercept + slope * x.
+class LinearFit {
+ public:
+  void add(double x, double y) {
+    ++count_;
+    sum_x_ += x;
+    sum_y_ += y;
+    sum_xx_ += x * x;
+    sum_xy_ += x * y;
+    sum_yy_ += y * y;
+  }
+
+  std::size_t count() const { return count_; }
+
+  double slope() const {
+    REFEREE_CHECK_MSG(count_ >= 2, "need two points for a fit");
+    const double n = static_cast<double>(count_);
+    const double denom = n * sum_xx_ - sum_x_ * sum_x_;
+    REFEREE_CHECK_MSG(denom != 0.0, "degenerate x values");
+    return (n * sum_xy_ - sum_x_ * sum_y_) / denom;
+  }
+
+  double intercept() const {
+    const double n = static_cast<double>(count_);
+    return (sum_y_ - slope() * sum_x_) / n;
+  }
+
+  /// Pearson r² of the fit.
+  double r_squared() const {
+    const double n = static_cast<double>(count_);
+    const double sxx = n * sum_xx_ - sum_x_ * sum_x_;
+    const double syy = n * sum_yy_ - sum_y_ * sum_y_;
+    const double sxy = n * sum_xy_ - sum_x_ * sum_y_;
+    if (sxx == 0 || syy == 0) return 1.0;
+    return (sxy * sxy) / (sxx * syy);
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_x_ = 0;
+  double sum_y_ = 0;
+  double sum_xx_ = 0;
+  double sum_xy_ = 0;
+  double sum_yy_ = 0;
+};
+
+}  // namespace referee

@@ -1,0 +1,114 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace referee {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, count / (4 * std::max<std::size_t>(
+                                                      1, workers_.size())));
+  }
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_mutex;
+
+  const std::size_t shards =
+      std::min(workers_.size(), (count + grain - 1) / grain);
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t s = 0; s < shards; ++s) {
+    submit([&, grain] {
+      for (;;) {
+        const std::size_t lo = next.fetch_add(grain);
+        if (lo >= end) break;
+        const std::size_t hi = std::min(end, lo + grain);
+        try {
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        ++done;
+      }
+      done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done.load() == shards; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void maybe_parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)>& body,
+                        std::size_t serial_cutoff) {
+  if (pool != nullptr && end - begin >= serial_cutoff && pool->size() > 1) {
+    pool->parallel_for(begin, end, body);
+  } else {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  }
+}
+
+}  // namespace referee

@@ -1,0 +1,62 @@
+// Minimal work-stealing-free thread pool with a blocking parallel_for.
+//
+// The referee model's local phase is embarrassingly parallel (one message per
+// node, no shared state); this pool shards index ranges over worker threads.
+// Determinism note: workers write into disjoint output slots, so results are
+// bit-identical to the sequential run regardless of scheduling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace referee {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+  /// Apply `body(i)` for i in [begin, end), sharded into `grain`-sized
+  /// chunks across the pool. Blocks until complete. Exceptions thrown by
+  /// `body` are captured and the first one is rethrown on the caller.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience: run body over [begin,end) either on `pool` (if non-null and
+/// the range is large enough to amortise dispatch) or inline.
+void maybe_parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)>& body,
+                        std::size_t serial_cutoff = 256);
+
+}  // namespace referee

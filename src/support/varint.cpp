@@ -1,0 +1,55 @@
+#include "support/varint.hpp"
+
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace referee {
+
+void write_elias_gamma(BitWriter& w, std::uint64_t v) {
+  REFEREE_CHECK_MSG(v >= 1, "elias gamma encodes positive integers");
+  const int len = floor_log2(v);  // number of bits after the leading 1
+  for (int i = 0; i < len; ++i) w.write_bit(false);
+  w.write_bit(true);
+  // low `len` bits of v, MSB-first for canonical gamma.
+  for (int i = len - 1; i >= 0; --i) w.write_bit(((v >> i) & 1u) != 0);
+}
+
+std::uint64_t read_elias_gamma(BitReader& r) {
+  int len = 0;
+  while (!r.read_bit()) {
+    ++len;
+    if (len > 64) throw DecodeError("elias gamma: run too long");
+  }
+  std::uint64_t v = 1;
+  for (int i = 0; i < len; ++i) v = (v << 1) | (r.read_bit() ? 1u : 0u);
+  return v;
+}
+
+void write_elias_delta(BitWriter& w, std::uint64_t v) {
+  REFEREE_CHECK_MSG(v >= 1, "elias delta encodes positive integers");
+  const int len = floor_log2(v);
+  write_elias_gamma(w, static_cast<std::uint64_t>(len) + 1);
+  for (int i = len - 1; i >= 0; --i) w.write_bit(((v >> i) & 1u) != 0);
+}
+
+std::uint64_t read_elias_delta(BitReader& r) {
+  const std::uint64_t len1 = read_elias_gamma(r);
+  if (len1 == 0 || len1 > 64) throw DecodeError("elias delta: bad length");
+  const int len = static_cast<int>(len1 - 1);
+  std::uint64_t v = 1;
+  for (int i = 0; i < len; ++i) v = (v << 1) | (r.read_bit() ? 1u : 0u);
+  return v;
+}
+
+int elias_gamma_bits(std::uint64_t v) {
+  REFEREE_CHECK(v >= 1);
+  return 2 * floor_log2(v) + 1;
+}
+
+int elias_delta_bits(std::uint64_t v) {
+  REFEREE_CHECK(v >= 1);
+  const int len = floor_log2(v);
+  return elias_gamma_bits(static_cast<std::uint64_t>(len) + 1) + len;
+}
+
+}  // namespace referee

@@ -1,0 +1,58 @@
+// Variable-length integer codes over BitWriter/BitReader.
+//
+// Protocols use fixed-width fields when the width is known from `n` (IDs,
+// degrees) and Elias-gamma/delta for values whose magnitude varies (power
+// sums, big-integer limb counts). All codes are self-delimiting.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bitstream.hpp"
+
+namespace referee {
+
+/// Elias gamma code for v >= 1: floor(log2 v) zeros, then v's bits.
+void write_elias_gamma(BitWriter& w, std::uint64_t v);
+std::uint64_t read_elias_gamma(BitReader& r);
+
+/// Elias delta code for v >= 1: gamma(bit-length), then mantissa.
+/// Asymptotically log v + 2 log log v bits.
+void write_elias_delta(BitWriter& w, std::uint64_t v);
+std::uint64_t read_elias_delta(BitReader& r);
+
+/// Non-negative variants (shift by one so 0 is encodable).
+inline void write_gamma0(BitWriter& w, std::uint64_t v) {
+  write_elias_gamma(w, v + 1);
+}
+inline std::uint64_t read_gamma0(BitReader& r) {
+  return read_elias_gamma(r) - 1;
+}
+inline void write_delta0(BitWriter& w, std::uint64_t v) {
+  write_elias_delta(w, v + 1);
+}
+inline std::uint64_t read_delta0(BitReader& r) {
+  return read_elias_delta(r) - 1;
+}
+
+/// Number of bits write_elias_gamma(v) would produce.
+int elias_gamma_bits(std::uint64_t v);
+/// Number of bits write_elias_delta(v) would produce.
+int elias_delta_bits(std::uint64_t v);
+
+/// Signed values via zigzag mapping (0,-1,1,-2,2,... -> 0,1,2,3,4,...).
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+inline void write_signed_delta(BitWriter& w, std::int64_t v) {
+  write_delta0(w, zigzag_encode(v));
+}
+inline std::int64_t read_signed_delta(BitReader& r) {
+  return zigzag_decode(read_delta0(r));
+}
+
+}  // namespace referee

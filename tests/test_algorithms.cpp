@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+
+namespace referee {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = gen::path(5);
+  const auto d = bfs_distances(g, 0);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Components, CountsAndLabels) {
+  Graph g = disjoint_union(gen::cycle(3), gen::path(4));
+  g.add_vertices(2);  // two isolated vertices
+  EXPECT_EQ(component_count(g), 4u);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Components, ConnectedEdgeCases) {
+  EXPECT_TRUE(is_connected(Graph(0)));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_FALSE(is_connected(Graph(2)));
+  EXPECT_TRUE(is_connected(gen::complete(5)));
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(gen::path(6)).value(), 5u);
+  EXPECT_EQ(diameter(gen::cycle(6)).value(), 3u);
+  EXPECT_EQ(diameter(gen::cycle(7)).value(), 3u);
+  EXPECT_EQ(diameter(gen::complete(9)).value(), 1u);
+  EXPECT_EQ(diameter(gen::star(5)).value(), 2u);
+  EXPECT_EQ(diameter(gen::hypercube(5)).value(), 5u);
+  EXPECT_EQ(diameter(gen::grid(3, 7)).value(), 2u + 6u);
+}
+
+TEST(Diameter, DisconnectedIsNullopt) {
+  EXPECT_FALSE(diameter(disjoint_union(gen::path(2), gen::path(2))).has_value());
+  EXPECT_FALSE(diameter(Graph(0)).has_value());
+}
+
+TEST(Eccentricity, CentreVsLeaf) {
+  const Graph g = gen::path(7);
+  EXPECT_EQ(eccentricity(g, 3).value(), 3u);
+  EXPECT_EQ(eccentricity(g, 0).value(), 6u);
+}
+
+TEST(Girth, KnownValues) {
+  EXPECT_EQ(girth(gen::cycle(5)).value(), 5u);
+  EXPECT_EQ(girth(gen::complete(4)).value(), 3u);
+  EXPECT_EQ(girth(gen::grid(3, 3)).value(), 4u);
+  EXPECT_EQ(girth(gen::hypercube(3)).value(), 4u);
+  EXPECT_EQ(girth(gen::complete_bipartite(2, 3)).value(), 4u);
+  EXPECT_FALSE(girth(gen::random_tree(20, *std::make_unique<Rng>(7))).has_value());
+}
+
+TEST(Girth, TriangleWithTail) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  EXPECT_EQ(girth(g).value(), 3u);
+}
+
+TEST(Bipartition, EvenCycleYes) {
+  const auto side = bipartition(gen::cycle(8));
+  ASSERT_TRUE(side.has_value());
+  const Graph g = gen::cycle(8);
+  for (const Edge& e : g.edges()) EXPECT_NE((*side)[e.u], (*side)[e.v]);
+}
+
+TEST(Bipartition, OddCycleNo) {
+  EXPECT_FALSE(is_bipartite(gen::cycle(9)));
+  EXPECT_FALSE(is_bipartite(gen::complete(3)));
+}
+
+TEST(Bipartition, ForestAlwaysBipartite) {
+  Rng rng(173);
+  EXPECT_TRUE(is_bipartite(gen::random_tree(50, rng)));
+}
+
+TEST(SpanningForest, SizeMatchesComponents) {
+  const Graph g = disjoint_union(gen::cycle(5), gen::grid(3, 3));
+  const auto forest = spanning_forest(g);
+  EXPECT_EQ(forest.size(), g.vertex_count() - component_count(g));
+  // Forest edges must be edges of g and connect the same components.
+  Graph f(g.vertex_count());
+  for (const Edge& e : forest) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+    f.add_edge(e.u, e.v);
+  }
+  EXPECT_EQ(connected_components(f), connected_components(g));
+}
+
+TEST(EulerBound, PlanarFamiliesPass) {
+  EXPECT_TRUE(satisfies_euler_planar_bound(gen::grid(5, 5)));
+  EXPECT_TRUE(satisfies_euler_planar_bound(gen::cycle(10)));
+  EXPECT_FALSE(satisfies_euler_planar_bound(gen::complete(5)));
+  // Q5 (n=32, m=80 <= 90) slips under the bound despite being non-planar —
+  // it is only a necessary condition; Q6 (m=192 > 186) does not.
+  EXPECT_TRUE(satisfies_euler_planar_bound(gen::hypercube(5)));
+  EXPECT_FALSE(satisfies_euler_planar_bound(gen::hypercube(6)));
+}
+
+TEST(TreewidthHeuristic, KnownBounds) {
+  EXPECT_EQ(treewidth_upper_bound_min_degree(gen::path(10)), 1u);
+  EXPECT_EQ(treewidth_upper_bound_min_degree(gen::cycle(10)), 2u);
+  EXPECT_EQ(treewidth_upper_bound_min_degree(gen::complete(6)), 5u);
+  EXPECT_LE(treewidth_upper_bound_min_degree(gen::grid(4, 4)), 4u);
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.hpp"
+#include "support/random.hpp"
+
+namespace referee {
+namespace {
+
+TEST(BigInt, ConstructionAndSign) {
+  EXPECT_TRUE(BigInt(0).is_zero());
+  EXPECT_FALSE(BigInt(0).is_negative());
+  EXPECT_TRUE(BigInt(-5).is_negative());
+  EXPECT_FALSE(BigInt(5).is_negative());
+  EXPECT_FALSE(BigInt(BigUInt(0), /*negative=*/true).is_negative());
+}
+
+TEST(BigInt, I64RoundTripIncludingMin) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(BigInt(v).to_i64(), v);
+  }
+}
+
+TEST(BigInt, DecimalRoundTrip) {
+  for (const char* s : {"0", "1", "-1", "123456789012345678901234567890",
+                        "-987654321098765432109876543210"}) {
+    EXPECT_EQ(BigInt::from_decimal(s).to_decimal(), s);
+  }
+}
+
+TEST(BigInt, ArithmeticAgainstI64Reference) {
+  Rng rng(53);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = static_cast<std::int64_t>(rng.next() >> 34) - (1 << 29);
+    const auto b = static_cast<std::int64_t>(rng.next() >> 34) - (1 << 29);
+    EXPECT_EQ((BigInt(a) + BigInt(b)).to_i64(), a + b);
+    EXPECT_EQ((BigInt(a) - BigInt(b)).to_i64(), a - b);
+    EXPECT_EQ((BigInt(a) * BigInt(b)).to_i64(), a * b);
+    EXPECT_EQ((-BigInt(a)).to_i64(), -a);
+  }
+}
+
+TEST(BigInt, ComparisonAcrossSigns) {
+  EXPECT_LT(BigInt(-10), BigInt(-5));
+  EXPECT_LT(BigInt(-5), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(5));
+  EXPECT_LT(BigInt(-1000000), BigInt(1));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+  EXPECT_GT(BigInt(-3), BigInt(-4));
+}
+
+TEST(BigInt, DivExactHappyPath) {
+  EXPECT_EQ(BigInt(84).div_exact(BigInt(7)).to_i64(), 12);
+  EXPECT_EQ(BigInt(-84).div_exact(BigInt(7)).to_i64(), -12);
+  EXPECT_EQ(BigInt(84).div_exact(BigInt(-7)).to_i64(), -12);
+  EXPECT_EQ(BigInt(-84).div_exact(BigInt(-7)).to_i64(), 12);
+}
+
+TEST(BigInt, DivExactRejectsRemainder) {
+  EXPECT_THROW(BigInt(85).div_exact(BigInt(7)), DecodeError);
+}
+
+TEST(BigInt, DivExactByZeroThrows) {
+  EXPECT_THROW(BigInt(1).div_exact(BigInt(0)), CheckError);
+}
+
+TEST(BigInt, ToBigUIntRejectsNegative) {
+  EXPECT_THROW(BigInt(-1).to_biguint(), CheckError);
+  EXPECT_EQ(BigInt(42).to_biguint().to_u64(), 42u);
+}
+
+TEST(BigInt, AdditionCancellationZeroesSign) {
+  BigInt a(5);
+  a += BigInt(-5);
+  EXPECT_TRUE(a.is_zero());
+  EXPECT_FALSE(a.is_negative());
+}
+
+TEST(BigInt, MixedSignAccumulation) {
+  BigInt acc;
+  for (int i = 1; i <= 100; ++i) {
+    acc += (i % 2 == 0) ? BigInt(i) : BigInt(-i);
+  }
+  EXPECT_EQ(acc.to_i64(), 50);  // -1+2-3+4-... = 50
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "bigint/biguint.hpp"
+#include "support/bitstream.hpp"
+#include "support/random.hpp"
+
+namespace referee {
+namespace {
+
+TEST(BigUInt, ZeroBasics) {
+  BigUInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_decimal(), "0");
+  EXPECT_EQ(z.to_u64(), 0u);
+}
+
+TEST(BigUInt, SmallValueRoundTrip) {
+  for (std::uint64_t v : {1ull, 2ull, 255ull, 1000000007ull, ~0ull}) {
+    BigUInt b(v);
+    EXPECT_EQ(b.to_u64(), v);
+    EXPECT_EQ(BigUInt::from_decimal(b.to_decimal()), b);
+  }
+}
+
+TEST(BigUInt, AdditionCarriesAcrossLimbs) {
+  BigUInt a(~std::uint64_t{0});
+  a += BigUInt(1);
+  EXPECT_EQ(a.bit_length(), 65u);
+  EXPECT_EQ(a.to_decimal(), "18446744073709551616");
+}
+
+TEST(BigUInt, SubtractionUnderflowThrows) {
+  BigUInt a(5);
+  EXPECT_THROW(a -= BigUInt(6), CheckError);
+}
+
+TEST(BigUInt, SubtractionBorrowsAcrossLimbs) {
+  BigUInt a = BigUInt(1) << 128;
+  a -= BigUInt(1);
+  EXPECT_EQ(a.bit_length(), 128u);
+  a += BigUInt(1);
+  EXPECT_EQ(a, BigUInt(1) << 128);
+}
+
+TEST(BigUInt, MultiplicationMatchesDecimalReference) {
+  // (2^64 - 1)^2 = 340282366920938463426481119284349108225
+  BigUInt a(~std::uint64_t{0});
+  EXPECT_EQ((a * a).to_decimal(), "340282366920938463426481119284349108225");
+}
+
+TEST(BigUInt, MulByZero) {
+  BigUInt a(12345);
+  EXPECT_TRUE((a * BigUInt(0)).is_zero());
+  EXPECT_TRUE((BigUInt(0) * a).is_zero());
+}
+
+TEST(BigUInt, ArithmeticAgainstU64Reference) {
+  Rng rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t a = rng.next() >> 33;  // keep products in range
+    const std::uint64_t b = rng.next() >> 33;
+    EXPECT_EQ((BigUInt(a) + BigUInt(b)).to_u64(), a + b);
+    EXPECT_EQ((BigUInt(a) * BigUInt(b)).to_u64(), a * b);
+    if (a >= b) EXPECT_EQ((BigUInt(a) - BigUInt(b)).to_u64(), a - b);
+    if (b != 0) {
+      EXPECT_EQ((BigUInt(a) / BigUInt(b)).to_u64(), a / b);
+      EXPECT_EQ((BigUInt(a) % BigUInt(b)).to_u64(), a % b);
+    }
+  }
+}
+
+TEST(BigUInt, DivModIdentityOnWideOperands) {
+  Rng rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    BigUInt a(rng.next());
+    a = (a << 70) + BigUInt(rng.next());
+    BigUInt d(rng.next() | 1);
+    d = (d << 10) + BigUInt(rng.next() & 0xFFFF);
+    const auto dm = a.divmod(d);
+    EXPECT_LT(dm.remainder, d);
+    EXPECT_EQ(dm.quotient * d + dm.remainder, a);
+  }
+}
+
+TEST(BigUInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUInt(1).divmod(BigUInt(0)), CheckError);
+  BigUInt a(1);
+  EXPECT_THROW(a.div_small(0), CheckError);
+}
+
+TEST(BigUInt, DivSmallMatchesDivMod) {
+  Rng rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    BigUInt a(rng.next());
+    a = (a << 64) + BigUInt(rng.next());
+    const std::uint64_t d = (rng.next() >> 20) | 1;
+    BigUInt q = a;
+    const std::uint64_t rem = q.div_small(d);
+    EXPECT_EQ(q, a / BigUInt(d));
+    EXPECT_EQ(BigUInt(rem), a % BigUInt(d));
+  }
+}
+
+TEST(BigUInt, ShiftsAreInverse) {
+  Rng rng(43);
+  for (const std::size_t shift : {1u, 63u, 64u, 65u, 130u}) {
+    BigUInt a(rng.next() | 1);
+    const BigUInt shifted = a << shift;
+    EXPECT_EQ(shifted >> shift, a);
+    EXPECT_EQ(shifted.bit_length(), a.bit_length() + shift);
+  }
+}
+
+TEST(BigUInt, PowMatchesRepeatedMultiply) {
+  BigUInt b(7);
+  BigUInt acc(1);
+  for (unsigned e = 0; e < 40; ++e) {
+    EXPECT_EQ(b.pow(e), acc);
+    acc *= b;
+  }
+  EXPECT_EQ(BigUInt::upow(10, 19).to_decimal(), "10000000000000000000");
+}
+
+TEST(BigUInt, ComparisonTotalOrder) {
+  const BigUInt big = BigUInt(1) << 100;
+  EXPECT_LT(BigUInt(0), BigUInt(1));
+  EXPECT_LT(BigUInt(~std::uint64_t{0}), big);
+  EXPECT_GT(big + BigUInt(1), big);
+  EXPECT_EQ(big, BigUInt(1) << 100);
+}
+
+TEST(BigUInt, DecimalParseRejectsGarbage) {
+  EXPECT_THROW(BigUInt::from_decimal(""), CheckError);
+  EXPECT_THROW(BigUInt::from_decimal("12a3"), CheckError);
+}
+
+TEST(BigUInt, DecimalRoundTripLarge) {
+  const std::string digits = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigUInt::from_decimal(digits).to_decimal(), digits);
+}
+
+class BigUIntSerialize : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigUIntSerialize, BitStreamRoundTrip) {
+  BigUInt v = BigUInt(GetParam());
+  v = (v << 40) + BigUInt(GetParam() / 3);
+  BitWriter w;
+  v.write(w);
+  EXPECT_EQ(w.bit_size(), v.encoded_bits());
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(BigUInt::read(r), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BigUIntSerialize,
+                         ::testing::Values(0, 1, 2, 100, 65535, 1ull << 30,
+                                           (1ull << 55) + 12345));
+
+TEST(BigUInt, SerializeZero) {
+  BigUInt z;
+  BitWriter w;
+  z.write(w);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_TRUE(BigUInt::read(r).is_zero());
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,154 @@
+// Bit-level serialisation: the substrate every protocol message rides on.
+#include <gtest/gtest.h>
+
+#include "support/bitstream.hpp"
+#include "support/random.hpp"
+#include "support/varint.hpp"
+
+namespace referee {
+namespace {
+
+TEST(BitStream, EmptyWriter) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_size(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitStream, SingleBitRoundTrip) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, UnalignedFieldsRoundTrip) {
+  BitWriter w;
+  w.write_bits(0b101, 3);
+  w.write_bits(0xDEAD, 16);
+  w.write_bits(1, 1);
+  w.write_bits(0x123456789ABCDEFull, 60);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_bits(3), 0b101u);
+  EXPECT_EQ(r.read_bits(16), 0xDEADu);
+  EXPECT_EQ(r.read_bits(1), 1u);
+  EXPECT_EQ(r.read_bits(60), 0x123456789ABCDEFull);
+}
+
+TEST(BitStream, ZeroWidthFieldIsNoop) {
+  BitWriter w;
+  w.write_bits(0, 0);
+  EXPECT_EQ(w.bit_size(), 0u);
+}
+
+TEST(BitStream, RejectsOverwideValue) {
+  BitWriter w;
+  EXPECT_THROW(w.write_bits(4, 2), CheckError);
+}
+
+TEST(BitStream, ReadPastEndThrowsDecodeError) {
+  BitWriter w;
+  w.write_bits(3, 2);
+  BitReader r(w.bytes(), w.bit_size());
+  r.read_bits(2);
+  EXPECT_THROW(r.read_bits(1), DecodeError);
+}
+
+TEST(BitStream, Full64BitValues) {
+  BitWriter w;
+  w.write_bits(~std::uint64_t{0}, 64);
+  w.write_bits(0, 64);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_bits(64), ~std::uint64_t{0});
+  EXPECT_EQ(r.read_bits(64), 0u);
+}
+
+TEST(BitStream, RandomFieldsFuzz) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, int>> fields;
+    for (int i = 0; i < 100; ++i) {
+      const int width = 1 + static_cast<int>(rng.below(64));
+      const std::uint64_t value =
+          width == 64 ? rng.next() : rng.next() & ((std::uint64_t{1} << width) - 1);
+      fields.emplace_back(value, width);
+      w.write_bits(value, width);
+    }
+    BitReader r(w.bytes(), w.bit_size());
+    for (const auto& [value, width] : fields) {
+      EXPECT_EQ(r.read_bits(width), value);
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Varint, EliasGammaKnownValues) {
+  // gamma(1) = "1", gamma(2) = "010", gamma(3) = "011" (MSB-first payload).
+  BitWriter w;
+  write_elias_gamma(w, 1);
+  EXPECT_EQ(w.bit_size(), 1u);
+  write_elias_gamma(w, 2);
+  EXPECT_EQ(w.bit_size(), 4u);
+}
+
+TEST(Varint, GammaBitsFormula) {
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 7ull, 8ull, 1000ull, 1ull << 40}) {
+    BitWriter w;
+    write_elias_gamma(w, v);
+    EXPECT_EQ(static_cast<int>(w.bit_size()), elias_gamma_bits(v)) << v;
+  }
+}
+
+TEST(Varint, DeltaBitsFormula) {
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 7ull, 8ull, 1000ull, 1ull << 40}) {
+    BitWriter w;
+    write_elias_delta(w, v);
+    EXPECT_EQ(static_cast<int>(w.bit_size()), elias_delta_bits(v)) << v;
+  }
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, GammaDeltaZigzag) {
+  const std::uint64_t v = GetParam();
+  BitWriter w;
+  write_elias_gamma(w, v + 1);
+  write_elias_delta(w, v + 1);
+  write_gamma0(w, v);
+  write_delta0(w, v);
+  write_signed_delta(w, static_cast<std::int64_t>(v));
+  write_signed_delta(w, -static_cast<std::int64_t>(v));
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(read_elias_gamma(r), v + 1);
+  EXPECT_EQ(read_elias_delta(r), v + 1);
+  EXPECT_EQ(read_gamma0(r), v);
+  EXPECT_EQ(read_delta0(r), v);
+  EXPECT_EQ(read_signed_delta(r), static_cast<std::int64_t>(v));
+  EXPECT_EQ(read_signed_delta(r), -static_cast<std::int64_t>(v));
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VarintRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 5, 63, 64, 127, 128,
+                                           1023, 1ull << 20, (1ull << 40) + 7,
+                                           (1ull << 62)));
+
+TEST(Varint, DeltaIsShorterThanGammaForLargeValues) {
+  EXPECT_LT(elias_delta_bits(1ull << 40), elias_gamma_bits(1ull << 40));
+}
+
+TEST(Varint, ZigzagMapping) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_decode(zigzag_encode(INT64_MIN)), INT64_MIN);
+  EXPECT_EQ(zigzag_decode(zigzag_encode(INT64_MAX)), INT64_MAX);
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "model/simulator.hpp"
+#include "protocols/bounded_degree.hpp"
+
+namespace referee {
+namespace {
+
+TEST(BoundedDegree, ReconstructsRegularTopologies) {
+  const Simulator sim;
+  const BoundedDegreeReconstruction protocol(4);
+  for (const Graph& g : {gen::cycle(20), gen::grid(5, 5), gen::torus(4, 5),
+                         gen::hypercube(4)}) {
+    EXPECT_EQ(sim.run_reconstruction(g, protocol), g);
+  }
+}
+
+TEST(BoundedDegree, ReconstructsRandomRegular) {
+  Rng rng(379);
+  const Simulator sim;
+  const Graph g = gen::random_regular(30, 3, rng);
+  EXPECT_EQ(sim.run_reconstruction(g, BoundedDegreeReconstruction(3)), g);
+}
+
+TEST(BoundedDegree, LocalRejectsDegreeViolation) {
+  const BoundedDegreeReconstruction protocol(2);
+  const Graph g = gen::star(5);  // centre has degree 5
+  EXPECT_THROW(protocol.local(local_view_of(g, 0)), CheckError);
+}
+
+TEST(BoundedDegree, UnreciprocatedEdgeDetected) {
+  // Hand-craft messages where node 1 claims an edge to 2 but not vice versa.
+  const BoundedDegreeReconstruction protocol(2);
+  const std::uint32_t n = 3;
+  std::vector<Message> msgs;
+  msgs.push_back(protocol.local(make_view(1, n, {2})));
+  msgs.push_back(protocol.local(make_view(2, n, {})));
+  msgs.push_back(protocol.local(make_view(3, n, {})));
+  EXPECT_THROW(protocol.reconstruct(n, msgs), DecodeError);
+}
+
+TEST(BoundedDegree, MessageLinearInDegree) {
+  const Simulator sim;
+  FrugalityReport report;
+  sim.run_reconstruction(gen::cycle(100), BoundedDegreeReconstruction(2),
+                         &report);
+  // id + deg + 2 neighbour ids = 4 log-units.
+  EXPECT_LE(report.constant(), 4.0);
+}
+
+TEST(BoundedDegree, EmptyGraph) {
+  const Simulator sim;
+  const BoundedDegreeReconstruction protocol(1);
+  EXPECT_EQ(sim.run_reconstruction(gen::empty(6), protocol), gen::empty(6));
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,98 @@
+// Lemma 1 quantitatively: family sizes versus the frugal referee capacity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reductions/counting.hpp"
+
+namespace referee {
+namespace {
+
+TEST(Counting, AllGraphsLogCount) {
+  EXPECT_DOUBLE_EQ(log2_all_graphs(2), 1.0);
+  EXPECT_DOUBLE_EQ(log2_all_graphs(10), 45.0);
+}
+
+TEST(Counting, FixedBipartiteLogCount) {
+  EXPECT_DOUBLE_EQ(log2_fixed_bipartite(4), 4.0);
+  EXPECT_DOUBLE_EQ(log2_fixed_bipartite(5), 6.0);
+  EXPECT_DOUBLE_EQ(log2_fixed_bipartite(10), 25.0);
+}
+
+TEST(Counting, SquareFreeExactMatchesEnumeration) {
+  EXPECT_DOUBLE_EQ(log2_square_free_exact(2), 1.0);             // 2 graphs
+  EXPECT_DOUBLE_EQ(log2_square_free_exact(3), 3.0);             // 8 graphs
+  EXPECT_NEAR(log2_square_free_exact(4), std::log2(54.0), 1e-12);
+}
+
+TEST(Counting, SquareFreeGrowsStrictly) {
+  double prev = 0;
+  for (std::uint32_t n = 2; n <= 6; ++n) {
+    const double cur = log2_square_free_exact(n);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Counting, FrugalCapacityFormula) {
+  // n = 1023 -> budget 10 bits; capacity = c * n * 10.
+  EXPECT_DOUBLE_EQ(frugal_capacity_bits(1023, 2.0), 2.0 * 1023 * 10);
+}
+
+TEST(Counting, Lemma1AllGraphsInfeasibleEventually) {
+  // C(n,2) grows like n²; capacity like n log n — all graphs cannot be
+  // reconstructed frugally once n is moderately large (Theorem 2's family).
+  EXPECT_TRUE(lemma1_feasible(log2_all_graphs(8), 8, 4.0));
+  EXPECT_FALSE(lemma1_feasible(log2_all_graphs(4096), 4096, 4.0));
+}
+
+TEST(Counting, Lemma1SquareFreeInfeasibleEventually) {
+  // The Kleitman–Winston Θ(n^{3/2}) model beats c·n·log n for every fixed c
+  // (Theorem 1's family).
+  for (const double c : {1.0, 4.0, 16.0}) {
+    bool infeasible_seen = false;
+    for (std::uint32_t n = 1u << 8; n <= (1u << 24); n <<= 2) {
+      if (!lemma1_feasible(log2_square_free_model(n), n, c)) {
+        infeasible_seen = true;
+      }
+    }
+    EXPECT_TRUE(infeasible_seen) << "c=" << c;
+  }
+}
+
+TEST(Counting, Lemma1BipartiteInfeasibleEventually) {
+  EXPECT_FALSE(lemma1_feasible(log2_fixed_bipartite(4096), 4096, 4.0));
+}
+
+TEST(Counting, DegenerateFamilyStaysFeasible) {
+  // Graphs of degeneracy k have at most ~ n·k·log n description bits; the
+  // protocol's capacity keeps up at every size (Theorem 5's side of the
+  // ledger). Model: log2 |family| <= k * n * log2 n.
+  const double k = 3;
+  for (std::uint32_t n = 16; n <= (1u << 20); n <<= 2) {
+    const double family = k * n * std::log2(static_cast<double>(n));
+    EXPECT_TRUE(lemma1_feasible(family, n, /*c=*/2 * k + 2));
+  }
+}
+
+TEST(Counting, CrossoverOrdering) {
+  // For any fixed capacity constant, square-free crosses infeasible later
+  // than all-graphs (n^{3/2} vs n² growth), sanity-checking the model.
+  const double c = 4.0;
+  std::uint32_t all_cross = 0;
+  std::uint32_t sf_cross = 0;
+  for (std::uint32_t n = 4; n <= (1u << 24); n <<= 1) {
+    if (all_cross == 0 && !lemma1_feasible(log2_all_graphs(n), n, c)) {
+      all_cross = n;
+    }
+    if (sf_cross == 0 && !lemma1_feasible(log2_square_free_model(n), n, c)) {
+      sf_cross = n;
+    }
+  }
+  ASSERT_NE(all_cross, 0u);
+  ASSERT_NE(sf_cross, 0u);
+  EXPECT_LT(all_cross, sf_cross);
+}
+
+}  // namespace
+}  // namespace referee

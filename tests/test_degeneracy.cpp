@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/degeneracy.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+
+namespace referee {
+namespace {
+
+TEST(Degeneracy, KnownFamilies) {
+  Rng rng(7);
+  EXPECT_EQ(degeneracy(gen::random_tree(30, rng)).degeneracy, 1u);
+  EXPECT_EQ(degeneracy(gen::cycle(10)).degeneracy, 2u);
+  EXPECT_EQ(degeneracy(gen::complete(7)).degeneracy, 6u);
+  EXPECT_EQ(degeneracy(gen::grid(5, 6)).degeneracy, 2u);
+  EXPECT_EQ(degeneracy(gen::complete_bipartite(3, 9)).degeneracy, 3u);
+  EXPECT_EQ(degeneracy(gen::hypercube(4)).degeneracy, 4u);
+  EXPECT_EQ(degeneracy(Graph(5)).degeneracy, 0u);
+}
+
+TEST(Degeneracy, ForestsAreExactlyDegeneracyOne) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    EXPECT_LE(degeneracy(gen::random_forest(40, 0.2, rng)).degeneracy, 1u);
+  }
+  // Any graph with a cycle has degeneracy >= 2.
+  EXPECT_GE(degeneracy(gen::cycle(3)).degeneracy, 2u);
+}
+
+TEST(Degeneracy, RemovalOrderIsValidEliminationOrder) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::gnp(40, 0.15, rng);
+    const auto result = degeneracy(g);
+    // The paper's (r_1,...,r_n) is the reverse of the removal order.
+    std::vector<Vertex> paper_order(result.removal_order.rbegin(),
+                                    result.removal_order.rend());
+    EXPECT_TRUE(is_valid_elimination_order(g, paper_order, result.degeneracy));
+    // And not valid for any smaller k when the bound is tight.
+    if (result.degeneracy > 0) {
+      EXPECT_FALSE(
+          is_valid_elimination_order(g, paper_order, result.degeneracy - 1));
+    }
+  }
+}
+
+TEST(Degeneracy, EliminationOrderValidatorRejectsNonPermutations) {
+  const Graph g = gen::path(4);
+  const std::vector<Vertex> dup{0, 0, 1, 2};
+  EXPECT_FALSE(is_valid_elimination_order(g, dup, 1));
+  const std::vector<Vertex> short_order{0, 1};
+  EXPECT_FALSE(is_valid_elimination_order(g, short_order, 1));
+}
+
+TEST(Degeneracy, CoreNumbersMonotone) {
+  // The k-core number never exceeds the degeneracy and is at least 1 on any
+  // non-isolated vertex.
+  Rng rng(17);
+  const Graph g = gen::gnp(50, 0.1, rng);
+  const auto result = degeneracy(g);
+  for (Vertex v = 0; v < 50; ++v) {
+    EXPECT_LE(result.core_number[v], result.degeneracy);
+    if (g.degree(v) > 0) EXPECT_GE(result.core_number[v], 1u);
+  }
+}
+
+TEST(Degeneracy, CoreNumberOfCliqueCore) {
+  // K5 with a pendant path: clique vertices have core 4, path tail core 1.
+  Graph g = gen::complete(5);
+  const Vertex p0 = g.add_vertices(2);
+  g.add_edge(0, p0);
+  g.add_edge(p0, p0 + 1);
+  const auto result = degeneracy(g);
+  EXPECT_EQ(result.degeneracy, 4u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(result.core_number[v], 4u);
+  EXPECT_EQ(result.core_number[p0 + 1], 1u);
+}
+
+TEST(Degeneracy, HasDegeneracyAtMost) {
+  const Graph g = gen::cycle(8);
+  EXPECT_FALSE(has_degeneracy_at_most(g, 1));
+  EXPECT_TRUE(has_degeneracy_at_most(g, 2));
+  EXPECT_TRUE(has_degeneracy_at_most(g, 3));
+}
+
+TEST(GeneralizedDegeneracy, CompleteGraphIsGeneralizedZero) {
+  // K_n: every vertex has co-degree 0, so generalised degeneracy holds even
+  // at k = 1 where plain degeneracy (n-1) fails badly.
+  const Graph g = gen::complete(8);
+  const auto result = generalized_degeneracy_order(g, 1);
+  EXPECT_TRUE(result.feasible);
+  // All removals use the complement side until the residual clique shrinks
+  // to k+1 = 2 vertices, whose plain degree also qualifies.
+  const auto complement_uses =
+      std::count(result.used_complement.begin(), result.used_complement.end(),
+                 true);
+  EXPECT_GE(complement_uses, 6);
+}
+
+TEST(GeneralizedDegeneracy, ComplementOfForestFeasibleAtOne) {
+  Rng rng(19);
+  const Graph g = complement(gen::random_tree(20, rng));
+  EXPECT_TRUE(generalized_degeneracy_order(g, 1).feasible);
+}
+
+TEST(GeneralizedDegeneracy, PlainDegenerateStillFeasible) {
+  Rng rng(23);
+  const Graph g = gen::random_k_degenerate(30, 2, rng);
+  const auto result = generalized_degeneracy_order(g, 2);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.removal_order.size(), 30u);
+}
+
+TEST(GeneralizedDegeneracy, InfeasibleCase) {
+  // A 4-regular-ish graph on few vertices where neither side is small:
+  // C5 join C5 complement trickery is overkill — use the 3-cube plus its
+  // complement edges on alternating vertices... simplest concrete witness:
+  // the 4x4 rook's graph-ish torus: every vertex has degree 4 and co-degree
+  // 11, so k = 3 fails on both sides at the first step; and since the torus
+  // is vertex-transitive and removals only help the complement side slowly,
+  // feasibility at k=3 would require *some* vertex to drop to degree <= 3.
+  const Graph g = gen::torus(4, 4);
+  const auto result = generalized_degeneracy_order(g, 3);
+  EXPECT_FALSE(result.feasible);
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,206 @@
+// Theorem 5 end to end: reconstruction is the identity on every graph of
+// degeneracy <= k, messages are O(k² log n) bits, corrupted transcripts fail
+// loudly, and the recognition variant accepts exactly the right class.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <functional>
+#include <string>
+
+#include "graph/degeneracy.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "model/simulator.hpp"
+#include "numth/lookup.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+#include "protocols/recognition.hpp"
+#include "support/bits.hpp"
+
+namespace referee {
+namespace {
+
+Graph roundtrip(const Graph& g, const DegeneracyReconstruction& protocol,
+                FrugalityReport* report = nullptr) {
+  const Simulator sim;
+  return sim.run_reconstruction(g, protocol, report);
+}
+
+TEST(DegeneracyProtocol, ReconstructsTinyGraphs) {
+  const DegeneracyReconstruction protocol(2);
+  EXPECT_EQ(roundtrip(gen::empty(1), protocol), gen::empty(1));
+  EXPECT_EQ(roundtrip(gen::empty(4), protocol), gen::empty(4));
+  EXPECT_EQ(roundtrip(gen::path(2), protocol), gen::path(2));
+  EXPECT_EQ(roundtrip(gen::cycle(3), protocol), gen::cycle(3));
+}
+
+struct FamilyCase {
+  std::string label;
+  unsigned k;
+  std::function<Graph(Rng&)> make;
+};
+
+class ReconstructionSweep : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(ReconstructionSweep, IdentityOnFamily) {
+  const auto& fc = GetParam();
+  Rng rng(271);
+  const DegeneracyReconstruction protocol(fc.k);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = fc.make(rng);
+    FrugalityReport report;
+    EXPECT_EQ(roundtrip(g, protocol, &report), g) << fc.label;
+    // Lemma 2: O(k² log n) — assert the concrete bound 2log + k(k+2)log +
+    // small change, generously rounded to (k+2)² log-units.
+    EXPECT_LE(report.constant(), static_cast<double>((fc.k + 2) * (fc.k + 2)))
+        << fc.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ReconstructionSweep,
+    ::testing::Values(
+        FamilyCase{"forest", 1,
+                   [](Rng& r) { return gen::random_forest(60, 0.2, r); }},
+        FamilyCase{"tree", 1, [](Rng& r) { return gen::random_tree(80, r); }},
+        FamilyCase{"cycle", 2, [](Rng&) { return gen::cycle(50); }},
+        FamilyCase{"grid", 2, [](Rng&) { return gen::grid(7, 9); }},
+        FamilyCase{"2-degenerate", 2,
+                   [](Rng& r) { return gen::random_k_degenerate(70, 2, r); }},
+        FamilyCase{"3-degenerate-exact", 3,
+                   [](Rng& r) {
+                     return gen::random_k_degenerate(60, 3, r, true);
+                   }},
+        FamilyCase{"apollonian(planar)", 3,
+                   [](Rng& r) { return gen::random_apollonian(60, r); }},
+        FamilyCase{"partial-3-tree", 3,
+                   [](Rng& r) {
+                     return gen::random_partial_k_tree(50, 3, 0.7, r);
+                   }},
+        FamilyCase{"4-tree", 4,
+                   [](Rng& r) { return gen::random_k_tree(40, 4, r); }},
+        FamilyCase{"planar-at-k5", 5,
+                   [](Rng& r) { return gen::random_apollonian(40, r); }},
+        FamilyCase{"hypercube", 4, [](Rng&) { return gen::hypercube(4); }}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      std::string name = info.param.label;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(DegeneracyProtocol, TableDecoderMatchesNewton) {
+  Rng rng(277);
+  const Graph g = gen::random_k_degenerate(25, 2, rng);
+  const DegeneracyReconstruction newton(2);
+  const auto table = std::make_shared<NeighborhoodTable>(25, 2);
+  const DegeneracyReconstruction lookup(
+      2, std::make_shared<TableDecoder>(table));
+  EXPECT_EQ(roundtrip(g, newton), g);
+  EXPECT_EQ(roundtrip(g, lookup), g);
+}
+
+TEST(DegeneracyProtocol, HigherKStillReconstructsLowerClass) {
+  Rng rng(281);
+  const Graph g = gen::random_tree(40, rng);  // degeneracy 1
+  EXPECT_EQ(roundtrip(g, DegeneracyReconstruction(3)), g);
+}
+
+TEST(DegeneracyProtocol, RejectsGraphAboveK) {
+  // K6 has degeneracy 5; at k = 2 pruning must stall, not fabricate a graph.
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  EXPECT_THROW(sim.run_reconstruction(gen::complete(6), protocol),
+               DecodeError);
+}
+
+TEST(DegeneracyProtocol, MessageBitsMatchLocalFunction) {
+  Rng rng(283);
+  const Graph g = gen::random_k_degenerate(50, 3, rng);
+  const DegeneracyReconstruction protocol(3);
+  for (Vertex v = 0; v < 10; ++v) {
+    const auto view = local_view_of(g, v);
+    EXPECT_EQ(protocol.local(view).bit_size(),
+              DegeneracyReconstruction::message_bits(view, 3));
+  }
+}
+
+TEST(DegeneracyProtocol, MessageSizeGrowsLogarithmically) {
+  // Doubling n adds O(k²) bits, not O(n) — spot-check the Lemma 2 shape on
+  // the max-degree node of a star (worst case power sums).
+  const unsigned k = 3;
+  std::size_t previous = 0;
+  for (const std::size_t n : {64u, 128u, 256u, 512u}) {
+    const Graph g = gen::star(n - 1);
+    const auto view = local_view_of(g, 0);
+    const std::size_t bits = DegeneracyReconstruction::message_bits(view, k);
+    if (previous != 0) {
+      EXPECT_LE(bits, previous + 12 * (k + 1));  // ~ (k sums + id/deg) bits
+    }
+    previous = bits;
+  }
+}
+
+TEST(DegeneracyProtocol, BitFlipNeverReturnsWrongGraph) {
+  Rng rng(293);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  int silent_wrong = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = gen::random_k_degenerate(30, 2, rng);
+    auto msgs = sim.run_local_phase(g, protocol);
+    const FaultPlan plan{.bit_flip_chance = 1.0, .truncate_chance = 0.0,
+                         .seed = 1000u + static_cast<std::uint64_t>(trial)};
+    Simulator::inject_faults(msgs, plan);
+    try {
+      const Graph h = protocol.reconstruct(
+          static_cast<std::uint32_t>(g.vertex_count()), msgs);
+      // Flips in don't-care positions may decode to the same graph — that is
+      // fine; decoding to a *different* graph silently is the failure mode
+      // the power-sum cross-check exists to prevent.
+      if (!(h == g)) ++silent_wrong;
+    } catch (const DecodeError&) {
+      // loud failure: expected
+    }
+  }
+  EXPECT_EQ(silent_wrong, 0);
+}
+
+TEST(DegeneracyProtocol, TruncationAlwaysDetected) {
+  Rng rng(307);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  const Graph g = gen::random_k_degenerate(30, 2, rng);
+  auto msgs = sim.run_local_phase(g, protocol);
+  msgs[7].truncate(msgs[7].bit_size() / 2);
+  EXPECT_THROW(
+      protocol.reconstruct(static_cast<std::uint32_t>(g.vertex_count()), msgs),
+      DecodeError);
+}
+
+TEST(DegeneracyProtocol, WrongMessageCountRejected) {
+  const DegeneracyReconstruction protocol(1);
+  std::vector<Message> none;
+  EXPECT_THROW(protocol.reconstruct(3, none), DecodeError);
+}
+
+TEST(Recognition, AcceptsClassRejectsAbove) {
+  Rng rng(311);
+  const Simulator sim;
+  const auto recognizer = make_degeneracy_recognizer(2);
+  EXPECT_TRUE(sim.run_decision(gen::grid(6, 6), *recognizer));
+  EXPECT_TRUE(sim.run_decision(gen::cycle(20), *recognizer));
+  EXPECT_FALSE(sim.run_decision(gen::complete(5), *recognizer));
+  EXPECT_FALSE(sim.run_decision(gen::random_apollonian(30, rng), *recognizer));
+  EXPECT_FALSE(sim.run_decision(gen::hypercube(4), *recognizer));
+}
+
+TEST(Recognition, BoundaryExactness) {
+  // degeneracy(K4) = 3: accepted at k = 3, rejected at k = 2.
+  const Simulator sim;
+  EXPECT_TRUE(sim.run_decision(gen::complete(4), *make_degeneracy_recognizer(3)));
+  EXPECT_FALSE(sim.run_decision(gen::complete(4), *make_degeneracy_recognizer(2)));
+}
+
+}  // namespace
+}  // namespace referee

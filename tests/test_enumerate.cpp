@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "graph/enumerate.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraphs.hpp"
+#include "support/thread_pool.hpp"
+
+namespace referee {
+namespace {
+
+TEST(Enumerate, MaskRoundTrip) {
+  Rng rng(227);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Graph g = gen::gnp(7, 0.5, rng);
+    EXPECT_EQ(graph_from_mask(7, mask_from_graph(g)), g);
+  }
+}
+
+TEST(Enumerate, MaskZeroIsEmptyAndFullIsComplete) {
+  EXPECT_EQ(graph_from_mask(5, 0), gen::empty(5));
+  EXPECT_EQ(graph_from_mask(5, (1u << 10) - 1), gen::complete(5));
+}
+
+TEST(Enumerate, VisitsAllGraphs) {
+  std::uint64_t count = 0;
+  for_each_labelled_graph(4, [&](const Graph& g) {
+    EXPECT_EQ(g.vertex_count(), 4u);
+    ++count;
+  });
+  EXPECT_EQ(count, 64u);  // 2^C(4,2)
+}
+
+TEST(Enumerate, CountWithTrivialPredicates) {
+  EXPECT_EQ(count_labelled_graphs(4, [](const Graph&) { return true; }), 64u);
+  EXPECT_EQ(count_labelled_graphs(4, [](const Graph&) { return false; }), 0u);
+}
+
+TEST(Enumerate, SquareFreeCountsSmall) {
+  // n <= 3: no graph on < 4 vertices has a C4.
+  EXPECT_EQ(count_square_free_graphs(1), 1u);
+  EXPECT_EQ(count_square_free_graphs(2), 2u);
+  EXPECT_EQ(count_square_free_graphs(3), 8u);
+  // n = 4: 64 total, inclusion-exclusion over the three 4-cycles gives 10
+  // graphs containing a C4.
+  EXPECT_EQ(count_square_free_graphs(4), 54u);
+}
+
+TEST(Enumerate, ParallelCountMatchesSequential) {
+  ThreadPool pool(4);
+  const auto seq = count_square_free_graphs(6, nullptr);
+  const auto par = count_square_free_graphs(6, &pool);
+  EXPECT_EQ(seq, par);
+}
+
+// OEIS A001187 (labelled connected graphs): 1, 1, 4, 38, 728 for n = 1..5.
+std::uint64_t count_connected(std::size_t n) {
+  std::uint64_t count = 0;
+  for_each_labelled_graph(n, [&](const Graph& g) {
+    // Tiny inline DFS to stay independent of graph/algorithms.
+    std::vector<bool> seen(g.vertex_count(), false);
+    std::vector<Vertex> stack{0};
+    seen[0] = true;
+    std::size_t visited = 1;
+    while (!stack.empty()) {
+      const Vertex u = stack.back();
+      stack.pop_back();
+      for (const Vertex v : g.neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          ++visited;
+          stack.push_back(v);
+        }
+      }
+    }
+    if (visited == g.vertex_count()) ++count;
+  });
+  return count;
+}
+
+TEST(Enumerate, ConnectedCountsMatchOeisA001187) {
+  EXPECT_EQ(count_connected(1), 1u);
+  EXPECT_EQ(count_connected(2), 1u);
+  EXPECT_EQ(count_connected(3), 4u);
+  EXPECT_EQ(count_connected(4), 38u);
+  EXPECT_EQ(count_connected(5), 728u);
+}
+
+TEST(Enumerate, RejectsOversizedN) {
+  EXPECT_THROW(for_each_labelled_graph(9, [](const Graph&) {}), CheckError);
+  EXPECT_THROW(graph_from_mask(12, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,101 @@
+// Failure-injection sweeps: under any rate of bit flips and truncations the
+// decoders must either recover the exact graph (flip in a don't-care bit) or
+// fail loudly — never return a different graph. The generalised and sketch
+// protocols get the same treatment.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "model/simulator.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+#include "protocols/generalized_degeneracy.hpp"
+#include "sketch/connectivity.hpp"
+
+namespace referee {
+namespace {
+
+struct FaultCase {
+  double flip;
+  double truncate;
+};
+
+class FaultSweep : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(FaultSweep, DegeneracyNeverSilentlyWrong) {
+  const auto [flip, truncate] = GetParam();
+  Rng rng(557);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  int silent_wrong = 0;
+  int loud = 0;
+  int recovered = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = gen::random_k_degenerate(25, 2, rng);
+    auto msgs = sim.run_local_phase(g, protocol);
+    Simulator::inject_faults(
+        msgs, FaultPlan{.bit_flip_chance = flip, .truncate_chance = truncate,
+                        .seed = 7000u + static_cast<std::uint64_t>(trial)});
+    try {
+      const Graph h = protocol.reconstruct(25, msgs);
+      (h == g ? recovered : silent_wrong) += 1;
+    } catch (const DecodeError&) {
+      ++loud;
+    }
+  }
+  EXPECT_EQ(silent_wrong, 0);
+  if (flip + truncate > 0.5) {
+    EXPECT_GT(loud, 0);  // heavy corruption must actually trip the checks
+  }
+}
+
+TEST_P(FaultSweep, GeneralizedNeverSilentlyWrong) {
+  const auto [flip, truncate] = GetParam();
+  Rng rng(563);
+  const Simulator sim;
+  const GeneralizedDegeneracyReconstruction protocol(2);
+  int silent_wrong = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = gen::random_k_degenerate(20, 2, rng);
+    auto msgs = sim.run_local_phase(g, protocol);
+    Simulator::inject_faults(
+        msgs, FaultPlan{.bit_flip_chance = flip, .truncate_chance = truncate,
+                        .seed = 8000u + static_cast<std::uint64_t>(trial)});
+    try {
+      const Graph h = protocol.reconstruct(20, msgs);
+      if (!(h == g)) ++silent_wrong;
+    } catch (const DecodeError&) {
+    }
+  }
+  EXPECT_EQ(silent_wrong, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, FaultSweep,
+    ::testing::Values(FaultCase{0.1, 0.0}, FaultCase{0.5, 0.0},
+                      FaultCase{1.0, 0.0}, FaultCase{0.0, 0.3},
+                      FaultCase{0.0, 1.0}, FaultCase{0.5, 0.5}),
+    [](const ::testing::TestParamInfo<FaultCase>& info) {
+      return "flip" + std::to_string(static_cast<int>(info.param.flip * 100)) +
+             "_trunc" +
+             std::to_string(static_cast<int>(info.param.truncate * 100));
+    });
+
+TEST(FaultHandling, SketchDecodeSurvivesTruncationLoudly) {
+  Rng rng(569);
+  const Graph g = gen::connected_gnp(30, 0.12, rng);
+  const SketchConnectivityProtocol protocol(
+      SketchParams{.seed = 31, .rounds = 0, .copies = 3});
+  const Simulator sim;
+  auto msgs = sim.run_local_phase(g, protocol);
+  msgs[5].truncate(msgs[5].bit_size() / 3);
+  EXPECT_THROW(protocol.decode(30, msgs), DecodeError);
+}
+
+TEST(FaultHandling, EmptyTranscriptRejectedEverywhere) {
+  std::vector<Message> none;
+  EXPECT_THROW(DegeneracyReconstruction(2).reconstruct(5, none), DecodeError);
+  EXPECT_THROW(GeneralizedDegeneracyReconstruction(2).reconstruct(5, none),
+               DecodeError);
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "model/simulator.hpp"
+#include "protocols/forest_protocol.hpp"
+#include "protocols/recognition.hpp"
+#include "support/bits.hpp"
+
+namespace referee {
+namespace {
+
+TEST(ForestProtocol, ReconstructsTrees) {
+  Rng rng(313);
+  const Simulator sim;
+  const ForestReconstruction protocol;
+  for (const std::size_t n : {1u, 2u, 3u, 10u, 100u, 500u}) {
+    const Graph g = gen::random_tree(n, rng);
+    EXPECT_EQ(sim.run_reconstruction(g, protocol), g);
+  }
+}
+
+TEST(ForestProtocol, ReconstructsForestsWithIsolatedVertices) {
+  Rng rng(317);
+  const Simulator sim;
+  const ForestReconstruction protocol;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::random_forest(60, 0.4, rng);
+    EXPECT_EQ(sim.run_reconstruction(g, protocol), g);
+  }
+}
+
+TEST(ForestProtocol, ReconstructsStarsAndPathsAndCaterpillars) {
+  const Simulator sim;
+  const ForestReconstruction protocol;
+  EXPECT_EQ(sim.run_reconstruction(gen::star(30), protocol), gen::star(30));
+  EXPECT_EQ(sim.run_reconstruction(gen::path(40), protocol), gen::path(40));
+  EXPECT_EQ(sim.run_reconstruction(gen::caterpillar(8, 4), protocol),
+            gen::caterpillar(8, 4));
+  EXPECT_EQ(sim.run_reconstruction(gen::binary_tree(63), protocol),
+            gen::binary_tree(63));
+}
+
+TEST(ForestProtocol, MessageWithinFourLogN) {
+  // §III-A: the triple "can be encoded using less than 4 log n bits".
+  Rng rng(331);
+  const Graph g = gen::random_tree(200, rng);
+  const Simulator sim;
+  FrugalityReport report;
+  sim.run_reconstruction(g, ForestReconstruction(), &report);
+  EXPECT_LE(report.constant(), 4.0);
+}
+
+TEST(ForestProtocol, CycleDetectedLoudly) {
+  const Simulator sim;
+  const ForestReconstruction protocol;
+  EXPECT_THROW(sim.run_reconstruction(gen::cycle(10), protocol), DecodeError);
+  // A lollipop (cycle + tail): the tail prunes fine, then the cycle stalls.
+  Graph lollipop = gen::cycle(5);
+  const Vertex tail = lollipop.add_vertices(3);
+  lollipop.add_edge(0, tail);
+  lollipop.add_edge(tail, tail + 1);
+  lollipop.add_edge(tail + 1, tail + 2);
+  EXPECT_THROW(sim.run_reconstruction(lollipop, protocol), DecodeError);
+}
+
+TEST(ForestProtocol, RecognizerAcceptsForestsRejectsCycles) {
+  Rng rng(337);
+  const Simulator sim;
+  const auto recognizer = make_forest_recognizer();
+  EXPECT_TRUE(sim.run_decision(gen::random_forest(40, 0.3, rng), *recognizer));
+  EXPECT_TRUE(sim.run_decision(gen::path(17), *recognizer));
+  EXPECT_FALSE(sim.run_decision(gen::cycle(17), *recognizer));
+  EXPECT_FALSE(sim.run_decision(gen::complete(4), *recognizer));
+  EXPECT_FALSE(sim.run_decision(gen::grid(3, 3), *recognizer));
+}
+
+TEST(ForestProtocol, CorruptedLeafSumDetected) {
+  Rng rng(347);
+  const Graph g = gen::random_tree(30, rng);
+  const ForestReconstruction protocol;
+  const Simulator sim;
+  auto msgs = sim.run_local_phase(g, protocol);
+  // Flip a bit inside the sum field of some leaf's message.
+  const int id_bits = log_budget_bits(30);
+  msgs[3].flip_bit(static_cast<std::size_t>(2 * id_bits) + 1);
+  bool caught = false;
+  try {
+    const Graph h = protocol.reconstruct(30, msgs);
+    caught = !(h == g);  // if it decoded, it must have decoded differently
+  } catch (const DecodeError&) {
+    caught = true;
+  }
+  // The forest decoder has no power-sum cross-check, so a corrupt sum can
+  // reconstruct a *different forest* — but never the original graph.
+  EXPECT_TRUE(caught);
+}
+
+TEST(ForestProtocol, AgreesWithDegeneracyProtocolAtKOne) {
+  Rng rng(349);
+  const Simulator sim;
+  const Graph g = gen::random_forest(50, 0.25, rng);
+  const ForestReconstruction fast;
+  EXPECT_EQ(sim.run_reconstruction(g, fast), g);
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,135 @@
+// The G'_{s,t} equivalences that power Theorems 1-3 — the executable content
+// of Figures 1 and 2.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraphs.hpp"
+#include "reductions/gadgets.hpp"
+
+namespace referee {
+namespace {
+
+TEST(SquareGadget, Shape) {
+  const Graph g = gen::path(4);
+  const Graph gadget = square_gadget(g, 0, 3);
+  EXPECT_EQ(gadget.vertex_count(), 8u);
+  // 3 path edges + 4 pendant edges + 1 (n+s, n+t) edge.
+  EXPECT_EQ(gadget.edge_count(), 8u);
+  EXPECT_TRUE(gadget.has_edge(4, 7));
+}
+
+TEST(SquareGadget, EquivalenceOnSquareFreeGraphs) {
+  Rng rng(383);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = gen::random_square_free(18, 700, rng);
+    ASSERT_FALSE(has_square(g));
+    for (int pick = 0; pick < 25; ++pick) {
+      const auto s = static_cast<Vertex>(rng.below(18));
+      const auto t = static_cast<Vertex>(rng.below(18));
+      if (s == t) continue;
+      EXPECT_EQ(has_square(square_gadget(g, s, t)), g.has_edge(s, t));
+    }
+  }
+}
+
+TEST(SquareGadget, TrianglesDoNotConfuseIt) {
+  // Square-free graphs may contain triangles; the gadget must still work.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);  // triangle
+  g.add_edge(2, 3);
+  ASSERT_FALSE(has_square(g));
+  EXPECT_TRUE(has_square(square_gadget(g, 0, 1)));
+  EXPECT_FALSE(has_square(square_gadget(g, 0, 3)));
+  EXPECT_FALSE(has_square(square_gadget(g, 0, 4)));
+}
+
+TEST(DiameterGadget, ShapeMatchesFigure1) {
+  // Figure 1: G on 7 circled vertices, new vertices 8..10 (1-based) = 7..9
+  // (0-based): 7 attaches to s, 8 to t, 9 to everyone.
+  const Graph g = gen::cycle(7);
+  const Graph gadget = diameter_gadget(g, 0, 6);
+  EXPECT_EQ(gadget.vertex_count(), 10u);
+  EXPECT_EQ(gadget.degree(7), 1u);
+  EXPECT_EQ(gadget.degree(8), 1u);
+  EXPECT_EQ(gadget.degree(9), 7u);
+  EXPECT_TRUE(gadget.has_edge(0, 7));
+  EXPECT_TRUE(gadget.has_edge(6, 8));
+}
+
+TEST(DiameterGadget, DiameterIsThreeIffEdgeElseFour) {
+  Rng rng(389);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = gen::gnp(15, 0.25, rng);
+    for (int pick = 0; pick < 25; ++pick) {
+      const auto s = static_cast<Vertex>(rng.below(15));
+      const auto t = static_cast<Vertex>(rng.below(15));
+      if (s == t) continue;
+      const auto d = diameter(diameter_gadget(g, s, t));
+      ASSERT_TRUE(d.has_value());  // the hub connects everything
+      if (g.has_edge(s, t)) {
+        EXPECT_LE(*d, 3u);
+      } else {
+        EXPECT_EQ(*d, 4u);
+      }
+    }
+  }
+}
+
+TEST(DiameterGadget, WorksOnDisconnectedInputs) {
+  // The hub vertex makes G'_{s,t} connected even when G is not — the
+  // reduction covers arbitrary graphs.
+  Graph g(6);  // no edges at all
+  const auto d = diameter(diameter_gadget(g, 1, 4));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 4u);
+}
+
+TEST(TriangleGadget, ShapeMatchesFigure2) {
+  // Figure 2: G on 7 circled vertices, apex 8 (1-based) = 7 (0-based)
+  // adjacent to s = 1 and t = 6.
+  const Graph g = gen::path(7);
+  const Graph gadget = triangle_gadget(g, 1, 6);
+  EXPECT_EQ(gadget.vertex_count(), 8u);
+  EXPECT_EQ(gadget.degree(7), 2u);
+  EXPECT_EQ(gadget.edge_count(), g.edge_count() + 2);
+}
+
+TEST(TriangleGadget, EquivalenceOnBipartiteGraphs) {
+  Rng rng(397);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = gen::random_bipartite(9, 9, 0.3, rng);
+    ASSERT_FALSE(has_triangle(g));
+    for (int pick = 0; pick < 25; ++pick) {
+      const auto s = static_cast<Vertex>(rng.below(18));
+      const auto t = static_cast<Vertex>(rng.below(18));
+      if (s == t) continue;
+      EXPECT_EQ(has_triangle(triangle_gadget(g, s, t)), g.has_edge(s, t));
+    }
+  }
+}
+
+TEST(TriangleGadget, FailsOutsideTriangleFreeDomain) {
+  // Documented domain restriction: on a graph that already has a triangle
+  // the gadget's "if" direction breaks — this is why Theorem 3 restricts Δ
+  // to bipartite inputs.
+  const Graph g = gen::complete(3);
+  EXPECT_TRUE(has_triangle(triangle_gadget(g, 0, 1)));  // edge: fine
+  // No-edge case cannot arise in K3; build one explicitly.
+  Graph h = gen::complete(3);
+  h.add_vertices(2);
+  EXPECT_TRUE(has_triangle(triangle_gadget(h, 3, 4)));  // triangle pre-exists
+  EXPECT_FALSE(h.has_edge(3, 4));
+}
+
+TEST(Gadgets, RejectBadEndpoints) {
+  const Graph g = gen::path(4);
+  EXPECT_THROW(square_gadget(g, 1, 1), CheckError);
+  EXPECT_THROW(diameter_gadget(g, 0, 4), CheckError);
+  EXPECT_THROW(triangle_gadget(g, 4, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace referee

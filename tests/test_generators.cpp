@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/degeneracy.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraphs.hpp"
+
+namespace referee {
+namespace {
+
+TEST(Generators, PathCycleCompleteStar) {
+  EXPECT_EQ(gen::path(5).edge_count(), 4u);
+  EXPECT_EQ(gen::cycle(5).edge_count(), 5u);
+  EXPECT_EQ(gen::complete(6).edge_count(), 15u);
+  EXPECT_EQ(gen::star(7).edge_count(), 7u);
+  EXPECT_EQ(gen::complete_bipartite(3, 4).edge_count(), 12u);
+}
+
+TEST(Generators, GridAndTorus) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.vertex_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3 + 2u * 4);  // 17
+  const Graph t = gen::torus(3, 4);
+  EXPECT_EQ(t.edge_count(), 24u);  // 2 * r * c
+  for (Vertex v = 0; v < t.vertex_count(); ++v) EXPECT_EQ(t.degree(v), 4u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(g.vertex_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 32u);  // d * 2^{d-1}
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, BinaryTreeIsTree) {
+  const Graph g = gen::binary_tree(31);
+  EXPECT_EQ(g.edge_count(), 30u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(girth(g).has_value());
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph g = gen::caterpillar(5, 3);
+  EXPECT_EQ(g.vertex_count(), 20u);
+  EXPECT_EQ(g.edge_count(), 19u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, FatTreeStructure) {
+  const unsigned k = 4;
+  const Graph g = gen::fat_tree(k);
+  // (k/2)^2 cores + k*k/2 aggs + k*k/2 edges = 4 + 8 + 8 = 20 switches.
+  EXPECT_EQ(g.vertex_count(), 20u);
+  // Each pod: (k/2)^2 agg-core + (k/2)^2 agg-edge = 4 + 4; times k pods.
+  EXPECT_EQ(g.edge_count(), 32u);
+  EXPECT_TRUE(is_connected(g));
+  const Graph with_hosts = gen::fat_tree(k, /*with_hosts=*/true);
+  EXPECT_EQ(with_hosts.vertex_count(), 20u + 16u);  // + k^3/4 hosts
+  EXPECT_TRUE(is_connected(with_hosts));
+}
+
+TEST(Generators, FatTreeOddArityRejected) {
+  Rng rng(1);
+  EXPECT_THROW(gen::fat_tree(3), CheckError);
+}
+
+TEST(Generators, GnpEdgeCountConcentrates) {
+  Rng rng(73);
+  const std::size_t n = 400;
+  const double p = 0.05;
+  const Graph g = gen::gnp(n, p, rng);
+  const double expect = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expect, 0.15 * expect);
+}
+
+TEST(Generators, GnpExtremes) {
+  Rng rng(79);
+  EXPECT_EQ(gen::gnp(10, 0.0, rng).edge_count(), 0u);
+  EXPECT_EQ(gen::gnp(10, 1.0, rng).edge_count(), 45u);
+}
+
+TEST(Generators, GnpDeterministicInSeed) {
+  Rng a(83);
+  Rng b(83);
+  EXPECT_EQ(gen::gnp(50, 0.2, a), gen::gnp(50, 0.2, b));
+}
+
+TEST(Generators, GnmExactCount) {
+  Rng rng(89);
+  const Graph g = gen::gnm(30, 100, rng);
+  EXPECT_EQ(g.edge_count(), 100u);
+}
+
+TEST(Generators, ConnectedGnpIsConnected) {
+  Rng rng(97);
+  for (int trial = 0; trial < 10; ++trial) {
+    EXPECT_TRUE(is_connected(gen::connected_gnp(60, 0.01, rng)));
+  }
+}
+
+TEST(Generators, RandomTreeIsUniformlyATree) {
+  Rng rng(101);
+  for (const std::size_t n : {1u, 2u, 3u, 10u, 100u}) {
+    const Graph g = gen::random_tree(n, rng);
+    EXPECT_EQ(g.edge_count(), n == 0 ? 0 : n - 1);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_FALSE(girth(g).has_value());
+  }
+}
+
+TEST(Generators, RandomForestAcyclic) {
+  Rng rng(103);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::random_forest(50, 0.3, rng);
+    EXPECT_FALSE(girth(g).has_value());
+    EXPECT_LE(degeneracy(g).degeneracy, 1u);
+  }
+}
+
+TEST(Generators, RandomBipartiteIsBipartite) {
+  Rng rng(107);
+  const Graph g = gen::random_bipartite(20, 25, 0.3, rng);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+class KDegenerate : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KDegenerate, RespectsBound) {
+  const unsigned k = GetParam();
+  Rng rng(109 + k);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = gen::random_k_degenerate(60, k, rng);
+    EXPECT_LE(degeneracy(g).degeneracy, k);
+  }
+}
+
+TEST_P(KDegenerate, ExactlyKHitsBound) {
+  const unsigned k = GetParam();
+  Rng rng(127 + k);
+  const Graph g = gen::random_k_degenerate(60, k, rng, /*exactly_k=*/true);
+  EXPECT_EQ(degeneracy(g).degeneracy, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KDegenerate, ::testing::Values(1, 2, 3, 5));
+
+TEST(Generators, KTreeDegeneracyIsK) {
+  Rng rng(131);
+  for (unsigned k : {1u, 2u, 4u}) {
+    const Graph g = gen::random_k_tree(40, k, rng);
+    EXPECT_EQ(degeneracy(g).degeneracy, k);
+    // k-trees have exactly k*(k+1)/2 + (n - k - 1)*k edges.
+    EXPECT_EQ(g.edge_count(), k * (k + 1) / 2 + (40 - k - 1) * k);
+    EXPECT_LE(treewidth_upper_bound_min_degree(g), k);
+  }
+}
+
+TEST(Generators, PartialKTreeWithinBound) {
+  Rng rng(137);
+  const Graph g = gen::random_partial_k_tree(40, 3, 0.7, rng);
+  EXPECT_LE(degeneracy(g).degeneracy, 3u);
+}
+
+TEST(Generators, ApollonianIsPlanarAndThreeDegenerate) {
+  Rng rng(139);
+  const Graph g = gen::random_apollonian(50, rng);
+  EXPECT_EQ(g.edge_count(), 3u * 50 - 6);  // maximal planar
+  EXPECT_TRUE(satisfies_euler_planar_bound(g));
+  EXPECT_EQ(degeneracy(g).degeneracy, 3u);
+}
+
+TEST(Generators, RegularDegrees) {
+  Rng rng(149);
+  const Graph g = gen::random_regular(20, 3, rng);
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(Generators, RegularRejectsOddProduct) {
+  Rng rng(151);
+  EXPECT_THROW(gen::random_regular(5, 3, rng), CheckError);
+}
+
+TEST(Generators, SquareFreeHasNoSquare) {
+  Rng rng(157);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = gen::random_square_free(40, 2000, rng);
+    EXPECT_FALSE(has_square(g));
+    EXPECT_GT(g.edge_count(), 40u);  // well past a forest: Θ(n^{3/2}) regime
+  }
+}
+
+TEST(Generators, ShuffleLabelsPreservesDegreeMultiset) {
+  Rng rng(163);
+  const Graph g = gen::grid(4, 4);
+  const Graph h = gen::shuffle_labels(g, rng);
+  std::vector<std::size_t> dg;
+  std::vector<std::size_t> dh;
+  for (Vertex v = 0; v < 16; ++v) {
+    dg.push_back(g.degree(v));
+    dh.push_back(h.degree(v));
+  }
+  std::sort(dg.begin(), dg.end());
+  std::sort(dh.begin(), dh.end());
+  EXPECT_EQ(dg, dh);
+  EXPECT_EQ(g.edge_count(), h.edge_count());
+}
+
+}  // namespace
+}  // namespace referee

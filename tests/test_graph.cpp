@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/transforms.hpp"
+
+namespace referee {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, AddRemoveEdge) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(0, 2));
+  EXPECT_FALSE(g.add_edge(2, 0));  // duplicate, either orientation
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.remove_edge(0, 2));
+  EXPECT_FALSE(g.remove_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), CheckError);
+}
+
+TEST(Graph, OutOfRangeRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), CheckError);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(6);
+  g.add_edge(3, 5);
+  g.add_edge(3, 0);
+  g.add_edge(3, 4);
+  g.add_edge(3, 1);
+  const auto nb = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(g.degree(3), 4u);
+}
+
+TEST(Graph, EdgesSortedLexicographically) {
+  Graph g(4);
+  g.add_edge(2, 3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  const auto es = g.edges();
+  EXPECT_TRUE(std::is_sorted(es.begin(), es.end()));
+  EXPECT_EQ(es.size(), 3u);
+}
+
+TEST(Graph, EdgeNormalisesEndpoints) {
+  EXPECT_EQ(Edge(3, 1), Edge(1, 3));
+  EXPECT_EQ(Edge(3, 1).u, 1u);
+}
+
+TEST(Graph, EqualityIsStructural) {
+  Graph a(3);
+  a.add_edge(0, 1);
+  Graph b(3);
+  b.add_edge(0, 1);
+  EXPECT_EQ(a, b);
+  b.add_edge(1, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Graph, AddVerticesExtends) {
+  Graph g(2);
+  const Vertex first = g.add_vertices(3);
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(g.vertex_count(), 5u);
+  g.add_edge(0, 4);
+  EXPECT_TRUE(g.has_edge(0, 4));
+}
+
+TEST(Graph, MinMaxDegree) {
+  Graph g = gen::star(4);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.min_degree(), 1u);
+}
+
+TEST(Graph, ConstructFromEdgeSpan) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 1}};
+  Graph g(3, edges);
+  EXPECT_EQ(g.edge_count(), 2u);  // duplicate collapsed
+}
+
+TEST(Csr, MirrorsGraph) {
+  const Graph g = gen::grid(4, 5);
+  const CsrGraph c(g);
+  ASSERT_EQ(c.vertex_count(), g.vertex_count());
+  ASSERT_EQ(c.edge_count(), g.edge_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = c.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(from_edge_list(to_edge_list(g)), g);
+}
+
+TEST(Io, Graph6RoundTripSmall) {
+  Rng rng(61);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::gnp(1 + rng.below(40), 0.3, rng);
+    EXPECT_EQ(from_graph6(to_graph6(g)), g);
+  }
+}
+
+TEST(Io, Graph6RoundTripLargeHeader) {
+  Rng rng(67);
+  const Graph g = gen::gnp(100, 0.05, rng);  // forces the 3-byte size header
+  EXPECT_EQ(from_graph6(to_graph6(g)), g);
+}
+
+TEST(Io, Graph6KnownEncoding) {
+  // K3 on 3 vertices: n=3 -> 'B', bitmap 11 1 -> 111000 -> 'w' (63+56).
+  EXPECT_EQ(to_graph6(gen::complete(3)), "Bw");
+}
+
+TEST(Io, AsciiMatrixShape) {
+  const Graph g = gen::path(3);
+  EXPECT_EQ(to_ascii_matrix(g), "010\n101\n010\n");
+}
+
+TEST(Transforms, PermuteRelabelsEdges) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const std::vector<Vertex> perm{2, 0, 1};
+  const Graph h = permute(g, perm);
+  EXPECT_TRUE(h.has_edge(2, 0));
+  EXPECT_EQ(h.edge_count(), 1u);
+}
+
+TEST(Transforms, ComplementInvolution) {
+  Rng rng(71);
+  const Graph g = gen::gnp(12, 0.4, rng);
+  EXPECT_EQ(complement(complement(g)), g);
+  EXPECT_EQ(g.edge_count() + complement(g).edge_count(), 12u * 11 / 2);
+}
+
+TEST(Transforms, InducedSubgraph) {
+  const Graph g = gen::cycle(6);
+  const std::vector<Vertex> keep{0, 1, 2};
+  const Graph h = induced_subgraph(g, keep);
+  EXPECT_EQ(h.vertex_count(), 3u);
+  EXPECT_EQ(h.edge_count(), 2u);  // path 0-1-2; edge 5-0 dropped
+}
+
+TEST(Transforms, DisjointUnionShifts) {
+  const Graph g = disjoint_union(gen::complete(3), gen::path(2));
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_FALSE(g.has_edge(2, 3));
+}
+
+TEST(Transforms, DoubleCoverDoublesEverything) {
+  const Graph g = gen::cycle(5);
+  const Graph cover = double_cover(g);
+  EXPECT_EQ(cover.vertex_count(), 10u);
+  EXPECT_EQ(cover.edge_count(), 10u);
+  // C5 is non-bipartite: its double cover is the connected C10.
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(cover.degree(v), 2u);
+}
+
+TEST(Transforms, UniversalVertex) {
+  const Graph g = with_universal_vertex(gen::path(4));
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.degree(4), 4u);
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "numth/decoder.hpp"
+#include "numth/lookup.hpp"
+#include "numth/power_sums.hpp"
+#include "support/random.hpp"
+
+namespace referee {
+namespace {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+TEST(NeighborhoodTable, EntryCountIsSumOfBinomials) {
+  const NeighborhoodTable table(10, 3);
+  // C(10,0) + C(10,1) + C(10,2) + C(10,3) = 1 + 10 + 45 + 120.
+  EXPECT_EQ(table.entry_count(), 176u);
+  EXPECT_EQ(table.n(), 10u);
+  EXPECT_EQ(table.k(), 3u);
+}
+
+TEST(NeighborhoodTable, FindsEverySubsetExhaustively) {
+  const std::uint32_t n = 9;
+  const unsigned k = 3;
+  const NeighborhoodTable table(n, k);
+  // Exhaustively query all 2-subsets and 3-subsets.
+  for (NodeId a = 1; a <= n; ++a) {
+    for (NodeId b = a + 1; b <= n; ++b) {
+      const std::vector<NodeId> pair{a, b};
+      EXPECT_EQ(table.find(2, power_sums(pair, k)), pair);
+      for (NodeId c = b + 1; c <= n; ++c) {
+        const std::vector<NodeId> triple{a, b, c};
+        EXPECT_EQ(table.find(3, power_sums(triple, k)), triple);
+      }
+    }
+  }
+}
+
+TEST(NeighborhoodTable, DegreeZeroLookup) {
+  const NeighborhoodTable table(5, 2);
+  EXPECT_TRUE(table.find(0, power_sums(std::vector<NodeId>{}, 2)).empty());
+}
+
+TEST(NeighborhoodTable, MissingEntryThrows) {
+  const NeighborhoodTable table(5, 2);
+  const std::vector<BigUInt> bogus{BigUInt(1), BigUInt(7)};  // not a 2-subset
+  EXPECT_THROW(table.find(2, bogus), DecodeError);
+  EXPECT_THROW(table.find(3, bogus), DecodeError);  // degree beyond k
+}
+
+TEST(NeighborhoodTable, ParallelBuildMatchesSequential) {
+  ThreadPool pool(4);
+  const NeighborhoodTable seq(12, 2);
+  const NeighborhoodTable par(12, 2, &pool);
+  EXPECT_EQ(seq.entry_count(), par.entry_count());
+  EXPECT_EQ(seq.entry_count(), 1 + 12 + binomial(12, 2));
+  Rng rng(263);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto subset = rng.sample_subset(12, 2);
+    std::vector<NodeId> ids{subset[0] + 1, subset[1] + 1};
+    const auto sums = power_sums(ids, 2);
+    EXPECT_EQ(seq.find(2, sums), par.find(2, sums));
+  }
+}
+
+TEST(NeighborhoodTable, MemoryFootprintGrowsWithK) {
+  const NeighborhoodTable k1(20, 1);
+  const NeighborhoodTable k2(20, 2);
+  EXPECT_GT(k2.memory_bytes(), k1.memory_bytes());
+}
+
+TEST(TableDecoder, AgreesWithNewtonDecoder) {
+  const std::uint32_t n = 15;
+  const unsigned k = 3;
+  const auto table = std::make_shared<NeighborhoodTable>(n, k);
+  const TableDecoder td(table);
+  const NewtonDecoder nd;
+  std::vector<NodeId> everyone(n);
+  std::iota(everyone.begin(), everyone.end(), 1u);
+  Rng rng(269);
+  for (int trial = 0; trial < 60; ++trial) {
+    const unsigned d = static_cast<unsigned>(rng.below(k + 1));
+    auto subset = rng.sample_subset(n, d);
+    std::vector<NodeId> ids;
+    for (const auto v : subset) ids.push_back(v + 1);
+    const auto sums = power_sums(ids, k);
+    EXPECT_EQ(td.decode(d, sums, everyone), nd.decode(d, sums, everyone));
+  }
+}
+
+}  // namespace
+}  // namespace referee

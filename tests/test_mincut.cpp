@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/mincut.hpp"
+#include "graph/transforms.hpp"
+#include "graph/union_find.hpp"
+
+namespace referee {
+namespace {
+
+TEST(UnionFind, BasicMergesAndCounts) {
+  UnionFind uf(6);
+  EXPECT_EQ(uf.set_count(), 6u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.set_count(), 4u);
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_EQ(uf.set_size(3), 4u);
+}
+
+TEST(MinCut, KnownValues) {
+  EXPECT_EQ(edge_connectivity(gen::cycle(8)), 2u);
+  EXPECT_EQ(edge_connectivity(gen::path(8)), 1u);
+  EXPECT_EQ(edge_connectivity(gen::complete(6)), 5u);
+  EXPECT_EQ(edge_connectivity(gen::complete_bipartite(3, 5)), 3u);
+  EXPECT_EQ(edge_connectivity(gen::hypercube(4)), 4u);
+  EXPECT_EQ(edge_connectivity(gen::star(7)), 1u);
+  EXPECT_EQ(edge_connectivity(gen::torus(4, 4)), 4u);
+}
+
+TEST(MinCut, DisconnectedIsZero) {
+  EXPECT_EQ(edge_connectivity(disjoint_union(gen::cycle(4), gen::cycle(4))),
+            0u);
+  EXPECT_EQ(edge_connectivity(gen::empty(5)), 0u);
+}
+
+TEST(MinCut, TrivialGraphs) {
+  EXPECT_FALSE(global_min_cut(Graph(0)).has_value());
+  EXPECT_FALSE(global_min_cut(Graph(1)).has_value());
+  EXPECT_EQ(global_min_cut(gen::path(2)).value(), 1u);
+}
+
+TEST(MinCut, BridgeDetected) {
+  // Two K4s joined by one edge: λ = 1 even though min degree is 3.
+  Graph g = disjoint_union(gen::complete(4), gen::complete(4));
+  g.add_edge(0, 4);
+  EXPECT_EQ(edge_connectivity(g), 1u);
+}
+
+TEST(MinCut, TwoBridges) {
+  Graph g = disjoint_union(gen::complete(4), gen::complete(4));
+  g.add_edge(0, 4);
+  g.add_edge(1, 5);
+  EXPECT_EQ(edge_connectivity(g), 2u);
+}
+
+TEST(MinCut, NeverExceedsMinDegree) {
+  Rng rng(599);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::connected_gnp(20, 0.3, rng);
+    EXPECT_LE(edge_connectivity(g), g.min_degree());
+  }
+}
+
+TEST(MinCut, IsKEdgeConnectedBoundary) {
+  const Graph g = gen::cycle(10);
+  EXPECT_TRUE(is_k_edge_connected(g, 0));
+  EXPECT_TRUE(is_k_edge_connected(g, 1));
+  EXPECT_TRUE(is_k_edge_connected(g, 2));
+  EXPECT_FALSE(is_k_edge_connected(g, 3));
+  EXPECT_FALSE(is_k_edge_connected(Graph(1), 1));
+}
+
+TEST(MinCut, MatchesBruteForceOnSmallGraphs) {
+  // Cross-check Stoer–Wagner against brute-force cut enumeration on random
+  // small graphs (2^(n-1) - 1 cuts for n = 8: cheap).
+  Rng rng(601);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::gnp(8, 0.5, rng);
+    const auto edges = g.edges();
+    std::uint64_t brute = UINT64_MAX;
+    for (std::uint32_t mask = 1; mask < (1u << 7); ++mask) {
+      // Side assignment: vertex 7 always on side 0; mask covers 0..6.
+      std::uint64_t crossing = 0;
+      for (const Edge& e : edges) {
+        const bool su = e.u < 7 && ((mask >> e.u) & 1u);
+        const bool sv = e.v < 7 && ((mask >> e.v) & 1u);
+        if (su != sv) ++crossing;
+      }
+      brute = std::min(brute, crossing);
+    }
+    EXPECT_EQ(global_min_cut(g).value(), brute);
+  }
+}
+
+}  // namespace
+}  // namespace referee

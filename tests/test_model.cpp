@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "model/frugality.hpp"
+#include "model/local_view.hpp"
+#include "model/message.hpp"
+#include "model/simulator.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+
+namespace referee {
+namespace {
+
+TEST(LocalView, OneBasedConversion) {
+  const Graph g = gen::path(3);  // 0-1-2
+  const LocalView v = local_view_of(g, 1);
+  EXPECT_EQ(v.id, 2u);
+  EXPECT_EQ(v.n, 3u);
+  EXPECT_EQ(v.neighbor_ids, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(LocalView, AllViewsIndexedByIdMinusOne) {
+  const Graph g = gen::cycle(5);
+  const auto views = local_views(g);
+  ASSERT_EQ(views.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(views[i].id, i + 1);
+}
+
+TEST(LocalView, MakeViewNormalises) {
+  const LocalView v = make_view(2, 10, {7, 3, 3, 9});
+  EXPECT_EQ(v.neighbor_ids, (std::vector<NodeId>{3, 7, 9}));
+  EXPECT_THROW(make_view(2, 10, {2}), CheckError);   // self
+  EXPECT_THROW(make_view(2, 10, {11}), CheckError);  // out of range
+  EXPECT_THROW(make_view(0, 10, {}), CheckError);    // bad id
+}
+
+TEST(Message, SealAndRead) {
+  BitWriter w;
+  w.write_bits(0xAB, 8);
+  const Message m = Message::seal(std::move(w));
+  EXPECT_EQ(m.bit_size(), 8u);
+  BitReader r = m.reader();
+  EXPECT_EQ(r.read_bits(8), 0xABu);
+}
+
+TEST(Message, FlipBitChangesPayload) {
+  BitWriter w;
+  w.write_bits(0, 8);
+  Message m = Message::seal(std::move(w));
+  m.flip_bit(3);
+  BitReader r = m.reader();
+  EXPECT_EQ(r.read_bits(8), 8u);
+}
+
+TEST(Message, TruncateShortens) {
+  BitWriter w;
+  w.write_bits(0xFF, 8);
+  Message m = Message::seal(std::move(w));
+  m.truncate(3);
+  EXPECT_EQ(m.bit_size(), 3u);
+  BitReader r = m.reader();
+  EXPECT_EQ(r.read_bits(3), 7u);
+  EXPECT_THROW(r.read_bits(1), DecodeError);
+}
+
+TEST(Frugality, AuditComputesMaxAndTotal) {
+  BitWriter w1;
+  w1.write_bits(0, 10);
+  BitWriter w2;
+  w2.write_bits(0, 30);
+  std::vector<Message> msgs;
+  msgs.push_back(Message::seal(std::move(w1)));
+  msgs.push_back(Message::seal(std::move(w2)));
+  const auto report = audit_frugality(1000, msgs);
+  EXPECT_EQ(report.max_bits, 30u);
+  EXPECT_EQ(report.total_bits, 40u);
+  EXPECT_EQ(report.budget_bits, 10u);  // ceil(log2(1001))
+  EXPECT_DOUBLE_EQ(report.constant(), 3.0);
+  EXPECT_TRUE(report.is_frugal(3.0));
+  EXPECT_FALSE(report.is_frugal(2.9));
+}
+
+TEST(Simulator, ParallelLocalPhaseMatchesSequential) {
+  Rng rng(233);
+  const Graph g = gen::random_k_degenerate(300, 3, rng);
+  const DegeneracyReconstruction protocol(3);
+  ThreadPool pool(4);
+  const Simulator seq(nullptr);
+  const Simulator par(&pool);
+  const auto m1 = seq.run_local_phase(g, protocol);
+  const auto m2 = par.run_local_phase(g, protocol);
+  ASSERT_EQ(m1.size(), m2.size());
+  for (std::size_t i = 0; i < m1.size(); ++i) EXPECT_EQ(m1[i], m2[i]);
+}
+
+TEST(Simulator, FaultInjectionDeterministic) {
+  Rng rng(239);
+  const Graph g = gen::random_tree(50, rng);
+  const DegeneracyReconstruction protocol(1);
+  const Simulator sim;
+  auto m1 = sim.run_local_phase(g, protocol);
+  auto m2 = m1;
+  const FaultPlan plan{.bit_flip_chance = 0.5, .truncate_chance = 0.1,
+                       .seed = 99};
+  Simulator::inject_faults(m1, plan);
+  Simulator::inject_faults(m2, plan);
+  for (std::size_t i = 0; i < m1.size(); ++i) EXPECT_EQ(m1[i], m2[i]);
+}
+
+TEST(Simulator, InactivePlanIsNoop) {
+  Rng rng(241);
+  const Graph g = gen::random_tree(20, rng);
+  const DegeneracyReconstruction protocol(1);
+  const Simulator sim;
+  auto msgs = sim.run_local_phase(g, protocol);
+  const auto before = msgs;
+  Simulator::inject_faults(msgs, FaultPlan{});
+  for (std::size_t i = 0; i < msgs.size(); ++i) EXPECT_EQ(msgs[i], before[i]);
+}
+
+}  // namespace
+}  // namespace referee

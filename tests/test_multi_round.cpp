@@ -1,0 +1,92 @@
+// The multi-round scaffolding (§IV's fixed-rounds question) and the
+// adaptive protocol that discovers k by doubling.
+#include <gtest/gtest.h>
+
+#include "graph/degeneracy.hpp"
+#include "graph/generators.hpp"
+#include "model/simulator.hpp"
+#include "protocols/adaptive_degeneracy.hpp"
+
+namespace referee {
+namespace {
+
+TEST(AdaptiveProtocol, ReconstructsWithoutKnowingK) {
+  Rng rng(521);
+  const Simulator sim;
+  const AdaptiveDegeneracyReconstruction protocol;
+  for (const auto& g :
+       {gen::random_tree(50, rng), gen::grid(6, 7),
+        gen::random_apollonian(40, rng), gen::complete(9),
+        gen::random_k_degenerate(60, 5, rng, /*exactly_k=*/true)}) {
+    EXPECT_EQ(sim.run_multi_round(g, protocol), g);
+  }
+}
+
+TEST(AdaptiveProtocol, RoundCountIsLogOfDegeneracy) {
+  const Simulator sim;
+  const AdaptiveDegeneracyReconstruction protocol;
+  struct Case {
+    Graph g;
+    unsigned expected_rounds;  // first r with 2^r >= degeneracy
+  };
+  Rng rng(523);
+  const std::vector<Case> cases{
+      {gen::random_tree(40, rng), 1},        // degeneracy 1 -> k=1 works
+      {gen::cycle(20), 2},                   // degeneracy 2 -> k=2 (round 2)
+      {gen::random_apollonian(30, rng), 3},  // degeneracy 3 -> k=4
+      {gen::complete(6), 4},                 // degeneracy 5 -> k=8
+  };
+  for (const auto& c : cases) {
+    MultiRoundReport report;
+    EXPECT_EQ(sim.run_multi_round(c.g, protocol, &report), c.g);
+    EXPECT_EQ(report.rounds_used, c.expected_rounds);
+  }
+}
+
+TEST(AdaptiveProtocol, UplinkStaysQuadraticInFinalK) {
+  // Total uplink across rounds is dominated by the last round: the doubling
+  // schedule costs at most a constant factor over knowing k outright.
+  Rng rng(541);
+  const Graph g = gen::random_k_degenerate(80, 4, rng, /*exactly_k=*/true);
+  const Simulator sim;
+  MultiRoundReport report;
+  EXPECT_EQ(sim.run_multi_round(g, AdaptiveDegeneracyReconstruction(), &report),
+            g);
+  ASSERT_GE(report.per_round.size(), 2u);
+  const double last = static_cast<double>(report.per_round.back().max_bits);
+  double earlier = 0;
+  for (std::size_t r = 0; r + 1 < report.per_round.size(); ++r) {
+    earlier += static_cast<double>(report.per_round[r].max_bits);
+  }
+  EXPECT_LT(earlier, 2.0 * last);  // geometric series bound
+}
+
+TEST(AdaptiveProtocol, BroadcastIsOneBitPerRetry) {
+  const Simulator sim;
+  MultiRoundReport report;
+  sim.run_multi_round(gen::complete(6), AdaptiveDegeneracyReconstruction(),
+                      &report);
+  // 3 retries (k = 1, 2, 4 fail), success at k = 8.
+  EXPECT_EQ(report.broadcast_bits, 3u);
+}
+
+TEST(AdaptiveProtocol, RoundCapEnforced) {
+  const Simulator sim;
+  // K10 has degeneracy 9, needing k = 16 (round 5); cap at 2 rounds.
+  const AdaptiveDegeneracyReconstruction capped(2);
+  EXPECT_THROW(sim.run_multi_round(gen::complete(10), capped), DecodeError);
+}
+
+TEST(AdaptiveProtocol, ParallelAndSequentialAgree) {
+  Rng rng(547);
+  const Graph g = gen::random_k_degenerate(100, 3, rng);
+  ThreadPool pool(4);
+  const Simulator par(&pool);
+  const Simulator seq(nullptr);
+  const AdaptiveDegeneracyReconstruction protocol;
+  EXPECT_EQ(par.run_multi_round(g, protocol),
+            seq.run_multi_round(g, protocol));
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "numth/decoder.hpp"
+#include "numth/newton.hpp"
+#include "numth/power_sums.hpp"
+#include "numth/roots.hpp"
+#include "numth/wright.hpp"
+#include "support/random.hpp"
+
+namespace referee {
+namespace {
+
+TEST(PowerSums, SmallHandComputed) {
+  const std::vector<NodeId> ids{2, 5};
+  const auto sums = power_sums(ids, 3);
+  EXPECT_EQ(sums[0].to_u64(), 7u);     // 2 + 5
+  EXPECT_EQ(sums[1].to_u64(), 29u);    // 4 + 25
+  EXPECT_EQ(sums[2].to_u64(), 133u);   // 8 + 125
+}
+
+TEST(PowerSums, EmptySetIsZeroVector) {
+  const auto sums = power_sums(std::vector<NodeId>{}, 4);
+  for (const auto& s : sums) EXPECT_TRUE(s.is_zero());
+}
+
+TEST(PowerSums, SubtractInverseOfAdd) {
+  std::vector<BigUInt> sums(5);
+  add_contribution(sums, 17);
+  add_contribution(sums, 3);
+  subtract_contribution(sums, 17);
+  const auto expect = power_sums(std::vector<NodeId>{3}, 5);
+  for (unsigned p = 0; p < 5; ++p) EXPECT_EQ(sums[p], expect[p]);
+}
+
+TEST(PowerSums, SubtractUnderflowIsDecodeError) {
+  std::vector<BigUInt> sums(2);
+  add_contribution(sums, 2);
+  EXPECT_THROW(subtract_contribution(sums, 5), DecodeError);
+}
+
+TEST(PowerSums, Matches) {
+  const std::vector<NodeId> ids{1, 4, 9};
+  const auto sums = power_sums(ids, 3);
+  EXPECT_TRUE(matches_power_sums(sums, ids));
+  const std::vector<NodeId> other{1, 4, 8};
+  EXPECT_FALSE(matches_power_sums(sums, other));
+}
+
+TEST(Newton, HandComputedPair) {
+  // values {2, 5}: e1 = 7, e2 = 10.
+  const auto sums = power_sums(std::vector<NodeId>{2, 5}, 2);
+  const auto e = elementary_from_power_sums(sums);
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0].to_i64(), 7);
+  EXPECT_EQ(e[1].to_i64(), 10);
+}
+
+TEST(Newton, RoundTripThroughPowerSums) {
+  Rng rng(251);
+  for (int trial = 0; trial < 50; ++trial) {
+    const unsigned d = 1 + static_cast<unsigned>(rng.below(6));
+    auto subset = rng.sample_subset(500, d);
+    std::vector<NodeId> ids;
+    for (const auto v : subset) ids.push_back(v + 1);
+    const auto p = power_sums(ids, d);
+    const auto e = elementary_from_power_sums(p);
+    const auto p2 = power_sums_from_elementary(e, d);
+    for (unsigned i = 0; i < d; ++i) {
+      EXPECT_EQ(p2[i], BigInt(p[i]));
+    }
+  }
+}
+
+TEST(Newton, ImpossibleSumsThrow) {
+  // p1 = 1, p2 = 2 would need e2 = (e1 p1 - p2)/2 = (1-2)/2: inexact.
+  std::vector<BigUInt> sums{BigUInt(1), BigUInt(2)};
+  EXPECT_THROW(elementary_from_power_sums(sums), DecodeError);
+}
+
+TEST(Roots, RecoversKnownSet) {
+  const std::vector<NodeId> ids{3, 7, 20};
+  const auto e = elementary_from_power_sums(power_sums(ids, 3));
+  EXPECT_EQ(roots_in_range(e, 25), ids);
+}
+
+TEST(Roots, RestrictedCandidatesStillWork) {
+  const std::vector<NodeId> ids{3, 7, 20};
+  const auto e = elementary_from_power_sums(power_sums(ids, 3));
+  const std::vector<NodeId> candidates{1, 3, 7, 9, 20, 22};
+  EXPECT_EQ(roots_among(e, candidates), ids);
+}
+
+TEST(Roots, MissingCandidateThrows) {
+  const std::vector<NodeId> ids{3, 7, 20};
+  const auto e = elementary_from_power_sums(power_sums(ids, 3));
+  const std::vector<NodeId> candidates{3, 7};  // 20 withheld
+  EXPECT_THROW(roots_among(e, candidates), DecodeError);
+}
+
+TEST(Roots, DegreeZero) {
+  EXPECT_TRUE(roots_in_range({}, 10).empty());
+}
+
+class DecoderEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DecoderEquivalence, NewtonMatchesTruthAcrossRandomSubsets) {
+  const unsigned k = GetParam();
+  Rng rng(257 + k);
+  const NewtonDecoder decoder;
+  std::vector<NodeId> everyone(200);
+  std::iota(everyone.begin(), everyone.end(), 1u);
+  for (int trial = 0; trial < 40; ++trial) {
+    const unsigned d = static_cast<unsigned>(rng.below(k + 1));
+    auto subset = rng.sample_subset(200, d);
+    std::vector<NodeId> ids;
+    for (const auto v : subset) ids.push_back(v + 1);
+    const auto sums = power_sums(ids, k);
+    EXPECT_EQ(decoder.decode(d, sums, everyone), ids);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DecoderEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(PowerSumsU64, MatchesBigIntPath) {
+  Rng rng(619);
+  for (int trial = 0; trial < 50; ++trial) {
+    const unsigned k = 1 + static_cast<unsigned>(rng.below(4));
+    auto subset = rng.sample_subset(1000, 8);
+    std::vector<NodeId> ids;
+    for (const auto v : subset) ids.push_back(v + 1);
+    ASSERT_TRUE(power_sums_fit_u64(1000, k, ids.size()));
+    const auto fast = power_sums_u64(ids, k);
+    const auto exact = power_sums(ids, k);
+    for (unsigned p = 0; p < k; ++p) {
+      EXPECT_EQ(fast[p], exact[p].to_u64());
+    }
+  }
+}
+
+TEST(PowerSumsU64, FitPredicate) {
+  EXPECT_TRUE(power_sums_fit_u64(1000, 3, 1000));   // 1000^4 = 1e12... * deg
+  EXPECT_TRUE(power_sums_fit_u64(100, 6, 100));
+  EXPECT_FALSE(power_sums_fit_u64(1u << 20, 4, 1u << 20));
+}
+
+TEST(SmallNewtonDecoder, AgreesWithBigIntDecoder) {
+  const std::uint32_t n = 500;
+  const unsigned k = 4;
+  const SmallNewtonDecoder fast(n, k);
+  const NewtonDecoder exact;
+  std::vector<NodeId> everyone(n);
+  std::iota(everyone.begin(), everyone.end(), 1u);
+  Rng rng(621);
+  for (int trial = 0; trial < 60; ++trial) {
+    const unsigned d = static_cast<unsigned>(rng.below(k + 1));
+    auto subset = rng.sample_subset(n, d);
+    std::vector<NodeId> ids;
+    for (const auto v : subset) ids.push_back(v + 1);
+    const auto sums = power_sums(ids, k);
+    EXPECT_EQ(fast.decode(d, sums, everyone),
+              exact.decode(d, sums, everyone));
+  }
+}
+
+TEST(SmallNewtonDecoder, ConstructorRejectsOutOfRange) {
+  EXPECT_THROW(SmallNewtonDecoder(1u << 20, 4), CheckError);
+  EXPECT_NO_THROW(SmallNewtonDecoder(1000, 3));
+}
+
+TEST(SmallNewtonDecoder, CorruptSumsFailLoudly) {
+  const SmallNewtonDecoder fast(100, 2);
+  std::vector<NodeId> everyone(100);
+  std::iota(everyone.begin(), everyone.end(), 1u);
+  const std::vector<BigUInt> bogus{BigUInt(1), BigUInt(2)};
+  EXPECT_THROW(fast.decode(2, bogus, everyone), DecodeError);
+}
+
+TEST(Wright, InjectivityHoldsExhaustively) {
+  // Theorem 4 checked by brute force: all k-subsets of {1..n}.
+  EXPECT_TRUE(verify_wright_injectivity(12, 1));
+  EXPECT_TRUE(verify_wright_injectivity(12, 2));
+  EXPECT_TRUE(verify_wright_injectivity(12, 3));
+  EXPECT_TRUE(verify_wright_injectivity(10, 4));
+}
+
+TEST(Wright, InjectivityParallelMatches) {
+  ThreadPool pool(4);
+  EXPECT_TRUE(verify_wright_injectivity(11, 3, &pool));
+}
+
+TEST(Wright, DroppingTopPowerBreaksInjectivity) {
+  // With only p = 1..k-1 on k-subsets, collisions appear quickly, e.g.
+  // {1,4} and {2,3} share p1 = 5.
+  EXPECT_TRUE(exists_collision_without_top_power(6, 2));
+  EXPECT_TRUE(exists_collision_without_top_power(8, 3));
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "support/random.hpp"
+
+namespace referee {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(9);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));  // astronomically unlikely
+}
+
+class SubsetSampling
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(SubsetSampling, SortedDistinctCorrectSize) {
+  const auto [n, k] = GetParam();
+  Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = rng.sample_subset(n, k);
+    ASSERT_EQ(s.size(), k);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end());
+    for (const auto x : s) EXPECT_LT(x, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SubsetSampling,
+    ::testing::Values(std::pair{1u, 0u}, std::pair{1u, 1u}, std::pair{10u, 3u},
+                      std::pair{10u, 10u}, std::pair{1000u, 5u},
+                      std::pair{50u, 49u}));
+
+TEST(Rng, SampleSubsetUniformish) {
+  // Every element of {0..4} should appear in roughly 2/5 of 2-subsets.
+  Rng rng(23);
+  std::vector<int> hits(5, 0);
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    for (const auto x : rng.sample_subset(5, 2)) ++hits[x];
+  }
+  for (const int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.4, 0.05);
+  }
+}
+
+TEST(Mix64, StatelessAndSpreading) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+}  // namespace
+}  // namespace referee

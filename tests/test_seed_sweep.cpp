@@ -1,0 +1,81 @@
+// Broad randomised coverage: every (family, protocol) pairing across many
+// seeds — the regression net that catches rare decode-path corner cases
+// (specific ID patterns, degree ties, unlucky hash seeds).
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/degeneracy.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "model/simulator.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+#include "protocols/forest_protocol.hpp"
+#include "protocols/generalized_degeneracy.hpp"
+#include "sketch/connectivity.hpp"
+
+namespace referee {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, DegeneracyIdentityAcrossFamilies) {
+  Rng rng(GetParam());
+  const Simulator sim;
+  const std::size_t n = 30 + rng.below(40);
+  const auto k = static_cast<unsigned>(1 + rng.below(4));
+  const Graph g = gen::random_k_degenerate(n, k, rng);
+  EXPECT_EQ(sim.run_reconstruction(g, DegeneracyReconstruction(k)), g)
+      << "seed=" << GetParam() << " n=" << n << " k=" << k;
+}
+
+TEST_P(SeedSweep, ForestIdentity) {
+  Rng rng(GetParam() ^ 0xF0F0F0F0ull);
+  const Simulator sim;
+  const Graph g = gen::random_forest(20 + rng.below(80), rng.uniform01() / 2,
+                                     rng);
+  EXPECT_EQ(sim.run_reconstruction(g, ForestReconstruction()), g);
+}
+
+TEST_P(SeedSweep, GeneralizedIdentityOnComplements) {
+  Rng rng(GetParam() ^ 0xABCDull);
+  const Simulator sim;
+  const Graph g = complement(gen::random_k_degenerate(20 + rng.below(15), 2,
+                                                      rng));
+  EXPECT_EQ(sim.run_reconstruction(g, GeneralizedDegeneracyReconstruction(2)),
+            g);
+}
+
+TEST_P(SeedSweep, RecognitionMatchesGroundTruth) {
+  Rng rng(GetParam() ^ 0x777ull);
+  const Simulator sim;
+  const Graph g = gen::gnp(20 + rng.below(15), rng.uniform01() * 0.3, rng);
+  const auto truth = degeneracy(g).degeneracy;
+  for (unsigned k = 1; k <= 4; ++k) {
+    const DegeneracyReconstruction protocol(k);
+    bool accepted = true;
+    try {
+      const Graph h = sim.run_reconstruction(g, protocol);
+      EXPECT_EQ(h, g);
+    } catch (const DecodeError&) {
+      accepted = false;
+    }
+    EXPECT_EQ(accepted, truth <= k) << "k=" << k << " truth=" << truth;
+  }
+}
+
+TEST_P(SeedSweep, SketchComponentsMatchTruth) {
+  Rng rng(GetParam() ^ 0x51C7ull);
+  const std::size_t n = 24 + rng.below(24);
+  const Graph g = gen::gnp(n, rng.uniform01() * 0.15, rng);
+  const auto result = sketch_components(
+      g, SketchParams{.seed = GetParam() * 2654435761ull + 1, .rounds = 0,
+                      .copies = 5});
+  EXPECT_EQ(result.component_count, component_count(g))
+      << "seed=" << GetParam() << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "model/simulator.hpp"
+#include "protocols/statistics.hpp"
+
+namespace referee {
+namespace {
+
+std::vector<Message> transcript(const Graph& g) {
+  const Simulator sim;
+  return sim.run_local_phase(g, DegreeStatistics());
+}
+
+TEST(Statistics, DegreeSequenceMatchesGraph) {
+  Rng rng(571);
+  const Graph g = gen::gnp(40, 0.2, rng);
+  const auto msgs = transcript(g);
+  const auto degrees = DegreeStatistics::degree_sequence(40, msgs);
+  for (Vertex v = 0; v < 40; ++v) EXPECT_EQ(degrees[v], g.degree(v));
+}
+
+TEST(Statistics, EdgeCountExact) {
+  Rng rng(577);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::gnp(30, rng.uniform01() * 0.5, rng);
+    EXPECT_EQ(DegreeStatistics::edge_count(30, transcript(g)),
+              g.edge_count());
+  }
+}
+
+TEST(Statistics, MinMaxDegree) {
+  const Graph g = gen::star(9);
+  const auto msgs = transcript(g);
+  EXPECT_EQ(DegreeStatistics::max_degree(10, msgs), 9u);
+  EXPECT_EQ(DegreeStatistics::min_degree(10, msgs), 1u);
+}
+
+TEST(Statistics, MessageIsTwoLogUnits) {
+  const Simulator sim;
+  FrugalityReport report;
+  const auto msgs = sim.run_local_phase(gen::complete(100), DegreeStatistics());
+  report = audit_frugality(100, msgs);
+  EXPECT_DOUBLE_EQ(report.constant(), 2.0);
+}
+
+TEST(Statistics, ErdosGallaiAcceptsRealGraphs) {
+  Rng rng(587);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::gnp(20, rng.uniform01(), rng);
+    EXPECT_TRUE(DegreeStatistics::erdos_gallai_feasible(20, transcript(g)));
+  }
+}
+
+TEST(Statistics, ErdosGallaiRejectsImpossibleSequence) {
+  // Hand-craft a transcript claiming degrees {3, 1, 1, 0}: sum is odd —
+  // not even a multigraph; and {3,3,1,1} (sum 8, even) fails EG at k = 2.
+  const DegreeStatistics protocol;
+  const std::uint32_t n = 4;
+  const auto forged = [&](std::vector<NodeId> degs) {
+    std::vector<Message> msgs;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      BitWriter w;
+      w.write_bits(i + 1, 3);
+      w.write_bits(degs[i], 3);
+      msgs.push_back(Message::seal(std::move(w)));
+    }
+    return msgs;
+  };
+  EXPECT_FALSE(
+      DegreeStatistics::erdos_gallai_feasible(n, forged({3, 1, 1, 0})));
+  EXPECT_THROW(DegreeStatistics::edge_count(n, forged({3, 1, 1, 0})),
+               DecodeError);
+  EXPECT_FALSE(
+      DegreeStatistics::erdos_gallai_feasible(n, forged({3, 3, 1, 1})));
+}
+
+TEST(Statistics, ConnectivityNecessaryConditions) {
+  Rng rng(593);
+  // Connected graphs always pass the necessary test.
+  const Graph c = gen::connected_gnp(25, 0.1, rng);
+  EXPECT_TRUE(DegreeStatistics::connectivity_possible(25, transcript(c)));
+  // A graph with an isolated vertex is caught.
+  Graph iso = gen::path(24);
+  iso.add_vertices(1);
+  EXPECT_FALSE(DegreeStatistics::connectivity_possible(25, transcript(iso)));
+  // The paper's point: the test is NOT sufficient — two disjoint cycles
+  // pass on degrees yet are disconnected.
+  Graph two = gen::cycle(12);
+  const Vertex base = two.add_vertices(13);
+  for (Vertex v = base; v < two.vertex_count(); ++v) {
+    two.add_edge(v, v + 1 == two.vertex_count() ? base : v + 1);
+  }
+  EXPECT_TRUE(DegreeStatistics::connectivity_possible(25, transcript(two)));
+  // (truth: disconnected — exactly the gap the open question lives in)
+}
+
+}  // namespace
+}  // namespace referee

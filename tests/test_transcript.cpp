@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "model/simulator.hpp"
+#include "model/transcript.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+#include "support/stats.hpp"
+
+namespace referee {
+namespace {
+
+TEST(Transcript, RoundTripPreservesMessagesExactly) {
+  Rng rng(631);
+  const Graph g = gen::random_k_degenerate(40, 2, rng);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  Transcript t;
+  t.n = 40;
+  t.messages = sim.run_local_phase(g, protocol);
+  const Transcript back = transcript_from_string(transcript_to_string(t));
+  ASSERT_EQ(back.n, t.n);
+  ASSERT_EQ(back.messages.size(), t.messages.size());
+  for (std::size_t i = 0; i < t.messages.size(); ++i) {
+    EXPECT_EQ(back.messages[i], t.messages[i]);
+  }
+}
+
+TEST(Transcript, OfflineDecodeEqualsOnline) {
+  // Capture on the "network", decode later from the serialised bytes alone.
+  Rng rng(641);
+  const Graph g = gen::random_apollonian(35, rng);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(3);
+  Transcript t{35, sim.run_local_phase(g, protocol)};
+  const std::string wire = transcript_to_string(t);
+  const Transcript replay = transcript_from_string(wire);
+  EXPECT_EQ(protocol.reconstruct(replay.n, replay.messages), g);
+}
+
+TEST(Transcript, EmptyMessagesSupported) {
+  Transcript t;
+  t.n = 3;
+  t.messages.resize(3);  // all empty
+  const Transcript back = transcript_from_string(transcript_to_string(t));
+  for (const auto& m : back.messages) EXPECT_EQ(m.bit_size(), 0u);
+}
+
+TEST(Transcript, BadMagicRejected) {
+  EXPECT_THROW(transcript_from_string("NOPE"), DecodeError);
+  EXPECT_THROW(transcript_from_string(""), DecodeError);
+}
+
+TEST(Transcript, TruncatedStreamRejected) {
+  Transcript t;
+  t.n = 2;
+  BitWriter w;
+  w.write_bits(0xFFFF, 16);
+  t.messages.push_back(Message::seal(std::move(w)));
+  t.messages.emplace_back();
+  std::string wire = transcript_to_string(t);
+  wire.resize(wire.size() - 3);
+  EXPECT_THROW(transcript_from_string(wire), DecodeError);
+}
+
+TEST(Transcript, CountMismatchRejectedOnWrite) {
+  Transcript t;
+  t.n = 5;
+  t.messages.resize(3);
+  std::ostringstream os;
+  EXPECT_THROW(write_transcript(os, t), CheckError);
+}
+
+TEST(Stats, RunningStatMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add_tracked(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min_seen(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max_seen(), 9.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  LinearFit fit;
+  for (int x = 0; x < 20; ++x) {
+    fit.add(x, 3.5 * x - 2.0);
+  }
+  EXPECT_NEAR(fit.slope(), 3.5, 1e-9);
+  EXPECT_NEAR(fit.intercept(), -2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared(), 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitNoisy) {
+  Rng rng(643);
+  LinearFit fit;
+  for (int x = 0; x < 500; ++x) {
+    fit.add(x, 2.0 * x + 10.0 + (rng.uniform01() - 0.5));
+  }
+  EXPECT_NEAR(fit.slope(), 2.0, 0.01);
+  EXPECT_GT(fit.r_squared(), 0.999);
+}
+
+TEST(Stats, FitRequiresTwoPoints) {
+  LinearFit fit;
+  fit.add(1, 1);
+  EXPECT_THROW(fit.slope(), CheckError);
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,434 @@
+// refereectl — command-line driver for the refereed library.
+//
+// Graphs travel as the edge-list text format ("n m" header then "u v"
+// lines, 0-based) on stdin/stdout, so commands compose with pipes:
+//
+//   refereectl gen apollonian --n 80 --seed 7 |
+//   refereectl reconstruct --k 3
+//
+// Commands:
+//   gen <family> [--n N] [--m M] [--k K] [--p P] [--seed S] [--arity A]
+//       families: path cycle complete star grid torus hypercube tree forest
+//                 gnp gnm kdeg ktree apollonian fattree bipartite squarefree
+//   info                         structural report (degeneracy, diameter, ...)
+//   reconstruct --k K [--decoder newton|fast|table] [--threads T]
+//   recognize  --k K             one-round "degeneracy <= K?" decision
+//   adaptive                     multi-round reconstruction, k discovered
+//   stats                        what 2 log n bits/node buy (degree stats)
+//   connectivity [--copies C] [--seed S]
+//   kconn --k K [--copies C]     k-edge-connectivity via sketch peeling
+//   bipartite    [--copies C] [--seed S]
+//   reduce --via square|triangle|diameter
+//   capture --k K --out FILE     run the local phase, save the transcript
+//   decode-transcript --k K --in FILE   referee decode, offline
+//   selftest                     quick end-to-end sanity run
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "graph/algorithms.hpp"
+#include "graph/degeneracy.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/subgraphs.hpp"
+#include "graph/mincut.hpp"
+#include "model/simulator.hpp"
+#include "model/transcript.hpp"
+#include "numth/lookup.hpp"
+#include "protocols/adaptive_degeneracy.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+#include "protocols/recognition.hpp"
+#include "protocols/statistics.hpp"
+#include "reductions/oracles.hpp"
+#include "reductions/reductions.hpp"
+#include "sketch/bipartiteness.hpp"
+#include "sketch/connectivity.hpp"
+#include "sketch/k_connectivity.hpp"
+
+namespace {
+
+using namespace referee;
+
+struct Options {
+  std::map<std::string, std::string> values;
+
+  bool has(const std::string& key) const { return values.count(key) > 0; }
+
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+
+  std::uint64_t num(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stoull(it->second);
+  }
+
+  double real(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Options parse_options(int argc, char** argv, int first) {
+  Options opts;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      opts.values[arg] = argv[++i];
+    } else {
+      opts.values[arg] = "1";
+    }
+  }
+  return opts;
+}
+
+Graph read_graph_stdin() {
+  std::ostringstream buffer;
+  buffer << std::cin.rdbuf();
+  return from_edge_list(buffer.str());
+}
+
+int cmd_gen(const std::string& family, const Options& opts) {
+  const auto n = static_cast<std::size_t>(opts.num("n", 32));
+  const auto k = static_cast<unsigned>(opts.num("k", 3));
+  const double p = opts.real("p", 0.1);
+  Rng rng(opts.num("seed", 1));
+  Graph g;
+  if (family == "path") {
+    g = gen::path(n);
+  } else if (family == "cycle") {
+    g = gen::cycle(n);
+  } else if (family == "complete") {
+    g = gen::complete(n);
+  } else if (family == "star") {
+    g = gen::star(n - 1);
+  } else if (family == "grid") {
+    const auto rows = static_cast<std::size_t>(opts.num("rows", 4));
+    g = gen::grid(rows, (n + rows - 1) / rows);
+  } else if (family == "torus") {
+    const auto rows = static_cast<std::size_t>(opts.num("rows", 4));
+    g = gen::torus(rows, std::max<std::size_t>(3, n / rows));
+  } else if (family == "hypercube") {
+    g = gen::hypercube(static_cast<unsigned>(opts.num("dims", 4)));
+  } else if (family == "tree") {
+    g = gen::random_tree(n, rng);
+  } else if (family == "forest") {
+    g = gen::random_forest(n, opts.real("drop", 0.2), rng);
+  } else if (family == "gnp") {
+    g = gen::gnp(n, p, rng);
+  } else if (family == "gnm") {
+    g = gen::gnm(n, opts.num("m", 2 * n), rng);
+  } else if (family == "kdeg") {
+    g = gen::random_k_degenerate(n, k, rng, opts.has("exact"));
+  } else if (family == "ktree") {
+    g = gen::random_k_tree(n, k, rng);
+  } else if (family == "apollonian") {
+    g = gen::random_apollonian(n, rng);
+  } else if (family == "fattree") {
+    g = gen::fat_tree(static_cast<unsigned>(opts.num("arity", 4)),
+                      opts.has("hosts"));
+  } else if (family == "bipartite") {
+    g = gen::random_bipartite(n / 2, n - n / 2, p, rng);
+  } else if (family == "squarefree") {
+    g = gen::random_square_free(n, opts.num("attempts", 30 * n), rng);
+  } else {
+    std::fprintf(stderr, "unknown family: %s\n", family.c_str());
+    return 2;
+  }
+  std::fputs(to_edge_list(g).c_str(), stdout);
+  return 0;
+}
+
+int cmd_info(const Graph& g) {
+  std::printf("vertices        %zu\n", g.vertex_count());
+  std::printf("edges           %zu\n", g.edge_count());
+  std::printf("min/max degree  %zu / %zu\n", g.min_degree(), g.max_degree());
+  const auto deg = degeneracy(g);
+  std::printf("degeneracy      %zu\n", deg.degeneracy);
+  std::printf("components      %zu\n", component_count(g));
+  const auto diam = diameter(g);
+  std::printf("diameter        %s\n",
+              diam ? std::to_string(*diam).c_str() : "inf (disconnected)");
+  const auto gi = girth(g);
+  std::printf("girth           %s\n",
+              gi ? std::to_string(*gi).c_str() : "inf (forest)");
+  std::printf("bipartite       %s\n", is_bipartite(g) ? "yes" : "no");
+  std::printf("triangles       %llu\n",
+              static_cast<unsigned long long>(count_triangles(g)));
+  std::printf("squares (C4)    %llu\n",
+              static_cast<unsigned long long>(count_squares(g)));
+  std::printf("treewidth <=    %zu (min-degree heuristic)\n",
+              treewidth_upper_bound_min_degree(g));
+  return 0;
+}
+
+std::shared_ptr<const NeighborhoodDecoder> pick_decoder(
+    const std::string& kind, std::uint32_t n, unsigned k) {
+  if (kind == "table") {
+    return std::make_shared<TableDecoder>(
+        std::make_shared<NeighborhoodTable>(n, k));
+  }
+  if (kind == "fast") {
+    return std::make_shared<SmallNewtonDecoder>(n, k);
+  }
+  return std::make_shared<NewtonDecoder>();
+}
+
+int cmd_reconstruct(const Graph& g, const Options& opts) {
+  const auto k = static_cast<unsigned>(opts.num("k", 3));
+  const auto threads = static_cast<std::size_t>(opts.num("threads", 0));
+  const auto decoder =
+      pick_decoder(opts.str("decoder", "newton"),
+                   static_cast<std::uint32_t>(g.vertex_count()), k);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  const Simulator sim(pool.get());
+  const DegeneracyReconstruction protocol(k, decoder);
+  FrugalityReport report;
+  try {
+    const Graph h = sim.run_reconstruction(g, protocol, &report);
+    std::fprintf(stderr,
+                 "reconstructed %zu vertices / %zu edges; "
+                 "max message %zu bits (%.2f x log2(n+1)); exact: %s\n",
+                 h.vertex_count(), h.edge_count(), report.max_bits,
+                 report.constant(), h == g ? "yes" : "NO");
+    std::fputs(to_edge_list(h).c_str(), stdout);
+    return h == g ? 0 : 1;
+  } catch (const DecodeError& e) {
+    std::fprintf(stderr, "reconstruction failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_recognize(const Graph& g, const Options& opts) {
+  const auto k = static_cast<unsigned>(opts.num("k", 3));
+  const Simulator sim;
+  const bool accepted = sim.run_decision(g, *make_degeneracy_recognizer(k));
+  std::printf("degeneracy <= %u: %s\n", k, accepted ? "yes" : "no");
+  return 0;
+}
+
+int cmd_adaptive(const Graph& g) {
+  const Simulator sim;
+  const AdaptiveDegeneracyReconstruction protocol;
+  MultiRoundReport report;
+  const Graph h = sim.run_multi_round(g, protocol, &report);
+  std::fprintf(stderr,
+               "adaptive reconstruction: %u round(s), final guess k=%u, "
+               "max message %zu bits, %zu broadcast bit(s); exact: %s\n",
+               report.rounds_used,
+               AdaptiveDegeneracyReconstruction::k_for_round(
+                   report.rounds_used - 1),
+               report.max_bits, report.broadcast_bits,
+               h == g ? "yes" : "NO");
+  std::fputs(to_edge_list(h).c_str(), stdout);
+  return h == g ? 0 : 1;
+}
+
+int cmd_connectivity(const Graph& g, const Options& opts) {
+  const SketchParams params{
+      .seed = opts.num("seed", 0xC0FFEE),
+      .rounds = 0,
+      .copies = static_cast<unsigned>(opts.num("copies", 3))};
+  const Simulator sim;
+  const SketchConnectivityProtocol protocol(params);
+  FrugalityReport report;
+  const auto msgs = sim.run_local_phase(g, protocol);
+  report = audit_frugality(static_cast<std::uint32_t>(g.vertex_count()), msgs);
+  const auto result =
+      protocol.decode(static_cast<std::uint32_t>(g.vertex_count()), msgs);
+  std::printf("components      %zu (truth: %zu)\n", result.component_count,
+              component_count(g));
+  std::printf("forest edges    %zu\n", result.forest.size());
+  std::printf("bits per node   %zu (%.1f x log2(n+1))\n", report.max_bits,
+              report.constant());
+  return result.component_count == component_count(g) ? 0 : 1;
+}
+
+int cmd_bipartite(const Graph& g, const Options& opts) {
+  const SketchParams params{
+      .seed = opts.num("seed", 0xB1B),
+      .rounds = 0,
+      .copies = static_cast<unsigned>(opts.num("copies", 3))};
+  const Simulator sim;
+  const bool answer = sim.run_decision(g, SketchBipartitenessProtocol(params));
+  std::printf("bipartite       %s (truth: %s)\n", answer ? "yes" : "no",
+              is_bipartite(g) ? "yes" : "no");
+  return answer == is_bipartite(g) ? 0 : 1;
+}
+
+int cmd_reduce(const Graph& g, const Options& opts) {
+  const std::string via = opts.str("via", "diameter");
+  const Simulator sim;
+  std::unique_ptr<ReconstructionProtocol> delta;
+  if (via == "square") {
+    delta = std::make_unique<SquareReduction>(make_square_oracle());
+  } else if (via == "triangle") {
+    delta = std::make_unique<TriangleReduction>(make_triangle_oracle());
+  } else if (via == "diameter") {
+    delta = std::make_unique<DiameterReduction>(make_diameter_oracle(3));
+  } else {
+    std::fprintf(stderr, "unknown reduction: %s\n", via.c_str());
+    return 2;
+  }
+  const Graph h = sim.run_reconstruction(g, *delta);
+  std::fprintf(stderr, "Δ[%s] output %s the input\n", via.c_str(),
+               h == g ? "MATCHES" : "differs from");
+  std::fputs(to_edge_list(h).c_str(), stdout);
+  return h == g ? 0 : 1;
+}
+
+int cmd_stats(const Graph& g) {
+  const Simulator sim;
+  const DegreeStatistics protocol;
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const auto msgs = sim.run_local_phase(g, protocol);
+  const auto report = audit_frugality(n, msgs);
+  std::printf("edges           %llu\n",
+              static_cast<unsigned long long>(
+                  DegreeStatistics::edge_count(n, msgs)));
+  std::printf("max degree      %u\n", DegreeStatistics::max_degree(n, msgs));
+  std::printf("min degree      %u\n", DegreeStatistics::min_degree(n, msgs));
+  std::printf("erdos-gallai    %s\n",
+              DegreeStatistics::erdos_gallai_feasible(n, msgs)
+                  ? "feasible"
+                  : "INFEASIBLE (corrupt transcript)");
+  std::printf("connectivity    %s\n",
+              DegreeStatistics::connectivity_possible(n, msgs)
+                  ? "possible (necessary conditions hold)"
+                  : "impossible (isolated vertex or m < n-1)");
+  std::printf("bits per node   %zu (%.1f x log2(n+1))\n", report.max_bits,
+              report.constant());
+  return 0;
+}
+
+int cmd_kconn(const Graph& g, const Options& opts) {
+  const auto k = static_cast<unsigned>(opts.num("k", 2));
+  const SketchParams params{
+      .seed = opts.num("seed", 0xC0DE),
+      .rounds = 0,
+      .copies = static_cast<unsigned>(opts.num("copies", 4))};
+  const auto result = sketch_k_edge_connectivity(g, k, params);
+  std::printf("lambda >= %u     %s (certificate bound: %llu; truth: %llu)\n",
+              k, result.k_connected ? "yes" : "no",
+              static_cast<unsigned long long>(
+                  result.connectivity_lower_bound),
+              static_cast<unsigned long long>(edge_connectivity(g)));
+  std::printf("certificate     %zu edges across %zu forests\n",
+              result.certificate.edge_count(), result.forests.size());
+  return 0;
+}
+
+int cmd_capture(const Graph& g, const Options& opts) {
+  const auto k = static_cast<unsigned>(opts.num("k", 3));
+  const std::string out = opts.str("out", "transcript.rft");
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(k);
+  Transcript t;
+  t.n = static_cast<std::uint32_t>(g.vertex_count());
+  t.messages = sim.run_local_phase(g, protocol);
+  std::ofstream os(out, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  write_transcript(os, t);
+  const auto report = audit_frugality(t.n, t.messages);
+  std::fprintf(stderr, "captured %u messages (%zu bits total) to %s\n", t.n,
+               report.total_bits, out.c_str());
+  return 0;
+}
+
+int cmd_decode_transcript(const Options& opts) {
+  const auto k = static_cast<unsigned>(opts.num("k", 3));
+  const std::string in = opts.str("in", "transcript.rft");
+  std::ifstream is(in, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "cannot open %s\n", in.c_str());
+    return 1;
+  }
+  const Transcript t = read_transcript(is);
+  const DegeneracyReconstruction protocol(k);
+  try {
+    const Graph h = protocol.reconstruct(t.n, t.messages);
+    std::fprintf(stderr, "decoded %u nodes -> %zu edges\n", t.n,
+                 h.edge_count());
+    std::fputs(to_edge_list(h).c_str(), stdout);
+    return 0;
+  } catch (const DecodeError& e) {
+    std::fprintf(stderr, "decode failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_selftest() {
+  Rng rng(99);
+  const Graph g = gen::random_apollonian(40, rng);
+  const Simulator sim;
+  const Graph h = sim.run_reconstruction(g, DegeneracyReconstruction(3));
+  const bool recon_ok = h == g;
+  const bool sketch_ok = sim.run_decision(
+      gen::connected_gnp(50, 0.08, rng),
+      SketchConnectivityProtocol(SketchParams{.seed = 5, .rounds = 0,
+                                              .copies = 4}));
+  std::printf("reconstruction: %s\nsketch connectivity: %s\n",
+              recon_ok ? "ok" : "FAIL", sketch_ok ? "ok" : "FAIL");
+  return recon_ok && sketch_ok ? 0 : 1;
+}
+
+void usage() {
+  std::fputs(
+      "usage: refereectl <command> [options]\n"
+      "commands: gen info stats reconstruct recognize adaptive connectivity\n"
+      "          kconn bipartite reduce capture decode-transcript selftest\n"
+      "          (see source header for flags)\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "gen") {
+      if (argc < 3) {
+        usage();
+        return 2;
+      }
+      return cmd_gen(argv[2], parse_options(argc, argv, 3));
+    }
+    const Options opts = parse_options(argc, argv, 2);
+    if (command == "selftest") return cmd_selftest();
+    if (command == "decode-transcript") return cmd_decode_transcript(opts);
+    const Graph g = read_graph_stdin();
+    if (command == "info") return cmd_info(g);
+    if (command == "reconstruct") return cmd_reconstruct(g, opts);
+    if (command == "recognize") return cmd_recognize(g, opts);
+    if (command == "adaptive") return cmd_adaptive(g);
+    if (command == "stats") return cmd_stats(g);
+    if (command == "connectivity") return cmd_connectivity(g, opts);
+    if (command == "kconn") return cmd_kconn(g, opts);
+    if (command == "bipartite") return cmd_bipartite(g, opts);
+    if (command == "reduce") return cmd_reduce(g, opts);
+    if (command == "capture") return cmd_capture(g, opts);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
