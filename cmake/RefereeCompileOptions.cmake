@@ -1,0 +1,27 @@
+# Shared compile settings: strict warnings and optional sanitizers, exposed
+# as interface targets so every module and binary picks them up uniformly.
+
+add_library(referee_warnings INTERFACE)
+add_library(referee::warnings ALIAS referee_warnings)
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(referee_warnings INTERFACE -Wall -Wextra)
+  if(REFEREE_WERROR)
+    target_compile_options(referee_warnings INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(referee_warnings INTERFACE /W4)
+  if(REFEREE_WERROR)
+    target_compile_options(referee_warnings INTERFACE /WX)
+  endif()
+endif()
+
+add_library(referee_sanitizers INTERFACE)
+add_library(referee::sanitizers ALIAS referee_sanitizers)
+if(REFEREE_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "REFEREE_SANITIZE requires GCC or Clang")
+  endif()
+  target_compile_options(referee_sanitizers INTERFACE
+    -fsanitize=${REFEREE_SANITIZE} -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  target_link_options(referee_sanitizers INTERFACE -fsanitize=${REFEREE_SANITIZE})
+endif()

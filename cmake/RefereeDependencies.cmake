@@ -1,0 +1,41 @@
+# Locate GoogleTest / Google Benchmark: prefer the system packages, fall
+# back to FetchContent only when allowed (REFEREE_FETCH_DEPS) so offline
+# builds fail with a clear message instead of a mid-configure download hang.
+
+# referee_require_dependency(<find-package name> <imported target>
+#                            <fetch name> <url> <sha256> [<cache var to set OFF>...])
+macro(referee_require_dependency package target fetch_name url sha256)
+  if(NOT TARGET ${target})
+    find_package(${package} QUIET)
+    if(NOT TARGET ${target})
+      if(NOT REFEREE_FETCH_DEPS)
+        message(FATAL_ERROR
+          "${package} not found and REFEREE_FETCH_DEPS=OFF. "
+          "Install the system package or enable REFEREE_FETCH_DEPS.")
+      endif()
+      foreach(var IN ITEMS ${ARGN})
+        set(${var} OFF CACHE BOOL "" FORCE)
+      endforeach()
+      include(FetchContent)
+      FetchContent_Declare(${fetch_name}
+        URL ${url}
+        URL_HASH SHA256=${sha256}
+        DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+      FetchContent_MakeAvailable(${fetch_name})
+    endif()
+  endif()
+endmacro()
+
+macro(referee_require_gtest)
+  referee_require_dependency(GTest GTest::gtest_main googletest
+    https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+    INSTALL_GTEST)
+endmacro()
+
+macro(referee_require_benchmark)
+  referee_require_dependency(benchmark benchmark::benchmark_main benchmark
+    https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+    6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce
+    BENCHMARK_ENABLE_TESTING BENCHMARK_ENABLE_INSTALL)
+endmacro()

@@ -62,7 +62,9 @@ TEST(BigUInt, ArithmeticAgainstU64Reference) {
     const std::uint64_t b = rng.next() >> 33;
     EXPECT_EQ((BigUInt(a) + BigUInt(b)).to_u64(), a + b);
     EXPECT_EQ((BigUInt(a) * BigUInt(b)).to_u64(), a * b);
-    if (a >= b) EXPECT_EQ((BigUInt(a) - BigUInt(b)).to_u64(), a - b);
+    if (a >= b) {
+      EXPECT_EQ((BigUInt(a) - BigUInt(b)).to_u64(), a - b);
+    }
     if (b != 0) {
       EXPECT_EQ((BigUInt(a) / BigUInt(b)).to_u64(), a / b);
       EXPECT_EQ((BigUInt(a) % BigUInt(b)).to_u64(), a % b);

@@ -62,7 +62,9 @@ TEST(Degeneracy, CoreNumbersMonotone) {
   const auto result = degeneracy(g);
   for (Vertex v = 0; v < 50; ++v) {
     EXPECT_LE(result.core_number[v], result.degeneracy);
-    if (g.degree(v) > 0) EXPECT_GE(result.core_number[v], 1u);
+    if (g.degree(v) > 0) {
+      EXPECT_GE(result.core_number[v], 1u);
+    }
   }
 }
 
