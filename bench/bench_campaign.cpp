@@ -1,0 +1,58 @@
+// E11 — campaign throughput: scenarios per second for a representative
+// (generator × protocol × seed × fault-plan) grid as the pool scales. The
+// grid level is where the library parallelises best — every scenario is an
+// independent pipeline, and each worker chunk reuses one message arena —
+// so this curve is the headline number for "as many scenarios as you can
+// imagine".
+#include <benchmark/benchmark.h>
+
+#include "model/campaign.hpp"
+
+namespace {
+
+using namespace referee;
+
+CampaignConfig bench_config() {
+  CampaignConfig config;
+  config.generators = {"kdeg", "tree", "gnp"};
+  config.sizes = {24, 48};
+  config.protocols = {"degeneracy", "forest", "stats"};
+  config.seeds = {1, 2, 3, 4};
+  config.fault_plans = {
+      FaultPlan{},
+      FaultPlan{.bit_flip_chance = 0.02, .truncate_chance = 0.0},
+  };
+  return config;
+}
+
+void BM_CampaignGrid(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto grid = expand_grid(bench_config());
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  const CampaignRunner runner(pool.get());
+  for (auto _ : state) {
+    const auto results = runner.run(grid);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+  state.counters["scenarios"] = static_cast<double>(grid.size());
+  state.counters["threads"] = static_cast<double>(threads == 0 ? 1 : threads);
+}
+
+void BM_CampaignJson(benchmark::State& state) {
+  const auto grid = expand_grid(bench_config());
+  const CampaignRunner runner;
+  const auto results = runner.run(grid);
+  for (auto _ : state) {
+    const auto json = campaign_json(grid, results);
+    benchmark::DoNotOptimize(json.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_CampaignGrid)->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_CampaignJson)->Unit(benchmark::kMillisecond);

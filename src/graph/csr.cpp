@@ -1,5 +1,7 @@
 #include "graph/csr.hpp"
 
+#include <algorithm>
+
 namespace referee {
 
 CsrGraph::CsrGraph(const Graph& g) {
@@ -10,7 +12,44 @@ CsrGraph::CsrGraph(const Graph& g) {
   for (Vertex v = 0; v < n; ++v) {
     const auto nb = g.neighbors(v);
     targets_.insert(targets_.end(), nb.begin(), nb.end());
+    // Graph's add_edge keeps rows sorted and deduped; the CSR inherits the
+    // canonical form rather than re-establishing it.
+    REFEREE_DCHECK(std::is_sorted(targets_.end() - nb.size(), targets_.end()));
   }
+}
+
+CsrGraph::CsrGraph(std::size_t n, std::span<const Edge> edges) {
+  offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges) {
+    REFEREE_CHECK_MSG(e.u < n && e.v < n, "vertex out of range");
+    REFEREE_CHECK_MSG(e.u != e.v, "self-loop");
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  targets_.resize(offsets_[n]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    targets_[cursor[e.u]++] = e.v;
+    targets_[cursor[e.v]++] = e.u;
+  }
+  // Canonicalize: sort each row, drop duplicate edges, compact in place.
+  std::size_t write = 0;
+  std::size_t row_start = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t row_end = offsets_[v + 1];
+    std::sort(targets_.begin() + row_start, targets_.begin() + row_end);
+    const auto unique_end = std::unique(targets_.begin() + row_start,
+                                        targets_.begin() + row_end);
+    const auto row_len =
+        static_cast<std::size_t>(unique_end - (targets_.begin() + row_start));
+    std::move(targets_.begin() + row_start, unique_end,
+              targets_.begin() + write);
+    write += row_len;
+    row_start = row_end;
+    offsets_[v + 1] = write;
+  }
+  targets_.resize(write);
 }
 
 }  // namespace referee

@@ -17,6 +17,13 @@ class CsrGraph {
   CsrGraph() = default;
   explicit CsrGraph(const Graph& g);
 
+  /// Build directly from an edge list, canonicalizing as it goes: every
+  /// row comes out sorted ascending and deduped (self-loops rejected), the
+  /// same adjacency contract Graph enforces at add_edge time. This is the
+  /// bulk-load path for campaign-scale inputs — no intermediate
+  /// vector-of-vectors Graph required.
+  CsrGraph(std::size_t n, std::span<const Edge> edges);
+
   std::size_t vertex_count() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
   }

@@ -1,0 +1,305 @@
+#include "model/campaign.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+
+#include "graph/algorithms.hpp"
+#include "graph/degeneracy.hpp"
+#include "graph/generators.hpp"
+#include "protocols/bounded_degree.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+#include "protocols/forest_protocol.hpp"
+#include "protocols/generalized_degeneracy.hpp"
+#include "protocols/recognition.hpp"
+#include "protocols/statistics.hpp"
+#include "sketch/bipartiteness.hpp"
+#include "sketch/connectivity.hpp"
+#include "support/bits.hpp"
+
+namespace referee {
+
+namespace {
+
+// Distinct stream tags so graph generation, fault injection and sketch
+// randomness never share draws even though they all derive from spec.seed.
+constexpr std::uint64_t kGraphStream = 0x6772617068ull;   // "graph"
+constexpr std::uint64_t kFaultStream = 0x6661756c74ull;   // "fault"
+constexpr std::uint64_t kSketchStream = 0x736b657463ull;  // "sketc"
+
+void append_f(std::string& out, const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  const int len = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  REFEREE_CHECK_MSG(len >= 0 && static_cast<std::size_t>(len) < sizeof(buf),
+                    "campaign json row overflows the format buffer");
+  out.append(buf, buf + len);
+}
+
+ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
+                       std::vector<Message>& arena) {
+  ScenarioResult res;
+  const Graph g = make_campaign_graph(spec);
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const LocalViewPack views(g);
+
+  FaultPlan plan = spec.faults;
+  plan.seed = mix64(spec.seed ^ kFaultStream);
+
+  const auto run_local = [&](const LocalEncoder& enc) {
+    sim.run_local_phase(views, enc, arena);
+    Simulator::inject_faults(arena, plan);
+    res.report = audit_frugality(n, arena);
+  };
+
+  const std::string& proto = spec.protocol;
+  try {
+    if (proto == "degeneracy" || proto == "generalized" ||
+        proto == "forest" || proto == "bounded-degree") {
+      std::unique_ptr<ReconstructionProtocol> rp;
+      if (proto == "degeneracy") {
+        rp = std::make_unique<DegeneracyReconstruction>(spec.k);
+      } else if (proto == "generalized") {
+        rp = std::make_unique<GeneralizedDegeneracyReconstruction>(spec.k);
+      } else if (proto == "forest") {
+        rp = std::make_unique<ForestReconstruction>();
+      } else {
+        rp = std::make_unique<BoundedDegreeReconstruction>(
+            std::max<std::size_t>(1, g.max_degree()));
+      }
+      run_local(*rp);
+      const Graph h = rp->reconstruct(n, arena);
+      res.outcome = (h == g) ? "exact" : "silent-wrong";
+    } else if (proto == "stats") {
+      const DegreeStatistics stats;
+      run_local(stats);
+      const bool correct =
+          DegreeStatistics::edge_count(n, arena) == g.edge_count() &&
+          DegreeStatistics::max_degree(n, arena) == g.max_degree();
+      res.outcome = correct ? "correct" : "silent-wrong";
+    } else if (proto == "recognize-degeneracy") {
+      const auto recog = make_degeneracy_recognizer(spec.k);
+      run_local(*recog);
+      const bool truth = degeneracy(g).degeneracy <= spec.k;
+      res.outcome = recog->decide(n, arena) == truth ? "correct"
+                                                     : "silent-wrong";
+    } else if (proto == "connectivity") {
+      const SketchConnectivityProtocol sc(
+          SketchParams{.seed = mix64(spec.seed ^ kSketchStream),
+                       .rounds = 0,
+                       .copies = 3});
+      run_local(sc);
+      const bool truth = component_count(g) <= 1;
+      res.outcome = sc.decide(n, arena) == truth ? "correct" : "silent-wrong";
+    } else if (proto == "bipartite") {
+      const SketchBipartitenessProtocol sb(
+          SketchParams{.seed = mix64(spec.seed ^ kSketchStream),
+                       .rounds = 0,
+                       .copies = 3});
+      run_local(sb);
+      const bool truth = is_bipartite(g);
+      res.outcome = sb.decide(n, arena) == truth ? "correct" : "silent-wrong";
+    } else {
+      throw CheckError("unknown campaign protocol: " + proto);
+    }
+  } catch (const DecodeError&) {
+    res.outcome = "loud";
+  }
+  res.contract_ok = res.outcome != "silent-wrong";
+  return res;
+}
+
+}  // namespace
+
+const std::vector<std::string>& campaign_generators() {
+  static const std::vector<std::string> names{
+      "path",     "cycle",    "complete", "star",      "grid",
+      "hypercube", "tree",    "forest",   "gnp",       "connected-gnp",
+      "gnm",      "kdeg",     "kdeg-exact", "ktree",   "apollonian",
+      "bipartite", "squarefree"};
+  return names;
+}
+
+const std::vector<std::string>& campaign_protocols() {
+  static const std::vector<std::string> names{
+      "degeneracy", "generalized", "forest",       "bounded-degree",
+      "stats",      "recognize-degeneracy", "connectivity", "bipartite"};
+  return names;
+}
+
+Graph make_campaign_graph(const ScenarioSpec& spec) {
+  Rng rng(mix64(spec.seed ^ kGraphStream));
+  const std::size_t n = std::max<std::size_t>(2, spec.n);
+  const unsigned k = std::max(1u, spec.k);
+  const std::string& f = spec.generator;
+  // Random families consume the stream directly; deterministic topologies
+  // get a seed-dependent label shuffle so every grid cell is a distinct
+  // labelled instance (protocols see labels, not shapes).
+  if (f == "tree") return gen::random_tree(n, rng);
+  if (f == "forest") return gen::random_forest(n, 0.2, rng);
+  if (f == "gnp") return gen::gnp(n, spec.p, rng);
+  if (f == "connected-gnp") return gen::connected_gnp(n, spec.p, rng);
+  if (f == "gnm") return gen::gnm(n, 2 * n, rng);
+  if (f == "kdeg") return gen::random_k_degenerate(n, k, rng);
+  if (f == "kdeg-exact") {
+    return gen::random_k_degenerate(n, k, rng, /*exactly_k=*/true);
+  }
+  if (f == "ktree") return gen::random_k_tree(n, k, rng);
+  if (f == "apollonian") return gen::random_apollonian(n, rng);
+  if (f == "bipartite") {
+    return gen::random_bipartite(n / 2, n - n / 2, spec.p, rng);
+  }
+  if (f == "squarefree") return gen::random_square_free(n, 30 * n, rng);
+
+  Graph g;
+  if (f == "path") {
+    g = gen::path(n);
+  } else if (f == "cycle") {
+    g = gen::cycle(n);
+  } else if (f == "complete") {
+    g = gen::complete(n);
+  } else if (f == "star") {
+    g = gen::star(n - 1);
+  } else if (f == "grid") {
+    const std::size_t rows = std::max<std::size_t>(2, n / 8);
+    g = gen::grid(rows, (n + rows - 1) / rows);
+  } else if (f == "hypercube") {
+    g = gen::hypercube(static_cast<unsigned>(floor_log2(n)));
+  } else {
+    throw CheckError("unknown campaign generator: " + f);
+  }
+  return gen::shuffle_labels(g, rng);
+}
+
+std::vector<ScenarioSpec> expand_grid(const CampaignConfig& config) {
+  std::vector<ScenarioSpec> grid;
+  grid.reserve(config.generators.size() * config.sizes.size() *
+               config.protocols.size() * config.seeds.size() *
+               config.fault_plans.size());
+  for (const auto& generator : config.generators) {
+    for (const auto n : config.sizes) {
+      for (const auto& protocol : config.protocols) {
+        for (const auto seed : config.seeds) {
+          for (const auto& plan : config.fault_plans) {
+            ScenarioSpec spec;
+            spec.generator = generator;
+            spec.n = n;
+            spec.k = config.k;
+            spec.p = config.p;
+            spec.protocol = protocol;
+            spec.seed = seed;
+            spec.faults = plan;
+            grid.push_back(std::move(spec));
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<ScenarioResult> CampaignRunner::run(
+    const std::vector<ScenarioSpec>& grid) const {
+  std::vector<ScenarioResult> results(grid.size());
+  const Simulator inner;  // scenarios parallelise at grid level
+  maybe_parallel_for_chunks(
+      pool_, 0, grid.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<Message> arena;  // reused across the chunk's scenarios
+        for (std::size_t i = lo; i < hi; ++i) {
+          results[i] = run_one(grid[i], inner, arena);
+        }
+      },
+      /*serial_cutoff=*/2);
+  return results;
+}
+
+std::vector<CampaignAggregate> aggregate_campaign(
+    const std::vector<ScenarioSpec>& grid,
+    const std::vector<ScenarioResult>& results) {
+  REFEREE_CHECK_MSG(grid.size() == results.size(),
+                    "grid/result size mismatch");
+  std::vector<CampaignAggregate> aggs;
+  std::vector<double> sums;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& spec = grid[i];
+    const auto& res = results[i];
+    auto it = std::find_if(aggs.begin(), aggs.end(), [&](const auto& a) {
+      return a.generator == spec.generator && a.protocol == spec.protocol;
+    });
+    if (it == aggs.end()) {
+      aggs.push_back(CampaignAggregate{spec.generator, spec.protocol});
+      sums.push_back(0.0);
+      it = aggs.end() - 1;
+    }
+    auto& agg = *it;
+    auto& sum = sums[static_cast<std::size_t>(it - aggs.begin())];
+    ++agg.scenarios;
+    if (res.outcome == "exact" || res.outcome == "correct") ++agg.ok;
+    if (res.outcome == "loud") ++agg.loud;
+    if (res.outcome == "silent-wrong") ++agg.silent_wrong;
+    agg.max_bits = std::max(agg.max_bits, res.report.max_bits);
+    agg.max_constant = std::max(agg.max_constant, res.report.constant());
+    sum += static_cast<double>(res.report.max_bits);
+    agg.mean_max_bits = sum / static_cast<double>(agg.scenarios);
+  }
+  return aggs;
+}
+
+std::string campaign_json(const std::vector<ScenarioSpec>& grid,
+                          const std::vector<ScenarioResult>& results) {
+  REFEREE_CHECK_MSG(grid.size() == results.size(),
+                    "grid/result size mismatch");
+  std::string out;
+  out.reserve(grid.size() * 220);
+  out += "{\n  \"schema\": \"referee-campaign-v1\",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& s = grid[i];
+    const auto& r = results[i];
+    // "n" is the real vertex count the scenario ran on (families like
+    // hypercube and grid round the requested size); "spec_n" is the grid
+    // axis value — frugality columns must be plotted against "n".
+    append_f(out,
+             "    {\"i\": %zu, \"generator\": \"%s\", \"n\": %u, "
+             "\"spec_n\": %zu, \"k\": %u, \"p\": %.6f, \"protocol\": \"%s\", "
+             "\"seed\": %llu, \"flip\": %.6f, \"trunc\": %.6f, "
+             "\"outcome\": \"%s\", \"contract_ok\": %s, "
+             "\"max_bits\": %zu, \"total_bits\": %zu, "
+             "\"budget_bits\": %zu, \"constant\": %.6f}%s\n",
+             i, s.generator.c_str(), r.report.n, s.n, s.k, s.p,
+             s.protocol.c_str(), static_cast<unsigned long long>(s.seed),
+             s.faults.bit_flip_chance, s.faults.truncate_chance,
+             r.outcome.c_str(), r.contract_ok ? "true" : "false",
+             r.report.max_bits, r.report.total_bits, r.report.budget_bits,
+             r.report.constant(), i + 1 == grid.size() ? "" : ",");
+  }
+  out += "  ],\n  \"aggregates\": [\n";
+  const auto aggs = aggregate_campaign(grid, results);
+  std::size_t total_ok = 0;
+  std::size_t total_loud = 0;
+  std::size_t total_silent = 0;
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    const auto& a = aggs[i];
+    total_ok += a.ok;
+    total_loud += a.loud;
+    total_silent += a.silent_wrong;
+    append_f(out,
+             "    {\"generator\": \"%s\", \"protocol\": \"%s\", "
+             "\"scenarios\": %zu, \"ok\": %zu, \"loud\": %zu, "
+             "\"silent_wrong\": %zu, \"max_bits\": %zu, "
+             "\"mean_max_bits\": %.6f, \"max_constant\": %.6f}%s\n",
+             a.generator.c_str(), a.protocol.c_str(), a.scenarios, a.ok,
+             a.loud, a.silent_wrong, a.max_bits, a.mean_max_bits,
+             a.max_constant, i + 1 == aggs.size() ? "" : ",");
+  }
+  append_f(out,
+           "  ],\n  \"totals\": {\"scenarios\": %zu, \"ok\": %zu, "
+           "\"loud\": %zu, \"silent_wrong\": %zu}\n}\n",
+           grid.size(), total_ok, total_loud, total_silent);
+  return out;
+}
+
+}  // namespace referee

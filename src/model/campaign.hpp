@@ -1,0 +1,115 @@
+// Campaign runner: batched scenario grids over the referee model.
+//
+// The ROADMAP's "as many scenarios as you can imagine" workload: a campaign
+// is the cartesian grid (graph family × size × protocol × seed × fault
+// plan). Every cell generates its graph, runs the one-round pipeline
+// (zero-copy local phase → fault injection → referee decode), classifies
+// the outcome against ground truth computed directly on the graph, and
+// audits frugality. Scenarios are independent, so the runner shards the
+// grid over a ThreadPool; each worker chunk reuses one message arena, so
+// steady-state campaign throughput allocates almost nothing per scenario.
+//
+// Everything is deterministic in the specs: the same grid produces the
+// same results (and byte-identical JSON) no matter how it is sharded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/frugality.hpp"
+#include "model/simulator.hpp"
+#include "support/thread_pool.hpp"
+
+namespace referee {
+
+/// One cell of a campaign grid.
+struct ScenarioSpec {
+  std::string generator = "kdeg";  // see campaign_generators()
+  std::size_t n = 32;
+  unsigned k = 3;    // degeneracy bound / protocol parameter
+  double p = 0.1;    // edge probability, where the family takes one
+  std::string protocol = "degeneracy";  // see campaign_protocols()
+  std::uint64_t seed = 1;               // graph randomness
+  FaultPlan faults;                     // message corruption, if any
+};
+
+/// Outcome of one scenario. `outcome` is one of:
+///   "exact"        reconstruction returned the input graph
+///   "correct"      decision/statistic matched ground truth
+///   "loud"         the decoder refused (DecodeError) — contract respected
+///   "silent-wrong" decode succeeded but disagreed with ground truth
+/// `contract_ok` is false only for "silent-wrong": a referee may fail, but
+/// never silently lie.
+struct ScenarioResult {
+  std::string outcome;
+  bool contract_ok = true;
+  FrugalityReport report;
+};
+
+/// Per-(generator, protocol) aggregation plus overall frugality extremes.
+struct CampaignAggregate {
+  std::string generator;
+  std::string protocol;
+  std::size_t scenarios = 0;
+  std::size_t ok = 0;            // exact or correct
+  std::size_t loud = 0;          // refused loudly
+  std::size_t silent_wrong = 0;  // contract violations
+  std::size_t max_bits = 0;      // max over scenarios of per-node max
+  double mean_max_bits = 0.0;    // mean over scenarios of per-node max
+  double max_constant = 0.0;     // worst c in c·log2(n+1)
+};
+
+/// Axes of a campaign grid; expand_grid takes the cartesian product.
+struct CampaignConfig {
+  std::vector<std::string> generators{"kdeg", "tree", "gnp", "apollonian"};
+  std::vector<std::size_t> sizes{24, 48};
+  std::vector<std::string> protocols{"degeneracy", "forest", "stats",
+                                     "connectivity"};
+  std::vector<std::uint64_t> seeds{1, 2, 3, 4};
+  /// Fault plans are applied verbatim except the seed: each scenario's
+  /// fault stream is re-derived from its own seed so grids stay
+  /// reproducible cell-by-cell.
+  std::vector<FaultPlan> fault_plans{FaultPlan{}};
+  unsigned k = 3;
+  double p = 0.1;
+};
+
+/// Families / protocols the campaign knows how to instantiate by name.
+const std::vector<std::string>& campaign_generators();
+const std::vector<std::string>& campaign_protocols();
+
+/// The cartesian product of the config's axes, in deterministic order
+/// (generator-major, fault-plan-minor).
+std::vector<ScenarioSpec> expand_grid(const CampaignConfig& config);
+
+/// Generate the input graph of a scenario (deterministic in the spec).
+Graph make_campaign_graph(const ScenarioSpec& spec);
+
+class CampaignRunner {
+ public:
+  /// `pool` may be null (sequential). Not owned. Scenario-level sharding:
+  /// each scenario runs its local phase sequentially, the grid runs in
+  /// parallel — the right granularity once scenarios outnumber cores.
+  explicit CampaignRunner(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Run every scenario; results are indexed like `grid` regardless of
+  /// scheduling.
+  std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& grid) const;
+
+ private:
+  ThreadPool* pool_;
+};
+
+/// Aggregate results by (generator, protocol), in first-seen grid order.
+std::vector<CampaignAggregate> aggregate_campaign(
+    const std::vector<ScenarioSpec>& grid,
+    const std::vector<ScenarioResult>& results);
+
+/// Deterministic JSON report (schema referee-campaign-v1): per-scenario
+/// rows plus aggregates. Byte-identical across runs and shardings of the
+/// same grid.
+std::string campaign_json(const std::vector<ScenarioSpec>& grid,
+                          const std::vector<ScenarioResult>& results);
+
+}  // namespace referee

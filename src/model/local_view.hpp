@@ -2,9 +2,19 @@
 // the identifiers of its neighbours, and the network size n. Identifiers are
 // 1-based ({1, ..., n}) exactly as in the paper; the 0-based graph layer
 // converts at this boundary.
+//
+// Two representations exist:
+//   * LocalView     — owning (vector-backed); for synthetic views built by
+//     make_view and for the reduction gadgets that fabricate hypothetical
+//     neighbourhoods.
+//   * LocalViewRef  — non-owning (span-backed); the hot-path currency. The
+//     simulator derives one LocalViewPack per run (a single CSR-shaped
+//     allocation holding every node's 1-based neighbour row) and hands out
+//     LocalViewRef values with zero per-vertex copies.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -16,14 +26,68 @@ using NodeId = std::uint32_t;  // 1-based protocol-level identifier
 struct LocalView {
   NodeId id = 0;
   std::uint32_t n = 0;
-  std::vector<NodeId> neighbor_ids;  // sorted ascending, 1-based
+  std::vector<NodeId> neighbor_ids;  // sorted ascending, deduped, 1-based
 
   std::size_t degree() const { return neighbor_ids.size(); }
 
   friend bool operator==(const LocalView&, const LocalView&) = default;
 };
 
-/// The view node `v` (0-based) has of graph `g`.
+/// Borrowed view: same contract as LocalView (neighbor_ids sorted ascending,
+/// deduped, 1-based) but the neighbour row is a span into storage owned by
+/// someone else — a LocalViewPack, a LocalView, or a caller-managed buffer.
+/// Valid only while that storage is alive; protocols must treat it as a
+/// value to read from, never to retain.
+struct LocalViewRef {
+  NodeId id = 0;
+  std::uint32_t n = 0;
+  std::span<const NodeId> neighbor_ids;  // sorted ascending, 1-based
+
+  LocalViewRef() = default;
+  LocalViewRef(NodeId id_, std::uint32_t n_, std::span<const NodeId> nbrs)
+      : id(id_), n(n_), neighbor_ids(nbrs) {}
+  /// Implicit: every owning view is usable wherever a ref is expected.
+  LocalViewRef(const LocalView& view)  // NOLINT(google-explicit-constructor)
+      : id(view.id), n(view.n), neighbor_ids(view.neighbor_ids) {}
+
+  std::size_t degree() const { return neighbor_ids.size(); }
+
+  /// Copy into an owning LocalView (for call sites that must mutate or
+  /// outlive the backing storage, e.g. the cover constructions).
+  LocalView materialize() const {
+    return LocalView{
+        id, n, std::vector<NodeId>(neighbor_ids.begin(), neighbor_ids.end())};
+  }
+};
+
+/// All n views of a graph in one flat allocation: a CSR over 1-based
+/// neighbour ids. Building the pack is one pass over the graph; every
+/// view(v) afterwards is O(1) and allocation-free.
+class LocalViewPack {
+ public:
+  LocalViewPack() = default;
+  explicit LocalViewPack(const Graph& g);
+
+  std::uint32_t n() const { return n_; }
+  std::size_t size() const { return n_; }
+
+  /// The view of 0-based vertex v. Zero-copy; valid while the pack lives.
+  LocalViewRef view(Vertex v) const {
+    REFEREE_DCHECK(v < n_);
+    return LocalViewRef(
+        v + 1, n_,
+        std::span<const NodeId>(ids_.data() + offsets_[v],
+                                offsets_[v + 1] - offsets_[v]));
+  }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::vector<std::size_t> offsets_;  // n+1 entries
+  std::vector<NodeId> ids_;           // 2m entries, sorted per row, 1-based
+};
+
+/// The view node `v` (0-based) has of graph `g`. Allocates one vector; the
+/// batched paths should prefer LocalViewPack.
 LocalView local_view_of(const Graph& g, Vertex v);
 
 /// Views of all n nodes, indexed by id-1.
@@ -31,7 +95,8 @@ std::vector<LocalView> local_views(const Graph& g);
 
 /// A synthetic view for protocol functions evaluated on hypothetical
 /// (id, neighbourhood) pairs — Definition 1 lets Γ^l_n be evaluated anywhere,
-/// and the reduction proofs exploit exactly that.
+/// and the reduction proofs exploit exactly that. Canonicalizes (sorts +
+/// dedupes) the neighbour list.
 LocalView make_view(NodeId id, std::uint32_t n, std::vector<NodeId> neighbors);
 
 }  // namespace referee

@@ -11,6 +11,12 @@ Message Message::seal(BitWriter&& w) {
   return m;
 }
 
+void Message::assign(const BitWriter& w) {
+  bit_size_ = w.bit_size();
+  const auto& src = w.bytes();
+  bytes_.assign(src.begin(), src.begin() + (bit_size_ + 7) / 8);
+}
+
 void Message::flip_bit(std::size_t index) {
   REFEREE_CHECK_MSG(index < bit_size_, "flip_bit out of range");
   bytes_[index >> 3] ^= static_cast<std::uint8_t>(1u << (index & 7));

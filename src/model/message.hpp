@@ -15,6 +15,13 @@ class Message {
   /// Seal the bits accumulated in `w` into a message (w is consumed).
   static Message seal(BitWriter&& w);
 
+  /// Copy the bits accumulated in `w` into this message, reusing the
+  /// message's existing byte storage when its capacity suffices. The writer
+  /// is left untouched (clear() it to reuse). This is the arena-friendly
+  /// path: a per-thread scratch writer plus assign() makes re-encoding a
+  /// message vector allocation-free in steady state.
+  void assign(const BitWriter& w);
+
   std::size_t bit_size() const { return bit_size_; }
   bool empty() const { return bit_size_ == 0; }
 

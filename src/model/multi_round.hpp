@@ -31,7 +31,7 @@ class MultiRoundProtocol {
 
   /// Node side of round `round` (0-based): a pure function of the view and
   /// the referee's broadcasts from rounds 0..round-1.
-  virtual Message node_message(const LocalView& view, unsigned round,
+  virtual Message node_message(const LocalViewRef& view, unsigned round,
                                std::span<const Message> feedback) const = 0;
 
   /// Referee side after collecting round `round`'s messages.

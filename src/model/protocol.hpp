@@ -19,6 +19,12 @@
 namespace referee {
 
 /// The local half Γ^l of a one-round protocol.
+///
+/// Implementations override `encode`, which appends the message bits for a
+/// (borrowed) view to a caller-supplied BitWriter. The writer-passing form
+/// is what lets the simulator reuse one scratch writer per worker thread
+/// across an entire shard of the local phase instead of allocating a fresh
+/// buffer per vertex.
 class LocalEncoder {
  public:
   virtual ~LocalEncoder() = default;
@@ -26,8 +32,17 @@ class LocalEncoder {
   virtual std::string name() const = 0;
 
   /// Γ^l_n evaluated on (view.id, view.neighbor_ids) for graphs of size
-  /// view.n. Must be a pure function of the view.
-  virtual Message local(const LocalView& view) const = 0;
+  /// view.n. Must be a pure function of the view; must only append to `w`
+  /// (the writer may already hold unrelated framing bits).
+  virtual void encode(const LocalViewRef& view, BitWriter& w) const = 0;
+
+  /// Convenience: encode into a fresh writer and seal the result. Owning
+  /// LocalView arguments convert implicitly.
+  Message local(const LocalViewRef& view) const {
+    BitWriter w;
+    encode(view, w);
+    return Message::seal(std::move(w));
+  }
 };
 
 /// A protocol whose referee outputs the adjacency structure of G.

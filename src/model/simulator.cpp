@@ -6,12 +6,25 @@ namespace referee {
 
 std::vector<Message> Simulator::run_local_phase(
     const Graph& g, const LocalEncoder& protocol) const {
-  const std::size_t n = g.vertex_count();
-  std::vector<Message> messages(n);
-  maybe_parallel_for(pool_, 0, n, [&](std::size_t v) {
-    messages[v] = protocol.local(local_view_of(g, static_cast<Vertex>(v)));
-  });
+  const LocalViewPack views(g);
+  std::vector<Message> messages;
+  run_local_phase(views, protocol, messages);
   return messages;
+}
+
+void Simulator::run_local_phase(const LocalViewPack& views,
+                                const LocalEncoder& protocol,
+                                std::vector<Message>& out) const {
+  const std::size_t n = views.size();
+  out.resize(n);
+  maybe_parallel_for_chunks(pool_, 0, n, [&](std::size_t lo, std::size_t hi) {
+    BitWriter scratch;  // reused across the whole chunk
+    for (std::size_t v = lo; v < hi; ++v) {
+      scratch.clear();
+      protocol.encode(views.view(static_cast<Vertex>(v)), scratch);
+      out[v].assign(scratch);
+    }
+  });
 }
 
 Graph Simulator::run_reconstruction(const Graph& g,
@@ -35,14 +48,15 @@ Graph Simulator::run_multi_round(const Graph& g,
                                  const MultiRoundProtocol& protocol,
                                  MultiRoundReport* report) const {
   const auto n = static_cast<std::uint32_t>(g.vertex_count());
-  const auto views = local_views(g);
+  const LocalViewPack views(g);
   std::vector<std::vector<Message>> inbox;     // inbox[round][node]
   std::vector<Message> feedback;               // broadcasts so far
   MultiRoundReport local_report;
   for (unsigned round = 0; round < protocol.max_rounds(); ++round) {
     std::vector<Message> round_msgs(n);
     maybe_parallel_for(pool_, 0, n, [&](std::size_t v) {
-      round_msgs[v] = protocol.node_message(views[v], round, feedback);
+      round_msgs[v] = protocol.node_message(views.view(static_cast<Vertex>(v)),
+                                            round, feedback);
     });
     local_report.per_round.push_back(audit_frugality(n, round_msgs));
     local_report.max_bits =
@@ -63,13 +77,20 @@ Graph Simulator::run_multi_round(const Graph& g,
 void Simulator::inject_faults(std::vector<Message>& messages,
                               const FaultPlan& plan) {
   if (!plan.active()) return;
-  Rng rng(plan.seed);
-  for (Message& m : messages) {
-    if (m.bit_size() > 0 && rng.chance(plan.bit_flip_chance)) {
-      m.flip_bit(rng.below(m.bit_size()));
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    Message& m = messages[i];
+    // Independent per-(message, fault-type) streams: whether one message is
+    // hit, or one fault type fires, never shifts the draws of any other —
+    // the stream-alignment contract documented on FaultPlan.
+    Rng flip_rng(mix64(plan.seed ^ (2 * i + 1)));
+    Rng trunc_rng(mix64(plan.seed ^ (2 * i + 2)));
+    if (flip_rng.chance(plan.bit_flip_chance) && m.bit_size() > 0) {
+      m.flip_bit(flip_rng.below(m.bit_size()));
     }
-    if (m.bit_size() > 0 && rng.chance(plan.truncate_chance)) {
-      m.truncate(rng.below(m.bit_size()));
+    if (trunc_rng.chance(plan.truncate_chance) && m.bit_size() > 1) {
+      // Uniform proper prefix of >= 1 bit: 0-bit messages have no decode
+      // contract, so 1-bit messages are left intact.
+      m.truncate(1 + trunc_rng.below(m.bit_size() - 1));
     }
   }
 }

@@ -25,10 +25,20 @@
 namespace referee {
 
 /// Message-level fault injection applied between the local and global phase.
+///
+/// Determinism contract: each (message index, fault type) pair draws from
+/// its own PRNG stream derived from `seed`, and every probability gate
+/// consumes exactly one draw. Consequently a run with bit_flip_chance=0 is
+/// stream-aligned with one at bit_flip_chance=0.01 — the truncation
+/// outcomes are identical, which is what makes fault-ablation baselines
+/// comparable.
 struct FaultPlan {
   /// Probability that any given message has one uniformly chosen bit flipped.
   double bit_flip_chance = 0.0;
-  /// Probability that any given message is truncated to a uniform prefix.
+  /// Probability that any given message is truncated to a uniform proper
+  /// prefix of at least 1 bit (a 0-bit message has no defined decode
+  /// semantics, so the injector never manufactures one; 1-bit messages are
+  /// left intact).
   double truncate_chance = 0.0;
   std::uint64_t seed = 1;
 
@@ -43,6 +53,14 @@ class Simulator {
   /// Local phase only: message vector indexed by id-1.
   std::vector<Message> run_local_phase(const Graph& g,
                                        const LocalEncoder& protocol) const;
+
+  /// Zero-copy local phase over a prebuilt view pack, writing into `out`
+  /// (resized to n). Each worker chunk reuses one scratch BitWriter and
+  /// assigns into the existing Message buffers, so re-running scenarios over
+  /// the same `out` vector is allocation-free in steady state — the
+  /// campaign runner's inner loop.
+  void run_local_phase(const LocalViewPack& views, const LocalEncoder& protocol,
+                       std::vector<Message>& out) const;
 
   /// Full run of a reconstruction protocol. `report`, if non-null, receives
   /// the frugality audit of the transcript.

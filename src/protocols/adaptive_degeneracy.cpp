@@ -17,7 +17,7 @@ std::string AdaptiveDegeneracyReconstruction::name() const {
 }
 
 Message AdaptiveDegeneracyReconstruction::node_message(
-    const LocalView& view, unsigned round,
+    const LocalViewRef& view, unsigned round,
     std::span<const Message> feedback) const {
   // The broadcast is a single "continue" bit; its content carries no
   // information beyond scheduling, so nodes only need the round index.

@@ -26,7 +26,7 @@ class AdaptiveDegeneracyReconstruction final : public MultiRoundProtocol {
 
   std::string name() const override;
   unsigned max_rounds() const override { return round_cap_; }
-  Message node_message(const LocalView& view, unsigned round,
+  Message node_message(const LocalViewRef& view, unsigned round,
                        std::span<const Message> feedback) const override;
   RoundOutcome referee_round(
       std::uint32_t n, unsigned round,

@@ -17,15 +17,14 @@ std::string BoundedDegreeReconstruction::name() const {
          ")";
 }
 
-Message BoundedDegreeReconstruction::local(const LocalView& view) const {
+void BoundedDegreeReconstruction::encode(const LocalViewRef& view,
+                                         BitWriter& w) const {
   REFEREE_CHECK_MSG(view.degree() <= max_degree_,
                     "node degree exceeds the protocol's bound");
   const int id_bits = log_budget_bits(view.n);
-  BitWriter w;
   w.write_bits(view.id, id_bits);
   w.write_bits(view.degree(), id_bits);
   for (const NodeId nb : view.neighbor_ids) w.write_bits(nb, id_bits);
-  return Message::seal(std::move(w));
 }
 
 Graph BoundedDegreeReconstruction::reconstruct(

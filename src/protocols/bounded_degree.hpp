@@ -17,7 +17,7 @@ class BoundedDegreeReconstruction final : public ReconstructionProtocol {
   explicit BoundedDegreeReconstruction(std::size_t max_degree);
 
   std::string name() const override;
-  Message local(const LocalView& view) const override;
+  void encode(const LocalViewRef& view, BitWriter& w) const override;
   Graph reconstruct(std::uint32_t n,
                     std::span<const Message> messages) const override;
 

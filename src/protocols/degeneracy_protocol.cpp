@@ -20,17 +20,16 @@ std::string DegeneracyReconstruction::name() const {
          decoder_->name() + ")";
 }
 
-Message DegeneracyReconstruction::local(const LocalView& view) const {
+void DegeneracyReconstruction::encode(const LocalViewRef& view,
+                                      BitWriter& w) const {
   const int id_bits = log_budget_bits(view.n);
-  BitWriter w;
   w.write_bits(view.id, id_bits);
   w.write_bits(view.degree(), id_bits);
   const auto sums = power_sums(view.neighbor_ids, k_);
   for (const auto& s : sums) s.write(w);
-  return Message::seal(std::move(w));
 }
 
-std::size_t DegeneracyReconstruction::message_bits(const LocalView& view,
+std::size_t DegeneracyReconstruction::message_bits(const LocalViewRef& view,
                                                    unsigned k) {
   std::size_t bits = 2 * static_cast<std::size_t>(log_budget_bits(view.n));
   for (const auto& s : power_sums(view.neighbor_ids, k)) {

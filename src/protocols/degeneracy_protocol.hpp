@@ -33,14 +33,14 @@ class DegeneracyReconstruction final : public ReconstructionProtocol {
   unsigned k() const { return k_; }
 
   std::string name() const override;
-  Message local(const LocalView& view) const override;
+  void encode(const LocalViewRef& view, BitWriter& w) const override;
   Graph reconstruct(std::uint32_t n,
                     std::span<const Message> messages) const override;
 
   /// Exact number of bits the local function produces for a view — used by
   /// experiment E1 to compare against the Lemma 2 bound without running the
   /// whole protocol.
-  static std::size_t message_bits(const LocalView& view, unsigned k);
+  static std::size_t message_bits(const LocalViewRef& view, unsigned k);
 
  private:
   unsigned k_;

@@ -7,15 +7,14 @@
 
 namespace referee {
 
-Message ForestReconstruction::local(const LocalView& view) const {
+void ForestReconstruction::encode(const LocalViewRef& view,
+                                  BitWriter& w) const {
   const int id_bits = log_budget_bits(view.n);
   std::uint64_t sum = 0;
-  for (const NodeId w : view.neighbor_ids) sum += w;
-  BitWriter w;
+  for (const NodeId nb : view.neighbor_ids) sum += nb;
   w.write_bits(view.id, id_bits);
   w.write_bits(view.degree(), id_bits);
   w.write_bits(sum, 2 * id_bits);  // Σ ID <= n * n
-  return Message::seal(std::move(w));
 }
 
 Graph ForestReconstruction::reconstruct(

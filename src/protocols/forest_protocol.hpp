@@ -17,7 +17,7 @@ namespace referee {
 class ForestReconstruction final : public ReconstructionProtocol {
  public:
   std::string name() const override { return "forest-reconstruction"; }
-  Message local(const LocalView& view) const override;
+  void encode(const LocalViewRef& view, BitWriter& w) const override;
   Graph reconstruct(std::uint32_t n,
                     std::span<const Message> messages) const override;
 };

@@ -19,8 +19,8 @@ std::string GeneralizedDegeneracyReconstruction::name() const {
   return "generalized-degeneracy-reconstruction(k=" + std::to_string(k_) + ")";
 }
 
-Message GeneralizedDegeneracyReconstruction::local(
-    const LocalView& view) const {
+void GeneralizedDegeneracyReconstruction::encode(const LocalViewRef& view,
+                                                 BitWriter& w) const {
   const int id_bits = log_budget_bits(view.n);
   // Non-neighbourhood = {1..n} \ N(x) \ {x}.
   std::vector<NodeId> non_neighbors;
@@ -35,12 +35,10 @@ Message GeneralizedDegeneracyReconstruction::local(
     }
     non_neighbors.push_back(id);
   }
-  BitWriter w;
   w.write_bits(view.id, id_bits);
   w.write_bits(view.degree(), id_bits);
   for (const auto& s : power_sums(view.neighbor_ids, k_)) s.write(w);
   for (const auto& s : power_sums(non_neighbors, k_)) s.write(w);
-  return Message::seal(std::move(w));
 }
 
 Graph GeneralizedDegeneracyReconstruction::reconstruct(

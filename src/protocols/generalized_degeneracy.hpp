@@ -26,7 +26,7 @@ class GeneralizedDegeneracyReconstruction final
   unsigned k() const { return k_; }
 
   std::string name() const override;
-  Message local(const LocalView& view) const override;
+  void encode(const LocalViewRef& view, BitWriter& w) const override;
   Graph reconstruct(std::uint32_t n,
                     std::span<const Message> messages) const override;
 

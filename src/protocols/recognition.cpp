@@ -16,8 +16,8 @@ std::string RecognitionAdapter::name() const {
   return "recognize(" + inner_->name() + ")";
 }
 
-Message RecognitionAdapter::local(const LocalView& view) const {
-  return inner_->local(view);
+void RecognitionAdapter::encode(const LocalViewRef& view, BitWriter& w) const {
+  inner_->encode(view, w);
 }
 
 bool RecognitionAdapter::decide(std::uint32_t n,

@@ -21,7 +21,7 @@ class RecognitionAdapter final : public DecisionProtocol {
       std::function<bool(const Graph&)> verify = nullptr);
 
   std::string name() const override;
-  Message local(const LocalView& view) const override;
+  void encode(const LocalViewRef& view, BitWriter& w) const override;
   bool decide(std::uint32_t n,
               std::span<const Message> messages) const override;
 

@@ -7,12 +7,10 @@
 
 namespace referee {
 
-Message DegreeStatistics::local(const LocalView& view) const {
+void DegreeStatistics::encode(const LocalViewRef& view, BitWriter& w) const {
   const int id_bits = log_budget_bits(view.n);
-  BitWriter w;
   w.write_bits(view.id, id_bits);
   w.write_bits(view.degree(), id_bits);
-  return Message::seal(std::move(w));
 }
 
 std::vector<std::uint32_t> DegreeStatistics::degree_sequence(

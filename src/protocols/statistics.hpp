@@ -19,7 +19,7 @@ namespace referee {
 class DegreeStatistics final : public LocalEncoder {
  public:
   std::string name() const override { return "degree-statistics"; }
-  Message local(const LocalView& view) const override;
+  void encode(const LocalViewRef& view, BitWriter& w) const override;
 
   /// Degree of node i+1, decoded from the transcript.
   static std::vector<std::uint32_t> degree_sequence(

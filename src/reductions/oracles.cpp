@@ -12,13 +12,11 @@ AdjacencyListOracle::AdjacencyListOracle(
   REFEREE_CHECK_MSG(predicate_ != nullptr, "oracle needs a predicate");
 }
 
-Message AdjacencyListOracle::local(const LocalView& view) const {
+void AdjacencyListOracle::encode(const LocalViewRef& view, BitWriter& w) const {
   const int id_bits = log_budget_bits(view.n);
-  BitWriter w;
   w.write_bits(view.id, id_bits);
   w.write_bits(view.degree(), id_bits);
   for (const NodeId nb : view.neighbor_ids) w.write_bits(nb, id_bits);
-  return Message::seal(std::move(w));
 }
 
 Graph AdjacencyListOracle::decode_graph(std::uint32_t n,

@@ -24,7 +24,7 @@ class AdjacencyListOracle final : public DecisionProtocol {
                       std::function<bool(const Graph&)> predicate);
 
   std::string name() const override { return name_; }
-  Message local(const LocalView& view) const override;
+  void encode(const LocalViewRef& view, BitWriter& w) const override;
   bool decide(std::uint32_t n,
               std::span<const Message> messages) const override;
 

@@ -23,9 +23,9 @@ Message read_framed(BitReader& r) {
   return Message::seal(std::move(w));
 }
 
-std::vector<NodeId> with_extra(const std::vector<NodeId>& base,
+std::vector<NodeId> with_extra(std::span<const NodeId> base,
                                std::initializer_list<NodeId> extra) {
-  std::vector<NodeId> out = base;
+  std::vector<NodeId> out(base.begin(), base.end());
   out.insert(out.end(), extra.begin(), extra.end());
   return out;
 }
@@ -44,12 +44,12 @@ std::string SquareReduction::name() const {
   return "square-reduction[" + gamma_->name() + "]";
 }
 
-Message SquareReduction::local(const LocalView& view) const {
+void SquareReduction::encode(const LocalViewRef& view, BitWriter& w) const {
   // Δ^l_n(i, N) = Γ^l_{2n}(i, N ∪ {i+n}): node i's neighbourhood in G'_{s,t}
   // is the same for every (s,t) — the crux of Algorithm 1.
   const auto lifted = make_view(
       view.id, 2 * view.n, with_extra(view.neighbor_ids, {view.id + view.n}));
-  return gamma_->local(lifted);
+  gamma_->encode(lifted, w);
 }
 
 Graph SquareReduction::reconstruct(std::uint32_t n,
@@ -94,7 +94,7 @@ std::string DiameterReduction::name() const {
   return "diameter-reduction[" + gamma_->name() + "]";
 }
 
-Message DiameterReduction::local(const LocalView& view) const {
+void DiameterReduction::encode(const LocalViewRef& view, BitWriter& w) const {
   // The three possible neighbourhoods of node i across all gadgets G'_{s,t}
   // (Algorithm 2): plain (plus the universal n+3), as s (plus n+1), as t
   // (plus n+2). All 1-based in the paper; here ids n+1..n+3 of the lifted
@@ -106,11 +106,9 @@ Message DiameterReduction::local(const LocalView& view) const {
       view.id, big, with_extra(view.neighbor_ids, {view.n + 1, view.n + 3})));
   const Message mt = gamma_->local(make_view(
       view.id, big, with_extra(view.neighbor_ids, {view.n + 2, view.n + 3})));
-  BitWriter w;
   write_framed(w, m0);
   write_framed(w, ms);
   write_framed(w, mt);
-  return Message::seal(std::move(w));
 }
 
 Graph DiameterReduction::reconstruct(std::uint32_t n,
@@ -164,18 +162,16 @@ std::string TriangleReduction::name() const {
   return "triangle-reduction[" + gamma_->name() + "]";
 }
 
-Message TriangleReduction::local(const LocalView& view) const {
+void TriangleReduction::encode(const LocalViewRef& view, BitWriter& w) const {
   // §II-C: m' for nodes away from {s,t}, m'' when playing s or t (the apex
   // n+1 becomes a neighbour).
   const std::uint32_t big = view.n + 1;
-  const Message plain =
-      gamma_->local(make_view(view.id, big, view.neighbor_ids));
+  const Message plain = gamma_->local(
+      make_view(view.id, big, with_extra(view.neighbor_ids, {})));
   const Message apexed = gamma_->local(
       make_view(view.id, big, with_extra(view.neighbor_ids, {view.n + 1})));
-  BitWriter w;
   write_framed(w, plain);
   write_framed(w, apexed);
-  return Message::seal(std::move(w));
 }
 
 Graph TriangleReduction::reconstruct(std::uint32_t n,

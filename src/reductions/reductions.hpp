@@ -31,7 +31,7 @@ class SquareReduction final : public ReconstructionProtocol {
  public:
   explicit SquareReduction(std::shared_ptr<const DecisionProtocol> gamma);
   std::string name() const override;
-  Message local(const LocalView& view) const override;
+  void encode(const LocalViewRef& view, BitWriter& w) const override;
   Graph reconstruct(std::uint32_t n,
                     std::span<const Message> messages) const override;
 
@@ -45,7 +45,7 @@ class DiameterReduction final : public ReconstructionProtocol {
  public:
   explicit DiameterReduction(std::shared_ptr<const DecisionProtocol> gamma);
   std::string name() const override;
-  Message local(const LocalView& view) const override;
+  void encode(const LocalViewRef& view, BitWriter& w) const override;
   Graph reconstruct(std::uint32_t n,
                     std::span<const Message> messages) const override;
 
@@ -59,7 +59,7 @@ class TriangleReduction final : public ReconstructionProtocol {
  public:
   explicit TriangleReduction(std::shared_ptr<const DecisionProtocol> gamma);
   std::string name() const override;
-  Message local(const LocalView& view) const override;
+  void encode(const LocalViewRef& view, BitWriter& w) const override;
   Graph reconstruct(std::uint32_t n,
                     std::span<const Message> messages) const override;
 

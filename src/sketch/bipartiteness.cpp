@@ -12,7 +12,7 @@ std::string SketchBipartitenessProtocol::name() const {
          ")";
 }
 
-LocalView SketchBipartitenessProtocol::cover_low(const LocalView& view) {
+LocalView SketchBipartitenessProtocol::cover_low(const LocalViewRef& view) {
   // Copy v (id unchanged) attaches to copies w + n.
   std::vector<NodeId> nb;
   nb.reserve(view.neighbor_ids.size());
@@ -20,18 +20,20 @@ LocalView SketchBipartitenessProtocol::cover_low(const LocalView& view) {
   return make_view(view.id, 2 * view.n, std::move(nb));
 }
 
-LocalView SketchBipartitenessProtocol::cover_high(const LocalView& view) {
+LocalView SketchBipartitenessProtocol::cover_high(const LocalViewRef& view) {
   // Copy v + n attaches to low copies of neighbours.
-  return make_view(view.id + view.n, 2 * view.n, view.neighbor_ids);
+  return make_view(
+      view.id + view.n, 2 * view.n,
+      {view.neighbor_ids.begin(), view.neighbor_ids.end()});
 }
 
-Message SketchBipartitenessProtocol::local(const LocalView& view) const {
+void SketchBipartitenessProtocol::encode(const LocalViewRef& view,
+                                         BitWriter& w) const {
   // One connectivity payload for G itself, two for the node's cover copies.
   const SketchConnectivityProtocol base(params_);
   const Message mg = base.local(view);
   const Message mlow = base.local(cover_low(view));
   const Message mhigh = base.local(cover_high(view));
-  BitWriter w;
   write_delta0(w, mg.bit_size());
   write_delta0(w, mlow.bit_size());
   write_delta0(w, mhigh.bit_size());
@@ -39,7 +41,6 @@ Message SketchBipartitenessProtocol::local(const LocalView& view) const {
     BitReader r = m->reader();
     while (!r.exhausted()) w.write_bit(r.read_bit());
   }
-  return Message::seal(std::move(w));
 }
 
 bool SketchBipartitenessProtocol::decide(

@@ -22,7 +22,7 @@ class SketchBipartitenessProtocol final : public DecisionProtocol {
   explicit SketchBipartitenessProtocol(SketchParams params = {});
 
   std::string name() const override;
-  Message local(const LocalView& view) const override;
+  void encode(const LocalViewRef& view, BitWriter& w) const override;
   bool decide(std::uint32_t n,
               std::span<const Message> messages) const override;
 
@@ -30,8 +30,8 @@ class SketchBipartitenessProtocol final : public DecisionProtocol {
   SketchParams params_;
 
   /// The two cover views node `id` is responsible for.
-  static LocalView cover_low(const LocalView& view);
-  static LocalView cover_high(const LocalView& view);
+  static LocalView cover_low(const LocalViewRef& view);
+  static LocalView cover_high(const LocalViewRef& view);
 };
 
 }  // namespace referee

@@ -16,7 +16,7 @@ unsigned SketchParams::rounds_for(std::uint32_t n) const {
   return static_cast<unsigned>(ceil_log2(n < 2 ? 2 : n)) + 2;
 }
 
-std::vector<EdgeSketch> node_sketch_bank(const LocalView& view,
+std::vector<EdgeSketch> node_sketch_bank(const LocalViewRef& view,
                                          const SketchParams& params) {
   const unsigned rounds = params.rounds_for(view.n);
   std::vector<EdgeSketch> bank;
@@ -80,9 +80,10 @@ SketchConnectivityResult boruvka_decode(
 SketchConnectivityResult sketch_components(const Graph& g,
                                            const SketchParams& params) {
   const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const LocalViewPack views(g);
   std::vector<std::vector<EdgeSketch>> banks(n);
   for (Vertex v = 0; v < n; ++v) {
-    banks[v] = node_sketch_bank(local_view_of(g, v), params);
+    banks[v] = node_sketch_bank(views.view(v), params);
   }
   return boruvka_decode(n, banks, params);
 }
@@ -94,10 +95,9 @@ std::string SketchConnectivityProtocol::name() const {
   return "sketch-connectivity(copies=" + std::to_string(params_.copies) + ")";
 }
 
-Message SketchConnectivityProtocol::local(const LocalView& view) const {
-  BitWriter w;
+void SketchConnectivityProtocol::encode(const LocalViewRef& view,
+                                        BitWriter& w) const {
   for (const EdgeSketch& s : node_sketch_bank(view, params_)) s.write(w);
-  return Message::seal(std::move(w));
 }
 
 SketchConnectivityResult SketchConnectivityProtocol::decode(

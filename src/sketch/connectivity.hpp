@@ -48,7 +48,7 @@ SketchConnectivityResult sketch_components(const Graph& g,
 /// linear and the referee knows the public randomness).
 ///
 /// One node's bank: rounds_for(n) * copies sketches in round-major order.
-std::vector<EdgeSketch> node_sketch_bank(const LocalView& view,
+std::vector<EdgeSketch> node_sketch_bank(const LocalViewRef& view,
                                          const SketchParams& params);
 /// Referee-side Borůvka over per-node banks (banks[v][round*copies+copy]).
 SketchConnectivityResult boruvka_decode(
@@ -65,7 +65,7 @@ class SketchConnectivityProtocol final : public DecisionProtocol {
   explicit SketchConnectivityProtocol(SketchParams params = {});
 
   std::string name() const override;
-  Message local(const LocalView& view) const override;
+  void encode(const LocalViewRef& view, BitWriter& w) const override;
   bool decide(std::uint32_t n,
               std::span<const Message> messages) const override;
 

@@ -13,14 +13,16 @@ KEdgeConnectivityResult sketch_k_edge_connectivity(
   result.certificate = Graph(n);
 
   // k independent banks, one per peeling stage (distinct master seeds so
-  // stages don't share randomness with each other).
+  // stages don't share randomness with each other). One view pack serves
+  // every stage — the adjacency rows are only ever read through spans.
+  const LocalViewPack views(g);
   std::vector<std::vector<std::vector<EdgeSketch>>> stages(k);
   for (unsigned stage = 0; stage < k; ++stage) {
     SketchParams stage_params = params;
     stage_params.seed = mix64(params.seed ^ (0x5EEDull + stage));
     stages[stage].resize(n);
     for (Vertex v = 0; v < n; ++v) {
-      stages[stage][v] = node_sketch_bank(local_view_of(g, v), stage_params);
+      stages[stage][v] = node_sketch_bank(views.view(v), stage_params);
     }
   }
 

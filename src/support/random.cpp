@@ -26,9 +26,12 @@ std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
 }
 
 bool Rng::chance(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform01() < p;
+  // Always consumes exactly one draw, including for p <= 0 and p >= 1 —
+  // otherwise seed-reproducible experiments drift out of stream alignment
+  // the moment a probability parameter hits an endpoint (a p=0 baseline
+  // would consume fewer draws than the p=0.01 run it is compared against).
+  const double u = uniform01();
+  return u < p;  // u ∈ [0,1): false for p <= 0, true for p >= 1
 }
 
 double Rng::uniform01() {

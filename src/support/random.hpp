@@ -62,7 +62,8 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t between(std::int64_t lo, std::int64_t hi);
 
-  /// Bernoulli(p) draw.
+  /// Bernoulli(p) draw. Consumes exactly one draw for every p (including
+  /// p <= 0 and p >= 1), so probability-parameter sweeps stay stream-aligned.
   bool chance(double p);
 
   /// Uniform double in [0, 1).

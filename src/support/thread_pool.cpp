@@ -60,6 +60,18 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body,
                               std::size_t grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
   if (begin >= end) return;
   const std::size_t count = end - begin;
   if (grain == 0) {
@@ -83,7 +95,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
         if (lo >= end) break;
         const std::size_t hi = std::min(end, lo + grain);
         try {
-          for (std::size_t i = lo; i < hi; ++i) body(i);
+          body(lo, hi);
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
@@ -108,6 +120,17 @@ void maybe_parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
     pool->parallel_for(begin, end, body);
   } else {
     for (std::size_t i = begin; i < end; ++i) body(i);
+  }
+}
+
+void maybe_parallel_for_chunks(
+    ThreadPool* pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t serial_cutoff) {
+  if (pool != nullptr && end - begin >= serial_cutoff && pool->size() > 1) {
+    pool->parallel_for_chunks(begin, end, body);
+  } else if (begin < end) {
+    body(begin, end);
   }
 }
 

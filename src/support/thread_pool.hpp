@@ -41,6 +41,15 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& body,
                     std::size_t grain = 0);
 
+  /// Chunk-granular variant: `body(lo, hi)` is called once per chunk with
+  /// lo < hi. This is the arena-reuse hook — a body can set up per-chunk
+  /// scratch state (a BitWriter, an Rng, a decode buffer) once and reuse it
+  /// across the whole chunk instead of paying per-index setup.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body,
+      std::size_t grain = 0);
+
  private:
   void worker_loop();
 
@@ -58,5 +67,12 @@ class ThreadPool {
 void maybe_parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
                         const std::function<void(std::size_t)>& body,
                         std::size_t serial_cutoff = 256);
+
+/// Chunked analogue of maybe_parallel_for: the sequential fallback is a
+/// single body(begin, end) call, so per-chunk scratch state is set up once.
+void maybe_parallel_for_chunks(
+    ThreadPool* pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t serial_cutoff = 256);
 
 }  // namespace referee

@@ -1,0 +1,133 @@
+// Campaign runner: grid expansion, determinism (same grid -> byte-identical
+// JSON regardless of sharding), outcome classification, and the referee
+// contract (faults may cause loud failures, never silent lies) at campaign
+// scale.
+#include <gtest/gtest.h>
+
+#include "model/campaign.hpp"
+
+namespace referee {
+namespace {
+
+CampaignConfig small_config() {
+  CampaignConfig config;
+  config.generators = {"kdeg", "tree"};
+  config.sizes = {16, 24};
+  config.protocols = {"degeneracy", "forest", "stats"};
+  config.seeds = {1, 2};
+  return config;
+}
+
+TEST(Campaign, DefaultGridIsCampaignScale) {
+  const auto grid = expand_grid(CampaignConfig{});
+  EXPECT_GE(grid.size(), 100u);
+}
+
+TEST(Campaign, ExpandGridIsCartesianProduct) {
+  const auto config = small_config();
+  const auto grid = expand_grid(config);
+  EXPECT_EQ(grid.size(), 2u * 2u * 3u * 2u);
+  // Deterministic order: generator-major.
+  EXPECT_EQ(grid.front().generator, "kdeg");
+  EXPECT_EQ(grid.back().generator, "tree");
+}
+
+TEST(Campaign, SameGridSameJsonBytes) {
+  const auto grid = expand_grid(small_config());
+  const CampaignRunner runner;
+  const auto a = campaign_json(grid, runner.run(grid));
+  const auto b = campaign_json(grid, runner.run(grid));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Campaign, ShardingDoesNotChangeResults) {
+  const auto grid = expand_grid(small_config());
+  const CampaignRunner sequential;
+  ThreadPool pool(4);
+  const CampaignRunner sharded(&pool);
+  EXPECT_EQ(campaign_json(grid, sequential.run(grid)),
+            campaign_json(grid, sharded.run(grid)));
+}
+
+TEST(Campaign, FaultFreeInClassScenariosAreExact) {
+  CampaignConfig config;
+  config.generators = {"kdeg"};
+  config.sizes = {20};
+  config.protocols = {"degeneracy"};
+  config.seeds = {1, 2, 3, 4, 5};
+  const auto grid = expand_grid(config);
+  const CampaignRunner runner;
+  for (const auto& res : runner.run(grid)) {
+    EXPECT_EQ(res.outcome, "exact");
+    EXPECT_TRUE(res.contract_ok);
+    EXPECT_GT(res.report.max_bits, 0u);
+  }
+}
+
+TEST(Campaign, OutOfClassScenariosFailLoudlyNotSilently) {
+  // The forest protocol on Apollonian networks (full of cycles) must refuse.
+  CampaignConfig config;
+  config.generators = {"apollonian"};
+  config.sizes = {20};
+  config.protocols = {"forest"};
+  config.seeds = {1, 2, 3};
+  const auto grid = expand_grid(config);
+  const CampaignRunner runner;
+  for (const auto& res : runner.run(grid)) {
+    EXPECT_EQ(res.outcome, "loud");
+    EXPECT_TRUE(res.contract_ok);
+  }
+}
+
+TEST(Campaign, HeavyFaultsNeverCauseSilentWrong) {
+  // Power-sum validation makes the degeneracy decoder fault-evident; the
+  // campaign must classify every corrupted run as exact or loud.
+  CampaignConfig config;
+  config.generators = {"kdeg", "tree"};
+  config.sizes = {16};
+  config.protocols = {"degeneracy"};
+  config.seeds = {1, 2, 3};
+  config.fault_plans = {
+      FaultPlan{.bit_flip_chance = 0.5, .truncate_chance = 0.0},
+      FaultPlan{.bit_flip_chance = 0.0, .truncate_chance = 0.5},
+  };
+  const auto grid = expand_grid(config);
+  const CampaignRunner runner;
+  std::size_t loud = 0;
+  for (const auto& res : runner.run(grid)) {
+    EXPECT_NE(res.outcome, "silent-wrong");
+    if (res.outcome == "loud") ++loud;
+  }
+  EXPECT_GT(loud, 0u);  // heavy corruption must actually trip decoders
+}
+
+TEST(Campaign, AggregatesAddUp) {
+  const auto grid = expand_grid(small_config());
+  const CampaignRunner runner;
+  const auto results = runner.run(grid);
+  std::size_t counted = 0;
+  for (const auto& agg : aggregate_campaign(grid, results)) {
+    EXPECT_EQ(agg.scenarios, agg.ok + agg.loud + agg.silent_wrong);
+    counted += agg.scenarios;
+  }
+  EXPECT_EQ(counted, grid.size());
+}
+
+TEST(Campaign, EveryAdvertisedGeneratorAndProtocolRuns) {
+  CampaignConfig config;
+  config.generators = campaign_generators();
+  config.sizes = {16};
+  config.protocols = campaign_protocols();
+  config.seeds = {1};
+  const auto grid = expand_grid(config);
+  const CampaignRunner runner;
+  const auto results = runner.run(grid);
+  ASSERT_EQ(results.size(), grid.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].contract_ok)
+        << grid[i].generator << " / " << grid[i].protocol;
+  }
+}
+
+}  // namespace
+}  // namespace referee

@@ -90,6 +90,70 @@ TEST(FaultHandling, SketchDecodeSurvivesTruncationLoudly) {
   EXPECT_THROW(protocol.decode(30, msgs), DecodeError);
 }
 
+TEST(FaultHandling, TruncationNeverProducesZeroBitMessages) {
+  // Regression: inject_faults could call truncate(0), manufacturing 0-bit
+  // messages whose decode semantics are undefined. The injector must keep
+  // at least one bit.
+  Rng rng(571);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Graph g = gen::random_k_degenerate(20, 2, rng);
+    auto msgs = sim.run_local_phase(g, protocol);
+    Simulator::inject_faults(
+        msgs, FaultPlan{.bit_flip_chance = 0.0, .truncate_chance = 1.0,
+                        .seed = seed});
+    for (const Message& m : msgs) EXPECT_GE(m.bit_size(), 1u);
+  }
+}
+
+TEST(FaultHandling, FaultStreamsAreIndependentPerMessageAndType) {
+  // The flip stream firing (or not) must not shift the truncation stream:
+  // a bit_flip_chance=0 baseline and a bit_flip_chance=1 run truncate to
+  // identical lengths.
+  Rng rng(577);
+  const Graph g = gen::random_k_degenerate(25, 2, rng);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  auto baseline = sim.run_local_phase(g, protocol);
+  auto flipped = baseline;
+  Simulator::inject_faults(
+      baseline,
+      FaultPlan{.bit_flip_chance = 0.0, .truncate_chance = 0.5, .seed = 41});
+  Simulator::inject_faults(
+      flipped,
+      FaultPlan{.bit_flip_chance = 1.0, .truncate_chance = 0.5, .seed = 41});
+  ASSERT_EQ(baseline.size(), flipped.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(baseline[i].bit_size(), flipped[i].bit_size()) << i;
+  }
+}
+
+TEST(FaultHandling, InjectionIsDeterministicInTheSeed) {
+  Rng rng(587);
+  const Graph g = gen::random_k_degenerate(25, 2, rng);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  const FaultPlan plan{.bit_flip_chance = 0.3, .truncate_chance = 0.3,
+                       .seed = 1234};
+  auto a = sim.run_local_phase(g, protocol);
+  auto b = a;
+  Simulator::inject_faults(a, plan);
+  Simulator::inject_faults(b, plan);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(FaultHandling, SingleBitMessagesSurviveTruncationIntact) {
+  // A 1-bit message cannot lose its only bit: truncation clamps to >= 1.
+  BitWriter w;
+  w.write_bit(true);
+  std::vector<Message> msgs(8, Message::seal(std::move(w)));
+  Simulator::inject_faults(
+      msgs, FaultPlan{.bit_flip_chance = 0.0, .truncate_chance = 1.0,
+                      .seed = 9});
+  for (const Message& m : msgs) EXPECT_EQ(m.bit_size(), 1u);
+}
+
 TEST(FaultHandling, EmptyTranscriptRejectedEverywhere) {
   std::vector<Message> none;
   EXPECT_THROW(DegeneracyReconstruction(2).reconstruct(5, none), DecodeError);

@@ -110,6 +110,35 @@ TEST(Csr, MirrorsGraph) {
   }
 }
 
+TEST(Csr, BulkConstructorCanonicalizes) {
+  // Shuffled insertion order plus duplicate edges must come out identical
+  // to the Graph-mediated CSR: rows sorted ascending and deduped.
+  Rng rng(311);
+  const Graph g = gen::gnp(30, 0.2, rng);
+  auto edges = g.edges();
+  std::vector<Edge> noisy(edges.rbegin(), edges.rend());
+  noisy.insert(noisy.end(), edges.begin(), edges.begin() + edges.size() / 2);
+  rng.shuffle(noisy);
+  const CsrGraph bulk(30, noisy);
+  const CsrGraph via_graph(g);
+  ASSERT_EQ(bulk.vertex_count(), via_graph.vertex_count());
+  EXPECT_EQ(bulk.edge_count(), via_graph.edge_count());
+  for (Vertex v = 0; v < 30; ++v) {
+    const auto a = bulk.neighbors(v);
+    const auto b = via_graph.neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << v;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << v;
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end())) << v;
+  }
+}
+
+TEST(Csr, BulkConstructorRejectsBadEdges) {
+  const std::vector<Edge> loop{{2, 2}};
+  EXPECT_THROW(CsrGraph(5, loop), CheckError);
+  const std::vector<Edge> oob{{1, 7}};
+  EXPECT_THROW(CsrGraph(5, oob), CheckError);
+}
+
 TEST(Io, EdgeListRoundTrip) {
   const Graph g = gen::hypercube(4);
   EXPECT_EQ(from_edge_list(to_edge_list(g)), g);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/generators.hpp"
 #include "model/frugality.hpp"
 #include "model/local_view.hpp"
@@ -23,6 +25,69 @@ TEST(LocalView, AllViewsIndexedByIdMinusOne) {
   const auto views = local_views(g);
   ASSERT_EQ(views.size(), 5u);
   for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(views[i].id, i + 1);
+}
+
+TEST(LocalView, PackMatchesPerVertexViews) {
+  Rng rng(101);
+  const Graph g = gen::gnp(40, 0.15, rng);
+  const LocalViewPack pack(g);
+  ASSERT_EQ(pack.n(), 40u);
+  for (Vertex v = 0; v < 40; ++v) {
+    const LocalViewRef ref = pack.view(v);
+    const LocalView owned = local_view_of(g, v);
+    EXPECT_EQ(ref.id, owned.id);
+    EXPECT_EQ(ref.n, owned.n);
+    EXPECT_TRUE(std::equal(ref.neighbor_ids.begin(), ref.neighbor_ids.end(),
+                           owned.neighbor_ids.begin(),
+                           owned.neighbor_ids.end()));
+  }
+}
+
+TEST(LocalView, RefConvertsFromOwningViewAndMaterializes) {
+  const LocalView owned = make_view(2, 10, {7, 3, 9});
+  const LocalViewRef ref = owned;  // implicit — hot path compatibility
+  EXPECT_EQ(ref.id, 2u);
+  EXPECT_EQ(ref.degree(), 3u);
+  EXPECT_EQ(ref.materialize(), owned);
+}
+
+TEST(LocalView, ShuffledEdgeInsertionStillYieldsSortedViews) {
+  // Regression: views advertise "sorted ascending" — that must hold no
+  // matter the order edges were inserted in.
+  const std::vector<Edge> edges{{0, 4}, {0, 1}, {3, 0}, {0, 2},
+                                {4, 1}, {2, 1}, {3, 2}};
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Edge> shuffled = edges;
+    rng.shuffle(shuffled);
+    Graph g(5);
+    for (const Edge& e : shuffled) g.add_edge(e.u, e.v);
+    const LocalViewPack pack(g);
+    for (Vertex v = 0; v < 5; ++v) {
+      const auto nb = pack.view(v).neighbor_ids;
+      EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+      EXPECT_EQ(std::adjacent_find(nb.begin(), nb.end()), nb.end());
+    }
+  }
+}
+
+TEST(LocalView, InsertionOrderDoesNotChangeProtocolTranscripts) {
+  // Same graph, two insertion orders: the local phase must produce
+  // bit-identical messages (the wire format depends on canonical views).
+  Rng rng(103);
+  const Graph g = gen::random_k_degenerate(30, 2, rng);
+  auto edges = g.edges();
+  std::vector<Edge> reversed(edges.rbegin(), edges.rend());
+  Graph g_fwd(30);
+  for (const Edge& e : edges) g_fwd.add_edge(e.u, e.v);
+  Graph g_rev(30);
+  for (const Edge& e : reversed) g_rev.add_edge(e.u, e.v);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  const auto fwd = sim.run_local_phase(g_fwd, protocol);
+  const auto rev = sim.run_local_phase(g_rev, protocol);
+  ASSERT_EQ(fwd.size(), rev.size());
+  for (std::size_t i = 0; i < fwd.size(); ++i) EXPECT_EQ(fwd[i], rev[i]);
 }
 
 TEST(LocalView, MakeViewNormalises) {

@@ -21,7 +21,12 @@
 //   reduce --via square|triangle|diameter
 //   capture --k K --out FILE     run the local phase, save the transcript
 //   decode-transcript --k K --in FILE   referee decode, offline
+//   campaign [--generators a,b] [--sizes 24,48] [--protocols x,y]
+//            [--seeds N] [--flips 0,0.01] [--truncs 0] [--k K] [--p P]
+//            [--threads T] [--json] [--out FILE]
+//            run a scenario grid; deterministic (same flags -> same bytes)
 //   selftest                     quick end-to-end sanity run
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -29,9 +34,11 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "graph/algorithms.hpp"
 #include "graph/degeneracy.hpp"
+#include "model/campaign.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/subgraphs.hpp"
@@ -371,6 +378,106 @@ int cmd_decode_transcript(const Options& opts) {
   }
 }
 
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(csv);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int cmd_campaign(const Options& opts) {
+  CampaignConfig config;
+  if (opts.has("generators")) config.generators = split_list(opts.str("generators", ""));
+  if (opts.has("protocols")) config.protocols = split_list(opts.str("protocols", ""));
+  if (opts.has("sizes")) {
+    config.sizes.clear();
+    for (const auto& s : split_list(opts.str("sizes", ""))) {
+      config.sizes.push_back(std::stoull(s));
+    }
+  }
+  if (opts.has("seeds")) {
+    config.seeds.clear();
+    for (std::uint64_t s = 1; s <= opts.num("seeds", 4); ++s) {
+      config.seeds.push_back(s);
+    }
+  }
+  config.k = static_cast<unsigned>(opts.num("k", config.k));
+  config.p = opts.real("p", config.p);
+  std::vector<double> flips{0.0};
+  std::vector<double> truncs{0.0};
+  if (opts.has("flips")) {
+    flips.clear();
+    for (const auto& s : split_list(opts.str("flips", ""))) flips.push_back(std::stod(s));
+  }
+  if (opts.has("truncs")) {
+    truncs.clear();
+    for (const auto& s : split_list(opts.str("truncs", ""))) truncs.push_back(std::stod(s));
+  }
+  config.fault_plans.clear();
+  for (const double flip : flips) {
+    for (const double trunc : truncs) {
+      config.fault_plans.push_back(
+          FaultPlan{.bit_flip_chance = flip, .truncate_chance = trunc});
+    }
+  }
+
+  for (const auto& generator : config.generators) {
+    const auto& known = campaign_generators();
+    if (std::find(known.begin(), known.end(), generator) == known.end()) {
+      std::fprintf(stderr, "unknown generator: %s\n", generator.c_str());
+      return 2;
+    }
+  }
+  for (const auto& protocol : config.protocols) {
+    const auto& known = campaign_protocols();
+    if (std::find(known.begin(), known.end(), protocol) == known.end()) {
+      std::fprintf(stderr, "unknown protocol: %s\n", protocol.c_str());
+      return 2;
+    }
+  }
+
+  const auto grid = expand_grid(config);
+  const auto threads = static_cast<std::size_t>(opts.num("threads", 0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads != 1) pool = std::make_unique<ThreadPool>(threads);
+  const CampaignRunner runner(pool.get());
+  const auto results = runner.run(grid);
+
+  const std::string json = campaign_json(grid, results);
+  if (opts.has("out")) {
+    std::ofstream os(opts.str("out", "campaign.json"));
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", opts.str("out", "").c_str());
+      return 1;
+    }
+    os << json;
+  }
+  if (opts.has("json")) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::printf("%-14s %-22s %9s %4s %5s %7s %9s %7s\n", "generator",
+                "protocol", "scenarios", "ok", "loud", "silent", "max_bits",
+                "c");
+    std::size_t silent_total = 0;
+    for (const auto& a : aggregate_campaign(grid, results)) {
+      silent_total += a.silent_wrong;
+      std::printf("%-14s %-22s %9zu %4zu %5zu %7zu %9zu %7.2f\n",
+                  a.generator.c_str(), a.protocol.c_str(), a.scenarios, a.ok,
+                  a.loud, a.silent_wrong, a.max_bits, a.max_constant);
+    }
+    std::printf("total scenarios %zu, silent-wrong %zu\n", grid.size(),
+                silent_total);
+  }
+  std::size_t silent = 0;
+  for (const auto& r : results) {
+    if (!r.contract_ok) ++silent;
+  }
+  return silent == 0 ? 0 : 1;
+}
+
 int cmd_selftest() {
   Rng rng(99);
   const Graph g = gen::random_apollonian(40, rng);
@@ -390,8 +497,8 @@ void usage() {
   std::fputs(
       "usage: refereectl <command> [options]\n"
       "commands: gen info stats reconstruct recognize adaptive connectivity\n"
-      "          kconn bipartite reduce capture decode-transcript selftest\n"
-      "          (see source header for flags)\n",
+      "          kconn bipartite reduce capture decode-transcript campaign\n"
+      "          selftest   (see source header for flags)\n",
       stderr);
 }
 
@@ -413,6 +520,7 @@ int main(int argc, char** argv) {
     }
     const Options opts = parse_options(argc, argv, 2);
     if (command == "selftest") return cmd_selftest();
+    if (command == "campaign") return cmd_campaign(opts);
     if (command == "decode-transcript") return cmd_decode_transcript(opts);
     const Graph g = read_graph_stdin();
     if (command == "info") return cmd_info(g);
