@@ -21,6 +21,13 @@ CampaignConfig bench_config() {
   config.fault_plans = {
       FaultPlan{},
       FaultPlan{.bit_flip_chance = 0.02, .truncate_chance = 0.0},
+      // Correlated cell: drop a subset + swap payloads + a stale replay
+      // (the replay re-runs the donor cell's local phase, so this plan
+      // also prices the envelope/donor overhead).
+      FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.1,
+                                               .duplicate_ids = 1,
+                                               .payload_swaps = 1,
+                                               .stale_replays = 1}},
   };
   return config;
 }

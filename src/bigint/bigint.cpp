@@ -63,7 +63,8 @@ BigInt BigInt::div_exact(const BigInt& rhs) const {
   REFEREE_CHECK_MSG(!rhs.is_zero(), "division by zero");
   const auto dm = magnitude_.divmod(rhs.magnitude_);
   if (!dm.remainder.is_zero()) {
-    throw DecodeError("BigInt::div_exact: inexact division");
+    throw DecodeError(DecodeFault::kInconsistent,
+                      "BigInt::div_exact: inexact division");
   }
   return BigInt(dm.quotient, negative_ != rhs.negative_);
 }

@@ -227,14 +227,16 @@ void BigUInt::write(BitWriter& w) const {
 
 BigUInt BigUInt::read(BitReader& r) {
   const u64 bits = read_delta0(r);
-  if (bits > (u64{1} << 30)) throw DecodeError("BigUInt: absurd bit length");
+  if (bits > (u64{1} << 30)) throw DecodeError(DecodeFault::kMalformed,
+                      "BigUInt: absurd bit length");
   BigUInt out;
   out.limbs_.assign((static_cast<std::size_t>(bits) + 63) / 64, 0);
   for (u64 b = 0; b < bits; ++b) {
     if (r.read_bit()) out.limbs_[b / 64] |= (u64{1} << (b % 64));
   }
   out.trim();
-  if (out.bit_length() != bits) throw DecodeError("BigUInt: non-canonical");
+  if (out.bit_length() != bits) throw DecodeError(DecodeFault::kMalformed,
+                      "BigUInt: non-canonical");
   return out;
 }
 

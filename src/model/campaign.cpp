@@ -1,8 +1,10 @@
 #include "model/campaign.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdarg>
 #include <cstdio>
+#include <iterator>
 #include <memory>
 
 #include "graph/algorithms.hpp"
@@ -14,6 +16,8 @@
 #include "protocols/generalized_degeneracy.hpp"
 #include "protocols/recognition.hpp"
 #include "protocols/statistics.hpp"
+#include "reductions/oracles.hpp"
+#include "reductions/reductions.hpp"
 #include "sketch/bipartiteness.hpp"
 #include "sketch/connectivity.hpp"
 #include "support/bits.hpp"
@@ -27,6 +31,20 @@ namespace {
 constexpr std::uint64_t kGraphStream = 0x6772617068ull;   // "graph"
 constexpr std::uint64_t kFaultStream = 0x6661756c74ull;   // "fault"
 constexpr std::uint64_t kSketchStream = 0x736b657463ull;  // "sketc"
+constexpr std::uint64_t kEpochStream = 0x65706f6368ull;   // "epoch"
+constexpr std::uint64_t kDonorStream = 0x646f6e6f72ull;   // "donor"
+
+// Deterministic cross-platform string hash for the epoch derivation (the
+// epoch must not depend on std::hash, whose value is implementation-
+// defined).
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 void append_f(std::string& out, const char* fmt, ...) {
   char buf[1024];
@@ -39,6 +57,85 @@ void append_f(std::string& out, const char* fmt, ...) {
   out.append(buf, buf + len);
 }
 
+}  // namespace
+
+std::shared_ptr<const LocalEncoder> make_campaign_protocol(
+    const ScenarioSpec& spec, const Graph& g) {
+  const std::string& proto = spec.protocol;
+  if (proto == "degeneracy") {
+    return std::make_shared<DegeneracyReconstruction>(spec.k);
+  }
+  if (proto == "generalized") {
+    return std::make_shared<GeneralizedDegeneracyReconstruction>(spec.k);
+  }
+  if (proto == "forest") return std::make_shared<ForestReconstruction>();
+  if (proto == "bounded-degree") {
+    return std::make_shared<BoundedDegreeReconstruction>(
+        std::max<std::size_t>(1, g.max_degree()));
+  }
+  if (proto == "stats") return std::make_shared<DegreeStatistics>();
+  if (proto == "recognize-degeneracy") {
+    return make_degeneracy_recognizer(spec.k);
+  }
+  const SketchParams sketch_params{
+      .seed = mix64(spec.seed ^ kSketchStream), .rounds = 0, .copies = 3};
+  if (proto == "connectivity") {
+    return std::make_shared<SketchConnectivityProtocol>(sketch_params);
+  }
+  if (proto == "bipartite") {
+    return std::make_shared<SketchBipartitenessProtocol>(sketch_params);
+  }
+  // Reductions run in verified mode: out-of-class inputs (a square in a
+  // square-free protocol's input) must refuse loudly, not drift silently.
+  if (proto == "reduce-square") {
+    return std::make_shared<SquareReduction>(make_square_oracle(),
+                                             /*verified=*/true);
+  }
+  if (proto == "reduce-triangle") {
+    return std::make_shared<TriangleReduction>(make_triangle_oracle(),
+                                               /*verified=*/true);
+  }
+  if (proto == "reduce-diameter") {
+    return std::make_shared<DiameterReduction>(make_diameter_oracle(3),
+                                               /*verified=*/true);
+  }
+  throw CheckError("unknown campaign protocol: " + proto);
+}
+
+namespace {
+
+/// Decode the (opened) payload transcript and grade it against ground
+/// truth computed directly on the graph. Throws DecodeError for loud
+/// refusals; returns "exact"/"correct"/"silent-wrong" otherwise.
+std::string classify_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
+                          const Graph& g, std::uint32_t n,
+                          std::span<const Message> payloads) {
+  if (const auto* rp = dynamic_cast<const ReconstructionProtocol*>(&enc)) {
+    const Graph h = rp->reconstruct(n, payloads);
+    return (h == g) ? "exact" : "silent-wrong";
+  }
+  if (spec.protocol == "stats") {
+    const auto degrees = DegreeStatistics::degree_sequence(n, payloads);
+    const bool correct =
+        DegreeStatistics::edge_count(degrees) == g.edge_count() &&
+        DegreeStatistics::max_degree(degrees) == g.max_degree();
+    return correct ? "correct" : "silent-wrong";
+  }
+  const auto* dp = dynamic_cast<const DecisionProtocol*>(&enc);
+  REFEREE_CHECK_MSG(dp != nullptr, "unclassifiable campaign protocol");
+  bool truth = false;
+  if (spec.protocol == "recognize-degeneracy") {
+    truth = degeneracy(g).degeneracy <= spec.k;
+  } else if (spec.protocol == "connectivity") {
+    truth = component_count(g) <= 1;
+  } else if (spec.protocol == "bipartite") {
+    truth = is_bipartite(g);
+  } else {
+    throw CheckError("no ground truth for protocol: " + spec.protocol);
+  }
+  return dp->decide(n, payloads) == truth ? "correct" : "silent-wrong";
+}
+
 ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
                        std::vector<Message>& arena) {
   ScenarioResult res;
@@ -48,65 +145,32 @@ ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
 
   FaultPlan plan = spec.faults;
   plan.seed = mix64(spec.seed ^ kFaultStream);
+  const std::uint64_t epoch = scenario_epoch(spec);
 
-  const auto run_local = [&](const LocalEncoder& enc) {
-    sim.run_local_phase(views, enc, arena);
-    Simulator::inject_faults(arena, plan);
-    res.report = audit_frugality(n, arena);
-  };
-
-  const std::string& proto = spec.protocol;
   try {
-    if (proto == "degeneracy" || proto == "generalized" ||
-        proto == "forest" || proto == "bounded-degree") {
-      std::unique_ptr<ReconstructionProtocol> rp;
-      if (proto == "degeneracy") {
-        rp = std::make_unique<DegeneracyReconstruction>(spec.k);
-      } else if (proto == "generalized") {
-        rp = std::make_unique<GeneralizedDegeneracyReconstruction>(spec.k);
-      } else if (proto == "forest") {
-        rp = std::make_unique<ForestReconstruction>();
-      } else {
-        rp = std::make_unique<BoundedDegreeReconstruction>(
-            std::max<std::size_t>(1, g.max_degree()));
-      }
-      run_local(*rp);
-      const Graph h = rp->reconstruct(n, arena);
-      res.outcome = (h == g) ? "exact" : "silent-wrong";
-    } else if (proto == "stats") {
-      const DegreeStatistics stats;
-      run_local(stats);
-      const bool correct =
-          DegreeStatistics::edge_count(n, arena) == g.edge_count() &&
-          DegreeStatistics::max_degree(n, arena) == g.max_degree();
-      res.outcome = correct ? "correct" : "silent-wrong";
-    } else if (proto == "recognize-degeneracy") {
-      const auto recog = make_degeneracy_recognizer(spec.k);
-      run_local(*recog);
-      const bool truth = degeneracy(g).degeneracy <= spec.k;
-      res.outcome = recog->decide(n, arena) == truth ? "correct"
-                                                     : "silent-wrong";
-    } else if (proto == "connectivity") {
-      const SketchConnectivityProtocol sc(
-          SketchParams{.seed = mix64(spec.seed ^ kSketchStream),
-                       .rounds = 0,
-                       .copies = 3});
-      run_local(sc);
-      const bool truth = component_count(g) <= 1;
-      res.outcome = sc.decide(n, arena) == truth ? "correct" : "silent-wrong";
-    } else if (proto == "bipartite") {
-      const SketchBipartitenessProtocol sb(
-          SketchParams{.seed = mix64(spec.seed ^ kSketchStream),
-                       .rounds = 0,
-                       .copies = 3});
-      run_local(sb);
-      const bool truth = is_bipartite(g);
-      res.outcome = sb.decide(n, arena) == truth ? "correct" : "silent-wrong";
-    } else {
-      throw CheckError("unknown campaign protocol: " + proto);
+    const auto protocol = make_campaign_protocol(spec, g);
+    sim.run_local_phase(views, *protocol, arena);
+    // Frugality is a statement about the protocol's payload; the envelope
+    // (epoch tag + sender id, O(log n) bits) is delivery substrate and is
+    // audited out.
+    res.report = audit_frugality(n, arena);
+    seal_transcript(epoch, n, arena);
+
+    std::vector<Message> donor;
+    if (plan.correlated.stale_replays > 0) {
+      const ScenarioSpec dspec = stale_donor_spec(spec);
+      const Graph dg = make_campaign_graph(dspec);
+      donor = Simulator().run_local_phase(dg, *make_campaign_protocol(dspec, dg));
+      seal_transcript(scenario_epoch(dspec),
+                      static_cast<std::uint32_t>(dg.vertex_count()), donor);
     }
-  } catch (const DecodeError&) {
+    res.journal = Simulator::inject_faults(arena, plan, donor);
+
+    const std::vector<Message> payloads = open_transcript(epoch, n, arena);
+    res.outcome = classify_cell(spec, *protocol, g, n, payloads);
+  } catch (const DecodeError& e) {
     res.outcome = "loud";
+    res.detail = decode_fault_name(e.fault());
   }
   res.contract_ok = res.outcome != "silent-wrong";
   return res;
@@ -126,8 +190,127 @@ const std::vector<std::string>& campaign_generators() {
 const std::vector<std::string>& campaign_protocols() {
   static const std::vector<std::string> names{
       "degeneracy", "generalized", "forest",       "bounded-degree",
-      "stats",      "recognize-degeneracy", "connectivity", "bipartite"};
+      "stats",      "recognize-degeneracy", "connectivity", "bipartite",
+      "reduce-square", "reduce-triangle", "reduce-diameter"};
   return names;
+}
+
+std::uint64_t scenario_epoch(const ScenarioSpec& spec) {
+  std::uint64_t h = mix64(spec.seed ^ kEpochStream);
+  h = mix64(h ^ fnv1a(spec.generator));
+  h = mix64(h ^ fnv1a(spec.protocol));
+  h = mix64(h ^ static_cast<std::uint64_t>(spec.n));
+  h = mix64(h ^ spec.k);
+  // Every axis that shapes the cell's transcript must feed the epoch, or a
+  // replay between two cells differing only in that axis would pass the
+  // envelope. p is a grid axis too (gnp/bipartite families).
+  h = mix64(h ^ std::bit_cast<std::uint64_t>(spec.p));
+  return h;
+}
+
+ScenarioSpec stale_donor_spec(const ScenarioSpec& spec) {
+  ScenarioSpec donor = spec;
+  donor.seed = mix64(spec.seed ^ kDonorStream);
+  // The donor cell itself is fault-free: stale replays splice *honest*
+  // messages from another epoch into this cell's transcript.
+  donor.faults = FaultPlan{};
+  return donor;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  const Simulator sim;
+  std::vector<Message> arena;
+  return run_one(spec, sim, arena);
+}
+
+ScenarioSpec shrink_scenario(
+    const ScenarioSpec& spec,
+    const std::function<bool(const ScenarioSpec&)>& still_fails) {
+  ScenarioSpec current = spec;
+  if (!still_fails(current)) return current;
+  // Greedy fixpoint: each accepted step strictly shrinks (n, fault knobs,
+  // seed), so the loop terminates. Candidates are tried largest-step
+  // first (halving before decrementing) to keep the repro search cheap.
+  bool progress = true;
+  const auto attempt = [&](ScenarioSpec cand) {
+    if (still_fails(cand)) {
+      current = std::move(cand);
+      progress = true;
+      return true;
+    }
+    return false;
+  };
+  while (progress) {
+    progress = false;
+    if (current.n > 4) {
+      ScenarioSpec cand = current;
+      cand.n = std::max<std::size_t>(4, current.n / 2);
+      if (cand.n != current.n) attempt(std::move(cand));
+    }
+    if (!progress && current.n > 4) {
+      ScenarioSpec cand = current;
+      cand.n = current.n - 1;
+      attempt(std::move(cand));
+    }
+    const auto zero_field = [&](auto mutate) {
+      ScenarioSpec cand = current;
+      mutate(cand);
+      attempt(std::move(cand));
+    };
+    if (current.faults.bit_flip_chance > 0) {
+      zero_field([](ScenarioSpec& s) { s.faults.bit_flip_chance = 0; });
+    }
+    if (current.faults.truncate_chance > 0) {
+      zero_field([](ScenarioSpec& s) { s.faults.truncate_chance = 0; });
+    }
+    CorrelatedFaults& cor = current.faults.correlated;
+    if (cor.drop_fraction > 0) {
+      zero_field([](ScenarioSpec& s) { s.faults.correlated.drop_fraction = 0; });
+    }
+    if (cor.duplicate_ids > 0) {
+      zero_field([](ScenarioSpec& s) { s.faults.correlated.duplicate_ids = 0; });
+      if (cor.duplicate_ids > 1) {
+        zero_field([&](ScenarioSpec& s) {
+          s.faults.correlated.duplicate_ids = cor.duplicate_ids / 2;
+        });
+      }
+    }
+    if (cor.payload_swaps > 0) {
+      zero_field([](ScenarioSpec& s) { s.faults.correlated.payload_swaps = 0; });
+      if (cor.payload_swaps > 1) {
+        zero_field([&](ScenarioSpec& s) {
+          s.faults.correlated.payload_swaps = cor.payload_swaps / 2;
+        });
+      }
+    }
+    if (cor.stale_replays > 0) {
+      zero_field([](ScenarioSpec& s) { s.faults.correlated.stale_replays = 0; });
+      if (cor.stale_replays > 1) {
+        zero_field([&](ScenarioSpec& s) {
+          s.faults.correlated.stale_replays = cor.stale_replays / 2;
+        });
+      }
+    }
+    if (current.seed != 1) {
+      zero_field([](ScenarioSpec& s) { s.seed = 1; });
+    }
+  }
+  return current;
+}
+
+CampaignConfig default_fault_sweep_config() {
+  CampaignConfig config;
+  config.generators = {"kdeg", "tree", "gnp", "apollonian"};
+  config.sizes = {24};
+  config.protocols = {"degeneracy", "forest", "stats", "connectivity"};
+  config.seeds = {1, 2};
+  config.fault_plans = {
+      FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.25}},
+      FaultPlan{.correlated = CorrelatedFaults{.duplicate_ids = 2}},
+      FaultPlan{.correlated = CorrelatedFaults{.payload_swaps = 2}},
+      FaultPlan{.correlated = CorrelatedFaults{.stale_replays = 2}},
+  };
+  return config;
 }
 
 Graph make_campaign_graph(const ScenarioSpec& spec) {
@@ -253,12 +436,56 @@ std::string campaign_json(const std::vector<ScenarioSpec>& grid,
                           const std::vector<ScenarioResult>& results) {
   REFEREE_CHECK_MSG(grid.size() == results.size(),
                     "grid/result size mismatch");
+  // The fault taxonomy: every model the injector knows, its scope, the
+  // spec field that arms it, and the check that makes it loud. Driven by
+  // the FaultType enum (names via fault_type_name, detectors via
+  // decode_fault_name) so the report cannot drift from the injector; kept
+  // in the JSON so a failing cell's record is self-describing.
+  struct TaxonomyRow {
+    FaultType type;
+    const char* scope;
+    const char* field;
+    DecodeFault detector;       // the typed fault the model must surface as
+    const char* detector_note;  // "" when the typed name says it all
+  };
+  static constexpr TaxonomyRow kTaxonomy[] = {
+      {FaultType::kBitFlip, "message", "flip", DecodeFault::kInconsistent,
+       "payload checks (power sums, framing, fingerprints) on certifying "
+       "decoders; flips landing in the envelope header surface as "
+       "epoch-mismatch or id-mismatch instead"},
+      {FaultType::kTruncate, "message", "trunc", DecodeFault::kTruncated,
+       "bit-level framing (read past end), whether the cut hits header or "
+       "payload"},
+      {FaultType::kDrop, "campaign", "drop", DecodeFault::kMissingMessage,
+       ""},
+      {FaultType::kDuplicateId, "campaign", "dup", DecodeFault::kIdMismatch,
+       ""},
+      {FaultType::kPayloadSwap, "campaign", "swap", DecodeFault::kIdMismatch,
+       ""},
+      {FaultType::kStaleReplay, "campaign", "stale",
+       DecodeFault::kEpochMismatch, ""},
+  };
   std::string out;
-  out.reserve(grid.size() * 220);
-  out += "{\n  \"schema\": \"referee-campaign-v1\",\n  \"scenarios\": [\n";
+  out.reserve(grid.size() * 330);
+  out += "{\n  \"schema\": \"referee-campaign-v2\",\n";
+  out += "  \"fault_taxonomy\": [\n";
+  for (std::size_t i = 0; i < std::size(kTaxonomy); ++i) {
+    const TaxonomyRow& row = kTaxonomy[i];
+    append_f(out,
+             "    {\"type\": \"%s\", \"scope\": \"%s\", \"field\": \"%s\", "
+             "\"detector\": \"%s\"%s%s%s}%s\n",
+             fault_type_name(row.type), row.scope, row.field,
+             decode_fault_name(row.detector),
+             row.detector_note[0] != '\0' ? ", \"note\": \"" : "",
+             row.detector_note,
+             row.detector_note[0] != '\0' ? "\"" : "",
+             i + 1 == std::size(kTaxonomy) ? "" : ",");
+  }
+  out += "  ],\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < grid.size(); ++i) {
     const auto& s = grid[i];
     const auto& r = results[i];
+    const auto& cor = s.faults.correlated;
     // "n" is the real vertex count the scenario ran on (families like
     // hypercube and grid round the requested size); "spec_n" is the grid
     // axis value — frugality columns must be plotted against "n".
@@ -266,13 +493,24 @@ std::string campaign_json(const std::vector<ScenarioSpec>& grid,
              "    {\"i\": %zu, \"generator\": \"%s\", \"n\": %u, "
              "\"spec_n\": %zu, \"k\": %u, \"p\": %.6f, \"protocol\": \"%s\", "
              "\"seed\": %llu, \"flip\": %.6f, \"trunc\": %.6f, "
-             "\"outcome\": \"%s\", \"contract_ok\": %s, "
+             "\"drop\": %.6f, \"dup\": %u, \"swap\": %u, \"stale\": %u, "
+             "\"outcome\": \"%s\", \"detail\": \"%s\", \"contract_ok\": %s, "
+             "\"applied\": {\"flip\": %zu, \"trunc\": %zu, \"drop\": %zu, "
+             "\"dup\": %zu, \"swap\": %zu, \"stale\": %zu}, "
              "\"max_bits\": %zu, \"total_bits\": %zu, "
              "\"budget_bits\": %zu, \"constant\": %.6f}%s\n",
              i, s.generator.c_str(), r.report.n, s.n, s.k, s.p,
              s.protocol.c_str(), static_cast<unsigned long long>(s.seed),
              s.faults.bit_flip_chance, s.faults.truncate_chance,
-             r.outcome.c_str(), r.contract_ok ? "true" : "false",
+             cor.drop_fraction, cor.duplicate_ids, cor.payload_swaps,
+             cor.stale_replays, r.outcome.c_str(), r.detail.c_str(),
+             r.contract_ok ? "true" : "false",
+             r.journal.count(FaultType::kBitFlip),
+             r.journal.count(FaultType::kTruncate),
+             r.journal.count(FaultType::kDrop),
+             r.journal.count(FaultType::kDuplicateId),
+             r.journal.count(FaultType::kPayloadSwap),
+             r.journal.count(FaultType::kStaleReplay),
              r.report.max_bits, r.report.total_bits, r.report.budget_bits,
              r.report.constant(), i + 1 == grid.size() ? "" : ",");
   }

@@ -14,9 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "model/envelope.hpp"
+#include "model/fault_model.hpp"
 #include "model/frugality.hpp"
 #include "model/simulator.hpp"
 #include "support/thread_pool.hpp"
@@ -40,10 +44,14 @@ struct ScenarioSpec {
 ///   "loud"         the decoder refused (DecodeError) — contract respected
 ///   "silent-wrong" decode succeeded but disagreed with ground truth
 /// `contract_ok` is false only for "silent-wrong": a referee may fail, but
-/// never silently lie.
+/// never silently lie. For "loud" outcomes, `detail` names the DecodeFault
+/// that tripped (see decode_fault_name), so sweeps can assert cause→effect
+/// against `journal`, the injector's record of applied faults.
 struct ScenarioResult {
   std::string outcome;
   bool contract_ok = true;
+  std::string detail;
+  FaultJournal journal;
   FrugalityReport report;
 };
 
@@ -85,6 +93,44 @@ std::vector<ScenarioSpec> expand_grid(const CampaignConfig& config);
 
 /// Generate the input graph of a scenario (deterministic in the spec).
 Graph make_campaign_graph(const ScenarioSpec& spec);
+
+/// The protocol instance a scenario runs, deterministic in (spec, graph):
+/// building it twice — or building the donor cell's encoder for a stale
+/// replay — always yields the same wire format. Reductions come back in
+/// verified mode (re-encode verification). Exposed for the golden-
+/// transcript fixtures and the fault-contract harness.
+std::shared_ptr<const LocalEncoder> make_campaign_protocol(
+    const ScenarioSpec& spec, const Graph& g);
+
+/// The per-scenario envelope nonce: a deterministic hash of the cell
+/// identity (generator, protocol, n, k, p, seed — every axis that shapes
+/// the transcript). Two cells differing in any of those fields get
+/// different epochs, which is what makes stale replays from another cell
+/// detectable (DecodeFault::kEpochMismatch).
+std::uint64_t scenario_epoch(const ScenarioSpec& spec);
+
+/// The donor cell a stale replay steals messages from: the same cell with
+/// a re-derived seed (hence a different graph and a different epoch).
+ScenarioSpec stale_donor_spec(const ScenarioSpec& spec);
+
+/// Run a single cell end to end (local phase → envelope → fault injection
+/// → open → decode → classify). This is exactly what CampaignRunner does
+/// per grid cell; exposed for the fault-contract harness and the shrinker.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Greedily shrink a failing cell to a minimal repro: while `still_fails`
+/// holds, shrink n, zero out fault families one at a time, halve fault
+/// counts and reset the seed. Deterministic; returns the smallest spec
+/// found (the input itself if `still_fails(spec)` is already false).
+ScenarioSpec shrink_scenario(
+    const ScenarioSpec& spec,
+    const std::function<bool(const ScenarioSpec&)>& still_fails);
+
+/// The adversarial fault sweep the harness and CI run by default: 128
+/// cells, every cell under exactly one correlated fault model. Under this
+/// grid every decoder must answer correctly or throw a typed DecodeError —
+/// zero silent-wrong cells, byte-identical JSON across thread counts.
+CampaignConfig default_fault_sweep_config();
 
 class CampaignRunner {
  public:

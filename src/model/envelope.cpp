@@ -1,0 +1,88 @@
+#include "model/envelope.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/bits.hpp"
+#include "support/random.hpp"
+
+namespace referee {
+
+namespace {
+
+// Copy the remainder of `r` into `w` in 64-bit chunks.
+void copy_bits(BitReader& r, BitWriter& w) {
+  while (!r.exhausted()) {
+    const int chunk = static_cast<int>(
+        std::min<std::size_t>(64, r.remaining()));
+    w.write_bits(r.read_bits(chunk), chunk);
+  }
+}
+
+}  // namespace
+
+std::uint64_t epoch_tag(std::uint64_t epoch) {
+  return mix64(epoch ^ 0x656e76656c6f7065ull) &
+         ((std::uint64_t{1} << kEpochTagBits) - 1);
+}
+
+Message seal_message(std::uint64_t epoch, std::uint32_t id, std::uint32_t n,
+                     const Message& payload) {
+  BitWriter w;
+  w.write_bits(epoch_tag(epoch), kEpochTagBits);
+  w.write_bits(id, log_budget_bits(n));
+  BitReader r = payload.reader();
+  copy_bits(r, w);
+  return Message::seal(std::move(w));
+}
+
+void seal_transcript(std::uint64_t epoch, std::uint32_t n,
+                     std::vector<Message>& messages) {
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    messages[i] = seal_message(epoch, static_cast<std::uint32_t>(i + 1), n,
+                               messages[i]);
+  }
+}
+
+std::vector<Message> open_transcript(std::uint64_t epoch, std::uint32_t n,
+                                     std::span<const Message> messages) {
+  if (messages.size() != n) {
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node, got " +
+                          std::to_string(messages.size()) + " of " +
+                          std::to_string(n));
+  }
+  const int id_bits = log_budget_bits(n);
+  const std::uint64_t tag = epoch_tag(epoch);
+  std::vector<Message> payloads(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (messages[i].empty()) {
+      throw DecodeError(DecodeFault::kMissingMessage,
+                        "node " + std::to_string(i + 1) +
+                            ": message dropped (0 bits on the wire)");
+    }
+    BitReader r = messages[i].reader();
+    // A truncation into the header surfaces as kTruncated via BitReader.
+    const std::uint64_t got_tag = r.read_bits(kEpochTagBits);
+    if (got_tag != tag) {
+      throw DecodeError(DecodeFault::kEpochMismatch,
+                        "node " + std::to_string(i + 1) +
+                            ": envelope tag from a different scenario "
+                            "(stale or cross-cell replay)");
+    }
+    const std::uint64_t got_id = r.read_bits(id_bits);
+    if (got_id != i + 1) {
+      throw DecodeError(DecodeFault::kIdMismatch,
+                        "slot " + std::to_string(i + 1) +
+                            " carries a message claiming id " +
+                            std::to_string(got_id) +
+                            " (duplicate or swapped payload)");
+    }
+    BitWriter w;
+    copy_bits(r, w);
+    payloads[i] = Message::seal(std::move(w));
+  }
+  return payloads;
+}
+
+}  // namespace referee

@@ -1,0 +1,57 @@
+// Transcript envelope: the integrity header that turns correlated faults
+// into loud failures.
+//
+// The paper's referee either reconstructs correctly from the one-round
+// messages or must fail loudly — and against *correlated* faults the
+// payload alone cannot guarantee that. A payload swapped between two
+// vertices, a byzantine copy of another node's message, or a well-formed
+// message replayed from a different scenario cell can be internally
+// consistent and information-theoretically indistinguishable from honest
+// traffic. The standard systems defence is an envelope: each wire message
+// carries
+//
+//   [epoch tag : kEpochTagBits][sender id : log_budget_bits(n)][payload]
+//
+// where the epoch is a per-scenario nonce (the campaign derives it from the
+// cell identity). open_transcript verifies count, presence, tag and id for
+// every slot and strips the header; each violation is a *typed*
+// DecodeError, so the adversarial harness can assert cause→effect:
+//   dropped vertex      -> kMissingMessage
+//   stale replay        -> kEpochMismatch
+//   duplicate id / swap -> kIdMismatch
+//   truncated header    -> kTruncated
+//
+// The envelope costs kEpochTagBits + ceil(log2(n+1)) bits per message —
+// O(log n), so a frugal protocol stays frugal. Frugality *audits* run on
+// the payload before sealing: the budget statement is about the protocol,
+// the envelope is the delivery substrate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/message.hpp"
+
+namespace referee {
+
+/// Width of the per-scenario epoch tag on the wire.
+constexpr int kEpochTagBits = 24;
+
+/// The wire tag for an epoch nonce (mixed and masked to kEpochTagBits).
+std::uint64_t epoch_tag(std::uint64_t epoch);
+
+/// Wrap one payload: [tag][id][payload bits].
+Message seal_message(std::uint64_t epoch, std::uint32_t id, std::uint32_t n,
+                     const Message& payload);
+
+/// Seal a whole local-phase transcript in place; slot i carries id i+1.
+void seal_transcript(std::uint64_t epoch, std::uint32_t n,
+                     std::vector<Message>& messages);
+
+/// Verify and strip every envelope; returns the payload transcript.
+/// Throws typed DecodeError on any violation (see header comment).
+std::vector<Message> open_transcript(std::uint64_t epoch, std::uint32_t n,
+                                     std::span<const Message> messages);
+
+}  // namespace referee

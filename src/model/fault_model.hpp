@@ -1,0 +1,117 @@
+// Campaign-level fault models and the per-message fault journal.
+//
+// FaultPlan (model/simulator.hpp) started as independent per-message noise:
+// bit flips and truncations, each message its own PRNG stream. Real
+// deployments fail in *correlated* ways — a rack dies and every message of
+// a vertex subset vanishes, a byzantine node claims another node's id, a
+// retransmission replays last epoch's messages. This header defines those
+// campaign-level models plus the journal that records exactly which faults
+// were applied, so tests assert cause→effect ("this cell swapped payloads
+// of nodes 3 and 9, therefore the decoder must report kIdMismatch") instead
+// of only observing outcomes.
+//
+// Everything is deterministic in the plan seed: each fault family draws
+// from its own stream (mix64(seed ^ family-tag)), so enabling one family
+// never shifts another family's choices — the same stream-alignment
+// contract FaultPlan documents for flips vs truncations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace referee {
+
+/// Every way the injector can corrupt a transcript. The first two are the
+/// legacy independent per-message models; the rest are the correlated
+/// campaign-level models.
+enum class FaultType {
+  kBitFlip,      // flip one uniformly chosen bit of a message
+  kTruncate,     // keep a uniform proper prefix (>= 1 bit)
+  kDrop,         // blank all messages of a seed-chosen vertex subset
+  kDuplicateId,  // byzantine: copy node u's message over node v's slot
+  kPayloadSwap,  // swap the payloads of two vertices
+  kStaleReplay,  // replace a message with the same node's message from a
+                 // donor scenario cell (a different epoch)
+};
+
+constexpr const char* fault_type_name(FaultType type) {
+  switch (type) {
+    case FaultType::kBitFlip: return "bit-flip";
+    case FaultType::kTruncate: return "truncate";
+    case FaultType::kDrop: return "drop";
+    case FaultType::kDuplicateId: return "duplicate-id";
+    case FaultType::kPayloadSwap: return "payload-swap";
+    case FaultType::kStaleReplay: return "stale-replay";
+  }
+  return "unknown";
+}
+
+/// Correlated fault knobs, expanded deterministically per campaign cell.
+/// All selections are drawn from streams derived from FaultPlan::seed.
+struct CorrelatedFaults {
+  /// Fraction of the vertex set whose messages are all dropped (blanked to
+  /// 0 bits). Rounded to the nearest count; any positive fraction drops at
+  /// least one vertex.
+  double drop_fraction = 0.0;
+  /// Number of byzantine duplications: distinct (src, dst) slots where
+  /// dst's message is overwritten with a copy of src's — two messages then
+  /// claim src's id.
+  unsigned duplicate_ids = 0;
+  /// Number of disjoint vertex pairs whose payloads are swapped in place.
+  unsigned payload_swaps = 0;
+  /// Number of vertices whose message is replaced by the same vertex's
+  /// message from a donor transcript (a different scenario cell). The
+  /// injector needs that donor transcript; see Simulator::inject_faults.
+  unsigned stale_replays = 0;
+
+  bool active() const {
+    return drop_fraction > 0 || duplicate_ids > 0 || payload_swaps > 0 ||
+           stale_replays > 0;
+  }
+
+  friend bool operator==(const CorrelatedFaults&,
+                         const CorrelatedFaults&) = default;
+};
+
+/// One applied fault. `detail` is type-specific:
+///   kBitFlip      flipped bit index
+///   kTruncate     bits kept
+///   kDrop         0
+///   kDuplicateId  source slot whose message now also sits at `index`
+///   kPayloadSwap  partner slot (one event per pair, index < detail)
+///   kStaleReplay  0 (donor slot == index by construction)
+struct FaultEvent {
+  FaultType type = FaultType::kBitFlip;
+  std::size_t index = 0;
+  std::uint64_t detail = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// The injector's record of which faults it applied, in application order
+/// (correlated families first, then per-message flips/truncations).
+struct FaultJournal {
+  std::vector<FaultEvent> events;
+
+  std::size_t count(FaultType type) const {
+    std::size_t c = 0;
+    for (const FaultEvent& e : events) {
+      if (e.type == type) ++c;
+    }
+    return c;
+  }
+
+  /// Did any fault touch message slot `index`? (Payload swaps touch both
+  /// slots of the pair.)
+  bool touched(std::size_t index) const {
+    for (const FaultEvent& e : events) {
+      if (e.index == index) return true;
+      if (e.type == FaultType::kPayloadSwap && e.detail == index) return true;
+    }
+    return false;
+  }
+
+  bool empty() const { return events.empty(); }
+};
+
+}  // namespace referee

@@ -23,6 +23,21 @@ LocalViewPack::LocalViewPack(const Graph& g)
   }
 }
 
+LocalViewPack::LocalViewPack(const CsrGraph& g)
+    : n_(static_cast<std::uint32_t>(g.vertex_count())) {
+  offsets_.assign(n_ + 1, 0);
+  for (Vertex v = 0; v < n_; ++v) offsets_[v + 1] = offsets_[v] + g.degree(v);
+  ids_.resize(offsets_[n_]);
+  for (Vertex v = 0; v < n_; ++v) {
+    std::size_t at = offsets_[v];
+    for (const Vertex w : g.neighbors(v)) ids_[at++] = w + 1;
+    // CsrGraph canonicalizes (sorted, deduped, no self-loops) at
+    // construction; the pack inherits that contract.
+    REFEREE_DCHECK(std::is_sorted(ids_.begin() + offsets_[v],
+                                  ids_.begin() + offsets_[v + 1]));
+  }
+}
+
 LocalView local_view_of(const Graph& g, Vertex v) {
   REFEREE_CHECK_MSG(v < g.vertex_count(), "vertex out of range");
   LocalView view;

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 
 namespace referee {
@@ -67,6 +68,10 @@ class LocalViewPack {
  public:
   LocalViewPack() = default;
   explicit LocalViewPack(const Graph& g);
+  /// Build straight from a CSR — the bulk-load path: CsrGraph(n, edges)
+  /// canonicalizes raw edge lists, so campaign-scale inputs reach the local
+  /// phase without the vector-of-vectors Graph intermediary.
+  explicit LocalViewPack(const CsrGraph& g);
 
   std::uint32_t n() const { return n_; }
   std::size_t size() const { return n_; }

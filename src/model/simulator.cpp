@@ -71,13 +71,91 @@ Graph Simulator::run_multi_round(const Graph& g,
     local_report.broadcast_bits += outcome.broadcast.bit_size();
     feedback.push_back(std::move(outcome.broadcast));
   }
-  throw DecodeError(protocol.name() + ": exceeded max_rounds without result");
+  throw DecodeError(DecodeFault::kStalled,
+                    protocol.name() + ": exceeded max_rounds without result");
 }
 
-void Simulator::inject_faults(std::vector<Message>& messages,
-                              const FaultPlan& plan) {
-  if (!plan.active()) return;
-  for (std::size_t i = 0; i < messages.size(); ++i) {
+namespace {
+
+// Per-family stream tags for the correlated models. Distinct from the
+// per-message streams (seed ^ (2i+1), seed ^ (2i+2)) by construction:
+// every tag exceeds 2 * max message count.
+constexpr std::uint64_t kDropStream = 0x64726f7000000001ull;   // "drop"
+constexpr std::uint64_t kSwapStream = 0x7377617000000002ull;   // "swap"
+constexpr std::uint64_t kDupStream = 0x6475706c00000003ull;    // "dupl"
+constexpr std::uint64_t kStaleStream = 0x7374616c00000004ull;  // "stal"
+
+// `want` distinct slots out of [0, n), deterministic in the family stream.
+std::vector<std::uint32_t> pick_slots(std::uint64_t seed, std::uint64_t tag,
+                                      std::size_t n, std::size_t want) {
+  Rng rng(mix64(seed ^ tag));
+  const auto k = static_cast<std::uint32_t>(std::min(want, n));
+  return rng.sample_subset(static_cast<std::uint32_t>(n), k);
+}
+
+}  // namespace
+
+FaultJournal Simulator::inject_faults(std::vector<Message>& messages,
+                                      const FaultPlan& plan,
+                                      std::span<const Message> stale_donor) {
+  FaultJournal journal;
+  if (!plan.active()) return journal;
+  const std::size_t n = messages.size();
+  const CorrelatedFaults& cor = plan.correlated;
+
+  // 1. Stale replays: the chosen slots carry the donor cell's message for
+  // the same vertex. The donor transcript is the caller's responsibility
+  // (the campaign runner encodes the donor cell under its own epoch).
+  if (cor.stale_replays > 0 && n > 0) {
+    REFEREE_CHECK_MSG(stale_donor.size() == n,
+                      "stale replay needs a donor transcript of equal size");
+    for (const auto slot :
+         pick_slots(plan.seed, kStaleStream, n, cor.stale_replays)) {
+      messages[slot] = stale_donor[slot];
+      journal.events.push_back(
+          FaultEvent{FaultType::kStaleReplay, slot, 0});
+    }
+  }
+
+  // 2. Payload swaps: disjoint pairs, sampled as one subset of 2·count
+  // slots paired in sorted order.
+  if (cor.payload_swaps > 0 && n >= 2) {
+    const auto slots = pick_slots(plan.seed, kSwapStream, n,
+                                  2 * static_cast<std::size_t>(cor.payload_swaps));
+    for (std::size_t p = 0; p + 1 < slots.size(); p += 2) {
+      std::swap(messages[slots[p]], messages[slots[p + 1]]);
+      journal.events.push_back(
+          FaultEvent{FaultType::kPayloadSwap, slots[p], slots[p + 1]});
+    }
+  }
+
+  // 3. Byzantine duplicate ids: (src, dst) pairs from one subset; dst's
+  // message becomes a copy of src's, so two slots claim src's id.
+  if (cor.duplicate_ids > 0 && n >= 2) {
+    const auto slots = pick_slots(plan.seed, kDupStream, n,
+                                  2 * static_cast<std::size_t>(cor.duplicate_ids));
+    for (std::size_t p = 0; p + 1 < slots.size(); p += 2) {
+      messages[slots[p + 1]] = messages[slots[p]];
+      journal.events.push_back(
+          FaultEvent{FaultType::kDuplicateId, slots[p + 1], slots[p]});
+    }
+  }
+
+  // 4. Drop a vertex subset: every selected message is blanked to 0 bits —
+  // the referee waited for a message that never arrived.
+  if (cor.drop_fraction > 0 && n > 0) {
+    const auto want = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cor.drop_fraction *
+                                        static_cast<double>(n) +
+                                    0.5));
+    for (const auto slot : pick_slots(plan.seed, kDropStream, n, want)) {
+      messages[slot] = Message();
+      journal.events.push_back(FaultEvent{FaultType::kDrop, slot, 0});
+    }
+  }
+
+  // 5. Independent per-message noise, acting on the wire as delivered.
+  for (std::size_t i = 0; i < n; ++i) {
     Message& m = messages[i];
     // Independent per-(message, fault-type) streams: whether one message is
     // hit, or one fault type fires, never shifts the draws of any other —
@@ -85,14 +163,26 @@ void Simulator::inject_faults(std::vector<Message>& messages,
     Rng flip_rng(mix64(plan.seed ^ (2 * i + 1)));
     Rng trunc_rng(mix64(plan.seed ^ (2 * i + 2)));
     if (flip_rng.chance(plan.bit_flip_chance) && m.bit_size() > 0) {
-      m.flip_bit(flip_rng.below(m.bit_size()));
+      const std::size_t bit = flip_rng.below(m.bit_size());
+      m.flip_bit(bit);
+      journal.events.push_back(FaultEvent{FaultType::kBitFlip, i, bit});
     }
     if (trunc_rng.chance(plan.truncate_chance) && m.bit_size() > 1) {
       // Uniform proper prefix of >= 1 bit: 0-bit messages have no decode
       // contract, so 1-bit messages are left intact.
-      m.truncate(1 + trunc_rng.below(m.bit_size() - 1));
+      const std::size_t keep = 1 + trunc_rng.below(m.bit_size() - 1);
+      m.truncate(keep);
+      journal.events.push_back(FaultEvent{FaultType::kTruncate, i, keep});
     }
   }
+  return journal;
+}
+
+void Simulator::inject_faults(std::vector<Message>& messages,
+                              const FaultPlan& plan) {
+  REFEREE_CHECK_MSG(plan.correlated.stale_replays == 0,
+                    "stale replays need the donor-transcript overload");
+  inject_faults(messages, plan, {});
 }
 
 }  // namespace referee

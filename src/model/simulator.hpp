@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "model/fault_model.hpp"
 #include "model/frugality.hpp"
 #include "model/multi_round.hpp"
 #include "model/protocol.hpp"
@@ -24,25 +26,33 @@
 
 namespace referee {
 
-/// Message-level fault injection applied between the local and global phase.
+/// Fault injection applied between the local and global phase: independent
+/// per-message noise (flips, truncations) plus the correlated campaign-level
+/// models of model/fault_model.hpp.
 ///
-/// Determinism contract: each (message index, fault type) pair draws from
-/// its own PRNG stream derived from `seed`, and every probability gate
-/// consumes exactly one draw. Consequently a run with bit_flip_chance=0 is
-/// stream-aligned with one at bit_flip_chance=0.01 — the truncation
-/// outcomes are identical, which is what makes fault-ablation baselines
-/// comparable.
+/// Determinism contract: each (message index, fault type) pair and each
+/// correlated fault family draws from its own PRNG stream derived from
+/// `seed`, and every probability gate consumes exactly one draw.
+/// Consequently a run with bit_flip_chance=0 is stream-aligned with one at
+/// bit_flip_chance=0.01 — the truncation outcomes are identical — and
+/// enabling a correlated family never shifts any other family's choices,
+/// which is what makes fault-ablation baselines comparable.
 struct FaultPlan {
   /// Probability that any given message has one uniformly chosen bit flipped.
   double bit_flip_chance = 0.0;
   /// Probability that any given message is truncated to a uniform proper
   /// prefix of at least 1 bit (a 0-bit message has no defined decode
-  /// semantics, so the injector never manufactures one; 1-bit messages are
-  /// left intact).
+  /// semantics, so the injector only manufactures one by *dropping* a
+  /// vertex; 1-bit messages are left intact).
   double truncate_chance = 0.0;
+  /// Correlated campaign-level faults (drop subset, duplicate ids, payload
+  /// swaps, stale replays), expanded deterministically from `seed`.
+  CorrelatedFaults correlated;
   std::uint64_t seed = 1;
 
-  bool active() const { return bit_flip_chance > 0 || truncate_chance > 0; }
+  bool active() const {
+    return bit_flip_chance > 0 || truncate_chance > 0 || correlated.active();
+  }
 };
 
 class Simulator {
@@ -78,7 +88,19 @@ class Simulator {
   Graph run_multi_round(const Graph& g, const MultiRoundProtocol& protocol,
                         MultiRoundReport* report = nullptr) const;
 
-  /// Applies `plan` to a transcript in place (deterministic in plan.seed).
+  /// Applies `plan` to a transcript in place (deterministic in plan.seed)
+  /// and journals every applied fault. Correlated families are applied
+  /// first (stale replays, payload swaps, duplicate ids, drops — in that
+  /// order), then the independent per-message flips/truncations act on the
+  /// wire as delivered. `stale_donor`, required iff
+  /// plan.correlated.stale_replays > 0, is the sealed transcript of the
+  /// donor scenario cell (same length as `messages`); replayed slots take
+  /// the donor message of the same vertex.
+  static FaultJournal inject_faults(std::vector<Message>& messages,
+                                    const FaultPlan& plan,
+                                    std::span<const Message> stale_donor);
+
+  /// Journal-discarding convenience for plans without stale replays.
   static void inject_faults(std::vector<Message>& messages,
                             const FaultPlan& plan);
 

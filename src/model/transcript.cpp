@@ -25,7 +25,8 @@ T read_le(std::istream& is) {
   T value = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i) {
     const int c = is.get();
-    if (c == EOF) throw DecodeError("transcript: truncated stream");
+    if (c == EOF) throw DecodeError(DecodeFault::kTruncated,
+                      "transcript: truncated stream");
     value |= static_cast<T>(static_cast<unsigned char>(c)) << (8 * i);
   }
   return value;
@@ -55,20 +56,24 @@ Transcript read_transcript(std::istream& is) {
   char magic[4];
   is.read(magic, 4);
   if (is.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
-    throw DecodeError("transcript: bad magic");
+    throw DecodeError(DecodeFault::kMalformed,
+                      "transcript: bad magic");
   }
   Transcript t;
   t.n = read_le<std::uint32_t>(is);
-  if (t.n > (1u << 26)) throw DecodeError("transcript: absurd node count");
+  if (t.n > (1u << 26)) throw DecodeError(DecodeFault::kMalformed,
+                      "transcript: absurd node count");
   t.messages.resize(t.n);
   for (std::uint32_t i = 0; i < t.n; ++i) {
     const std::uint64_t bits = read_le<std::uint64_t>(is);
-    if (bits > (1ull << 32)) throw DecodeError("transcript: absurd message");
+    if (bits > (1ull << 32)) throw DecodeError(DecodeFault::kMalformed,
+                      "transcript: absurd message");
     BitWriter w;
     std::uint64_t remaining = bits;
     while (remaining > 0) {
       const int c = is.get();
-      if (c == EOF) throw DecodeError("transcript: truncated message");
+      if (c == EOF) throw DecodeError(DecodeFault::kTruncated,
+                      "transcript: truncated message");
       const int chunk = remaining >= 8 ? 8 : static_cast<int>(remaining);
       w.write_bits(static_cast<std::uint64_t>(c) &
                        ((std::uint64_t{1} << chunk) - 1),

@@ -11,7 +11,8 @@ std::vector<NodeId> NewtonDecoder::decode(
     std::span<const NodeId> candidates) const {
   if (degree == 0) return {};
   if (sums.size() < degree) {
-    throw DecodeError("newton decode: fewer sums than degree");
+    throw DecodeError(DecodeFault::kInconsistent,
+                      "newton decode: fewer sums than degree");
   }
   const auto elementary =
       elementary_from_power_sums(sums.subspan(0, degree));
@@ -37,14 +38,16 @@ std::vector<NodeId> SmallNewtonDecoder::decode(
     std::span<const NodeId> candidates) const {
   if (degree == 0) return {};
   if (sums.size() < degree) {
-    throw DecodeError("newton-u64 decode: fewer sums than degree");
+    throw DecodeError(DecodeFault::kInconsistent,
+                      "newton-u64 decode: fewer sums than degree");
   }
   // Power sums as native integers (they fit by the constructor guard; a
   // corrupt message that does not fit is just as corrupt either way).
   std::vector<i128> p(degree);
   for (unsigned i = 0; i < degree; ++i) {
     if (!sums[i].fits_u64()) {
-      throw DecodeError("newton-u64 decode: power sum exceeds 64 bits");
+      throw DecodeError(DecodeFault::kInconsistent,
+                      "newton-u64 decode: power sum exceeds 64 bits");
     }
     p[i] = static_cast<i128>(sums[i].to_u64());
   }
@@ -58,7 +61,8 @@ std::vector<NodeId> SmallNewtonDecoder::decode(
       acc += (j % 2 == 0) ? -term : term;
     }
     if (acc % static_cast<i128>(i) != 0) {
-      throw DecodeError("newton-u64 decode: inexact division");
+      throw DecodeError(DecodeFault::kInconsistent,
+                      "newton-u64 decode: inexact division");
     }
     e[i] = acc / static_cast<i128>(i);
   }
@@ -84,7 +88,8 @@ std::vector<NodeId> SmallNewtonDecoder::decode(
     }
   }
   if (roots.size() != degree) {
-    throw DecodeError("newton-u64 decode: missing roots");
+    throw DecodeError(DecodeFault::kInconsistent,
+                      "newton-u64 decode: missing roots");
   }
   return roots;
 }

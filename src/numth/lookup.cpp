@@ -99,11 +99,13 @@ std::size_t NeighborhoodTable::entry_count() const {
 const std::vector<NodeId>& NeighborhoodTable::find(
     unsigned d, std::span<const BigUInt> sums) const {
   if (d >= tables_.size()) {
-    throw DecodeError("table lookup: degree exceeds k");
+    throw DecodeError(DecodeFault::kInconsistent,
+                      "table lookup: degree exceeds k");
   }
   const auto it = tables_[d].find(key_of(d, sums));
   if (it == tables_[d].end()) {
-    throw DecodeError("table lookup: no subset matches power sums");
+    throw DecodeError(DecodeFault::kInconsistent,
+                      "table lookup: no subset matches power sums");
   }
   return it->second;
 }

@@ -21,7 +21,8 @@ void subtract_contribution(std::vector<BigUInt>& sums, NodeId id) {
   for (auto& s : sums) {
     power *= BigUInt(id);
     if (s < power) {
-      throw DecodeError("power-sum underflow: transcript inconsistent");
+      throw DecodeError(DecodeFault::kInconsistent,
+                      "power-sum underflow: transcript inconsistent");
     }
     s -= power;
   }

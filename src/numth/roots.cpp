@@ -46,7 +46,8 @@ std::vector<NodeId> roots_among(std::span<const BigInt> elementary,
     if (try_deflate(c, r).is_zero()) roots.push_back(r);
   }
   if (roots.size() != degree) {
-    throw DecodeError("root extraction found " + std::to_string(roots.size()) +
+    throw DecodeError(DecodeFault::kInconsistent,
+                      "root extraction found " + std::to_string(roots.size()) +
                       " of " + std::to_string(degree) + " neighbour ids");
   }
   return roots;

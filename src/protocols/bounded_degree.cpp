@@ -30,24 +30,29 @@ void BoundedDegreeReconstruction::encode(const LocalViewRef& view,
 Graph BoundedDegreeReconstruction::reconstruct(
     std::uint32_t n, std::span<const Message> messages) const {
   if (messages.size() != n) {
-    throw DecodeError("expected one message per node");
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
   }
   const int id_bits = log_budget_bits(n);
   std::vector<std::vector<NodeId>> claimed(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const auto id = static_cast<NodeId>(r.read_bits(id_bits));
-    if (id != i + 1) throw DecodeError("message id does not match sender");
+    if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
+                      "message id does not match sender");
     const std::uint64_t deg = r.read_bits(id_bits);
-    if (deg > max_degree_) throw DecodeError("claimed degree exceeds bound");
+    if (deg > max_degree_) throw DecodeError(DecodeFault::kMalformed,
+                      "claimed degree exceeds bound");
     for (std::uint64_t j = 0; j < deg; ++j) {
       const auto nb = static_cast<NodeId>(r.read_bits(id_bits));
       if (nb < 1 || nb > n || nb == id) {
-        throw DecodeError("claimed neighbour id out of range");
+        throw DecodeError(DecodeFault::kMalformed,
+                      "claimed neighbour id out of range");
       }
       claimed[i].push_back(nb);
     }
-    if (!r.exhausted()) throw DecodeError("trailing bits in message");
+    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
+                      "trailing bits in message");
   }
   // Cross-validate: {u, v} is an edge iff both endpoints report it.
   Graph h(n);
@@ -58,7 +63,8 @@ Graph BoundedDegreeReconstruction::reconstruct(
       const bool reciprocated =
           std::find(back.begin(), back.end(), i + 1) != back.end();
       if (!reciprocated) {
-        throw DecodeError("edge reported by one endpoint only");
+        throw DecodeError(DecodeFault::kInconsistent,
+                      "edge reported by one endpoint only");
       }
       if (j > i) h.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j));
     }

@@ -41,7 +41,8 @@ std::size_t DegeneracyReconstruction::message_bits(const LocalViewRef& view,
 Graph DegeneracyReconstruction::reconstruct(
     std::uint32_t n, std::span<const Message> messages) const {
   if (messages.size() != n) {
-    throw DecodeError("expected one message per node");
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
   }
   const int id_bits = log_budget_bits(n);
 
@@ -51,12 +52,15 @@ Graph DegeneracyReconstruction::reconstruct(
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const auto id = static_cast<NodeId>(r.read_bits(id_bits));
-    if (id != i + 1) throw DecodeError("message id does not match sender");
+    if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
+                      "message id does not match sender");
     deg[i] = r.read_bits(id_bits);
-    if (deg[i] >= n) throw DecodeError("degree out of range");
+    if (deg[i] >= n) throw DecodeError(DecodeFault::kMalformed,
+                      "degree out of range");
     sums[i].reserve(k_);
     for (unsigned p = 0; p < k_; ++p) sums[i].push_back(BigUInt::read(r));
-    if (!r.exhausted()) throw DecodeError("trailing bits in message");
+    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
+                      "trailing bits in message");
   }
 
   Graph h(n);
@@ -73,7 +77,8 @@ Graph DegeneracyReconstruction::reconstruct(
   std::size_t remaining = n;
   while (remaining > 0) {
     if (prunable.empty()) {
-      throw DecodeError("pruning stalled: graph degeneracy exceeds k=" +
+      throw DecodeError(DecodeFault::kStalled,
+                      "pruning stalled: graph degeneracy exceeds k=" +
                         std::to_string(k_));
     }
     const NodeId x = *prunable.begin();
@@ -92,16 +97,19 @@ Graph DegeneracyReconstruction::reconstruct(
     // Validate against every power (catches corrupted transcripts even when
     // the first d sums accidentally decode).
     if (!matches_power_sums(sums[xi], neighbors)) {
-      throw DecodeError("decoded neighbourhood fails power-sum check");
+      throw DecodeError(DecodeFault::kInconsistent,
+                      "decoded neighbourhood fails power-sum check");
     }
 
     for (const NodeId w : neighbors) {
       const std::size_t wi = w - 1;
       if (!alive[wi]) {
-        throw DecodeError("decoded neighbour already pruned");
+        throw DecodeError(DecodeFault::kInconsistent,
+                      "decoded neighbour already pruned");
       }
       h.add_edge(static_cast<Vertex>(xi), static_cast<Vertex>(wi));
-      if (deg[wi] == 0) throw DecodeError("degree underflow");
+      if (deg[wi] == 0) throw DecodeError(DecodeFault::kInconsistent,
+                      "degree underflow");
       --deg[wi];
       subtract_contribution(sums[wi], x);
       if (deg[wi] <= k_) prunable.insert(w);

@@ -20,7 +20,8 @@ void ForestReconstruction::encode(const LocalViewRef& view,
 Graph ForestReconstruction::reconstruct(
     std::uint32_t n, std::span<const Message> messages) const {
   if (messages.size() != n) {
-    throw DecodeError("expected one message per node");
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
   }
   const int id_bits = log_budget_bits(n);
   std::vector<std::uint64_t> deg(n);
@@ -28,10 +29,12 @@ Graph ForestReconstruction::reconstruct(
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const auto id = static_cast<NodeId>(r.read_bits(id_bits));
-    if (id != i + 1) throw DecodeError("message id does not match sender");
+    if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
+                      "message id does not match sender");
     deg[i] = r.read_bits(id_bits);
     sum[i] = r.read_bits(2 * id_bits);
-    if (!r.exhausted()) throw DecodeError("trailing bits in message");
+    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
+                      "trailing bits in message");
   }
 
   Graph h(n);
@@ -51,21 +54,25 @@ Graph ForestReconstruction::reconstruct(
     if (deg[vi] == 0) continue;  // isolated in the residual forest
     const std::uint64_t w64 = sum[vi];
     if (w64 < 1 || w64 > n) {
-      throw DecodeError("leaf sum is not a valid neighbour id");
+      throw DecodeError(DecodeFault::kMalformed,
+                      "leaf sum is not a valid neighbour id");
     }
     const auto w = static_cast<NodeId>(w64);
     const std::size_t wi = w - 1;
-    if (done[wi]) throw DecodeError("leaf points at a pruned vertex");
+    if (done[wi]) throw DecodeError(DecodeFault::kInconsistent,
+                      "leaf points at a pruned vertex");
     h.add_edge(static_cast<Vertex>(vi), static_cast<Vertex>(wi));
     if (deg[wi] == 0 || sum[wi] < v) {
-      throw DecodeError("neighbour tuple inconsistent with leaf");
+      throw DecodeError(DecodeFault::kInconsistent,
+                      "neighbour tuple inconsistent with leaf");
     }
     --deg[wi];
     sum[wi] -= v;
     if (deg[wi] <= 1) leaves.push_back(w);
   }
   if (processed != n) {
-    throw DecodeError("pruning stalled: the graph contains a cycle");
+    throw DecodeError(DecodeFault::kStalled,
+                      "pruning stalled: the graph contains a cycle");
   }
   return h;
 }

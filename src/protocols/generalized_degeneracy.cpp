@@ -44,7 +44,8 @@ void GeneralizedDegeneracyReconstruction::encode(const LocalViewRef& view,
 Graph GeneralizedDegeneracyReconstruction::reconstruct(
     std::uint32_t n, std::span<const Message> messages) const {
   if (messages.size() != n) {
-    throw DecodeError("expected one message per node");
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
   }
   const int id_bits = log_budget_bits(n);
   std::vector<std::size_t> deg(n);
@@ -53,12 +54,15 @@ Graph GeneralizedDegeneracyReconstruction::reconstruct(
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const auto id = static_cast<NodeId>(r.read_bits(id_bits));
-    if (id != i + 1) throw DecodeError("message id does not match sender");
+    if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
+                      "message id does not match sender");
     deg[i] = r.read_bits(id_bits);
-    if (deg[i] >= n) throw DecodeError("degree out of range");
+    if (deg[i] >= n) throw DecodeError(DecodeFault::kMalformed,
+                      "degree out of range");
     for (unsigned p = 0; p < k_; ++p) nb_sums[i].push_back(BigUInt::read(r));
     for (unsigned p = 0; p < k_; ++p) co_sums[i].push_back(BigUInt::read(r));
-    if (!r.exhausted()) throw DecodeError("trailing bits in message");
+    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
+                      "trailing bits in message");
   }
 
   Graph h(n);
@@ -86,7 +90,8 @@ Graph GeneralizedDegeneracyReconstruction::reconstruct(
       }
     }
     if (x == 0) {
-      throw DecodeError(
+      throw DecodeError(DecodeFault::kStalled,
+                      
           "pruning stalled: generalised degeneracy exceeds k=" +
           std::to_string(k_));
     }
@@ -103,14 +108,16 @@ Graph GeneralizedDegeneracyReconstruction::reconstruct(
           decoder_->decode(static_cast<unsigned>(deg[xi]), nb_sums[xi],
                            candidates);
       if (!matches_power_sums(nb_sums[xi], neighbors)) {
-        throw DecodeError("decoded neighbourhood fails power-sum check");
+        throw DecodeError(DecodeFault::kInconsistent,
+                      "decoded neighbourhood fails power-sum check");
       }
     } else {
       const auto co_deg = static_cast<unsigned>(remaining - 1 - deg[xi]);
       const auto non_neighbors =
           decoder_->decode(co_deg, co_sums[xi], candidates);
       if (!matches_power_sums(co_sums[xi], non_neighbors)) {
-        throw DecodeError("decoded co-neighbourhood fails power-sum check");
+        throw DecodeError(DecodeFault::kInconsistent,
+                      "decoded co-neighbourhood fails power-sum check");
       }
       // Neighbours = alive candidates minus the decoded non-neighbours.
       std::set_difference(candidates.begin(), candidates.end(),
@@ -130,7 +137,8 @@ Graph GeneralizedDegeneracyReconstruction::reconstruct(
       if (is_neighbor) {
         ++cursor;
         h.add_edge(static_cast<Vertex>(xi), static_cast<Vertex>(ui));
-        if (deg[ui] == 0) throw DecodeError("degree underflow");
+        if (deg[ui] == 0) throw DecodeError(DecodeFault::kInconsistent,
+                      "degree underflow");
         --deg[ui];
         subtract_contribution(nb_sums[ui], x);
       } else {

@@ -25,8 +25,20 @@ bool RecognitionAdapter::decide(std::uint32_t n,
   try {
     const Graph h = inner_->reconstruct(n, messages);
     return verify_ ? verify_(h) : true;
-  } catch (const DecodeError&) {
-    return false;
+  } catch (const DecodeError& e) {
+    // kStalled on an *intact* transcript means the input lies outside the
+    // inner protocol's class — exactly a "no" answer. Every other fault
+    // kind proves the transcript itself is corrupt; answering "no" there
+    // would be a silent lie, so the loud-failure contract demands a
+    // rethrow. Caveat (information-theoretic, not fixable here): payload
+    // bit noise can inflate claimed degrees into an honest-looking stall,
+    // so a recognition "no" is a certificate only over authenticated,
+    // uncorrupted payloads — the envelope covers the correlated fault
+    // models, bit flips inside the payload remain outside the recogniser's
+    // certifiable domain (the campaign's bit-noise contract sweeps
+    // therefore target the self-certifying reconstruction decoders).
+    if (e.fault() == DecodeFault::kStalled) return false;
+    throw;
   }
 }
 

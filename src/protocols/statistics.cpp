@@ -16,38 +16,51 @@ void DegreeStatistics::encode(const LocalViewRef& view, BitWriter& w) const {
 std::vector<std::uint32_t> DegreeStatistics::degree_sequence(
     std::uint32_t n, std::span<const Message> messages) {
   if (messages.size() != n) {
-    throw DecodeError("expected one message per node");
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
   }
   const int id_bits = log_budget_bits(n);
   std::vector<std::uint32_t> degrees(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const auto id = static_cast<NodeId>(r.read_bits(id_bits));
-    if (id != i + 1) throw DecodeError("message id does not match sender");
+    if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
+                      "message id does not match sender");
     const std::uint64_t deg = r.read_bits(id_bits);
-    if (deg >= n) throw DecodeError("degree out of range");
+    if (deg >= n) throw DecodeError(DecodeFault::kMalformed,
+                      "degree out of range");
     degrees[i] = static_cast<std::uint32_t>(deg);
-    if (!r.exhausted()) throw DecodeError("trailing bits in message");
+    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
+                      "trailing bits in message");
   }
   return degrees;
 }
 
-std::uint64_t DegreeStatistics::edge_count(std::uint32_t n,
-                                           std::span<const Message> messages) {
-  const auto degrees = degree_sequence(n, messages);
+std::uint64_t DegreeStatistics::edge_count(
+    std::span<const std::uint32_t> degrees) {
   const std::uint64_t sum =
       std::accumulate(degrees.begin(), degrees.end(), std::uint64_t{0});
   if (sum % 2 != 0) {
-    throw DecodeError("odd degree sum: transcript impossible (handshake)");
+    throw DecodeError(DecodeFault::kInconsistent,
+                      "odd degree sum: transcript impossible (handshake)");
   }
   return sum / 2;
 }
 
-std::uint32_t DegreeStatistics::max_degree(std::uint32_t n,
-                                           std::span<const Message> messages) {
-  const auto degrees = degree_sequence(n, messages);
+std::uint32_t DegreeStatistics::max_degree(
+    std::span<const std::uint32_t> degrees) {
   return degrees.empty() ? 0
                          : *std::max_element(degrees.begin(), degrees.end());
+}
+
+std::uint64_t DegreeStatistics::edge_count(std::uint32_t n,
+                                           std::span<const Message> messages) {
+  return edge_count(degree_sequence(n, messages));
+}
+
+std::uint32_t DegreeStatistics::max_degree(std::uint32_t n,
+                                           std::span<const Message> messages) {
+  return max_degree(degree_sequence(n, messages));
 }
 
 std::uint32_t DegreeStatistics::min_degree(std::uint32_t n,

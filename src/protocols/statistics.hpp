@@ -35,6 +35,12 @@ class DegreeStatistics final : public LocalEncoder {
   static std::uint32_t min_degree(std::uint32_t n,
                                   std::span<const Message> messages);
 
+  /// Same statistics over an already-decoded degree sequence, so callers
+  /// that need several of them (the campaign classifier) parse the
+  /// transcript once.
+  static std::uint64_t edge_count(std::span<const std::uint32_t> degrees);
+  static std::uint32_t max_degree(std::span<const std::uint32_t> degrees);
+
   /// Erdős–Gallai: is the claimed degree sequence realisable by *some*
   /// simple graph? (A "no" certifies a corrupt transcript in one round.)
   static bool erdos_gallai_feasible(std::uint32_t n,

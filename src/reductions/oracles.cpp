@@ -22,19 +22,22 @@ void AdjacencyListOracle::encode(const LocalViewRef& view, BitWriter& w) const {
 Graph AdjacencyListOracle::decode_graph(std::uint32_t n,
                                         std::span<const Message> messages) {
   if (messages.size() != n) {
-    throw DecodeError("expected one message per node");
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
   }
   const int id_bits = log_budget_bits(n);
   Graph g(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const auto id = static_cast<NodeId>(r.read_bits(id_bits));
-    if (id != i + 1) throw DecodeError("message id does not match sender");
+    if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
+                      "message id does not match sender");
     const std::uint64_t deg = r.read_bits(id_bits);
     for (std::uint64_t j = 0; j < deg; ++j) {
       const auto nb = static_cast<NodeId>(r.read_bits(id_bits));
       if (nb < 1 || nb > n || nb == id) {
-        throw DecodeError("neighbour id out of range");
+        throw DecodeError(DecodeFault::kMalformed,
+                      "neighbour id out of range");
       }
       if (nb != id) g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(nb - 1));
     }

@@ -30,13 +30,39 @@ std::vector<NodeId> with_extra(std::span<const NodeId> base,
   return out;
 }
 
+/// Re-encode verification (the `verified` reduction mode): a correct
+/// reconstruction h re-encodes to exactly the transcript it was decoded
+/// from, because Δ's local function is deterministic in the view. A
+/// mismatch therefore proves the input graph was outside the reduction's
+/// class (or the transcript corrupt in a way the decode absorbed) — and
+/// because the oracle messages embed full adjacency lists, a matching
+/// re-encode conversely pins h to the sender's graph. Loud, never wrong.
+void verify_reencode(const ReconstructionProtocol& delta, const Graph& h,
+                     std::span<const Message> messages) {
+  const LocalViewPack views(h);
+  BitWriter scratch;
+  for (Vertex v = 0; v < h.vertex_count(); ++v) {
+    scratch.clear();
+    delta.encode(views.view(v), scratch);
+    Message reencoded;
+    reencoded.assign(scratch);
+    if (!(reencoded == messages[v])) {
+      throw DecodeError(
+          DecodeFault::kStalled,
+          delta.name() +
+              ": reconstruction fails re-encode verification (input "
+              "outside the reduction's class)");
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- squares --
 
 SquareReduction::SquareReduction(
-    std::shared_ptr<const DecisionProtocol> gamma)
-    : gamma_(std::move(gamma)) {
+    std::shared_ptr<const DecisionProtocol> gamma, bool verified)
+    : gamma_(std::move(gamma)), verified_(verified) {
   REFEREE_CHECK_MSG(gamma_ != nullptr, "missing Γ");
 }
 
@@ -55,7 +81,8 @@ void SquareReduction::encode(const LocalViewRef& view, BitWriter& w) const {
 Graph SquareReduction::reconstruct(std::uint32_t n,
                                    std::span<const Message> messages) const {
   if (messages.size() != n) {
-    throw DecodeError("expected one message per node");
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
   }
   const std::uint32_t big = 2 * n;
   std::vector<Message> sim(big);
@@ -79,14 +106,15 @@ Graph SquareReduction::reconstruct(std::uint32_t n,
       sim[n + t - 1] = saved_t;
     }
   }
+  if (verified_) verify_reencode(*this, h, messages);
   return h;
 }
 
 // --------------------------------------------------------------- diameter --
 
 DiameterReduction::DiameterReduction(
-    std::shared_ptr<const DecisionProtocol> gamma)
-    : gamma_(std::move(gamma)) {
+    std::shared_ptr<const DecisionProtocol> gamma, bool verified)
+    : gamma_(std::move(gamma)), verified_(verified) {
   REFEREE_CHECK_MSG(gamma_ != nullptr, "missing Γ");
 }
 
@@ -114,7 +142,8 @@ void DiameterReduction::encode(const LocalViewRef& view, BitWriter& w) const {
 Graph DiameterReduction::reconstruct(std::uint32_t n,
                                      std::span<const Message> messages) const {
   if (messages.size() != n) {
-    throw DecodeError("expected one message per node");
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
   }
   const std::uint32_t big = n + 3;
   std::vector<Message> m0(n);
@@ -125,7 +154,8 @@ Graph DiameterReduction::reconstruct(std::uint32_t n,
     m0[i] = read_framed(r);
     ms[i] = read_framed(r);
     mt[i] = read_framed(r);
-    if (!r.exhausted()) throw DecodeError("trailing bits in Δ message");
+    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
+                      "trailing bits in Δ message");
   }
   // Gadget-vertex messages. n+3's neighbourhood {1..n} is (s,t)-independent.
   std::vector<NodeId> everyone(n);
@@ -147,14 +177,15 @@ Graph DiameterReduction::reconstruct(std::uint32_t n,
       }
     }
   }
+  if (verified_) verify_reencode(*this, h, messages);
   return h;
 }
 
 // --------------------------------------------------------------- triangle --
 
 TriangleReduction::TriangleReduction(
-    std::shared_ptr<const DecisionProtocol> gamma)
-    : gamma_(std::move(gamma)) {
+    std::shared_ptr<const DecisionProtocol> gamma, bool verified)
+    : gamma_(std::move(gamma)), verified_(verified) {
   REFEREE_CHECK_MSG(gamma_ != nullptr, "missing Γ");
 }
 
@@ -177,7 +208,8 @@ void TriangleReduction::encode(const LocalViewRef& view, BitWriter& w) const {
 Graph TriangleReduction::reconstruct(std::uint32_t n,
                                      std::span<const Message> messages) const {
   if (messages.size() != n) {
-    throw DecodeError("expected one message per node");
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
   }
   const std::uint32_t big = n + 1;
   std::vector<Message> plain(n);
@@ -186,7 +218,8 @@ Graph TriangleReduction::reconstruct(std::uint32_t n,
     BitReader r = messages[i].reader();
     plain[i] = read_framed(r);
     apexed[i] = read_framed(r);
-    if (!r.exhausted()) throw DecodeError("trailing bits in Δ message");
+    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
+                      "trailing bits in Δ message");
   }
   Graph h(n);
   std::vector<Message> sim(big);
@@ -201,6 +234,7 @@ Graph TriangleReduction::reconstruct(std::uint32_t n,
       }
     }
   }
+  if (verified_) verify_reencode(*this, h, messages);
   return h;
 }
 

@@ -27,9 +27,19 @@ namespace referee {
 
 /// Theorem 1 / Algorithm 1. Δ reconstructs *square-free* graphs from any
 /// square-deciding Γ.
+///
+/// `verified` arms re-encode verification: after reconstructing h the
+/// referee re-runs Δ's local function on h and compares against the
+/// received transcript, throwing DecodeError (kStalled) on mismatch. Sound
+/// — a correct h always re-encodes to the transcript it came from — and it
+/// turns the silent drift Δ produces on out-of-class inputs into a loud
+/// refusal (the campaign runner arms it). Off by default: the unverified
+/// behaviour is the paper's, and the out-of-class drift is itself under
+/// test. Same flag on the other two reductions.
 class SquareReduction final : public ReconstructionProtocol {
  public:
-  explicit SquareReduction(std::shared_ptr<const DecisionProtocol> gamma);
+  explicit SquareReduction(std::shared_ptr<const DecisionProtocol> gamma,
+                           bool verified = false);
   std::string name() const override;
   void encode(const LocalViewRef& view, BitWriter& w) const override;
   Graph reconstruct(std::uint32_t n,
@@ -37,13 +47,15 @@ class SquareReduction final : public ReconstructionProtocol {
 
  private:
   std::shared_ptr<const DecisionProtocol> gamma_;
+  bool verified_;
 };
 
 /// Theorem 2 / Algorithm 2. Δ reconstructs *arbitrary* graphs from any Γ
 /// deciding "diameter <= 3".
 class DiameterReduction final : public ReconstructionProtocol {
  public:
-  explicit DiameterReduction(std::shared_ptr<const DecisionProtocol> gamma);
+  explicit DiameterReduction(std::shared_ptr<const DecisionProtocol> gamma,
+                             bool verified = false);
   std::string name() const override;
   void encode(const LocalViewRef& view, BitWriter& w) const override;
   Graph reconstruct(std::uint32_t n,
@@ -51,13 +63,15 @@ class DiameterReduction final : public ReconstructionProtocol {
 
  private:
   std::shared_ptr<const DecisionProtocol> gamma_;
+  bool verified_;
 };
 
 /// Theorem 3. Δ reconstructs *triangle-free* (in the paper: bipartite)
 /// graphs from any triangle-deciding Γ.
 class TriangleReduction final : public ReconstructionProtocol {
  public:
-  explicit TriangleReduction(std::shared_ptr<const DecisionProtocol> gamma);
+  explicit TriangleReduction(std::shared_ptr<const DecisionProtocol> gamma,
+                             bool verified = false);
   std::string name() const override;
   void encode(const LocalViewRef& view, BitWriter& w) const override;
   Graph reconstruct(std::uint32_t n,
@@ -65,6 +79,7 @@ class TriangleReduction final : public ReconstructionProtocol {
 
  private:
   std::shared_ptr<const DecisionProtocol> gamma_;
+  bool verified_;
 };
 
 }  // namespace referee

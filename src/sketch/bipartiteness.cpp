@@ -46,7 +46,8 @@ void SketchBipartitenessProtocol::encode(const LocalViewRef& view,
 bool SketchBipartitenessProtocol::decide(
     std::uint32_t n, std::span<const Message> messages) const {
   if (messages.size() != n) {
-    throw DecodeError("expected one message per node");
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
   }
   std::vector<Message> graph_msgs(n);
   std::vector<Message> cover_msgs(2 * static_cast<std::size_t>(n));
@@ -63,7 +64,8 @@ bool SketchBipartitenessProtocol::decide(
     graph_msgs[i] = take(len_g);
     cover_msgs[i] = take(len_low);
     cover_msgs[i + n] = take(len_high);
-    if (!r.exhausted()) throw DecodeError("trailing bits in message");
+    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
+                      "trailing bits in message");
   }
   const SketchConnectivityProtocol base(params_);
   const auto comp_g = base.decode(n, graph_msgs).component_count;

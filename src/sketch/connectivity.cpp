@@ -103,7 +103,8 @@ void SketchConnectivityProtocol::encode(const LocalViewRef& view,
 SketchConnectivityResult SketchConnectivityProtocol::decode(
     std::uint32_t n, std::span<const Message> messages) const {
   if (messages.size() != n) {
-    throw DecodeError("expected one message per node");
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
   }
   const unsigned rounds = params_.rounds_for(n);
   std::vector<std::vector<EdgeSketch>> banks(n);
@@ -116,7 +117,8 @@ SketchConnectivityResult SketchConnectivityProtocol::decode(
             r, n, sketch_bank_seed(params_.seed, round, c)));
       }
     }
-    if (!r.exhausted()) throw DecodeError("trailing bits in sketch message");
+    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
+                      "trailing bits in sketch message");
   }
   return boruvka_decode(n, banks, params_);
 }

@@ -22,7 +22,8 @@ void BitWriter::write_bits(std::uint64_t value, int nbits) {
 std::uint64_t BitReader::read_bits(int nbits) {
   REFEREE_CHECK_MSG(nbits >= 0 && nbits <= 64, "nbits out of range");
   if (pos_ + static_cast<std::size_t>(nbits) > bit_size_) {
-    throw DecodeError("BitReader: read past end of message");
+    throw DecodeError(DecodeFault::kTruncated,
+                      "BitReader: read past end of message");
   }
   std::uint64_t value = 0;
   for (int i = 0; i < nbits; ++i) {

@@ -17,11 +17,55 @@ class CheckError : public std::logic_error {
   explicit CheckError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Why a decoder refused a transcript. The loud-failure contract says a
+/// referee may fail but never silently lie; the fault kind says *which*
+/// check tripped, so campaign reports and the adversarial harness can
+/// assert cause→effect (e.g. a payload swap must surface as kIdMismatch,
+/// not as a generic parse error).
+enum class DecodeFault {
+  kUnspecified,    // legacy single-argument throws
+  kTruncated,      // bit-level parse ran past the end of a message
+  kCountMismatch,  // transcript does not hold exactly one message per node
+  kMissingMessage, // a node's message was dropped (0 bits on the wire)
+  kEpochMismatch,  // envelope tag from a different scenario (stale replay)
+  kIdMismatch,     // message claims an id other than its sender slot
+  kTrailingBits,   // message longer than its protocol frame
+  kMalformed,      // a decoded field is out of range / unparseable
+  kInconsistent,   // cross-message semantic check failed (power sums, ...)
+  kStalled,        // decode algorithm stalled: input outside protocol class
+};
+
+constexpr const char* decode_fault_name(DecodeFault fault) {
+  switch (fault) {
+    case DecodeFault::kUnspecified: return "unspecified";
+    case DecodeFault::kTruncated: return "truncated";
+    case DecodeFault::kCountMismatch: return "count-mismatch";
+    case DecodeFault::kMissingMessage: return "missing-message";
+    case DecodeFault::kEpochMismatch: return "epoch-mismatch";
+    case DecodeFault::kIdMismatch: return "id-mismatch";
+    case DecodeFault::kTrailingBits: return "trailing-bits";
+    case DecodeFault::kMalformed: return "malformed";
+    case DecodeFault::kInconsistent: return "inconsistent";
+    case DecodeFault::kStalled: return "stalled";
+  }
+  return "unknown";
+}
+
 /// Thrown when a decoder detects inconsistent or corrupt messages.
-/// Recognition protocols rely on this being distinguishable from bugs.
+/// Recognition protocols rely on this being distinguishable from bugs, and
+/// on fault() distinguishing "input outside the protocol class" (kStalled)
+/// from transcript corruption (everything else).
 class DecodeError : public std::runtime_error {
  public:
-  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+  explicit DecodeError(const std::string& what)
+      : std::runtime_error(what), fault_(DecodeFault::kUnspecified) {}
+  DecodeError(DecodeFault fault, const std::string& what)
+      : std::runtime_error(what), fault_(fault) {}
+
+  DecodeFault fault() const { return fault_; }
+
+ private:
+  DecodeFault fault_;
 };
 
 namespace detail {

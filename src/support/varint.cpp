@@ -18,7 +18,8 @@ std::uint64_t read_elias_gamma(BitReader& r) {
   int len = 0;
   while (!r.read_bit()) {
     ++len;
-    if (len > 64) throw DecodeError("elias gamma: run too long");
+    if (len > 64) throw DecodeError(DecodeFault::kMalformed,
+                      "elias gamma: run too long");
   }
   std::uint64_t v = 1;
   for (int i = 0; i < len; ++i) v = (v << 1) | (r.read_bit() ? 1u : 0u);
@@ -34,7 +35,8 @@ void write_elias_delta(BitWriter& w, std::uint64_t v) {
 
 std::uint64_t read_elias_delta(BitReader& r) {
   const std::uint64_t len1 = read_elias_gamma(r);
-  if (len1 == 0 || len1 > 64) throw DecodeError("elias delta: bad length");
+  if (len1 == 0 || len1 > 64) throw DecodeError(DecodeFault::kMalformed,
+                      "elias delta: bad length");
   const int len = static_cast<int>(len1 - 1);
   std::uint64_t v = 1;
   for (int i = 0; i < len; ++i) v = (v << 1) | (r.read_bit() ? 1u : 0u);

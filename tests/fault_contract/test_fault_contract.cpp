@@ -1,0 +1,281 @@
+// Adversarial fault-contract harness.
+//
+// The property under test is the loud-failure contract: under every
+// correlated fault plan, every decoder either answers correctly or throws
+// a typed DecodeError — never a silently wrong answer. The harness sweeps
+// (generator × protocol × correlated-fault × seed) grids through the full
+// campaign pipeline (local phase → envelope → injection → open → decode),
+// asserts cause→effect via the fault journal and the typed fault names,
+// checks byte-identical results across thread counts, and shrinks failing
+// cells to minimal repros.
+//
+// Set FAULT_SWEEP_SCALE=large in the environment (the CI fault-sweep job
+// does) to enlarge the default 128-cell sweep to 1024 cells.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "model/campaign.hpp"
+
+namespace referee {
+namespace {
+
+bool large_sweep() {
+  const char* scale = std::getenv("FAULT_SWEEP_SCALE");
+  return scale != nullptr && std::string(scale) == "large";
+}
+
+CampaignConfig sweep_config() {
+  CampaignConfig config = default_fault_sweep_config();
+  if (large_sweep()) {
+    config.sizes = {24, 48};
+    config.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  }
+  return config;
+}
+
+/// The typed fault each single-family plan must surface as, given the
+/// envelope's check order (presence, epoch, id).
+std::string expected_detail(const FaultPlan& plan) {
+  const CorrelatedFaults& cor = plan.correlated;
+  if (cor.drop_fraction > 0) return "missing-message";
+  if (cor.duplicate_ids > 0 || cor.payload_swaps > 0) return "id-mismatch";
+  if (cor.stale_replays > 0) return "epoch-mismatch";
+  return "";
+}
+
+TEST(FaultContract, DefaultSweepHasZeroSilentWrongCells) {
+  const auto config = sweep_config();
+  const auto grid = expand_grid(config);
+  if (!large_sweep()) {
+    EXPECT_EQ(grid.size(), 128u);  // the advertised default sweep
+  }
+  const CampaignRunner runner;
+  const auto results = runner.run(grid);
+  ASSERT_EQ(results.size(), grid.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& spec = grid[i];
+    const auto& res = results[i];
+    ASSERT_TRUE(res.contract_ok)
+        << spec.generator << "/" << spec.protocol << " seed " << spec.seed;
+    // Every plan in the sweep corrupts the wire deterministically, so
+    // every cell must refuse — and with the fault kind its plan predicts.
+    EXPECT_EQ(res.outcome, "loud")
+        << spec.generator << "/" << spec.protocol << " seed " << spec.seed;
+    EXPECT_EQ(res.detail, expected_detail(spec.faults))
+        << spec.generator << "/" << spec.protocol << " seed " << spec.seed;
+    EXPECT_FALSE(res.journal.empty());
+  }
+}
+
+TEST(FaultContract, SweepIsByteIdenticalAcrossThreadCounts) {
+  const auto grid = expand_grid(sweep_config());
+  const CampaignRunner sequential;
+  const auto baseline = campaign_json(grid, sequential.run(grid));
+  for (const std::size_t threads : {3u, 8u}) {
+    ThreadPool pool(threads);
+    const CampaignRunner sharded(&pool);
+    EXPECT_EQ(baseline, campaign_json(grid, sharded.run(grid)))
+        << threads << " threads";
+  }
+}
+
+// In-class generator for each protocol: the pairing under which a
+// fault-free cell must decode exactly/correctly, so any degradation in a
+// faulted cell is attributable to the fault, not the input class.
+const std::map<std::string, std::string>& in_class_generator() {
+  static const std::map<std::string, std::string> pairing{
+      {"degeneracy", "kdeg"},
+      {"generalized", "kdeg"},
+      {"forest", "tree"},
+      {"bounded-degree", "gnp"},
+      {"stats", "gnp"},
+      {"recognize-degeneracy", "kdeg"},
+      {"connectivity", "gnp"},
+      {"bipartite", "bipartite"},
+      {"reduce-square", "squarefree"},
+      {"reduce-triangle", "bipartite"},
+      {"reduce-diameter", "gnp"},
+  };
+  return pairing;
+}
+
+ScenarioSpec in_class_spec(const std::string& protocol, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.generator = in_class_generator().at(protocol);
+  // Reductions decode in O(n²) referee simulations; keep their cells small.
+  spec.n = protocol.rfind("reduce-", 0) == 0 ? 10 : 16;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(FaultContract, EveryProtocolCoversTheAdvertisedList) {
+  // The pairing table and campaign_protocols() must not drift apart.
+  ASSERT_EQ(in_class_generator().size(), campaign_protocols().size());
+  for (const auto& name : campaign_protocols()) {
+    EXPECT_TRUE(in_class_generator().count(name)) << name;
+  }
+}
+
+TEST(FaultContract, FaultFreeInClassCellsDecodeThroughTheEnvelope) {
+  for (const auto& protocol : campaign_protocols()) {
+    for (const std::uint64_t seed : {1ull, 2ull}) {
+      const ScenarioSpec spec = in_class_spec(protocol, seed);
+      const auto res = run_scenario(spec);
+      EXPECT_TRUE(res.outcome == "exact" || res.outcome == "correct")
+          << protocol << " seed " << seed << " -> " << res.outcome << " ("
+          << res.detail << ")";
+    }
+  }
+}
+
+TEST(FaultContract, EveryProtocolIsLoudUnderEveryCorrelatedFault) {
+  const std::vector<FaultPlan> plans{
+      FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.25}},
+      FaultPlan{.correlated = CorrelatedFaults{.duplicate_ids = 1}},
+      FaultPlan{.correlated = CorrelatedFaults{.payload_swaps = 1}},
+      FaultPlan{.correlated = CorrelatedFaults{.stale_replays = 1}},
+      // Everything at once, plus bit noise: still loud, never wrong.
+      FaultPlan{.bit_flip_chance = 0.1,
+                .truncate_chance = 0.1,
+                .correlated = CorrelatedFaults{.drop_fraction = 0.25,
+                                               .duplicate_ids = 1,
+                                               .payload_swaps = 1,
+                                               .stale_replays = 1}},
+  };
+  for (const auto& protocol : campaign_protocols()) {
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+      for (const std::uint64_t seed : {1ull, 2ull}) {
+        ScenarioSpec spec = in_class_spec(protocol, seed);
+        spec.faults = plans[p];
+        const auto res = run_scenario(spec);
+        EXPECT_EQ(res.outcome, "loud")
+            << protocol << " plan " << p << " seed " << seed << " -> "
+            << res.outcome;
+        EXPECT_TRUE(res.contract_ok);
+        const auto want = expected_detail(plans[p]);
+        if (!want.empty() && p < 4) {
+          EXPECT_EQ(res.detail, want) << protocol << " plan " << p;
+        }
+        // Cause→effect: the journal must show the plan actually fired.
+        EXPECT_FALSE(res.journal.empty()) << protocol << " plan " << p;
+      }
+    }
+  }
+}
+
+TEST(FaultContract, LegacyBitFaultsStayContractCleanOnPowerSumDecoders) {
+  // The pre-existing independent models, through the new pipeline: flips
+  // and truncations inside the payload are the decoder's job (power sums,
+  // framing), flips inside the envelope header are the envelope's.
+  for (const auto& protocol : {"degeneracy", "generalized", "forest",
+                               "bounded-degree"}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      ScenarioSpec spec = in_class_spec(protocol, seed);
+      spec.faults = FaultPlan{.bit_flip_chance = 0.6, .truncate_chance = 0.3};
+      const auto res = run_scenario(spec);
+      EXPECT_TRUE(res.contract_ok)
+          << protocol << " seed " << seed << " -> " << res.outcome;
+    }
+  }
+}
+
+TEST(FaultContract, ShrinkerFindsMinimalRepro) {
+  // A deliberately noisy failing cell: drops plus swaps plus bit flips.
+  ScenarioSpec spec;
+  spec.generator = "kdeg";
+  spec.protocol = "degeneracy";
+  spec.n = 32;
+  spec.seed = 5;
+  spec.faults = FaultPlan{
+      .bit_flip_chance = 0.2,
+      .correlated = CorrelatedFaults{.drop_fraction = 0.3,
+                                     .payload_swaps = 2}};
+  // "Failing" here means: loud *because a message went missing*. The
+  // shrinker must strip the irrelevant fault families and shrink n.
+  const auto still_fails = [](const ScenarioSpec& cand) {
+    const auto res = run_scenario(cand);
+    return res.outcome == "loud" && res.detail == "missing-message";
+  };
+  ASSERT_TRUE(still_fails(spec));
+  const ScenarioSpec minimal = shrink_scenario(spec, still_fails);
+  EXPECT_TRUE(still_fails(minimal));
+  EXPECT_EQ(minimal.n, 4u);
+  EXPECT_EQ(minimal.seed, 1u);
+  EXPECT_EQ(minimal.faults.bit_flip_chance, 0.0);
+  EXPECT_EQ(minimal.faults.correlated.payload_swaps, 0u);
+  EXPECT_GT(minimal.faults.correlated.drop_fraction, 0.0);
+}
+
+TEST(FaultContract, EpochSeparatesEveryCellAxis) {
+  // A stale replay between two cells differing in *any* grid axis must be
+  // detectable, so every axis that shapes the transcript feeds the epoch.
+  ScenarioSpec base;
+  base.generator = "gnp";
+  base.protocol = "stats";
+  base.n = 24;
+  base.k = 3;
+  base.p = 0.1;
+  base.seed = 1;
+  const auto epoch = scenario_epoch(base);
+  ScenarioSpec v = base;
+  v.generator = "kdeg";
+  EXPECT_NE(scenario_epoch(v), epoch) << "generator";
+  v = base;
+  v.protocol = "degeneracy";
+  EXPECT_NE(scenario_epoch(v), epoch) << "protocol";
+  v = base;
+  v.n = 25;
+  EXPECT_NE(scenario_epoch(v), epoch) << "n";
+  v = base;
+  v.k = 4;
+  EXPECT_NE(scenario_epoch(v), epoch) << "k";
+  v = base;
+  v.p = 0.3;  // p shapes gnp/bipartite transcripts: regression for the
+              // axis the epoch originally omitted
+  EXPECT_NE(scenario_epoch(v), epoch) << "p";
+  v = base;
+  v.seed = 2;
+  EXPECT_NE(scenario_epoch(v), epoch) << "seed";
+  // ...and the donor derivation lands on a different epoch too.
+  EXPECT_NE(scenario_epoch(stale_donor_spec(base)), epoch);
+}
+
+TEST(FaultContract, ShrinkerReturnsInputWhenItDoesNotFail) {
+  const ScenarioSpec spec = in_class_spec("degeneracy", 1);
+  const auto never = [](const ScenarioSpec&) { return false; };
+  const ScenarioSpec out = shrink_scenario(spec, never);
+  EXPECT_EQ(out.n, spec.n);
+  EXPECT_EQ(out.seed, spec.seed);
+}
+
+TEST(FaultContract, FailingCellJsonRecordIsAReproduciblePointer) {
+  // A failing cell's JSON row carries everything needed to re-run it:
+  // generator, spec_n, k, p, protocol, seed and the fault axes. Re-running
+  // the reconstructed spec reproduces outcome and detail bit for bit.
+  ScenarioSpec spec;
+  spec.generator = "tree";
+  spec.protocol = "forest";
+  spec.n = 24;
+  spec.seed = 3;
+  spec.faults =
+      FaultPlan{.correlated = CorrelatedFaults{.stale_replays = 2}};
+  const auto first = run_scenario(spec);
+  ASSERT_EQ(first.outcome, "loud");
+  ScenarioSpec rebuilt;  // ...as a consumer would, from the JSON fields
+  rebuilt.generator = "tree";
+  rebuilt.protocol = "forest";
+  rebuilt.n = 24;
+  rebuilt.seed = 3;
+  rebuilt.faults =
+      FaultPlan{.correlated = CorrelatedFaults{.stale_replays = 2}};
+  const auto again = run_scenario(rebuilt);
+  EXPECT_EQ(again.outcome, first.outcome);
+  EXPECT_EQ(again.detail, first.detail);
+  EXPECT_EQ(again.journal.events.size(), first.journal.events.size());
+}
+
+}  // namespace
+}  // namespace referee

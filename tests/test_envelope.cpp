@@ -1,0 +1,121 @@
+// Transcript envelope: seal/open is an identity on honest transcripts, and
+// every correlated-fault signature maps to its typed DecodeFault.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "model/envelope.hpp"
+#include "model/simulator.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+#include "support/bits.hpp"
+
+namespace referee {
+namespace {
+
+std::vector<Message> sealed_transcript(const Graph& g, std::uint64_t epoch) {
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  auto msgs = sim.run_local_phase(g, protocol);
+  seal_transcript(epoch, static_cast<std::uint32_t>(g.vertex_count()), msgs);
+  return msgs;
+}
+
+DecodeFault open_fault(std::uint64_t epoch, std::uint32_t n,
+                       std::span<const Message> msgs) {
+  try {
+    open_transcript(epoch, n, msgs);
+  } catch (const DecodeError& e) {
+    return e.fault();
+  }
+  ADD_FAILURE() << "open_transcript did not throw";
+  return DecodeFault::kUnspecified;
+}
+
+TEST(Envelope, SealOpenRoundTripsHonestTranscripts) {
+  Rng rng(11);
+  const Graph g = gen::random_k_degenerate(20, 2, rng);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  const auto payloads = sim.run_local_phase(g, protocol);
+  auto wire = payloads;
+  seal_transcript(77, 20, wire);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_GT(wire[i].bit_size(), payloads[i].bit_size());
+  }
+  const auto opened = open_transcript(77, 20, wire);
+  ASSERT_EQ(opened.size(), payloads.size());
+  for (std::size_t i = 0; i < opened.size(); ++i) {
+    EXPECT_EQ(opened[i], payloads[i]) << i;
+  }
+  // ...and the decoder agrees end to end.
+  EXPECT_EQ(protocol.reconstruct(20, opened), g);
+}
+
+TEST(Envelope, HeaderCostsTagPlusIdBits) {
+  BitWriter w;
+  w.write_bits(0b1011, 4);
+  const Message payload = Message::seal(std::move(w));
+  const Message sealed = seal_message(5, 3, 20, payload);
+  EXPECT_EQ(sealed.bit_size(),
+            payload.bit_size() + static_cast<std::size_t>(kEpochTagBits) +
+                static_cast<std::size_t>(log_budget_bits(20)));
+}
+
+TEST(Envelope, DroppedMessageIsMissingMessage) {
+  Rng rng(13);
+  const Graph g = gen::random_k_degenerate(16, 2, rng);
+  auto wire = sealed_transcript(g, 9);
+  wire[7] = Message();
+  EXPECT_EQ(open_fault(9, 16, wire), DecodeFault::kMissingMessage);
+}
+
+TEST(Envelope, SwappedPayloadsAreIdMismatch) {
+  Rng rng(17);
+  const Graph g = gen::random_k_degenerate(16, 2, rng);
+  auto wire = sealed_transcript(g, 9);
+  std::swap(wire[2], wire[11]);
+  EXPECT_EQ(open_fault(9, 16, wire), DecodeFault::kIdMismatch);
+}
+
+TEST(Envelope, DuplicateIdIsIdMismatch) {
+  Rng rng(19);
+  const Graph g = gen::random_k_degenerate(16, 2, rng);
+  auto wire = sealed_transcript(g, 9);
+  wire[11] = wire[2];  // two slots now claim id 3
+  EXPECT_EQ(open_fault(9, 16, wire), DecodeFault::kIdMismatch);
+}
+
+TEST(Envelope, CrossEpochMessageIsEpochMismatch) {
+  Rng rng(23);
+  const Graph g = gen::random_k_degenerate(16, 2, rng);
+  auto wire = sealed_transcript(g, 9);
+  const auto stale = sealed_transcript(g, 10);  // same cell, other epoch
+  wire[4] = stale[4];
+  EXPECT_EQ(open_fault(9, 16, wire), DecodeFault::kEpochMismatch);
+}
+
+TEST(Envelope, TruncationIntoHeaderIsTruncated) {
+  Rng rng(29);
+  const Graph g = gen::random_k_degenerate(16, 2, rng);
+  auto wire = sealed_transcript(g, 9);
+  wire[0].truncate(kEpochTagBits - 3);
+  EXPECT_EQ(open_fault(9, 16, wire), DecodeFault::kTruncated);
+}
+
+TEST(Envelope, WrongCountIsCountMismatch) {
+  Rng rng(31);
+  const Graph g = gen::random_k_degenerate(16, 2, rng);
+  auto wire = sealed_transcript(g, 9);
+  wire.pop_back();
+  EXPECT_EQ(open_fault(9, 16, wire), DecodeFault::kCountMismatch);
+}
+
+TEST(Envelope, TagFlipInHeaderIsLoud) {
+  Rng rng(37);
+  const Graph g = gen::random_k_degenerate(16, 2, rng);
+  auto wire = sealed_transcript(g, 9);
+  wire[3].flip_bit(5);  // inside the epoch tag
+  EXPECT_EQ(open_fault(9, 16, wire), DecodeFault::kEpochMismatch);
+}
+
+}  // namespace
+}  // namespace referee

@@ -161,5 +161,154 @@ TEST(FaultHandling, EmptyTranscriptRejectedEverywhere) {
                DecodeError);
 }
 
+// ----------------------------------------------------------- fault journal --
+// The injector reports *which* faults it applied, so tests assert
+// cause→effect instead of only observing outcomes.
+
+std::vector<Message> journal_fixture(std::size_t n = 24) {
+  Rng rng(593);
+  const Graph g =
+      gen::random_k_degenerate(n, 2, rng);
+  const Simulator sim;
+  return sim.run_local_phase(g, DegeneracyReconstruction(2));
+}
+
+TEST(FaultJournalTest, PerMessageFaultsAreJournaledExactly) {
+  auto msgs = journal_fixture();
+  const auto baseline = msgs;
+  const auto journal = Simulator::inject_faults(
+      msgs, FaultPlan{.bit_flip_chance = 0.5, .truncate_chance = 0.5,
+                      .seed = 101},
+      {});
+  ASSERT_FALSE(journal.empty());
+  // Every journaled event corresponds to an actually changed message and
+  // every untouched message is byte-identical to the baseline.
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    if (journal.touched(i)) {
+      EXPECT_FALSE(msgs[i] == baseline[i]) << i;
+    } else {
+      EXPECT_EQ(msgs[i], baseline[i]) << i;
+    }
+  }
+  for (const FaultEvent& e : journal.events) {
+    if (e.type == FaultType::kTruncate) {
+      EXPECT_EQ(msgs[e.index].bit_size(), e.detail);
+    }
+  }
+}
+
+TEST(FaultJournalTest, DropSubsetBlanksExactlyTheJournaledSlots) {
+  auto msgs = journal_fixture();
+  const auto journal = Simulator::inject_faults(
+      msgs,
+      FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.25},
+                .seed = 5},
+      {});
+  const auto drops = journal.count(FaultType::kDrop);
+  EXPECT_EQ(drops, 6u);  // round(0.25 * 24)
+  EXPECT_EQ(drops, journal.events.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(msgs[i].empty(), journal.touched(i)) << i;
+  }
+}
+
+TEST(FaultJournalTest, AnyPositiveDropFractionDropsAtLeastOne) {
+  auto msgs = journal_fixture();
+  const auto journal = Simulator::inject_faults(
+      msgs,
+      FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.001},
+                .seed = 5},
+      {});
+  EXPECT_EQ(journal.count(FaultType::kDrop), 1u);
+}
+
+TEST(FaultJournalTest, PayloadSwapsJournalDisjointPairs) {
+  auto msgs = journal_fixture();
+  const auto baseline = msgs;
+  const auto journal = Simulator::inject_faults(
+      msgs,
+      FaultPlan{.correlated = CorrelatedFaults{.payload_swaps = 3},
+                .seed = 7},
+      {});
+  ASSERT_EQ(journal.count(FaultType::kPayloadSwap), 3u);
+  std::vector<bool> seen(msgs.size(), false);
+  for (const FaultEvent& e : journal.events) {
+    ASSERT_LT(e.index, msgs.size());
+    ASSERT_LT(e.detail, msgs.size());
+    EXPECT_LT(e.index, e.detail);  // sampled subset pairs in sorted order
+    EXPECT_FALSE(seen[e.index]);
+    EXPECT_FALSE(seen[e.detail]);
+    seen[e.index] = seen[e.detail] = true;
+    EXPECT_EQ(msgs[e.index], baseline[e.detail]);
+    EXPECT_EQ(msgs[e.detail], baseline[e.index]);
+  }
+}
+
+TEST(FaultJournalTest, DuplicateIdsCopySourceOverDestination) {
+  auto msgs = journal_fixture();
+  const auto baseline = msgs;
+  const auto journal = Simulator::inject_faults(
+      msgs,
+      FaultPlan{.correlated = CorrelatedFaults{.duplicate_ids = 2},
+                .seed = 9},
+      {});
+  ASSERT_EQ(journal.count(FaultType::kDuplicateId), 2u);
+  for (const FaultEvent& e : journal.events) {
+    EXPECT_EQ(msgs[e.index], baseline[e.detail]);  // dst carries src's bytes
+    EXPECT_NE(e.index, e.detail);
+  }
+}
+
+TEST(FaultJournalTest, StaleReplaySplicesDonorSlots) {
+  auto msgs = journal_fixture();
+  auto donor = journal_fixture();
+  for (Message& m : donor) m.flip_bit(0);  // make the donor distinguishable
+  const auto journal = Simulator::inject_faults(
+      msgs,
+      FaultPlan{.correlated = CorrelatedFaults{.stale_replays = 4},
+                .seed = 11},
+      donor);
+  ASSERT_EQ(journal.count(FaultType::kStaleReplay), 4u);
+  for (const FaultEvent& e : journal.events) {
+    EXPECT_EQ(msgs[e.index], donor[e.index]);
+  }
+}
+
+TEST(FaultJournalTest, StaleReplayWithoutDonorIsRejected) {
+  auto msgs = journal_fixture();
+  EXPECT_THROW(
+      Simulator::inject_faults(
+          msgs,
+          FaultPlan{.correlated = CorrelatedFaults{.stale_replays = 1}}),
+      CheckError);
+}
+
+TEST(FaultJournalTest, CorrelatedFamiliesAreStreamIndependent) {
+  // Arming the swap family must not move the drop family's subset — the
+  // stream-alignment contract extended to the correlated models.
+  auto a = journal_fixture();
+  auto b = journal_fixture();
+  const auto ja = Simulator::inject_faults(
+      a,
+      FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.2},
+                .seed = 21},
+      {});
+  const auto jb = Simulator::inject_faults(
+      b,
+      FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.2,
+                                               .payload_swaps = 2},
+                .seed = 21},
+      {});
+  std::vector<std::size_t> drops_a;
+  std::vector<std::size_t> drops_b;
+  for (const auto& e : ja.events) {
+    if (e.type == FaultType::kDrop) drops_a.push_back(e.index);
+  }
+  for (const auto& e : jb.events) {
+    if (e.type == FaultType::kDrop) drops_b.push_back(e.index);
+  }
+  EXPECT_EQ(drops_a, drops_b);
+}
+
 }  // namespace
 }  // namespace referee

@@ -1,0 +1,121 @@
+// Golden-transcript regression fixtures: one cell per campaign protocol,
+// serialised byte-exactly and committed under tests/golden/. Any change to
+// a protocol's wire format — an encode tweak, a varint change, a sketch
+// layout change — fails this suite loudly, so wire-breaking diffs cannot
+// slip through review unnoticed.
+//
+// To regenerate after an *intentional* wire change:
+//   REFEREE_REGEN_GOLDEN=1 ctest -R golden
+// then commit the updated .hex files together with the code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "model/campaign.hpp"
+#include "model/envelope.hpp"
+#include "model/transcript.hpp"
+
+namespace referee {
+namespace {
+
+std::string hex_wrap(const std::string& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2 + bytes.size() / 32 + 2);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const auto b = static_cast<unsigned char>(bytes[i]);
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+    if ((i + 1) % 32 == 0) out.push_back('\n');
+  }
+  if (out.empty() || out.back() != '\n') out.push_back('\n');
+  return out;
+}
+
+std::string fixture_path(const std::string& name) {
+  return std::string(REFEREE_GOLDEN_DIR) + "/" + name + ".hex";
+}
+
+/// The pinned cell for a protocol: small, in-class, seed 1. Changing this
+/// spec also changes the fixture bytes — regenerate when you do.
+ScenarioSpec golden_spec(const std::string& protocol) {
+  ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.seed = 1;
+  if (protocol == "forest") {
+    spec.generator = "tree";
+  } else if (protocol == "bipartite" || protocol == "reduce-triangle") {
+    spec.generator = "bipartite";
+  } else if (protocol == "reduce-square") {
+    spec.generator = "squarefree";
+  } else if (protocol == "bounded-degree" || protocol == "stats" ||
+             protocol == "connectivity" || protocol == "reduce-diameter") {
+    spec.generator = "gnp";
+  } else {
+    spec.generator = "kdeg";
+  }
+  spec.n = protocol.rfind("reduce-", 0) == 0 ? 8 : 12;
+  return spec;
+}
+
+/// The payload transcript of the golden cell, as RFT1 bytes.
+std::string golden_transcript_bytes(const std::string& protocol,
+                                    bool enveloped) {
+  const ScenarioSpec spec = golden_spec(protocol);
+  const Graph g = make_campaign_graph(spec);
+  Transcript t;
+  t.n = static_cast<std::uint32_t>(g.vertex_count());
+  const Simulator sim;
+  t.messages = sim.run_local_phase(g, *make_campaign_protocol(spec, g));
+  if (enveloped) seal_transcript(scenario_epoch(spec), t.n, t.messages);
+  return transcript_to_string(t);
+}
+
+void check_golden(const std::string& name, const std::string& bytes) {
+  const std::string hex = hex_wrap(bytes);
+  const std::string path = fixture_path(name);
+  if (std::getenv("REFEREE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream os(path, std::ios::binary);
+    ASSERT_TRUE(os) << "cannot write " << path;
+    os << hex;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is) << "missing fixture " << path
+                  << " — run with REFEREE_REGEN_GOLDEN=1 and commit it";
+  std::ostringstream want;
+  want << is.rdbuf();
+  EXPECT_EQ(hex, want.str())
+      << "wire bytes of the '" << name << "' golden cell changed. If the "
+      << "format change is intentional, regenerate with "
+      << "REFEREE_REGEN_GOLDEN=1 and commit the new fixture.";
+}
+
+class GoldenTranscript : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenTranscript, PayloadBytesMatchFixture) {
+  check_golden(GetParam(), golden_transcript_bytes(GetParam(), false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, GoldenTranscript,
+    ::testing::ValuesIn(campaign_protocols()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(GoldenTranscriptEnvelope, SealedBytesMatchFixture) {
+  // Pins the envelope format itself (tag width, id width, header order)
+  // on top of one representative payload.
+  check_golden("envelope.degeneracy",
+               golden_transcript_bytes("degeneracy", true));
+}
+
+}  // namespace
+}  // namespace referee

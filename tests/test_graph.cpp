@@ -7,6 +7,7 @@
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 #include "graph/transforms.hpp"
+#include "model/local_view.hpp"
 
 namespace referee {
 namespace {
@@ -137,6 +138,81 @@ TEST(Csr, BulkConstructorRejectsBadEdges) {
   EXPECT_THROW(CsrGraph(5, loop), CheckError);
   const std::vector<Edge> oob{{1, 7}};
   EXPECT_THROW(CsrGraph(5, oob), CheckError);
+}
+
+TEST(Csr, BulkConstructorEmptyGraph) {
+  const CsrGraph none(0, {});
+  EXPECT_EQ(none.vertex_count(), 0u);
+  EXPECT_EQ(none.edge_count(), 0u);
+  const CsrGraph isolated(7, {});
+  EXPECT_EQ(isolated.vertex_count(), 7u);
+  EXPECT_EQ(isolated.edge_count(), 0u);
+  for (Vertex v = 0; v < 7; ++v) EXPECT_TRUE(isolated.neighbors(v).empty());
+}
+
+TEST(Csr, BulkConstructorSingleVertexAndSingleEdge) {
+  const CsrGraph one(1, {});
+  EXPECT_EQ(one.vertex_count(), 1u);
+  EXPECT_EQ(one.edge_count(), 0u);
+  EXPECT_TRUE(one.neighbors(0).empty());
+  const std::vector<Edge> e{{0, 1}};
+  const CsrGraph pair(2, e);
+  EXPECT_EQ(pair.edge_count(), 1u);
+  EXPECT_EQ(pair.degree(0), 1u);
+  EXPECT_EQ(pair.degree(1), 1u);
+}
+
+TEST(Csr, BulkConstructorDedupesBothOrientations) {
+  // {1,2} listed forwards, backwards and repeated must collapse to one
+  // undirected edge — the both-orientations case the row-local dedupe has
+  // to get right because each orientation lands in a different row pass.
+  const std::vector<Edge> edges{{1, 2}, {2, 1}, {1, 2}, {2, 1}, {0, 1}};
+  const CsrGraph c(4, edges);
+  EXPECT_EQ(c.edge_count(), 2u);
+  EXPECT_EQ(c.degree(0), 1u);
+  EXPECT_EQ(c.degree(1), 2u);
+  EXPECT_EQ(c.degree(2), 1u);
+  EXPECT_EQ(c.degree(3), 0u);
+}
+
+TEST(Csr, LocalViewPackBuiltFromCsrMatchesGraphPack) {
+  Rng rng(313);
+  const Graph g = gen::gnp(24, 0.2, rng);
+  const CsrGraph csr(g);
+  const LocalViewPack from_graph(g);
+  const LocalViewPack from_csr(csr);
+  ASSERT_EQ(from_csr.size(), from_graph.size());
+  for (Vertex v = 0; v < from_graph.n(); ++v) {
+    const auto a = from_graph.view(v);
+    const auto b = from_csr.view(v);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.n, b.n);
+    ASSERT_EQ(a.neighbor_ids.size(), b.neighbor_ids.size()) << v;
+    EXPECT_TRUE(std::equal(a.neighbor_ids.begin(), a.neighbor_ids.end(),
+                           b.neighbor_ids.begin()))
+        << v;
+  }
+}
+
+TEST(Csr, LocalViewPackFromBulkLoadedEdgeListSkipsGraphEntirely) {
+  // The campaign-scale path: raw (noisy) edge list -> CSR -> view pack,
+  // no vector-of-vectors Graph in between.
+  Rng rng(317);
+  const Graph g = gen::gnp(20, 0.25, rng);
+  auto edges = g.edges();
+  std::vector<Edge> noisy(edges.rbegin(), edges.rend());
+  noisy.push_back(edges.front());  // duplicate
+  const CsrGraph csr(20, noisy);
+  const LocalViewPack pack(csr);
+  const LocalViewPack reference(g);
+  for (Vertex v = 0; v < 20; ++v) {
+    const auto a = reference.view(v);
+    const auto b = pack.view(v);
+    ASSERT_EQ(a.neighbor_ids.size(), b.neighbor_ids.size()) << v;
+    EXPECT_TRUE(std::equal(a.neighbor_ids.begin(), a.neighbor_ids.end(),
+                           b.neighbor_ids.begin()))
+        << v;
+  }
 }
 
 TEST(Io, EdgeListRoundTrip) {

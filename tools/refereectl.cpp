@@ -22,9 +22,15 @@
 //   capture --k K --out FILE     run the local phase, save the transcript
 //   decode-transcript --k K --in FILE   referee decode, offline
 //   campaign [--generators a,b] [--sizes 24,48] [--protocols x,y]
-//            [--seeds N] [--flips 0,0.01] [--truncs 0] [--k K] [--p P]
-//            [--threads T] [--json] [--out FILE]
-//            run a scenario grid; deterministic (same flags -> same bytes)
+//            [--seeds N] [--seed-list 5,9] [--flips 0,0.01] [--truncs 0]
+//            [--drops 0,0.25] [--dups 0,2] [--swaps 0,2] [--stales 0,2]
+//            [--k K] [--p P] [--threads T] [--json] [--out FILE]
+//            [--fault-sweep]
+//            run a scenario grid; deterministic (same flags -> same bytes).
+//            Fault-plan axes take the cartesian product; --fault-sweep
+//            runs the default 128-cell correlated-fault contract sweep.
+//            To reproduce one failing cell from its JSON record, feed the
+//            row's fields back as single-valued axes (see README).
 //   selftest                     quick end-to-end sanity run
 #include <algorithm>
 #include <cstdio>
@@ -390,6 +396,7 @@ std::vector<std::string> split_list(const std::string& csv) {
 
 int cmd_campaign(const Options& opts) {
   CampaignConfig config;
+  if (opts.has("fault-sweep")) config = default_fault_sweep_config();
   if (opts.has("generators")) config.generators = split_list(opts.str("generators", ""));
   if (opts.has("protocols")) config.protocols = split_list(opts.str("protocols", ""));
   if (opts.has("sizes")) {
@@ -404,23 +411,64 @@ int cmd_campaign(const Options& opts) {
       config.seeds.push_back(s);
     }
   }
+  if (opts.has("seed-list")) {
+    config.seeds.clear();
+    for (const auto& s : split_list(opts.str("seed-list", ""))) {
+      config.seeds.push_back(std::stoull(s));
+    }
+  }
   config.k = static_cast<unsigned>(opts.num("k", config.k));
   config.p = opts.real("p", config.p);
-  std::vector<double> flips{0.0};
-  std::vector<double> truncs{0.0};
-  if (opts.has("flips")) {
-    flips.clear();
-    for (const auto& s : split_list(opts.str("flips", ""))) flips.push_back(std::stod(s));
-  }
-  if (opts.has("truncs")) {
-    truncs.clear();
-    for (const auto& s : split_list(opts.str("truncs", ""))) truncs.push_back(std::stod(s));
-  }
-  config.fault_plans.clear();
-  for (const double flip : flips) {
-    for (const double trunc : truncs) {
-      config.fault_plans.push_back(
-          FaultPlan{.bit_flip_chance = flip, .truncate_chance = trunc});
+  const auto real_axis = [&](const char* key) {
+    std::vector<double> values{0.0};
+    if (opts.has(key)) {
+      values.clear();
+      for (const auto& s : split_list(opts.str(key, ""))) {
+        values.push_back(std::stod(s));
+      }
+    }
+    return values;
+  };
+  const auto count_axis = [&](const char* key) {
+    std::vector<unsigned> values{0};
+    if (opts.has(key)) {
+      values.clear();
+      for (const auto& s : split_list(opts.str(key, ""))) {
+        values.push_back(static_cast<unsigned>(std::stoul(s)));
+      }
+    }
+    return values;
+  };
+  const auto flips = real_axis("flips");
+  const auto truncs = real_axis("truncs");
+  const auto drops = real_axis("drops");
+  const auto dups = count_axis("dups");
+  const auto swaps = count_axis("swaps");
+  const auto stales = count_axis("stales");
+  const bool any_fault_axis = opts.has("flips") || opts.has("truncs") ||
+                              opts.has("drops") || opts.has("dups") ||
+                              opts.has("swaps") || opts.has("stales");
+  if (any_fault_axis || !opts.has("fault-sweep")) {
+    config.fault_plans.clear();
+    for (const double flip : flips) {
+      for (const double trunc : truncs) {
+        for (const double drop : drops) {
+          for (const unsigned dup : dups) {
+            for (const unsigned swap : swaps) {
+              for (const unsigned stale : stales) {
+                config.fault_plans.push_back(FaultPlan{
+                    .bit_flip_chance = flip,
+                    .truncate_chance = trunc,
+                    .correlated =
+                        CorrelatedFaults{.drop_fraction = drop,
+                                         .duplicate_ids = dup,
+                                         .payload_swaps = swap,
+                                         .stale_replays = stale}});
+              }
+            }
+          }
+        }
+      }
     }
   }
 
