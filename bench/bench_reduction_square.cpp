@@ -8,6 +8,8 @@
 // paper states as k(2n).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "graph/generators.hpp"
 #include "graph/subgraphs.hpp"
 #include "model/simulator.hpp"
@@ -45,12 +47,18 @@ void BM_SquareReductionFull(benchmark::State& state) {
   const Graph g = gen::random_square_free(n, 30 * n, rng);
   const SquareReduction delta(make_square_oracle());
   const Simulator sim;
+  reset_reduction_referee_encodes();
   for (auto _ : state) {
     const Graph h = sim.run_reconstruction(g, delta);
     REFEREE_CHECK_MSG(h == g, "Δ failed to reconstruct G");
   }
   state.counters["n"] = static_cast<double>(n);
   state.counters["gamma_calls"] = static_cast<double>(n * (n - 1) / 2);
+  // Referee-phase Γ^l evaluations per reconstruct: n cached pendant
+  // defaults plus the two irreducible pair-dependent pendants per pair.
+  state.counters["referee_encodes"] = static_cast<double>(
+      reduction_referee_encodes() / std::max<std::uint64_t>(
+                                        1, state.iterations()));
 }
 
 void BM_SquareMessageRatio(benchmark::State& state) {

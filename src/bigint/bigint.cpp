@@ -59,6 +59,16 @@ BigInt& BigInt::operator*=(const BigInt& rhs) {
   return *this;
 }
 
+void BigInt::div_exact_u64(std::uint64_t d) {
+  REFEREE_CHECK_MSG(d != 0, "division by zero");
+  const std::uint64_t rem = magnitude_.div_small(d);
+  if (rem != 0) {
+    throw DecodeError(DecodeFault::kInconsistent,
+                      "BigInt::div_exact_u64: inexact division");
+  }
+  if (magnitude_.is_zero()) negative_ = false;
+}
+
 BigInt BigInt::div_exact(const BigInt& rhs) const {
   REFEREE_CHECK_MSG(!rhs.is_zero(), "division by zero");
   const auto dm = magnitude_.divmod(rhs.magnitude_);

@@ -42,9 +42,48 @@ class BigInt {
     return r;
   }
 
+  /// In-place reset keeping magnitude limb capacity (the arena idiom; the
+  /// assignment `x = BigInt(v)` frees and reallocates).
+  void assign_i64(std::int64_t v) {
+    negative_ = v < 0;
+    magnitude_.assign_u64(v < 0 ? static_cast<std::uint64_t>(-(v + 1)) + 1
+                                : static_cast<std::uint64_t>(v));
+  }
+  /// In-place sign flip (operator- copies the magnitude).
+  void negate() {
+    if (!is_zero()) negative_ = !negative_;
+  }
+
   BigInt& operator+=(const BigInt& rhs);
   BigInt& operator-=(const BigInt& rhs) { return *this += -rhs; }
   BigInt& operator*=(const BigInt& rhs);
+
+  /// Multiply by a machine word in place — one carry pass, no temporaries.
+  BigInt& mul_u64(std::uint64_t m) {
+    magnitude_.mul_u64(m);
+    if (magnitude_.is_zero()) negative_ = false;
+    return *this;
+  }
+
+  /// out = a * b into out's existing storage; out must not alias a or b.
+  static void mul_into(const BigInt& a, const BigInt& b, BigInt& out) {
+    BigUInt::mul_into(a.magnitude_, b.magnitude_, out.magnitude_);
+    out.negative_ =
+        !out.magnitude_.is_zero() && (a.negative_ != b.negative_);
+  }
+
+  /// out = a * m for an unsigned magnitude m — skips the BigUInt copy a
+  /// `BigInt(m)` wrapper would make (power sums arrive as BigUInt).
+  static void mul_into(const BigInt& a, const BigUInt& m, BigInt& out) {
+    BigUInt::mul_into(a.magnitude_, m, out.magnitude_);
+    out.negative_ = !out.magnitude_.is_zero() && a.negative_;
+  }
+
+  /// Exact in-place division by a machine word; throws DecodeError on a
+  /// remainder (same contract as div_exact). Newton's identities only ever
+  /// divide by the small index i, so the decode path never needs the
+  /// allocating general form.
+  void div_exact_u64(std::uint64_t d);
   friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
   friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
   friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }

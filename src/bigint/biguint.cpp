@@ -106,6 +106,48 @@ BigUInt& BigUInt::operator*=(const BigUInt& rhs) {
   return *this;
 }
 
+BigUInt& BigUInt::mul_u64(std::uint64_t m) {
+  if (m == 0 || is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  u64 carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u128 cur = static_cast<u128>(limbs_[i]) * m + carry;
+    limbs_[i] = static_cast<u64>(cur);
+    carry = static_cast<u64>(cur >> 64);
+  }
+  if (carry) limbs_.push_back(carry);
+  return *this;
+}
+
+void BigUInt::mul_into(const BigUInt& a, const BigUInt& b, BigUInt& out) {
+  REFEREE_DCHECK(&out != &a && &out != &b);
+  if (a.is_zero() || b.is_zero()) {
+    out.limbs_.clear();
+    return;
+  }
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    u64 carry = 0;
+    const u128 ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const u128 cur =
+          static_cast<u128>(out.limbs_[i + j]) + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    std::size_t pos = i + b.limbs_.size();
+    while (carry) {
+      const u128 cur = static_cast<u128>(out.limbs_[pos]) + carry;
+      out.limbs_[pos] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+      ++pos;
+    }
+  }
+  out.trim();
+}
+
 std::uint64_t BigUInt::div_small(std::uint64_t divisor) {
   REFEREE_CHECK_MSG(divisor != 0, "division by zero");
   u128 rem = 0;
@@ -226,18 +268,22 @@ void BigUInt::write(BitWriter& w) const {
 }
 
 BigUInt BigUInt::read(BitReader& r) {
+  BigUInt out;
+  out.read_from(r);
+  return out;
+}
+
+void BigUInt::read_from(BitReader& r) {
   const u64 bits = read_delta0(r);
   if (bits > (u64{1} << 30)) throw DecodeError(DecodeFault::kMalformed,
                       "BigUInt: absurd bit length");
-  BigUInt out;
-  out.limbs_.assign((static_cast<std::size_t>(bits) + 63) / 64, 0);
+  limbs_.assign((static_cast<std::size_t>(bits) + 63) / 64, 0);
   for (u64 b = 0; b < bits; ++b) {
-    if (r.read_bit()) out.limbs_[b / 64] |= (u64{1} << (b % 64));
+    if (r.read_bit()) limbs_[b / 64] |= (u64{1} << (b % 64));
   }
-  out.trim();
-  if (out.bit_length() != bits) throw DecodeError(DecodeFault::kMalformed,
+  trim();
+  if (bit_length() != bits) throw DecodeError(DecodeFault::kMalformed,
                       "BigUInt: non-canonical");
-  return out;
 }
 
 std::size_t BigUInt::encoded_bits() const {

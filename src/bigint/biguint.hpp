@@ -31,6 +31,14 @@ class BigUInt {
   bool fits_u64() const { return limbs_.size() <= 1; }
   std::uint64_t to_u64() const;  // throws if it does not fit
 
+  /// In-place reset to a 64-bit value, keeping limb capacity. The decode
+  /// arena's reset idiom: `x = BigUInt(v)` frees and reallocates the limb
+  /// vector, assign_u64 does not.
+  void assign_u64(std::uint64_t v) {
+    limbs_.clear();
+    if (v != 0) limbs_.push_back(v);
+  }
+
   /// Number of bits in the binary representation (0 for zero).
   std::size_t bit_length() const;
 
@@ -41,6 +49,16 @@ class BigUInt {
   BigUInt& operator+=(const BigUInt& rhs);
   BigUInt& operator-=(const BigUInt& rhs);
   BigUInt& operator*=(const BigUInt& rhs);
+
+  /// Multiply by a machine word in place: one carry pass, no temporary limb
+  /// vector (the general operator*= allocates its product buffer). This is
+  /// what power-sum maintenance in the decode hot path runs on.
+  BigUInt& mul_u64(std::uint64_t m);
+
+  /// out = a * b, written into out's existing limb storage (grow-only).
+  /// `out` must not alias `a` or `b`. The allocation-free form of the
+  /// schoolbook product for arena-managed temporaries.
+  static void mul_into(const BigUInt& a, const BigUInt& b, BigUInt& out);
   friend BigUInt operator+(BigUInt a, const BigUInt& b) { return a += b; }
   friend BigUInt operator-(BigUInt a, const BigUInt& b) { return a -= b; }
   friend BigUInt operator*(BigUInt a, const BigUInt& b) { return a *= b; }
@@ -71,6 +89,10 @@ class BigUInt {
   /// Serialise as delta(bit_length+1) then the raw bits, LSB-first.
   void write(BitWriter& w) const;
   static BigUInt read(BitReader& r);
+  /// In-place deserialisation: same wire format and checks as read(), but
+  /// reuses this value's limb storage (the arena path for transcript
+  /// parsing).
+  void read_from(BitReader& r);
   /// Exact number of bits write() will produce.
   std::size_t encoded_bits() const;
 

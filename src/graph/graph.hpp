@@ -64,6 +64,16 @@ class Graph {
   /// Appends `count` isolated vertices; returns the index of the first one.
   Vertex add_vertices(std::size_t count);
 
+  /// Reset to n isolated vertices, keeping each adjacency row's capacity.
+  /// The reuse hook for referees that decode a fresh graph per query from
+  /// pooled storage (e.g. the reduction oracles' per-pair decide calls).
+  void reset(std::size_t n) {
+    if (adj_.size() > n) adj_.resize(n);
+    for (auto& row : adj_) row.clear();
+    adj_.resize(n);
+    edge_count_ = 0;
+  }
+
   /// All edges, sorted lexicographically.
   std::vector<Edge> edges() const;
 

@@ -12,7 +12,15 @@ namespace referee {
 
 class UnionFind {
  public:
-  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), sets_(n) {
+  UnionFind() = default;
+  explicit UnionFind(std::size_t n) { reset(n); }
+
+  /// Re-initialise to n singleton sets, reusing the backing vectors — the
+  /// arena idiom for referees that run one union-find per decode.
+  void reset(std::size_t n) {
+    parent_.resize(n);
+    size_.assign(n, 1);
+    sets_ = n;
     std::iota(parent_.begin(), parent_.end(), std::size_t{0});
   }
 
@@ -47,7 +55,7 @@ class UnionFind {
  private:
   std::vector<std::size_t> parent_;
   std::vector<std::size_t> size_;
-  std::size_t sets_;
+  std::size_t sets_ = 0;
 };
 
 }  // namespace referee

@@ -109,13 +109,16 @@ namespace {
 /// refusals; returns "exact"/"correct"/"silent-wrong" otherwise.
 std::string classify_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
                           const Graph& g, std::uint32_t n,
-                          std::span<const Message> payloads) {
+                          std::span<const Message> payloads,
+                          DecodeArena& arena) {
   if (const auto* rp = dynamic_cast<const ReconstructionProtocol*>(&enc)) {
-    const Graph h = rp->reconstruct(n, payloads);
+    const Graph h = rp->reconstruct(n, payloads, arena);
     return (h == g) ? "exact" : "silent-wrong";
   }
   if (spec.protocol == "stats") {
-    const auto degrees = DegreeStatistics::degree_sequence(n, payloads);
+    auto degrees_s = arena.scratch<std::uint32_t>();
+    DegreeStatistics::degree_sequence_into(n, payloads, *degrees_s);
+    const std::span<const std::uint32_t> degrees(degrees_s->data(), n);
     const bool correct =
         DegreeStatistics::edge_count(degrees) == g.edge_count() &&
         DegreeStatistics::max_degree(degrees) == g.max_degree();
@@ -133,11 +136,11 @@ std::string classify_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
   } else {
     throw CheckError("no ground truth for protocol: " + spec.protocol);
   }
-  return dp->decide(n, payloads) == truth ? "correct" : "silent-wrong";
+  return dp->decide(n, payloads, arena) == truth ? "correct" : "silent-wrong";
 }
 
 ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
-                       std::vector<Message>& arena) {
+                       std::vector<Message>& transcript, DecodeArena& arena) {
   ScenarioResult res;
   const Graph g = make_campaign_graph(spec);
   const auto n = static_cast<std::uint32_t>(g.vertex_count());
@@ -149,12 +152,12 @@ ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
 
   try {
     const auto protocol = make_campaign_protocol(spec, g);
-    sim.run_local_phase(views, *protocol, arena);
+    sim.run_local_phase(views, *protocol, transcript);
     // Frugality is a statement about the protocol's payload; the envelope
     // (epoch tag + sender id, O(log n) bits) is delivery substrate and is
     // audited out.
-    res.report = audit_frugality(n, arena);
-    seal_transcript(epoch, n, arena);
+    res.report = audit_frugality(n, transcript);
+    seal_transcript(epoch, n, transcript);
 
     std::vector<Message> donor;
     if (plan.correlated.stale_replays > 0) {
@@ -164,10 +167,13 @@ ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
       seal_transcript(scenario_epoch(dspec),
                       static_cast<std::uint32_t>(dg.vertex_count()), donor);
     }
-    res.journal = Simulator::inject_faults(arena, plan, donor);
+    res.journal = Simulator::inject_faults(transcript, plan, donor);
 
-    const std::vector<Message> payloads = open_transcript(epoch, n, arena);
-    res.outcome = classify_cell(spec, *protocol, g, n, payloads);
+    auto payloads_s = arena.scratch<Message>();
+    open_transcript_into(epoch, n, transcript, arena, *payloads_s);
+    res.outcome = classify_cell(
+        spec, *protocol, g, n,
+        std::span<const Message>(payloads_s->data(), n), arena);
   } catch (const DecodeError& e) {
     res.outcome = "loud";
     res.detail = decode_fault_name(e.fault());
@@ -219,8 +225,8 @@ ScenarioSpec stale_donor_spec(const ScenarioSpec& spec) {
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   const Simulator sim;
-  std::vector<Message> arena;
-  return run_one(spec, sim, arena);
+  std::vector<Message> transcript;
+  return run_one(spec, sim, transcript, DecodeArena::for_current_thread());
 }
 
 ScenarioSpec shrink_scenario(
@@ -391,9 +397,13 @@ std::vector<ScenarioResult> CampaignRunner::run(
   maybe_parallel_for_chunks(
       pool_, 0, grid.size(),
       [&](std::size_t lo, std::size_t hi) {
-        std::vector<Message> arena;  // reused across the chunk's scenarios
+        std::vector<Message> transcript;  // reused across the chunk's cells
+        // Decode scratch is owned per pool thread: the thread_local arena
+        // stays warm across chunks, campaigns and sweeps on that worker, so
+        // after the first cells the whole global phase stops allocating.
+        DecodeArena& arena = DecodeArena::for_current_thread();
         for (std::size_t i = lo; i < hi; ++i) {
-          results[i] = run_one(grid[i], inner, arena);
+          results[i] = run_one(grid[i], inner, transcript, arena);
         }
       },
       /*serial_cutoff=*/2);

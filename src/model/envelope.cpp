@@ -46,6 +46,15 @@ void seal_transcript(std::uint64_t epoch, std::uint32_t n,
 
 std::vector<Message> open_transcript(std::uint64_t epoch, std::uint32_t n,
                                      std::span<const Message> messages) {
+  std::vector<Message> payloads;
+  open_transcript_into(epoch, n, messages, DecodeArena::for_current_thread(),
+                       payloads);
+  return payloads;
+}
+
+void open_transcript_into(std::uint64_t epoch, std::uint32_t n,
+                          std::span<const Message> messages,
+                          DecodeArena& arena, std::vector<Message>& out) {
   if (messages.size() != n) {
     throw DecodeError(DecodeFault::kCountMismatch,
                       "expected one message per node, got " +
@@ -54,7 +63,10 @@ std::vector<Message> open_transcript(std::uint64_t epoch, std::uint32_t n,
   }
   const int id_bits = log_budget_bits(n);
   const std::uint64_t tag = epoch_tag(epoch);
-  std::vector<Message> payloads(n);
+  grow_to(out, n);
+  auto writer_s = arena.scratch<BitWriter>();
+  grow_to(*writer_s, 1);
+  BitWriter& w = (*writer_s)[0];
   for (std::uint32_t i = 0; i < n; ++i) {
     if (messages[i].empty()) {
       throw DecodeError(DecodeFault::kMissingMessage,
@@ -78,11 +90,10 @@ std::vector<Message> open_transcript(std::uint64_t epoch, std::uint32_t n,
                             std::to_string(got_id) +
                             " (duplicate or swapped payload)");
     }
-    BitWriter w;
+    w.clear();
     copy_bits(r, w);
-    payloads[i] = Message::seal(std::move(w));
+    out[i].assign(w);
   }
-  return payloads;
 }
 
 }  // namespace referee

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "model/message.hpp"
+#include "support/arena.hpp"
 
 namespace referee {
 
@@ -53,5 +54,12 @@ void seal_transcript(std::uint64_t epoch, std::uint32_t n,
 /// Throws typed DecodeError on any violation (see header comment).
 std::vector<Message> open_transcript(std::uint64_t epoch, std::uint32_t n,
                                      std::span<const Message> messages);
+
+/// Arena form: payloads land in the first n slots of `out` (grow-only
+/// pooled storage, byte buffers reused) — the campaign cell pipeline's
+/// zero-allocation open.
+void open_transcript_into(std::uint64_t epoch, std::uint32_t n,
+                          std::span<const Message> messages,
+                          DecodeArena& arena, std::vector<Message>& out);
 
 }  // namespace referee

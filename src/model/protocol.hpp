@@ -15,6 +15,7 @@
 #include "graph/graph.hpp"
 #include "model/local_view.hpp"
 #include "model/message.hpp"
+#include "support/arena.hpp"
 
 namespace referee {
 
@@ -49,17 +50,33 @@ class LocalEncoder {
 /// Reconstruction throws DecodeError when the message vector is not
 /// consistent with any graph in the protocol's class (never silently
 /// returns a wrong graph).
+///
+/// The referee signature threads a DecodeArena: every implementation draws
+/// its decode scratch (power-sum tables, candidate sets, framed
+/// sub-messages) from the arena, so a caller that keeps one arena per
+/// worker thread — the campaign runner — decodes with zero steady-state
+/// heap allocations. The two-argument overload serves call sites that do
+/// not manage arenas by borrowing the calling thread's.
 class ReconstructionProtocol : public LocalEncoder {
  public:
-  virtual Graph reconstruct(std::uint32_t n,
-                            std::span<const Message> messages) const = 0;
+  virtual Graph reconstruct(std::uint32_t n, std::span<const Message> messages,
+                            DecodeArena& arena) const = 0;
+
+  Graph reconstruct(std::uint32_t n, std::span<const Message> messages) const {
+    return reconstruct(n, messages, DecodeArena::for_current_thread());
+  }
 };
 
-/// A protocol whose referee answers a yes/no question about G.
+/// A protocol whose referee answers a yes/no question about G. Arena
+/// threading as in ReconstructionProtocol.
 class DecisionProtocol : public LocalEncoder {
  public:
-  virtual bool decide(std::uint32_t n,
-                      std::span<const Message> messages) const = 0;
+  virtual bool decide(std::uint32_t n, std::span<const Message> messages,
+                      DecodeArena& arena) const = 0;
+
+  bool decide(std::uint32_t n, std::span<const Message> messages) const {
+    return decide(n, messages, DecodeArena::for_current_thread());
+  }
 };
 
 }  // namespace referee

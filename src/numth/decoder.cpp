@@ -9,14 +9,28 @@ namespace referee {
 std::vector<NodeId> NewtonDecoder::decode(
     unsigned degree, std::span<const BigUInt> sums,
     std::span<const NodeId> candidates) const {
-  if (degree == 0) return {};
+  std::vector<NodeId> out;
+  decode_into(degree, sums, candidates, DecodeArena::for_current_thread(),
+              out);
+  return out;
+}
+
+void NewtonDecoder::decode_into(unsigned degree,
+                                std::span<const BigUInt> sums,
+                                std::span<const NodeId> candidates,
+                                DecodeArena& arena,
+                                std::vector<NodeId>& out) const {
+  out.clear();
+  if (degree == 0) return;
   if (sums.size() < degree) {
     throw DecodeError(DecodeFault::kInconsistent,
                       "newton decode: fewer sums than degree");
   }
-  const auto elementary =
-      elementary_from_power_sums(sums.subspan(0, degree));
-  return roots_among(elementary, candidates);
+  auto elementary_s = arena.scratch<BigInt>();
+  elementary_from_power_sums_into(sums.subspan(0, degree), arena,
+                                  *elementary_s);
+  roots_among_into(std::span<const BigInt>(elementary_s->data(), degree),
+                   candidates, arena, out);
 }
 
 namespace {
@@ -36,14 +50,34 @@ SmallNewtonDecoder::SmallNewtonDecoder(std::uint32_t n, unsigned k)
 std::vector<NodeId> SmallNewtonDecoder::decode(
     unsigned degree, std::span<const BigUInt> sums,
     std::span<const NodeId> candidates) const {
-  if (degree == 0) return {};
+  std::vector<NodeId> out;
+  decode_into(degree, sums, candidates, DecodeArena::for_current_thread(),
+              out);
+  return out;
+}
+
+void SmallNewtonDecoder::decode_into(unsigned degree,
+                                     std::span<const BigUInt> sums,
+                                     std::span<const NodeId> candidates,
+                                     DecodeArena& arena,
+                                     std::vector<NodeId>& out) const {
+  out.clear();
+  if (degree == 0) return;
   if (sums.size() < degree) {
     throw DecodeError(DecodeFault::kInconsistent,
                       "newton-u64 decode: fewer sums than degree");
   }
+  // One i128 scratch block holds p | e | c | b back to back — the bump-
+  // allocator layout for the whole native decode.
+  auto block_s = arena.scratch<i128>();
+  std::vector<i128>& block = *block_s;
+  grow_to(block, 4 * (static_cast<std::size_t>(degree) + 1));
+  i128* const p = block.data();
+  i128* const e = p + degree + 1;
+  i128* const c = e + degree + 1;
+  i128* const b = c + degree + 1;
   // Power sums as native integers (they fit by the constructor guard; a
   // corrupt message that does not fit is just as corrupt either way).
-  std::vector<i128> p(degree);
   for (unsigned i = 0; i < degree; ++i) {
     if (!sums[i].fits_u64()) {
       throw DecodeError(DecodeFault::kInconsistent,
@@ -52,7 +86,6 @@ std::vector<NodeId> SmallNewtonDecoder::decode(
     p[i] = static_cast<i128>(sums[i].to_u64());
   }
   // Newton's identities in i128: i*e_i = Σ (−1)^{j−1} e_{i−j} p_j.
-  std::vector<i128> e(degree + 1);
   e[0] = 1;
   for (unsigned i = 1; i <= degree; ++i) {
     i128 acc = 0;
@@ -67,31 +100,27 @@ std::vector<NodeId> SmallNewtonDecoder::decode(
     e[i] = acc / static_cast<i128>(i);
   }
   // Monic coefficients c_j = (−1)^j e_j; root scan with synthetic division.
-  std::vector<i128> c(degree + 1);
   for (unsigned j = 0; j <= degree; ++j) {
     c[j] = (j % 2 == 0) ? e[j] : -e[j];
   }
-  std::vector<NodeId> roots;
-  roots.reserve(degree);
-  std::vector<i128> b(degree + 1);
+  std::size_t live = static_cast<std::size_t>(degree) + 1;
   for (const NodeId r : candidates) {
-    if (roots.size() == degree) break;
+    if (out.size() == degree) break;
     i128 carry = c[0];
-    for (std::size_t j = 1; j < c.size(); ++j) {
+    for (std::size_t j = 1; j < live; ++j) {
       b[j - 1] = carry;
       carry = c[j] + carry * static_cast<i128>(r);
     }
     if (carry == 0) {
-      roots.push_back(r);
-      c.pop_back();
-      for (std::size_t j = 0; j < c.size(); ++j) c[j] = b[j];
+      out.push_back(r);
+      --live;
+      for (std::size_t j = 0; j < live; ++j) c[j] = b[j];
     }
   }
-  if (roots.size() != degree) {
+  if (out.size() != degree) {
     throw DecodeError(DecodeFault::kInconsistent,
                       "newton-u64 decode: missing roots");
   }
-  return roots;
 }
 
 std::vector<NodeId> TableDecoder::decode(

@@ -16,6 +16,7 @@
 #include "bigint/biguint.hpp"
 #include "model/local_view.hpp"
 #include "numth/lookup.hpp"
+#include "support/arena.hpp"
 
 namespace referee {
 
@@ -33,6 +34,17 @@ class NeighborhoodDecoder {
   virtual std::vector<NodeId> decode(
       unsigned degree, std::span<const BigUInt> sums,
       std::span<const NodeId> candidates) const = 0;
+
+  /// Arena form: ids are written into `out` (cleared first), scratch comes
+  /// from `arena`. The algebraic decoders override this with genuinely
+  /// allocation-free implementations; the base version wraps decode() for
+  /// strategies (like the Lemma 3 table) whose queries allocate anyway.
+  virtual void decode_into(unsigned degree, std::span<const BigUInt> sums,
+                           std::span<const NodeId> candidates, DecodeArena&,
+                           std::vector<NodeId>& out) const {
+    const auto ids = decode(degree, sums, candidates);
+    out.assign(ids.begin(), ids.end());
+  }
 };
 
 /// Table-free decoder: Newton's identities then synthetic-division roots.
@@ -41,6 +53,9 @@ class NewtonDecoder final : public NeighborhoodDecoder {
   std::string name() const override { return "newton"; }
   std::vector<NodeId> decode(unsigned degree, std::span<const BigUInt> sums,
                              std::span<const NodeId> candidates) const override;
+  void decode_into(unsigned degree, std::span<const BigUInt> sums,
+                   std::span<const NodeId> candidates, DecodeArena& arena,
+                   std::vector<NodeId>& out) const override;
 };
 
 /// 64-bit fast path of the Newton decoder: when k·n^k fits comfortably in a
@@ -56,6 +71,9 @@ class SmallNewtonDecoder final : public NeighborhoodDecoder {
   std::string name() const override { return "newton-u64"; }
   std::vector<NodeId> decode(unsigned degree, std::span<const BigUInt> sums,
                              std::span<const NodeId> candidates) const override;
+  void decode_into(unsigned degree, std::span<const BigUInt> sums,
+                   std::span<const NodeId> candidates, DecodeArena& arena,
+                   std::vector<NodeId>& out) const override;
 
  private:
   std::uint32_t n_;

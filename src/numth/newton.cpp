@@ -21,6 +21,32 @@ std::vector<BigInt> elementary_from_power_sums(std::span<const BigUInt> p) {
   return e;
 }
 
+void elementary_from_power_sums_into(std::span<const BigUInt> p,
+                                     DecodeArena& arena,
+                                     std::vector<BigInt>& out) {
+  const std::size_t d = p.size();
+  static const BigInt kOne(1);
+  grow_to(out, d);
+  auto acc_s = arena.scratch<BigInt>();
+  grow_to(*acc_s, 2);
+  BigInt& acc = (*acc_s)[0];
+  BigInt& term = (*acc_s)[1];
+  // e_0 = 1 is implicit: out[i-1] holds e_i.
+  const auto e_at = [&](std::size_t i) -> const BigInt& {
+    return i == 0 ? kOne : out[i - 1];
+  };
+  for (std::size_t i = 1; i <= d; ++i) {
+    acc.assign_i64(0);
+    for (std::size_t j = 1; j <= i; ++j) {
+      BigInt::mul_into(e_at(i - j), p[j - 1], term);
+      if (j % 2 == 0) term.negate();
+      acc += term;
+    }
+    acc.div_exact_u64(i);
+    out[i - 1] = acc;
+  }
+}
+
 std::vector<BigInt> power_sums_from_elementary(std::span<const BigInt> e,
                                                unsigned k) {
   const std::size_t d = e.size();

@@ -15,12 +15,20 @@
 
 #include "bigint/bigint.hpp"
 #include "bigint/biguint.hpp"
+#include "support/arena.hpp"
 
 namespace referee {
 
 /// e_1..e_d from p_1..p_d. Throws DecodeError if the p's cannot be the power
 /// sums of any multiset of integers (inexact division).
 std::vector<BigInt> elementary_from_power_sums(std::span<const BigUInt> p);
+
+/// Arena form: e_1..e_d written into the first d entries of `out` (grown,
+/// never shrunk); every temporary comes from `arena`, so a warm call
+/// performs zero heap allocations.
+void elementary_from_power_sums_into(std::span<const BigUInt> p,
+                                     DecodeArena& arena,
+                                     std::vector<BigInt>& out);
 
 /// Inverse direction (used by tests and by the generalised protocol's
 /// re-encoding): p_1..p_k from values.

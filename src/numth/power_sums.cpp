@@ -16,10 +16,42 @@ std::vector<BigUInt> power_sums(std::span<const NodeId> ids, unsigned k) {
   return sums;
 }
 
+void power_sums_into(std::span<const NodeId> ids, unsigned k,
+                     DecodeArena& arena, std::vector<BigUInt>& out) {
+  grow_to(out, k);
+  for (unsigned p = 0; p < k; ++p) out[p].assign_u64(0);
+  auto power_s = arena.scratch<BigUInt>();
+  grow_to(*power_s, 1);
+  BigUInt& power = (*power_s)[0];
+  for (const NodeId id : ids) {
+    power.assign_u64(1);
+    for (unsigned p = 0; p < k; ++p) {
+      power.mul_u64(id);
+      out[p] += power;
+    }
+  }
+}
+
 void subtract_contribution(std::vector<BigUInt>& sums, NodeId id) {
   BigUInt power(1);
   for (auto& s : sums) {
     power *= BigUInt(id);
+    if (s < power) {
+      throw DecodeError(DecodeFault::kInconsistent,
+                      "power-sum underflow: transcript inconsistent");
+    }
+    s -= power;
+  }
+}
+
+void subtract_contribution(std::span<BigUInt> sums, NodeId id,
+                           DecodeArena& arena) {
+  auto power_s = arena.scratch<BigUInt>();
+  grow_to(*power_s, 1);
+  BigUInt& power = (*power_s)[0];
+  power.assign_u64(1);
+  for (auto& s : sums) {
+    power.mul_u64(id);
     if (s < power) {
       throw DecodeError(DecodeFault::kInconsistent,
                       "power-sum underflow: transcript inconsistent");
@@ -61,6 +93,16 @@ bool matches_power_sums(std::span<const BigUInt> sums,
   const auto expect = power_sums(ids, static_cast<unsigned>(sums.size()));
   for (std::size_t i = 0; i < sums.size(); ++i) {
     if (!(sums[i] == expect[i])) return false;
+  }
+  return true;
+}
+
+bool matches_power_sums(std::span<const BigUInt> sums,
+                        std::span<const NodeId> ids, DecodeArena& arena) {
+  auto expect_s = arena.scratch<BigUInt>();
+  power_sums_into(ids, static_cast<unsigned>(sums.size()), arena, *expect_s);
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    if (!(sums[i] == (*expect_s)[i])) return false;
   }
   return true;
 }

@@ -9,16 +9,27 @@
 
 #include "bigint/biguint.hpp"
 #include "model/local_view.hpp"
+#include "support/arena.hpp"
 
 namespace referee {
 
 /// Power sums p_1..p_k of `ids` (k entries; empty id set gives all zeros).
 std::vector<BigUInt> power_sums(std::span<const NodeId> ids, unsigned k);
 
+/// Arena form: the first k entries of `out` (grown, never shrunk) receive
+/// the power sums; temporaries come from `arena`. Zero heap allocations once
+/// `out` and the arena are warm.
+void power_sums_into(std::span<const NodeId> ids, unsigned k,
+                     DecodeArena& arena, std::vector<BigUInt>& out);
+
 /// In-place update for the referee's pruning step (Algorithm 4): remove one
 /// id's contribution, i.e. sums[p-1] -= id^p for all p. Throws DecodeError if
 /// any entry would go negative — that means the transcript is inconsistent.
 void subtract_contribution(std::vector<BigUInt>& sums, NodeId id);
+
+/// Span + arena form for flat tuple storage (one row of an n×k table).
+void subtract_contribution(std::span<BigUInt> sums, NodeId id,
+                           DecodeArena& arena);
 
 /// Add a contribution (used by the generalised-degeneracy variant when
 /// re-encoding complements, and by tests).
@@ -29,6 +40,10 @@ void add_contribution(std::vector<BigUInt>& sums, NodeId id);
 /// *all* k sums, not just the d used for decoding).
 bool matches_power_sums(std::span<const BigUInt> sums,
                         std::span<const NodeId> ids);
+
+/// Arena form of the full-length check (no expectation vector allocated).
+bool matches_power_sums(std::span<const BigUInt> sums,
+                        std::span<const NodeId> ids, DecodeArena& arena);
 
 /// True when every power sum of a degree-d vertex fits in 64 bits, i.e.
 /// d · n^k < 2^64 — the precondition of the fast path below.

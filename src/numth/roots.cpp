@@ -53,6 +53,52 @@ std::vector<NodeId> roots_among(std::span<const BigInt> elementary,
   return roots;
 }
 
+void roots_among_into(std::span<const BigInt> elementary,
+                      std::span<const NodeId> candidates, DecodeArena& arena,
+                      std::vector<NodeId>& out) {
+  const std::size_t degree = elementary.size();
+  out.clear();
+  // Monic coefficients c_0..c_d in scratch; `live` tracks the deflated
+  // length instead of pop_back so no BigInt is ever destroyed (its limb
+  // capacity stays warm for the next decode).
+  auto c_s = arena.scratch<BigInt>();
+  auto b_s = arena.scratch<BigInt>();
+  auto carry_s = arena.scratch<BigInt>();
+  std::vector<BigInt>& c = *c_s;
+  std::vector<BigInt>& b = *b_s;
+  grow_to(c, degree + 1);
+  grow_to(b, degree + 1);
+  grow_to(*carry_s, 1);
+  BigInt& carry = (*carry_s)[0];
+  c[0].assign_i64(1);
+  for (std::size_t i = 0; i < degree; ++i) {
+    c[i + 1] = elementary[i];
+    if (i % 2 == 0) c[i + 1].negate();
+  }
+  std::size_t live = degree + 1;
+  for (const NodeId r : candidates) {
+    if (out.size() == degree) break;
+    // Synthetic division of c[0..live) by (X − r); neighbour ids are
+    // distinct, so each candidate divides at most once.
+    carry = c[0];
+    for (std::size_t i = 1; i < live; ++i) {
+      b[i - 1] = carry;
+      carry.mul_u64(r);
+      carry += c[i];
+    }
+    if (carry.is_zero()) {
+      out.push_back(r);
+      --live;
+      for (std::size_t i = 0; i < live; ++i) c[i] = b[i];
+    }
+  }
+  if (out.size() != degree) {
+    throw DecodeError(DecodeFault::kInconsistent,
+                      "root extraction found " + std::to_string(out.size()) +
+                      " of " + std::to_string(degree) + " neighbour ids");
+  }
+}
+
 std::vector<NodeId> roots_in_range(std::span<const BigInt> elementary,
                                    std::uint32_t n) {
   std::vector<NodeId> candidates(n);

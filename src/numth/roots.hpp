@@ -10,6 +10,7 @@
 
 #include "bigint/bigint.hpp"
 #include "model/local_view.hpp"
+#include "support/arena.hpp"
 
 namespace referee {
 
@@ -18,6 +19,13 @@ namespace referee {
 /// roots are found — a well-formed message always yields them (Corollary 1).
 std::vector<NodeId> roots_among(std::span<const BigInt> elementary,
                                 std::span<const NodeId> candidates);
+
+/// Arena form: roots are written into `out` (cleared first; capacity is
+/// reused, so the historic per-call `roots.reserve(degree)` allocation is
+/// gone), coefficient/quotient scratch comes from `arena`.
+void roots_among_into(std::span<const BigInt> elementary,
+                      std::span<const NodeId> candidates, DecodeArena& arena,
+                      std::vector<NodeId>& out);
 
 /// Convenience: candidates = {1..n}.
 std::vector<NodeId> roots_in_range(std::span<const BigInt> elementary,

@@ -27,14 +27,23 @@ void BoundedDegreeReconstruction::encode(const LocalViewRef& view,
   for (const NodeId nb : view.neighbor_ids) w.write_bits(nb, id_bits);
 }
 
-Graph BoundedDegreeReconstruction::reconstruct(
-    std::uint32_t n, std::span<const Message> messages) const {
+Graph BoundedDegreeReconstruction::reconstruct(std::uint32_t n,
+                                               std::span<const Message> messages,
+                                               DecodeArena& arena) const {
   if (messages.size() != n) {
     throw DecodeError(DecodeFault::kCountMismatch,
                       "expected one message per node");
   }
   const int id_bits = log_budget_bits(n);
-  std::vector<std::vector<NodeId>> claimed(n);
+  // Claimed adjacency as a CSR pair (offsets + flat id row) in arena
+  // scratch instead of n per-vertex vectors.
+  auto offsets_s = arena.scratch<std::size_t>();
+  auto claimed_s = arena.scratch<NodeId>();
+  std::vector<std::size_t>& offsets = *offsets_s;
+  std::vector<NodeId>& claimed = *claimed_s;
+  offsets.clear();
+  claimed.clear();
+  offsets.push_back(0);
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const auto id = static_cast<NodeId>(r.read_bits(id_bits));
@@ -49,17 +58,22 @@ Graph BoundedDegreeReconstruction::reconstruct(
         throw DecodeError(DecodeFault::kMalformed,
                       "claimed neighbour id out of range");
       }
-      claimed[i].push_back(nb);
+      claimed.push_back(nb);
     }
     if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
                       "trailing bits in message");
+    offsets.push_back(claimed.size());
   }
+  const auto claimed_row = [&](std::size_t i) {
+    return std::span<const NodeId>(claimed.data() + offsets[i],
+                                   offsets[i + 1] - offsets[i]);
+  };
   // Cross-validate: {u, v} is an edge iff both endpoints report it.
   Graph h(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    for (const NodeId nb : claimed[i]) {
+    for (const NodeId nb : claimed_row(i)) {
       const std::size_t j = nb - 1;
-      const auto& back = claimed[j];
+      const auto back = claimed_row(j);
       const bool reciprocated =
           std::find(back.begin(), back.end(), i + 1) != back.end();
       if (!reciprocated) {

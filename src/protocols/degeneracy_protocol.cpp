@@ -1,7 +1,7 @@
 #include "protocols/degeneracy_protocol.hpp"
 
 #include <algorithm>
-#include <set>
+#include <functional>
 
 #include "numth/power_sums.hpp"
 #include "support/bits.hpp"
@@ -38,17 +38,24 @@ std::size_t DegeneracyReconstruction::message_bits(const LocalViewRef& view,
   return bits;
 }
 
-Graph DegeneracyReconstruction::reconstruct(
-    std::uint32_t n, std::span<const Message> messages) const {
+Graph DegeneracyReconstruction::reconstruct(std::uint32_t n,
+                                            std::span<const Message> messages,
+                                            DecodeArena& arena) const {
   if (messages.size() != n) {
     throw DecodeError(DecodeFault::kCountMismatch,
                       "expected one message per node");
   }
   const int id_bits = log_budget_bits(n);
 
-  // Parse the transcript into the referee's working tuples B.
-  std::vector<std::size_t> deg(n);
-  std::vector<std::vector<BigUInt>> sums(n);
+  // Parse the transcript into the referee's working tuples B: degrees plus
+  // one flat n×k power-sum table (a single arena block, LocalViewPack
+  // style; BigUInt::read_from reuses each cell's limb storage).
+  auto deg_s = arena.scratch<std::size_t>();
+  auto sums_s = arena.scratch<BigUInt>();
+  std::vector<std::size_t>& deg = *deg_s;
+  std::vector<BigUInt>& sums = *sums_s;
+  deg.assign(n, 0);
+  grow_to(sums, static_cast<std::size_t>(n) * k_);
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const auto id = static_cast<NodeId>(r.read_bits(id_bits));
@@ -57,21 +64,36 @@ Graph DegeneracyReconstruction::reconstruct(
     deg[i] = r.read_bits(id_bits);
     if (deg[i] >= n) throw DecodeError(DecodeFault::kMalformed,
                       "degree out of range");
-    sums[i].reserve(k_);
-    for (unsigned p = 0; p < k_; ++p) sums[i].push_back(BigUInt::read(r));
+    for (unsigned p = 0; p < k_; ++p) sums[i * k_ + p].read_from(r);
     if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
                       "trailing bits in message");
   }
+  const auto row = [&](std::size_t i) {
+    return std::span<BigUInt>(sums.data() + i * k_, k_);
+  };
 
   Graph h(n);
-  // Alive vertices as a sorted set of ids; `pending` drives the pruning by
-  // residual degree <= k.
-  std::vector<bool> alive(n, true);
-  std::vector<NodeId> alive_ids(n);
-  for (std::uint32_t i = 0; i < n; ++i) alive_ids[i] = i + 1;
-  std::set<NodeId> prunable;
+  auto alive_s = arena.scratch<std::uint8_t>();
+  auto alive_ids_s = arena.scratch<NodeId>();
+  auto prunable_s = arena.scratch<NodeId>();
+  auto candidates_s = arena.scratch<NodeId>();
+  auto neighbors_s = arena.scratch<NodeId>();
+  std::vector<std::uint8_t>& alive = *alive_s;
+  std::vector<NodeId>& alive_ids = *alive_ids_s;
+  // Prunable vertices as a lazy min-heap on id: pops the smallest id like
+  // the std::set it replaces, but with no per-insert node allocation;
+  // duplicates and dead entries are skipped at pop time.
+  std::vector<NodeId>& prunable = *prunable_s;
+  alive.assign(n, 1);
+  alive_ids.clear();
+  for (std::uint32_t i = 0; i < n; ++i) alive_ids.push_back(i + 1);
+  prunable.clear();
+  const auto push_prunable = [&](NodeId id) {
+    prunable.push_back(id);
+    std::push_heap(prunable.begin(), prunable.end(), std::greater<NodeId>());
+  };
   for (std::uint32_t i = 0; i < n; ++i) {
-    if (deg[i] <= k_) prunable.insert(i + 1);
+    if (deg[i] <= k_) push_prunable(i + 1);
   }
 
   std::size_t remaining = n;
@@ -81,27 +103,28 @@ Graph DegeneracyReconstruction::reconstruct(
                       "pruning stalled: graph degeneracy exceeds k=" +
                         std::to_string(k_));
     }
-    const NodeId x = *prunable.begin();
-    prunable.erase(prunable.begin());
+    std::pop_heap(prunable.begin(), prunable.end(), std::greater<NodeId>());
+    const NodeId x = prunable.back();
+    prunable.pop_back();
     const std::size_t xi = x - 1;
     if (!alive[xi]) continue;
 
     const auto d = static_cast<unsigned>(deg[xi]);
     // Candidates: alive vertices other than x.
-    std::vector<NodeId> candidates;
-    candidates.reserve(alive_ids.size());
+    std::vector<NodeId>& candidates = *candidates_s;
+    candidates.clear();
     for (const NodeId id : alive_ids) {
       if (id != x) candidates.push_back(id);
     }
-    const auto neighbors = decoder_->decode(d, sums[xi], candidates);
+    decoder_->decode_into(d, row(xi), candidates, arena, *neighbors_s);
     // Validate against every power (catches corrupted transcripts even when
     // the first d sums accidentally decode).
-    if (!matches_power_sums(sums[xi], neighbors)) {
+    if (!matches_power_sums(row(xi), *neighbors_s, arena)) {
       throw DecodeError(DecodeFault::kInconsistent,
                       "decoded neighbourhood fails power-sum check");
     }
 
-    for (const NodeId w : neighbors) {
+    for (const NodeId w : *neighbors_s) {
       const std::size_t wi = w - 1;
       if (!alive[wi]) {
         throw DecodeError(DecodeFault::kInconsistent,
@@ -111,11 +134,11 @@ Graph DegeneracyReconstruction::reconstruct(
       if (deg[wi] == 0) throw DecodeError(DecodeFault::kInconsistent,
                       "degree underflow");
       --deg[wi];
-      subtract_contribution(sums[wi], x);
-      if (deg[wi] <= k_) prunable.insert(w);
+      subtract_contribution(row(wi), x, arena);
+      if (deg[wi] <= k_) push_prunable(w);
     }
 
-    alive[xi] = false;
+    alive[xi] = 0;
     alive_ids.erase(
         std::lower_bound(alive_ids.begin(), alive_ids.end(), x));
     --remaining;

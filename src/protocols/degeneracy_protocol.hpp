@@ -34,8 +34,9 @@ class DegeneracyReconstruction final : public ReconstructionProtocol {
 
   std::string name() const override;
   void encode(const LocalViewRef& view, BitWriter& w) const override;
-  Graph reconstruct(std::uint32_t n,
-                    std::span<const Message> messages) const override;
+  using ReconstructionProtocol::reconstruct;
+  Graph reconstruct(std::uint32_t n, std::span<const Message> messages,
+                    DecodeArena& arena) const override;
 
   /// Exact number of bits the local function produces for a view — used by
   /// experiment E1 to compare against the Lemma 2 bound without running the

@@ -1,6 +1,5 @@
 #include "protocols/forest_protocol.hpp"
 
-#include <deque>
 #include <numeric>
 
 #include "support/bits.hpp"
@@ -17,15 +16,20 @@ void ForestReconstruction::encode(const LocalViewRef& view,
   w.write_bits(sum, 2 * id_bits);  // Σ ID <= n * n
 }
 
-Graph ForestReconstruction::reconstruct(
-    std::uint32_t n, std::span<const Message> messages) const {
+Graph ForestReconstruction::reconstruct(std::uint32_t n,
+                                        std::span<const Message> messages,
+                                        DecodeArena& arena) const {
   if (messages.size() != n) {
     throw DecodeError(DecodeFault::kCountMismatch,
                       "expected one message per node");
   }
   const int id_bits = log_budget_bits(n);
-  std::vector<std::uint64_t> deg(n);
-  std::vector<std::uint64_t> sum(n);
+  auto deg_s = arena.scratch<std::uint64_t>();
+  auto sum_s = arena.scratch<std::uint64_t>();
+  std::vector<std::uint64_t>& deg = *deg_s;
+  std::vector<std::uint64_t>& sum = *sum_s;
+  deg.assign(n, 0);
+  sum.assign(n, 0);
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const auto id = static_cast<NodeId>(r.read_bits(id_bits));
@@ -38,18 +42,25 @@ Graph ForestReconstruction::reconstruct(
   }
 
   Graph h(n);
-  std::deque<NodeId> leaves;
+  // Leaf FIFO as scratch vector + head cursor (each vertex enqueues at most
+  // twice, so the backing store stays O(n) and is never compacted).
+  auto leaves_s = arena.scratch<NodeId>();
+  auto done_s = arena.scratch<std::uint8_t>();
+  std::vector<NodeId>& leaves = *leaves_s;
+  std::vector<std::uint8_t>& done = *done_s;
+  leaves.clear();
+  std::size_t head = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
     if (deg[i] <= 1) leaves.push_back(i + 1);
   }
   std::size_t processed = 0;
-  std::vector<bool> done(n, false);
-  while (!leaves.empty()) {
-    const NodeId v = leaves.front();
-    leaves.pop_front();
+  done.assign(n, 0);
+  while (head < leaves.size()) {
+    const NodeId v = leaves[head];
+    ++head;
     const std::size_t vi = v - 1;
     if (done[vi]) continue;
-    done[vi] = true;
+    done[vi] = 1;
     ++processed;
     if (deg[vi] == 0) continue;  // isolated in the residual forest
     const std::uint64_t w64 = sum[vi];

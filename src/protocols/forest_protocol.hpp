@@ -18,8 +18,9 @@ class ForestReconstruction final : public ReconstructionProtocol {
  public:
   std::string name() const override { return "forest-reconstruction"; }
   void encode(const LocalViewRef& view, BitWriter& w) const override;
-  Graph reconstruct(std::uint32_t n,
-                    std::span<const Message> messages) const override;
+  using ReconstructionProtocol::reconstruct;
+  Graph reconstruct(std::uint32_t n, std::span<const Message> messages,
+                    DecodeArena& arena) const override;
 };
 
 }  // namespace referee

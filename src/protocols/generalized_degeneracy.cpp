@@ -42,15 +42,22 @@ void GeneralizedDegeneracyReconstruction::encode(const LocalViewRef& view,
 }
 
 Graph GeneralizedDegeneracyReconstruction::reconstruct(
-    std::uint32_t n, std::span<const Message> messages) const {
+    std::uint32_t n, std::span<const Message> messages,
+    DecodeArena& arena) const {
   if (messages.size() != n) {
     throw DecodeError(DecodeFault::kCountMismatch,
                       "expected one message per node");
   }
   const int id_bits = log_budget_bits(n);
-  std::vector<std::size_t> deg(n);
-  std::vector<std::vector<BigUInt>> nb_sums(n);
-  std::vector<std::vector<BigUInt>> co_sums(n);
+  auto deg_s = arena.scratch<std::size_t>();
+  auto nb_sums_s = arena.scratch<BigUInt>();
+  auto co_sums_s = arena.scratch<BigUInt>();
+  std::vector<std::size_t>& deg = *deg_s;
+  std::vector<BigUInt>& nb_sums = *nb_sums_s;
+  std::vector<BigUInt>& co_sums = *co_sums_s;
+  deg.assign(n, 0);
+  grow_to(nb_sums, static_cast<std::size_t>(n) * k_);
+  grow_to(co_sums, static_cast<std::size_t>(n) * k_);
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const auto id = static_cast<NodeId>(r.read_bits(id_bits));
@@ -59,16 +66,26 @@ Graph GeneralizedDegeneracyReconstruction::reconstruct(
     deg[i] = r.read_bits(id_bits);
     if (deg[i] >= n) throw DecodeError(DecodeFault::kMalformed,
                       "degree out of range");
-    for (unsigned p = 0; p < k_; ++p) nb_sums[i].push_back(BigUInt::read(r));
-    for (unsigned p = 0; p < k_; ++p) co_sums[i].push_back(BigUInt::read(r));
+    for (unsigned p = 0; p < k_; ++p) nb_sums[i * k_ + p].read_from(r);
+    for (unsigned p = 0; p < k_; ++p) co_sums[i * k_ + p].read_from(r);
     if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
                       "trailing bits in message");
   }
+  const auto nb_row = [&](std::size_t i) {
+    return std::span<BigUInt>(nb_sums.data() + i * k_, k_);
+  };
+  const auto co_row = [&](std::size_t i) {
+    return std::span<BigUInt>(co_sums.data() + i * k_, k_);
+  };
 
   Graph h(n);
-  std::vector<bool> alive(n, true);
-  std::vector<NodeId> alive_ids(n);
-  for (std::uint32_t i = 0; i < n; ++i) alive_ids[i] = i + 1;
+  auto alive_ids_s = arena.scratch<NodeId>();
+  auto candidates_s = arena.scratch<NodeId>();
+  auto decoded_s = arena.scratch<NodeId>();
+  auto neighbors_s = arena.scratch<NodeId>();
+  std::vector<NodeId>& alive_ids = *alive_ids_s;
+  alive_ids.clear();
+  for (std::uint32_t i = 0; i < n; ++i) alive_ids.push_back(i + 1);
   std::size_t remaining = n;
 
   while (remaining > 0) {
@@ -96,30 +113,31 @@ Graph GeneralizedDegeneracyReconstruction::reconstruct(
           std::to_string(k_));
     }
     const std::size_t xi = x - 1;
-    std::vector<NodeId> candidates;
-    candidates.reserve(remaining - 1);
+    std::vector<NodeId>& candidates = *candidates_s;
+    candidates.clear();
     for (const NodeId id : alive_ids) {
       if (id != x) candidates.push_back(id);
     }
 
-    std::vector<NodeId> neighbors;
+    std::vector<NodeId>& neighbors = *neighbors_s;
     if (!use_complement) {
-      neighbors =
-          decoder_->decode(static_cast<unsigned>(deg[xi]), nb_sums[xi],
-                           candidates);
-      if (!matches_power_sums(nb_sums[xi], neighbors)) {
+      decoder_->decode_into(static_cast<unsigned>(deg[xi]), nb_row(xi),
+                            candidates, arena, neighbors);
+      if (!matches_power_sums(nb_row(xi), neighbors, arena)) {
         throw DecodeError(DecodeFault::kInconsistent,
                       "decoded neighbourhood fails power-sum check");
       }
     } else {
       const auto co_deg = static_cast<unsigned>(remaining - 1 - deg[xi]);
-      const auto non_neighbors =
-          decoder_->decode(co_deg, co_sums[xi], candidates);
-      if (!matches_power_sums(co_sums[xi], non_neighbors)) {
+      std::vector<NodeId>& non_neighbors = *decoded_s;
+      decoder_->decode_into(co_deg, co_row(xi), candidates, arena,
+                            non_neighbors);
+      if (!matches_power_sums(co_row(xi), non_neighbors, arena)) {
         throw DecodeError(DecodeFault::kInconsistent,
                       "decoded co-neighbourhood fails power-sum check");
       }
       // Neighbours = alive candidates minus the decoded non-neighbours.
+      neighbors.clear();
       std::set_difference(candidates.begin(), candidates.end(),
                           non_neighbors.begin(), non_neighbors.end(),
                           std::back_inserter(neighbors));
@@ -140,13 +158,12 @@ Graph GeneralizedDegeneracyReconstruction::reconstruct(
         if (deg[ui] == 0) throw DecodeError(DecodeFault::kInconsistent,
                       "degree underflow");
         --deg[ui];
-        subtract_contribution(nb_sums[ui], x);
+        subtract_contribution(nb_row(ui), x, arena);
       } else {
-        subtract_contribution(co_sums[ui], x);
+        subtract_contribution(co_row(ui), x, arena);
       }
     }
 
-    alive[xi] = false;
     alive_ids.erase(std::lower_bound(alive_ids.begin(), alive_ids.end(), x));
     --remaining;
   }

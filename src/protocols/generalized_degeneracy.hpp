@@ -27,8 +27,9 @@ class GeneralizedDegeneracyReconstruction final
 
   std::string name() const override;
   void encode(const LocalViewRef& view, BitWriter& w) const override;
-  Graph reconstruct(std::uint32_t n,
-                    std::span<const Message> messages) const override;
+  using ReconstructionProtocol::reconstruct;
+  Graph reconstruct(std::uint32_t n, std::span<const Message> messages,
+                    DecodeArena& arena) const override;
 
  private:
   unsigned k_;

@@ -21,9 +21,10 @@ void RecognitionAdapter::encode(const LocalViewRef& view, BitWriter& w) const {
 }
 
 bool RecognitionAdapter::decide(std::uint32_t n,
-                                std::span<const Message> messages) const {
+                                std::span<const Message> messages,
+                                DecodeArena& arena) const {
   try {
-    const Graph h = inner_->reconstruct(n, messages);
+    const Graph h = inner_->reconstruct(n, messages, arena);
     return verify_ ? verify_(h) : true;
   } catch (const DecodeError& e) {
     // kStalled on an *intact* transcript means the input lies outside the

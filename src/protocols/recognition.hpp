@@ -22,8 +22,9 @@ class RecognitionAdapter final : public DecisionProtocol {
 
   std::string name() const override;
   void encode(const LocalViewRef& view, BitWriter& w) const override;
-  bool decide(std::uint32_t n,
-              std::span<const Message> messages) const override;
+  using DecisionProtocol::decide;
+  bool decide(std::uint32_t n, std::span<const Message> messages,
+              DecodeArena& arena) const override;
 
  private:
   std::shared_ptr<const ReconstructionProtocol> inner_;

@@ -15,12 +15,20 @@ void DegreeStatistics::encode(const LocalViewRef& view, BitWriter& w) const {
 
 std::vector<std::uint32_t> DegreeStatistics::degree_sequence(
     std::uint32_t n, std::span<const Message> messages) {
+  std::vector<std::uint32_t> degrees;
+  degree_sequence_into(n, messages, degrees);
+  return degrees;
+}
+
+void DegreeStatistics::degree_sequence_into(std::uint32_t n,
+                                            std::span<const Message> messages,
+                                            std::vector<std::uint32_t>& out) {
   if (messages.size() != n) {
     throw DecodeError(DecodeFault::kCountMismatch,
                       "expected one message per node");
   }
   const int id_bits = log_budget_bits(n);
-  std::vector<std::uint32_t> degrees(n);
+  out.assign(n, 0);
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const auto id = static_cast<NodeId>(r.read_bits(id_bits));
@@ -29,11 +37,10 @@ std::vector<std::uint32_t> DegreeStatistics::degree_sequence(
     const std::uint64_t deg = r.read_bits(id_bits);
     if (deg >= n) throw DecodeError(DecodeFault::kMalformed,
                       "degree out of range");
-    degrees[i] = static_cast<std::uint32_t>(deg);
+    out[i] = static_cast<std::uint32_t>(deg);
     if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
                       "trailing bits in message");
   }
-  return degrees;
 }
 
 std::uint64_t DegreeStatistics::edge_count(

@@ -25,6 +25,12 @@ class DegreeStatistics final : public LocalEncoder {
   static std::vector<std::uint32_t> degree_sequence(
       std::uint32_t n, std::span<const Message> messages);
 
+  /// Arena-friendly form: degrees written into `out` (resized to n). The
+  /// campaign classifier calls this per cell with pooled scratch.
+  static void degree_sequence_into(std::uint32_t n,
+                                   std::span<const Message> messages,
+                                   std::vector<std::uint32_t>& out);
+
   /// |E| = (Σ deg) / 2. Throws DecodeError if the degree sum is odd — an
   /// impossible transcript.
   static std::uint64_t edge_count(std::uint32_t n,

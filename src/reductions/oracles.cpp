@@ -21,12 +21,20 @@ void AdjacencyListOracle::encode(const LocalViewRef& view, BitWriter& w) const {
 
 Graph AdjacencyListOracle::decode_graph(std::uint32_t n,
                                         std::span<const Message> messages) {
+  Graph g;
+  decode_graph_into(n, messages, g);
+  return g;
+}
+
+void AdjacencyListOracle::decode_graph_into(std::uint32_t n,
+                                            std::span<const Message> messages,
+                                            Graph& g) {
   if (messages.size() != n) {
     throw DecodeError(DecodeFault::kCountMismatch,
                       "expected one message per node");
   }
   const int id_bits = log_budget_bits(n);
-  Graph g(n);
+  g.reset(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const auto id = static_cast<NodeId>(r.read_bits(id_bits));
@@ -42,12 +50,18 @@ Graph AdjacencyListOracle::decode_graph(std::uint32_t n,
       if (nb != id) g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(nb - 1));
     }
   }
-  return g;
 }
 
 bool AdjacencyListOracle::decide(std::uint32_t n,
-                                 std::span<const Message> messages) const {
-  return predicate_(decode_graph(n, messages));
+                                 std::span<const Message> messages,
+                                 DecodeArena& arena) const {
+  // One pooled Graph per arena: reset-and-refill instead of n fresh
+  // adjacency rows per oracle query.
+  auto g_s = arena.scratch<Graph>();
+  grow_to(*g_s, 1);
+  Graph& g = (*g_s)[0];
+  decode_graph_into(n, messages, g);
+  return predicate_(g);
 }
 
 std::shared_ptr<DecisionProtocol> make_square_oracle() {

@@ -25,12 +25,19 @@ class AdjacencyListOracle final : public DecisionProtocol {
 
   std::string name() const override { return name_; }
   void encode(const LocalViewRef& view, BitWriter& w) const override;
-  bool decide(std::uint32_t n,
-              std::span<const Message> messages) const override;
+  using DecisionProtocol::decide;
+  bool decide(std::uint32_t n, std::span<const Message> messages,
+              DecodeArena& arena) const override;
 
   /// The graph encoded by an oracle transcript (exposed for tests).
   static Graph decode_graph(std::uint32_t n,
                             std::span<const Message> messages);
+
+  /// Arena form: decode into `g` (reset to n vertices, row capacity kept).
+  /// The reductions' referees call the oracle O(n²) times per reconstruct;
+  /// this is what keeps each of those calls allocation-free when warm.
+  static void decode_graph_into(std::uint32_t n,
+                                std::span<const Message> messages, Graph& g);
 
  private:
   std::string name_;

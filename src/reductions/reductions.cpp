@@ -1,12 +1,15 @@
 #include "reductions/reductions.hpp"
 
 #include <numeric>
+#include <utility>
 
 #include "support/varint.hpp"
 
 namespace referee {
 
 namespace {
+
+thread_local std::uint64_t g_referee_encodes = 0;
 
 /// Frames a Γ-message inside a Δ-message (length prefix + payload bits), so
 /// Δ can bundle the several Γ evaluations Theorems 2 and 3 require.
@@ -16,11 +19,13 @@ void write_framed(BitWriter& w, const Message& m) {
   while (!r.exhausted()) w.write_bit(r.read_bit());
 }
 
-Message read_framed(BitReader& r) {
+/// Unframe into a pooled slot: one shared scratch writer, Message::assign
+/// into the target's existing byte storage.
+void read_framed_into(BitReader& r, BitWriter& scratch, Message& out) {
   const std::uint64_t bits = read_delta0(r);
-  BitWriter w;
-  for (std::uint64_t i = 0; i < bits; ++i) w.write_bit(r.read_bit());
-  return Message::seal(std::move(w));
+  scratch.clear();
+  for (std::uint64_t i = 0; i < bits; ++i) scratch.write_bit(r.read_bit());
+  out.assign(scratch);
 }
 
 std::vector<NodeId> with_extra(std::span<const NodeId> base,
@@ -28,6 +33,19 @@ std::vector<NodeId> with_extra(std::span<const NodeId> base,
   std::vector<NodeId> out(base.begin(), base.end());
   out.insert(out.end(), extra.begin(), extra.end());
   return out;
+}
+
+/// Referee-side Γ^l evaluation into a pooled message slot. The neighbour
+/// buffer must already be sorted ascending (every gadget neighbourhood
+/// below is constructed that way), so no make_view canonicalisation pass —
+/// and no owning LocalView — is needed.
+void encode_gadget(const DecisionProtocol& gamma, NodeId id, std::uint32_t n,
+                   std::span<const NodeId> sorted_neighbors, BitWriter& scratch,
+                   Message& out) {
+  ++g_referee_encodes;
+  scratch.clear();
+  gamma.encode(LocalViewRef(id, n, sorted_neighbors), scratch);
+  out.assign(scratch);
 }
 
 /// Re-encode verification (the `verified` reduction mode): a correct
@@ -38,13 +56,17 @@ std::vector<NodeId> with_extra(std::span<const NodeId> base,
 /// because the oracle messages embed full adjacency lists, a matching
 /// re-encode conversely pins h to the sender's graph. Loud, never wrong.
 void verify_reencode(const ReconstructionProtocol& delta, const Graph& h,
-                     std::span<const Message> messages) {
+                     std::span<const Message> messages, DecodeArena& arena) {
   const LocalViewPack views(h);
-  BitWriter scratch;
+  auto writer_s = arena.scratch<BitWriter>();
+  auto msg_s = arena.scratch<Message>();
+  grow_to(*writer_s, 1);
+  grow_to(*msg_s, 1);
+  BitWriter& scratch = (*writer_s)[0];
+  Message& reencoded = (*msg_s)[0];
   for (Vertex v = 0; v < h.vertex_count(); ++v) {
     scratch.clear();
     delta.encode(views.view(v), scratch);
-    Message reencoded;
     reencoded.assign(scratch);
     if (!(reencoded == messages[v])) {
       throw DecodeError(
@@ -57,6 +79,9 @@ void verify_reencode(const ReconstructionProtocol& delta, const Graph& h,
 }
 
 }  // namespace
+
+std::uint64_t reduction_referee_encodes() { return g_referee_encodes; }
+void reset_reduction_referee_encodes() { g_referee_encodes = 0; }
 
 // ---------------------------------------------------------------- squares --
 
@@ -79,34 +104,58 @@ void SquareReduction::encode(const LocalViewRef& view, BitWriter& w) const {
 }
 
 Graph SquareReduction::reconstruct(std::uint32_t n,
-                                   std::span<const Message> messages) const {
+                                   std::span<const Message> messages,
+                                   DecodeArena& arena) const {
   if (messages.size() != n) {
     throw DecodeError(DecodeFault::kCountMismatch,
                       "expected one message per node");
   }
   const std::uint32_t big = 2 * n;
-  std::vector<Message> sim(big);
+  auto sim_s = arena.scratch<Message>();
+  auto pend_s = arena.scratch<Message>();
+  auto writer_s = arena.scratch<BitWriter>();
+  auto nbrs_s = arena.scratch<NodeId>();
+  std::vector<Message>& sim = *sim_s;
+  grow_to(sim, big);
+  grow_to(*pend_s, 2);
+  grow_to(*writer_s, 1);
+  grow_to(*nbrs_s, 2);
+  BitWriter& w = (*writer_s)[0];
+  NodeId* const nbrs = nbrs_s->data();
   for (std::uint32_t i = 0; i < n; ++i) sim[i] = messages[i];
   // Default messages of the pendant vertices j = n+1..2n: neighbourhood
-  // {j - n}; they do not depend on G (Algorithm 1's inner loop).
+  // {j - n}; they do not depend on G (Algorithm 1's inner loop), so this
+  // vertex-keyed cache is built exactly once — n encodes.
   for (NodeId j = n + 1; j <= big; ++j) {
-    sim[j - 1] = gamma_->local(make_view(j, big, {j - n}));
+    nbrs[0] = j - n;
+    encode_gadget(*gamma_, j, big, {nbrs, 1}, w, sim[j - 1]);
   }
+  const std::span<const Message> sim_span(sim.data(), big);
   Graph h(n);
+  Message& pend_of_s = (*pend_s)[0];
+  Message& pend_of_t = (*pend_s)[1];
   for (NodeId s = 1; s <= n; ++s) {
     for (NodeId t = s + 1; t <= n; ++t) {
-      const Message saved_s = sim[n + s - 1];
-      const Message saved_t = sim[n + t - 1];
-      sim[n + s - 1] = gamma_->local(make_view(n + s, big, {s, n + t}));
-      sim[n + t - 1] = gamma_->local(make_view(n + t, big, {t, n + s}));
-      if (gamma_->decide(big, sim)) {
+      // The two pendant views depend on the pair itself (s's pendant gains
+      // the edge to t's pendant), so they cannot be cached per vertex —
+      // but they are degree-2 views encoded into pooled slots, and the
+      // defaults are restored by O(1) swaps rather than message copies.
+      nbrs[0] = s;
+      nbrs[1] = n + t;
+      encode_gadget(*gamma_, n + s, big, {nbrs, 2}, w, pend_of_s);
+      nbrs[0] = t;
+      nbrs[1] = n + s;
+      encode_gadget(*gamma_, n + t, big, {nbrs, 2}, w, pend_of_t);
+      std::swap(sim[n + s - 1], pend_of_s);
+      std::swap(sim[n + t - 1], pend_of_t);
+      if (gamma_->decide(big, sim_span, arena)) {
         h.add_edge(static_cast<Vertex>(s - 1), static_cast<Vertex>(t - 1));
       }
-      sim[n + s - 1] = saved_s;
-      sim[n + t - 1] = saved_t;
+      std::swap(sim[n + s - 1], pend_of_s);
+      std::swap(sim[n + t - 1], pend_of_t);
     }
   }
-  if (verified_) verify_reencode(*this, h, messages);
+  if (verified_) verify_reencode(*this, h, messages, arena);
   return h;
 }
 
@@ -140,44 +189,81 @@ void DiameterReduction::encode(const LocalViewRef& view, BitWriter& w) const {
 }
 
 Graph DiameterReduction::reconstruct(std::uint32_t n,
-                                     std::span<const Message> messages) const {
+                                     std::span<const Message> messages,
+                                     DecodeArena& arena) const {
   if (messages.size() != n) {
     throw DecodeError(DecodeFault::kCountMismatch,
                       "expected one message per node");
   }
   const std::uint32_t big = n + 3;
-  std::vector<Message> m0(n);
-  std::vector<Message> ms(n);
-  std::vector<Message> mt(n);
+  // Framed sub-messages in one flat pooled block, row-per-vertex:
+  // parts[3i] = m0, parts[3i+1] = m_s, parts[3i+2] = m_t.
+  auto parts_s = arena.scratch<Message>();
+  auto writer_s = arena.scratch<BitWriter>();
+  std::vector<Message>& parts = *parts_s;
+  grow_to(parts, 3 * static_cast<std::size_t>(n));
+  grow_to(*writer_s, 1);
+  BitWriter& w = (*writer_s)[0];
+  const auto m0 = [&](std::size_t i) -> Message& { return parts[3 * i]; };
+  const auto ms = [&](std::size_t i) -> Message& { return parts[3 * i + 1]; };
+  const auto mt = [&](std::size_t i) -> Message& { return parts[3 * i + 2]; };
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
-    m0[i] = read_framed(r);
-    ms[i] = read_framed(r);
-    mt[i] = read_framed(r);
+    read_framed_into(r, w, m0(i));
+    read_framed_into(r, w, ms(i));
+    read_framed_into(r, w, mt(i));
     if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
                       "trailing bits in Δ message");
   }
-  // Gadget-vertex messages. n+3's neighbourhood {1..n} is (s,t)-independent.
-  std::vector<NodeId> everyone(n);
-  std::iota(everyone.begin(), everyone.end(), 1u);
-  const Message hub = gamma_->local(make_view(n + 3, big, everyone));
+  // Gadget-vertex messages, all vertex-keyed and therefore cacheable:
+  // left(s) = Γ^l(n+1, {s}) and right(t) = Γ^l(n+2, {t}) each depend on one
+  // endpoint only, and n+3's neighbourhood {1..n} is (s,t)-independent.
+  // 2n+1 encodes total, where the per-pair re-encode did n(n−1).
+  auto gadget_s = arena.scratch<Message>();
+  auto nbrs_s = arena.scratch<NodeId>();
+  std::vector<Message>& gadget = *gadget_s;
+  grow_to(gadget, 2 * static_cast<std::size_t>(n) + 1);
+  const auto left = [&](NodeId s) -> Message& { return gadget[2 * (s - 1)]; };
+  const auto right = [&](NodeId t) -> Message& {
+    return gadget[2 * (t - 1) + 1];
+  };
+  Message& hub = gadget[2 * static_cast<std::size_t>(n)];
+  std::vector<NodeId>& nbrs = *nbrs_s;
+  grow_to(nbrs, n);
+  for (NodeId v = 1; v <= n; ++v) {
+    nbrs[0] = v;
+    encode_gadget(*gamma_, n + 1, big, {nbrs.data(), 1}, w, left(v));
+    encode_gadget(*gamma_, n + 2, big, {nbrs.data(), 1}, w, right(v));
+  }
+  std::iota(nbrs.begin(), nbrs.begin() + n, 1u);
+  encode_gadget(*gamma_, n + 3, big, {nbrs.data(), n}, w, hub);
 
   Graph h(n);
-  std::vector<Message> sim(big);
+  auto sim_s = arena.scratch<Message>();
+  std::vector<Message>& sim = *sim_s;
+  grow_to(sim, big);
+  // sim starts as the all-default gadget; per pair only the four (s,t)-
+  // dependent slots move — swaps against the caches, restored after the
+  // decide, instead of refilling all n+3 slots per pair.
+  for (std::uint32_t i = 0; i < n; ++i) sim[i] = m0(i);
+  sim[n + 2] = hub;
+  const std::span<const Message> sim_span(sim.data(), big);
   for (NodeId s = 1; s <= n; ++s) {
+    std::swap(sim[n], left(s));
     for (NodeId t = s + 1; t <= n; ++t) {
-      for (std::uint32_t i = 0; i < n; ++i) sim[i] = m0[i];
-      sim[s - 1] = ms[s - 1];
-      sim[t - 1] = mt[t - 1];
-      sim[n] = gamma_->local(make_view(n + 1, big, {s}));
-      sim[n + 1] = gamma_->local(make_view(n + 2, big, {t}));
-      sim[n + 2] = hub;
-      if (gamma_->decide(big, sim)) {
+      std::swap(sim[s - 1], ms(s - 1));
+      std::swap(sim[t - 1], mt(t - 1));
+      std::swap(sim[n + 1], right(t));
+      if (gamma_->decide(big, sim_span, arena)) {
         h.add_edge(static_cast<Vertex>(s - 1), static_cast<Vertex>(t - 1));
       }
+      std::swap(sim[n + 1], right(t));
+      std::swap(sim[t - 1], mt(t - 1));
+      std::swap(sim[s - 1], ms(s - 1));
     }
+    std::swap(sim[n], left(s));
   }
-  if (verified_) verify_reencode(*this, h, messages);
+  if (verified_) verify_reencode(*this, h, messages, arena);
   return h;
 }
 
@@ -206,35 +292,58 @@ void TriangleReduction::encode(const LocalViewRef& view, BitWriter& w) const {
 }
 
 Graph TriangleReduction::reconstruct(std::uint32_t n,
-                                     std::span<const Message> messages) const {
+                                     std::span<const Message> messages,
+                                     DecodeArena& arena) const {
   if (messages.size() != n) {
     throw DecodeError(DecodeFault::kCountMismatch,
                       "expected one message per node");
   }
   const std::uint32_t big = n + 1;
-  std::vector<Message> plain(n);
-  std::vector<Message> apexed(n);
+  // Framed sub-messages, flat pooled rows: parts[2i] = plain, [2i+1] = m''.
+  auto parts_s = arena.scratch<Message>();
+  auto writer_s = arena.scratch<BitWriter>();
+  auto nbrs_s = arena.scratch<NodeId>();
+  std::vector<Message>& parts = *parts_s;
+  grow_to(parts, 2 * static_cast<std::size_t>(n));
+  grow_to(*writer_s, 1);
+  grow_to(*nbrs_s, 2);
+  BitWriter& w = (*writer_s)[0];
+  NodeId* const nbrs = nbrs_s->data();
+  const auto plain = [&](std::size_t i) -> Message& { return parts[2 * i]; };
+  const auto apexed = [&](std::size_t i) -> Message& {
+    return parts[2 * i + 1];
+  };
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
-    plain[i] = read_framed(r);
-    apexed[i] = read_framed(r);
+    read_framed_into(r, w, plain(i));
+    read_framed_into(r, w, apexed(i));
     if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
                       "trailing bits in Δ message");
   }
   Graph h(n);
-  std::vector<Message> sim(big);
+  auto sim_s = arena.scratch<Message>();
+  std::vector<Message>& sim = *sim_s;
+  grow_to(sim, big);
+  for (std::uint32_t i = 0; i < n; ++i) sim[i] = plain(i);
+  const std::span<const Message> sim_span(sim.data(), big);
   for (NodeId s = 1; s <= n; ++s) {
     for (NodeId t = s + 1; t <= n; ++t) {
-      for (std::uint32_t i = 0; i < n; ++i) sim[i] = plain[i];
-      sim[s - 1] = apexed[s - 1];
-      sim[t - 1] = apexed[t - 1];
-      sim[n] = gamma_->local(make_view(n + 1, big, {s, t}));
-      if (gamma_->decide(big, sim)) {
+      std::swap(sim[s - 1], apexed(s - 1));
+      std::swap(sim[t - 1], apexed(t - 1));
+      // The apex view {s,t} depends on the pair itself — encoded fresh into
+      // the pooled slot (a degree-2 view; the swaps above replace what used
+      // to be a full n-message refill per pair).
+      nbrs[0] = s;
+      nbrs[1] = t;
+      encode_gadget(*gamma_, n + 1, big, {nbrs, 2}, w, sim[n]);
+      if (gamma_->decide(big, sim_span, arena)) {
         h.add_edge(static_cast<Vertex>(s - 1), static_cast<Vertex>(t - 1));
       }
+      std::swap(sim[t - 1], apexed(t - 1));
+      std::swap(sim[s - 1], apexed(s - 1));
     }
   }
-  if (verified_) verify_reencode(*this, h, messages);
+  if (verified_) verify_reencode(*this, h, messages, arena);
   return h;
 }
 

@@ -42,8 +42,9 @@ class SquareReduction final : public ReconstructionProtocol {
                            bool verified = false);
   std::string name() const override;
   void encode(const LocalViewRef& view, BitWriter& w) const override;
-  Graph reconstruct(std::uint32_t n,
-                    std::span<const Message> messages) const override;
+  using ReconstructionProtocol::reconstruct;
+  Graph reconstruct(std::uint32_t n, std::span<const Message> messages,
+                    DecodeArena& arena) const override;
 
  private:
   std::shared_ptr<const DecisionProtocol> gamma_;
@@ -58,8 +59,9 @@ class DiameterReduction final : public ReconstructionProtocol {
                              bool verified = false);
   std::string name() const override;
   void encode(const LocalViewRef& view, BitWriter& w) const override;
-  Graph reconstruct(std::uint32_t n,
-                    std::span<const Message> messages) const override;
+  using ReconstructionProtocol::reconstruct;
+  Graph reconstruct(std::uint32_t n, std::span<const Message> messages,
+                    DecodeArena& arena) const override;
 
  private:
   std::shared_ptr<const DecisionProtocol> gamma_;
@@ -74,12 +76,23 @@ class TriangleReduction final : public ReconstructionProtocol {
                              bool verified = false);
   std::string name() const override;
   void encode(const LocalViewRef& view, BitWriter& w) const override;
-  Graph reconstruct(std::uint32_t n,
-                    std::span<const Message> messages) const override;
+  using ReconstructionProtocol::reconstruct;
+  Graph reconstruct(std::uint32_t n, std::span<const Message> messages,
+                    DecodeArena& arena) const override;
 
  private:
   std::shared_ptr<const DecisionProtocol> gamma_;
   bool verified_;
 };
+
+/// Referee-phase Γ^l evaluation counter (thread-local): the number of
+/// gadget-vertex messages the reduction referees encoded during
+/// reconstruct(). The diameter referee caches its gadget messages keyed by
+/// vertex, so its count is 2n+1 instead of the historic n(n−1); the square
+/// and triangle gadget messages depend on the (s,t) pair itself and stay
+/// O(n²) encodes of O(1)-degree views (but allocation-free). Benchmarks and
+/// tests reset + read this around a reconstruct call to pin the scaling.
+std::uint64_t reduction_referee_encodes();
+void reset_reduction_referee_encodes();
 
 }  // namespace referee

@@ -43,33 +43,45 @@ void SketchBipartitenessProtocol::encode(const LocalViewRef& view,
   }
 }
 
-bool SketchBipartitenessProtocol::decide(
-    std::uint32_t n, std::span<const Message> messages) const {
+bool SketchBipartitenessProtocol::decide(std::uint32_t n,
+                                         std::span<const Message> messages,
+                                         DecodeArena& arena) const {
   if (messages.size() != n) {
     throw DecodeError(DecodeFault::kCountMismatch,
                       "expected one message per node");
   }
-  std::vector<Message> graph_msgs(n);
-  std::vector<Message> cover_msgs(2 * static_cast<std::size_t>(n));
+  // Split each node's bundle into its three framed payloads, all in pooled
+  // storage: one scratch writer, Message::assign into pooled slots.
+  auto graph_msgs_s = arena.scratch<Message>();
+  auto cover_msgs_s = arena.scratch<Message>();
+  auto writer_s = arena.scratch<BitWriter>();
+  std::vector<Message>& graph_msgs = *graph_msgs_s;
+  std::vector<Message>& cover_msgs = *cover_msgs_s;
+  grow_to(graph_msgs, n);
+  grow_to(cover_msgs, 2 * static_cast<std::size_t>(n));
+  grow_to(*writer_s, 1);
+  BitWriter& w = (*writer_s)[0];
   for (std::uint32_t i = 0; i < n; ++i) {
     BitReader r = messages[i].reader();
     const std::uint64_t len_g = read_delta0(r);
     const std::uint64_t len_low = read_delta0(r);
     const std::uint64_t len_high = read_delta0(r);
-    const auto take = [&r](std::uint64_t bits) {
-      BitWriter w;
+    const auto take = [&r, &w](std::uint64_t bits, Message& out) {
+      w.clear();
       for (std::uint64_t b = 0; b < bits; ++b) w.write_bit(r.read_bit());
-      return Message::seal(std::move(w));
+      out.assign(w);
     };
-    graph_msgs[i] = take(len_g);
-    cover_msgs[i] = take(len_low);
-    cover_msgs[i + n] = take(len_high);
+    take(len_g, graph_msgs[i]);
+    take(len_low, cover_msgs[i]);
+    take(len_high, cover_msgs[i + n]);
     if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
                       "trailing bits in message");
   }
   const SketchConnectivityProtocol base(params_);
-  const auto comp_g = base.decode(n, graph_msgs).component_count;
-  const auto comp_cover = base.decode(2 * n, cover_msgs).component_count;
+  const auto comp_g = base.component_count(
+      n, std::span<const Message>(graph_msgs.data(), n), arena);
+  const auto comp_cover = base.component_count(
+      2 * n, std::span<const Message>(cover_msgs.data(), 2 * n), arena);
   return comp_cover == 2 * comp_g;
 }
 

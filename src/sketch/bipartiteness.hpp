@@ -23,8 +23,9 @@ class SketchBipartitenessProtocol final : public DecisionProtocol {
 
   std::string name() const override;
   void encode(const LocalViewRef& view, BitWriter& w) const override;
-  bool decide(std::uint32_t n,
-              std::span<const Message> messages) const override;
+  using DecisionProtocol::decide;
+  bool decide(std::uint32_t n, std::span<const Message> messages,
+              DecodeArena& arena) const override;
 
  private:
   SketchParams params_;

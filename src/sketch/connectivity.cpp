@@ -34,46 +34,110 @@ std::vector<EdgeSketch> node_sketch_bank(const LocalViewRef& view,
   return bank;
 }
 
-SketchConnectivityResult boruvka_decode(
-    std::uint32_t n, const std::vector<std::vector<EdgeSketch>>& banks,
-    const SketchParams& params) {
+namespace {
+
+/// Borůvka over a flat vertex-major bank table (banks[v * stride + idx]) —
+/// the single implementation of the referee's round structure; the public
+/// nested-vector boruvka_decode flattens into it. Per-round member grouping
+/// is a counting sort into flat scratch instead of n nested vectors, and
+/// the forest, if requested, lands in `forest_out` (cleared first).
+SketchConnectivityResult boruvka_decode_flat(
+    std::uint32_t n, std::span<const EdgeSketch> banks, std::size_t stride,
+    const SketchParams& params, DecodeArena& arena,
+    std::vector<Edge>* forest_out) {
   SketchConnectivityResult result;
+  if (forest_out != nullptr) forest_out->clear();
   if (n == 0) return result;
   const unsigned rounds = params.rounds_for(n);
-  UnionFind uf(n);
+  auto uf_s = arena.scratch<UnionFind>();
+  grow_to(*uf_s, 1);
+  UnionFind& uf = (*uf_s)[0];
+  uf.reset(n);
+  auto offsets_s = arena.scratch<std::size_t>();
+  auto root_of_s = arena.scratch<Vertex>();
+  auto members_s = arena.scratch<Vertex>();
+  auto merged_s = arena.scratch<EdgeSketch>();
+  std::vector<std::size_t>& offsets = *offsets_s;
+  std::vector<Vertex>& root_of = *root_of_s;
+  std::vector<Vertex>& members = *members_s;
+  grow_to(*merged_s, 1);
+  EdgeSketch& merged = (*merged_s)[0];
   for (unsigned r = 0; r < rounds && uf.set_count() > 1; ++r) {
-    // Group members by start-of-round root.
-    std::vector<std::vector<Vertex>> members(n);
+    // Group members by start-of-round root: counting sort into one flat
+    // member row per root.
+    root_of.assign(n, 0);
+    offsets.assign(static_cast<std::size_t>(n) + 1, 0);
     for (Vertex v = 0; v < n; ++v) {
-      members[uf.find(v)].push_back(v);
+      root_of[v] = static_cast<Vertex>(uf.find(v));
+      ++offsets[root_of[v] + 1];
+    }
+    for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+    members.assign(n, 0);
+    {
+      auto cursor_s = arena.scratch<std::size_t>();
+      std::vector<std::size_t>& cursor = *cursor_s;
+      cursor.assign(offsets.begin(), offsets.end() - 1);
+      for (Vertex v = 0; v < n; ++v) members[cursor[root_of[v]]++] = v;
     }
     bool any_merge = false;
     for (Vertex root = 0; root < n; ++root) {
-      if (members[root].empty() || uf.set_count() == 1) continue;
+      const std::size_t lo = offsets[root];
+      const std::size_t hi = offsets[root + 1];
+      if (lo == hi || uf.set_count() == 1) continue;
       bool sampled = false;
       for (unsigned c = 0; c < params.copies && !sampled; ++c) {
         const std::size_t idx =
             static_cast<std::size_t>(r) * params.copies + c;
-        EdgeSketch merged = banks[members[root][0]][idx];
-        for (std::size_t i = 1; i < members[root].size(); ++i) {
-          merged.merge(banks[members[root][i]][idx]);
+        merged = banks[members[lo] * stride + idx];
+        for (std::size_t i = lo + 1; i < hi; ++i) {
+          merged.merge(banks[members[i] * stride + idx]);
         }
         const auto edge = merged.sample();
         if (edge) {
           sampled = true;
           if (uf.unite(edge->first, edge->second)) {
-            result.forest.emplace_back(edge->first, edge->second);
+            if (forest_out != nullptr) {
+              forest_out->emplace_back(edge->first, edge->second);
+            }
             any_merge = true;
           }
         }
       }
-      if (!sampled && members[root].size() < n) {
+      if (!sampled && hi - lo < n) {
         result.sampler_exhausted = true;
       }
     }
     if (!any_merge) break;  // fixed point: all live components are maximal
   }
   result.component_count = uf.set_count();
+  return result;
+}
+
+}  // namespace
+
+SketchConnectivityResult boruvka_decode(
+    std::uint32_t n, const std::vector<std::vector<EdgeSketch>>& banks,
+    const SketchParams& params) {
+  SketchConnectivityResult result;
+  if (n == 0) return result;
+  // Flatten into the vertex-major table so there is exactly one
+  // implementation of the round structure.
+  DecodeArena& arena = DecodeArena::for_current_thread();
+  const std::size_t stride =
+      static_cast<std::size_t>(params.rounds_for(n)) * params.copies;
+  auto flat_s = arena.scratch<EdgeSketch>();
+  std::vector<EdgeSketch>& flat = *flat_s;
+  grow_to(flat, static_cast<std::size_t>(n) * stride);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < stride; ++i) {
+      flat[v * stride + i] = banks[v][i];
+    }
+  }
+  std::vector<Edge> forest;
+  result = boruvka_decode_flat(
+      n, std::span<const EdgeSketch>(flat.data(), flat.size()), stride,
+      params, arena, &forest);
+  result.forest = std::move(forest);
   return result;
 }
 
@@ -100,32 +164,75 @@ void SketchConnectivityProtocol::encode(const LocalViewRef& view,
   for (const EdgeSketch& s : node_sketch_bank(view, params_)) s.write(w);
 }
 
-SketchConnectivityResult SketchConnectivityProtocol::decode(
-    std::uint32_t n, std::span<const Message> messages) const {
-  if (messages.size() != n) {
-    throw DecodeError(DecodeFault::kCountMismatch,
-                      "expected one message per node");
-  }
-  const unsigned rounds = params_.rounds_for(n);
-  std::vector<std::vector<EdgeSketch>> banks(n);
+namespace {
+
+/// Parse a transcript into a pooled flat bank table (vertex-major).
+void read_banks_flat(std::uint32_t n, std::span<const Message> messages,
+                     const SketchParams& params, std::vector<EdgeSketch>& banks,
+                     std::size_t& stride) {
+  const unsigned rounds = params.rounds_for(n);
+  stride = static_cast<std::size_t>(rounds) * params.copies;
+  grow_to(banks, static_cast<std::size_t>(n) * stride);
   for (std::uint32_t v = 0; v < n; ++v) {
     BitReader r = messages[v].reader();
-    banks[v].reserve(static_cast<std::size_t>(rounds) * params_.copies);
     for (unsigned round = 0; round < rounds; ++round) {
-      for (unsigned c = 0; c < params_.copies; ++c) {
-        banks[v].push_back(EdgeSketch::read(
-            r, n, sketch_bank_seed(params_.seed, round, c)));
+      for (unsigned c = 0; c < params.copies; ++c) {
+        banks[v * stride + round * params.copies + c].read_from(
+            r, n, sketch_bank_seed(params.seed, round, c));
       }
     }
     if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
                       "trailing bits in sketch message");
   }
-  return boruvka_decode(n, banks, params_);
 }
 
-bool SketchConnectivityProtocol::decide(
+}  // namespace
+
+SketchConnectivityResult SketchConnectivityProtocol::decode(
     std::uint32_t n, std::span<const Message> messages) const {
-  return decode(n, messages).component_count <= 1;
+  return decode(n, messages, DecodeArena::for_current_thread());
+}
+
+SketchConnectivityResult SketchConnectivityProtocol::decode(
+    std::uint32_t n, std::span<const Message> messages,
+    DecodeArena& arena) const {
+  if (messages.size() != n) {
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
+  }
+  auto banks_s = arena.scratch<EdgeSketch>();
+  std::size_t stride = 0;
+  read_banks_flat(n, messages, params_, *banks_s, stride);
+  auto forest_s = arena.scratch<Edge>();
+  SketchConnectivityResult result = boruvka_decode_flat(
+      n, std::span<const EdgeSketch>(banks_s->data(), banks_s->size()),
+      stride, params_, arena, &*forest_s);
+  // The result owns its forest; this copy is the one allocation the full-
+  // decode convenience pays, and decide() below skips it entirely.
+  result.forest.assign(forest_s->begin(), forest_s->end());
+  return result;
+}
+
+std::size_t SketchConnectivityProtocol::component_count(
+    std::uint32_t n, std::span<const Message> messages,
+    DecodeArena& arena) const {
+  if (messages.size() != n) {
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
+  }
+  auto banks_s = arena.scratch<EdgeSketch>();
+  std::size_t stride = 0;
+  read_banks_flat(n, messages, params_, *banks_s, stride);
+  return boruvka_decode_flat(
+             n, std::span<const EdgeSketch>(banks_s->data(), banks_s->size()),
+             stride, params_, arena, nullptr)
+      .component_count;
+}
+
+bool SketchConnectivityProtocol::decide(std::uint32_t n,
+                                        std::span<const Message> messages,
+                                        DecodeArena& arena) const {
+  return component_count(n, messages, arena) <= 1;
 }
 
 }  // namespace referee

@@ -66,13 +66,24 @@ class SketchConnectivityProtocol final : public DecisionProtocol {
 
   std::string name() const override;
   void encode(const LocalViewRef& view, BitWriter& w) const override;
-  bool decide(std::uint32_t n,
-              std::span<const Message> messages) const override;
+  using DecisionProtocol::decide;
+  bool decide(std::uint32_t n, std::span<const Message> messages,
+              DecodeArena& arena) const override;
 
   /// Full decode (component count + forest), for the spanning-forest
   /// example and the benchmarks.
   SketchConnectivityResult decode(std::uint32_t n,
                                   std::span<const Message> messages) const;
+  SketchConnectivityResult decode(std::uint32_t n,
+                                  std::span<const Message> messages,
+                                  DecodeArena& arena) const;
+
+  /// Component count only — the allocation-free core decide() runs on, also
+  /// used by the bipartiteness double-cover referee (which needs two counts
+  /// per decision and no forests).
+  std::size_t component_count(std::uint32_t n,
+                              std::span<const Message> messages,
+                              DecodeArena& arena) const;
 
  private:
   SketchParams params_;

@@ -56,11 +56,15 @@ std::optional<std::uint64_t> OneSparse::recover(
   return slot;
 }
 
-EdgeSketch::EdgeSketch(std::uint64_t n, std::uint64_t seed)
-    : n_(n), seed_(seed), z_(modp::reduce(mix64(seed ^ 0xF1A9u)) | 2u) {
+EdgeSketch::EdgeSketch(std::uint64_t n, std::uint64_t seed) { init(n, seed); }
+
+void EdgeSketch::init(std::uint64_t n, std::uint64_t seed) {
+  n_ = n;
+  seed_ = seed;
+  z_ = modp::reduce(mix64(seed ^ 0xF1A9u)) | 2u;
   const std::uint64_t slots = n < 2 ? 1 : n * (n - 1) / 2;
   const int max_level = ceil_log2(slots) + 1;
-  levels_.resize(static_cast<std::size_t>(max_level) + 1);
+  levels_.assign(static_cast<std::size_t>(max_level) + 1, OneSparse{});
 }
 
 int EdgeSketch::level_of(std::uint64_t slot) const {
@@ -121,13 +125,19 @@ void EdgeSketch::write(BitWriter& w) const {
 
 EdgeSketch EdgeSketch::read(BitReader& r, std::uint64_t n,
                             std::uint64_t seed) {
-  EdgeSketch s(n, seed);
-  for (OneSparse& cell : s.levels_) {
+  EdgeSketch s;
+  s.read_from(r, n, seed);
+  return s;
+}
+
+void EdgeSketch::read_from(BitReader& r, std::uint64_t n,
+                           std::uint64_t seed) {
+  init(n, seed);
+  for (OneSparse& cell : levels_) {
     cell.weight_sum = read_signed_delta(r);
     cell.index_sum = read_signed_delta(r);
     cell.fingerprint = r.read_bits(61);
   }
-  return s;
 }
 
 }  // namespace referee

@@ -66,10 +66,14 @@ class EdgeSketch {
 
   void write(BitWriter& w) const;
   static EdgeSketch read(BitReader& r, std::uint64_t n, std::uint64_t seed);
+  /// In-place deserialisation reusing this sketch's level storage (the
+  /// arena path: a pooled flat bank of EdgeSketch is refilled per decode).
+  void read_from(BitReader& r, std::uint64_t n, std::uint64_t seed);
 
   std::size_t level_count() const { return levels_.size(); }
 
  private:
+  void init(std::uint64_t n, std::uint64_t seed);
   int level_of(std::uint64_t slot) const;
   void account(Vertex v, Vertex w, int sign);
 

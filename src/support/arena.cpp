@@ -1,0 +1,21 @@
+#include "support/arena.hpp"
+
+#include <atomic>
+
+namespace referee {
+
+namespace detail {
+
+std::size_t arena_next_type_index() {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+DecodeArena& DecodeArena::for_current_thread() {
+  static thread_local DecodeArena arena;
+  return arena;
+}
+
+}  // namespace referee

@@ -1,0 +1,175 @@
+// Per-thread scratch arena for the referee's global (decode) phase.
+//
+// The campaign runner hammers `reconstruct()` across hundreds of cells per
+// sweep; PR 2 made the *local* phase allocation-free (LocalViewPack +
+// Message::assign), which left decode as the allocation hot spot: BigUInt
+// power-sum temporaries, candidate/root vectors, framed sub-messages. A
+// DecodeArena is a registry of typed vector pools: a decode path checks a
+// `std::vector<T>` out, uses it as bump storage, and returns it with its
+// capacity (and, for element types like BigUInt or Message, the elements'
+// own heap blocks) intact. After a warm-up pass every checkout is satisfied
+// from the pool and a steady-state campaign cell performs zero decode-path
+// heap allocations — a property the arena *instruments* (growth_events) so
+// tests can assert it rather than trust it.
+//
+// Contracts:
+//   * Checked-out vectors carry stale contents from their previous use.
+//     Callers of trivial element types may clear(); callers of non-trivial
+//     element types (BigUInt, Message) should grow_to() and overwrite in
+//     place so element capacity survives the round trip.
+//   * An arena is single-threaded. Cross-thread use is a data race; use
+//     for_current_thread() or one arena per worker.
+//   * Scratch handles obey stack discipline (RAII locals), so the pool is
+//     balanced at every decode boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace referee {
+
+class DecodeArena;
+
+namespace detail {
+/// Monotonic id per distinct scratch element type (process-wide).
+std::size_t arena_next_type_index();
+
+template <class T>
+std::size_t arena_type_index() {
+  static const std::size_t index = arena_next_type_index();
+  return index;
+}
+}  // namespace detail
+
+/// RAII checkout of a pooled std::vector<T>. Returns the vector to its pool
+/// on destruction, recording capacity growth in the arena's stats.
+template <class T>
+class ArenaScratch {
+ public:
+  ArenaScratch(ArenaScratch&& other) noexcept
+      : arena_(other.arena_),
+        vec_(std::move(other.vec_)),
+        checkout_capacity_(other.checkout_capacity_) {
+    other.arena_ = nullptr;
+  }
+  ArenaScratch(const ArenaScratch&) = delete;
+  ArenaScratch& operator=(const ArenaScratch&) = delete;
+  ArenaScratch& operator=(ArenaScratch&&) = delete;
+  ~ArenaScratch();
+
+  std::vector<T>& operator*() const { return *vec_; }
+  std::vector<T>* operator->() const { return vec_.get(); }
+  std::vector<T>& get() const { return *vec_; }
+
+ private:
+  friend class DecodeArena;
+  ArenaScratch(DecodeArena* arena, std::unique_ptr<std::vector<T>> vec)
+      : arena_(arena), vec_(std::move(vec)), checkout_capacity_(vec_->capacity()) {}
+
+  DecodeArena* arena_;
+  std::unique_ptr<std::vector<T>> vec_;
+  std::size_t checkout_capacity_;
+};
+
+/// Grow-only resize: never shrinks, so element capacity (and, for non-trivial
+/// elements, their heap blocks) survives reuse. The arena idiom for sizing a
+/// scratch vector.
+template <class T>
+void grow_to(std::vector<T>& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+}
+
+class DecodeArena {
+ public:
+  DecodeArena() = default;
+  DecodeArena(const DecodeArena&) = delete;
+  DecodeArena& operator=(const DecodeArena&) = delete;
+
+  /// Check a vector<T> out of the pool (largest capacity first, so a warm
+  /// pool satisfies the largest request without growing). Creates one when
+  /// the pool is dry — a growth event.
+  template <class T>
+  ArenaScratch<T> scratch() {
+    auto& pool = pool_for<T>();
+    ++stats_.checkouts;
+    if (pool.free_list.empty()) {
+      ++stats_.growth_events;
+      return ArenaScratch<T>(this, std::make_unique<std::vector<T>>());
+    }
+    // Largest-capacity-first keeps the pass-2 growth count at zero even when
+    // checkout order differs from the order vectors were returned in.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pool.free_list.size(); ++i) {
+      if (pool.free_list[i]->capacity() > pool.free_list[best]->capacity()) {
+        best = i;
+      }
+    }
+    auto vec = std::move(pool.free_list[best]);
+    pool.free_list[best] = std::move(pool.free_list.back());
+    pool.free_list.pop_back();
+    return ArenaScratch<T>(this, std::move(vec));
+  }
+
+  struct Stats {
+    /// Total scratch checkouts served (warm or cold).
+    std::uint64_t checkouts = 0;
+    /// Pool misses + capacity-growth round trips: the allocation counter a
+    /// steady-state decode must hold constant.
+    std::uint64_t growth_events = 0;
+    /// Bytes of vector capacity currently owned by the arena's pools
+    /// (element-internal heap, e.g. BigUInt limbs, not included).
+    std::uint64_t bytes_reserved = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::uint64_t growth_events() const { return stats_.growth_events; }
+
+  /// The calling thread's arena (thread_local). The default plumbing for
+  /// call sites that do not manage arenas explicitly; pool workers keep
+  /// theirs warm across an entire campaign.
+  static DecodeArena& for_current_thread();
+
+ private:
+  template <class T>
+  friend class ArenaScratch;
+
+  struct PoolBase {
+    virtual ~PoolBase() = default;
+  };
+  template <class T>
+  struct Pool final : PoolBase {
+    std::vector<std::unique_ptr<std::vector<T>>> free_list;
+  };
+
+  template <class T>
+  Pool<T>& pool_for() {
+    const std::size_t index = detail::arena_type_index<T>();
+    if (index >= pools_.size()) pools_.resize(index + 1);
+    if (!pools_[index]) pools_[index] = std::make_unique<Pool<T>>();
+    return static_cast<Pool<T>&>(*pools_[index]);
+  }
+
+  template <class T>
+  void give_back(std::unique_ptr<std::vector<T>> vec,
+                 std::size_t checkout_capacity) {
+    const std::size_t cap = vec->capacity();
+    if (cap > checkout_capacity) {
+      ++stats_.growth_events;
+      stats_.bytes_reserved += (cap - checkout_capacity) * sizeof(T);
+    }
+    pool_for<T>().free_list.push_back(std::move(vec));
+  }
+
+  std::vector<std::unique_ptr<PoolBase>> pools_;
+  Stats stats_;
+};
+
+template <class T>
+ArenaScratch<T>::~ArenaScratch() {
+  if (arena_ != nullptr && vec_ != nullptr) {
+    arena_->give_back(std::move(vec_), checkout_capacity_);
+  }
+}
+
+}  // namespace referee

@@ -5,12 +5,13 @@
 
 #include <cmath>
 #include <cstddef>
+#include <limits>
 
 #include "support/check.hpp"
 
 namespace referee {
 
-/// Welford online mean/variance.
+/// Welford online mean/variance with min/max tracking.
 class RunningStat {
  public:
   void add(double x) {
@@ -18,6 +19,8 @@ class RunningStat {
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(count_);
     m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
   }
 
   std::size_t count() const { return count_; }
@@ -26,21 +29,27 @@ class RunningStat {
     return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
   }
   double stddev() const { return std::sqrt(variance()); }
-  double min_seen() const { return min_; }
-  double max_seen() const { return max_; }
 
-  void add_tracked(double x) {
-    add(x);
-    if (x < min_) min_ = x;
-    if (x > max_) max_ = x;
+  /// Smallest/largest value seen so far; NaN when nothing was added (an
+  /// empty stat has no extrema — returning a ±1e300 sentinel here once let
+  /// report columns print it as if it were data).
+  double min_seen() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
   }
+  double max_seen() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
+
+  /// Historic alias from when min/max tracking was opt-in; add() now always
+  /// tracks, so the two are equivalent.
+  void add_tracked(double x) { add(x); }
 
  private:
   std::size_t count_ = 0;
   double mean_ = 0;
   double m2_ = 0;
-  double min_ = 1e300;
-  double max_ = -1e300;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /// Ordinary least squares y = intercept + slope * x.
@@ -66,12 +75,14 @@ class LinearFit {
   }
 
   double intercept() const {
+    REFEREE_CHECK_MSG(count_ >= 2, "need two points for a fit");
     const double n = static_cast<double>(count_);
     return (sum_y_ - slope() * sum_x_) / n;
   }
 
   /// Pearson r² of the fit.
   double r_squared() const {
+    REFEREE_CHECK_MSG(count_ >= 2, "need two points for a fit");
     const double n = static_cast<double>(count_);
     const double sxx = n * sum_xx_ - sum_x_ * sum_x_;
     const double syy = n * sum_yy_ - sum_y_ * sum_y_;

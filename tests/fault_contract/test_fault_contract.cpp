@@ -69,6 +69,27 @@ TEST(FaultContract, DefaultSweepHasZeroSilentWrongCells) {
   }
 }
 
+TEST(FaultContract, SecondSweepPassIsByteIdenticalAndArenaQuiescent) {
+  // The decode-arena reuse contract: one thread, the default 128-cell sweep
+  // run twice back to back. Pass 1 warms the calling thread's DecodeArena;
+  // pass 2 must produce byte-identical referee-campaign-v2 JSON *and* zero
+  // arena growth — the instrumented form of "a steady-state campaign cell
+  // performs no decode-path heap allocations".
+  const auto grid = expand_grid(default_fault_sweep_config());
+  ASSERT_EQ(grid.size(), 128u);
+  const CampaignRunner runner;  // no pool: both passes on this thread
+  const std::string first = campaign_json(grid, runner.run(grid));
+  DecodeArena& arena = DecodeArena::for_current_thread();
+  const auto warm_growth = arena.stats().growth_events;
+  const auto warm_checkouts = arena.stats().checkouts;
+  const std::string second = campaign_json(grid, runner.run(grid));
+  EXPECT_EQ(first, second);
+  EXPECT_GT(arena.stats().checkouts, warm_checkouts)
+      << "second pass did not route decode scratch through the arena";
+  EXPECT_EQ(arena.stats().growth_events, warm_growth)
+      << "second sweep pass allocated decode scratch";
+}
+
 TEST(FaultContract, SweepIsByteIdenticalAcrossThreadCounts) {
   const auto grid = expand_grid(sweep_config());
   const CampaignRunner sequential;

@@ -1,0 +1,148 @@
+// support/arena.hpp: the DecodeArena contract the campaign runner's
+// zero-allocation claim rests on — warm checkouts never grow, capacity (and
+// non-trivial element storage) survives the round trip, and the growth
+// counter is exact enough to assert on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/arena.hpp"
+
+namespace referee {
+namespace {
+
+TEST(DecodeArena, ColdCheckoutIsAGrowthEvent) {
+  DecodeArena arena;
+  EXPECT_EQ(arena.growth_events(), 0u);
+  {
+    auto s = arena.scratch<int>();
+    s->resize(100);
+  }
+  EXPECT_EQ(arena.stats().checkouts, 1u);
+  // One event for the pool miss, one for the capacity growth seen at return.
+  EXPECT_EQ(arena.growth_events(), 2u);
+}
+
+TEST(DecodeArena, WarmCheckoutKeepsCapacityAndGrowsNothing) {
+  DecodeArena arena;
+  {
+    auto s = arena.scratch<int>();
+    s->resize(1000);
+  }
+  const auto warm = arena.growth_events();
+  for (int pass = 0; pass < 10; ++pass) {
+    auto s = arena.scratch<int>();
+    EXPECT_GE(s->capacity(), 1000u);
+    s->clear();
+    for (int i = 0; i < 1000; ++i) s->push_back(i);
+  }
+  EXPECT_EQ(arena.growth_events(), warm);
+  EXPECT_EQ(arena.stats().checkouts, 11u);
+}
+
+TEST(DecodeArena, DistinctTypesUseDistinctPools) {
+  DecodeArena arena;
+  auto ints = arena.scratch<int>();
+  auto doubles = arena.scratch<double>();
+  auto ids = arena.scratch<std::uint32_t>();
+  ints->assign(4, 7);
+  doubles->assign(2, 1.5);
+  ids->assign(8, 9u);
+  EXPECT_EQ((*ints)[0], 7);
+  EXPECT_DOUBLE_EQ((*doubles)[1], 1.5);
+  EXPECT_EQ((*ids)[7], 9u);
+}
+
+TEST(DecodeArena, ConcurrentCheckoutsOfOneTypeAreIndependent) {
+  DecodeArena arena;
+  auto a = arena.scratch<int>();
+  auto b = arena.scratch<int>();
+  a->assign(3, 1);
+  b->assign(3, 2);
+  EXPECT_EQ((*a)[0], 1);
+  EXPECT_EQ((*b)[0], 2);
+}
+
+TEST(DecodeArena, LargestCapacityServedFirst) {
+  DecodeArena arena;
+  {
+    auto small = arena.scratch<int>();
+    auto large = arena.scratch<int>();
+    small->resize(8);
+    large->resize(4096);
+  }
+  const auto warm = arena.growth_events();
+  // Whatever order the vectors were returned in, the next checkout must get
+  // the big one — the property that keeps heterogeneous decode sequences
+  // growth-free after warm-up.
+  auto s = arena.scratch<int>();
+  EXPECT_GE(s->capacity(), 4096u);
+  grow_to(*s, 4096);
+  EXPECT_EQ(arena.growth_events(), warm);
+}
+
+TEST(DecodeArena, NonTrivialElementStorageSurvivesRoundTrip) {
+  DecodeArena arena;
+  const std::string long_string(256, 'x');
+  const char* payload = nullptr;
+  {
+    auto s = arena.scratch<std::string>();
+    grow_to(*s, 4);
+    (*s)[0] = long_string;
+    payload = (*s)[0].data();
+  }
+  {
+    auto s = arena.scratch<std::string>();
+    // grow_to never shrank, so element 0 still owns its heap block and an
+    // equal-size overwrite reuses it.
+    ASSERT_GE(s->size(), 4u);
+    (*s)[0].assign(256, 'y');
+    EXPECT_EQ((*s)[0].data(), payload);
+  }
+}
+
+TEST(DecodeArena, GrowToNeverShrinks) {
+  std::vector<int> v(10, 3);
+  grow_to(v, 4);
+  EXPECT_EQ(v.size(), 10u);
+  grow_to(v, 32);
+  EXPECT_EQ(v.size(), 32u);
+  EXPECT_EQ(v[9], 3);
+}
+
+TEST(DecodeArena, BytesReservedTracksCapacity) {
+  DecodeArena arena;
+  {
+    auto s = arena.scratch<std::uint64_t>();
+    s->resize(100);
+  }
+  EXPECT_GE(arena.stats().bytes_reserved, 100 * sizeof(std::uint64_t));
+}
+
+TEST(DecodeArena, ThreadLocalArenasAreDistinct) {
+  DecodeArena* main_arena = &DecodeArena::for_current_thread();
+  DecodeArena* worker_arena = nullptr;
+  std::thread t([&] { worker_arena = &DecodeArena::for_current_thread(); });
+  t.join();
+  ASSERT_NE(worker_arena, nullptr);
+  EXPECT_NE(main_arena, worker_arena);
+  EXPECT_EQ(main_arena, &DecodeArena::for_current_thread());
+}
+
+TEST(DecodeArena, MoveTransfersOwnershipOfTheCheckout) {
+  DecodeArena arena;
+  {
+    auto a = arena.scratch<int>();
+    a->resize(16);
+    ArenaScratch<int> b = std::move(a);
+    EXPECT_EQ(b->size(), 16u);
+  }  // exactly one return; no double-free, pool holds one vector
+  auto c = arena.scratch<int>();
+  EXPECT_GE(c->capacity(), 16u);
+}
+
+}  // namespace
+}  // namespace referee

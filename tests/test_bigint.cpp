@@ -84,5 +84,53 @@ TEST(BigInt, MixedSignAccumulation) {
   EXPECT_EQ(acc.to_i64(), 50);  // -1+2-3+4-... = 50
 }
 
+TEST(BigInt, AssignI64CoversSignRange) {
+  BigInt v(BigUInt(1) << 100, true);
+  v.assign_i64(-7);
+  EXPECT_EQ(v.to_i64(), -7);
+  v.assign_i64(INT64_MIN);
+  EXPECT_EQ(v.to_i64(), INT64_MIN);
+  v.assign_i64(0);
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_FALSE(v.is_negative());
+}
+
+TEST(BigInt, NegateFlipsInPlace) {
+  BigInt v(9);
+  v.negate();
+  EXPECT_EQ(v.to_i64(), -9);
+  BigInt zero;
+  zero.negate();
+  EXPECT_FALSE(zero.is_negative());
+}
+
+TEST(BigInt, MulU64AndMulIntoMatchOperatorStar) {
+  BigInt a(-123456789);
+  BigInt expect = a * BigInt(77);
+  a.mul_u64(77);
+  EXPECT_EQ(a, expect);
+  a.mul_u64(0);
+  EXPECT_TRUE(a.is_zero());
+  EXPECT_FALSE(a.is_negative());
+
+  const BigInt x(BigUInt(99) << 80, true);
+  const BigInt y(BigUInt(3) << 64, false);
+  BigInt out(12345);
+  BigInt::mul_into(x, y, out);
+  EXPECT_EQ(out, x * y);
+  EXPECT_TRUE(out.is_negative());
+}
+
+TEST(BigInt, DivExactU64InPlace) {
+  BigInt v(-21 * 5);
+  v.div_exact_u64(5);
+  EXPECT_EQ(v.to_i64(), -21);
+  BigInt odd(7);
+  EXPECT_THROW(odd.div_exact_u64(2), DecodeError);
+  BigInt zero;
+  zero.div_exact_u64(3);
+  EXPECT_TRUE(zero.is_zero());
+}
+
 }  // namespace
 }  // namespace referee

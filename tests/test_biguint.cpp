@@ -167,5 +167,49 @@ TEST(BigUInt, SerializeZero) {
   EXPECT_TRUE(BigUInt::read(r).is_zero());
 }
 
+TEST(BigUInt, AssignU64ResetsInPlace) {
+  BigUInt v = BigUInt(7) << 200;  // multi-limb
+  v.assign_u64(42);
+  EXPECT_EQ(v.to_u64(), 42u);
+  v.assign_u64(0);
+  EXPECT_TRUE(v.is_zero());
+}
+
+TEST(BigUInt, MulU64MatchesGeneralMultiply) {
+  for (const std::uint64_t m : {0ull, 1ull, 3ull, 0xFFFFFFFFFFFFFFFFull}) {
+    BigUInt a = (BigUInt(0xDEADBEEFull) << 100) + BigUInt(12345);
+    BigUInt expect = a * BigUInt(m);
+    a.mul_u64(m);
+    EXPECT_EQ(a, expect);
+  }
+  BigUInt zero;
+  zero.mul_u64(17);
+  EXPECT_TRUE(zero.is_zero());
+}
+
+TEST(BigUInt, MulIntoMatchesOperatorStar) {
+  const BigUInt a = (BigUInt(987654321) << 70) + BigUInt(55);
+  const BigUInt b = (BigUInt(1234567) << 64) + BigUInt(999);
+  BigUInt out = BigUInt(1) << 300;  // stale multi-limb contents to overwrite
+  BigUInt::mul_into(a, b, out);
+  EXPECT_EQ(out, a * b);
+  BigUInt::mul_into(a, BigUInt(), out);
+  EXPECT_TRUE(out.is_zero());
+}
+
+TEST(BigUInt, ReadFromReusesStorageAndMatchesRead) {
+  const BigUInt v = (BigUInt(31337) << 90) + BigUInt(7);
+  BitWriter w;
+  v.write(w);
+  v.write(w);
+  BitReader r(w.bytes(), w.bit_size());
+  BigUInt scratch = BigUInt(1) << 500;  // larger than needed; must shrink fit
+  scratch.read_from(r);
+  EXPECT_EQ(scratch, v);
+  scratch.read_from(r);
+  EXPECT_EQ(scratch, v);
+  EXPECT_TRUE(r.exhausted());
+}
+
 }  // namespace
 }  // namespace referee

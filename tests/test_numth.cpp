@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "numth/decoder.hpp"
@@ -196,6 +197,94 @@ TEST(Wright, DroppingTopPowerBreaksInjectivity) {
   // {1,4} and {2,3} share p1 = 5.
   EXPECT_TRUE(exists_collision_without_top_power(6, 2));
   EXPECT_TRUE(exists_collision_without_top_power(8, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Arena decode paths: same answers as the allocating forms, and — the
+// regression the campaign's zero-allocation claim rests on — a warm arena
+// never grows across repeated decodes, even when the degree swings between
+// calls (the historic roots.reserve(degree) pattern re-allocated per call).
+// ---------------------------------------------------------------------------
+
+std::vector<NodeId> all_candidates(std::uint32_t n) {
+  std::vector<NodeId> c(n);
+  std::iota(c.begin(), c.end(), 1u);
+  return c;
+}
+
+TEST(ArenaDecode, IntoFormsMatchAllocatingForms) {
+  DecodeArena arena;
+  const std::vector<NodeId> ids{3, 8, 21, 40};
+  const auto sums = power_sums(ids, 4);
+  const auto candidates = all_candidates(41);
+
+  auto elementary_scratch = arena.scratch<BigInt>();
+  elementary_from_power_sums_into(sums, arena, *elementary_scratch);
+  const auto elementary = elementary_from_power_sums(sums);
+  for (std::size_t i = 0; i < elementary.size(); ++i) {
+    EXPECT_EQ((*elementary_scratch)[i], elementary[i]);
+  }
+
+  std::vector<NodeId> roots;
+  roots_among_into(elementary, candidates, arena, roots);
+  EXPECT_EQ(roots, ids);
+  EXPECT_EQ(roots, roots_among(elementary, candidates));
+
+  EXPECT_TRUE(matches_power_sums(sums, ids, arena));
+  EXPECT_FALSE(matches_power_sums(sums, std::vector<NodeId>{3, 8, 21}, arena));
+}
+
+TEST(ArenaDecode, SubtractContributionSpanFormMatches) {
+  DecodeArena arena;
+  std::vector<BigUInt> via_vector = power_sums(std::vector<NodeId>{5, 9}, 3);
+  std::vector<BigUInt> via_span = via_vector;
+  subtract_contribution(via_vector, 9);
+  subtract_contribution(std::span<BigUInt>(via_span), 9, arena);
+  EXPECT_EQ(via_vector, via_span);
+  EXPECT_THROW(
+      subtract_contribution(std::span<BigUInt>(via_span), 9999, arena),
+      DecodeError);
+}
+
+template <class Decoder>
+void expect_zero_growth_when_warm(const Decoder& decoder, std::uint32_t n,
+                                  unsigned k) {
+  DecodeArena arena;
+  const auto candidates = all_candidates(n);
+  Rng rng(0xA11C);
+  // Data-dependent degrees per decode: sample fresh neighbour sets.
+  const auto run_pass = [&](std::uint64_t seed) {
+    Rng pass_rng(seed);
+    std::vector<NodeId> out;
+    for (int call = 0; call < 32; ++call) {
+      const unsigned degree = 1 + static_cast<unsigned>(pass_rng.below(k));
+      std::vector<NodeId> ids;
+      while (ids.size() < degree) {
+        const NodeId id = 1 + static_cast<NodeId>(pass_rng.below(n));
+        if (std::find(ids.begin(), ids.end(), id) == ids.end())
+          ids.push_back(id);
+      }
+      std::sort(ids.begin(), ids.end());
+      const auto sums = power_sums(ids, degree);
+      decoder.decode_into(degree, sums, candidates, arena, out);
+      EXPECT_EQ(out, ids);
+    }
+  };
+  run_pass(7);  // warm-up: pools and capacities materialise here
+  const auto warm = arena.growth_events();
+  run_pass(7);
+  run_pass(13);  // different degree sequence — still no growth
+  EXPECT_EQ(arena.growth_events(), warm)
+      << "warm arena grew: decode path allocated";
+  EXPECT_GT(arena.stats().checkouts, 0u);
+}
+
+TEST(ArenaDecode, NewtonDecoderZeroGrowthWhenWarm) {
+  expect_zero_growth_when_warm(NewtonDecoder(), 24, 4);
+}
+
+TEST(ArenaDecode, SmallNewtonDecoderZeroGrowthWhenWarm) {
+  expect_zero_growth_when_warm(SmallNewtonDecoder(24, 4), 24, 4);
 }
 
 }  // namespace

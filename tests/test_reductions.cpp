@@ -149,5 +149,68 @@ TEST(Reductions, AllThreeAgreeOnCommonDomain) {
       g);
 }
 
+// ---------------------------------------------------------------------------
+// Referee-phase encode work. The diameter referee's gadget messages are
+// vertex-keyed and cached — 2n+1 encodes instead of the historic n(n−1).
+// The square/triangle in-loop gadget views depend on the (s,t) pair itself
+// (s's pendant gains the edge to t's pendant; the apex sees {s,t}), so their
+// counts are exactly the irreducible per-pair encodes plus the cached
+// vertex-keyed defaults — pinned here so a regression back to per-pair
+// re-encoding of cacheable messages fails loudly.
+// ---------------------------------------------------------------------------
+
+std::uint64_t referee_encodes_for(const ReconstructionProtocol& delta,
+                                  const Graph& g) {
+  const Simulator sim;
+  const auto messages = sim.run_local_phase(g, delta);
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  reset_reduction_referee_encodes();
+  EXPECT_EQ(delta.reconstruct(n, messages), g);
+  return reduction_referee_encodes();
+}
+
+TEST(Reductions, DiameterRefereeEncodesAreLinear) {
+  for (const std::uint32_t n : {6u, 12u}) {
+    Rng rng(0xD1A + n);
+    const Graph g = gen::gnp(n, 0.3, rng);
+    const DiameterReduction delta(make_diameter_oracle(3));
+    EXPECT_EQ(referee_encodes_for(delta, g), 2u * n + 1u);
+  }
+}
+
+TEST(Reductions, SquareRefereeEncodesArePendantDefaultsPlusPairs) {
+  for (const std::uint32_t n : {6u, 10u}) {
+    Rng rng(0x54 + n);
+    const Graph g = gen::random_square_free(n, 60 * n, rng);
+    const SquareReduction delta(make_square_oracle());
+    EXPECT_EQ(referee_encodes_for(delta, g),
+              n + 2u * (n * (n - 1u) / 2u));
+  }
+}
+
+TEST(Reductions, TriangleRefereeEncodesAreOnePerPair) {
+  const std::uint32_t n = 8;
+  const Graph g = gen::cycle(n);
+  const TriangleReduction delta(make_triangle_oracle());
+  EXPECT_EQ(referee_encodes_for(delta, g), n * (n - 1u) / 2u);
+}
+
+TEST(Reductions, WarmArenaReconstructGrowsNothing) {
+  Rng rng(0xA5E);
+  const Graph g = gen::gnp(10, 0.3, rng);
+  const Simulator sim;
+  const DiameterReduction delta(make_diameter_oracle(3));
+  const auto messages = sim.run_local_phase(g, delta);
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  DecodeArena arena;
+  EXPECT_EQ(delta.reconstruct(n, messages, arena), g);  // warm-up
+  const auto warm = arena.growth_events();
+  for (int pass = 0; pass < 3; ++pass) {
+    EXPECT_EQ(delta.reconstruct(n, messages, arena), g);
+  }
+  EXPECT_EQ(arena.growth_events(), warm)
+      << "warm reduction referee allocated decode scratch";
+}
+
 }  // namespace
 }  // namespace referee

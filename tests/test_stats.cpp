@@ -1,0 +1,110 @@
+// support/stats.hpp: RunningStat extrema tracking and LinearFit degenerate-
+// input guards. Regression suite for two former foot-guns: min_seen()/
+// max_seen() leaked ±1e300 sentinels when only add() was used (or when the
+// stat was empty), and intercept()/r_squared() on a single point CHECK-failed
+// deep inside slope() with a misleading "degenerate x values" message.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/stats.hpp"
+
+namespace referee {
+namespace {
+
+TEST(RunningStat, AddTracksExtrema) {
+  RunningStat s;
+  s.add(5.0);
+  s.add(-2.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.min_seen(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max_seen(), 9.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(RunningStat, AddTrackedIsAnAliasOfAdd) {
+  RunningStat plain;
+  RunningStat tracked;
+  for (const double x : {4.0, 7.0, 1.0}) {
+    plain.add(x);
+    tracked.add_tracked(x);
+  }
+  EXPECT_DOUBLE_EQ(plain.min_seen(), tracked.min_seen());
+  EXPECT_DOUBLE_EQ(plain.max_seen(), tracked.max_seen());
+  EXPECT_DOUBLE_EQ(plain.mean(), tracked.mean());
+  EXPECT_DOUBLE_EQ(plain.variance(), tracked.variance());
+}
+
+TEST(RunningStat, EmptyExtremaAreNaN) {
+  const RunningStat s;
+  EXPECT_TRUE(std::isnan(s.min_seen()));
+  EXPECT_TRUE(std::isnan(s.max_seen()));
+}
+
+TEST(RunningStat, SingleValueIsBothExtrema) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.min_seen(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max_seen(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, ExtremaBeyondOldSentinelsAreExact) {
+  // The historic ±1e300 sentinels capped what min/max could report.
+  RunningStat s;
+  s.add(1e301);
+  EXPECT_DOUBLE_EQ(s.min_seen(), 1e301);
+  EXPECT_DOUBLE_EQ(s.max_seen(), 1e301);
+  s.add(-1e301);
+  EXPECT_DOUBLE_EQ(s.min_seen(), -1e301);
+}
+
+TEST(LinearFit, TwoPointFitIsExact) {
+  LinearFit fit;
+  fit.add(1.0, 3.0);
+  fit.add(3.0, 7.0);
+  EXPECT_NEAR(fit.slope(), 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept(), 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared(), 1.0, 1e-12);
+}
+
+TEST(LinearFit, SinglePointInterceptThrowsItsOwnGuard) {
+  LinearFit fit;
+  fit.add(2.0, 5.0);
+  // The guard must name the real problem (too few points), not fall through
+  // to slope()'s "degenerate x values" check.
+  try {
+    (void)fit.intercept();
+    FAIL() << "intercept() on one point must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("two points"), std::string::npos);
+  }
+}
+
+TEST(LinearFit, SinglePointRSquaredThrowsItsOwnGuard) {
+  LinearFit fit;
+  fit.add(2.0, 5.0);
+  try {
+    (void)fit.r_squared();
+    FAIL() << "r_squared() on one point must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("two points"), std::string::npos);
+  }
+}
+
+TEST(LinearFit, EmptyFitThrowsOnEveryAccessor) {
+  const LinearFit fit;
+  EXPECT_THROW((void)fit.slope(), CheckError);
+  EXPECT_THROW((void)fit.intercept(), CheckError);
+  EXPECT_THROW((void)fit.r_squared(), CheckError);
+}
+
+TEST(LinearFit, DegenerateXStillDetectedWithEnoughPoints) {
+  LinearFit fit;
+  fit.add(4.0, 1.0);
+  fit.add(4.0, 2.0);
+  EXPECT_THROW((void)fit.slope(), CheckError);
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Gate benchmark regressions against committed baselines.
+
+Compares Google Benchmark JSON produced by a fresh run against the
+`BENCH_<suite>.baseline.json` snapshots committed at the repository root,
+and fails (exit 1) when any benchmark's real_time regresses by more than
+the tolerance. Benchmarks present on only one side are reported but do not
+fail the gate (suites grow; baselines are refreshed when they do).
+
+Usage:
+  tools/bench_diff.py --current-dir bench-results [--baseline-dir .]
+                      [--tolerance 0.15] SUITE [SUITE ...]
+
+where SUITE is e.g. `reconstruction` for BENCH_reconstruction.json.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) — compare raw runs only.
+        if row.get("run_type") == "aggregate":
+            continue
+        rows[row["name"]] = row
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("suites", nargs="+", metavar="SUITE")
+    parser.add_argument("--baseline-dir", default=".")
+    parser.add_argument("--current-dir", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional slowdown (default 0.15)")
+    args = parser.parse_args()
+
+    failures = []
+    compared = 0
+    for suite in args.suites:
+        baseline_path = os.path.join(args.baseline_dir,
+                                     f"BENCH_{suite}.baseline.json")
+        current_path = os.path.join(args.current_dir, f"BENCH_{suite}.json")
+        for path in (baseline_path, current_path):
+            if not os.path.exists(path):
+                print(f"bench_diff: missing {path}", file=sys.stderr)
+                return 1
+        baseline = load_rows(baseline_path)
+        current = load_rows(current_path)
+        suite_compared = 0
+        for name in sorted(set(baseline) | set(current)):
+            if name not in baseline or name not in current:
+                side = "baseline" if name not in current else "current run"
+                print(f"  [skip] {suite}/{name}: only in {side}")
+                continue
+            b, c = baseline[name], current[name]
+            if b.get("time_unit") != c.get("time_unit"):
+                failures.append(f"{suite}/{name}: time_unit changed "
+                                f"({b.get('time_unit')} -> {c.get('time_unit')})")
+                continue
+            compared += 1
+            suite_compared += 1
+            b_time, c_time = b["real_time"], c["real_time"]
+            ratio = c_time / b_time if b_time > 0 else float("inf")
+            marker = "OK"
+            if ratio > 1.0 + args.tolerance:
+                marker = "REGRESSION"
+                failures.append(
+                    f"{suite}/{name}: {b_time:.3f} -> {c_time:.3f} "
+                    f"{b.get('time_unit')} ({(ratio - 1) * 100:+.1f}%)")
+            print(f"  [{marker}] {suite}/{name}: "
+                  f"{b_time:.3f} -> {c_time:.3f} {b.get('time_unit')} "
+                  f"({(ratio - 1) * 100:+.1f}%)")
+        if suite_compared == 0:
+            # A fully renamed/empty suite must not slip through as "all
+            # skipped" while another suite keeps the global count positive.
+            failures.append(f"{suite}: no benchmarks compared "
+                            "(renamed suite? refresh its baseline)")
+
+    print(f"bench_diff: compared {compared} benchmarks, "
+          f"{len(failures)} regression(s) beyond "
+          f"{args.tolerance * 100:.0f}%")
+    if failures:
+        print("bench_diff: FAILING on:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    if compared == 0:
+        print("bench_diff: nothing compared — treat as failure",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
