@@ -3,10 +3,19 @@
 // grid level is where the library parallelises best — every scenario is an
 // independent pipeline, and each worker chunk reuses one message arena —
 // so this curve is the headline number for "as many scenarios as you can
-// imagine".
+// imagine". BM_CampaignMmapCell prices the on-disk input path: one
+// million-node cell fed from an mmap'd binary edge list through the
+// CsrGraph bulk constructor (no materialized edge vector).
 #include <benchmark/benchmark.h>
 
-#include "model/campaign.hpp"
+#include <filesystem>
+#include <vector>
+
+#include "campaign/backend.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/scenario.hpp"
+#include "graph/io.hpp"
 
 namespace {
 
@@ -34,28 +43,58 @@ CampaignConfig bench_config() {
 
 void BM_CampaignGrid(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
-  const auto grid = expand_grid(bench_config());
+  const CampaignPlan plan{bench_config()};
   std::unique_ptr<ThreadPool> pool;
   if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
-  const CampaignRunner runner(pool.get());
+  const ThreadPoolBackend backend(pool.get());
   for (auto _ : state) {
-    const auto results = runner.run(grid);
+    const auto results = backend.run_cells(plan);
     benchmark::DoNotOptimize(results.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(grid.size()));
-  state.counters["scenarios"] = static_cast<double>(grid.size());
+                          static_cast<std::int64_t>(plan.cells().size()));
+  state.counters["scenarios"] = static_cast<double>(plan.cells().size());
   state.counters["threads"] = static_cast<double>(threads == 0 ? 1 : threads);
 }
 
 void BM_CampaignJson(benchmark::State& state) {
-  const auto grid = expand_grid(bench_config());
-  const CampaignRunner runner;
-  const auto results = runner.run(grid);
+  const CampaignPlan plan{bench_config()};
+  const ThreadPoolBackend backend;
+  const auto results = backend.run_cells(plan);
   for (auto _ : state) {
-    const auto json = campaign_json(grid, results);
+    const auto json = CampaignReport::from_results(plan, results).to_json();
     benchmark::DoNotOptimize(json.size());
   }
+}
+
+/// One million-node campaign cell from an mmap'd binary edge list: prices
+/// the whole file-backed pipeline (mmap → CsrGraph canonicalization →
+/// LocalViewPack → local phase → referee decode → ground truth). The file
+/// is written once per process into the temp directory.
+void BM_CampaignMmapCell(benchmark::State& state) {
+  static const std::string path = [] {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "referee_bench";
+    std::filesystem::create_directories(dir);
+    const std::string file = (dir / "bench_million.rgb").string();
+    constexpr std::size_t kN = 1u << 20;
+    std::vector<Edge> edges;
+    edges.reserve(kN + kN / 64);
+    for (Vertex v = 0; v + 1 < kN; ++v) edges.emplace_back(v, v + 1);
+    for (Vertex v = 0; v + 64 < kN; v += 64) edges.emplace_back(v, v + 64);
+    write_edge_file(file, kN, edges);
+    return file;
+  }();
+  ScenarioSpec spec;
+  spec.generator = "file:" + path;
+  spec.protocol = "stats";
+  for (auto _ : state) {
+    const auto res = run_scenario(spec);
+    benchmark::DoNotOptimize(res.outcome.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 20));
+  state.counters["nodes"] = 1 << 20;
 }
 
 }  // namespace
@@ -63,3 +102,4 @@ void BM_CampaignJson(benchmark::State& state) {
 BENCHMARK(BM_CampaignGrid)->Arg(0)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_CampaignJson)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CampaignMmapCell)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,47 @@
+#include "campaign/backend.hpp"
+
+#include "support/arena.hpp"
+
+namespace referee {
+
+std::vector<ScenarioResult> ThreadPoolBackend::run_cells(
+    const CampaignPlan& plan) const {
+  const auto& cells = plan.cells();
+  std::vector<ScenarioResult> results(cells.size());
+  const Simulator inner;  // scenarios parallelise at grid level
+  maybe_parallel_for_chunks(
+      pool_, 0, cells.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<Message> transcript;  // reused across the chunk's cells
+        // Decode scratch is owned per pool thread: the thread_local arena
+        // stays warm across chunks, campaigns and sweeps on that worker, so
+        // after the first cells the whole global phase stops allocating.
+        DecodeArena& arena = DecodeArena::for_current_thread();
+        for (std::size_t i = lo; i < hi; ++i) {
+          try {
+            results[i] = run_scenario(cells[i].spec, inner, transcript, arena);
+          } catch (const CampaignError&) {
+            throw;
+          } catch (const std::exception& e) {
+            // Referee refusals (DecodeError) were classified inside
+            // run_scenario; anything escaping here is the cell's pipeline
+            // breaking. Name the cell so the failure is reproducible.
+            throw CampaignError(
+                cells[i].id,
+                "campaign cell " + std::to_string(cells[i].id) + " (" +
+                    cells[i].spec.generator + "/" + cells[i].spec.protocol +
+                    ", n=" + std::to_string(cells[i].spec.n) + ", seed=" +
+                    std::to_string(cells[i].spec.seed) + ") failed: " +
+                    e.what());
+          }
+        }
+      },
+      /*serial_cutoff=*/2);
+  return results;
+}
+
+CampaignReport ThreadPoolBackend::run(const CampaignPlan& plan) const {
+  return CampaignReport::from_results(plan, run_cells(plan));
+}
+
+}  // namespace referee

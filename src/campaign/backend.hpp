@@ -1,0 +1,77 @@
+// Campaign execution backends.
+//
+// A CampaignBackend turns a CampaignPlan into a CampaignReport. Backends
+// differ only in *where* cells run — the in-process thread pool, a fleet of
+// worker subprocesses (campaign/subprocess.hpp), someday other hosts — and
+// never in *what* they produce: every backend's report for the same plan
+// merges to the same bytes, because cells are deterministic functions of
+// their spec and rows are formatted at the source (campaign/report.hpp).
+//
+// Worker failure is uniform across backends: a cell that fails *as a
+// referee* (DecodeError) is a classified "loud" outcome, but a cell whose
+// pipeline itself throws — unknown generator, unreadable graph file,
+// resource exhaustion — surfaces as a typed CampaignError naming the cell,
+// never as a hang, a terminate() or a silently missing row.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "support/thread_pool.hpp"
+
+namespace referee {
+
+/// A campaign cell's pipeline (not its decode) failed, or a backend could
+/// not obtain a shard's results. `cell()` is the stable cell id, or
+/// kNoCell for infrastructure failures that are not attributable to one
+/// cell (a worker process that died before reporting, say).
+class CampaignError : public std::runtime_error {
+ public:
+  static constexpr std::size_t kNoCell = static_cast<std::size_t>(-1);
+
+  CampaignError(std::size_t cell, const std::string& what)
+      : std::runtime_error(what), cell_(cell) {}
+
+  std::size_t cell() const { return cell_; }
+
+ private:
+  std::size_t cell_;
+};
+
+class CampaignBackend {
+ public:
+  virtual ~CampaignBackend() = default;
+
+  /// Execute every cell of `plan` and return its report (a shard report
+  /// when the plan is a shard). Throws CampaignError on worker failure.
+  virtual CampaignReport run(const CampaignPlan& plan) const = 0;
+};
+
+/// The in-process backend: cells shard over a ThreadPool (or run
+/// sequentially when `pool` is null), each worker chunk reusing one
+/// transcript buffer and one warm DecodeArena, so steady-state campaign
+/// throughput allocates almost nothing per scenario.
+class ThreadPoolBackend final : public CampaignBackend {
+ public:
+  /// `pool` may be null (sequential). Not owned. Scenario-level sharding:
+  /// each scenario runs its local phase sequentially, the grid runs in
+  /// parallel — the right granularity once scenarios outnumber cores.
+  explicit ThreadPoolBackend(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  CampaignReport run(const CampaignPlan& plan) const override;
+
+  /// The detail path: full ScenarioResults (fault journal, frugality
+  /// report) indexed like plan.cells(), for harnesses that assert on more
+  /// than the report projection. run() is exactly
+  /// CampaignReport::from_results(plan, run_cells(plan)).
+  std::vector<ScenarioResult> run_cells(const CampaignPlan& plan) const;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace referee

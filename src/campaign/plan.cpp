@@ -1,0 +1,84 @@
+#include "campaign/plan.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace referee {
+
+std::vector<ScenarioSpec> expand_grid(const CampaignConfig& config) {
+  std::vector<ScenarioSpec> grid;
+  grid.reserve(config.generators.size() * config.sizes.size() *
+               config.protocols.size() * config.seeds.size() *
+               config.fault_plans.size());
+  for (const auto& generator : config.generators) {
+    for (const auto n : config.sizes) {
+      for (const auto& protocol : config.protocols) {
+        for (const auto seed : config.seeds) {
+          for (const auto& plan : config.fault_plans) {
+            ScenarioSpec spec;
+            spec.generator = generator;
+            spec.n = n;
+            spec.k = config.k;
+            spec.p = config.p;
+            spec.protocol = protocol;
+            spec.seed = seed;
+            spec.faults = plan;
+            grid.push_back(std::move(spec));
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+CampaignConfig default_fault_sweep_config() {
+  CampaignConfig config;
+  config.generators = {"kdeg", "tree", "gnp", "apollonian"};
+  config.sizes = {24};
+  config.protocols = {"degeneracy", "forest", "stats", "connectivity"};
+  config.seeds = {1, 2};
+  config.fault_plans = {
+      FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.25}},
+      FaultPlan{.correlated = CorrelatedFaults{.duplicate_ids = 2}},
+      FaultPlan{.correlated = CorrelatedFaults{.payload_swaps = 2}},
+      FaultPlan{.correlated = CorrelatedFaults{.stale_replays = 2}},
+  };
+  return config;
+}
+
+CampaignPlan::CampaignPlan(const CampaignConfig& config) {
+  auto grid = expand_grid(config);
+  total_ = grid.size();
+  cells_.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    cells_.push_back(CampaignCell{i, std::move(grid[i])});
+  }
+}
+
+CampaignPlan CampaignPlan::adopt(std::vector<ScenarioSpec> grid) {
+  CampaignPlan plan;
+  plan.total_ = grid.size();
+  plan.cells_.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    plan.cells_.push_back(CampaignCell{i, std::move(grid[i])});
+  }
+  return plan;
+}
+
+CampaignPlan CampaignPlan::shard(unsigned k, unsigned count) const {
+  REFEREE_CHECK_MSG(count >= 1 && k < count, "shard index out of range");
+  REFEREE_CHECK_MSG(is_full(), "only a full plan can be sharded");
+  CampaignPlan out;
+  out.total_ = total_;
+  out.shard_index_ = k;
+  out.shard_count_ = count;
+  out.cells_.reserve(cells_.size() / count + 1);
+  for (std::size_t i = k; i < cells_.size(); i += count) {
+    out.cells_.push_back(cells_[i]);
+  }
+  return out;
+}
+
+}  // namespace referee

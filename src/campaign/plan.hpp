@@ -1,0 +1,94 @@
+// Campaign planning: deterministic grid expansion and sharding.
+//
+// A CampaignPlan is the indexable cell list of a campaign: the cartesian
+// product of a CampaignConfig's axes, expanded once in deterministic order
+// and numbered with stable cell ids. Sharding slices the plan into
+// [shard k of N] sub-plans that keep the original ids, so any execution
+// backend — one thread pool, N worker processes, N hosts — produces cells
+// that merge back into the identical report (campaign/report.hpp pins the
+// bytes). The plan layer never runs anything; it only decides *what* runs
+// *where*.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+
+namespace referee {
+
+/// Axes of a campaign grid; expand_grid takes the cartesian product.
+struct CampaignConfig {
+  std::vector<std::string> generators{"kdeg", "tree", "gnp", "apollonian"};
+  std::vector<std::size_t> sizes{24, 48};
+  std::vector<std::string> protocols{"degeneracy", "forest", "stats",
+                                     "connectivity"};
+  std::vector<std::uint64_t> seeds{1, 2, 3, 4};
+  /// Fault plans are applied verbatim except the seed: each scenario's
+  /// fault stream is re-derived from its own seed so grids stay
+  /// reproducible cell-by-cell.
+  std::vector<FaultPlan> fault_plans{FaultPlan{}};
+  unsigned k = 3;
+  double p = 0.1;
+};
+
+/// The cartesian product of the config's axes, in deterministic order
+/// (generator-major, fault-plan-minor).
+std::vector<ScenarioSpec> expand_grid(const CampaignConfig& config);
+
+/// The adversarial fault sweep the harness and CI run by default: 128
+/// cells, every cell under exactly one correlated fault model. Under this
+/// grid every decoder must answer correctly or throw a typed DecodeError —
+/// zero silent-wrong cells, byte-identical JSON across shard and thread
+/// counts.
+CampaignConfig default_fault_sweep_config();
+
+/// One planned cell: a spec plus its stable id (the cell's index in the
+/// *full* grid, invariant under sharding — the "i" field of every JSON
+/// row and the key shard merging is keyed on).
+struct CampaignCell {
+  std::size_t id = 0;
+  ScenarioSpec spec;
+};
+
+class CampaignPlan {
+ public:
+  CampaignPlan() = default;
+
+  /// Expand the config's grid; ids are 0..total-1 in grid order.
+  explicit CampaignPlan(const CampaignConfig& config);
+
+  /// Adopt an explicit grid (ids 0..grid.size()-1 in the given order) —
+  /// the compatibility entry point for callers that built their own
+  /// ScenarioSpec list.
+  static CampaignPlan adopt(std::vector<ScenarioSpec> grid);
+
+  /// Cells this plan will execute (the full grid, or one shard of it).
+  const std::vector<CampaignCell>& cells() const { return cells_; }
+
+  /// Size of the *full* grid this plan derives from — the denominator for
+  /// completeness checks, identical across all shards of one campaign.
+  std::size_t total_cells() const { return total_; }
+
+  bool is_full() const { return cells_.size() == total_; }
+
+  /// True when this plan is a proper shard; index/count describe which.
+  bool is_shard() const { return shard_count_ > 1; }
+  unsigned shard_index() const { return shard_index_; }
+  unsigned shard_count() const { return shard_count_; }
+
+  /// Slice [shard k of N]: cells with grid index ≡ k (mod N), ids
+  /// unchanged. Round-robin (not contiguous) so heterogeneous cell costs
+  /// balance across shards. The union of shards 0..N-1 is exactly the full
+  /// plan; shards are pairwise disjoint. Only full plans shard — sharding
+  /// a shard would silently renumber the strides.
+  CampaignPlan shard(unsigned k, unsigned count) const;
+
+ private:
+  std::vector<CampaignCell> cells_;
+  std::size_t total_ = 0;
+  unsigned shard_index_ = 0;
+  unsigned shard_count_ = 1;
+};
+
+}  // namespace referee

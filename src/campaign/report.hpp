@@ -1,0 +1,117 @@
+// Campaign aggregation: mergeable reports with a byte-stable JSON form.
+//
+// A CampaignReport is the aggregate layer of the campaign pipeline: a set
+// of per-cell rows keyed by stable cell id, plus the provenance of which
+// shard(s) computed them. Reports merge associatively — merge(shard 0..N-1)
+// of any shard count reconstructs, byte for byte, the exact
+// referee-campaign-v3 JSON a single-process run of the full plan emits.
+// That invariant is what lets campaigns scale across processes and hosts
+// without a trusted coordinator: any topology of partial merges converges
+// on the same bytes, and a CI job can diff the sharded artifact against
+// the single-process one.
+//
+// Schema referee-campaign-v3 (v2 + the "plan" block and shard provenance):
+//   {
+//     "schema": "referee-campaign-v3",
+//     "plan": {"cells": N},            // full-grid size, shard-invariant
+//     "shards": [ ... ],               // only on partial (shard) reports
+//     "fault_taxonomy": [ ... ],
+//     "scenarios": [ {"i": <stable cell id>, ...}, ... ],
+//     "aggregates": [ ... ],           // recomputed over the rows present
+//     "totals": { ... }
+//   }
+// A complete report (rows cover every plan cell) always emits the canonical
+// form with no "shards" key, regardless of how many merges produced it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/plan.hpp"
+
+namespace referee {
+
+/// Per-(generator, protocol) aggregation plus overall frugality extremes.
+struct CampaignAggregate {
+  std::string generator;
+  std::string protocol;
+  std::size_t scenarios = 0;
+  std::size_t ok = 0;            // exact or correct
+  std::size_t loud = 0;          // refused loudly
+  std::size_t silent_wrong = 0;  // contract violations
+  std::size_t max_bits = 0;      // max over scenarios of per-node max
+  double mean_max_bits = 0.0;    // mean over scenarios of per-node max
+  double max_constant = 0.0;     // worst c in c·log2(n+1)
+};
+
+class CampaignReport {
+ public:
+  CampaignReport() = default;
+
+  /// Project executed results into a report. `results` is indexed like
+  /// `plan.cells()`; the plan's shard identity becomes the report's
+  /// provenance.
+  static CampaignReport from_results(const CampaignPlan& plan,
+                                     std::span<const ScenarioResult> results);
+
+  /// Parse a referee-campaign-v3 document (canonical or shard form) back
+  /// into a mergeable report — the ingestion path for subprocess workers
+  /// and `refereectl campaign --merge`. Strict: throws CheckError on any
+  /// schema mismatch.
+  static CampaignReport from_json(std::string_view json);
+
+  /// Fold another report of the same plan into this one. Cell sets must be
+  /// disjoint; associative and (up to row order, which is canonicalized)
+  /// commutative.
+  void merge(CampaignReport other);
+
+  std::size_t plan_cells() const { return plan_cells_; }
+  std::size_t cell_count() const { return rows_.size(); }
+  bool complete() const { return rows_.size() == plan_cells_; }
+
+  std::vector<CampaignAggregate> aggregates() const;
+  std::size_t silent_wrong_count() const;
+
+  std::string to_json() const;
+
+ private:
+  /// One scenario row: the exact JSON object it serializes to (formatting
+  /// once, at the source, is what makes merged bytes trivially identical)
+  /// plus the parsed fields aggregation needs.
+  struct Row {
+    std::size_t id = 0;
+    std::string generator;
+    std::string protocol;
+    std::string outcome;
+    std::size_t max_bits = 0;
+    std::size_t budget_bits = 0;
+    std::string json;  // "{...}" — no indent, no trailing comma
+  };
+  struct ShardProvenance {
+    unsigned index = 0;
+    unsigned count = 1;
+    std::size_t cells = 0;
+  };
+
+  void sort_and_validate();
+
+  std::size_t plan_cells_ = 0;
+  std::vector<Row> rows_;              // sorted by id, ids unique
+  std::vector<ShardProvenance> shards_;  // empty for single-process runs
+};
+
+/// Aggregate results by (generator, protocol), in first-seen grid order.
+std::vector<CampaignAggregate> aggregate_campaign(
+    const std::vector<ScenarioSpec>& grid,
+    const std::vector<ScenarioResult>& results);
+
+/// Deterministic JSON report for an explicit grid: byte-identical across
+/// runs, shardings and thread counts of the same grid. Equivalent to
+/// CampaignReport::from_results(CampaignPlan::adopt(grid), results).to_json().
+std::string campaign_json(const std::vector<ScenarioSpec>& grid,
+                          const std::vector<ScenarioResult>& results);
+
+}  // namespace referee

@@ -1,15 +1,15 @@
-#include "model/campaign.hpp"
+#include "campaign/scenario.hpp"
 
 #include <algorithm>
 #include <bit>
-#include <cstdarg>
-#include <cstdio>
-#include <iterator>
 #include <memory>
 
 #include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
 #include "graph/degeneracy.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "model/local_view.hpp"
 #include "protocols/bounded_degree.hpp"
 #include "protocols/degeneracy_protocol.hpp"
 #include "protocols/forest_protocol.hpp"
@@ -34,6 +34,8 @@ constexpr std::uint64_t kSketchStream = 0x736b657463ull;  // "sketc"
 constexpr std::uint64_t kEpochStream = 0x65706f6368ull;   // "epoch"
 constexpr std::uint64_t kDonorStream = 0x646f6e6f72ull;   // "donor"
 
+constexpr std::string_view kFilePrefix = "file:";
+
 // Deterministic cross-platform string hash for the epoch derivation (the
 // epoch must not depend on std::hash, whose value is implementation-
 // defined).
@@ -46,18 +48,17 @@ std::uint64_t fnv1a(const std::string& s) {
   return h;
 }
 
-void append_f(std::string& out, const char* fmt, ...) {
-  char buf[1024];
-  va_list args;
-  va_start(args, fmt);
-  const int len = std::vsnprintf(buf, sizeof(buf), fmt, args);
-  va_end(args);
-  REFEREE_CHECK_MSG(len >= 0 && static_cast<std::size_t>(len) < sizeof(buf),
-                    "campaign json row overflows the format buffer");
-  out.append(buf, buf + len);
+}  // namespace
+
+bool is_file_generator(const std::string& generator) {
+  return generator.rfind(kFilePrefix, 0) == 0;
 }
 
-}  // namespace
+std::string file_generator_path(const std::string& generator) {
+  REFEREE_CHECK_MSG(is_file_generator(generator),
+                    "not a file: generator spec: " + generator);
+  return generator.substr(kFilePrefix.size());
+}
 
 std::shared_ptr<const LocalEncoder> make_campaign_protocol(
     const ScenarioSpec& spec, const Graph& g) {
@@ -139,6 +140,67 @@ std::string classify_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
   return dp->decide(n, payloads, arena) == truth ? "correct" : "silent-wrong";
 }
 
+/// CSR-path ground truth for file-backed cells: only protocols whose truth
+/// is computable on the flat arrays qualify for the mmap pipeline.
+bool csr_classifiable(const std::string& protocol) {
+  return protocol == "stats" || protocol == "connectivity" ||
+         protocol == "bipartite";
+}
+
+std::string classify_cell_csr(const ScenarioSpec& spec, const LocalEncoder& enc,
+                              const CsrGraph& g, std::uint32_t n,
+                              std::span<const Message> payloads,
+                              DecodeArena& arena) {
+  if (spec.protocol == "stats") {
+    auto degrees_s = arena.scratch<std::uint32_t>();
+    DegreeStatistics::degree_sequence_into(n, payloads, *degrees_s);
+    const std::span<const std::uint32_t> degrees(degrees_s->data(), n);
+    std::size_t max_degree = 0;
+    for (Vertex v = 0; v < n; ++v) max_degree = std::max(max_degree, g.degree(v));
+    const bool correct =
+        DegreeStatistics::edge_count(degrees) == g.edge_count() &&
+        DegreeStatistics::max_degree(degrees) == max_degree;
+    return correct ? "correct" : "silent-wrong";
+  }
+  const auto* dp = dynamic_cast<const DecisionProtocol*>(&enc);
+  REFEREE_CHECK_MSG(dp != nullptr, "unclassifiable campaign protocol");
+  bool truth = false;
+  if (spec.protocol == "connectivity") {
+    truth = component_count(g) <= 1;
+  } else if (spec.protocol == "bipartite") {
+    truth = is_bipartite(g);
+  } else {
+    throw CheckError("no CSR ground truth for protocol: " + spec.protocol);
+  }
+  return dp->decide(n, payloads, arena) == truth ? "correct" : "silent-wrong";
+}
+
+/// Shared wire-side tail of both cell pipelines: audit, seal, inject (with
+/// an optional donor transcript), open, decode via `classify`. The graph
+/// representations differ; everything wire-side is identical. Throws
+/// DecodeError for loud refusals — the callers' catch turns that into the
+/// "loud" outcome, exactly as any earlier pipeline stage.
+template <class Classify>
+void finish_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
+                 std::uint32_t n, std::vector<Message>& transcript,
+                 std::span<const Message> donor, DecodeArena& arena,
+                 ScenarioResult& res, Classify&& classify) {
+  FaultPlan plan = spec.faults;
+  plan.seed = mix64(spec.seed ^ kFaultStream);
+  const std::uint64_t epoch = scenario_epoch(spec);
+  // Frugality is a statement about the protocol's payload; the envelope
+  // (epoch tag + sender id, O(log n) bits) is delivery substrate and is
+  // audited out.
+  res.report = audit_frugality(n, transcript);
+  seal_transcript(epoch, n, transcript);
+  res.journal = Simulator::inject_faults(transcript, plan, donor);
+
+  auto payloads_s = arena.scratch<Message>();
+  open_transcript_into(epoch, n, transcript, arena, *payloads_s);
+  res.outcome = classify(
+      spec, enc, n, std::span<const Message>(payloads_s->data(), n), arena);
+}
+
 ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
                        std::vector<Message>& transcript, DecodeArena& arena) {
   ScenarioResult res;
@@ -146,34 +208,66 @@ ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
   const auto n = static_cast<std::uint32_t>(g.vertex_count());
   const LocalViewPack views(g);
 
-  FaultPlan plan = spec.faults;
-  plan.seed = mix64(spec.seed ^ kFaultStream);
-  const std::uint64_t epoch = scenario_epoch(spec);
-
   try {
     const auto protocol = make_campaign_protocol(spec, g);
     sim.run_local_phase(views, *protocol, transcript);
-    // Frugality is a statement about the protocol's payload; the envelope
-    // (epoch tag + sender id, O(log n) bits) is delivery substrate and is
-    // audited out.
-    res.report = audit_frugality(n, transcript);
-    seal_transcript(epoch, n, transcript);
 
     std::vector<Message> donor;
-    if (plan.correlated.stale_replays > 0) {
+    if (spec.faults.correlated.stale_replays > 0) {
       const ScenarioSpec dspec = stale_donor_spec(spec);
       const Graph dg = make_campaign_graph(dspec);
       donor = Simulator().run_local_phase(dg, *make_campaign_protocol(dspec, dg));
       seal_transcript(scenario_epoch(dspec),
                       static_cast<std::uint32_t>(dg.vertex_count()), donor);
     }
-    res.journal = Simulator::inject_faults(transcript, plan, donor);
+    finish_cell(spec, *protocol, n, transcript, donor, arena, res,
+                [&g](const ScenarioSpec& s, const LocalEncoder& enc,
+                     std::uint32_t nn, std::span<const Message> payloads,
+                     DecodeArena& a) {
+                  return classify_cell(s, enc, g, nn, payloads, a);
+                });
+  } catch (const DecodeError& e) {
+    res.outcome = "loud";
+    res.detail = decode_fault_name(e.fault());
+  }
+  res.contract_ok = res.outcome != "silent-wrong";
+  return res;
+}
 
-    auto payloads_s = arena.scratch<Message>();
-    open_transcript_into(epoch, n, transcript, arena, *payloads_s);
-    res.outcome = classify_cell(
-        spec, *protocol, g, n,
-        std::span<const Message>(payloads_s->data(), n), arena);
+/// The mmap pipeline: binary edge list → CsrGraph → LocalViewPack, no
+/// intermediate Graph and no materialized vector<Edge>. This is what opens
+/// million-node cells; the decode path reuses the same warm arena, so the
+/// second sweep over a file-backed cell allocates nothing decode-side.
+ScenarioResult run_file_cell(const ScenarioSpec& spec, const Simulator& sim,
+                             std::vector<Message>& transcript,
+                             DecodeArena& arena) {
+  ScenarioResult res;
+  const MmapEdgeSource source(file_generator_path(spec.generator));
+  const CsrGraph g(source.vertex_count(), source.edges());
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const LocalViewPack views(g);
+
+  try {
+    // The qualifying protocols never consult the Graph argument.
+    const auto protocol = make_campaign_protocol(spec, Graph(0));
+    sim.run_local_phase(views, *protocol, transcript);
+
+    std::vector<Message> donor;
+    if (spec.faults.correlated.stale_replays > 0) {
+      // Same file, re-derived seed: the donor shares the topology but seeds
+      // its sketches differently and — decisively — seals under its own
+      // epoch, which is what the envelope detects.
+      const ScenarioSpec dspec = stale_donor_spec(spec);
+      const auto dproto = make_campaign_protocol(dspec, Graph(0));
+      Simulator().run_local_phase(views, *dproto, donor);
+      seal_transcript(scenario_epoch(dspec), n, donor);
+    }
+    finish_cell(spec, *protocol, n, transcript, donor, arena, res,
+                [&g](const ScenarioSpec& s, const LocalEncoder& enc,
+                     std::uint32_t nn, std::span<const Message> payloads,
+                     DecodeArena& a) {
+                  return classify_cell_csr(s, enc, g, nn, payloads, a);
+                });
   } catch (const DecodeError& e) {
     res.outcome = "loud";
     res.detail = decode_fault_name(e.fault());
@@ -226,7 +320,16 @@ ScenarioSpec stale_donor_spec(const ScenarioSpec& spec) {
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   const Simulator sim;
   std::vector<Message> transcript;
-  return run_one(spec, sim, transcript, DecodeArena::for_current_thread());
+  return run_scenario(spec, sim, transcript, DecodeArena::for_current_thread());
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const Simulator& sim,
+                            std::vector<Message>& transcript,
+                            DecodeArena& arena) {
+  if (is_file_generator(spec.generator) && csr_classifiable(spec.protocol)) {
+    return run_file_cell(spec, sim, transcript, arena);
+  }
+  return run_one(spec, sim, transcript, arena);
 }
 
 ScenarioSpec shrink_scenario(
@@ -304,22 +407,13 @@ ScenarioSpec shrink_scenario(
   return current;
 }
 
-CampaignConfig default_fault_sweep_config() {
-  CampaignConfig config;
-  config.generators = {"kdeg", "tree", "gnp", "apollonian"};
-  config.sizes = {24};
-  config.protocols = {"degeneracy", "forest", "stats", "connectivity"};
-  config.seeds = {1, 2};
-  config.fault_plans = {
-      FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.25}},
-      FaultPlan{.correlated = CorrelatedFaults{.duplicate_ids = 2}},
-      FaultPlan{.correlated = CorrelatedFaults{.payload_swaps = 2}},
-      FaultPlan{.correlated = CorrelatedFaults{.stale_replays = 2}},
-  };
-  return config;
-}
-
 Graph make_campaign_graph(const ScenarioSpec& spec) {
+  if (is_file_generator(spec.generator)) {
+    // Compatibility path: materialize adjacency for protocols whose ground
+    // truth needs a Graph. The edge list itself still streams off the map.
+    const MmapEdgeSource source(file_generator_path(spec.generator));
+    return Graph(source.vertex_count(), source.edges());
+  }
   Rng rng(mix64(spec.seed ^ kGraphStream));
   const std::size_t n = std::max<std::size_t>(2, spec.n);
   const unsigned k = std::max(1u, spec.k);
@@ -361,193 +455,6 @@ Graph make_campaign_graph(const ScenarioSpec& spec) {
     throw CheckError("unknown campaign generator: " + f);
   }
   return gen::shuffle_labels(g, rng);
-}
-
-std::vector<ScenarioSpec> expand_grid(const CampaignConfig& config) {
-  std::vector<ScenarioSpec> grid;
-  grid.reserve(config.generators.size() * config.sizes.size() *
-               config.protocols.size() * config.seeds.size() *
-               config.fault_plans.size());
-  for (const auto& generator : config.generators) {
-    for (const auto n : config.sizes) {
-      for (const auto& protocol : config.protocols) {
-        for (const auto seed : config.seeds) {
-          for (const auto& plan : config.fault_plans) {
-            ScenarioSpec spec;
-            spec.generator = generator;
-            spec.n = n;
-            spec.k = config.k;
-            spec.p = config.p;
-            spec.protocol = protocol;
-            spec.seed = seed;
-            spec.faults = plan;
-            grid.push_back(std::move(spec));
-          }
-        }
-      }
-    }
-  }
-  return grid;
-}
-
-std::vector<ScenarioResult> CampaignRunner::run(
-    const std::vector<ScenarioSpec>& grid) const {
-  std::vector<ScenarioResult> results(grid.size());
-  const Simulator inner;  // scenarios parallelise at grid level
-  maybe_parallel_for_chunks(
-      pool_, 0, grid.size(),
-      [&](std::size_t lo, std::size_t hi) {
-        std::vector<Message> transcript;  // reused across the chunk's cells
-        // Decode scratch is owned per pool thread: the thread_local arena
-        // stays warm across chunks, campaigns and sweeps on that worker, so
-        // after the first cells the whole global phase stops allocating.
-        DecodeArena& arena = DecodeArena::for_current_thread();
-        for (std::size_t i = lo; i < hi; ++i) {
-          results[i] = run_one(grid[i], inner, transcript, arena);
-        }
-      },
-      /*serial_cutoff=*/2);
-  return results;
-}
-
-std::vector<CampaignAggregate> aggregate_campaign(
-    const std::vector<ScenarioSpec>& grid,
-    const std::vector<ScenarioResult>& results) {
-  REFEREE_CHECK_MSG(grid.size() == results.size(),
-                    "grid/result size mismatch");
-  std::vector<CampaignAggregate> aggs;
-  std::vector<double> sums;
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    const auto& spec = grid[i];
-    const auto& res = results[i];
-    auto it = std::find_if(aggs.begin(), aggs.end(), [&](const auto& a) {
-      return a.generator == spec.generator && a.protocol == spec.protocol;
-    });
-    if (it == aggs.end()) {
-      aggs.push_back(CampaignAggregate{spec.generator, spec.protocol});
-      sums.push_back(0.0);
-      it = aggs.end() - 1;
-    }
-    auto& agg = *it;
-    auto& sum = sums[static_cast<std::size_t>(it - aggs.begin())];
-    ++agg.scenarios;
-    if (res.outcome == "exact" || res.outcome == "correct") ++agg.ok;
-    if (res.outcome == "loud") ++agg.loud;
-    if (res.outcome == "silent-wrong") ++agg.silent_wrong;
-    agg.max_bits = std::max(agg.max_bits, res.report.max_bits);
-    agg.max_constant = std::max(agg.max_constant, res.report.constant());
-    sum += static_cast<double>(res.report.max_bits);
-    agg.mean_max_bits = sum / static_cast<double>(agg.scenarios);
-  }
-  return aggs;
-}
-
-std::string campaign_json(const std::vector<ScenarioSpec>& grid,
-                          const std::vector<ScenarioResult>& results) {
-  REFEREE_CHECK_MSG(grid.size() == results.size(),
-                    "grid/result size mismatch");
-  // The fault taxonomy: every model the injector knows, its scope, the
-  // spec field that arms it, and the check that makes it loud. Driven by
-  // the FaultType enum (names via fault_type_name, detectors via
-  // decode_fault_name) so the report cannot drift from the injector; kept
-  // in the JSON so a failing cell's record is self-describing.
-  struct TaxonomyRow {
-    FaultType type;
-    const char* scope;
-    const char* field;
-    DecodeFault detector;       // the typed fault the model must surface as
-    const char* detector_note;  // "" when the typed name says it all
-  };
-  static constexpr TaxonomyRow kTaxonomy[] = {
-      {FaultType::kBitFlip, "message", "flip", DecodeFault::kInconsistent,
-       "payload checks (power sums, framing, fingerprints) on certifying "
-       "decoders; flips landing in the envelope header surface as "
-       "epoch-mismatch or id-mismatch instead"},
-      {FaultType::kTruncate, "message", "trunc", DecodeFault::kTruncated,
-       "bit-level framing (read past end), whether the cut hits header or "
-       "payload"},
-      {FaultType::kDrop, "campaign", "drop", DecodeFault::kMissingMessage,
-       ""},
-      {FaultType::kDuplicateId, "campaign", "dup", DecodeFault::kIdMismatch,
-       ""},
-      {FaultType::kPayloadSwap, "campaign", "swap", DecodeFault::kIdMismatch,
-       ""},
-      {FaultType::kStaleReplay, "campaign", "stale",
-       DecodeFault::kEpochMismatch, ""},
-  };
-  std::string out;
-  out.reserve(grid.size() * 330);
-  out += "{\n  \"schema\": \"referee-campaign-v2\",\n";
-  out += "  \"fault_taxonomy\": [\n";
-  for (std::size_t i = 0; i < std::size(kTaxonomy); ++i) {
-    const TaxonomyRow& row = kTaxonomy[i];
-    append_f(out,
-             "    {\"type\": \"%s\", \"scope\": \"%s\", \"field\": \"%s\", "
-             "\"detector\": \"%s\"%s%s%s}%s\n",
-             fault_type_name(row.type), row.scope, row.field,
-             decode_fault_name(row.detector),
-             row.detector_note[0] != '\0' ? ", \"note\": \"" : "",
-             row.detector_note,
-             row.detector_note[0] != '\0' ? "\"" : "",
-             i + 1 == std::size(kTaxonomy) ? "" : ",");
-  }
-  out += "  ],\n  \"scenarios\": [\n";
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    const auto& s = grid[i];
-    const auto& r = results[i];
-    const auto& cor = s.faults.correlated;
-    // "n" is the real vertex count the scenario ran on (families like
-    // hypercube and grid round the requested size); "spec_n" is the grid
-    // axis value — frugality columns must be plotted against "n".
-    append_f(out,
-             "    {\"i\": %zu, \"generator\": \"%s\", \"n\": %u, "
-             "\"spec_n\": %zu, \"k\": %u, \"p\": %.6f, \"protocol\": \"%s\", "
-             "\"seed\": %llu, \"flip\": %.6f, \"trunc\": %.6f, "
-             "\"drop\": %.6f, \"dup\": %u, \"swap\": %u, \"stale\": %u, "
-             "\"outcome\": \"%s\", \"detail\": \"%s\", \"contract_ok\": %s, "
-             "\"applied\": {\"flip\": %zu, \"trunc\": %zu, \"drop\": %zu, "
-             "\"dup\": %zu, \"swap\": %zu, \"stale\": %zu}, "
-             "\"max_bits\": %zu, \"total_bits\": %zu, "
-             "\"budget_bits\": %zu, \"constant\": %.6f}%s\n",
-             i, s.generator.c_str(), r.report.n, s.n, s.k, s.p,
-             s.protocol.c_str(), static_cast<unsigned long long>(s.seed),
-             s.faults.bit_flip_chance, s.faults.truncate_chance,
-             cor.drop_fraction, cor.duplicate_ids, cor.payload_swaps,
-             cor.stale_replays, r.outcome.c_str(), r.detail.c_str(),
-             r.contract_ok ? "true" : "false",
-             r.journal.count(FaultType::kBitFlip),
-             r.journal.count(FaultType::kTruncate),
-             r.journal.count(FaultType::kDrop),
-             r.journal.count(FaultType::kDuplicateId),
-             r.journal.count(FaultType::kPayloadSwap),
-             r.journal.count(FaultType::kStaleReplay),
-             r.report.max_bits, r.report.total_bits, r.report.budget_bits,
-             r.report.constant(), i + 1 == grid.size() ? "" : ",");
-  }
-  out += "  ],\n  \"aggregates\": [\n";
-  const auto aggs = aggregate_campaign(grid, results);
-  std::size_t total_ok = 0;
-  std::size_t total_loud = 0;
-  std::size_t total_silent = 0;
-  for (std::size_t i = 0; i < aggs.size(); ++i) {
-    const auto& a = aggs[i];
-    total_ok += a.ok;
-    total_loud += a.loud;
-    total_silent += a.silent_wrong;
-    append_f(out,
-             "    {\"generator\": \"%s\", \"protocol\": \"%s\", "
-             "\"scenarios\": %zu, \"ok\": %zu, \"loud\": %zu, "
-             "\"silent_wrong\": %zu, \"max_bits\": %zu, "
-             "\"mean_max_bits\": %.6f, \"max_constant\": %.6f}%s\n",
-             a.generator.c_str(), a.protocol.c_str(), a.scenarios, a.ok,
-             a.loud, a.silent_wrong, a.max_bits, a.mean_max_bits,
-             a.max_constant, i + 1 == aggs.size() ? "" : ",");
-  }
-  append_f(out,
-           "  ],\n  \"totals\": {\"scenarios\": %zu, \"ok\": %zu, "
-           "\"loud\": %zu, \"silent_wrong\": %zu}\n}\n",
-           grid.size(), total_ok, total_loud, total_silent);
-  return out;
 }
 
 }  // namespace referee

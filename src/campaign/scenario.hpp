@@ -1,0 +1,117 @@
+// Campaign cells: the smallest unit of campaign work.
+//
+// A ScenarioSpec names one (generator × size × protocol × seed × fault-plan)
+// cell; run_scenario executes exactly one cell end to end (local phase →
+// envelope → fault injection → open → decode → classify). Everything above
+// this layer — grid expansion, sharding, backends, aggregation — treats
+// cells as opaque deterministic functions ScenarioSpec → ScenarioResult,
+// which is what makes campaigns shardable across threads, processes and
+// hosts without changing a byte of output.
+//
+// Graph inputs come from named generator families or, for campaign cells
+// too large to generate in-process, from on-disk binary edge lists via the
+// "file:<path>" generator spec (see graph/io.hpp). File-backed cells run
+// the zero-copy CSR pipeline: mmap → CsrGraph → LocalViewPack, no
+// vector<Edge> materialization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/envelope.hpp"
+#include "model/fault_model.hpp"
+#include "model/frugality.hpp"
+#include "model/simulator.hpp"
+#include "support/arena.hpp"
+
+namespace referee {
+
+/// One cell of a campaign grid.
+struct ScenarioSpec {
+  std::string generator = "kdeg";  // see campaign_generators(), or "file:…"
+  std::size_t n = 32;
+  unsigned k = 3;    // degeneracy bound / protocol parameter
+  double p = 0.1;    // edge probability, where the family takes one
+  std::string protocol = "degeneracy";  // see campaign_protocols()
+  std::uint64_t seed = 1;               // graph randomness
+  FaultPlan faults;                     // message corruption, if any
+};
+
+/// Outcome of one scenario. `outcome` is one of:
+///   "exact"        reconstruction returned the input graph
+///   "correct"      decision/statistic matched ground truth
+///   "loud"         the decoder refused (DecodeError) — contract respected
+///   "silent-wrong" decode succeeded but disagreed with ground truth
+/// `contract_ok` is false only for "silent-wrong": a referee may fail, but
+/// never silently lie. For "loud" outcomes, `detail` names the DecodeFault
+/// that tripped (see decode_fault_name), so sweeps can assert cause→effect
+/// against `journal`, the injector's record of applied faults.
+struct ScenarioResult {
+  std::string outcome;
+  bool contract_ok = true;
+  std::string detail;
+  FaultJournal journal;
+  FrugalityReport report;
+};
+
+/// Families / protocols the campaign knows how to instantiate by name.
+const std::vector<std::string>& campaign_generators();
+const std::vector<std::string>& campaign_protocols();
+
+/// "file:<path>" generator specs name an on-disk binary edge list instead
+/// of a named family; the cell's graph is mmap'd, its vertex count comes
+/// from the file header (spec.n is ignored), and cells whose protocol
+/// ground truth is CSR-computable (stats, connectivity, bipartite) run the
+/// mmap → CsrGraph pipeline without materializing the edge list.
+bool is_file_generator(const std::string& generator);
+std::string file_generator_path(const std::string& generator);
+
+/// Generate the input graph of a scenario (deterministic in the spec).
+/// For "file:" specs this materializes a Graph from the binary edge list —
+/// the compatibility path for protocols that need vector-of-vectors
+/// adjacency; the campaign cell runner prefers the CSR path.
+Graph make_campaign_graph(const ScenarioSpec& spec);
+
+/// The protocol instance a scenario runs, deterministic in (spec, graph):
+/// building it twice — or building the donor cell's encoder for a stale
+/// replay — always yields the same wire format. Reductions come back in
+/// verified mode (re-encode verification). Exposed for the golden-
+/// transcript fixtures and the fault-contract harness.
+std::shared_ptr<const LocalEncoder> make_campaign_protocol(
+    const ScenarioSpec& spec, const Graph& g);
+
+/// The per-scenario envelope nonce: a deterministic hash of the cell
+/// identity (generator, protocol, n, k, p, seed — every axis that shapes
+/// the transcript). Two cells differing in any of those fields get
+/// different epochs, which is what makes stale replays from another cell
+/// detectable (DecodeFault::kEpochMismatch).
+std::uint64_t scenario_epoch(const ScenarioSpec& spec);
+
+/// The donor cell a stale replay steals messages from: the same cell with
+/// a re-derived seed (hence a different graph and a different epoch).
+ScenarioSpec stale_donor_spec(const ScenarioSpec& spec);
+
+/// Run a single cell end to end. This is exactly what the execution
+/// backends do per grid cell; exposed for the fault-contract harness and
+/// the shrinker.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Warm-path overload for backends: the caller owns the transcript buffer
+/// and decode arena and reuses both across a whole worker chunk, so
+/// steady-state cells allocate almost nothing.
+ScenarioResult run_scenario(const ScenarioSpec& spec, const Simulator& sim,
+                            std::vector<Message>& transcript,
+                            DecodeArena& arena);
+
+/// Greedily shrink a failing cell to a minimal repro: while `still_fails`
+/// holds, shrink n, zero out fault families one at a time, halve fault
+/// counts and reset the seed. Deterministic; returns the smallest spec
+/// found (the input itself if `still_fails(spec)` is already false).
+ScenarioSpec shrink_scenario(
+    const ScenarioSpec& spec,
+    const std::function<bool(const ScenarioSpec&)>& still_fails);
+
+}  // namespace referee

@@ -1,0 +1,164 @@
+#include "campaign/subprocess.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "support/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define REFEREE_HAVE_SUBPROCESS 1
+#endif
+
+namespace referee {
+
+SubprocessShardBackend::SubprocessShardBackend(
+    std::string worker_exe, std::vector<std::string> grid_args,
+    unsigned shards)
+    : worker_exe_(std::move(worker_exe)),
+      grid_args_(std::move(grid_args)),
+      shards_(shards) {
+  REFEREE_CHECK_MSG(shards_ >= 1, "subprocess backend needs >= 1 shard");
+}
+
+#if REFEREE_HAVE_SUBPROCESS
+
+namespace {
+
+struct ShardWorker {
+  pid_t pid = -1;
+  int fd = -1;       // read end of the worker's stdout pipe
+  std::string out;   // streamed shard JSON
+};
+
+[[noreturn]] void exec_worker(const std::string& exe,
+                              const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  // execvp: a bare worker name (argv[0] fallback on hosts without
+  // /proc/self/exe) resolves through PATH; paths with a slash behave
+  // exactly like execv.
+  ::execvp(exe.c_str(), argv.data());
+  // Only reached when exec failed; stderr passes through to the parent.
+  std::fprintf(stderr, "campaign shard worker: cannot exec %s: %s\n",
+               exe.c_str(), std::strerror(errno));
+  ::_exit(127);
+}
+
+ShardWorker spawn_worker(const std::string& exe,
+                         const std::vector<std::string>& args) {
+  int fds[2];
+  REFEREE_CHECK_MSG(::pipe(fds) == 0, "pipe() failed for shard worker");
+  const pid_t pid = ::fork();
+  REFEREE_CHECK_MSG(pid >= 0, "fork() failed for shard worker");
+  if (pid == 0) {
+    ::close(fds[0]);
+    if (::dup2(fds[1], STDOUT_FILENO) < 0) ::_exit(127);
+    ::close(fds[1]);
+    exec_worker(exe, args);
+  }
+  ::close(fds[1]);
+  return ShardWorker{pid, fds[0], {}};
+}
+
+/// Drain every worker's pipe concurrently. Readiness-driven (poll) rather
+/// than worker-by-worker so no shard can deadlock on a full pipe while we
+/// block reading a slower sibling.
+void stream_outputs(std::vector<ShardWorker>& workers) {
+  std::vector<pollfd> fds(workers.size());
+  std::size_t open = workers.size();
+  while (open > 0) {
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      fds[i].fd = workers[i].fd;  // -1 entries are ignored by poll
+      fds[i].events = POLLIN;
+      fds[i].revents = 0;
+    }
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout=*/-1);
+    if (ready < 0 && errno == EINTR) continue;
+    REFEREE_CHECK_MSG(ready > 0, "poll() failed draining shard workers");
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (workers[i].fd < 0 || fds[i].revents == 0) continue;
+      char buf[1 << 16];
+      const ssize_t got = ::read(workers[i].fd, buf, sizeof(buf));
+      if (got > 0) {
+        workers[i].out.append(buf, static_cast<std::size_t>(got));
+      } else if (got == 0 || (got < 0 && errno != EINTR)) {
+        ::close(workers[i].fd);
+        workers[i].fd = -1;
+        --open;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CampaignReport SubprocessShardBackend::run(const CampaignPlan& plan) const {
+  REFEREE_CHECK_MSG(plan.is_full(),
+                    "subprocess backend shards a full plan itself");
+  std::vector<ShardWorker> workers;
+  workers.reserve(shards_);
+  for (unsigned k = 0; k < shards_; ++k) {
+    std::vector<std::string> args;
+    args.reserve(grid_args_.size() + 4);
+    args.push_back("campaign");
+    args.insert(args.end(), grid_args_.begin(), grid_args_.end());
+    args.push_back("--shard");
+    args.push_back(std::to_string(k) + "/" + std::to_string(shards_));
+    args.push_back("--json");
+    workers.push_back(spawn_worker(worker_exe_, args));
+  }
+  stream_outputs(workers);
+
+  CampaignReport merged;
+  for (unsigned k = 0; k < shards_; ++k) {
+    int status = 0;
+    pid_t waited;
+    do {
+      waited = ::waitpid(workers[k].pid, &status, 0);
+    } while (waited < 0 && errno == EINTR);
+    // Exit 1 is a *valid* worker outcome (silent-wrong cells present): the
+    // report still parses and the contract verdict travels in its rows.
+    const bool clean = waited == workers[k].pid && WIFEXITED(status) &&
+                       (WEXITSTATUS(status) == 0 || WEXITSTATUS(status) == 1);
+    if (!clean) {
+      throw CampaignError(
+          CampaignError::kNoCell,
+          "campaign shard worker " + std::to_string(k) + "/" +
+              std::to_string(shards_) + " died (status " +
+              std::to_string(status) + ")");
+    }
+    try {
+      CampaignReport shard = CampaignReport::from_json(workers[k].out);
+      REFEREE_CHECK_MSG(shard.plan_cells() == plan.total_cells(),
+                        "shard worker reported a different plan size");
+      merged.merge(std::move(shard));
+    } catch (const CheckError& e) {
+      throw CampaignError(CampaignError::kNoCell,
+                          "campaign shard worker " + std::to_string(k) + "/" +
+                              std::to_string(shards_) +
+                              " produced a bad report: " + e.what());
+    }
+  }
+  REFEREE_CHECK_MSG(merged.complete(),
+                    "merged shard reports do not cover the plan");
+  return merged;
+}
+
+#else  // !REFEREE_HAVE_SUBPROCESS
+
+CampaignReport SubprocessShardBackend::run(const CampaignPlan&) const {
+  throw CampaignError(CampaignError::kNoCell,
+                      "subprocess shard backend requires a POSIX host");
+}
+
+#endif
+
+}  // namespace referee

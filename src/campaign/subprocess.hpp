@@ -1,0 +1,45 @@
+// Multi-process campaign execution: shard-and-merge over worker processes.
+//
+// SubprocessShardBackend splits a full plan into N shards and runs each as
+// a child process — `<worker> campaign <grid args> --shard k/N --json` —
+// streaming every worker's shard JSON back over a pipe and merging the
+// parsed reports. Because shard workers re-expand the same deterministic
+// grid and format rows at the source, the merged report is byte-identical
+// to a single-process run of the same plan (pinned by CTest and CI).
+//
+// This is the one-machine form of the distributed story: the same
+// --shard k/N / --merge plumbing runs shards on different hosts with any
+// transport that can move the JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/backend.hpp"
+
+namespace referee {
+
+class SubprocessShardBackend final : public CampaignBackend {
+ public:
+  /// `worker_exe` is the refereectl-compatible binary to fork (callers
+  /// inside refereectl pass their own executable); `grid_args` are the
+  /// campaign flags that reproduce the plan's grid in the worker — the
+  /// backend appends `--shard k/N --json` per worker. `shards` >= 1.
+  SubprocessShardBackend(std::string worker_exe,
+                         std::vector<std::string> grid_args, unsigned shards);
+
+  /// Forks one worker per shard, streams their per-shard JSON back and
+  /// merges. `plan` must be full; its total cell count cross-checks every
+  /// worker's report. Throws CampaignError when a worker dies, emits
+  /// unparseable output, or reports a different plan.
+  CampaignReport run(const CampaignPlan& plan) const override;
+
+  unsigned shards() const { return shards_; }
+
+ private:
+  std::string worker_exe_;
+  std::vector<std::string> grid_args_;
+  unsigned shards_;
+};
+
+}  // namespace referee

@@ -57,6 +57,54 @@ bool is_connected(const Graph& g) {
   return g.vertex_count() <= 1 || component_count(g) == 1;
 }
 
+std::size_t component_count(const CsrGraph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint32_t> comp(n, kUnreachable);
+  std::size_t count = 0;
+  std::deque<Vertex> queue;
+  for (Vertex s = 0; s < n; ++s) {
+    if (comp[s] != kUnreachable) continue;
+    comp[s] = static_cast<std::uint32_t>(count);
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop_front();
+      for (const Vertex v : g.neighbors(u)) {
+        if (comp[v] == kUnreachable) {
+          comp[v] = comp[u];
+          queue.push_back(v);
+        }
+      }
+    }
+    ++count;
+  }
+  return count;
+}
+
+bool is_bipartite(const CsrGraph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint8_t> side(n, 2);  // 2 = uncoloured
+  std::deque<Vertex> queue;
+  for (Vertex s = 0; s < n; ++s) {
+    if (side[s] != 2) continue;
+    side[s] = 0;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop_front();
+      for (const Vertex v : g.neighbors(u)) {
+        if (side[v] == 2) {
+          side[v] = static_cast<std::uint8_t>(1 - side[u]);
+          queue.push_back(v);
+        } else if (side[v] == side[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
 std::optional<std::uint32_t> eccentricity(const Graph& g, Vertex v) {
   const auto dist = bfs_distances(g, v);
   std::uint32_t ecc = 0;

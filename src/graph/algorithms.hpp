@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 
 namespace referee {
@@ -21,6 +22,11 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source);
 std::vector<std::uint32_t> connected_components(const Graph& g);
 std::size_t component_count(const Graph& g);
 bool is_connected(const Graph& g);
+
+/// CSR overloads for the flat-array pipeline (mmap'd campaign cells):
+/// same answers as the Graph versions, no adjacency-list materialization.
+std::size_t component_count(const CsrGraph& g);
+bool is_bipartite(const CsrGraph& g);
 
 /// Largest eccentricity, or nullopt when g is disconnected/empty.
 std::optional<std::uint32_t> diameter(const Graph& g);

@@ -1,7 +1,21 @@
 #include "graph/io.hpp"
 
 #include <charconv>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <memory>
 #include <sstream>
+#include <type_traits>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define REFEREE_HAVE_MMAP 1
+#endif
 
 namespace referee {
 
@@ -85,6 +99,150 @@ Graph from_graph6(std::string_view text) {
     }
   }
   return g;
+}
+
+namespace {
+
+// The edge section is read back by aliasing the mapped bytes as Edge[];
+// that only works while Edge stays a flat pair of 32-bit vertices.
+static_assert(sizeof(Edge) == 2 * sizeof(Vertex) && sizeof(Vertex) == 4,
+              "binary edge-list layout requires 8-byte {u32,u32} edges");
+static_assert(std::is_trivially_copyable_v<Edge>);
+
+struct EdgeFileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::uint64_t n;
+  std::uint64_t m;
+};
+static_assert(sizeof(EdgeFileHeader) == kEdgeFileHeaderBytes);
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+void write_edge_file(const std::string& path, std::size_t n,
+                     std::span<const Edge> edges) {
+  // Validate before touching the filesystem so a rejected input never
+  // leaves a stale partial file behind, and a packed file can never
+  // disagree with what the text loader would have accepted: same range
+  // checks, same self-loop rejection, duplicates left to the graph
+  // constructors to collapse.
+  for (const Edge& e : edges) {
+    REFEREE_CHECK_MSG(e.u < n && e.v < n, "edge file: vertex out of range");
+    REFEREE_CHECK_MSG(e.u != e.v, "edge file: self-loop");
+  }
+  const std::unique_ptr<std::FILE, FileCloser> file(
+      std::fopen(path.c_str(), "wb"));
+  REFEREE_CHECK_MSG(file != nullptr, "cannot open " + path + " for writing");
+  EdgeFileHeader header{};
+  std::memcpy(header.magic, kEdgeFileMagic, sizeof(header.magic));
+  header.version = kEdgeFileVersion;
+  header.n = n;
+  header.m = edges.size();
+  REFEREE_CHECK_MSG(
+      std::fwrite(&header, sizeof(header), 1, file.get()) == 1,
+      "short write on " + path);
+  if (!edges.empty()) {
+    REFEREE_CHECK_MSG(std::fwrite(edges.data(), sizeof(Edge), edges.size(),
+                                  file.get()) == edges.size(),
+                      "short write on " + path);
+  }
+  REFEREE_CHECK_MSG(std::fflush(file.get()) == 0, "short write on " + path);
+}
+
+#if REFEREE_HAVE_MMAP
+
+MmapEdgeSource::MmapEdgeSource(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  REFEREE_CHECK_MSG(fd >= 0, "cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw CheckError("cannot stat " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kEdgeFileHeaderBytes) {
+    ::close(fd);
+    throw CheckError("edge file too short: " + path);
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  REFEREE_CHECK_MSG(map != MAP_FAILED, "cannot mmap " + path);
+  // Guard the mapping until the header checks pass: a throwing
+  // constructor runs no destructor, so an unguarded early throw would
+  // leak the mapping on every corrupt-file probe.
+  struct MapGuard {
+    void* map;
+    std::size_t bytes;
+    ~MapGuard() {
+      if (map != nullptr) ::munmap(map, bytes);
+    }
+  } guard{map, size};
+
+  EdgeFileHeader header{};
+  std::memcpy(&header, map, sizeof(header));
+  if (std::memcmp(header.magic, kEdgeFileMagic, sizeof(header.magic)) != 0) {
+    throw CheckError("not a refgraph edge file: " + path);
+  }
+  REFEREE_CHECK_MSG(header.version == kEdgeFileVersion,
+                    "unsupported edge file version in " + path);
+  // Divide rather than multiply: m * sizeof(Edge) could wrap for a
+  // crafted header, making a tiny file claim 2^61 records.
+  const std::size_t max_records =
+      (size - kEdgeFileHeaderBytes) / sizeof(Edge);
+  REFEREE_CHECK_MSG(
+      header.m <= max_records &&
+          size == kEdgeFileHeaderBytes + header.m * sizeof(Edge),
+      "edge file size disagrees with its header: " + path);
+  map_ = std::exchange(guard.map, nullptr);
+  map_bytes_ = size;
+  n_ = header.n;
+  m_ = header.m;
+}
+
+MmapEdgeSource::~MmapEdgeSource() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+#else  // !REFEREE_HAVE_MMAP
+
+MmapEdgeSource::MmapEdgeSource(const std::string& path) {
+  throw CheckError("mmap edge sources require a POSIX host: " + path);
+}
+
+MmapEdgeSource::~MmapEdgeSource() = default;
+
+#endif
+
+MmapEdgeSource::MmapEdgeSource(MmapEdgeSource&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_bytes_(std::exchange(other.map_bytes_, 0)),
+      n_(std::exchange(other.n_, 0)),
+      m_(std::exchange(other.m_, 0)) {}
+
+MmapEdgeSource& MmapEdgeSource::operator=(MmapEdgeSource&& other) noexcept {
+  if (this != &other) {
+#if REFEREE_HAVE_MMAP
+    if (map_ != nullptr) ::munmap(map_, map_bytes_);
+#endif
+    map_ = std::exchange(other.map_, nullptr);
+    map_bytes_ = std::exchange(other.map_bytes_, 0);
+    n_ = std::exchange(other.n_, 0);
+    m_ = std::exchange(other.m_, 0);
+  }
+  return *this;
+}
+
+std::span<const Edge> MmapEdgeSource::edges() const {
+  if (m_ == 0) return {};
+  const auto* base = static_cast<const std::byte*>(map_);
+  return {reinterpret_cast<const Edge*>(base + kEdgeFileHeaderBytes), m_};
 }
 
 std::string to_ascii_matrix(const Graph& g) {

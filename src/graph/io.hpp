@@ -1,9 +1,14 @@
-// Graph serialisation: a plain edge-list text format and the compact
+// Graph serialisation: a plain edge-list text format, the compact
 // graph6-style binary-in-ASCII encoding (compatible with nauty's graph6 for
-// n < 2^18).
+// n < 2^18), and a versioned binary edge-list file format whose edge
+// section can be mmap'd straight into the CsrGraph bulk constructor — the
+// input path for million-node campaign cells.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -21,5 +26,62 @@ Graph from_graph6(std::string_view text);
 
 /// Human-readable adjacency matrix (rows of 0/1), for debugging and docs.
 std::string to_ascii_matrix(const Graph& g);
+
+// ---------------------------------------------------------------------------
+// Binary edge-list file format ("refgraph", little-endian):
+//
+//   offset  size  field
+//   0       8     magic "refgrph1"
+//   8       4     version (currently 1)
+//   12      4     reserved (0)
+//   16      8     n — vertex count
+//   24      8     m — edge record count
+//   32      8*m   edge records: {u32 u, u32 v} pairs, 0-based
+//
+// The edge section is laid out exactly like Edge[], so MmapEdgeSource can
+// hand the mapped bytes to CsrGraph(n, edges) without copying — the CSR
+// bulk constructor canonicalizes (sorts, dedupes) and validates (vertex
+// range, self-loop rejection), giving the binary path the same adjacency
+// contract as the text loader. Duplicate records and either endpoint order
+// are permitted in the file; self-loops and out-of-range endpoints are
+// rejected at graph-construction time, matching from_edge_list.
+// ---------------------------------------------------------------------------
+
+inline constexpr char kEdgeFileMagic[8] = {'r', 'e', 'f', 'g',
+                                           'r', 'p', 'h', '1'};
+inline constexpr std::uint32_t kEdgeFileVersion = 1;
+inline constexpr std::size_t kEdgeFileHeaderBytes = 32;
+
+/// Write `edges` over `n` vertices as a binary edge-list file. Edges are
+/// written verbatim (already u <= v normalized by construction); vertex
+/// range and self-loops are CHECKed so a packed file never round-trips
+/// differently from its text form.
+void write_edge_file(const std::string& path, std::size_t n,
+                     std::span<const Edge> edges);
+
+/// Read-only mmap view of a binary edge-list file. The edge span aliases
+/// the mapping — zero copies, zero per-edge allocations — and stays valid
+/// for the lifetime of the source. Feed it to CsrGraph(n, edges) or
+/// Graph(n, edges).
+class MmapEdgeSource {
+ public:
+  explicit MmapEdgeSource(const std::string& path);
+  ~MmapEdgeSource();
+
+  MmapEdgeSource(MmapEdgeSource&& other) noexcept;
+  MmapEdgeSource& operator=(MmapEdgeSource&& other) noexcept;
+  MmapEdgeSource(const MmapEdgeSource&) = delete;
+  MmapEdgeSource& operator=(const MmapEdgeSource&) = delete;
+
+  std::size_t vertex_count() const { return n_; }
+  std::size_t edge_count() const { return m_; }
+  std::span<const Edge> edges() const;
+
+ private:
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+};
 
 }  // namespace referee

@@ -1,161 +1,40 @@
-// Campaign runner: batched scenario grids over the referee model.
+// Compatibility umbrella for the campaign subsystem.
 //
-// The ROADMAP's "as many scenarios as you can imagine" workload: a campaign
-// is the cartesian grid (graph family × size × protocol × seed × fault
-// plan). Every cell generates its graph, runs the one-round pipeline
-// (zero-copy local phase → fault injection → referee decode), classifies
-// the outcome against ground truth computed directly on the graph, and
-// audits frugality. Scenarios are independent, so the runner shards the
-// grid over a ThreadPool; each worker chunk reuses one message arena, so
-// steady-state campaign throughput allocates almost nothing per scenario.
-//
-// Everything is deterministic in the specs: the same grid produces the
-// same results (and byte-identical JSON) no matter how it is sharded.
+// The campaign monolith that used to live here was split into the
+// plan/execute/aggregate pipeline under src/campaign/:
+//   campaign/scenario.hpp   cells: ScenarioSpec → ScenarioResult
+//   campaign/plan.hpp       grid expansion, stable cell ids, shard slicing
+//   campaign/backend.hpp    execution: ThreadPoolBackend, CampaignError
+//   campaign/subprocess.hpp execution: multi-process shard-and-merge
+//   campaign/report.hpp     aggregation: mergeable byte-stable v3 JSON
+// This header keeps old call sites compiling: it re-exports the split
+// headers and preserves CampaignRunner as a thin wrapper over
+// ThreadPoolBackend's detail path. New code should include the campaign/
+// headers directly and talk to CampaignBackend.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "model/envelope.hpp"
-#include "model/fault_model.hpp"
-#include "model/frugality.hpp"
-#include "model/simulator.hpp"
-#include "support/thread_pool.hpp"
+#include "campaign/backend.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/scenario.hpp"
 
 namespace referee {
 
-/// One cell of a campaign grid.
-struct ScenarioSpec {
-  std::string generator = "kdeg";  // see campaign_generators()
-  std::size_t n = 32;
-  unsigned k = 3;    // degeneracy bound / protocol parameter
-  double p = 0.1;    // edge probability, where the family takes one
-  std::string protocol = "degeneracy";  // see campaign_protocols()
-  std::uint64_t seed = 1;               // graph randomness
-  FaultPlan faults;                     // message corruption, if any
-};
-
-/// Outcome of one scenario. `outcome` is one of:
-///   "exact"        reconstruction returned the input graph
-///   "correct"      decision/statistic matched ground truth
-///   "loud"         the decoder refused (DecodeError) — contract respected
-///   "silent-wrong" decode succeeded but disagreed with ground truth
-/// `contract_ok` is false only for "silent-wrong": a referee may fail, but
-/// never silently lie. For "loud" outcomes, `detail` names the DecodeFault
-/// that tripped (see decode_fault_name), so sweeps can assert cause→effect
-/// against `journal`, the injector's record of applied faults.
-struct ScenarioResult {
-  std::string outcome;
-  bool contract_ok = true;
-  std::string detail;
-  FaultJournal journal;
-  FrugalityReport report;
-};
-
-/// Per-(generator, protocol) aggregation plus overall frugality extremes.
-struct CampaignAggregate {
-  std::string generator;
-  std::string protocol;
-  std::size_t scenarios = 0;
-  std::size_t ok = 0;            // exact or correct
-  std::size_t loud = 0;          // refused loudly
-  std::size_t silent_wrong = 0;  // contract violations
-  std::size_t max_bits = 0;      // max over scenarios of per-node max
-  double mean_max_bits = 0.0;    // mean over scenarios of per-node max
-  double max_constant = 0.0;     // worst c in c·log2(n+1)
-};
-
-/// Axes of a campaign grid; expand_grid takes the cartesian product.
-struct CampaignConfig {
-  std::vector<std::string> generators{"kdeg", "tree", "gnp", "apollonian"};
-  std::vector<std::size_t> sizes{24, 48};
-  std::vector<std::string> protocols{"degeneracy", "forest", "stats",
-                                     "connectivity"};
-  std::vector<std::uint64_t> seeds{1, 2, 3, 4};
-  /// Fault plans are applied verbatim except the seed: each scenario's
-  /// fault stream is re-derived from its own seed so grids stay
-  /// reproducible cell-by-cell.
-  std::vector<FaultPlan> fault_plans{FaultPlan{}};
-  unsigned k = 3;
-  double p = 0.1;
-};
-
-/// Families / protocols the campaign knows how to instantiate by name.
-const std::vector<std::string>& campaign_generators();
-const std::vector<std::string>& campaign_protocols();
-
-/// The cartesian product of the config's axes, in deterministic order
-/// (generator-major, fault-plan-minor).
-std::vector<ScenarioSpec> expand_grid(const CampaignConfig& config);
-
-/// Generate the input graph of a scenario (deterministic in the spec).
-Graph make_campaign_graph(const ScenarioSpec& spec);
-
-/// The protocol instance a scenario runs, deterministic in (spec, graph):
-/// building it twice — or building the donor cell's encoder for a stale
-/// replay — always yields the same wire format. Reductions come back in
-/// verified mode (re-encode verification). Exposed for the golden-
-/// transcript fixtures and the fault-contract harness.
-std::shared_ptr<const LocalEncoder> make_campaign_protocol(
-    const ScenarioSpec& spec, const Graph& g);
-
-/// The per-scenario envelope nonce: a deterministic hash of the cell
-/// identity (generator, protocol, n, k, p, seed — every axis that shapes
-/// the transcript). Two cells differing in any of those fields get
-/// different epochs, which is what makes stale replays from another cell
-/// detectable (DecodeFault::kEpochMismatch).
-std::uint64_t scenario_epoch(const ScenarioSpec& spec);
-
-/// The donor cell a stale replay steals messages from: the same cell with
-/// a re-derived seed (hence a different graph and a different epoch).
-ScenarioSpec stale_donor_spec(const ScenarioSpec& spec);
-
-/// Run a single cell end to end (local phase → envelope → fault injection
-/// → open → decode → classify). This is exactly what CampaignRunner does
-/// per grid cell; exposed for the fault-contract harness and the shrinker.
-ScenarioResult run_scenario(const ScenarioSpec& spec);
-
-/// Greedily shrink a failing cell to a minimal repro: while `still_fails`
-/// holds, shrink n, zero out fault families one at a time, halve fault
-/// counts and reset the seed. Deterministic; returns the smallest spec
-/// found (the input itself if `still_fails(spec)` is already false).
-ScenarioSpec shrink_scenario(
-    const ScenarioSpec& spec,
-    const std::function<bool(const ScenarioSpec&)>& still_fails);
-
-/// The adversarial fault sweep the harness and CI run by default: 128
-/// cells, every cell under exactly one correlated fault model. Under this
-/// grid every decoder must answer correctly or throw a typed DecodeError —
-/// zero silent-wrong cells, byte-identical JSON across thread counts.
-CampaignConfig default_fault_sweep_config();
-
+/// Legacy entry point: run a grid on the in-process backend and hand back
+/// raw per-cell results. Equivalent to
+/// ThreadPoolBackend(pool).run_cells(CampaignPlan::adopt(grid)).
 class CampaignRunner {
  public:
-  /// `pool` may be null (sequential). Not owned. Scenario-level sharding:
-  /// each scenario runs its local phase sequentially, the grid runs in
-  /// parallel — the right granularity once scenarios outnumber cores.
-  explicit CampaignRunner(ThreadPool* pool = nullptr) : pool_(pool) {}
+  explicit CampaignRunner(ThreadPool* pool = nullptr) : backend_(pool) {}
 
   /// Run every scenario; results are indexed like `grid` regardless of
   /// scheduling.
-  std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& grid) const;
+  std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& grid) const {
+    return backend_.run_cells(CampaignPlan::adopt(grid));
+  }
 
  private:
-  ThreadPool* pool_;
+  ThreadPoolBackend backend_;
 };
-
-/// Aggregate results by (generator, protocol), in first-seen grid order.
-std::vector<CampaignAggregate> aggregate_campaign(
-    const std::vector<ScenarioSpec>& grid,
-    const std::vector<ScenarioResult>& results);
-
-/// Deterministic JSON report (schema referee-campaign-v1): per-scenario
-/// rows plus aggregates. Byte-identical across runs and shardings of the
-/// same grid.
-std::string campaign_json(const std::vector<ScenarioSpec>& grid,
-                          const std::vector<ScenarioResult>& results);
 
 }  // namespace referee

@@ -79,6 +79,7 @@ void ThreadPool::parallel_for_chunks(
                                                       1, workers_.size())));
   }
   std::atomic<std::size_t> next{begin};
+  std::atomic<bool> failed{false};
   std::exception_ptr first_error = nullptr;
   std::mutex error_mutex;
 
@@ -90,13 +91,19 @@ void ThreadPool::parallel_for_chunks(
 
   for (std::size_t s = 0; s < shards; ++s) {
     submit([&, grain] {
-      for (;;) {
+      // Once any chunk throws, the remaining unstarted chunks are
+      // abandoned: every shard drains on its next fetch, the caller gets
+      // the first exception promptly, and a failing campaign doesn't
+      // grind through the rest of its grid first. In-flight chunks on
+      // other workers still finish (they only touch their own slots).
+      while (!failed.load(std::memory_order_relaxed)) {
         const std::size_t lo = next.fetch_add(grain);
         if (lo >= end) break;
         const std::size_t hi = std::min(end, lo + grain);
         try {
           body(lo, hi);
         } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
           std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }

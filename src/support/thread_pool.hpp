@@ -36,7 +36,9 @@ class ThreadPool {
 
   /// Apply `body(i)` for i in [begin, end), sharded into `grain`-sized
   /// chunks across the pool. Blocks until complete. Exceptions thrown by
-  /// `body` are captured and the first one is rethrown on the caller.
+  /// `body` are captured — the first one (in wall-clock order) is rethrown
+  /// on the caller with its original type, remaining unstarted chunks are
+  /// abandoned, and the pool itself stays healthy for the next call.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body,
                     std::size_t grain = 0);
@@ -44,7 +46,9 @@ class ThreadPool {
   /// Chunk-granular variant: `body(lo, hi)` is called once per chunk with
   /// lo < hi. This is the arena-reuse hook — a body can set up per-chunk
   /// scratch state (a BitWriter, an Rng, a decode buffer) once and reuse it
-  /// across the whole chunk instead of paying per-index setup.
+  /// across the whole chunk instead of paying per-index setup. Same
+  /// exception contract as parallel_for: first error rethrown typed,
+  /// unstarted chunks abandoned, no hang and no terminate().
   void parallel_for_chunks(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& body,

@@ -72,7 +72,7 @@ TEST(FaultContract, DefaultSweepHasZeroSilentWrongCells) {
 TEST(FaultContract, SecondSweepPassIsByteIdenticalAndArenaQuiescent) {
   // The decode-arena reuse contract: one thread, the default 128-cell sweep
   // run twice back to back. Pass 1 warms the calling thread's DecodeArena;
-  // pass 2 must produce byte-identical referee-campaign-v2 JSON *and* zero
+  // pass 2 must produce byte-identical referee-campaign-v3 JSON *and* zero
   // arena growth — the instrumented form of "a steady-state campaign cell
   // performs no decode-path heap allocations".
   const auto grid = expand_grid(default_fault_sweep_config());

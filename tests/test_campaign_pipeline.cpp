@@ -1,0 +1,248 @@
+// The plan/execute/aggregate pipeline: stable cell ids under sharding,
+// byte-identical merged reports across shard and thread counts, merge
+// associativity, shard provenance and its JSON round-trip, uniform typed
+// failure for broken cells, and the mmap'd million-node cell path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include "campaign/backend.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/scenario.hpp"
+#include "graph/io.hpp"
+#include "support/arena.hpp"
+#include "support/check.hpp"
+
+namespace referee {
+namespace {
+
+CampaignConfig quick_config() {
+  CampaignConfig config;
+  config.generators = {"kdeg", "tree"};
+  config.sizes = {16};
+  config.protocols = {"degeneracy", "stats"};
+  config.seeds = {1, 2, 3};
+  return config;
+}
+
+TEST(CampaignPlan, ShardsPartitionTheGridWithStableIds) {
+  const CampaignPlan plan{default_fault_sweep_config()};
+  ASSERT_EQ(plan.total_cells(), 128u);
+  EXPECT_TRUE(plan.is_full());
+  EXPECT_FALSE(plan.is_shard());
+  for (const unsigned count : {1u, 2u, 7u}) {
+    std::set<std::size_t> seen;
+    for (unsigned k = 0; k < count; ++k) {
+      const CampaignPlan shard = plan.shard(k, count);
+      EXPECT_EQ(shard.total_cells(), plan.total_cells());
+      EXPECT_EQ(shard.is_shard(), count > 1);
+      for (const CampaignCell& cell : shard.cells()) {
+        // Stable id: the shard's cell is *the* grid cell, spec and all.
+        EXPECT_EQ(plan.cells()[cell.id].spec.generator, cell.spec.generator);
+        EXPECT_EQ(plan.cells()[cell.id].spec.seed, cell.spec.seed);
+        EXPECT_TRUE(seen.insert(cell.id).second) << "overlapping shards";
+      }
+    }
+    EXPECT_EQ(seen.size(), plan.total_cells()) << "shards must cover the grid";
+  }
+  EXPECT_THROW(plan.shard(3, 3), CheckError);
+  EXPECT_THROW(plan.shard(0, 2).shard(0, 2), CheckError);
+}
+
+TEST(CampaignReport, MergedShardsAreByteIdenticalAcrossShardAndThreadCounts) {
+  // The headline determinism pin: shard count {1, 2, 7} × thread count
+  // {1, 4}, merged in descending shard order, all byte-identical to the
+  // sequential single-process report of the default 128-cell sweep.
+  const CampaignPlan plan{default_fault_sweep_config()};
+  const std::string baseline = ThreadPoolBackend().run(plan).to_json();
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const ThreadPoolBackend backend(threads == 1 ? nullptr : &pool);
+    for (const unsigned count : {1u, 2u, 7u}) {
+      CampaignReport merged;
+      for (unsigned k = count; k-- > 0;) {  // reversed: order must not matter
+        merged.merge(backend.run(plan.shard(k, count)));
+      }
+      EXPECT_TRUE(merged.complete());
+      EXPECT_EQ(merged.to_json(), baseline)
+          << count << " shards, " << threads << " threads";
+    }
+  }
+}
+
+TEST(CampaignReport, MergeIsAssociative) {
+  const CampaignPlan plan{quick_config()};
+  const ThreadPoolBackend backend;
+  const auto s0 = backend.run(plan.shard(0, 3));
+  const auto s1 = backend.run(plan.shard(1, 3));
+  const auto s2 = backend.run(plan.shard(2, 3));
+
+  CampaignReport left = s0;
+  left.merge(s1);
+  left.merge(s2);
+  CampaignReport right = s2;
+  right.merge(s1);
+  right.merge(s0);
+  EXPECT_EQ(left.to_json(), right.to_json());
+  EXPECT_EQ(left.to_json(), backend.run(plan).to_json());
+}
+
+TEST(CampaignReport, ShardJsonCarriesProvenanceAndRoundTrips) {
+  const CampaignPlan plan{quick_config()};
+  const ThreadPoolBackend backend;
+  const auto shard0 = backend.run(plan.shard(0, 2));
+  const std::string shard_json = shard0.to_json();
+  EXPECT_NE(shard_json.find("\"shards\": [\n    {\"index\": 0, \"count\": 2"),
+            std::string::npos);
+  // Parse → re-emit is the identity on shard reports...
+  EXPECT_EQ(CampaignReport::from_json(shard_json).to_json(), shard_json);
+  // ...and parsed shards merge to the canonical (provenance-free) bytes.
+  CampaignReport merged = CampaignReport::from_json(shard_json);
+  merged.merge(CampaignReport::from_json(backend.run(plan.shard(1, 2)).to_json()));
+  const std::string canonical = backend.run(plan).to_json();
+  EXPECT_EQ(merged.to_json(), canonical);
+  EXPECT_EQ(canonical.find("\"shards\""), std::string::npos);
+  // Canonical reports round-trip too.
+  EXPECT_EQ(CampaignReport::from_json(canonical).to_json(), canonical);
+}
+
+TEST(CampaignReport, MergeRejectsOverlapsAndForeignPlans) {
+  const CampaignPlan plan{quick_config()};
+  const ThreadPoolBackend backend;
+  const auto s0 = backend.run(plan.shard(0, 2));
+  CampaignReport merged = s0;
+  EXPECT_THROW(merged.merge(s0), CheckError);  // duplicate cell ids
+
+  CampaignConfig other = quick_config();
+  other.seeds = {1};
+  EXPECT_THROW(merged.merge(backend.run(CampaignPlan{other})), CheckError);
+}
+
+TEST(CampaignBackend, ThrowingCellSurfacesAsTypedCampaignError) {
+  // A broken cell (unknown generator: the pipeline, not the referee,
+  // fails) must surface as CampaignError naming the cell — on both the
+  // sequential and the pooled path — and leave the backend reusable.
+  std::vector<ScenarioSpec> grid(3);
+  grid[1].generator = "no-such-family";
+  const CampaignPlan plan = CampaignPlan::adopt(grid);
+  const ThreadPoolBackend sequential;
+  try {
+    sequential.run(plan);
+    FAIL() << "expected CampaignError";
+  } catch (const CampaignError& e) {
+    EXPECT_EQ(e.cell(), 1u);
+    EXPECT_NE(std::string(e.what()).find("no-such-family"), std::string::npos);
+  }
+  ThreadPool pool(4);
+  const ThreadPoolBackend pooled(&pool);
+  EXPECT_THROW(pooled.run(plan), CampaignError);
+  // The pool survives a failed campaign and still produces correct runs.
+  grid[1].generator = "kdeg";
+  const auto report = pooled.run(CampaignPlan::adopt(grid));
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.silent_wrong_count(), 0u);
+}
+
+TEST(CampaignBackend, FileCellsReportUnreadableGraphsAsCampaignError) {
+  std::vector<ScenarioSpec> grid(1);
+  grid[0].generator = "file:/no/such/file.rgb";
+  grid[0].protocol = "stats";
+  try {
+    ThreadPoolBackend().run(CampaignPlan::adopt(grid));
+    FAIL() << "expected CampaignError";
+  } catch (const CampaignError& e) {
+    EXPECT_EQ(e.cell(), 0u);
+  }
+}
+
+class MmapMillionNodeCell : public ::testing::Test {
+ protected:
+  // One shared ≥10^6-node binary edge list for the whole suite: a path
+  // with a chord every 64 vertices (so stats sees mixed degrees).
+  static void SetUpTestSuite() {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "referee_campaign_tests";
+    std::filesystem::create_directories(dir);
+    path_ = (dir / "million.rgb").string();
+    constexpr std::size_t kN = 1u << 20;
+    std::vector<Edge> edges;
+    edges.reserve(kN + kN / 64);
+    for (Vertex v = 0; v + 1 < kN; ++v) edges.emplace_back(v, v + 1);
+    for (Vertex v = 0; v + 64 < kN; v += 64) edges.emplace_back(v, v + 64);
+    write_edge_file(path_, kN, edges);
+  }
+
+  static std::string path_;
+};
+
+std::string MmapMillionNodeCell::path_;
+
+TEST_F(MmapMillionNodeCell, SecondSweepDecodesWithZeroArenaGrowth) {
+  // The scale acceptance pin: a campaign cell backed by an mmap'd binary
+  // edge list with 2^20 nodes completes (correctly), and a second sweep
+  // of the same cell performs zero decode-path arena growth — the
+  // million-node input path inherits the warm-arena contract.
+  ScenarioSpec spec;
+  spec.generator = "file:" + path_;
+  spec.protocol = "stats";
+  spec.seed = 3;
+
+  const auto first = run_scenario(spec);
+  EXPECT_EQ(first.outcome, "correct");
+  EXPECT_TRUE(first.contract_ok);
+  EXPECT_EQ(first.report.n, 1u << 20);
+
+  DecodeArena& arena = DecodeArena::for_current_thread();
+  const auto warm_growth = arena.stats().growth_events;
+  const auto warm_checkouts = arena.stats().checkouts;
+  const auto second = run_scenario(spec);
+  EXPECT_EQ(second.outcome, "correct");
+  EXPECT_GT(arena.stats().checkouts, warm_checkouts)
+      << "file cell did not route decode scratch through the arena";
+  EXPECT_EQ(arena.stats().growth_events, warm_growth)
+      << "second sweep over the mmap'd cell allocated decode scratch";
+}
+
+TEST_F(MmapMillionNodeCell, FileCellsStayLoudUnderCorrelatedFaults) {
+  ScenarioSpec spec;
+  spec.generator = "file:" + path_;
+  spec.protocol = "stats";
+  spec.faults = FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.001}};
+  const auto res = run_scenario(spec);
+  EXPECT_EQ(res.outcome, "loud");
+  EXPECT_EQ(res.detail, "missing-message");
+  EXPECT_TRUE(res.contract_ok);
+}
+
+TEST(CampaignFileCells, MatchGraphPathGroundTruthOnSmallInputs) {
+  // The CSR pipeline and the Graph pipeline must agree: pack a generated
+  // graph, run the same protocols through both generator specs, compare
+  // outcome and frugality byte-for-byte relevant fields.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "referee_campaign_tests";
+  std::filesystem::create_directories(dir);
+  const std::string file = (dir / "small.rgb").string();
+  ScenarioSpec base;
+  base.generator = "gnp";
+  base.n = 48;
+  base.seed = 9;
+  const Graph g = make_campaign_graph(base);
+  const auto edges = g.edges();
+  write_edge_file(file, g.vertex_count(), edges);
+
+  for (const char* protocol : {"stats", "connectivity", "bipartite"}) {
+    ScenarioSpec file_spec;
+    file_spec.generator = "file:" + file;
+    file_spec.protocol = protocol;
+    file_spec.seed = base.seed;
+    const auto res = run_scenario(file_spec);
+    EXPECT_EQ(res.outcome, "correct") << protocol;
+    EXPECT_GT(res.report.max_bits, 0u) << protocol;
+  }
+}
+
+}  // namespace
+}  // namespace referee

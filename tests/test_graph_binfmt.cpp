@@ -1,0 +1,164 @@
+// Binary edge-list format: golden round-trips against the text loader.
+//
+// The contract under test: pack → mmap → CsrGraph yields exactly the graph
+// the text path (from_edge_list → Graph → CsrGraph) yields, for every
+// input class the loaders accept — including duplicate edge records, both
+// endpoint orders and empty graphs — and both paths reject the same
+// malformed inputs (self-loops, out-of-range endpoints). Plus header
+// validation: magic, version, size consistency.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "support/check.hpp"
+#include "support/random.hpp"
+
+namespace referee {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "referee_binfmt_tests";
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
+}
+
+bool same_csr(const CsrGraph& a, const CsrGraph& b) {
+  if (a.vertex_count() != b.vertex_count()) return false;
+  if (a.edge_count() != b.edge_count()) return false;
+  for (Vertex v = 0; v < a.vertex_count(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
+  }
+  return true;
+}
+
+TEST(GraphBinaryFormat, RoundTripMatchesTextLoaderOnGeneratedFamilies) {
+  Rng rng(2026);
+  const std::vector<Graph> graphs{
+      gen::gnp(60, 0.08, rng), gen::random_tree(40, rng),
+      gen::random_apollonian(30, rng), gen::complete(8), gen::path(2)};
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const std::string text = to_edge_list(g);
+    const CsrGraph via_text(from_edge_list(text));
+
+    const std::string path = temp_path("roundtrip_" + std::to_string(i));
+    const auto edges = g.edges();
+    write_edge_file(path, g.vertex_count(), edges);
+    const MmapEdgeSource source(path);
+    EXPECT_EQ(source.vertex_count(), g.vertex_count());
+    EXPECT_EQ(source.edge_count(), g.edge_count());
+    const CsrGraph via_binary(source.vertex_count(), source.edges());
+    EXPECT_TRUE(same_csr(via_text, via_binary)) << "graph " << i;
+  }
+}
+
+TEST(GraphBinaryFormat, EmptyAndEdgelessGraphsRoundTrip) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{5}}) {
+    const std::string path = temp_path("empty_" + std::to_string(n));
+    write_edge_file(path, n, {});
+    const MmapEdgeSource source(path);
+    EXPECT_EQ(source.vertex_count(), n);
+    EXPECT_EQ(source.edge_count(), 0u);
+    const CsrGraph g(source.vertex_count(), source.edges());
+    EXPECT_EQ(g.vertex_count(), n);
+    EXPECT_EQ(g.edge_count(), 0u);
+  }
+}
+
+TEST(GraphBinaryFormat, DuplicateRecordsAndEitherOrientationCanonicalize) {
+  // The file may carry duplicates and swapped endpoints; CsrGraph
+  // canonicalizes exactly like the Graph built edge-by-edge from text.
+  const std::string path = temp_path("dups");
+  std::vector<Edge> raw{{0, 1}, {1, 0}, {2, 1}, {0, 1}, {2, 3}, {2, 3}};
+  write_edge_file(path, 4, raw);
+  const MmapEdgeSource source(path);
+  EXPECT_EQ(source.edge_count(), raw.size());  // records, not edges
+  const CsrGraph g(source.vertex_count(), source.edges());
+  EXPECT_EQ(g.edge_count(), 3u);
+  const CsrGraph expect(from_edge_list("4 3\n0 1\n1 2\n2 3\n"));
+  EXPECT_TRUE(same_csr(g, expect));
+}
+
+TEST(GraphBinaryFormat, SelfLoopsAreRejectedLikeTheTextPath) {
+  // Both loaders funnel into the same adjacency contract: the text path
+  // throws at Graph::add_edge, the writer throws before producing a file
+  // a reader could disagree about.
+  EXPECT_THROW(from_edge_list("3 1\n1 1\n"), CheckError);
+  const std::vector<Edge> loop{Edge{}};  // default Edge is the (0,0) loop
+  EXPECT_THROW(write_edge_file(temp_path("loop"), 3, loop), CheckError);
+}
+
+TEST(GraphBinaryFormat, OutOfRangeEndpointsAreRejectedEverywhere) {
+  EXPECT_THROW(from_edge_list("2 1\n0 7\n"), CheckError);
+  const std::vector<Edge> bad{{0, 7}};
+  EXPECT_THROW(write_edge_file(temp_path("range"), 2, bad), CheckError);
+  // ...and a foreign file that lies about n is caught at CSR build time.
+  const std::string path = temp_path("foreign_range");
+  write_edge_file(path, 8, bad);
+  const MmapEdgeSource source(path);
+  EXPECT_THROW(CsrGraph(2, source.edges()), CheckError);
+}
+
+TEST(GraphBinaryFormat, HeaderValidationRejectsForeignAndTruncatedFiles) {
+  const std::string not_graph = temp_path("not_a_graph");
+  {
+    std::ofstream os(not_graph, std::ios::binary);
+    os << "definitely not a refgraph header, but long enough to read";
+  }
+  EXPECT_THROW(MmapEdgeSource{not_graph}, CheckError);
+
+  const std::string tiny = temp_path("tiny");
+  {
+    std::ofstream os(tiny, std::ios::binary);
+    os << "short";
+  }
+  EXPECT_THROW(MmapEdgeSource{tiny}, CheckError);
+
+  // A valid file whose edge section was cut off mid-record.
+  const std::string truncated = temp_path("truncated");
+  write_edge_file(truncated, 4, std::vector<Edge>{{0, 1}, {2, 3}});
+  std::filesystem::resize_file(truncated, kEdgeFileHeaderBytes + 12);
+  EXPECT_THROW(MmapEdgeSource{truncated}, CheckError);
+
+  EXPECT_THROW(MmapEdgeSource{temp_path("does_not_exist")}, CheckError);
+
+  // A crafted header whose record count makes m * sizeof(Edge) wrap to a
+  // small value must be rejected, not handed out as a 2^61-record span.
+  const std::string overflow = temp_path("overflow");
+  write_edge_file(overflow, 4, {});
+  {
+    std::fstream os(overflow,
+                    std::ios::binary | std::ios::in | std::ios::out);
+    os.seekp(24);  // the m field
+    const std::uint64_t huge = 1ull << 61;  // 2^61 * 8 wraps to 0
+    os.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  EXPECT_THROW(MmapEdgeSource{overflow}, CheckError);
+}
+
+TEST(GraphBinaryFormat, MmapSourceMoves) {
+  const std::string path = temp_path("moves");
+  write_edge_file(path, 3, std::vector<Edge>{{0, 1}, {1, 2}});
+  MmapEdgeSource a(path);
+  MmapEdgeSource b(std::move(a));
+  EXPECT_EQ(b.vertex_count(), 3u);
+  EXPECT_EQ(b.edges().size(), 2u);
+  MmapEdgeSource c(path);
+  c = std::move(b);
+  EXPECT_EQ(c.vertex_count(), 3u);
+  const CsrGraph g(c.vertex_count(), c.edges());
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+}  // namespace
+}  // namespace referee

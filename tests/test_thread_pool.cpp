@@ -59,6 +59,76 @@ TEST(ThreadPool, ExceptionPropagates) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, ChunksPropagateTypedExceptions) {
+  // The campaign backends rely on chunk exceptions resurfacing with their
+  // original type (a CampaignError must not decay to std::exception).
+  struct CellFailure : std::runtime_error {
+    explicit CellFailure(std::size_t i)
+        : std::runtime_error("cell failed"), index(i) {}
+    std::size_t index;
+  };
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for_chunks(0, 1000, [](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (i == 417) throw CellFailure(i);
+      }
+    });
+    FAIL() << "expected CellFailure";
+  } catch (const CellFailure& e) {
+    EXPECT_EQ(e.index, 417u);
+  }
+}
+
+TEST(ThreadPool, ChunksAbandonRemainingWorkAfterFailure) {
+  // A throwing chunk must not let the pool grind through the rest of the
+  // range: unstarted chunks are abandoned once the first error lands.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> executed{0};
+  const std::size_t total = 100000;
+  EXPECT_THROW(
+      pool.parallel_for_chunks(
+          0, total,
+          [&](std::size_t lo, std::size_t hi) {
+            executed.fetch_add(hi - lo);
+            if (lo == 0) throw std::runtime_error("first chunk dies");
+          },
+          /*grain=*/1),
+      std::runtime_error);
+  EXPECT_LT(executed.load(), total);
+}
+
+TEST(ThreadPool, ChunksCompleteWhenEveryChunkThrows) {
+  // Worst case: all chunks fail. The call must return (no hang on the
+  // done condition variable, no terminate from a second in-flight
+  // exception) and rethrow the first error.
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.parallel_for_chunks(
+                     0, 64,
+                     [](std::size_t, std::size_t) {
+                       throw std::logic_error("every chunk");
+                     },
+                     /*grain=*/1),
+                 std::logic_error);
+  }
+}
+
+TEST(ThreadPool, ChunksUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_chunks(
+                   0, 100,
+                   [](std::size_t, std::size_t) {
+                     throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_chunks(0, 5000, [&](std::size_t lo, std::size_t hi) {
+    covered.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(covered.load(), 5000u);
+}
+
 TEST(ThreadPool, UsableAfterException) {
   ThreadPool pool(2);
   try {

@@ -1,0 +1,45 @@
+# CTest driver for the sharded-campaign determinism pin: the default
+# 128-cell fault sweep, run (1) single-process, (2) as explicit
+# --shard k/N workers merged with --merge, and (3) through the
+# one-command subprocess backend — all three JSON artifacts must be
+# byte-identical.
+#
+#   cmake -DREFEREECTL=<path> -DWORK_DIR=<dir> -P check_sharded_campaign.cmake
+if(NOT REFEREECTL OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DREFEREECTL=... -DWORK_DIR=... -P check_sharded_campaign.cmake")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_refereectl out_file)
+  execute_process(
+    COMMAND ${REFEREECTL} ${ARGN} --out ${out_file}
+    RESULT_VARIABLE rv
+    OUTPUT_QUIET)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "refereectl ${ARGN} failed (exit ${rv})")
+  endif()
+endfunction()
+
+run_refereectl(${WORK_DIR}/single.json campaign --fault-sweep)
+
+set(shard_files "")
+foreach(k RANGE 3)
+  run_refereectl(${WORK_DIR}/shard${k}.json campaign --fault-sweep --shard ${k}/4)
+  list(APPEND shard_files ${WORK_DIR}/shard${k}.json)
+endforeach()
+list(JOIN shard_files "," shard_list)
+run_refereectl(${WORK_DIR}/merged.json campaign --merge ${shard_list})
+
+run_refereectl(${WORK_DIR}/subprocess.json campaign --fault-sweep
+  --backend subprocess --shards 4)
+
+file(READ ${WORK_DIR}/single.json single)
+file(READ ${WORK_DIR}/merged.json merged)
+file(READ ${WORK_DIR}/subprocess.json subprocess)
+if(NOT single STREQUAL merged)
+  message(FATAL_ERROR "merged shard report differs from single-process run")
+endif()
+if(NOT single STREQUAL subprocess)
+  message(FATAL_ERROR "subprocess-backend report differs from single-process run")
+endif()
+message(STATUS "sharded campaign reports are byte-identical (4 shards, merge + subprocess backend)")

@@ -25,12 +25,24 @@
 //            [--seeds N] [--seed-list 5,9] [--flips 0,0.01] [--truncs 0]
 //            [--drops 0,0.25] [--dups 0,2] [--swaps 0,2] [--stales 0,2]
 //            [--k K] [--p P] [--threads T] [--json] [--out FILE]
-//            [--fault-sweep]
+//            [--fault-sweep] [--shard k/N] [--backend pool|subprocess]
+//            [--shards N]
 //            run a scenario grid; deterministic (same flags -> same bytes).
 //            Fault-plan axes take the cartesian product; --fault-sweep
 //            runs the default 128-cell correlated-fault contract sweep.
-//            To reproduce one failing cell from its JSON record, feed the
-//            row's fields back as single-valued axes (see README).
+//            Generators may also be file:<path> binary edge lists (see
+//            `graph pack`). --shard k/N runs only shard k of N and emits a
+//            mergeable shard report; --backend subprocess --shards N forks
+//            N shard workers of this binary and merges their streams —
+//            the merged bytes equal a single-process run. To reproduce one
+//            failing cell from its JSON record, feed the row's fields back
+//            as single-valued axes (see README).
+//   campaign --merge s0.json,s1.json,... [--json] [--out FILE]
+//            merge shard reports (from --shard runs, any shard count or
+//            nesting) into one report; byte-identical to the unsharded run
+//            once every shard is present.
+//   graph pack --out FILE        stdin edge-list text -> binary edge file
+//   graph gen <family> [gen flags] -o FILE   generate straight to binary
 //   selftest                     quick end-to-end sanity run
 #include <algorithm>
 #include <cstdio>
@@ -38,13 +50,22 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include "campaign/backend.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/scenario.hpp"
+#include "campaign/subprocess.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/degeneracy.hpp"
-#include "model/campaign.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/subgraphs.hpp"
@@ -91,6 +112,9 @@ Options parse_options(int argc, char** argv, int first) {
   Options opts;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "-o") {
+      arg = "--out";  // the conventional short spelling for output files
+    }
     if (arg.rfind("--", 0) != 0) {
       std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
       std::exit(2);
@@ -111,7 +135,7 @@ Graph read_graph_stdin() {
   return from_edge_list(buffer.str());
 }
 
-int cmd_gen(const std::string& family, const Options& opts) {
+Graph gen_family(const std::string& family, const Options& opts) {
   const auto n = static_cast<std::size_t>(opts.num("n", 32));
   const auto k = static_cast<unsigned>(opts.num("k", 3));
   const double p = opts.real("p", 0.1);
@@ -155,11 +179,53 @@ int cmd_gen(const std::string& family, const Options& opts) {
   } else if (family == "squarefree") {
     g = gen::random_square_free(n, opts.num("attempts", 30 * n), rng);
   } else {
-    std::fprintf(stderr, "unknown family: %s\n", family.c_str());
-    return 2;
+    throw CheckError("unknown family: " + family);
   }
-  std::fputs(to_edge_list(g).c_str(), stdout);
+  return g;
+}
+
+int cmd_gen(const std::string& family, const Options& opts) {
+  std::fputs(to_edge_list(gen_family(family, opts)).c_str(), stdout);
   return 0;
+}
+
+int cmd_graph(const std::string& sub, int argc, char** argv, int first) {
+  if (sub == "pack") {
+    const Options opts = parse_options(argc, argv, first);
+    if (!opts.has("out")) {
+      std::fprintf(stderr, "graph pack needs --out FILE (or -o FILE)\n");
+      return 2;
+    }
+    const Graph g = read_graph_stdin();
+    const auto edges = g.edges();
+    write_edge_file(opts.str("out", ""), g.vertex_count(), edges);
+    std::fprintf(stderr, "packed %zu vertices / %zu edges to %s\n",
+                 g.vertex_count(), edges.size(), opts.str("out", "").c_str());
+    return 0;
+  }
+  if (sub == "gen") {
+    if (first >= argc) {
+      std::fprintf(stderr, "graph gen needs a family\n");
+      return 2;
+    }
+    const std::string family = argv[first];
+    const Options opts = parse_options(argc, argv, first + 1);
+    if (!opts.has("out")) {
+      std::fprintf(stderr, "graph gen writes binary: needs --out FILE "
+                           "(use plain `gen` for text)\n");
+      return 2;
+    }
+    const Graph g = gen_family(family, opts);
+    const auto edges = g.edges();
+    write_edge_file(opts.str("out", ""), g.vertex_count(), edges);
+    std::fprintf(stderr, "generated %s: %zu vertices / %zu edges to %s\n",
+                 family.c_str(), g.vertex_count(), edges.size(),
+                 opts.str("out", "").c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown graph subcommand: %s (pack, gen)\n",
+               sub.c_str());
+  return 2;
 }
 
 int cmd_info(const Graph& g) {
@@ -394,7 +460,99 @@ std::vector<std::string> split_list(const std::string& csv) {
   return out;
 }
 
-int cmd_campaign(const Options& opts) {
+/// Emit a campaign report per the output flags and derive the exit code
+/// from the loud-failure contract: any silent-wrong cell fails the run.
+int finish_campaign(const CampaignReport& report, const Options& opts) {
+  const std::string json = report.to_json();
+  if (opts.has("out")) {
+    std::ofstream os(opts.str("out", "campaign.json"));
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", opts.str("out", "").c_str());
+      return 1;
+    }
+    os << json;
+  }
+  if (opts.has("json")) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::printf("%-14s %-22s %9s %4s %5s %7s %9s %7s\n", "generator",
+                "protocol", "scenarios", "ok", "loud", "silent", "max_bits",
+                "c");
+    for (const auto& a : report.aggregates()) {
+      std::printf("%-14s %-22s %9zu %4zu %5zu %7zu %9zu %7.2f\n",
+                  a.generator.c_str(), a.protocol.c_str(), a.scenarios, a.ok,
+                  a.loud, a.silent_wrong, a.max_bits, a.max_constant);
+    }
+    std::printf("total scenarios %zu/%zu, silent-wrong %zu\n",
+                report.cell_count(), report.plan_cells(),
+                report.silent_wrong_count());
+  }
+  return report.silent_wrong_count() == 0 ? 0 : 1;
+}
+
+int cmd_campaign_merge(const Options& opts) {
+  CampaignReport merged;
+  const auto paths = split_list(opts.str("merge", ""));
+  if (paths.empty()) {
+    std::fprintf(stderr, "--merge needs a comma-separated shard file list\n");
+    return 2;
+  }
+  for (const auto& path : paths) {
+    std::ifstream is(path);
+    if (!is) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    merged.merge(CampaignReport::from_json(buffer.str()));
+  }
+  if (!merged.complete()) {
+    std::fprintf(stderr,
+                 "note: merged %zu of %zu cells — emitting a partial "
+                 "(shard) report\n",
+                 merged.cell_count(), merged.plan_cells());
+  }
+  return finish_campaign(merged, opts);
+}
+
+/// The worker argv for subprocess shards: this campaign invocation's grid
+/// flags, minus everything that controls execution or output — the worker
+/// re-expands the same deterministic grid and adds its own --shard/--json.
+std::vector<std::string> shard_worker_args(int argc, char** argv) {
+  static const std::set<std::string> kControlFlags{
+      "--backend", "--shards", "--shard", "--merge",
+      "--threads", "--json",   "--out",   "-o"};
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool control = kControlFlags.count(arg) > 0;
+    const bool has_value =
+        i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0;
+    if (!control) args.push_back(arg);
+    if (has_value) {
+      if (!control) args.push_back(argv[i + 1]);
+      ++i;
+    }
+  }
+  return args;
+}
+
+/// Path of this very binary, for forking shard workers of ourselves.
+std::string self_exe(const char* argv0) {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len > 0) {
+    buf[len] = '\0';
+    return buf;
+  }
+#endif
+  return argv0;
+}
+
+int cmd_campaign(const Options& opts, int argc, char** argv) {
+  if (opts.has("merge")) return cmd_campaign_merge(opts);
   CampaignConfig config;
   if (opts.has("fault-sweep")) config = default_fault_sweep_config();
   if (opts.has("generators")) config.generators = split_list(opts.str("generators", ""));
@@ -474,7 +632,8 @@ int cmd_campaign(const Options& opts) {
 
   for (const auto& generator : config.generators) {
     const auto& known = campaign_generators();
-    if (std::find(known.begin(), known.end(), generator) == known.end()) {
+    if (!is_file_generator(generator) &&
+        std::find(known.begin(), known.end(), generator) == known.end()) {
       std::fprintf(stderr, "unknown generator: %s\n", generator.c_str());
       return 2;
     }
@@ -487,43 +646,57 @@ int cmd_campaign(const Options& opts) {
     }
   }
 
-  const auto grid = expand_grid(config);
+  CampaignPlan plan(config);
+  if (opts.has("shard")) {
+    const std::string shard = opts.str("shard", "");
+    const auto slash = shard.find('/');
+    if (slash == std::string::npos) {
+      std::fprintf(stderr, "--shard wants k/N (e.g. --shard 0/4)\n");
+      return 2;
+    }
+    const auto k = static_cast<unsigned>(std::stoul(shard.substr(0, slash)));
+    const auto count =
+        static_cast<unsigned>(std::stoul(shard.substr(slash + 1)));
+    if (count == 0 || k >= count) {
+      std::fprintf(stderr, "--shard index out of range: %s\n", shard.c_str());
+      return 2;
+    }
+    plan = plan.shard(k, count);
+  }
+
+  const std::string backend_name = opts.str("backend", "pool");
+  if (backend_name == "subprocess") {
+    if (opts.has("shard")) {
+      std::fprintf(stderr,
+                   "--backend subprocess shards the plan itself; drop "
+                   "--shard\n");
+      return 2;
+    }
+    const auto shards =
+        static_cast<unsigned>(opts.num("shards", 4));
+    auto worker_args = shard_worker_args(argc, argv);
+    if (opts.has("threads")) {
+      // Split the requested budget across workers instead of letting each
+      // one default to a full hardware-sized pool.
+      const auto total = static_cast<unsigned>(opts.num("threads", 0));
+      worker_args.push_back("--threads");
+      worker_args.push_back(std::to_string(std::max(1u, total / shards)));
+    }
+    const SubprocessShardBackend backend(self_exe(argv[0]),
+                                         std::move(worker_args), shards);
+    return finish_campaign(backend.run(plan), opts);
+  }
+  if (backend_name != "pool") {
+    std::fprintf(stderr, "unknown backend: %s (pool, subprocess)\n",
+                 backend_name.c_str());
+    return 2;
+  }
+
   const auto threads = static_cast<std::size_t>(opts.num("threads", 0));
   std::unique_ptr<ThreadPool> pool;
   if (threads != 1) pool = std::make_unique<ThreadPool>(threads);
-  const CampaignRunner runner(pool.get());
-  const auto results = runner.run(grid);
-
-  const std::string json = campaign_json(grid, results);
-  if (opts.has("out")) {
-    std::ofstream os(opts.str("out", "campaign.json"));
-    if (!os) {
-      std::fprintf(stderr, "cannot open %s\n", opts.str("out", "").c_str());
-      return 1;
-    }
-    os << json;
-  }
-  if (opts.has("json")) {
-    std::fputs(json.c_str(), stdout);
-  } else {
-    std::printf("%-14s %-22s %9s %4s %5s %7s %9s %7s\n", "generator",
-                "protocol", "scenarios", "ok", "loud", "silent", "max_bits",
-                "c");
-    std::size_t silent_total = 0;
-    for (const auto& a : aggregate_campaign(grid, results)) {
-      silent_total += a.silent_wrong;
-      std::printf("%-14s %-22s %9zu %4zu %5zu %7zu %9zu %7.2f\n",
-                  a.generator.c_str(), a.protocol.c_str(), a.scenarios, a.ok,
-                  a.loud, a.silent_wrong, a.max_bits, a.max_constant);
-    }
-    std::printf("total scenarios %zu, silent-wrong %zu\n", grid.size(),
-                silent_total);
-  }
-  std::size_t silent = 0;
-  for (const auto& r : results) {
-    if (!r.contract_ok) ++silent;
-  }
-  return silent == 0 ? 0 : 1;
+  const ThreadPoolBackend backend(pool.get());
+  return finish_campaign(backend.run(plan), opts);
 }
 
 int cmd_selftest() {
@@ -546,7 +719,7 @@ void usage() {
       "usage: refereectl <command> [options]\n"
       "commands: gen info stats reconstruct recognize adaptive connectivity\n"
       "          kconn bipartite reduce capture decode-transcript campaign\n"
-      "          selftest   (see source header for flags)\n",
+      "          graph selftest   (see source header for flags)\n",
       stderr);
 }
 
@@ -566,9 +739,16 @@ int main(int argc, char** argv) {
       }
       return cmd_gen(argv[2], parse_options(argc, argv, 3));
     }
+    if (command == "graph") {
+      if (argc < 3) {
+        usage();
+        return 2;
+      }
+      return cmd_graph(argv[2], argc, argv, 3);
+    }
     const Options opts = parse_options(argc, argv, 2);
     if (command == "selftest") return cmd_selftest();
-    if (command == "campaign") return cmd_campaign(opts);
+    if (command == "campaign") return cmd_campaign(opts, argc, argv);
     if (command == "decode-transcript") return cmd_decode_transcript(opts);
     const Graph g = read_graph_stdin();
     if (command == "info") return cmd_info(g);
