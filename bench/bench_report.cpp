@@ -1,0 +1,116 @@
+// Report-layer throughput: the streaming k-way merge against the
+// materialize-everything path it replaced, on synthetic grids large enough
+// that the difference is structural (rows flow one at a time vs. whole
+// documents parsed into memory). BM_StreamingMerge is the number the CI
+// bench gate pins: merge cost per row must stay flat as grids grow, since
+// the out-of-core campaign story rests on it.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/stream.hpp"
+
+namespace {
+
+using namespace referee;
+
+/// Discards bytes: the merge benchmarks price row flow and formatting,
+/// not ostringstream growth.
+struct NullBuffer final : std::streambuf {
+  int overflow(int c) override { return c; }
+};
+
+/// A synthetic grid of `rows` cells split round-robin into `shards` shard
+/// reports — report machinery only, no scenario execution, so the
+/// benchmark isolates the merge itself.
+std::vector<std::string> make_shard_docs(std::size_t rows, unsigned shards) {
+  ScenarioSpec spec;
+  spec.generator = "kdeg";
+  spec.protocol = "degeneracy";
+  ScenarioResult result;
+  result.outcome = "exact";
+  result.report.max_bits = 40;
+  result.report.budget_bits = 64;
+  std::vector<std::string> docs;
+  for (unsigned s = 0; s < shards; ++s) {
+    std::vector<ReportRow> shard_rows;
+    for (std::size_t id = s; id < rows; id += shards) {
+      spec.seed = id + 1;
+      shard_rows.push_back(CampaignReport::format_row(id, spec, result));
+    }
+    const std::size_t cells = shard_rows.size();
+    docs.push_back(CampaignReport::adopt_rows(
+                       rows, std::move(shard_rows),
+                       {ShardInfo{.index = s, .count = shards,
+                                  .cells = cells}})
+                       .to_json());
+  }
+  return docs;
+}
+
+void BM_StreamingMerge(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<unsigned>(state.range(1));
+  const auto docs = make_shard_docs(rows, shards);
+  NullBuffer null_buffer;
+  std::ostream null_stream(&null_buffer);
+  for (auto _ : state) {
+    std::vector<std::istringstream> streams;
+    streams.reserve(docs.size());
+    for (const auto& doc : docs) streams.emplace_back(doc);
+    std::vector<std::istream*> inputs;
+    inputs.reserve(streams.size());
+    for (auto& s : streams) inputs.push_back(&s);
+    StreamingReportWriter writer(null_stream);
+    benchmark::DoNotOptimize(merge_report_streams(inputs, writer));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_StreamingMerge)
+    ->Args({1024, 4})
+    ->Args({8192, 4})
+    ->Args({8192, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InMemoryMerge(benchmark::State& state) {
+  // The pre-streaming shape: parse every shard document into a report,
+  // fold, format. Kept as the comparison row for the streaming number.
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<unsigned>(state.range(1));
+  const auto docs = make_shard_docs(rows, shards);
+  for (auto _ : state) {
+    CampaignReport merged;
+    for (const auto& doc : docs) {
+      merged.merge(CampaignReport::from_json(doc));
+    }
+    benchmark::DoNotOptimize(merged.to_json().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_InMemoryMerge)->Args({8192, 4})->Unit(benchmark::kMillisecond);
+
+void BM_ReportEmit(benchmark::State& state) {
+  // Formatting cost alone: one complete report replayed through the
+  // canonical writer into a null sink.
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto docs = make_shard_docs(rows, 1);
+  const CampaignReport report = CampaignReport::from_json(docs[0]);
+  NullBuffer null_buffer;
+  std::ostream null_stream(&null_buffer);
+  for (auto _ : state) {
+    StreamingReportWriter writer(null_stream);
+    report.emit(writer);
+    benchmark::DoNotOptimize(writer.folder().rows());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_ReportEmit)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -19,7 +19,17 @@ std::vector<ScenarioResult> ThreadPoolBackend::run_cells(
         DecodeArena& arena = DecodeArena::for_current_thread();
         for (std::size_t i = lo; i < hi; ++i) {
           try {
-            results[i] = run_scenario(cells[i].spec, inner, transcript, arena);
+            TranscriptSink cell_capture;
+            if (capture_) {
+              cell_capture = [&, id = cells[i].id](
+                                 std::uint64_t epoch, std::uint32_t n,
+                                 std::span<const Message> wire) {
+                capture_(id, epoch, n, wire);
+              };
+            }
+            results[i] =
+                run_scenario(cells[i].spec, inner, transcript, arena,
+                             capture_ ? &cell_capture : nullptr);
           } catch (const CampaignError&) {
             throw;
           } catch (const std::exception& e) {
@@ -38,6 +48,11 @@ std::vector<ScenarioResult> ThreadPoolBackend::run_cells(
       },
       /*serial_cutoff=*/2);
   return results;
+}
+
+void CampaignBackend::run_to(const CampaignPlan& plan,
+                             ReportSink& sink) const {
+  run(plan).emit(sink);
 }
 
 CampaignReport ThreadPoolBackend::run(const CampaignPlan& plan) const {

@@ -49,7 +49,21 @@ class CampaignBackend {
   /// Execute every cell of `plan` and return its report (a shard report
   /// when the plan is a shard). Throws CampaignError on worker failure.
   virtual CampaignReport run(const CampaignPlan& plan) const = 0;
+
+  /// Execute `plan` and stream its report through `sink` (begin, rows in
+  /// stable-id order, end). The default materializes run() and replays it;
+  /// out-of-core backends override this so the full grid never lives in
+  /// the coordinating process.
+  virtual void run_to(const CampaignPlan& plan, ReportSink& sink) const;
 };
+
+/// A backend-level capture hook: the cell's stable id joins the wire
+/// transcript, so captured artifacts can be named per cell (the CLI
+/// writes `<dir>/cell-<id>.rtr`). Called concurrently from worker
+/// threads; implementations touching shared state must synchronize.
+using CellTranscriptSink = std::function<void(
+    std::size_t cell_id, std::uint64_t epoch, std::uint32_t n,
+    std::span<const Message> wire)>;
 
 /// The in-process backend: cells shard over a ThreadPool (or run
 /// sequentially when `pool` is null), each worker chunk reusing one
@@ -62,6 +76,12 @@ class ThreadPoolBackend final : public CampaignBackend {
   /// parallel — the right granularity once scenarios outnumber cores.
   explicit ThreadPoolBackend(ThreadPool* pool = nullptr) : pool_(pool) {}
 
+  /// Observe every cell's post-injection wire transcript (see
+  /// TranscriptSink in campaign/scenario.hpp). Empty disables capture.
+  void set_capture(CellTranscriptSink capture) {
+    capture_ = std::move(capture);
+  }
+
   CampaignReport run(const CampaignPlan& plan) const override;
 
   /// The detail path: full ScenarioResults (fault journal, frugality
@@ -72,6 +92,7 @@ class ThreadPoolBackend final : public CampaignBackend {
 
  private:
   ThreadPool* pool_;
+  CellTranscriptSink capture_;
 };
 
 }  // namespace referee

@@ -1,10 +1,10 @@
 #include "campaign/report.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 #include <iterator>
+#include <sstream>
 #include <utility>
 
 #include "support/check.hpp"
@@ -24,17 +24,22 @@ void append_f(std::string& out, const char* fmt, ...) {
   out.append(buf, buf + len);
 }
 
-/// One scenario row, formatted once at the source. Every byte of a cell's
-/// row is a pure function of (id, spec, result), never of which shard or
-/// thread computed it — the whole merge-determinism story rests here.
-std::string format_row(std::size_t id, const ScenarioSpec& s,
-                       const ScenarioResult& r) {
-  std::string out;
+}  // namespace
+
+ReportRow CampaignReport::format_row(std::size_t id, const ScenarioSpec& s,
+                                     const ScenarioResult& r) {
+  ReportRow row;
+  row.id = id;
+  row.generator = s.generator;
+  row.protocol = s.protocol;
+  row.outcome = r.outcome;
+  row.max_bits = r.report.max_bits;
+  row.budget_bits = r.report.budget_bits;
   const auto& cor = s.faults.correlated;
   // "n" is the real vertex count the scenario ran on (families like
   // hypercube and grid round the requested size); "spec_n" is the grid
   // axis value — frugality columns must be plotted against "n".
-  append_f(out,
+  append_f(row.json,
            "{\"i\": %zu, \"generator\": \"%s\", \"n\": %u, "
            "\"spec_n\": %zu, \"k\": %u, \"p\": %.6f, \"protocol\": \"%s\", "
            "\"seed\": %llu, \"flip\": %.6f, \"trunc\": %.6f, "
@@ -58,104 +63,8 @@ std::string format_row(std::size_t id, const ScenarioSpec& s,
            r.journal.count(FaultType::kStaleReplay),
            r.report.max_bits, r.report.total_bits, r.report.budget_bits,
            r.report.constant());
-  return out;
+  return row;
 }
-
-void append_taxonomy(std::string& out) {
-  // The fault taxonomy: every model the injector knows, its scope, the
-  // spec field that arms it, and the check that makes it loud. Driven by
-  // the FaultType enum (names via fault_type_name, detectors via
-  // decode_fault_name) so the report cannot drift from the injector; kept
-  // in the JSON so a failing cell's record is self-describing.
-  struct TaxonomyRow {
-    FaultType type;
-    const char* scope;
-    const char* field;
-    DecodeFault detector;       // the typed fault the model must surface as
-    const char* detector_note;  // "" when the typed name says it all
-  };
-  static constexpr TaxonomyRow kTaxonomy[] = {
-      {FaultType::kBitFlip, "message", "flip", DecodeFault::kInconsistent,
-       "payload checks (power sums, framing, fingerprints) on certifying "
-       "decoders; flips landing in the envelope header surface as "
-       "epoch-mismatch or id-mismatch instead"},
-      {FaultType::kTruncate, "message", "trunc", DecodeFault::kTruncated,
-       "bit-level framing (read past end), whether the cut hits header or "
-       "payload"},
-      {FaultType::kDrop, "campaign", "drop", DecodeFault::kMissingMessage,
-       ""},
-      {FaultType::kDuplicateId, "campaign", "dup", DecodeFault::kIdMismatch,
-       ""},
-      {FaultType::kPayloadSwap, "campaign", "swap", DecodeFault::kIdMismatch,
-       ""},
-      {FaultType::kStaleReplay, "campaign", "stale",
-       DecodeFault::kEpochMismatch, ""},
-  };
-  out += "  \"fault_taxonomy\": [\n";
-  for (std::size_t i = 0; i < std::size(kTaxonomy); ++i) {
-    const TaxonomyRow& row = kTaxonomy[i];
-    append_f(out,
-             "    {\"type\": \"%s\", \"scope\": \"%s\", \"field\": \"%s\", "
-             "\"detector\": \"%s\"%s%s%s}%s\n",
-             fault_type_name(row.type), row.scope, row.field,
-             decode_fault_name(row.detector),
-             row.detector_note[0] != '\0' ? ", \"note\": \"" : "",
-             row.detector_note,
-             row.detector_note[0] != '\0' ? "\"" : "",
-             i + 1 == std::size(kTaxonomy) ? "" : ",");
-  }
-  out += "  ],\n";
-}
-
-/// Raw value of `key` inside one emitted JSON object: the unquoted body of
-/// a string, or the digit run of a number. Strict enough for the rigid
-/// format this module itself emits; never a general JSON parser.
-std::string_view object_field(std::string_view obj, std::string_view key) {
-  std::string pattern;
-  pattern.reserve(key.size() + 4);
-  pattern += '"';
-  pattern += key;
-  pattern += "\": ";
-  const auto pos = obj.find(pattern);
-  REFEREE_CHECK_MSG(pos != std::string_view::npos,
-                    "campaign report row is missing field \"" +
-                        std::string(key) + "\"");
-  std::string_view value = obj.substr(pos + pattern.size());
-  if (!value.empty() && value.front() == '"') {
-    const auto end = value.find('"', 1);
-    REFEREE_CHECK_MSG(end != std::string_view::npos,
-                      "unterminated string in campaign report row");
-    return value.substr(1, end - 1);
-  }
-  const auto end = value.find_first_of(",}");
-  REFEREE_CHECK_MSG(end != std::string_view::npos,
-                    "unterminated value in campaign report row");
-  return value.substr(0, end);
-}
-
-std::uint64_t number_field(std::string_view obj, std::string_view key) {
-  const std::string_view raw = object_field(obj, key);
-  std::uint64_t value = 0;
-  const auto [ptr, ec] =
-      std::from_chars(raw.data(), raw.data() + raw.size(), value);
-  REFEREE_CHECK_MSG(ec == std::errc() && ptr == raw.data() + raw.size(),
-                    "bad number for field \"" + std::string(key) +
-                        "\" in campaign report");
-  return value;
-}
-
-/// Returns the next line of `text` starting at `pos` (without the newline)
-/// and advances `pos` past it.
-std::string_view next_line(std::string_view text, std::size_t& pos) {
-  REFEREE_CHECK_MSG(pos < text.size(), "truncated campaign report");
-  const auto nl = text.find('\n', pos);
-  const auto end = nl == std::string_view::npos ? text.size() : nl;
-  const std::string_view line = text.substr(pos, end - pos);
-  pos = nl == std::string_view::npos ? text.size() : nl + 1;
-  return line;
-}
-
-}  // namespace
 
 CampaignReport CampaignReport::from_results(
     const CampaignPlan& plan, std::span<const ScenarioResult> results) {
@@ -166,74 +75,36 @@ CampaignReport CampaignReport::from_results(
   rep.rows_.reserve(results.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CampaignCell& cell = plan.cells()[i];
-    const ScenarioResult& res = results[i];
-    Row row;
-    row.id = cell.id;
-    row.generator = cell.spec.generator;
-    row.protocol = cell.spec.protocol;
-    row.outcome = res.outcome;
-    row.max_bits = res.report.max_bits;
-    row.budget_bits = res.report.budget_bits;
-    row.json = format_row(cell.id, cell.spec, res);
-    rep.rows_.push_back(std::move(row));
+    rep.rows_.push_back(format_row(cell.id, cell.spec, results[i]));
   }
   if (plan.is_shard()) {
-    rep.shards_.push_back(ShardProvenance{plan.shard_index(),
-                                          plan.shard_count(),
-                                          plan.cells().size()});
+    rep.shards_.push_back(ShardInfo{plan.shard_index(), plan.shard_count(),
+                                    plan.cells().size()});
   }
   rep.sort_and_validate();
   return rep;
 }
 
 CampaignReport CampaignReport::from_json(std::string_view json) {
-  REFEREE_CHECK_MSG(
-      json.find("\"schema\": \"referee-campaign-v3\"") != std::string_view::npos,
-      "not a referee-campaign-v3 report");
+  std::istringstream in{std::string(json)};
+  ShardRowReader reader(in);
   CampaignReport rep;
-  rep.plan_cells_ = number_field(json, "plan\": {\"cells");
-
-  const auto shards_pos = json.find("\n  \"shards\": [");
-  if (shards_pos != std::string_view::npos) {
-    std::size_t pos = json.find('\n', shards_pos + 1);
-    REFEREE_CHECK_MSG(pos != std::string_view::npos, "truncated shards block");
-    ++pos;
-    for (;;) {
-      const std::string_view line = next_line(json, pos);
-      if (line == "  ],") break;
-      REFEREE_CHECK_MSG(line.rfind("    {", 0) == 0,
-                        "malformed shards block in campaign report");
-      ShardProvenance shard;
-      shard.index = static_cast<unsigned>(number_field(line, "index"));
-      shard.count = static_cast<unsigned>(number_field(line, "count"));
-      shard.cells = number_field(line, "cells");
-      rep.shards_.push_back(shard);
-    }
+  rep.plan_cells_ = reader.plan_cells();
+  rep.shards_ = reader.shards();
+  while (auto row = reader.next()) {
+    rep.rows_.push_back(std::move(*row));
   }
+  rep.sort_and_validate();
+  return rep;
+}
 
-  const auto rows_pos = json.find("\n  \"scenarios\": [");
-  REFEREE_CHECK_MSG(rows_pos != std::string_view::npos,
-                    "campaign report has no scenarios block");
-  std::size_t pos = json.find('\n', rows_pos + 1);
-  REFEREE_CHECK_MSG(pos != std::string_view::npos, "truncated scenarios block");
-  ++pos;
-  for (;;) {
-    std::string_view line = next_line(json, pos);
-    if (line == "  ],") break;
-    REFEREE_CHECK_MSG(line.rfind("    {\"i\": ", 0) == 0,
-                      "malformed scenario row in campaign report");
-    line.remove_prefix(4);                                   // indent
-    if (line.ends_with(',')) line.remove_suffix(1);          // row separator
-    Row row;
-    row.id = number_field(line, "i");
-    row.generator = std::string(object_field(line, "generator"));
-    row.protocol = std::string(object_field(line, "protocol"));
-    row.outcome = std::string(object_field(line, "outcome"));
-    row.max_bits = number_field(line, "max_bits");
-    row.budget_bits = number_field(line, "budget_bits");
-    row.json = std::string(line);
-    rep.rows_.push_back(std::move(row));
-  }
+CampaignReport CampaignReport::adopt_rows(std::size_t plan_cells,
+                                          std::vector<ReportRow> rows,
+                                          std::vector<ShardInfo> shards) {
+  CampaignReport rep;
+  rep.plan_cells_ = plan_cells;
+  rep.rows_ = std::move(rows);
+  rep.shards_ = std::move(shards);
   rep.sort_and_validate();
   return rep;
 }
@@ -254,105 +125,45 @@ void CampaignReport::merge(CampaignReport other) {
 
 void CampaignReport::sort_and_validate() {
   std::sort(rows_.begin(), rows_.end(),
-            [](const Row& a, const Row& b) { return a.id < b.id; });
+            [](const ReportRow& a, const ReportRow& b) { return a.id < b.id; });
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     REFEREE_CHECK_MSG(rows_[i].id < plan_cells_,
                       "campaign report cell id out of plan range");
     REFEREE_CHECK_MSG(i == 0 || rows_[i - 1].id != rows_[i].id,
                       "campaign reports overlap: duplicate cell id");
   }
-  std::sort(shards_.begin(), shards_.end(),
-            [](const ShardProvenance& a, const ShardProvenance& b) {
-              return std::pair(a.count, a.index) < std::pair(b.count, b.index);
-            });
+  sort_shard_infos(shards_);
 }
 
 std::vector<CampaignAggregate> CampaignReport::aggregates() const {
-  std::vector<CampaignAggregate> aggs;
-  std::vector<double> sums;
-  for (const Row& row : rows_) {
-    auto it = std::find_if(aggs.begin(), aggs.end(), [&](const auto& a) {
-      return a.generator == row.generator && a.protocol == row.protocol;
-    });
-    if (it == aggs.end()) {
-      aggs.push_back(CampaignAggregate{row.generator, row.protocol});
-      sums.push_back(0.0);
-      it = aggs.end() - 1;
-    }
-    auto& agg = *it;
-    auto& sum = sums[static_cast<std::size_t>(it - aggs.begin())];
-    ++agg.scenarios;
-    if (row.outcome == "exact" || row.outcome == "correct") ++agg.ok;
-    if (row.outcome == "loud") ++agg.loud;
-    if (row.outcome == "silent-wrong") ++agg.silent_wrong;
-    agg.max_bits = std::max(agg.max_bits, row.max_bits);
-    const double constant =
-        row.budget_bits == 0 ? 0.0
-                             : static_cast<double>(row.max_bits) /
-                                   static_cast<double>(row.budget_bits);
-    agg.max_constant = std::max(agg.max_constant, constant);
-    sum += static_cast<double>(row.max_bits);
-    agg.mean_max_bits = sum / static_cast<double>(agg.scenarios);
-  }
-  return aggs;
+  AggregateFolder folder;
+  for (const ReportRow& row : rows_) folder.add(row);
+  return folder.aggregates();
 }
 
 std::size_t CampaignReport::silent_wrong_count() const {
   std::size_t count = 0;
-  for (const Row& row : rows_) {
+  for (const ReportRow& row : rows_) {
     if (row.outcome == "silent-wrong") ++count;
   }
   return count;
 }
 
-std::string CampaignReport::to_json() const {
-  std::string out;
-  out.reserve(rows_.size() * 340 + 4096);
-  out += "{\n  \"schema\": \"referee-campaign-v3\",\n";
-  append_f(out, "  \"plan\": {\"cells\": %zu},\n", plan_cells_);
+void CampaignReport::emit(ReportSink& sink) const {
   // A complete report is canonical: its bytes are a pure function of
   // (plan, results), never of the shard topology that computed it. Shard
-  // provenance therefore only appears while the report is partial.
-  if (!complete()) {
-    out += "  \"shards\": [\n";
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      append_f(out, "    {\"index\": %u, \"count\": %u, \"cells\": %zu}%s\n",
-               shards_[i].index, shards_[i].count, shards_[i].cells,
-               i + 1 == shards_.size() ? "" : ",");
-    }
-    out += "  ],\n";
-  }
-  append_taxonomy(out);
-  out += "  \"scenarios\": [\n";
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    out += "    ";
-    out += rows_[i].json;
-    out += i + 1 == rows_.size() ? "\n" : ",\n";
-  }
-  out += "  ],\n  \"aggregates\": [\n";
-  const auto aggs = aggregates();
-  std::size_t total_ok = 0;
-  std::size_t total_loud = 0;
-  std::size_t total_silent = 0;
-  for (std::size_t i = 0; i < aggs.size(); ++i) {
-    const auto& a = aggs[i];
-    total_ok += a.ok;
-    total_loud += a.loud;
-    total_silent += a.silent_wrong;
-    append_f(out,
-             "    {\"generator\": \"%s\", \"protocol\": \"%s\", "
-             "\"scenarios\": %zu, \"ok\": %zu, \"loud\": %zu, "
-             "\"silent_wrong\": %zu, \"max_bits\": %zu, "
-             "\"mean_max_bits\": %.6f, \"max_constant\": %.6f}%s\n",
-             a.generator.c_str(), a.protocol.c_str(), a.scenarios, a.ok,
-             a.loud, a.silent_wrong, a.max_bits, a.mean_max_bits,
-             a.max_constant, i + 1 == aggs.size() ? "" : ",");
-  }
-  append_f(out,
-           "  ],\n  \"totals\": {\"scenarios\": %zu, \"ok\": %zu, "
-           "\"loud\": %zu, \"silent_wrong\": %zu}\n}\n",
-           rows_.size(), total_ok, total_loud, total_silent);
-  return out;
+  // provenance therefore only travels while the report is partial.
+  sink.begin(plan_cells_, complete() ? std::span<const ShardInfo>{}
+                                     : std::span<const ShardInfo>(shards_));
+  for (const ReportRow& row : rows_) sink.row(row);
+  sink.end();
+}
+
+std::string CampaignReport::to_json() const {
+  std::ostringstream out;
+  StreamingReportWriter writer(out);
+  emit(writer);
+  return std::move(out).str();
 }
 
 std::vector<CampaignAggregate> aggregate_campaign(

@@ -10,6 +10,12 @@
 // on the same bytes, and a CI job can diff the sharded artifact against
 // the single-process one.
 //
+// Since PR 6 the in-memory report is a view over the streaming layer
+// (campaign/stream.hpp): to_json() replays the rows through a
+// StreamingReportWriter and from_json() ingests through a ShardRowReader,
+// so the materialized and out-of-core paths share one formatter and one
+// parser — they cannot drift apart byte-wise.
+//
 // Schema referee-campaign-v3 (v2 + the "plan" block and shard provenance):
 //   {
 //     "schema": "referee-campaign-v3",
@@ -31,21 +37,9 @@
 #include <vector>
 
 #include "campaign/plan.hpp"
+#include "campaign/stream.hpp"
 
 namespace referee {
-
-/// Per-(generator, protocol) aggregation plus overall frugality extremes.
-struct CampaignAggregate {
-  std::string generator;
-  std::string protocol;
-  std::size_t scenarios = 0;
-  std::size_t ok = 0;            // exact or correct
-  std::size_t loud = 0;          // refused loudly
-  std::size_t silent_wrong = 0;  // contract violations
-  std::size_t max_bits = 0;      // max over scenarios of per-node max
-  double mean_max_bits = 0.0;    // mean over scenarios of per-node max
-  double max_constant = 0.0;     // worst c in c·log2(n+1)
-};
 
 class CampaignReport {
  public:
@@ -63,6 +57,12 @@ class CampaignReport {
   /// schema mismatch.
   static CampaignReport from_json(std::string_view json);
 
+  /// Adopt parsed parts — the CollectingReportSink / stream-ingestion
+  /// entry point. Rows are sorted and validated (ids unique, in range).
+  static CampaignReport adopt_rows(std::size_t plan_cells,
+                                   std::vector<ReportRow> rows,
+                                   std::vector<ShardInfo> shards);
+
   /// Fold another report of the same plan into this one. Cell sets must be
   /// disjoint; associative and (up to row order, which is canonicalized)
   /// commutative.
@@ -75,32 +75,27 @@ class CampaignReport {
   std::vector<CampaignAggregate> aggregates() const;
   std::size_t silent_wrong_count() const;
 
+  /// Replay this report through a sink: begin (provenance only while
+  /// partial), every row in id order, end. to_json() is exactly
+  /// emit(StreamingReportWriter) — and so is every out-of-core consumer.
+  void emit(ReportSink& sink) const;
+
   std::string to_json() const;
 
- private:
-  /// One scenario row: the exact JSON object it serializes to (formatting
-  /// once, at the source, is what makes merged bytes trivially identical)
-  /// plus the parsed fields aggregation needs.
-  struct Row {
-    std::size_t id = 0;
-    std::string generator;
-    std::string protocol;
-    std::string outcome;
-    std::size_t max_bits = 0;
-    std::size_t budget_bits = 0;
-    std::string json;  // "{...}" — no indent, no trailing comma
-  };
-  struct ShardProvenance {
-    unsigned index = 0;
-    unsigned count = 1;
-    std::size_t cells = 0;
-  };
+  /// One scenario row, formatted once at the source. Every byte of a
+  /// cell's row is a pure function of (id, spec, result), never of which
+  /// shard or thread computed it — the whole merge-determinism story
+  /// rests here. Exposed for backends that stream rows without building a
+  /// report.
+  static ReportRow format_row(std::size_t id, const ScenarioSpec& spec,
+                              const ScenarioResult& result);
 
+ private:
   void sort_and_validate();
 
   std::size_t plan_cells_ = 0;
-  std::vector<Row> rows_;              // sorted by id, ids unique
-  std::vector<ShardProvenance> shards_;  // empty for single-process runs
+  std::vector<ReportRow> rows_;     // sorted by id, ids unique
+  std::vector<ShardInfo> shards_;   // empty for single-process runs
 };
 
 /// Aggregate results by (generator, protocol), in first-seen grid order.

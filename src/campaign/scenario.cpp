@@ -10,6 +10,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "model/local_view.hpp"
+#include "model/transcript.hpp"
 #include "protocols/bounded_degree.hpp"
 #include "protocols/degeneracy_protocol.hpp"
 #include "protocols/forest_protocol.hpp"
@@ -184,7 +185,8 @@ template <class Classify>
 void finish_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
                  std::uint32_t n, std::vector<Message>& transcript,
                  std::span<const Message> donor, DecodeArena& arena,
-                 ScenarioResult& res, Classify&& classify) {
+                 const TranscriptSink* capture, ScenarioResult& res,
+                 Classify&& classify) {
   FaultPlan plan = spec.faults;
   plan.seed = mix64(spec.seed ^ kFaultStream);
   const std::uint64_t epoch = scenario_epoch(spec);
@@ -195,6 +197,11 @@ void finish_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
   seal_transcript(epoch, n, transcript);
   res.journal = Simulator::inject_faults(transcript, plan, donor);
 
+  // Capture the *wire* transcript — sealed and faulted, exactly what the
+  // referee is about to see — before the open that may refuse it, so loud
+  // cells are replayable offline too.
+  if (capture != nullptr) (*capture)(epoch, n, transcript);
+
   auto payloads_s = arena.scratch<Message>();
   open_transcript_into(epoch, n, transcript, arena, *payloads_s);
   res.outcome = classify(
@@ -202,7 +209,8 @@ void finish_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
 }
 
 ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
-                       std::vector<Message>& transcript, DecodeArena& arena) {
+                       std::vector<Message>& transcript, DecodeArena& arena,
+                       const TranscriptSink* capture) {
   ScenarioResult res;
   const Graph g = make_campaign_graph(spec);
   const auto n = static_cast<std::uint32_t>(g.vertex_count());
@@ -220,7 +228,7 @@ ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
       seal_transcript(scenario_epoch(dspec),
                       static_cast<std::uint32_t>(dg.vertex_count()), donor);
     }
-    finish_cell(spec, *protocol, n, transcript, donor, arena, res,
+    finish_cell(spec, *protocol, n, transcript, donor, arena, capture, res,
                 [&g](const ScenarioSpec& s, const LocalEncoder& enc,
                      std::uint32_t nn, std::span<const Message> payloads,
                      DecodeArena& a) {
@@ -234,16 +242,20 @@ ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
   return res;
 }
 
-/// The mmap pipeline: binary edge list → CsrGraph → LocalViewPack, no
-/// intermediate Graph and no materialized vector<Edge>. This is what opens
-/// million-node cells; the decode path reuses the same warm arena, so the
+/// The out-of-core pipeline: binary edge list → CsrGraph → LocalViewPack,
+/// no intermediate Graph and no materialized vector<Edge>. The edge file
+/// is mmap'd when it fits the address-space budget and streamed through a
+/// bounded buffer otherwise (open_edge_source), so cells scale past what
+/// mmap can claim. The decode path reuses the same warm arena, so the
 /// second sweep over a file-backed cell allocates nothing decode-side.
 ScenarioResult run_file_cell(const ScenarioSpec& spec, const Simulator& sim,
                              std::vector<Message>& transcript,
-                             DecodeArena& arena) {
+                             DecodeArena& arena,
+                             const TranscriptSink* capture) {
   ScenarioResult res;
-  const MmapEdgeSource source(file_generator_path(spec.generator));
-  const CsrGraph g(source.vertex_count(), source.edges());
+  const std::unique_ptr<EdgeSource> source =
+      open_edge_source(file_generator_path(spec.generator));
+  const CsrGraph g(*source);
   const auto n = static_cast<std::uint32_t>(g.vertex_count());
   const LocalViewPack views(g);
 
@@ -262,7 +274,7 @@ ScenarioResult run_file_cell(const ScenarioSpec& spec, const Simulator& sim,
       Simulator().run_local_phase(views, *dproto, donor);
       seal_transcript(scenario_epoch(dspec), n, donor);
     }
-    finish_cell(spec, *protocol, n, transcript, donor, arena, res,
+    finish_cell(spec, *protocol, n, transcript, donor, arena, capture, res,
                 [&g](const ScenarioSpec& s, const LocalEncoder& enc,
                      std::uint32_t nn, std::span<const Message> payloads,
                      DecodeArena& a) {
@@ -325,11 +337,68 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, const Simulator& sim,
                             std::vector<Message>& transcript,
-                            DecodeArena& arena) {
+                            DecodeArena& arena,
+                            const TranscriptSink* capture) {
   if (is_file_generator(spec.generator) && csr_classifiable(spec.protocol)) {
-    return run_file_cell(spec, sim, transcript, arena);
+    return run_file_cell(spec, sim, transcript, arena, capture);
   }
-  return run_one(spec, sim, transcript, arena);
+  return run_one(spec, sim, transcript, arena, capture);
+}
+
+ScenarioResult replay_scenario(const ScenarioSpec& spec,
+                               const std::string& transcript_path) {
+  const MmapTranscriptSource source(transcript_path);
+  REFEREE_CHECK_MSG(
+      source.epoch() == scenario_epoch(spec),
+      "transcript epoch does not match the scenario spec: " + transcript_path);
+  const std::vector<Message> wire = source.messages();
+  DecodeArena& arena = DecodeArena::for_current_thread();
+  ScenarioResult res;
+
+  // The same open → decode → classify tail the live pipeline runs after
+  // injection, against the same deterministically regenerated ground
+  // truth — so the offline verdict is the live verdict.
+  const auto decode_and_grade = [&](const LocalEncoder& enc,
+                                    std::uint32_t n, auto&& classify) {
+    REFEREE_CHECK_MSG(source.node_count() == n,
+                      "transcript node count does not match the scenario: " +
+                          transcript_path);
+    try {
+      auto payloads_s = arena.scratch<Message>();
+      open_transcript_into(source.epoch(), n, wire, arena, *payloads_s);
+      const std::span<const Message> payloads(payloads_s->data(), n);
+      // The live pipeline audits pre-seal; opened payloads are the same
+      // messages, so the replayed frugality report matches too.
+      res.report = audit_frugality(n, payloads);
+      res.outcome = classify(enc, n, payloads);
+    } catch (const DecodeError& e) {
+      res.outcome = "loud";
+      res.detail = decode_fault_name(e.fault());
+    }
+  };
+
+  if (is_file_generator(spec.generator) && csr_classifiable(spec.protocol)) {
+    const std::unique_ptr<EdgeSource> esrc =
+        open_edge_source(file_generator_path(spec.generator));
+    const CsrGraph g(*esrc);
+    const auto protocol = make_campaign_protocol(spec, Graph(0));
+    decode_and_grade(*protocol, static_cast<std::uint32_t>(g.vertex_count()),
+                     [&](const LocalEncoder& enc, std::uint32_t n,
+                         std::span<const Message> payloads) {
+                       return classify_cell_csr(spec, enc, g, n, payloads,
+                                                arena);
+                     });
+  } else {
+    const Graph g = make_campaign_graph(spec);
+    const auto protocol = make_campaign_protocol(spec, g);
+    decode_and_grade(*protocol, static_cast<std::uint32_t>(g.vertex_count()),
+                     [&](const LocalEncoder& enc, std::uint32_t n,
+                         std::span<const Message> payloads) {
+                       return classify_cell(spec, enc, g, n, payloads, arena);
+                     });
+  }
+  res.contract_ok = res.outcome != "silent-wrong";
+  return res;
 }
 
 ScenarioSpec shrink_scenario(

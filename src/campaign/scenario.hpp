@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,15 @@ std::uint64_t scenario_epoch(const ScenarioSpec& spec);
 /// a re-derived seed (hence a different graph and a different epoch).
 ScenarioSpec stale_donor_spec(const ScenarioSpec& spec);
 
+/// Capture hook for the wire transcript of a cell: called once per run
+/// with the sealed — and, when the cell injects faults, faulted — messages
+/// exactly as the referee is about to open them, plus the epoch they were
+/// sealed under. Fires for loud cells too (the capture happens before the
+/// open that refuses), so every outcome is replayable offline. Persist
+/// with write_transcript_file; replay with replay_scenario.
+using TranscriptSink = std::function<void(
+    std::uint64_t epoch, std::uint32_t n, std::span<const Message> wire)>;
+
 /// Run a single cell end to end. This is exactly what the execution
 /// backends do per grid cell; exposed for the fault-contract harness and
 /// the shrinker.
@@ -101,10 +111,20 @@ ScenarioResult run_scenario(const ScenarioSpec& spec);
 
 /// Warm-path overload for backends: the caller owns the transcript buffer
 /// and decode arena and reuses both across a whole worker chunk, so
-/// steady-state cells allocate almost nothing.
+/// steady-state cells allocate almost nothing. `capture`, when non-null,
+/// observes the post-injection wire transcript (see TranscriptSink).
 ScenarioResult run_scenario(const ScenarioSpec& spec, const Simulator& sim,
                             std::vector<Message>& transcript,
-                            DecodeArena& arena);
+                            DecodeArena& arena,
+                            const TranscriptSink* capture = nullptr);
+
+/// Decode a captured reftrn1 wire transcript offline and grade it against
+/// the spec's ground truth: the same open → decode → classify tail the
+/// live pipeline runs, minus local phase and injection. Reproduces the
+/// live outcome (including loud refusals) for the cell that captured it;
+/// CHECKs that the file's sealed epoch matches `spec`.
+ScenarioResult replay_scenario(const ScenarioSpec& spec,
+                               const std::string& transcript_path);
 
 /// Greedily shrink a failing cell to a minimal repro: while `still_fails`
 /// holds, shrink n, zero out fault families one at a time, halve fault

@@ -1,0 +1,370 @@
+#include "campaign/stream.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "campaign/report.hpp"
+#include "model/fault_model.hpp"
+#include "support/check.hpp"
+
+namespace referee {
+
+namespace {
+
+void append_f(std::string& out, const char* fmt, ...) {
+  char buf[2048];
+  va_list args;
+  va_start(args, fmt);
+  const int len = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  REFEREE_CHECK_MSG(len >= 0 && static_cast<std::size_t>(len) < sizeof(buf),
+                    "campaign json row overflows the format buffer");
+  out.append(buf, buf + len);
+}
+
+void append_taxonomy(std::string& out) {
+  // The fault taxonomy: every model the injector knows, its scope, the
+  // spec field that arms it, and the check that makes it loud. Driven by
+  // the FaultType enum (names via fault_type_name, detectors via
+  // decode_fault_name) so the report cannot drift from the injector; kept
+  // in the JSON so a failing cell's record is self-describing.
+  struct TaxonomyRow {
+    FaultType type;
+    const char* scope;
+    const char* field;
+    DecodeFault detector;       // the typed fault the model must surface as
+    const char* detector_note;  // "" when the typed name says it all
+  };
+  static constexpr TaxonomyRow kTaxonomy[] = {
+      {FaultType::kBitFlip, "message", "flip", DecodeFault::kInconsistent,
+       "payload checks (power sums, framing, fingerprints) on certifying "
+       "decoders; flips landing in the envelope header surface as "
+       "epoch-mismatch or id-mismatch instead"},
+      {FaultType::kTruncate, "message", "trunc", DecodeFault::kTruncated,
+       "bit-level framing (read past end), whether the cut hits header or "
+       "payload"},
+      {FaultType::kDrop, "campaign", "drop", DecodeFault::kMissingMessage,
+       ""},
+      {FaultType::kDuplicateId, "campaign", "dup", DecodeFault::kIdMismatch,
+       ""},
+      {FaultType::kPayloadSwap, "campaign", "swap", DecodeFault::kIdMismatch,
+       ""},
+      {FaultType::kStaleReplay, "campaign", "stale",
+       DecodeFault::kEpochMismatch, ""},
+  };
+  out += "  \"fault_taxonomy\": [\n";
+  for (std::size_t i = 0; i < std::size(kTaxonomy); ++i) {
+    const TaxonomyRow& row = kTaxonomy[i];
+    append_f(out,
+             "    {\"type\": \"%s\", \"scope\": \"%s\", \"field\": \"%s\", "
+             "\"detector\": \"%s\"%s%s%s}%s\n",
+             fault_type_name(row.type), row.scope, row.field,
+             decode_fault_name(row.detector),
+             row.detector_note[0] != '\0' ? ", \"note\": \"" : "",
+             row.detector_note,
+             row.detector_note[0] != '\0' ? "\"" : "",
+             i + 1 == std::size(kTaxonomy) ? "" : ",");
+  }
+  out += "  ],\n";
+}
+
+/// Raw value of `key` inside one emitted JSON object: the unquoted body of
+/// a string, or the digit run of a number. Strict enough for the rigid
+/// format this module itself emits; never a general JSON parser.
+std::string_view object_field(std::string_view obj, std::string_view key) {
+  std::string pattern;
+  pattern.reserve(key.size() + 4);
+  pattern += '"';
+  pattern += key;
+  pattern += "\": ";
+  const auto pos = obj.find(pattern);
+  REFEREE_CHECK_MSG(pos != std::string_view::npos,
+                    "campaign report row is missing field \"" +
+                        std::string(key) + "\"");
+  std::string_view value = obj.substr(pos + pattern.size());
+  if (!value.empty() && value.front() == '"') {
+    const auto end = value.find('"', 1);
+    REFEREE_CHECK_MSG(end != std::string_view::npos,
+                      "unterminated string in campaign report row");
+    return value.substr(1, end - 1);
+  }
+  const auto end = value.find_first_of(",}");
+  REFEREE_CHECK_MSG(end != std::string_view::npos,
+                    "unterminated value in campaign report row");
+  return value.substr(0, end);
+}
+
+std::uint64_t number_field(std::string_view obj, std::string_view key) {
+  const std::string_view raw = object_field(obj, key);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  REFEREE_CHECK_MSG(ec == std::errc() && ptr == raw.data() + raw.size(),
+                    "bad number for field \"" + std::string(key) +
+                        "\" in campaign report");
+  return value;
+}
+
+/// Read one line (without its newline); throws on a truncated document.
+std::string read_line(std::istream& in) {
+  std::string line;
+  REFEREE_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                    "truncated campaign report");
+  return line;
+}
+
+}  // namespace
+
+void AggregateFolder::add(const ReportRow& row) {
+  auto it = std::find_if(aggs_.begin(), aggs_.end(), [&](const auto& a) {
+    return a.generator == row.generator && a.protocol == row.protocol;
+  });
+  if (it == aggs_.end()) {
+    aggs_.push_back(CampaignAggregate{row.generator, row.protocol});
+    sums_.push_back(0.0);
+    it = aggs_.end() - 1;
+  }
+  auto& agg = *it;
+  auto& sum = sums_[static_cast<std::size_t>(it - aggs_.begin())];
+  ++agg.scenarios;
+  if (row.outcome == "exact" || row.outcome == "correct") ++agg.ok;
+  if (row.outcome == "loud") ++agg.loud;
+  if (row.outcome == "silent-wrong") {
+    ++agg.silent_wrong;
+    ++silent_wrong_;
+  }
+  agg.max_bits = std::max(agg.max_bits, row.max_bits);
+  const double constant =
+      row.budget_bits == 0 ? 0.0
+                           : static_cast<double>(row.max_bits) /
+                                 static_cast<double>(row.budget_bits);
+  agg.max_constant = std::max(agg.max_constant, constant);
+  sum += static_cast<double>(row.max_bits);
+  agg.mean_max_bits = sum / static_cast<double>(agg.scenarios);
+  ++rows_;
+}
+
+void StreamingReportWriter::begin(std::size_t plan_cells,
+                                  std::span<const ShardInfo> shards) {
+  plan_cells_ = plan_cells;
+  std::string head;
+  head += "{\n  \"schema\": \"referee-campaign-v3\",\n";
+  append_f(head, "  \"plan\": {\"cells\": %zu},\n", plan_cells);
+  // A complete report is canonical: its bytes are a pure function of
+  // (plan, results), never of the shard topology that computed it. The
+  // caller therefore passes provenance only while the report is partial.
+  if (!shards.empty()) {
+    head += "  \"shards\": [\n";
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      append_f(head, "    {\"index\": %u, \"count\": %u, \"cells\": %zu}%s\n",
+               shards[i].index, shards[i].count, shards[i].cells,
+               i + 1 == shards.size() ? "" : ",");
+    }
+    head += "  ],\n";
+  }
+  append_taxonomy(head);
+  head += "  \"scenarios\": [\n";
+  out_ << head;
+}
+
+void StreamingReportWriter::row(ReportRow row) {
+  REFEREE_CHECK_MSG(row.id < plan_cells_,
+                    "campaign report cell id out of plan range");
+  REFEREE_CHECK_MSG(!any_row_ || row.id > last_id_,
+                    "campaign report rows out of order or duplicated");
+  // The previous row's separator is withheld until we know another row
+  // follows — the last row of the block has no trailing comma.
+  if (any_row_) out_ << ",\n";
+  out_ << "    " << row.json;
+  last_id_ = row.id;
+  any_row_ = true;
+  folder_.add(row);
+}
+
+void StreamingReportWriter::end() {
+  REFEREE_CHECK_MSG(!ended_, "report writer ended twice");
+  ended_ = true;
+  std::string tail;
+  if (any_row_) tail += "\n";
+  tail += "  ],\n  \"aggregates\": [\n";
+  const auto& aggs = folder_.aggregates();
+  std::size_t total_ok = 0;
+  std::size_t total_loud = 0;
+  std::size_t total_silent = 0;
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    const auto& a = aggs[i];
+    total_ok += a.ok;
+    total_loud += a.loud;
+    total_silent += a.silent_wrong;
+    append_f(tail,
+             "    {\"generator\": \"%s\", \"protocol\": \"%s\", "
+             "\"scenarios\": %zu, \"ok\": %zu, \"loud\": %zu, "
+             "\"silent_wrong\": %zu, \"max_bits\": %zu, "
+             "\"mean_max_bits\": %.6f, \"max_constant\": %.6f}%s\n",
+             a.generator.c_str(), a.protocol.c_str(), a.scenarios, a.ok,
+             a.loud, a.silent_wrong, a.max_bits, a.mean_max_bits,
+             a.max_constant, i + 1 == aggs.size() ? "" : ",");
+  }
+  append_f(tail,
+           "  ],\n  \"totals\": {\"scenarios\": %zu, \"ok\": %zu, "
+           "\"loud\": %zu, \"silent_wrong\": %zu}\n}\n",
+           folder_.rows(), total_ok, total_loud, total_silent);
+  out_ << tail;
+  out_.flush();
+}
+
+void CollectingReportSink::begin(std::size_t plan_cells,
+                                 std::span<const ShardInfo> shards) {
+  plan_cells_ = plan_cells;
+  shards_.assign(shards.begin(), shards.end());
+}
+
+void CollectingReportSink::row(ReportRow row) {
+  rows_.push_back(std::move(row));
+}
+
+void CollectingReportSink::end() {}
+
+CampaignReport CollectingReportSink::take() {
+  return CampaignReport::adopt_rows(plan_cells_, std::move(rows_),
+                                    std::move(shards_));
+}
+
+ReportRow parse_report_row(std::string_view line) {
+  ReportRow row;
+  row.id = number_field(line, "i");
+  row.generator = std::string(object_field(line, "generator"));
+  row.protocol = std::string(object_field(line, "protocol"));
+  row.outcome = std::string(object_field(line, "outcome"));
+  row.max_bits = number_field(line, "max_bits");
+  row.budget_bits = number_field(line, "budget_bits");
+  row.json = std::string(line);
+  return row;
+}
+
+void sort_shard_infos(std::vector<ShardInfo>& shards) {
+  std::sort(shards.begin(), shards.end(),
+            [](const ShardInfo& a, const ShardInfo& b) {
+              return std::pair(a.count, a.index) < std::pair(b.count, b.index);
+            });
+}
+
+ShardRowReader::ShardRowReader(std::istream& in) : in_(in) {
+  // Preamble, in the rigid order the writer emits: schema, plan, the
+  // optional shards block, then the fault taxonomy, then the opening of
+  // the scenarios block. Anything else is not one of our reports.
+  REFEREE_CHECK_MSG(read_line(in_) == "{", "not a campaign report");
+  REFEREE_CHECK_MSG(
+      read_line(in_) == "  \"schema\": \"referee-campaign-v3\",",
+      "not a referee-campaign-v3 report");
+  const std::string plan_line = read_line(in_);
+  REFEREE_CHECK_MSG(plan_line.rfind("  \"plan\": {\"cells\": ", 0) == 0,
+                    "campaign report is missing its plan block");
+  plan_cells_ = number_field(plan_line, "cells");
+
+  std::string line = read_line(in_);
+  if (line == "  \"shards\": [") {
+    for (;;) {
+      line = read_line(in_);
+      if (line == "  ],") break;
+      REFEREE_CHECK_MSG(line.rfind("    {", 0) == 0,
+                        "malformed shards block in campaign report");
+      ShardInfo shard;
+      shard.index = static_cast<unsigned>(number_field(line, "index"));
+      shard.count = static_cast<unsigned>(number_field(line, "count"));
+      shard.cells = number_field(line, "cells");
+      shards_.push_back(shard);
+    }
+    line = read_line(in_);
+  }
+  REFEREE_CHECK_MSG(line == "  \"fault_taxonomy\": [",
+                    "campaign report is missing its fault taxonomy");
+  do {
+    line = read_line(in_);
+  } while (line != "  ],");
+  REFEREE_CHECK_MSG(read_line(in_) == "  \"scenarios\": [",
+                    "campaign report has no scenarios block");
+}
+
+std::size_t ShardRowReader::expected_rows() const {
+  if (shards_.empty()) return plan_cells_;  // canonical form: complete
+  std::size_t cells = 0;
+  for (const ShardInfo& shard : shards_) cells += shard.cells;
+  return cells;
+}
+
+std::optional<ReportRow> ShardRowReader::next() {
+  if (done_) return std::nullopt;
+  std::string line = read_line(in_);
+  if (line == "  ],") {
+    done_ = true;  // aggregates/totals are recomputed, never re-read
+    return std::nullopt;
+  }
+  REFEREE_CHECK_MSG(line.rfind("    {\"i\": ", 0) == 0,
+                    "malformed scenario row in campaign report");
+  std::string_view view(line);
+  view.remove_prefix(4);                                 // indent
+  if (view.ends_with(',')) view.remove_suffix(1);        // row separator
+  return parse_report_row(view);
+}
+
+std::size_t merge_report_streams(std::span<std::istream*> inputs,
+                                 ReportSink& sink) {
+  REFEREE_CHECK_MSG(!inputs.empty(), "merge needs at least one input");
+  std::vector<ShardRowReader> readers;
+  readers.reserve(inputs.size());
+  std::vector<ShardInfo> shards;
+  std::size_t expected = 0;
+  for (std::istream* in : inputs) {
+    readers.emplace_back(*in);
+    const ShardRowReader& reader = readers.back();
+    REFEREE_CHECK_MSG(reader.plan_cells() == readers.front().plan_cells(),
+                      "merging campaign reports of different plans");
+    shards.insert(shards.end(), reader.shards().begin(),
+                  reader.shards().end());
+    expected += reader.expected_rows();
+  }
+  const std::size_t plan_cells = readers.front().plan_cells();
+  sort_shard_infos(shards);
+  // expected > plan_cells means overlapping inputs; the merge below will
+  // fail loudly on the duplicate id, so only the exact cover is canonical.
+  const bool complete = expected == plan_cells;
+  sink.begin(plan_cells, complete ? std::span<const ShardInfo>{}
+                                  : std::span<const ShardInfo>(shards));
+
+  // K-way merge over the sorted inputs: hold one pending row per reader
+  // (O(inputs) memory), emit the smallest id, refill that reader. A
+  // linear min-scan is right-sized — shard counts are small; the rows
+  // are what scale.
+  std::vector<std::optional<ReportRow>> pending(readers.size());
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    pending[i] = readers[i].next();
+  }
+  std::size_t merged = 0;
+  for (;;) {
+    std::size_t best = pending.size();
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (pending[i] &&
+          (best == pending.size() || pending[i]->id < pending[best]->id)) {
+        best = i;
+      }
+    }
+    if (best == pending.size()) break;
+    // The writer validates order and range; duplicate ids across inputs
+    // land here as a non-increasing id and fail the same check.
+    sink.row(std::move(*pending[best]));
+    pending[best] = readers[best].next();
+    ++merged;
+  }
+  REFEREE_CHECK_MSG(merged == expected,
+                    "merged row count disagrees with shard provenance");
+  sink.end();
+  return merged;
+}
+
+}  // namespace referee

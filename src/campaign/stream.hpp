@@ -1,0 +1,196 @@
+// Streaming campaign reports: row-by-row emission and k-way shard merge.
+//
+// PR 5 pinned the byte-identity contract — merge(shard 0..N-1) of any
+// shard topology equals the single-process referee-campaign-v3 bytes —
+// but its CampaignReport materializes every row before formatting, which
+// caps campaigns at whatever grid fits in one process's RAM. This module
+// is the out-of-core seam: the same bytes, produced one row at a time.
+//
+//   ReportSink              abstract consumer of rows in stable-id order
+//   StreamingReportWriter   emits canonical referee-campaign-v3 bytes to
+//                           an ostream as rows arrive, aggregates folded
+//                           incrementally — O(aggregate groups) memory,
+//                           never O(rows)
+//   CollectingReportSink    the in-memory form, rebuilt on top of the
+//                           sink protocol (CampaignReport::to_json is a
+//                           StreamingReportWriter fed from its rows)
+//   ShardRowReader          stream-oriented parser over a shard report:
+//                           preamble once, then one row per next() call,
+//                           never holding the document
+//   merge_report_streams    k-way merge of sorted shard inputs into any
+//                           sink — `refereectl campaign --merge` and the
+//                           subprocess backend run this over files/pipes,
+//                           so grids of millions of cells never
+//                           materialize in the merging process
+//
+// Byte identity is by construction: the writer is the *only* formatter of
+// report framing (CampaignReport::to_json delegates here), so the
+// streaming and in-memory paths cannot drift apart.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace referee {
+
+/// One formatted scenario row plus the parsed fields aggregation needs.
+/// The `json` object is formatted once at the source (campaign/report.cpp)
+/// and never re-rendered — the whole merge-determinism story rests on it.
+struct ReportRow {
+  std::size_t id = 0;
+  std::string generator;
+  std::string protocol;
+  std::string outcome;
+  std::size_t max_bits = 0;
+  std::size_t budget_bits = 0;
+  std::string json;  // "{...}" — no indent, no trailing comma
+};
+
+/// Which shard(s) produced a partial report; carried while a report is
+/// incomplete, dropped from the canonical (complete) form.
+struct ShardInfo {
+  unsigned index = 0;
+  unsigned count = 1;
+  std::size_t cells = 0;
+
+  friend bool operator==(const ShardInfo&, const ShardInfo&) = default;
+};
+
+/// Per-(generator, protocol) aggregation plus overall frugality extremes.
+struct CampaignAggregate {
+  std::string generator;
+  std::string protocol;
+  std::size_t scenarios = 0;
+  std::size_t ok = 0;            // exact or correct
+  std::size_t loud = 0;          // refused loudly
+  std::size_t silent_wrong = 0;  // contract violations
+  std::size_t max_bits = 0;      // max over scenarios of per-node max
+  double mean_max_bits = 0.0;    // mean over scenarios of per-node max
+  double max_constant = 0.0;     // worst c in c·log2(n+1)
+};
+
+/// Incremental fold of the aggregates block: one add() per row, groups in
+/// first-seen row order — exactly the grouping the in-memory report
+/// computed, so streamed aggregates format to the same bytes.
+class AggregateFolder {
+ public:
+  void add(const ReportRow& row);
+
+  const std::vector<CampaignAggregate>& aggregates() const { return aggs_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t silent_wrong() const { return silent_wrong_; }
+
+ private:
+  std::vector<CampaignAggregate> aggs_;
+  std::vector<double> sums_;  // per-group running sum of max_bits
+  std::size_t rows_ = 0;
+  std::size_t silent_wrong_ = 0;
+};
+
+/// Consumer of one report's rows in strictly increasing stable-id order.
+/// Protocol: begin() once, row() per cell, end() once.
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+
+  /// `plan_cells` is the full-grid size; `shards` is the provenance to
+  /// carry (pass empty for a canonical/complete report — the *caller*
+  /// decides, since completeness is a whole-report property).
+  virtual void begin(std::size_t plan_cells,
+                     std::span<const ShardInfo> shards) = 0;
+  virtual void row(ReportRow row) = 0;
+  virtual void end() = 0;
+};
+
+/// Streams canonical referee-campaign-v3 bytes to `out` as rows arrive.
+/// Memory is O(aggregate groups): the scenarios block is written row by
+/// row, aggregates and totals fold incrementally and flush at end().
+class StreamingReportWriter final : public ReportSink {
+ public:
+  explicit StreamingReportWriter(std::ostream& out) : out_(out) {}
+
+  void begin(std::size_t plan_cells,
+             std::span<const ShardInfo> shards) override;
+  void row(ReportRow row) override;
+  void end() override;
+
+  /// The folded aggregates, valid after end() — the CLI table and exit
+  /// code read these instead of re-scanning the emitted bytes.
+  const AggregateFolder& folder() const { return folder_; }
+  std::size_t plan_cells() const { return plan_cells_; }
+
+ private:
+  std::ostream& out_;
+  AggregateFolder folder_;
+  std::size_t plan_cells_ = 0;
+  std::size_t last_id_ = 0;
+  bool any_row_ = false;
+  bool ended_ = false;
+};
+
+class CampaignReport;
+
+/// Collects a streamed report back into the mergeable in-memory form —
+/// the ingestion path for callers that need random access to rows.
+class CollectingReportSink final : public ReportSink {
+ public:
+  void begin(std::size_t plan_cells,
+             std::span<const ShardInfo> shards) override;
+  void row(ReportRow row) override;
+  void end() override;
+
+  /// The collected report; call once, after end().
+  CampaignReport take();
+
+ private:
+  std::size_t plan_cells_ = 0;
+  std::vector<ReportRow> rows_;
+  std::vector<ShardInfo> shards_;
+};
+
+/// Stream-oriented reader over one referee-campaign-v3 document (canonical
+/// or shard form): parses the preamble on construction, then yields one
+/// row per next() call. Strict about the rigid format this library itself
+/// emits (throws CheckError on any mismatch); never buffers the document.
+class ShardRowReader {
+ public:
+  explicit ShardRowReader(std::istream& in);
+
+  std::size_t plan_cells() const { return plan_cells_; }
+  const std::vector<ShardInfo>& shards() const { return shards_; }
+
+  /// Rows contributed by this input: the sum of its shard provenance, or
+  /// plan_cells() for a canonical (provenance-free, complete) report.
+  std::size_t expected_rows() const;
+
+  /// The next scenario row, or nullopt after the block's closing bracket.
+  std::optional<ReportRow> next();
+
+ private:
+  std::istream& in_;
+  std::size_t plan_cells_ = 0;
+  std::vector<ShardInfo> shards_;
+  bool done_ = false;
+};
+
+/// Parse one emitted row object ("{...}") into its indexed fields. Exposed
+/// for the reader and the in-memory report's from_json path.
+ReportRow parse_report_row(std::string_view line);
+
+/// Sort provenance the way reports canonicalize it: by (count, index).
+void sort_shard_infos(std::vector<ShardInfo>& shards);
+
+/// K-way merge of sorted shard inputs into `sink`: validates that every
+/// input reports the same plan, streams rows in stable-id order as the
+/// inputs produce them, rejects duplicate ids, and passes provenance
+/// through only while the merged result is still partial. Peak memory is
+/// O(inputs), independent of the grid size. Returns the merged row count.
+std::size_t merge_report_streams(std::span<std::istream*> inputs,
+                                 ReportSink& sink);
+
+}  // namespace referee

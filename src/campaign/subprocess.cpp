@@ -2,9 +2,12 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <utility>
 
+#include "campaign/stream.hpp"
 #include "support/check.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -29,10 +32,46 @@ SubprocessShardBackend::SubprocessShardBackend(
 
 namespace {
 
+/// An anonymous-by-convention spill file: created with mkstemp, unlinked
+/// on destruction. Worker stdout lands here instead of a growing string,
+/// so the coordinator's memory never scales with the shard's row count.
+struct SpillFile {
+  int fd = -1;
+  std::string path;
+
+  SpillFile() {
+    const char* tmpdir = std::getenv("TMPDIR");
+    path = std::string(tmpdir != nullptr && tmpdir[0] != '\0' ? tmpdir
+                                                              : "/tmp");
+    path += "/referee-shard-XXXXXX";
+    fd = ::mkstemp(path.data());
+    REFEREE_CHECK_MSG(fd >= 0, "cannot create shard spill file in " + path);
+  }
+  SpillFile(SpillFile&& other) noexcept
+      : fd(std::exchange(other.fd, -1)), path(std::move(other.path)) {
+    other.path.clear();
+  }
+  SpillFile& operator=(SpillFile&&) = delete;
+  ~SpillFile() {
+    if (fd >= 0) ::close(fd);
+    if (!path.empty()) ::unlink(path.c_str());
+  }
+
+  void append(const char* data, std::size_t size) {
+    while (size > 0) {
+      const ssize_t wrote = ::write(fd, data, size);
+      if (wrote < 0 && errno == EINTR) continue;
+      REFEREE_CHECK_MSG(wrote > 0, "short write to shard spill " + path);
+      data += wrote;
+      size -= static_cast<std::size_t>(wrote);
+    }
+  }
+};
+
 struct ShardWorker {
   pid_t pid = -1;
-  int fd = -1;       // read end of the worker's stdout pipe
-  std::string out;   // streamed shard JSON
+  int fd = -1;  // read end of the worker's stdout pipe
+  SpillFile spill;
 };
 
 [[noreturn]] void exec_worker(const std::string& exe,
@@ -54,6 +93,7 @@ struct ShardWorker {
 
 ShardWorker spawn_worker(const std::string& exe,
                          const std::vector<std::string>& args) {
+  ShardWorker worker;  // spill first: mkstemp before fork, not after
   int fds[2];
   REFEREE_CHECK_MSG(::pipe(fds) == 0, "pipe() failed for shard worker");
   const pid_t pid = ::fork();
@@ -65,12 +105,14 @@ ShardWorker spawn_worker(const std::string& exe,
     exec_worker(exe, args);
   }
   ::close(fds[1]);
-  return ShardWorker{pid, fds[0], {}};
+  worker.pid = pid;
+  worker.fd = fds[0];
+  return worker;
 }
 
-/// Drain every worker's pipe concurrently. Readiness-driven (poll) rather
-/// than worker-by-worker so no shard can deadlock on a full pipe while we
-/// block reading a slower sibling.
+/// Drain every worker's pipe concurrently into its spill file.
+/// Readiness-driven (poll) rather than worker-by-worker so no shard can
+/// deadlock on a full pipe while we block reading a slower sibling.
 void stream_outputs(std::vector<ShardWorker>& workers) {
   std::vector<pollfd> fds(workers.size());
   std::size_t open = workers.size();
@@ -88,7 +130,7 @@ void stream_outputs(std::vector<ShardWorker>& workers) {
       char buf[1 << 16];
       const ssize_t got = ::read(workers[i].fd, buf, sizeof(buf));
       if (got > 0) {
-        workers[i].out.append(buf, static_cast<std::size_t>(got));
+        workers[i].spill.append(buf, static_cast<std::size_t>(got));
       } else if (got == 0 || (got < 0 && errno != EINTR)) {
         ::close(workers[i].fd);
         workers[i].fd = -1;
@@ -98,9 +140,32 @@ void stream_outputs(std::vector<ShardWorker>& workers) {
   }
 }
 
+/// Forwards to `inner` after pinning the merged plan size to the plan this
+/// backend was asked to run — a worker that re-expanded a different grid
+/// fails here, before any row reaches the real sink.
+class PlanCheckSink final : public ReportSink {
+ public:
+  PlanCheckSink(ReportSink& inner, std::size_t expected_cells)
+      : inner_(inner), expected_cells_(expected_cells) {}
+
+  void begin(std::size_t plan_cells,
+             std::span<const ShardInfo> shards) override {
+    REFEREE_CHECK_MSG(plan_cells == expected_cells_,
+                      "shard worker reported a different plan size");
+    inner_.begin(plan_cells, shards);
+  }
+  void row(ReportRow row) override { inner_.row(std::move(row)); }
+  void end() override { inner_.end(); }
+
+ private:
+  ReportSink& inner_;
+  std::size_t expected_cells_;
+};
+
 }  // namespace
 
-CampaignReport SubprocessShardBackend::run(const CampaignPlan& plan) const {
+void SubprocessShardBackend::run_to(const CampaignPlan& plan,
+                                    ReportSink& sink) const {
   REFEREE_CHECK_MSG(plan.is_full(),
                     "subprocess backend shards a full plan itself");
   std::vector<ShardWorker> workers;
@@ -117,7 +182,6 @@ CampaignReport SubprocessShardBackend::run(const CampaignPlan& plan) const {
   }
   stream_outputs(workers);
 
-  CampaignReport merged;
   for (unsigned k = 0; k < shards_; ++k) {
     int status = 0;
     pid_t waited;
@@ -135,24 +199,44 @@ CampaignReport SubprocessShardBackend::run(const CampaignPlan& plan) const {
               std::to_string(shards_) + " died (status " +
               std::to_string(status) + ")");
     }
-    try {
-      CampaignReport shard = CampaignReport::from_json(workers[k].out);
-      REFEREE_CHECK_MSG(shard.plan_cells() == plan.total_cells(),
-                        "shard worker reported a different plan size");
-      merged.merge(std::move(shard));
-    } catch (const CheckError& e) {
-      throw CampaignError(CampaignError::kNoCell,
-                          "campaign shard worker " + std::to_string(k) + "/" +
-                              std::to_string(shards_) +
-                              " produced a bad report: " + e.what());
-    }
   }
-  REFEREE_CHECK_MSG(merged.complete(),
-                    "merged shard reports do not cover the plan");
-  return merged;
+
+  // Merge the spills row by row: the full grid exists only on disk and in
+  // the sink's output, never in this process's memory.
+  std::vector<std::ifstream> files;
+  std::vector<std::istream*> inputs;
+  files.reserve(workers.size());
+  inputs.reserve(workers.size());
+  for (const ShardWorker& worker : workers) {
+    files.emplace_back(worker.spill.path, std::ios::binary);
+    REFEREE_CHECK_MSG(files.back().is_open(),
+                      "cannot reopen shard spill " + worker.spill.path);
+    inputs.push_back(&files.back());
+  }
+  try {
+    PlanCheckSink checked(sink, plan.total_cells());
+    const std::size_t merged = merge_report_streams(inputs, checked);
+    REFEREE_CHECK_MSG(merged == plan.total_cells(),
+                      "merged shard reports do not cover the plan");
+  } catch (const CheckError& e) {
+    throw CampaignError(CampaignError::kNoCell,
+                        std::string("campaign shard merge failed: ") +
+                            e.what());
+  }
+}
+
+CampaignReport SubprocessShardBackend::run(const CampaignPlan& plan) const {
+  CollectingReportSink sink;
+  run_to(plan, sink);
+  return sink.take();
 }
 
 #else  // !REFEREE_HAVE_SUBPROCESS
+
+void SubprocessShardBackend::run_to(const CampaignPlan&, ReportSink&) const {
+  throw CampaignError(CampaignError::kNoCell,
+                      "subprocess shard backend requires a POSIX host");
+}
 
 CampaignReport SubprocessShardBackend::run(const CampaignPlan&) const {
   throw CampaignError(CampaignError::kNoCell,

@@ -2,10 +2,14 @@
 //
 // SubprocessShardBackend splits a full plan into N shards and runs each as
 // a child process — `<worker> campaign <grid args> --shard k/N --json` —
-// streaming every worker's shard JSON back over a pipe and merging the
-// parsed reports. Because shard workers re-expand the same deterministic
-// grid and format rows at the source, the merged report is byte-identical
-// to a single-process run of the same plan (pinned by CTest and CI).
+// spilling every worker's shard JSON to a private temp file as it streams
+// in and then k-way merging the spills row by row (campaign/stream.hpp).
+// The coordinating process holds O(shards) pending rows, never the grid:
+// a million-cell campaign merges in constant memory. Because shard workers
+// re-expand the same deterministic grid and format rows at the source, the
+// merged report is byte-identical to a single-process run of the same plan
+// (pinned by CTest and CI, which also runs the merge under an RSS
+// ceiling).
 //
 // This is the one-machine form of the distributed story: the same
 // --shard k/N / --merge plumbing runs shards on different hosts with any
@@ -28,11 +32,16 @@ class SubprocessShardBackend final : public CampaignBackend {
   SubprocessShardBackend(std::string worker_exe,
                          std::vector<std::string> grid_args, unsigned shards);
 
-  /// Forks one worker per shard, streams their per-shard JSON back and
-  /// merges. `plan` must be full; its total cell count cross-checks every
-  /// worker's report. Throws CampaignError when a worker dies, emits
-  /// unparseable output, or reports a different plan.
+  /// run_to materialized: collects the streamed rows back into a report.
+  /// Prefer run_to when the consumer can stream.
   CampaignReport run(const CampaignPlan& plan) const override;
+
+  /// Forks one worker per shard, spills their per-shard JSON to temp
+  /// files, and streams the k-way merge into `sink`. `plan` must be full;
+  /// its total cell count cross-checks every worker's report. Throws
+  /// CampaignError when a worker dies, emits unparseable output, or
+  /// reports a different plan.
+  void run_to(const CampaignPlan& plan, ReportSink& sink) const override;
 
   unsigned shards() const { return shards_; }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/io.hpp"
+
 namespace referee {
 
 CsrGraph::CsrGraph(const Graph& g) {
@@ -18,21 +20,30 @@ CsrGraph::CsrGraph(const Graph& g) {
   }
 }
 
-CsrGraph::CsrGraph(std::size_t n, std::span<const Edge> edges) {
-  offsets_.assign(n + 1, 0);
+void CsrGraph::count_edges(std::size_t n, std::span<const Edge> edges) {
   for (const Edge& e : edges) {
     REFEREE_CHECK_MSG(e.u < n && e.v < n, "vertex out of range");
     REFEREE_CHECK_MSG(e.u != e.v, "self-loop");
     ++offsets_[e.u + 1];
     ++offsets_[e.v + 1];
   }
+}
+
+std::vector<std::size_t> CsrGraph::seal_counts(std::size_t n) {
   for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
   targets_.resize(offsets_[n]);
-  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  return {offsets_.begin(), offsets_.end() - 1};
+}
+
+void CsrGraph::fill_edges(std::span<const Edge> edges,
+                          std::vector<std::size_t>& cursor) {
   for (const Edge& e : edges) {
     targets_[cursor[e.u]++] = e.v;
     targets_[cursor[e.v]++] = e.u;
   }
+}
+
+void CsrGraph::canonicalize_rows(std::size_t n) {
   // Canonicalize: sort each row, drop duplicate edges, compact in place.
   std::size_t write = 0;
   std::size_t row_start = 0;
@@ -50,6 +61,35 @@ CsrGraph::CsrGraph(std::size_t n, std::span<const Edge> edges) {
     offsets_[v + 1] = write;
   }
   targets_.resize(write);
+}
+
+CsrGraph::CsrGraph(std::size_t n, std::span<const Edge> edges) {
+  offsets_.assign(n + 1, 0);
+  count_edges(n, edges);
+  std::vector<std::size_t> cursor = seal_counts(n);
+  fill_edges(edges, cursor);
+  canonicalize_rows(n);
+}
+
+CsrGraph::CsrGraph(EdgeSource& source) {
+  const std::size_t n = source.vertex_count();
+  offsets_.assign(n + 1, 0);
+  std::size_t records = 0;
+  source.rewind();
+  for (auto chunk = source.next_chunk(); !chunk.empty();
+       chunk = source.next_chunk()) {
+    count_edges(n, chunk);
+    records += chunk.size();
+  }
+  REFEREE_CHECK_MSG(records == source.edge_count(),
+                    "edge source chunk sizes disagree with its edge count");
+  std::vector<std::size_t> cursor = seal_counts(n);
+  source.rewind();
+  for (auto chunk = source.next_chunk(); !chunk.empty();
+       chunk = source.next_chunk()) {
+    fill_edges(chunk, cursor);
+  }
+  canonicalize_rows(n);
 }
 
 }  // namespace referee

@@ -12,6 +12,8 @@
 
 namespace referee {
 
+class EdgeSource;
+
 class CsrGraph {
  public:
   CsrGraph() = default;
@@ -23,6 +25,12 @@ class CsrGraph {
   /// bulk-load path for campaign-scale inputs — no intermediate
   /// vector-of-vectors Graph required.
   CsrGraph(std::size_t n, std::span<const Edge> edges);
+
+  /// The out-of-core bulk-load path: two passes over a resettable
+  /// EdgeSource (count degrees, then fill), consuming the edge section
+  /// chunk by chunk. Identical output to the span constructor over the
+  /// same records; peak extra memory is the source's chunk buffer.
+  explicit CsrGraph(EdgeSource& source);
 
   std::size_t vertex_count() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
@@ -38,6 +46,15 @@ class CsrGraph {
   }
 
  private:
+  // The shared two-pass bulk build, chunk-friendly: count over every edge
+  // (any number of calls), seal the prefix sums, fill over the same edges
+  // in the same order, then canonicalize rows in place.
+  void count_edges(std::size_t n, std::span<const Edge> edges);
+  std::vector<std::size_t> seal_counts(std::size_t n);
+  void fill_edges(std::span<const Edge> edges,
+                  std::vector<std::size_t>& cursor);
+  void canonicalize_rows(std::size_t n);
+
   std::vector<std::size_t> offsets_;  // n+1 entries
   std::vector<Vertex> targets_;       // 2m entries, sorted per row
 };

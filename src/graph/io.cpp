@@ -1,13 +1,17 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <sstream>
 #include <type_traits>
 #include <utility>
+
+#include "support/atomic_file.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -118,11 +122,31 @@ struct EdgeFileHeader {
 };
 static_assert(sizeof(EdgeFileHeader) == kEdgeFileHeaderBytes);
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
+/// Validate a refgrph1 header against the file's actual size and return
+/// it. Shared by every reader so the mmap and chunked paths cannot drift
+/// in what they accept.
+EdgeFileHeader check_edge_header(const void* header_bytes,
+                                 std::size_t file_size,
+                                 const std::string& path) {
+  REFEREE_CHECK_MSG(file_size >= kEdgeFileHeaderBytes,
+                    "edge file too short: " + path);
+  EdgeFileHeader header{};
+  std::memcpy(&header, header_bytes, sizeof(header));
+  REFEREE_CHECK_MSG(
+      std::memcmp(header.magic, kEdgeFileMagic, sizeof(header.magic)) == 0,
+      "not a refgraph edge file: " + path);
+  REFEREE_CHECK_MSG(header.version == kEdgeFileVersion,
+                    "unsupported edge file version in " + path);
+  // Divide rather than multiply: m * sizeof(Edge) could wrap for a
+  // crafted header, making a tiny file claim 2^61 records.
+  const std::size_t max_records =
+      (file_size - kEdgeFileHeaderBytes) / sizeof(Edge);
+  REFEREE_CHECK_MSG(
+      header.m <= max_records &&
+          file_size == kEdgeFileHeaderBytes + header.m * sizeof(Edge),
+      "edge file size disagrees with its header: " + path);
+  return header;
+}
 
 }  // namespace
 
@@ -137,23 +161,20 @@ void write_edge_file(const std::string& path, std::size_t n,
     REFEREE_CHECK_MSG(e.u < n && e.v < n, "edge file: vertex out of range");
     REFEREE_CHECK_MSG(e.u != e.v, "edge file: self-loop");
   }
-  const std::unique_ptr<std::FILE, FileCloser> file(
-      std::fopen(path.c_str(), "wb"));
-  REFEREE_CHECK_MSG(file != nullptr, "cannot open " + path + " for writing");
   EdgeFileHeader header{};
   std::memcpy(header.magic, kEdgeFileMagic, sizeof(header.magic));
   header.version = kEdgeFileVersion;
   header.n = n;
   header.m = edges.size();
-  REFEREE_CHECK_MSG(
-      std::fwrite(&header, sizeof(header), 1, file.get()) == 1,
-      "short write on " + path);
-  if (!edges.empty()) {
-    REFEREE_CHECK_MSG(std::fwrite(edges.data(), sizeof(Edge), edges.size(),
-                                  file.get()) == edges.size(),
+  write_file_atomically(path, [&](std::FILE* file) {
+    REFEREE_CHECK_MSG(std::fwrite(&header, sizeof(header), 1, file) == 1,
                       "short write on " + path);
-  }
-  REFEREE_CHECK_MSG(std::fflush(file.get()) == 0, "short write on " + path);
+    if (!edges.empty()) {
+      REFEREE_CHECK_MSG(std::fwrite(edges.data(), sizeof(Edge), edges.size(),
+                                    file) == edges.size(),
+                        "short write on " + path);
+    }
+  });
 }
 
 #if REFEREE_HAVE_MMAP
@@ -185,21 +206,7 @@ MmapEdgeSource::MmapEdgeSource(const std::string& path) {
     }
   } guard{map, size};
 
-  EdgeFileHeader header{};
-  std::memcpy(&header, map, sizeof(header));
-  if (std::memcmp(header.magic, kEdgeFileMagic, sizeof(header.magic)) != 0) {
-    throw CheckError("not a refgraph edge file: " + path);
-  }
-  REFEREE_CHECK_MSG(header.version == kEdgeFileVersion,
-                    "unsupported edge file version in " + path);
-  // Divide rather than multiply: m * sizeof(Edge) could wrap for a
-  // crafted header, making a tiny file claim 2^61 records.
-  const std::size_t max_records =
-      (size - kEdgeFileHeaderBytes) / sizeof(Edge);
-  REFEREE_CHECK_MSG(
-      header.m <= max_records &&
-          size == kEdgeFileHeaderBytes + header.m * sizeof(Edge),
-      "edge file size disagrees with its header: " + path);
+  const EdgeFileHeader header = check_edge_header(map, size, path);
   map_ = std::exchange(guard.map, nullptr);
   map_bytes_ = size;
   n_ = header.n;
@@ -224,7 +231,8 @@ MmapEdgeSource::MmapEdgeSource(MmapEdgeSource&& other) noexcept
     : map_(std::exchange(other.map_, nullptr)),
       map_bytes_(std::exchange(other.map_bytes_, 0)),
       n_(std::exchange(other.n_, 0)),
-      m_(std::exchange(other.m_, 0)) {}
+      m_(std::exchange(other.m_, 0)),
+      drained_(std::exchange(other.drained_, false)) {}
 
 MmapEdgeSource& MmapEdgeSource::operator=(MmapEdgeSource&& other) noexcept {
   if (this != &other) {
@@ -235,6 +243,7 @@ MmapEdgeSource& MmapEdgeSource::operator=(MmapEdgeSource&& other) noexcept {
     map_bytes_ = std::exchange(other.map_bytes_, 0);
     n_ = std::exchange(other.n_, 0);
     m_ = std::exchange(other.m_, 0);
+    drained_ = std::exchange(other.drained_, false);
   }
   return *this;
 }
@@ -243,6 +252,99 @@ std::span<const Edge> MmapEdgeSource::edges() const {
   if (m_ == 0) return {};
   const auto* base = static_cast<const std::byte*>(map_);
   return {reinterpret_cast<const Edge*>(base + kEdgeFileHeaderBytes), m_};
+}
+
+std::span<const Edge> MmapEdgeSource::next_chunk() {
+  if (drained_) return {};
+  drained_ = true;  // the mapping is one contiguous chunk
+  return edges();
+}
+
+ChunkedEdgeSource::ChunkedEdgeSource(const std::string& path,
+                                     std::size_t chunk_edges)
+    : path_(path) {
+  REFEREE_CHECK_MSG(chunk_edges > 0, "chunked edge source needs a buffer");
+  file_ = std::fopen(path.c_str(), "rb");
+  REFEREE_CHECK_MSG(file_ != nullptr, "cannot open " + path);
+  try {
+    REFEREE_CHECK_MSG(std::fseek(file_, 0, SEEK_END) == 0,
+                      "cannot seek in " + path);
+    const long end = std::ftell(file_);
+    REFEREE_CHECK_MSG(end >= 0, "cannot size " + path);
+    const auto file_size = static_cast<std::size_t>(end);
+    char header_bytes[kEdgeFileHeaderBytes];
+    REFEREE_CHECK_MSG(
+        std::fseek(file_, 0, SEEK_SET) == 0 &&
+            (file_size < kEdgeFileHeaderBytes ||
+             std::fread(header_bytes, 1, sizeof(header_bytes), file_) ==
+                 sizeof(header_bytes)),
+        "edge file too short: " + path);
+    const EdgeFileHeader header =
+        check_edge_header(header_bytes, file_size, path);
+    n_ = header.n;
+    m_ = header.m;
+    buffer_.resize(std::min(chunk_edges, std::max<std::size_t>(m_, 1)));
+  } catch (...) {
+    std::fclose(file_);
+    throw;
+  }
+}
+
+ChunkedEdgeSource::~ChunkedEdgeSource() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void ChunkedEdgeSource::rewind() {
+  REFEREE_CHECK_MSG(
+      std::fseek(file_, static_cast<long>(kEdgeFileHeaderBytes), SEEK_SET) ==
+          0,
+      "cannot seek in " + path_);
+  read_ = 0;
+}
+
+std::span<const Edge> ChunkedEdgeSource::next_chunk() {
+  const std::size_t remaining = m_ - read_;
+  if (remaining == 0) return {};
+  const std::size_t take = std::min(remaining, buffer_.size());
+  REFEREE_CHECK_MSG(
+      std::fread(buffer_.data(), sizeof(Edge), take, file_) == take,
+      "truncated edge section in " + path_);
+  read_ += take;
+  return {buffer_.data(), take};
+}
+
+std::size_t edge_mmap_budget() {
+  if (const char* env = std::getenv("REFEREE_EDGE_MMAP_BUDGET");
+      env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  // A 64-bit address space can afford to map any realistic edge file; on
+  // 32-bit hosts stay well under the 2-4 GiB ceiling so campaign cells
+  // fall back to the bounded-buffer reader instead of failing mmap.
+  return sizeof(void*) >= 8 ? (std::size_t{1} << 42)
+                            : (std::size_t{1} << 28);
+}
+
+std::unique_ptr<EdgeSource> open_edge_source(const std::string& path) {
+  return open_edge_source(path, edge_mmap_budget());
+}
+
+std::unique_ptr<EdgeSource> open_edge_source(const std::string& path,
+                                             std::size_t mmap_budget) {
+#if REFEREE_HAVE_MMAP
+  struct stat st{};
+  REFEREE_CHECK_MSG(::stat(path.c_str(), &st) == 0, "cannot stat " + path);
+  if (static_cast<std::size_t>(st.st_size) <= mmap_budget) {
+    return std::make_unique<MmapEdgeSource>(path);
+  }
+#else
+  (void)mmap_budget;  // no mmap at all: every file takes the chunked path
+#endif
+  return std::make_unique<ChunkedEdgeSource>(path);
 }
 
 std::string to_ascii_matrix(const Graph& g) {

@@ -7,10 +7,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -55,33 +58,101 @@ inline constexpr std::size_t kEdgeFileHeaderBytes = 32;
 /// Write `edges` over `n` vertices as a binary edge-list file. Edges are
 /// written verbatim (already u <= v normalized by construction); vertex
 /// range and self-loops are CHECKed so a packed file never round-trips
-/// differently from its text form.
+/// differently from its text form. Publication is crash-safe: bytes land
+/// in a temp file that is fsync'd and atomically renamed over `path`, so
+/// a reader never observes a truncated edge file and a crash mid-write
+/// never clobbers an existing one.
 void write_edge_file(const std::string& path, std::size_t n,
                      std::span<const Edge> edges);
+
+/// Sequential access to a refgrph1 edge section, chunk by chunk. Sources
+/// are resettable — the CsrGraph bulk constructor makes two passes (count,
+/// then fill) — and a chunk's span is valid only until the next
+/// next_chunk() / rewind() call or destruction.
+class EdgeSource {
+ public:
+  virtual ~EdgeSource() = default;
+
+  virtual std::size_t vertex_count() const = 0;
+  virtual std::size_t edge_count() const = 0;
+
+  /// Restart iteration at the first edge record.
+  virtual void rewind() = 0;
+
+  /// The next run of edge records, or an empty span once exhausted.
+  virtual std::span<const Edge> next_chunk() = 0;
+};
 
 /// Read-only mmap view of a binary edge-list file. The edge span aliases
 /// the mapping — zero copies, zero per-edge allocations — and stays valid
 /// for the lifetime of the source. Feed it to CsrGraph(n, edges) or
-/// Graph(n, edges).
-class MmapEdgeSource {
+/// Graph(n, edges); as an EdgeSource it yields the whole section as one
+/// chunk.
+class MmapEdgeSource final : public EdgeSource {
  public:
   explicit MmapEdgeSource(const std::string& path);
-  ~MmapEdgeSource();
+  ~MmapEdgeSource() override;
 
   MmapEdgeSource(MmapEdgeSource&& other) noexcept;
   MmapEdgeSource& operator=(MmapEdgeSource&& other) noexcept;
   MmapEdgeSource(const MmapEdgeSource&) = delete;
   MmapEdgeSource& operator=(const MmapEdgeSource&) = delete;
 
-  std::size_t vertex_count() const { return n_; }
-  std::size_t edge_count() const { return m_; }
+  std::size_t vertex_count() const override { return n_; }
+  std::size_t edge_count() const override { return m_; }
   std::span<const Edge> edges() const;
+
+  void rewind() override { drained_ = false; }
+  std::span<const Edge> next_chunk() override;
 
  private:
   void* map_ = nullptr;
   std::size_t map_bytes_ = 0;
   std::size_t n_ = 0;
   std::size_t m_ = 0;
+  bool drained_ = false;
 };
+
+/// Streams a refgrph1 edge section through a bounded buffer — the input
+/// path for edge files larger than the address-space budget mmap is
+/// allowed (or able) to claim. Peak memory is `chunk_edges * sizeof(Edge)`
+/// regardless of file size.
+class ChunkedEdgeSource final : public EdgeSource {
+ public:
+  static constexpr std::size_t kDefaultChunkEdges = std::size_t{1} << 16;
+
+  explicit ChunkedEdgeSource(const std::string& path,
+                             std::size_t chunk_edges = kDefaultChunkEdges);
+  ~ChunkedEdgeSource() override;
+
+  ChunkedEdgeSource(const ChunkedEdgeSource&) = delete;
+  ChunkedEdgeSource& operator=(const ChunkedEdgeSource&) = delete;
+
+  std::size_t vertex_count() const override { return n_; }
+  std::size_t edge_count() const override { return m_; }
+
+  void rewind() override;
+  std::span<const Edge> next_chunk() override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::vector<Edge> buffer_;
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::size_t read_ = 0;  // records consumed since the last rewind
+};
+
+/// The mmap budget open_edge_source() compares file sizes against: the
+/// REFEREE_EDGE_MMAP_BUDGET environment variable (bytes) when set, else a
+/// generous default sized to the platform's address space.
+std::size_t edge_mmap_budget();
+
+/// Open a refgrph1 file with the right source for its size: mmap when the
+/// edge section fits the address-space budget (zero-copy, demand-paged),
+/// the bounded-buffer chunked reader when it does not.
+std::unique_ptr<EdgeSource> open_edge_source(const std::string& path);
+std::unique_ptr<EdgeSource> open_edge_source(const std::string& path,
+                                             std::size_t mmap_budget);
 
 }  // namespace referee

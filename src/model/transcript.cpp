@@ -1,17 +1,34 @@
 #include "model/transcript.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
+#include "support/atomic_file.hpp"
 #include "support/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define REFEREE_HAVE_MMAP 1
+#endif
 
 namespace referee {
 
 namespace {
 
 constexpr char kMagic[4] = {'R', 'F', 'T', '1'};
+
+// Shared sanity ceilings for both formats: a transcript is one message
+// per node of one round, so anything past these is a corrupt length
+// field, not a big input.
+constexpr std::uint64_t kMaxNodes = 1u << 26;
+constexpr std::uint64_t kMaxMessageBits = 1ull << 32;
 
 template <typename T>
 void write_le(std::ostream& os, T value) {
@@ -94,6 +111,212 @@ std::string transcript_to_string(const Transcript& t) {
 Transcript transcript_from_string(const std::string& data) {
   std::istringstream is(data, std::ios::binary);
   return read_transcript(is);
+}
+
+namespace {
+
+struct TranscriptFileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::uint64_t epoch;
+  std::uint32_t n;
+  std::uint32_t reserved2;
+};
+static_assert(sizeof(TranscriptFileHeader) == kTranscriptFileHeaderBytes);
+
+/// Canonical payload bytes of a message: the same 8-bit repacking the RFT1
+/// stream writer uses, so both formats agree on what a message's bits
+/// serialise to.
+std::string message_payload(const Message& m) {
+  std::string out;
+  out.reserve((m.bit_size() + 7) / 8);
+  BitReader r = m.reader();
+  std::size_t remaining = m.bit_size();
+  while (remaining > 0) {
+    const int chunk = remaining >= 8 ? 8 : static_cast<int>(remaining);
+    out.push_back(static_cast<char>(r.read_bits(chunk)));
+    remaining -= static_cast<std::size_t>(chunk);
+  }
+  return out;
+}
+
+Message message_from_payload(const unsigned char* data, std::uint64_t bits) {
+  BitWriter w;
+  std::uint64_t remaining = bits;
+  while (remaining > 0) {
+    const int chunk = remaining >= 8 ? 8 : static_cast<int>(remaining);
+    w.write_bits(static_cast<std::uint64_t>(*data++) &
+                     ((std::uint64_t{1} << chunk) - 1),
+                 chunk);
+    remaining -= static_cast<std::uint64_t>(chunk);
+  }
+  return Message::seal(std::move(w));
+}
+
+std::uint64_t load_le64(const unsigned char* p) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+void store_le64(unsigned char* p, std::uint64_t value) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    p[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+}  // namespace
+
+void write_transcript_file(const std::string& path, std::uint64_t epoch,
+                           std::span<const Message> messages) {
+  REFEREE_CHECK_MSG(messages.size() <= kMaxNodes,
+                    "transcript file: absurd node count");
+  TranscriptFileHeader header{};
+  std::memcpy(header.magic, kTranscriptFileMagic, sizeof(header.magic));
+  header.version = kTranscriptFileVersion;
+  header.epoch = epoch;
+  header.n = static_cast<std::uint32_t>(messages.size());
+  write_file_atomically(path, [&](std::FILE* file) {
+    REFEREE_CHECK_MSG(std::fwrite(&header, sizeof(header), 1, file) == 1,
+                      "short write on " + path);
+    for (const Message& m : messages) {
+      unsigned char bits_le[8];
+      store_le64(bits_le, m.bit_size());
+      REFEREE_CHECK_MSG(
+          std::fwrite(bits_le, sizeof(bits_le), 1, file) == 1,
+          "short write on " + path);
+      const std::string payload = message_payload(m);
+      if (!payload.empty()) {
+        REFEREE_CHECK_MSG(std::fwrite(payload.data(), 1, payload.size(),
+                                      file) == payload.size(),
+                          "short write on " + path);
+      }
+    }
+  });
+}
+
+#if REFEREE_HAVE_MMAP
+
+MmapTranscriptSource::MmapTranscriptSource(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  REFEREE_CHECK_MSG(fd >= 0, "cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw CheckError("cannot stat " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kTranscriptFileHeaderBytes) {
+    ::close(fd);
+    throw CheckError("transcript file too short: " + path);
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  REFEREE_CHECK_MSG(map != MAP_FAILED, "cannot mmap " + path);
+  // Guard the mapping until validation passes: a throwing constructor
+  // runs no destructor, so an unguarded throw would leak the mapping on
+  // every corrupt-file probe.
+  struct MapGuard {
+    void* map;
+    std::size_t bytes;
+    ~MapGuard() {
+      if (map != nullptr) ::munmap(map, bytes);
+    }
+  } guard{map, size};
+
+  TranscriptFileHeader header{};
+  std::memcpy(&header, map, sizeof(header));
+  REFEREE_CHECK_MSG(std::memcmp(header.magic, kTranscriptFileMagic,
+                                sizeof(header.magic)) == 0,
+                    "not a reftrn1 transcript file: " + path);
+  REFEREE_CHECK_MSG(header.version == kTranscriptFileVersion,
+                    "unsupported transcript file version in " + path);
+  REFEREE_CHECK_MSG(header.n <= kMaxNodes,
+                    "transcript file: absurd node count in " + path);
+
+  // One validating walk over the records builds the offset index; after
+  // this every message() call is a bounds-checked pointer chase.
+  const auto* base = static_cast<const unsigned char*>(map);
+  std::vector<std::size_t> offsets;
+  offsets.reserve(header.n);
+  std::size_t off = kTranscriptFileHeaderBytes;
+  for (std::uint32_t i = 0; i < header.n; ++i) {
+    REFEREE_CHECK_MSG(off + 8 <= size,
+                      "truncated transcript record in " + path);
+    const std::uint64_t bits = load_le64(base + off);
+    REFEREE_CHECK_MSG(bits <= kMaxMessageBits,
+                      "transcript file: absurd message in " + path);
+    const std::size_t payload = static_cast<std::size_t>((bits + 7) / 8);
+    REFEREE_CHECK_MSG(off + 8 + payload <= size,
+                      "truncated transcript record in " + path);
+    offsets.push_back(off);
+    off += 8 + payload;
+  }
+  REFEREE_CHECK_MSG(off == size,
+                    "transcript file has trailing bytes: " + path);
+
+  map_ = std::exchange(guard.map, nullptr);
+  map_bytes_ = size;
+  epoch_ = header.epoch;
+  n_ = header.n;
+  offsets_ = std::move(offsets);
+}
+
+MmapTranscriptSource::~MmapTranscriptSource() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+#else  // !REFEREE_HAVE_MMAP
+
+MmapTranscriptSource::MmapTranscriptSource(const std::string& path) {
+  throw CheckError("mmap transcript sources require a POSIX host: " + path);
+}
+
+MmapTranscriptSource::~MmapTranscriptSource() = default;
+
+#endif
+
+MmapTranscriptSource::MmapTranscriptSource(
+    MmapTranscriptSource&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_bytes_(std::exchange(other.map_bytes_, 0)),
+      epoch_(std::exchange(other.epoch_, 0)),
+      n_(std::exchange(other.n_, 0)),
+      offsets_(std::move(other.offsets_)) {
+  other.offsets_.clear();
+}
+
+MmapTranscriptSource& MmapTranscriptSource::operator=(
+    MmapTranscriptSource&& other) noexcept {
+  if (this != &other) {
+#if REFEREE_HAVE_MMAP
+    if (map_ != nullptr) ::munmap(map_, map_bytes_);
+#endif
+    map_ = std::exchange(other.map_, nullptr);
+    map_bytes_ = std::exchange(other.map_bytes_, 0);
+    epoch_ = std::exchange(other.epoch_, 0);
+    n_ = std::exchange(other.n_, 0);
+    offsets_ = std::move(other.offsets_);
+    other.offsets_.clear();
+  }
+  return *this;
+}
+
+Message MmapTranscriptSource::message(std::size_t i) const {
+  REFEREE_CHECK_MSG(i < n_, "transcript message index out of range");
+  const auto* base = static_cast<const unsigned char*>(map_);
+  const std::uint64_t bits = load_le64(base + offsets_[i]);
+  return message_from_payload(base + offsets_[i] + 8, bits);
+}
+
+std::vector<Message> MmapTranscriptSource::messages() const {
+  std::vector<Message> out;
+  out.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) out.push_back(message(i));
+  return out;
 }
 
 }  // namespace referee

@@ -3,11 +3,35 @@
 // network and decode it offline, later, elsewhere — one-round protocols
 // make the transcript a complete, replayable artefact.
 //
-// Format (little-endian):
+// Two formats live here:
+//
+// RFT1 (legacy stream form, little-endian):
 //   magic "RFT1", u32 n, then per message: u64 bit_size + ceil(bits/8) bytes.
+//   Carries no epoch — callers must remember the scenario identity out of
+//   band. Kept for the CLI's hex pipelines and old fixtures.
+//
+// reftrn1 (versioned sealed-transcript file, little-endian):
+//   offset  size  field
+//   0       8     magic "reftrn1\0"
+//   8       4     version (currently 1)
+//   12      4     reserved (0)
+//   16      8     epoch — the sealed scenario epoch the envelopes carry
+//   24      4     n — node / message count
+//   28      4     reserved (0)
+//   32      ...   n records: u64 bit_length + ceil(bit_length/8) bytes
+//
+// A reftrn1 file stores the *wire* transcript of a campaign cell — the
+// sealed (and, when the cell injects faults, faulted) messages exactly as
+// the referee saw them — so `refereectl transcript decode` replays the
+// cell offline to the same outcome as the live pipeline. Written
+// crash-safely (temp file + fsync + atomic rename) and read back through
+// MmapTranscriptSource without materializing more than one message.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "model/message.hpp"
@@ -25,5 +49,47 @@ Transcript read_transcript(std::istream& is);
 /// Convenience wrappers over string payloads (used by the CLI and tests).
 std::string transcript_to_string(const Transcript& t);
 Transcript transcript_from_string(const std::string& data);
+
+inline constexpr char kTranscriptFileMagic[8] = {'r', 'e', 'f', 't',
+                                                 'r', 'n', '1', '\0'};
+inline constexpr std::uint32_t kTranscriptFileVersion = 1;
+inline constexpr std::size_t kTranscriptFileHeaderBytes = 32;
+
+/// Write a sealed transcript as a reftrn1 file: `epoch` is the scenario
+/// epoch the envelopes were sealed under, `messages` one wire message per
+/// node in id order. Crash-safe: temp file, fsync, atomic rename.
+void write_transcript_file(const std::string& path, std::uint64_t epoch,
+                           std::span<const Message> messages);
+
+/// Read-only mmap view of a reftrn1 file. Opening validates the header
+/// and walks the records once to build a byte-offset index; messages are
+/// materialized lazily, one at a time, so decoding a transcript touches
+/// only the pages of the message being read.
+class MmapTranscriptSource {
+ public:
+  explicit MmapTranscriptSource(const std::string& path);
+  ~MmapTranscriptSource();
+
+  MmapTranscriptSource(MmapTranscriptSource&& other) noexcept;
+  MmapTranscriptSource& operator=(MmapTranscriptSource&& other) noexcept;
+  MmapTranscriptSource(const MmapTranscriptSource&) = delete;
+  MmapTranscriptSource& operator=(const MmapTranscriptSource&) = delete;
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint32_t node_count() const { return n_; }
+
+  /// Materialize message `i` (0-based) by re-packing its payload bits.
+  Message message(std::size_t i) const;
+
+  /// All messages in id order — the shape the decode pipeline consumes.
+  std::vector<Message> messages() const;
+
+ private:
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t n_ = 0;
+  std::vector<std::size_t> offsets_;  // n entries: record start offsets
+};
 
 }  // namespace referee

@@ -1,0 +1,49 @@
+#include "support/atomic_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define REFEREE_HAVE_FSYNC 1
+#endif
+
+namespace referee {
+
+void write_file_atomically(const std::string& path,
+                           const std::function<void(std::FILE*)>& writer) {
+  // The temp file lives next to the destination (same directory, hence
+  // same filesystem) so the final rename is the atomic one-filesystem
+  // case, and a unique pid suffix keeps concurrent writers of different
+  // destinations from colliding.
+#if REFEREE_HAVE_FSYNC
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#else
+  const std::string tmp = path + ".tmp";
+#endif
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  REFEREE_CHECK_MSG(file != nullptr, "cannot open " + tmp + " for writing");
+  try {
+    writer(file);
+    REFEREE_CHECK_MSG(std::fflush(file) == 0, "short write on " + tmp);
+#if REFEREE_HAVE_FSYNC
+    // Data must be durable *before* the rename publishes the name: a
+    // crash between rename and writeback would otherwise resurrect the
+    // truncated-file failure mode the temp dance exists to kill.
+    REFEREE_CHECK_MSG(::fsync(::fileno(file)) == 0, "fsync failed on " + tmp);
+#endif
+    REFEREE_CHECK_MSG(std::fclose(file) == 0, "close failed on " + tmp);
+    file = nullptr;
+    REFEREE_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                      "cannot rename " + tmp + " to " + path);
+  } catch (...) {
+    if (file != nullptr) std::fclose(file);
+    std::remove(tmp.c_str());
+    throw;
+  }
+}
+
+}  // namespace referee

@@ -1,0 +1,27 @@
+// Crash-safe file publication: write-to-temp, fsync, atomic rename.
+//
+// Every binary artifact this library persists (refgrph1 edge files,
+// reftrn1 sealed transcripts) must never be observable half-written: a
+// killed `refereectl graph pack` must not leave a truncated file whose
+// first 32 bytes still parse as a valid-looking header. The standard fix
+// is the temp-file dance — stream into `<path>.tmp.<pid>`, flush and
+// fsync the data, then rename(2) over the destination, which POSIX makes
+// atomic on one filesystem. Readers therefore see either the old file,
+// no file, or the complete new file; never a prefix.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace referee {
+
+/// Stream a file's contents via `writer` (called once with the open FILE*)
+/// and publish it at `path` atomically. The writer must CHECK its own
+/// fwrite return values for early corruption detection; this helper
+/// additionally verifies flush/fsync/rename and throws CheckError on any
+/// failure, removing the temp file on every error path.
+void write_file_atomically(const std::string& path,
+                           const std::function<void(std::FILE*)>& writer);
+
+}  // namespace referee

@@ -4,12 +4,20 @@
 // layout change — fails this suite loudly, so wire-breaking diffs cannot
 // slip through review unnoticed.
 //
+// Since PR 6 the fixtures are sealed-transcript files (reftrn1, .rtr):
+// the same container the campaign's --capture-dir writes and
+// replay_scenario opens, so the pinned bytes are exactly what ships
+// between processes. One legacy .hex fixture remains as a cross-format
+// check: the RFT1 serialisation of the sealed degeneracy cell must keep
+// matching what its .rtr fixture decodes to.
+//
 // To regenerate after an *intentional* wire change:
 //   REFEREE_REGEN_GOLDEN=1 ctest -R golden
-// then commit the updated .hex files together with the code change.
+// then commit the updated fixtures together with the code change.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -34,8 +42,15 @@ std::string hex_wrap(const std::string& bytes) {
   return out;
 }
 
-std::string fixture_path(const std::string& name) {
-  return std::string(REFEREE_GOLDEN_DIR) + "/" + name + ".hex";
+std::string fixture_path(const std::string& name, const char* ext) {
+  return std::string(REFEREE_GOLDEN_DIR) + "/" + name + ext;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return std::move(buffer).str();
 }
 
 /// The pinned cell for a protocol: small, in-class, seed 1. Changing this
@@ -60,9 +75,10 @@ ScenarioSpec golden_spec(const std::string& protocol) {
   return spec;
 }
 
-/// The payload transcript of the golden cell, as RFT1 bytes.
-std::string golden_transcript_bytes(const std::string& protocol,
-                                    bool enveloped) {
+/// The golden cell's transcript. Payload fixtures pin the protocol wire
+/// format alone (epoch 0, unenveloped), so an envelope change cannot fail
+/// all of them at once; the envelope fixture seals with the real epoch.
+Transcript golden_transcript(const std::string& protocol, bool enveloped) {
   const ScenarioSpec spec = golden_spec(protocol);
   const Graph g = make_campaign_graph(spec);
   Transcript t;
@@ -70,33 +86,50 @@ std::string golden_transcript_bytes(const std::string& protocol,
   const Simulator sim;
   t.messages = sim.run_local_phase(g, *make_campaign_protocol(spec, g));
   if (enveloped) seal_transcript(scenario_epoch(spec), t.n, t.messages);
-  return transcript_to_string(t);
+  return t;
 }
 
-void check_golden(const std::string& name, const std::string& bytes) {
-  const std::string hex = hex_wrap(bytes);
-  const std::string path = fixture_path(name);
+std::uint64_t golden_epoch(const std::string& protocol, bool enveloped) {
+  return enveloped ? scenario_epoch(golden_spec(protocol)) : 0;
+}
+
+void check_golden_rtr(const std::string& name, const std::string& protocol,
+                      bool enveloped) {
+  const Transcript t = golden_transcript(protocol, enveloped);
+  const std::uint64_t epoch = golden_epoch(protocol, enveloped);
+  const std::string path = fixture_path(name, ".rtr");
   if (std::getenv("REFEREE_REGEN_GOLDEN") != nullptr) {
-    std::ofstream os(path, std::ios::binary);
-    ASSERT_TRUE(os) << "cannot write " << path;
-    os << hex;
+    write_transcript_file(path, epoch, t.messages);
     GTEST_SKIP() << "regenerated " << path;
   }
-  std::ifstream is(path, std::ios::binary);
-  ASSERT_TRUE(is) << "missing fixture " << path
-                  << " — run with REFEREE_REGEN_GOLDEN=1 and commit it";
-  std::ostringstream want;
-  want << is.rdbuf();
-  EXPECT_EQ(hex, want.str())
+  ASSERT_TRUE(std::filesystem::exists(path))
+      << "missing fixture " << path
+      << " — run with REFEREE_REGEN_GOLDEN=1 and commit it";
+
+  // Byte pin: today's cell serialises to exactly the committed file.
+  const auto scratch = std::filesystem::temp_directory_path() /
+                       "referee_golden_tests" / (name + ".rtr");
+  std::filesystem::create_directories(scratch.parent_path());
+  write_transcript_file(scratch.string(), epoch, t.messages);
+  EXPECT_EQ(read_file(scratch.string()), read_file(path))
       << "wire bytes of the '" << name << "' golden cell changed. If the "
       << "format change is intentional, regenerate with "
       << "REFEREE_REGEN_GOLDEN=1 and commit the new fixture.";
+
+  // Decode pin: the committed fixture re-opens to the cell's messages —
+  // reftrn1 files written by any past build stay readable.
+  const MmapTranscriptSource source(path);
+  EXPECT_EQ(source.epoch(), epoch);
+  ASSERT_EQ(source.node_count(), t.messages.size());
+  for (std::size_t i = 0; i < t.messages.size(); ++i) {
+    EXPECT_EQ(source.message(i), t.messages[i]) << "message " << i;
+  }
 }
 
 class GoldenTranscript : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(GoldenTranscript, PayloadBytesMatchFixture) {
-  check_golden(GetParam(), golden_transcript_bytes(GetParam(), false));
+  check_golden_rtr(GetParam(), GetParam(), /*enveloped=*/false);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -113,8 +146,33 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(GoldenTranscriptEnvelope, SealedBytesMatchFixture) {
   // Pins the envelope format itself (tag width, id width, header order)
   // on top of one representative payload.
-  check_golden("envelope.degeneracy",
-               golden_transcript_bytes("degeneracy", true));
+  check_golden_rtr("envelope.degeneracy", "degeneracy", /*enveloped=*/true);
+}
+
+TEST(GoldenTranscriptEnvelope, LegacyHexFixtureCrossChecksTheRtr) {
+  // The retained .hex fixture pins the legacy RFT1 serialisation of the
+  // same sealed cell the .rtr fixture stores in reftrn1 form. Both
+  // containers must keep describing identical messages: decode the .rtr,
+  // re-serialise through the RFT1 writer, and compare against the hex pin.
+  const Transcript t = golden_transcript("degeneracy", /*enveloped=*/true);
+  const std::string hex = hex_wrap(transcript_to_string(t));
+  const std::string path = fixture_path("envelope.degeneracy", ".hex");
+  if (std::getenv("REFEREE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream os(path, std::ios::binary);
+    ASSERT_TRUE(os) << "cannot write " << path;
+    os << hex;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  EXPECT_EQ(hex, read_file(path)) << "RFT1 bytes drifted from the fixture";
+
+  const std::string rtr = fixture_path("envelope.degeneracy", ".rtr");
+  if (!std::filesystem::exists(rtr)) GTEST_SKIP() << "no .rtr fixture yet";
+  const MmapTranscriptSource source(rtr);
+  Transcript from_rtr;
+  from_rtr.n = static_cast<std::uint32_t>(source.node_count());
+  from_rtr.messages = source.messages();
+  EXPECT_EQ(hex_wrap(transcript_to_string(from_rtr)), read_file(path))
+      << "the reftrn1 and RFT1 fixtures no longer describe the same cell";
 }
 
 }  // namespace

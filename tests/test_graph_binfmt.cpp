@@ -146,6 +146,91 @@ TEST(GraphBinaryFormat, HeaderValidationRejectsForeignAndTruncatedFiles) {
   EXPECT_THROW(MmapEdgeSource{overflow}, CheckError);
 }
 
+TEST(ChunkedEdgeSource, YieldsBoundedChunksAndRewinds) {
+  const std::string path = temp_path("chunked_small");
+  Rng rng(77);
+  const Graph g = gen::gnp(50, 0.2, rng);
+  const auto edges = g.edges();
+  write_edge_file(path, g.vertex_count(), edges);
+
+  constexpr std::size_t kChunk = 7;  // forces many partial reads
+  ChunkedEdgeSource source(path, kChunk);
+  EXPECT_EQ(source.vertex_count(), g.vertex_count());
+  EXPECT_EQ(source.edge_count(), edges.size());
+  for (int pass = 0; pass < 2; ++pass) {  // rewind restarts cleanly
+    std::vector<Edge> streamed;
+    std::span<const Edge> chunk;
+    while (!(chunk = source.next_chunk()).empty()) {
+      EXPECT_LE(chunk.size(), kChunk);  // the bounded-buffer contract
+      streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+    }
+    EXPECT_TRUE(source.next_chunk().empty());  // exhausted stays exhausted
+    ASSERT_EQ(streamed.size(), edges.size()) << "pass " << pass;
+    EXPECT_TRUE(std::equal(streamed.begin(), streamed.end(), edges.begin(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.u == b.u && a.v == b.v;
+                           }));
+    source.rewind();
+  }
+}
+
+TEST(ChunkedEdgeSource, RejectsTheSameBadHeadersAsMmap) {
+  const std::string tiny = temp_path("chunked_tiny");
+  {
+    std::ofstream os(tiny, std::ios::binary);
+    os << "short";
+  }
+  EXPECT_THROW(ChunkedEdgeSource{tiny}, CheckError);
+  const std::string truncated = temp_path("chunked_truncated");
+  write_edge_file(truncated, 4, std::vector<Edge>{{0, 1}, {2, 3}});
+  std::filesystem::resize_file(truncated, kEdgeFileHeaderBytes + 12);
+  EXPECT_THROW(ChunkedEdgeSource{truncated}, CheckError);
+  EXPECT_THROW(ChunkedEdgeSource{temp_path("chunked_missing")}, CheckError);
+}
+
+TEST(ChunkedEdgeSource, MillionNodeCsrBuildMatchesMmapPath) {
+  // The out-of-core acceptance pin: a 2^20-node edge file streamed through
+  // a bounded buffer builds a CsrGraph identical to the mmap'd build,
+  // with peak buffer = chunk_edges records, not the 9+ MiB edge section.
+  const std::string path = temp_path("chunked_million");
+  constexpr std::size_t kN = 1u << 20;
+  std::vector<Edge> edges;
+  edges.reserve(kN + kN / 64);
+  for (Vertex v = 0; v + 1 < kN; ++v) edges.emplace_back(v, v + 1);
+  for (Vertex v = 0; v + 64 < kN; v += 64) edges.emplace_back(v, v + 64);
+  write_edge_file(path, kN, edges);
+
+  const MmapEdgeSource mapped(path);
+  const CsrGraph via_mmap(mapped.vertex_count(), mapped.edges());
+  ChunkedEdgeSource chunked(path, std::size_t{1} << 12);
+  const CsrGraph via_chunks(chunked);
+  EXPECT_TRUE(same_csr(via_mmap, via_chunks));
+
+  // The EdgeSource-driven build agrees on the mmap side too.
+  MmapEdgeSource remapped(path);
+  const CsrGraph via_source(remapped);
+  EXPECT_TRUE(same_csr(via_mmap, via_source));
+}
+
+TEST(ChunkedEdgeSource, FactoryPicksSourceByMmapBudget) {
+  const std::string path = temp_path("factory");
+  Rng rng(11);
+  const Graph g = gen::gnp(40, 0.2, rng);
+  const auto edges = g.edges();
+  write_edge_file(path, g.vertex_count(), edges);
+  const CsrGraph expect(g);
+
+  // A generous budget mmaps; a budget smaller than the file streams.
+  const auto big = open_edge_source(path, std::size_t{1} << 30);
+  EXPECT_NE(dynamic_cast<MmapEdgeSource*>(big.get()), nullptr);
+  const auto small = open_edge_source(path, 64);
+  EXPECT_NE(dynamic_cast<ChunkedEdgeSource*>(small.get()), nullptr);
+  const CsrGraph via_big(*big);
+  const CsrGraph via_small(*small);
+  EXPECT_TRUE(same_csr(via_big, expect));
+  EXPECT_TRUE(same_csr(via_small, expect));
+}
+
 TEST(GraphBinaryFormat, MmapSourceMoves) {
   const std::string path = temp_path("moves");
   write_edge_file(path, 3, std::vector<Edge>{{0, 1}, {1, 2}});

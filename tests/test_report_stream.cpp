@@ -1,0 +1,214 @@
+// The streaming report layer: one formatter (StreamingReportWriter), one
+// parser (ShardRowReader), and the k-way merge that reassembles canonical
+// referee-campaign-v3 bytes from shard streams without materializing a
+// report. The property pin: partial reports folded in *random binary-tree
+// orders*, through a random mix of the streaming and in-memory paths, are
+// byte-identical to the single-process run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/backend.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/stream.hpp"
+#include "support/check.hpp"
+#include "support/random.hpp"
+
+namespace referee {
+namespace {
+
+CampaignConfig stream_config() {
+  CampaignConfig config;
+  config.generators = {"kdeg", "tree"};
+  config.sizes = {16};
+  config.protocols = {"degeneracy", "stats"};
+  config.seeds = {1, 2, 3};
+  return config;
+}
+
+std::string stream_doc(const CampaignReport& report) {
+  std::ostringstream out;
+  StreamingReportWriter writer(out);
+  report.emit(writer);
+  return std::move(out).str();
+}
+
+std::string merge_docs_streaming(const std::vector<std::string>& docs) {
+  std::vector<std::istringstream> streams;
+  streams.reserve(docs.size());
+  for (const auto& doc : docs) streams.emplace_back(doc);
+  std::vector<std::istream*> inputs;
+  inputs.reserve(streams.size());
+  for (auto& s : streams) inputs.push_back(&s);
+  std::ostringstream out;
+  StreamingReportWriter writer(out);
+  merge_report_streams(inputs, writer);
+  return std::move(out).str();
+}
+
+TEST(ReportStream, WriterIsTheOnlyFormatter) {
+  // to_json() delegates to StreamingReportWriter, for shard and canonical
+  // forms alike — the streaming path cannot drift from the in-memory one.
+  const CampaignPlan plan{stream_config()};
+  const ThreadPoolBackend backend;
+  const auto full = backend.run(plan);
+  EXPECT_EQ(full.to_json(), stream_doc(full));
+  const auto shard = backend.run(plan.shard(1, 3));
+  EXPECT_EQ(shard.to_json(), stream_doc(shard));
+}
+
+TEST(ReportStream, CollectingSinkRoundTripsEmit) {
+  const CampaignPlan plan{stream_config()};
+  const ThreadPoolBackend backend;
+  const auto shard = backend.run(plan.shard(0, 2));
+  CollectingReportSink sink;
+  shard.emit(sink);
+  EXPECT_EQ(sink.take().to_json(), shard.to_json());
+}
+
+TEST(ReportStream, ShardRowReaderStreamsRowsInIdOrder) {
+  const CampaignPlan plan{stream_config()};
+  const ThreadPoolBackend backend;
+  const auto shard = backend.run(plan.shard(1, 2));
+  std::istringstream in(shard.to_json());
+  ShardRowReader reader(in);
+  EXPECT_EQ(reader.plan_cells(), plan.total_cells());
+  ASSERT_EQ(reader.shards().size(), 1u);
+  EXPECT_EQ(reader.shards()[0].index, 1u);
+  EXPECT_EQ(reader.expected_rows(), shard.cell_count());
+  std::size_t rows = 0;
+  std::size_t last_id = 0;
+  while (const auto row = reader.next()) {
+    if (rows > 0) EXPECT_GT(row->id, last_id);
+    last_id = row->id;
+    EXPECT_FALSE(row->generator.empty());
+    EXPECT_FALSE(row->json.empty());
+    ++rows;
+  }
+  EXPECT_EQ(rows, shard.cell_count());
+  EXPECT_FALSE(reader.next().has_value());  // sticky after the block ends
+}
+
+TEST(ReportStream, AggregateFolderMatchesMaterializedAggregates) {
+  const CampaignPlan plan{stream_config()};
+  const auto report = ThreadPoolBackend().run(plan);
+  std::ostringstream out;
+  StreamingReportWriter writer(out);
+  report.emit(writer);
+  const auto& streamed = writer.folder().aggregates();
+  const auto expected = report.aggregates();
+  ASSERT_EQ(streamed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(streamed[i].generator, expected[i].generator);
+    EXPECT_EQ(streamed[i].protocol, expected[i].protocol);
+    EXPECT_EQ(streamed[i].scenarios, expected[i].scenarios);
+    EXPECT_EQ(streamed[i].ok, expected[i].ok);
+    EXPECT_EQ(streamed[i].loud, expected[i].loud);
+    EXPECT_EQ(streamed[i].silent_wrong, expected[i].silent_wrong);
+    EXPECT_EQ(streamed[i].max_bits, expected[i].max_bits);
+    EXPECT_DOUBLE_EQ(streamed[i].mean_max_bits, expected[i].mean_max_bits);
+    EXPECT_DOUBLE_EQ(streamed[i].max_constant, expected[i].max_constant);
+  }
+  EXPECT_EQ(writer.folder().rows(), report.cell_count());
+  EXPECT_EQ(writer.folder().silent_wrong(), report.silent_wrong_count());
+}
+
+TEST(ReportStream, KWayMergeMatchesSingleProcessBytes) {
+  const CampaignPlan plan{stream_config()};
+  const ThreadPoolBackend backend;
+  const std::string baseline = backend.run(plan).to_json();
+  std::vector<std::string> docs;
+  for (unsigned k = 0; k < 4; ++k) {
+    docs.push_back(backend.run(plan.shard(k, 4)).to_json());
+  }
+  EXPECT_EQ(merge_docs_streaming(docs), baseline);
+  // Input order must not matter: shard files arrive in whatever order the
+  // operator lists them.
+  std::swap(docs[0], docs[3]);
+  std::swap(docs[1], docs[2]);
+  EXPECT_EQ(merge_docs_streaming(docs), baseline);
+}
+
+TEST(ReportStream, MergeRejectsOverlapsAndForeignPlans) {
+  const CampaignPlan plan{stream_config()};
+  const ThreadPoolBackend backend;
+  const std::string s0 = backend.run(plan.shard(0, 2)).to_json();
+  EXPECT_THROW(merge_docs_streaming({s0, s0}), CheckError);
+
+  CampaignConfig other = stream_config();
+  other.seeds = {1};
+  const std::string foreign =
+      backend.run(CampaignPlan{other}.shard(0, 2)).to_json();
+  EXPECT_THROW(merge_docs_streaming({s0, foreign}), CheckError);
+}
+
+TEST(ReportStream, MalformedDocumentsAreRejectedLoudly) {
+  {
+    std::istringstream in("this is not a campaign report\n");
+    EXPECT_THROW(ShardRowReader{in}, CheckError);
+  }
+  {
+    // Right schema line, then garbage where the plan block belongs.
+    std::istringstream in(
+        "{\n  \"schema\": \"referee-campaign-v3\",\n  \"plant\": {},\n");
+    EXPECT_THROW(ShardRowReader{in}, CheckError);
+  }
+  {
+    // A truncated document: preamble parses, rows cut off mid-stream.
+    const CampaignPlan plan{stream_config()};
+    std::string doc = ThreadPoolBackend().run(plan).to_json();
+    doc.resize(doc.size() / 2);
+    std::istringstream in(doc);
+    ShardRowReader reader(in);
+    EXPECT_THROW(while (reader.next()) {}, CheckError);
+  }
+  EXPECT_THROW(parse_report_row("{\"i\": oops}"), CheckError);
+}
+
+TEST(ReportStream, RandomBinaryTreeFoldsAreByteIdentical) {
+  // The satellite property pin: shuffle 7 shard reports, fold them in a
+  // random binary-tree order, each interior node choosing the streaming
+  // or the in-memory merge path at random — every trial's final document
+  // must equal the single-process bytes, and every interior node must
+  // still carry shard provenance (it is a partial report).
+  const CampaignPlan plan{stream_config()};
+  const ThreadPoolBackend backend;
+  const std::string baseline = backend.run(plan).to_json();
+  std::vector<std::string> shards;
+  for (unsigned k = 0; k < 7; ++k) {
+    shards.push_back(backend.run(plan.shard(k, 7)).to_json());
+  }
+
+  Rng rng(20260808);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::string> docs = shards;
+    rng.shuffle(docs);
+    while (docs.size() > 1) {
+      // Fold a random pair into one partial (or final) document.
+      const std::size_t a = static_cast<std::size_t>(rng.below(docs.size()));
+      std::size_t b = static_cast<std::size_t>(rng.below(docs.size() - 1));
+      if (b >= a) ++b;
+      std::string folded;
+      if (rng.chance(0.5)) {
+        folded = merge_docs_streaming({docs[a], docs[b]});
+      } else {
+        CampaignReport merged = CampaignReport::from_json(docs[a]);
+        merged.merge(CampaignReport::from_json(docs[b]));
+        folded = merged.to_json();
+      }
+      if (docs.size() > 2) {
+        EXPECT_NE(folded.find("\"shards\""), std::string::npos)
+            << "interior fold lost its provenance";
+      }
+      docs[std::min(a, b)] = std::move(folded);
+      docs.erase(docs.begin() + static_cast<std::ptrdiff_t>(std::max(a, b)));
+    }
+    EXPECT_EQ(docs[0], baseline) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace referee

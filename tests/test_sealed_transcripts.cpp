@@ -1,0 +1,186 @@
+// Sealed reftrn1 transcripts: binary round-trip, header validation,
+// crash-safe publication, and the offline-replay acceptance pin — every
+// cell of the default 128-cell correlated-fault sweep, captured live and
+// re-opened from its file, decodes to the same outcome offline.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/backend.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/scenario.hpp"
+#include "model/transcript.hpp"
+#include "support/atomic_file.hpp"
+#include "support/check.hpp"
+
+namespace referee {
+namespace {
+
+std::string temp_dir() {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "referee_sealed_tests";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string temp_path(const std::string& name) {
+  return temp_dir() + "/" + name;
+}
+
+std::vector<Message> some_messages() {
+  std::vector<Message> messages;
+  for (unsigned i = 0; i < 5; ++i) {
+    BitWriter w;
+    const unsigned nbits = 3 + 5 * i;  // varied, byte-unaligned lengths
+    w.write_bits((0xA5A5u + i) & ((1u << nbits) - 1), nbits);
+    messages.push_back(Message::seal(std::move(w)));
+  }
+  messages.emplace_back();  // empty payloads are legal
+  return messages;
+}
+
+TEST(SealedTranscript, RoundTripPreservesEpochAndMessages) {
+  const auto messages = some_messages();
+  const std::string path = temp_path("roundtrip.rtr");
+  write_transcript_file(path, 0xFEEDFACE12345678ull, messages);
+  const MmapTranscriptSource source(path);
+  EXPECT_EQ(source.epoch(), 0xFEEDFACE12345678ull);
+  ASSERT_EQ(source.node_count(), messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(source.message(i), messages[i]) << "message " << i;
+  }
+  const auto all = source.messages();
+  ASSERT_EQ(all.size(), messages.size());
+  EXPECT_EQ(all.back().bit_size(), 0u);
+}
+
+TEST(SealedTranscript, SourceMovesAndBoundsChecks) {
+  const std::string path = temp_path("moves.rtr");
+  write_transcript_file(path, 7, some_messages());
+  MmapTranscriptSource a(path);
+  MmapTranscriptSource b(std::move(a));
+  EXPECT_EQ(b.epoch(), 7u);
+  EXPECT_THROW(b.message(b.node_count()), CheckError);
+}
+
+TEST(SealedTranscript, RejectsForeignTruncatedAndTrailingBytes) {
+  EXPECT_THROW(MmapTranscriptSource{temp_path("missing.rtr")}, CheckError);
+
+  const std::string foreign = temp_path("foreign.rtr");
+  {
+    std::ofstream os(foreign, std::ios::binary);
+    os << "this is not a sealed transcript, but long enough to map";
+  }
+  EXPECT_THROW(MmapTranscriptSource{foreign}, CheckError);
+
+  const std::string trunc = temp_path("trunc.rtr");
+  write_transcript_file(trunc, 1, some_messages());
+  const auto full = std::filesystem::file_size(trunc);
+  std::filesystem::resize_file(trunc, full - 2);  // cut mid-payload
+  EXPECT_THROW(MmapTranscriptSource{trunc}, CheckError);
+
+  const std::string trailing = temp_path("trailing.rtr");
+  write_transcript_file(trailing, 1, some_messages());
+  {
+    std::ofstream os(trailing, std::ios::binary | std::ios::app);
+    os << "junk";
+  }
+  EXPECT_THROW(MmapTranscriptSource{trailing}, CheckError);
+}
+
+TEST(SealedTranscript, RejectsAbsurdHeaderFields) {
+  // A crafted node count (or per-record bit length) beyond the sanity
+  // ceilings must refuse at open, not allocate terabytes of offsets.
+  const std::string path = temp_path("absurd.rtr");
+  write_transcript_file(path, 1, some_messages());
+  {
+    std::fstream os(path, std::ios::binary | std::ios::in | std::ios::out);
+    os.seekp(24);  // the n field
+    const std::uint32_t huge = 0xFFFFFFFFu;
+    os.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  EXPECT_THROW(MmapTranscriptSource{path}, CheckError);
+
+  const std::string bits = temp_path("absurd_bits.rtr");
+  write_transcript_file(bits, 1, some_messages());
+  {
+    std::fstream os(bits, std::ios::binary | std::ios::in | std::ios::out);
+    os.seekp(kTranscriptFileHeaderBytes);  // first record's bit length
+    const std::uint64_t huge = std::uint64_t{1} << 40;
+    os.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  EXPECT_THROW(MmapTranscriptSource{bits}, CheckError);
+}
+
+TEST(SealedTranscript, PublicationIsAtomic) {
+  // A failed write never clobbers the published file and never litters
+  // the directory with temp files — the crash-safety contract shared by
+  // write_transcript_file and write_edge_file.
+  const std::string path = temp_path("atomic.rtr");
+  write_transcript_file(path, 42, some_messages());
+  const auto published = std::filesystem::file_size(path);
+
+  EXPECT_THROW(write_file_atomically(
+                   path,
+                   [](std::FILE* f) {
+                     std::fputs("partial bytes", f);
+                     throw CheckError("simulated crash mid-write");
+                   }),
+               CheckError);
+  EXPECT_EQ(std::filesystem::file_size(path), published);
+  EXPECT_EQ(MmapTranscriptSource(path).epoch(), 42u);
+  for (const auto& entry : std::filesystem::directory_iterator(temp_dir())) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << "leftover temp file: " << entry.path();
+  }
+
+  // Writing into a directory that does not exist fails loudly without
+  // creating anything.
+  EXPECT_THROW(
+      write_transcript_file(temp_dir() + "/no/such/dir/x.rtr", 1, {}),
+      CheckError);
+}
+
+TEST(SealedTranscript, DefaultFaultSweepReplaysToIdenticalOutcomes) {
+  // The acceptance pin: capture every cell of the default 128-cell
+  // correlated-fault sweep — every protocol, every fault model, loud
+  // refusals included — and replay each sealed file offline. Outcome and
+  // detail must match the live run cell for cell.
+  const auto dir = temp_dir() + "/sweep";
+  std::filesystem::create_directories(dir);
+  const CampaignPlan plan{default_fault_sweep_config()};
+  ThreadPoolBackend backend;
+  backend.set_capture([&dir](std::size_t cell_id, std::uint64_t epoch,
+                             std::uint32_t n, std::span<const Message> wire) {
+    (void)n;
+    write_transcript_file(dir + "/cell-" + std::to_string(cell_id) + ".rtr",
+                          epoch, wire);
+  });
+  const auto live = backend.run_cells(plan);
+  ASSERT_EQ(live.size(), plan.total_cells());
+
+  std::size_t loud_replayed = 0;
+  for (const auto& cell : plan.cells()) {
+    const std::string file = dir + "/cell-" + std::to_string(cell.id) + ".rtr";
+    ASSERT_TRUE(std::filesystem::exists(file)) << "cell " << cell.id;
+    const auto replay = replay_scenario(cell.spec, file);
+    EXPECT_EQ(replay.outcome, live[cell.id].outcome) << "cell " << cell.id;
+    EXPECT_EQ(replay.detail, live[cell.id].detail) << "cell " << cell.id;
+    EXPECT_EQ(replay.contract_ok, live[cell.id].contract_ok);
+    if (replay.outcome == "loud") ++loud_replayed;
+  }
+  EXPECT_GT(loud_replayed, 0u) << "sweep lost its loud cells";
+
+  // A transcript replayed against the wrong cell's spec refuses loudly.
+  const auto& first = plan.cells().front().spec;
+  ScenarioSpec wrong = first;
+  wrong.seed += 17;
+  EXPECT_THROW(replay_scenario(wrong, dir + "/cell-0.rtr"), CheckError);
+}
+
+}  // namespace
+}  // namespace referee

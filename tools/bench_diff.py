@@ -24,14 +24,29 @@ import os
 import sys
 
 
+class SuiteError(Exception):
+    """A suite that cannot be compared — bad file, bad JSON, bad rows."""
+
+
 def load_rows(path):
-    with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise SuiteError(f"cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        raise SuiteError(f"{path} is not valid JSON ({e})")
+    if not isinstance(doc, dict) or not isinstance(doc.get("benchmarks"), list):
+        raise SuiteError(f"{path} has no \"benchmarks\" array — is it "
+                         "Google Benchmark --benchmark_format=json output?")
     rows = {}
-    for row in doc.get("benchmarks", []):
+    for row in doc["benchmarks"]:
         # Skip aggregate rows (mean/median/stddev) — compare raw runs only.
-        if row.get("run_type") == "aggregate":
+        if not isinstance(row, dict) or row.get("run_type") == "aggregate":
             continue
+        if "name" not in row or "real_time" not in row:
+            raise SuiteError(f"{path}: benchmark row without name/real_time "
+                             f"fields: {json.dumps(row)[:120]}")
         rows[row["name"]] = row
     return rows
 
@@ -49,16 +64,28 @@ def main():
     compared = 0
     for suite_arg in args.suites:
         suite, _, suite_tol = suite_arg.partition(":")
-        tolerance = float(suite_tol) if suite_tol else args.tolerance
+        try:
+            tolerance = float(suite_tol) if suite_tol else args.tolerance
+        except ValueError:
+            print(f"bench_diff: bad tolerance in '{suite_arg}' — expected "
+                  "SUITE or SUITE:FRACTION (e.g. report:0.35)",
+                  file=sys.stderr)
+            return 2
         baseline_path = os.path.join(args.baseline_dir,
                                      f"BENCH_{suite}.baseline.json")
         current_path = os.path.join(args.current_dir, f"BENCH_{suite}.json")
-        for path in (baseline_path, current_path):
+        for path, side in ((baseline_path, "baseline"),
+                           (current_path, "current run")):
             if not os.path.exists(path):
-                print(f"bench_diff: missing {path}", file=sys.stderr)
+                print(f"bench_diff: suite '{suite}' has no {side} JSON — "
+                      f"missing {path}", file=sys.stderr)
                 return 1
-        baseline = load_rows(baseline_path)
-        current = load_rows(current_path)
+        try:
+            baseline = load_rows(baseline_path)
+            current = load_rows(current_path)
+        except SuiteError as e:
+            print(f"bench_diff: suite '{suite}': {e}", file=sys.stderr)
+            return 1
         suite_compared = 0
         for name in sorted(set(baseline) | set(current)):
             if name not in baseline or name not in current:

@@ -37,10 +37,22 @@
 //            the merged bytes equal a single-process run. To reproduce one
 //            failing cell from its JSON record, feed the row's fields back
 //            as single-valued axes (see README).
+//            Reports stream: rows flow straight from workers to the
+//            output sink, so coordinator memory is O(shards), not O(grid).
+//            --capture-dir DIR seals every cell's post-injection wire
+//            transcript to DIR/cell-<id>.rtr for offline replay.
 //   campaign --merge s0.json,s1.json,... [--json] [--out FILE]
-//            merge shard reports (from --shard runs, any shard count or
-//            nesting) into one report; byte-identical to the unsharded run
-//            once every shard is present.
+//            k-way streaming merge of shard reports (from --shard runs,
+//            any shard count or nesting) into one report; byte-identical
+//            to the unsharded run once every shard is present, without
+//            ever holding a full report in memory.
+//   transcript capture --generator G --protocol P [cell axes + fault
+//            knobs --flip --trunc --drop --dup --swap --stale] --out FILE
+//            run one campaign cell, seal its wire transcript (reftrn1)
+//   transcript decode --in FILE [same cell axes]
+//            re-open a sealed transcript offline and grade it against the
+//            cell's deterministic ground truth; reproduces the live
+//            outcome, loud refusals included
 //   graph pack --out FILE        stdin edge-list text -> binary edge file
 //   graph gen <family> [gen flags] -o FILE   generate straight to binary
 //   selftest                     quick end-to-end sanity run
@@ -63,6 +75,7 @@
 #include "campaign/plan.hpp"
 #include "campaign/report.hpp"
 #include "campaign/scenario.hpp"
+#include "campaign/stream.hpp"
 #include "campaign/subprocess.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/degeneracy.hpp"
@@ -460,60 +473,96 @@ std::vector<std::string> split_list(const std::string& csv) {
   return out;
 }
 
-/// Emit a campaign report per the output flags and derive the exit code
-/// from the loud-failure contract: any silent-wrong cell fails the run.
-int finish_campaign(const CampaignReport& report, const Options& opts) {
-  const std::string json = report.to_json();
-  if (opts.has("out")) {
-    std::ofstream os(opts.str("out", "campaign.json"));
-    if (!os) {
-      std::fprintf(stderr, "cannot open %s\n", opts.str("out", "").c_str());
-      return 1;
-    }
-    os << json;
+/// Swallows streamed bytes when neither --json nor --out wants them; the
+/// table is printed from the writer's folded aggregates instead.
+struct NullBuffer final : std::streambuf {
+  int overflow(int c) override { return c; }
+};
+
+/// Print the human table / replay the JSON per the output flags, using
+/// only the writer's incremental fold — never the materialized report —
+/// and derive the exit code from the loud-failure contract: any
+/// silent-wrong cell fails the run. `note_partial` mentions incomplete
+/// coverage on stderr (the merge path's courtesy note).
+int finish_streamed(const StreamingReportWriter& writer, const Options& opts,
+                    bool note_partial) {
+  const AggregateFolder& folder = writer.folder();
+  if (note_partial && folder.rows() < writer.plan_cells()) {
+    std::fprintf(stderr,
+                 "note: merged %zu of %zu cells — emitting a partial "
+                 "(shard) report\n",
+                 folder.rows(), writer.plan_cells());
   }
-  if (opts.has("json")) {
-    std::fputs(json.c_str(), stdout);
-  } else {
+  if (opts.has("out") && opts.has("json")) {
+    // The canonical bytes streamed to the file; replay them to stdout
+    // without rebuilding the report in memory.
+    std::ifstream is(opts.str("out", ""), std::ios::binary);
+    std::cout << is.rdbuf();
+  }
+  if (!opts.has("json")) {
     std::printf("%-14s %-22s %9s %4s %5s %7s %9s %7s\n", "generator",
                 "protocol", "scenarios", "ok", "loud", "silent", "max_bits",
                 "c");
-    for (const auto& a : report.aggregates()) {
+    for (const auto& a : folder.aggregates()) {
       std::printf("%-14s %-22s %9zu %4zu %5zu %7zu %9zu %7.2f\n",
                   a.generator.c_str(), a.protocol.c_str(), a.scenarios, a.ok,
                   a.loud, a.silent_wrong, a.max_bits, a.max_constant);
     }
-    std::printf("total scenarios %zu/%zu, silent-wrong %zu\n",
-                report.cell_count(), report.plan_cells(),
-                report.silent_wrong_count());
+    std::printf("total scenarios %zu/%zu, silent-wrong %zu\n", folder.rows(),
+                writer.plan_cells(), folder.silent_wrong());
   }
-  return report.silent_wrong_count() == 0 ? 0 : 1;
+  return folder.silent_wrong() == 0 ? 0 : 1;
+}
+
+/// Run `produce` against a StreamingReportWriter wired to the right
+/// destination (--out file, --json stdout, else a null sink): report rows
+/// flow straight from the producer to bytes, so the CLI's peak memory is
+/// independent of the grid size.
+int run_campaign_streamed(const std::function<void(ReportSink&)>& produce,
+                          const Options& opts, bool note_partial = false) {
+  NullBuffer null_buffer;
+  std::ostream null_stream(&null_buffer);
+  std::ofstream file;
+  std::ostream* out = &null_stream;
+  if (opts.has("out")) {
+    file.open(opts.str("out", "campaign.json"), std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", opts.str("out", "").c_str());
+      return 1;
+    }
+    out = &file;
+  } else if (opts.has("json")) {
+    out = &std::cout;
+  }
+  StreamingReportWriter writer(*out);
+  produce(writer);
+  if (file.is_open()) file.close();
+  return finish_streamed(writer, opts, note_partial);
 }
 
 int cmd_campaign_merge(const Options& opts) {
-  CampaignReport merged;
   const auto paths = split_list(opts.str("merge", ""));
   if (paths.empty()) {
     std::fprintf(stderr, "--merge needs a comma-separated shard file list\n");
     return 2;
   }
+  std::vector<std::ifstream> files;
+  files.reserve(paths.size());
   for (const auto& path : paths) {
-    std::ifstream is(path);
-    if (!is) {
+    files.emplace_back(path, std::ios::binary);
+    if (!files.back()) {
       std::fprintf(stderr, "cannot open %s\n", path.c_str());
       return 1;
     }
-    std::ostringstream buffer;
-    buffer << is.rdbuf();
-    merged.merge(CampaignReport::from_json(buffer.str()));
   }
-  if (!merged.complete()) {
-    std::fprintf(stderr,
-                 "note: merged %zu of %zu cells — emitting a partial "
-                 "(shard) report\n",
-                 merged.cell_count(), merged.plan_cells());
-  }
-  return finish_campaign(merged, opts);
+  std::vector<std::istream*> inputs;
+  inputs.reserve(files.size());
+  for (auto& file : files) inputs.push_back(&file);
+  // K-way streaming merge: rows flow shard-file → writer one at a time,
+  // so merging a million-cell campaign needs O(shards) memory.
+  return run_campaign_streamed(
+      [&](ReportSink& sink) { merge_report_streams(inputs, sink); }, opts,
+      /*note_partial=*/true);
 }
 
 /// The worker argv for subprocess shards: this campaign invocation's grid
@@ -684,7 +733,10 @@ int cmd_campaign(const Options& opts, int argc, char** argv) {
     }
     const SubprocessShardBackend backend(self_exe(argv[0]),
                                          std::move(worker_args), shards);
-    return finish_campaign(backend.run(plan), opts);
+    // run_to streams worker rows through the k-way merge into the output
+    // sink, so the coordinator never materializes the full grid.
+    return run_campaign_streamed(
+        [&](ReportSink& sink) { backend.run_to(plan, sink); }, opts);
   }
   if (backend_name != "pool") {
     std::fprintf(stderr, "unknown backend: %s (pool, subprocess)\n",
@@ -695,8 +747,90 @@ int cmd_campaign(const Options& opts, int argc, char** argv) {
   const auto threads = static_cast<std::size_t>(opts.num("threads", 0));
   std::unique_ptr<ThreadPool> pool;
   if (threads != 1) pool = std::make_unique<ThreadPool>(threads);
-  const ThreadPoolBackend backend(pool.get());
-  return finish_campaign(backend.run(plan), opts);
+  ThreadPoolBackend backend(pool.get());
+  if (opts.has("capture-dir")) {
+    // Persist every cell's post-injection wire transcript for offline
+    // replay (`refereectl transcript decode`). Capture is keyed by the
+    // stable cell id, so sharded runs over the same grid never collide.
+    const std::string dir = opts.str("capture-dir", ".");
+    backend.set_capture([dir](std::size_t cell_id, std::uint64_t epoch,
+                              std::uint32_t n,
+                              std::span<const Message> wire) {
+      (void)n;
+      write_transcript_file(dir + "/cell-" + std::to_string(cell_id) + ".rtr",
+                            epoch, wire);
+    });
+  }
+  return run_campaign_streamed(
+      [&](ReportSink& sink) { backend.run_to(plan, sink); }, opts);
+}
+
+/// A single cell spec from CLI flags — the same axes a campaign JSON row
+/// records, so a captured cell's identity round-trips through the shell.
+ScenarioSpec spec_from_opts(const Options& opts) {
+  ScenarioSpec spec;
+  spec.generator = opts.str("generator", spec.generator);
+  spec.n = static_cast<std::size_t>(opts.num("n", spec.n));
+  spec.k = static_cast<unsigned>(opts.num("k", spec.k));
+  spec.p = opts.real("p", spec.p);
+  spec.protocol = opts.str("protocol", spec.protocol);
+  spec.seed = opts.num("seed", spec.seed);
+  spec.faults.bit_flip_chance = opts.real("flip", 0.0);
+  spec.faults.truncate_chance = opts.real("trunc", 0.0);
+  spec.faults.correlated.drop_fraction = opts.real("drop", 0.0);
+  spec.faults.correlated.duplicate_ids =
+      static_cast<unsigned>(opts.num("dup", 0));
+  spec.faults.correlated.payload_swaps =
+      static_cast<unsigned>(opts.num("swap", 0));
+  spec.faults.correlated.stale_replays =
+      static_cast<unsigned>(opts.num("stale", 0));
+  return spec;
+}
+
+/// `transcript capture` runs one cell and seals its post-injection wire
+/// transcript to a reftrn1 file; `transcript decode` re-opens such a file
+/// offline and grades it against the cell's deterministic ground truth —
+/// the forensic loop for any campaign row, faulted or clean.
+int cmd_transcript(const std::string& sub, const Options& opts) {
+  const ScenarioSpec spec = spec_from_opts(opts);
+  if (sub == "capture") {
+    const std::string out = opts.str("out", "cell.rtr");
+    const Simulator sim;
+    std::vector<Message> transcript;
+    bool captured = false;
+    const TranscriptSink sink = [&](std::uint64_t epoch, std::uint32_t n,
+                                    std::span<const Message> wire) {
+      write_transcript_file(out, epoch, wire);
+      std::fprintf(stderr, "captured %u sealed message(s), epoch %llx\n", n,
+                   static_cast<unsigned long long>(epoch));
+      captured = true;
+    };
+    const ScenarioResult res =
+        run_scenario(spec, sim, transcript,
+                     DecodeArena::for_current_thread(), &sink);
+    if (!captured) {
+      std::fprintf(stderr, "cell finished without sealing a transcript\n");
+      return 1;
+    }
+    std::fprintf(stderr, "%s/%s cell -> %s (outcome %s)\n",
+                 spec.generator.c_str(), spec.protocol.c_str(), out.c_str(),
+                 res.outcome.c_str());
+    return res.outcome == "silent-wrong" ? 1 : 0;
+  }
+  if (sub == "decode") {
+    const std::string in = opts.str("in", "cell.rtr");
+    const ScenarioResult res = replay_scenario(spec, in);
+    std::printf("outcome      %s\n", res.outcome.c_str());
+    if (!res.detail.empty()) {
+      std::printf("detail       %s\n", res.detail.c_str());
+    }
+    std::printf("contract_ok  %s\n", res.contract_ok ? "yes" : "NO");
+    std::printf("max_bits     %zu\n", res.report.max_bits);
+    return res.contract_ok ? 0 : 1;
+  }
+  std::fprintf(stderr, "unknown transcript subcommand: %s (capture, decode)\n",
+               sub.c_str());
+  return 2;
 }
 
 int cmd_selftest() {
@@ -719,7 +853,7 @@ void usage() {
       "usage: refereectl <command> [options]\n"
       "commands: gen info stats reconstruct recognize adaptive connectivity\n"
       "          kconn bipartite reduce capture decode-transcript campaign\n"
-      "          graph selftest   (see source header for flags)\n",
+      "          transcript graph selftest   (see source header for flags)\n",
       stderr);
 }
 
@@ -745,6 +879,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       return cmd_graph(argv[2], argc, argv, 3);
+    }
+    if (command == "transcript") {
+      if (argc < 3) {
+        usage();
+        return 2;
+      }
+      return cmd_transcript(argv[2], parse_options(argc, argv, 3));
     }
     const Options opts = parse_options(argc, argv, 2);
     if (command == "selftest") return cmd_selftest();
