@@ -1,0 +1,128 @@
+// Ground truth at scale, both representations: the GraphView-shared
+// algorithm bodies over adjacency-list Graph vs flat CsrGraph, 2^16 and
+// 2^20 vertices. The CSR rows are what a file-backed campaign cell pays per
+// sweep; the Graph rows are the generated-cell twin. The flat arena peel
+// (degeneracy_value) rides along as the zero-allocation variant the
+// campaign classifier actually calls.
+//
+// The fixture mirrors the million-node campaign test: a path with a chord
+// every 64 vertices — connected, degeneracy 2, mixed degrees.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "graph/degeneracy.hpp"
+#include "graph/graph.hpp"
+#include "support/arena.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace referee;
+
+const Graph& chorded_path(std::size_t n) {
+  static std::map<std::size_t, Graph> cache;  // node-stable references
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  std::vector<Edge> edges;
+  edges.reserve(n + n / 64);
+  for (Vertex v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  for (Vertex v = 0; v + 64 < n; v += 64) edges.emplace_back(v, v + 64);
+  return cache.emplace(n, Graph(n, edges)).first->second;
+}
+
+const CsrGraph& chorded_path_csr(std::size_t n) {
+  static std::map<std::size_t, CsrGraph> cache;
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  return cache.emplace(n, CsrGraph(chorded_path(n))).first->second;
+}
+
+void BM_DegeneracyGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = chorded_path(n);
+  for (auto _ : state) {
+    const auto result = degeneracy(g);
+    REFEREE_CHECK_MSG(result.degeneracy == 2, "fixture degeneracy drifted");
+    benchmark::DoNotOptimize(result.removal_order.data());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_DegeneracyCsr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const CsrGraph& g = chorded_path_csr(n);
+  for (auto _ : state) {
+    const auto result = degeneracy(g);
+    REFEREE_CHECK_MSG(result.degeneracy == 2, "fixture degeneracy drifted");
+    benchmark::DoNotOptimize(result.removal_order.data());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_DegeneracyValueArena(benchmark::State& state) {
+  // The campaign classifier's flat counting-sort peel: value only, all
+  // scratch out of the warm arena.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const CsrGraph& g = chorded_path_csr(n);
+  DecodeArena& arena = DecodeArena::for_current_thread();
+  for (auto _ : state) {
+    std::size_t k = degeneracy_value(g, arena);
+    REFEREE_CHECK_MSG(k == 2, "fixture degeneracy drifted");
+    benchmark::DoNotOptimize(k);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_ComponentCountGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph& g = chorded_path(n);
+  DecodeArena& arena = DecodeArena::for_current_thread();
+  for (auto _ : state) {
+    std::size_t c = component_count(GraphView(g), arena);
+    REFEREE_CHECK_MSG(c == 1, "fixture connectivity drifted");
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_ComponentCountCsr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const CsrGraph& g = chorded_path_csr(n);
+  DecodeArena& arena = DecodeArena::for_current_thread();
+  for (auto _ : state) {
+    std::size_t c = component_count(GraphView(g), arena);
+    REFEREE_CHECK_MSG(c == 1, "fixture connectivity drifted");
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_SpanningForestCsr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const CsrGraph& g = chorded_path_csr(n);
+  for (auto _ : state) {
+    const auto forest = spanning_forest(g);
+    REFEREE_CHECK_MSG(forest.size() == n - 1, "fixture spanning size drifted");
+    benchmark::DoNotOptimize(forest.data());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_DegeneracyGraph)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DegeneracyCsr)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DegeneracyValueArena)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ComponentCountGraph)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ComponentCountCsr)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpanningForestCsr)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,107 @@
+// The three dispatched decode kernels against their scalar references. The
+// *Scalar rows are pinned to scalar_kernels() and therefore identical in
+// every build; the dispatched rows run whatever active_kernels() picked —
+// AVX2 where the CPU has it, unless REFEREE_FORCE_SCALAR forces the
+// fallback. The committed baseline (BENCH_simd_kernels.baseline.json) was
+// recorded with REFEREE_FORCE_SCALAR=1, so the bench_diff gate measures
+// exactly the vector-over-scalar improvement on the dispatched rows.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "support/simd.hpp"
+
+namespace {
+
+using namespace referee;
+
+std::vector<std::uint32_t> random_ids(std::size_t count) {
+  std::mt19937_64 rng(0x51);
+  std::vector<std::uint32_t> ids(count);
+  for (auto& id : ids) id = 1 + static_cast<std::uint32_t>(rng() % (1u << 20));
+  return ids;
+}
+
+void run_power_sums(benchmark::State& state, const simd::Kernels& kernels) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto ids = random_ids(count);
+  std::uint64_t out[simd::kMaxVectorPowers];
+  for (auto _ : state) {
+    kernels.power_sums_u64(ids.data(), ids.size(), 3, out);
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_PowerSumsU64(benchmark::State& state) {
+  run_power_sums(state, simd::active_kernels());
+}
+void BM_PowerSumsU64Scalar(benchmark::State& state) {
+  run_power_sums(state, simd::scalar_kernels());
+}
+
+std::vector<std::int64_t> random_triples(std::size_t triples,
+                                         std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  constexpr std::uint64_t kP = simd::kFingerprintMod;
+  std::vector<std::int64_t> flat(3 * triples);
+  for (std::size_t t = 0; t < triples; ++t) {
+    flat[3 * t] = static_cast<std::int64_t>(rng());
+    flat[3 * t + 1] = static_cast<std::int64_t>(rng());
+    flat[3 * t + 2] = static_cast<std::int64_t>(rng() % kP);
+  }
+  return flat;
+}
+
+void run_merge(benchmark::State& state, const simd::Kernels& kernels) {
+  const auto triples = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int64_t> dst = random_triples(triples, 0xA1);
+  const std::vector<std::int64_t> src = random_triples(triples, 0xB2);
+  for (auto _ : state) {
+    kernels.merge_onesparse(dst.data(), src.data(), triples);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(triples));
+}
+
+void BM_MergeOneSparse(benchmark::State& state) {
+  run_merge(state, simd::active_kernels());
+}
+void BM_MergeOneSparseScalar(benchmark::State& state) {
+  run_merge(state, simd::scalar_kernels());
+}
+
+void run_prefix(benchmark::State& state, const simd::Kernels& kernels) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(0xC3);
+  std::vector<std::uint64_t> seedv(count);
+  for (auto& x : seedv) x = rng() % 8;
+  std::vector<std::uint64_t> data = seedv;
+  for (auto _ : state) {
+    data.assign(seedv.begin(), seedv.end());
+    kernels.prefix_sum_u64(data.data(), data.size());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_PrefixSumU64(benchmark::State& state) {
+  run_prefix(state, simd::active_kernels());
+}
+void BM_PrefixSumU64Scalar(benchmark::State& state) {
+  run_prefix(state, simd::scalar_kernels());
+}
+
+BENCHMARK(BM_PowerSumsU64)->Arg(64)->Arg(4096);
+BENCHMARK(BM_PowerSumsU64Scalar)->Arg(64)->Arg(4096);
+BENCHMARK(BM_MergeOneSparse)->Arg(256)->Arg(65536);
+BENCHMARK(BM_MergeOneSparseScalar)->Arg(256)->Arg(65536);
+BENCHMARK(BM_PrefixSumU64)->Arg(1024)->Arg(1 << 20);
+BENCHMARK(BM_PrefixSumU64Scalar)->Arg(1024)->Arg(1 << 20);
+
+}  // namespace

@@ -48,6 +48,24 @@ CampaignConfig default_fault_sweep_config() {
   return config;
 }
 
+CampaignConfig file_cell_sweep_config(const std::string& path) {
+  CampaignConfig config;
+  config.generators = {"file:" + path};
+  config.sizes = {0};  // file cells take n from the file header
+  config.protocols = {"degeneracy",           "generalized",  "forest",
+                      "bounded-degree",       "stats",        "recognize-degeneracy",
+                      "connectivity",         "bipartite"};
+  config.seeds = {1, 2};
+  config.fault_plans = {
+      FaultPlan{},
+      FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.25}},
+      FaultPlan{.correlated = CorrelatedFaults{.duplicate_ids = 2}},
+      FaultPlan{.correlated = CorrelatedFaults{.payload_swaps = 2}},
+      FaultPlan{.correlated = CorrelatedFaults{.stale_replays = 2}},
+  };
+  return config;
+}
+
 CampaignPlan::CampaignPlan(const CampaignConfig& config) {
   auto grid = expand_grid(config);
   total_ = grid.size();

@@ -43,6 +43,14 @@ std::vector<ScenarioSpec> expand_grid(const CampaignConfig& config);
 /// counts.
 CampaignConfig default_fault_sweep_config();
 
+/// A file-backed companion sweep over one on-disk edge list: every
+/// non-reduction campaign protocol (all eight now qualify for file: cells)
+/// × two seeds × {fault-free + the four correlated fault models} = 80
+/// cells, all running the mmap/streamed CSR pipeline. `path` names a
+/// refgrph1 binary edge list; sizes carry a single 0 because file cells
+/// take n from the file header.
+CampaignConfig file_cell_sweep_config(const std::string& path);
+
 /// One planned cell: a spec plus its stable id (the cell's index in the
 /// *full* grid, invariant under sharding — the "i" field of every JSON
 /// row and the key shard merging is keyed on).

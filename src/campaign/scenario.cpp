@@ -62,7 +62,7 @@ std::string file_generator_path(const std::string& generator) {
 }
 
 std::shared_ptr<const LocalEncoder> make_campaign_protocol(
-    const ScenarioSpec& spec, const Graph& g) {
+    const ScenarioSpec& spec, GraphView g) {
   const std::string& proto = spec.protocol;
   if (proto == "degeneracy") {
     return std::make_shared<DegeneracyReconstruction>(spec.k);
@@ -107,15 +107,17 @@ std::shared_ptr<const LocalEncoder> make_campaign_protocol(
 namespace {
 
 /// Decode the (opened) payload transcript and grade it against ground
-/// truth computed directly on the graph. Throws DecodeError for loud
+/// truth computed directly on the graph — either representation, one body.
+/// Ground truths run on the arena-backed GraphView algorithms, so grading a
+/// warm file-backed cell allocates nothing. Throws DecodeError for loud
 /// refusals; returns "exact"/"correct"/"silent-wrong" otherwise.
 std::string classify_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
-                          const Graph& g, std::uint32_t n,
+                          GraphView g, std::uint32_t n,
                           std::span<const Message> payloads,
                           DecodeArena& arena) {
   if (const auto* rp = dynamic_cast<const ReconstructionProtocol*>(&enc)) {
     const Graph h = rp->reconstruct(n, payloads, arena);
-    return (h == g) ? "exact" : "silent-wrong";
+    return graphs_equal(h, g) ? "exact" : "silent-wrong";
   }
   if (spec.protocol == "stats") {
     auto degrees_s = arena.scratch<std::uint32_t>();
@@ -130,50 +132,43 @@ std::string classify_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
   REFEREE_CHECK_MSG(dp != nullptr, "unclassifiable campaign protocol");
   bool truth = false;
   if (spec.protocol == "recognize-degeneracy") {
-    truth = degeneracy(g).degeneracy <= spec.k;
+    truth = has_degeneracy_at_most(g, spec.k, arena);
   } else if (spec.protocol == "connectivity") {
-    truth = component_count(g) <= 1;
+    truth = component_count(g, arena) <= 1;
   } else if (spec.protocol == "bipartite") {
-    truth = is_bipartite(g);
+    truth = is_bipartite(g, arena);
   } else {
     throw CheckError("no ground truth for protocol: " + spec.protocol);
   }
   return dp->decide(n, payloads, arena) == truth ? "correct" : "silent-wrong";
 }
 
-/// CSR-path ground truth for file-backed cells: only protocols whose truth
-/// is computable on the flat arrays qualify for the mmap pipeline.
-bool csr_classifiable(const std::string& protocol) {
-  return protocol == "stats" || protocol == "connectivity" ||
-         protocol == "bipartite";
-}
+/// The cell's input graph in whichever representation the generator spec
+/// implies: generated families materialize adjacency lists, file: specs
+/// bulk-load flat CSR off the mmap'd (or streamed) edge list with no
+/// vector<Edge> in between. view() is the one handle the rest of the cell
+/// pipeline sees.
+struct CellInput {
+  Graph graph;
+  CsrGraph csr;
+  bool file_backed = false;
 
-std::string classify_cell_csr(const ScenarioSpec& spec, const LocalEncoder& enc,
-                              const CsrGraph& g, std::uint32_t n,
-                              std::span<const Message> payloads,
-                              DecodeArena& arena) {
-  if (spec.protocol == "stats") {
-    auto degrees_s = arena.scratch<std::uint32_t>();
-    DegreeStatistics::degree_sequence_into(n, payloads, *degrees_s);
-    const std::span<const std::uint32_t> degrees(degrees_s->data(), n);
-    std::size_t max_degree = 0;
-    for (Vertex v = 0; v < n; ++v) max_degree = std::max(max_degree, g.degree(v));
-    const bool correct =
-        DegreeStatistics::edge_count(degrees) == g.edge_count() &&
-        DegreeStatistics::max_degree(degrees) == max_degree;
-    return correct ? "correct" : "silent-wrong";
+  GraphView view() const {
+    return file_backed ? GraphView(csr) : GraphView(graph);
   }
-  const auto* dp = dynamic_cast<const DecisionProtocol*>(&enc);
-  REFEREE_CHECK_MSG(dp != nullptr, "unclassifiable campaign protocol");
-  bool truth = false;
-  if (spec.protocol == "connectivity") {
-    truth = component_count(g) <= 1;
-  } else if (spec.protocol == "bipartite") {
-    truth = is_bipartite(g);
+};
+
+CellInput make_cell_input(const ScenarioSpec& spec) {
+  CellInput in;
+  if (is_file_generator(spec.generator)) {
+    const std::unique_ptr<EdgeSource> source =
+        open_edge_source(file_generator_path(spec.generator));
+    in.csr = CsrGraph(*source);
+    in.file_backed = true;
   } else {
-    throw CheckError("no CSR ground truth for protocol: " + spec.protocol);
+    in.graph = make_campaign_graph(spec);
   }
-  return dp->decide(n, payloads, arena) == truth ? "correct" : "silent-wrong";
+  return in;
 }
 
 /// Shared wire-side tail of both cell pipelines: audit, seal, inject (with
@@ -208,13 +203,21 @@ void finish_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
       spec, enc, n, std::span<const Message>(payloads_s->data(), n), arena);
 }
 
-ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
-                       std::vector<Message>& transcript, DecodeArena& arena,
-                       const TranscriptSink* capture) {
+/// The single cell pipeline, generated and file-backed alike: input →
+/// local phase → (optional donor) → finish_cell. File-backed cells stream
+/// the edge list into flat CSR (mmap when it fits the address-space
+/// budget, bounded buffer otherwise) and never materialize a Graph; the
+/// decode path reuses the caller's warm arena, so the second sweep over a
+/// file-backed cell allocates nothing decode-side.
+ScenarioResult run_cell(const ScenarioSpec& spec, const Simulator& sim,
+                        std::vector<Message>& transcript, DecodeArena& arena,
+                        const TranscriptSink* capture) {
   ScenarioResult res;
-  const Graph g = make_campaign_graph(spec);
+  const CellInput in = make_cell_input(spec);
+  const GraphView g = in.view();
   const auto n = static_cast<std::uint32_t>(g.vertex_count());
-  const LocalViewPack views(g);
+  const LocalViewPack views =
+      in.file_backed ? LocalViewPack(in.csr) : LocalViewPack(in.graph);
 
   try {
     const auto protocol = make_campaign_protocol(spec, g);
@@ -223,62 +226,26 @@ ScenarioResult run_one(const ScenarioSpec& spec, const Simulator& sim,
     std::vector<Message> donor;
     if (spec.faults.correlated.stale_replays > 0) {
       const ScenarioSpec dspec = stale_donor_spec(spec);
-      const Graph dg = make_campaign_graph(dspec);
-      donor = Simulator().run_local_phase(dg, *make_campaign_protocol(dspec, dg));
-      seal_transcript(scenario_epoch(dspec),
-                      static_cast<std::uint32_t>(dg.vertex_count()), donor);
+      if (in.file_backed) {
+        // Same file, re-derived seed: the donor shares the topology but
+        // seeds its sketches differently and — decisively — seals under
+        // its own epoch, which is what the envelope detects.
+        const auto dproto = make_campaign_protocol(dspec, g);
+        Simulator().run_local_phase(views, *dproto, donor);
+        seal_transcript(scenario_epoch(dspec), n, donor);
+      } else {
+        const Graph dg = make_campaign_graph(dspec);
+        donor =
+            Simulator().run_local_phase(dg, *make_campaign_protocol(dspec, dg));
+        seal_transcript(scenario_epoch(dspec),
+                        static_cast<std::uint32_t>(dg.vertex_count()), donor);
+      }
     }
     finish_cell(spec, *protocol, n, transcript, donor, arena, capture, res,
                 [&g](const ScenarioSpec& s, const LocalEncoder& enc,
                      std::uint32_t nn, std::span<const Message> payloads,
                      DecodeArena& a) {
                   return classify_cell(s, enc, g, nn, payloads, a);
-                });
-  } catch (const DecodeError& e) {
-    res.outcome = "loud";
-    res.detail = decode_fault_name(e.fault());
-  }
-  res.contract_ok = res.outcome != "silent-wrong";
-  return res;
-}
-
-/// The out-of-core pipeline: binary edge list → CsrGraph → LocalViewPack,
-/// no intermediate Graph and no materialized vector<Edge>. The edge file
-/// is mmap'd when it fits the address-space budget and streamed through a
-/// bounded buffer otherwise (open_edge_source), so cells scale past what
-/// mmap can claim. The decode path reuses the same warm arena, so the
-/// second sweep over a file-backed cell allocates nothing decode-side.
-ScenarioResult run_file_cell(const ScenarioSpec& spec, const Simulator& sim,
-                             std::vector<Message>& transcript,
-                             DecodeArena& arena,
-                             const TranscriptSink* capture) {
-  ScenarioResult res;
-  const std::unique_ptr<EdgeSource> source =
-      open_edge_source(file_generator_path(spec.generator));
-  const CsrGraph g(*source);
-  const auto n = static_cast<std::uint32_t>(g.vertex_count());
-  const LocalViewPack views(g);
-
-  try {
-    // The qualifying protocols never consult the Graph argument.
-    const auto protocol = make_campaign_protocol(spec, Graph(0));
-    sim.run_local_phase(views, *protocol, transcript);
-
-    std::vector<Message> donor;
-    if (spec.faults.correlated.stale_replays > 0) {
-      // Same file, re-derived seed: the donor shares the topology but seeds
-      // its sketches differently and — decisively — seals under its own
-      // epoch, which is what the envelope detects.
-      const ScenarioSpec dspec = stale_donor_spec(spec);
-      const auto dproto = make_campaign_protocol(dspec, Graph(0));
-      Simulator().run_local_phase(views, *dproto, donor);
-      seal_transcript(scenario_epoch(dspec), n, donor);
-    }
-    finish_cell(spec, *protocol, n, transcript, donor, arena, capture, res,
-                [&g](const ScenarioSpec& s, const LocalEncoder& enc,
-                     std::uint32_t nn, std::span<const Message> payloads,
-                     DecodeArena& a) {
-                  return classify_cell_csr(s, enc, g, nn, payloads, a);
                 });
   } catch (const DecodeError& e) {
     res.outcome = "loud";
@@ -339,10 +306,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Simulator& sim,
                             std::vector<Message>& transcript,
                             DecodeArena& arena,
                             const TranscriptSink* capture) {
-  if (is_file_generator(spec.generator) && csr_classifiable(spec.protocol)) {
-    return run_file_cell(spec, sim, transcript, arena, capture);
-  }
-  return run_one(spec, sim, transcript, arena, capture);
+  return run_cell(spec, sim, transcript, arena, capture);
 }
 
 ScenarioResult replay_scenario(const ScenarioSpec& spec,
@@ -377,26 +341,14 @@ ScenarioResult replay_scenario(const ScenarioSpec& spec,
     }
   };
 
-  if (is_file_generator(spec.generator) && csr_classifiable(spec.protocol)) {
-    const std::unique_ptr<EdgeSource> esrc =
-        open_edge_source(file_generator_path(spec.generator));
-    const CsrGraph g(*esrc);
-    const auto protocol = make_campaign_protocol(spec, Graph(0));
-    decode_and_grade(*protocol, static_cast<std::uint32_t>(g.vertex_count()),
-                     [&](const LocalEncoder& enc, std::uint32_t n,
-                         std::span<const Message> payloads) {
-                       return classify_cell_csr(spec, enc, g, n, payloads,
-                                                arena);
-                     });
-  } else {
-    const Graph g = make_campaign_graph(spec);
-    const auto protocol = make_campaign_protocol(spec, g);
-    decode_and_grade(*protocol, static_cast<std::uint32_t>(g.vertex_count()),
-                     [&](const LocalEncoder& enc, std::uint32_t n,
-                         std::span<const Message> payloads) {
-                       return classify_cell(spec, enc, g, n, payloads, arena);
-                     });
-  }
+  const CellInput in = make_cell_input(spec);
+  const GraphView g = in.view();
+  const auto protocol = make_campaign_protocol(spec, g);
+  decode_and_grade(*protocol, static_cast<std::uint32_t>(g.vertex_count()),
+                   [&](const LocalEncoder& enc, std::uint32_t n,
+                       std::span<const Message> payloads) {
+                     return classify_cell(spec, enc, g, n, payloads, arena);
+                   });
   res.contract_ok = res.outcome != "silent-wrong";
   return res;
 }

@@ -12,7 +12,8 @@
 // too large to generate in-process, from on-disk binary edge lists via the
 // "file:<path>" generator spec (see graph/io.hpp). File-backed cells run
 // the zero-copy CSR pipeline: mmap → CsrGraph → LocalViewPack, no
-// vector<Edge> materialization.
+// vector<Edge> materialization. Both representations feed one cell body
+// through GraphView, so every protocol qualifies for file: cells.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/view.hpp"
 #include "model/envelope.hpp"
 #include "model/fault_model.hpp"
 #include "model/frugality.hpp"
@@ -63,10 +65,11 @@ const std::vector<std::string>& campaign_generators();
 const std::vector<std::string>& campaign_protocols();
 
 /// "file:<path>" generator specs name an on-disk binary edge list instead
-/// of a named family; the cell's graph is mmap'd, its vertex count comes
-/// from the file header (spec.n is ignored), and cells whose protocol
-/// ground truth is CSR-computable (stats, connectivity, bipartite) run the
-/// mmap → CsrGraph pipeline without materializing the edge list.
+/// of a named family; the cell's graph is mmap'd (or streamed through a
+/// bounded buffer), its vertex count comes from the file header (spec.n is
+/// ignored), and the cell runs the CsrGraph pipeline without materializing
+/// the edge list. Every campaign protocol qualifies: ground truth is
+/// computed on a GraphView, which covers both representations.
 bool is_file_generator(const std::string& generator);
 std::string file_generator_path(const std::string& generator);
 
@@ -80,9 +83,11 @@ Graph make_campaign_graph(const ScenarioSpec& spec);
 /// building it twice — or building the donor cell's encoder for a stale
 /// replay — always yields the same wire format. Reductions come back in
 /// verified mode (re-encode verification). Exposed for the golden-
-/// transcript fixtures and the fault-contract harness.
+/// transcript fixtures and the fault-contract harness. Takes a view (a
+/// Graph or CsrGraph converts implicitly); only bounded-degree actually
+/// consults it, for the degree cap.
 std::shared_ptr<const LocalEncoder> make_campaign_protocol(
-    const ScenarioSpec& spec, const Graph& g);
+    const ScenarioSpec& spec, GraphView g);
 
 /// The per-scenario envelope nonce: a deterministic hash of the cell
 /// identity (generator, protocol, n, k, p, seed — every axis that shapes

@@ -48,27 +48,23 @@ std::vector<std::uint32_t> connected_components(const Graph& g) {
   return comp;
 }
 
-std::size_t component_count(const Graph& g) {
-  const auto comp = connected_components(g);
-  return comp.empty() ? 0 : 1 + *std::max_element(comp.begin(), comp.end());
-}
-
-bool is_connected(const Graph& g) {
-  return g.vertex_count() <= 1 || component_count(g) == 1;
-}
-
-std::size_t component_count(const CsrGraph& g) {
+std::size_t component_count(GraphView g, DecodeArena& arena) {
   const std::size_t n = g.vertex_count();
-  std::vector<std::uint32_t> comp(n, kUnreachable);
+  auto comp_s = arena.scratch<std::uint32_t>();
+  auto queue_s = arena.scratch<Vertex>();
+  std::vector<std::uint32_t>& comp = *comp_s;
+  std::vector<Vertex>& queue = *queue_s;
+  comp.assign(n, kUnreachable);
   std::size_t count = 0;
-  std::deque<Vertex> queue;
   for (Vertex s = 0; s < n; ++s) {
     if (comp[s] != kUnreachable) continue;
     comp[s] = static_cast<std::uint32_t>(count);
+    // Flat FIFO: head index instead of deque pops, same visit order.
+    queue.clear();
     queue.push_back(s);
-    while (!queue.empty()) {
-      const Vertex u = queue.front();
-      queue.pop_front();
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const Vertex u = queue[head++];
       for (const Vertex v : g.neighbors(u)) {
         if (comp[v] == kUnreachable) {
           comp[v] = comp[u];
@@ -81,17 +77,33 @@ std::size_t component_count(const CsrGraph& g) {
   return count;
 }
 
-bool is_bipartite(const CsrGraph& g) {
+std::size_t component_count(const Graph& g) {
+  return component_count(GraphView(g), DecodeArena::for_current_thread());
+}
+
+std::size_t component_count(const CsrGraph& g) {
+  return component_count(GraphView(g), DecodeArena::for_current_thread());
+}
+
+bool is_connected(const Graph& g) {
+  return g.vertex_count() <= 1 || component_count(g) == 1;
+}
+
+bool is_bipartite(GraphView g, DecodeArena& arena) {
   const std::size_t n = g.vertex_count();
-  std::vector<std::uint8_t> side(n, 2);  // 2 = uncoloured
-  std::deque<Vertex> queue;
+  auto side_s = arena.scratch<std::uint8_t>();
+  auto queue_s = arena.scratch<Vertex>();
+  std::vector<std::uint8_t>& side = *side_s;
+  std::vector<Vertex>& queue = *queue_s;
+  side.assign(n, 2);  // 2 = uncoloured
   for (Vertex s = 0; s < n; ++s) {
     if (side[s] != 2) continue;
     side[s] = 0;
+    queue.clear();
     queue.push_back(s);
-    while (!queue.empty()) {
-      const Vertex u = queue.front();
-      queue.pop_front();
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const Vertex u = queue[head++];
       for (const Vertex v : g.neighbors(u)) {
         if (side[v] == 2) {
           side[v] = static_cast<std::uint8_t>(1 - side[u]);
@@ -103,6 +115,14 @@ bool is_bipartite(const CsrGraph& g) {
     }
   }
   return true;
+}
+
+bool is_bipartite(const Graph& g) {
+  return is_bipartite(GraphView(g), DecodeArena::for_current_thread());
+}
+
+bool is_bipartite(const CsrGraph& g) {
+  return is_bipartite(GraphView(g), DecodeArena::for_current_thread());
 }
 
 std::optional<std::uint32_t> eccentricity(const Graph& g, Vertex v) {
@@ -182,9 +202,7 @@ std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g) {
   return side;
 }
 
-bool is_bipartite(const Graph& g) { return bipartition(g).has_value(); }
-
-std::vector<Edge> spanning_forest(const Graph& g) {
+std::vector<Edge> spanning_forest(GraphView g) {
   const std::size_t n = g.vertex_count();
   std::vector<Edge> out;
   std::vector<bool> seen(n, false);
@@ -206,6 +224,27 @@ std::vector<Edge> spanning_forest(const Graph& g) {
     }
   }
   return out;
+}
+
+std::vector<Edge> spanning_forest(const Graph& g) {
+  return spanning_forest(GraphView(g));
+}
+
+std::vector<Edge> spanning_forest(const CsrGraph& g) {
+  return spanning_forest(GraphView(g));
+}
+
+bool is_forest(GraphView g, DecodeArena& arena) {
+  // A simple graph is acyclic iff m = n - c.
+  return g.edge_count() + component_count(g, arena) == g.vertex_count();
+}
+
+bool is_forest(const Graph& g) {
+  return is_forest(GraphView(g), DecodeArena::for_current_thread());
+}
+
+bool is_forest(const CsrGraph& g) {
+  return is_forest(GraphView(g), DecodeArena::for_current_thread());
 }
 
 bool satisfies_euler_planar_bound(const Graph& g) {

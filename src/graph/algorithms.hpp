@@ -1,5 +1,14 @@
 // Classical graph algorithms used as ground truth by the protocol layer:
 // what a protocol claims about G is always checked against these.
+//
+// Representation-independent truths (components, bipartiteness, spanning
+// forest, forest recognition) take a GraphView and therefore run identically
+// on Graph and CsrGraph inputs — the Graph/CsrGraph overloads are one-line
+// delegations, so the adjacency-list and flat-array answers cannot drift.
+// The arena-backed variants are the campaign classifier's path: all BFS
+// state comes out of DecodeArena scratch, so a warm sweep over mmap'd
+// million-node cells computes ground truth with zero steady-state
+// allocation.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +18,8 @@
 
 #include "graph/csr.hpp"
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
+#include "support/arena.hpp"
 
 namespace referee {
 
@@ -20,13 +31,13 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source);
 
 /// Component id per vertex (ids are 0-based, in order of discovery).
 std::vector<std::uint32_t> connected_components(const Graph& g);
-std::size_t component_count(const Graph& g);
-bool is_connected(const Graph& g);
 
-/// CSR overloads for the flat-array pipeline (mmap'd campaign cells):
-/// same answers as the Graph versions, no adjacency-list materialization.
+/// Number of connected components; the arena overload is allocation-free
+/// once warm (BFS colouring + queue from scratch vectors).
+std::size_t component_count(GraphView g, DecodeArena& arena);
+std::size_t component_count(const Graph& g);
 std::size_t component_count(const CsrGraph& g);
-bool is_bipartite(const CsrGraph& g);
+bool is_connected(const Graph& g);
 
 /// Largest eccentricity, or nullopt when g is disconnected/empty.
 std::optional<std::uint32_t> diameter(const Graph& g);
@@ -39,10 +50,20 @@ std::optional<std::uint32_t> girth(const Graph& g);
 
 /// Two-colourability; returns the side of each vertex or nullopt.
 std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g);
+bool is_bipartite(GraphView g, DecodeArena& arena);
 bool is_bipartite(const Graph& g);
+bool is_bipartite(const CsrGraph& g);
 
-/// Spanning forest as an edge list (one tree per component).
+/// Spanning forest as an edge list (one tree per component, BFS
+/// discovery order — identical across representations).
+std::vector<Edge> spanning_forest(GraphView g);
 std::vector<Edge> spanning_forest(const Graph& g);
+std::vector<Edge> spanning_forest(const CsrGraph& g);
+
+/// Acyclicity: m == n - (number of components).
+bool is_forest(GraphView g, DecodeArena& arena);
+bool is_forest(const Graph& g);
+bool is_forest(const CsrGraph& g);
 
 /// m <= 3n - 6 Euler bound — a cheap *necessary* planarity condition used to
 /// sanity-check the planar generators (not a full planarity test).

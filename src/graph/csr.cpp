@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/io.hpp"
+#include "support/simd.hpp"
 
 namespace referee {
 
@@ -30,7 +31,7 @@ void CsrGraph::count_edges(std::size_t n, std::span<const Edge> edges) {
 }
 
 std::vector<std::size_t> CsrGraph::seal_counts(std::size_t n) {
-  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  simd::prefix_sum_sizes(offsets_.data(), n + 1);
   targets_.resize(offsets_[n]);
   return {offsets_.begin(), offsets_.end() - 1};
 }

@@ -4,7 +4,7 @@
 
 namespace referee {
 
-DegeneracyResult degeneracy(const Graph& g) {
+DegeneracyResult degeneracy(GraphView g) {
   const std::size_t n = g.vertex_count();
   DegeneracyResult result;
   result.removal_order.reserve(n);
@@ -56,11 +56,86 @@ DegeneracyResult degeneracy(const Graph& g) {
   return result;
 }
 
-bool has_degeneracy_at_most(const Graph& g, std::size_t k) {
-  return degeneracy(g).degeneracy <= k;
+DegeneracyResult degeneracy(const Graph& g) { return degeneracy(GraphView(g)); }
+DegeneracyResult degeneracy(const CsrGraph& g) {
+  return degeneracy(GraphView(g));
 }
 
-bool is_valid_elimination_order(const Graph& g, std::span<const Vertex> order,
+bool has_degeneracy_at_most(const Graph& g, std::size_t k) {
+  return degeneracy(GraphView(g)).degeneracy <= k;
+}
+
+bool has_degeneracy_at_most(const CsrGraph& g, std::size_t k) {
+  return degeneracy(GraphView(g)).degeneracy <= k;
+}
+
+std::size_t degeneracy_value(GraphView g, DecodeArena& arena) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return 0;
+  auto deg_s = arena.scratch<std::size_t>();
+  auto bin_s = arena.scratch<std::size_t>();
+  auto pos_s = arena.scratch<std::size_t>();
+  auto vert_s = arena.scratch<Vertex>();
+  std::vector<std::size_t>& deg = *deg_s;
+  std::vector<std::size_t>& bin = *bin_s;
+  std::vector<std::size_t>& pos = *pos_s;
+  std::vector<Vertex>& vert = *vert_s;
+
+  deg.assign(n, 0);
+  std::size_t max_deg = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // Counting sort by degree: bin[d] becomes the start offset of the block
+  // of degree-d vertices inside vert.
+  bin.assign(max_deg + 1, 0);
+  for (Vertex v = 0; v < n; ++v) ++bin[deg[v]];
+  std::size_t start = 0;
+  for (std::size_t d = 0; d <= max_deg; ++d) {
+    const std::size_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  grow_to(pos, n);
+  grow_to(vert, n);
+  for (Vertex v = 0; v < n; ++v) {
+    pos[v] = bin[deg[v]]++;
+    vert[pos[v]] = v;
+  }
+  for (std::size_t d = max_deg; d > 0; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  // Peel in degree order; moving a touched neighbour to the front of its
+  // degree block keeps vert sorted after every decrement.
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vertex v = vert[i];
+    k = std::max(k, deg[v]);
+    for (const Vertex w : g.neighbors(v)) {
+      if (deg[w] <= deg[v]) continue;
+      const std::size_t dw = deg[w];
+      const std::size_t pw = pos[w];
+      const std::size_t ps = bin[dw];
+      const Vertex u = vert[ps];
+      if (u != w) {
+        vert[ps] = w;
+        vert[pw] = u;
+        pos[w] = ps;
+        pos[u] = pw;
+      }
+      ++bin[dw];
+      --deg[w];
+    }
+  }
+  return k;
+}
+
+bool has_degeneracy_at_most(GraphView g, std::size_t k, DecodeArena& arena) {
+  return degeneracy_value(g, arena) <= k;
+}
+
+bool is_valid_elimination_order(GraphView g, std::span<const Vertex> order,
                                 std::size_t k) {
   const std::size_t n = g.vertex_count();
   if (order.size() != n) return false;
@@ -82,7 +157,17 @@ bool is_valid_elimination_order(const Graph& g, std::span<const Vertex> order,
   return true;
 }
 
-GeneralizedDegeneracyResult generalized_degeneracy_order(const Graph& g,
+bool is_valid_elimination_order(const Graph& g, std::span<const Vertex> order,
+                                std::size_t k) {
+  return is_valid_elimination_order(GraphView(g), order, k);
+}
+
+bool is_valid_elimination_order(const CsrGraph& g,
+                                std::span<const Vertex> order, std::size_t k) {
+  return is_valid_elimination_order(GraphView(g), order, k);
+}
+
+GeneralizedDegeneracyResult generalized_degeneracy_order(GraphView g,
                                                          std::size_t k) {
   const std::size_t n = g.vertex_count();
   GeneralizedDegeneracyResult result;
@@ -111,6 +196,16 @@ GeneralizedDegeneracyResult generalized_degeneracy_order(const Graph& g,
   }
   result.feasible = true;
   return result;
+}
+
+GeneralizedDegeneracyResult generalized_degeneracy_order(const Graph& g,
+                                                         std::size_t k) {
+  return generalized_degeneracy_order(GraphView(g), k);
+}
+
+GeneralizedDegeneracyResult generalized_degeneracy_order(const CsrGraph& g,
+                                                         std::size_t k) {
+  return generalized_degeneracy_order(GraphView(g), k);
 }
 
 }  // namespace referee

@@ -5,12 +5,19 @@
 // global decoder replays exactly such an ordering, so this module both
 // certifies generator families and provides ground truth for the
 // recognition protocol.
+//
+// Every entry point exists for Graph, CsrGraph and GraphView; the overloads
+// share one body over GraphView, so the adjacency-list and CSR answers are
+// bit-identical by construction (tests/test_csr_truth.cpp pins this).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
+#include "support/arena.hpp"
 
 namespace referee {
 
@@ -26,16 +33,30 @@ struct DegeneracyResult {
 };
 
 /// O(n + m) bucket implementation.
+DegeneracyResult degeneracy(GraphView g);
 DegeneracyResult degeneracy(const Graph& g);
+DegeneracyResult degeneracy(const CsrGraph& g);
 
 /// Convenience: degeneracy(g).degeneracy <= k.
 bool has_degeneracy_at_most(const Graph& g, std::size_t k);
+bool has_degeneracy_at_most(const CsrGraph& g, std::size_t k);
+
+/// The degeneracy value alone, on flat scratch arrays out of the arena
+/// (classic bin/vert/pos counting-sort peel): zero steady-state allocation,
+/// which is what the campaign classifier needs for mmap'd million-node
+/// cells. Same value as degeneracy(g).degeneracy — a different peel order
+/// is still an exact min-degree elimination.
+std::size_t degeneracy_value(GraphView g, DecodeArena& arena);
+bool has_degeneracy_at_most(GraphView g, std::size_t k, DecodeArena& arena);
 
 /// Checks that `order` (paper convention, r_1 first) is a valid
 /// k-elimination order for g per Definition 2.
-bool is_valid_elimination_order(const Graph& g,
-                                std::span<const Vertex> order,
+bool is_valid_elimination_order(GraphView g, std::span<const Vertex> order,
                                 std::size_t k);
+bool is_valid_elimination_order(const Graph& g, std::span<const Vertex> order,
+                                std::size_t k);
+bool is_valid_elimination_order(const CsrGraph& g,
+                                std::span<const Vertex> order, std::size_t k);
 
 /// Generalised degeneracy (paper §III, last paragraph): each r_i must have
 /// degree <= k in G_i *or* in the complement of G_i. Computed greedily by
@@ -48,7 +69,11 @@ struct GeneralizedDegeneracyResult {
   /// complement of G_i.
   std::vector<bool> used_complement;
 };
+GeneralizedDegeneracyResult generalized_degeneracy_order(GraphView g,
+                                                         std::size_t k);
 GeneralizedDegeneracyResult generalized_degeneracy_order(const Graph& g,
+                                                         std::size_t k);
+GeneralizedDegeneracyResult generalized_degeneracy_order(const CsrGraph& g,
                                                          std::size_t k);
 
 }  // namespace referee

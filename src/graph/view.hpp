@@ -1,0 +1,76 @@
+// One non-owning handle over both graph representations.
+//
+// The ground-truth layer used to be split: adjacency-list Graph algorithms
+// for generated campaign cells, hand-written CSR twins for file-backed
+// cells. A GraphView erases the representation behind the four accessors
+// every algorithm actually uses (vertex_count / edge_count / degree /
+// neighbors), so each algorithm has exactly one body and the two paths are
+// bit-identical by construction. Both representations keep rows in the same
+// canonical form (sorted ascending, deduped, no self-loops), which is what
+// makes the row spans directly comparable.
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+
+namespace referee {
+
+class GraphView {
+ public:
+  GraphView() = default;
+  // Implicit by design: any algorithm taking a GraphView accepts either
+  // representation at zero conversion cost.
+  GraphView(const Graph& g) : graph_(&g) {}   // NOLINT(google-explicit-constructor)
+  GraphView(const CsrGraph& g) : csr_(&g) {}  // NOLINT(google-explicit-constructor)
+
+  std::size_t vertex_count() const {
+    if (graph_ != nullptr) return graph_->vertex_count();
+    if (csr_ != nullptr) return csr_->vertex_count();
+    return 0;
+  }
+
+  std::size_t edge_count() const {
+    if (graph_ != nullptr) return graph_->edge_count();
+    if (csr_ != nullptr) return csr_->edge_count();
+    return 0;
+  }
+
+  std::size_t degree(Vertex v) const {
+    return graph_ != nullptr ? graph_->degree(v) : csr_->degree(v);
+  }
+
+  /// Sorted ascending, deduped — the canonical row both reps maintain.
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return graph_ != nullptr ? graph_->neighbors(v) : csr_->neighbors(v);
+  }
+
+  std::size_t max_degree() const {
+    const std::size_t n = vertex_count();
+    std::size_t best = 0;
+    for (Vertex v = 0; v < n; ++v) best = std::max(best, degree(v));
+    return best;
+  }
+
+ private:
+  const Graph* graph_ = nullptr;
+  const CsrGraph* csr_ = nullptr;
+};
+
+/// Structural equality against either representation — Graph::operator==
+/// generalized. Rows on both sides are canonical, so a row-by-row span
+/// compare is exact: graphs_equal(h, GraphView(g)) == (h == g) for Graphs.
+inline bool graphs_equal(const Graph& lhs, GraphView rhs) {
+  const std::size_t n = lhs.vertex_count();
+  if (n != rhs.vertex_count()) return false;
+  for (Vertex v = 0; v < n; ++v) {
+    const std::span<const Vertex> a = lhs.neighbors(v);
+    const std::span<const Vertex> b = rhs.neighbors(v);
+    if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) return false;
+  }
+  return true;
+}
+
+}  // namespace referee

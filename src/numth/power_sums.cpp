@@ -1,6 +1,9 @@
 #include "numth/power_sums.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
+#include "support/simd.hpp"
 
 namespace referee {
 
@@ -19,6 +22,19 @@ std::vector<BigUInt> power_sums(std::span<const NodeId> ids, unsigned k) {
 void power_sums_into(std::span<const NodeId> ids, unsigned k,
                      DecodeArena& arena, std::vector<BigUInt>& out) {
   grow_to(out, k);
+  // Fast path: when every sum provably fits 64 bits, run the SIMD-dispatched
+  // flat kernel and lift the results into the BigUInt slots. Identical
+  // values to the BigUInt route, just computed in machine words.
+  NodeId max_id = 0;
+  for (const NodeId id : ids) max_id = std::max(max_id, id);
+  if (power_sums_fit_u64(max_id, k, ids.size())) {
+    auto sums_s = arena.scratch<std::uint64_t>();
+    grow_to(*sums_s, k);
+    simd::active_kernels().power_sums_u64(ids.data(), ids.size(), k,
+                                          sums_s->data());
+    for (unsigned p = 0; p < k; ++p) out[p].assign_u64((*sums_s)[p]);
+    return;
+  }
   for (unsigned p = 0; p < k; ++p) out[p].assign_u64(0);
   auto power_s = arena.scratch<BigUInt>();
   grow_to(*power_s, 1);
@@ -78,13 +94,8 @@ bool power_sums_fit_u64(std::uint32_t n, unsigned k, std::size_t max_degree) {
 std::vector<std::uint64_t> power_sums_u64(std::span<const NodeId> ids,
                                           unsigned k) {
   std::vector<std::uint64_t> sums(k, 0);
-  for (const NodeId id : ids) {
-    std::uint64_t power = 1;
-    for (unsigned p = 0; p < k; ++p) {
-      power *= id;
-      sums[p] += power;
-    }
-  }
+  simd::active_kernels().power_sums_u64(ids.data(), ids.size(), k,
+                                        sums.data());
   return sums;
 }
 

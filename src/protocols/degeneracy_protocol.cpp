@@ -25,8 +25,10 @@ void DegeneracyReconstruction::encode(const LocalViewRef& view,
   const int id_bits = log_budget_bits(view.n);
   w.write_bits(view.id, id_bits);
   w.write_bits(view.degree(), id_bits);
-  const auto sums = power_sums(view.neighbor_ids, k_);
-  for (const auto& s : sums) s.write(w);
+  DecodeArena& arena = DecodeArena::for_current_thread();
+  auto sums_s = arena.scratch<BigUInt>();
+  power_sums_into(view.neighbor_ids, k_, arena, *sums_s);
+  for (unsigned p = 0; p < k_; ++p) (*sums_s)[p].write(w);
 }
 
 std::size_t DegeneracyReconstruction::message_bits(const LocalViewRef& view,
@@ -74,19 +76,33 @@ Graph DegeneracyReconstruction::reconstruct(std::uint32_t n,
 
   Graph h(n);
   auto alive_s = arena.scratch<std::uint8_t>();
-  auto alive_ids_s = arena.scratch<NodeId>();
+  auto next_alive_s = arena.scratch<NodeId>();
   auto prunable_s = arena.scratch<NodeId>();
   auto candidates_s = arena.scratch<NodeId>();
   auto neighbors_s = arena.scratch<NodeId>();
   std::vector<std::uint8_t>& alive = *alive_s;
-  std::vector<NodeId>& alive_ids = *alive_ids_s;
+  // next_alive[id] points at the smallest possibly-alive id >= id. Pruning x
+  // redirects next_alive[x] to x+1; lookups chase and path-compress, so the
+  // whole decode does O(n α(n)) skip work instead of the O(n²) erase-from-
+  // sorted-vector this replaces.
+  std::vector<NodeId>& next_alive = *next_alive_s;
   // Prunable vertices as a lazy min-heap on id: pops the smallest id like
   // the std::set it replaces, but with no per-insert node allocation;
   // duplicates and dead entries are skipped at pop time.
   std::vector<NodeId>& prunable = *prunable_s;
   alive.assign(n, 1);
-  alive_ids.clear();
-  for (std::uint32_t i = 0; i < n; ++i) alive_ids.push_back(i + 1);
+  grow_to(next_alive, static_cast<std::size_t>(n) + 2);
+  for (std::uint32_t id = 0; id < n + 2; ++id) next_alive[id] = id;
+  const auto find_alive = [&](NodeId id) -> NodeId {
+    NodeId root = id;
+    while (next_alive[root] != root) root = next_alive[root];
+    while (next_alive[id] != root) {
+      const NodeId nxt = next_alive[id];
+      next_alive[id] = root;
+      id = nxt;
+    }
+    return root;  // alive, or n + 1 when the tail is exhausted
+  };
   prunable.clear();
   const auto push_prunable = [&](NodeId id) {
     prunable.push_back(id);
@@ -110,13 +126,34 @@ Graph DegeneracyReconstruction::reconstruct(std::uint32_t n,
     if (!alive[xi]) continue;
 
     const auto d = static_cast<unsigned>(deg[xi]);
-    // Candidates: alive vertices other than x.
+    // Candidates: alive vertices other than x, in ascending id order. The
+    // decoder scans them greedily left to right and needs only d roots, so
+    // offer an ascending *prefix* of the alive set first and widen on a
+    // decode failure — a prefix holding the d roots yields exactly the
+    // decode the full list would (same scan order, same first d accepts),
+    // and a miss retries until the window covers every alive id, where
+    // behaviour is the full-list decode by definition.
     std::vector<NodeId>& candidates = *candidates_s;
-    candidates.clear();
-    for (const NodeId id : alive_ids) {
-      if (id != x) candidates.push_back(id);
+    std::size_t window = std::max<std::size_t>(16, 2 * std::size_t{d});
+    for (;;) {
+      candidates.clear();
+      NodeId id = find_alive(1);
+      while (candidates.size() < window && id <= n) {
+        if (id != x) candidates.push_back(id);
+        id = find_alive(id + 1);
+      }
+      const bool complete = id > n;
+      if (complete) {
+        decoder_->decode_into(d, row(xi), candidates, arena, *neighbors_s);
+        break;
+      }
+      try {
+        decoder_->decode_into(d, row(xi), candidates, arena, *neighbors_s);
+        break;
+      } catch (const DecodeError&) {
+        window *= 8;
+      }
     }
-    decoder_->decode_into(d, row(xi), candidates, arena, *neighbors_s);
     // Validate against every power (catches corrupted transcripts even when
     // the first d sums accidentally decode).
     if (!matches_power_sums(row(xi), *neighbors_s, arena)) {
@@ -139,8 +176,7 @@ Graph DegeneracyReconstruction::reconstruct(std::uint32_t n,
     }
 
     alive[xi] = 0;
-    alive_ids.erase(
-        std::lower_bound(alive_ids.begin(), alive_ids.end(), x));
+    next_alive[x] = x + 1;
     --remaining;
   }
   return h;

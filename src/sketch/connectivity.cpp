@@ -3,6 +3,7 @@
 #include "graph/union_find.hpp"
 #include "support/bits.hpp"
 #include "support/random.hpp"
+#include "support/simd.hpp"
 
 namespace referee {
 
@@ -71,7 +72,7 @@ SketchConnectivityResult boruvka_decode_flat(
       root_of[v] = static_cast<Vertex>(uf.find(v));
       ++offsets[root_of[v] + 1];
     }
-    for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+    simd::prefix_sum_sizes(offsets.data(), static_cast<std::size_t>(n) + 1);
     members.assign(n, 0);
     {
       auto cursor_s = arena.scratch<std::size_t>();

@@ -1,13 +1,33 @@
 #include "sketch/l0_sampler.hpp"
 
 #include <bit>
+#include <cstddef>
+#include <type_traits>
 
 #include "sketch/modp.hpp"
 #include "support/bits.hpp"
 #include "support/check.hpp"
+#include "support/simd.hpp"
 #include "support/varint.hpp"
 
 namespace referee {
+namespace {
+
+// Sketch sums rely on wrap-around cancellation (a deletion undoes an
+// insertion by overflowing back), so the adds must be the well-defined
+// unsigned kind — signed += would be UB at the extremes the wire format
+// can carry, and the SIMD merge kernel pins these exact bits.
+inline std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+
+inline std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+
+}  // namespace
 
 std::uint64_t edge_slot(std::uint64_t n, Vertex u, Vertex w) {
   REFEREE_DCHECK(u < w && w < n);
@@ -28,23 +48,23 @@ std::pair<Vertex, Vertex> slot_edge(std::uint64_t n, std::uint64_t slot) {
 }
 
 void OneSparse::add(std::int64_t w, std::uint64_t slot, std::uint64_t z) {
-  weight_sum += w;
-  index_sum += w * static_cast<std::int64_t>(slot);
+  weight_sum = wrap_add(weight_sum, w);
+  index_sum = wrap_add(index_sum, wrap_mul(w, static_cast<std::int64_t>(slot)));
   const std::uint64_t term = modp::pow(z, slot);
   fingerprint = w > 0 ? modp::add(fingerprint, term)
                       : modp::sub(fingerprint, term);
 }
 
 void OneSparse::merge(const OneSparse& other) {
-  weight_sum += other.weight_sum;
-  index_sum += other.index_sum;
+  weight_sum = wrap_add(weight_sum, other.weight_sum);
+  index_sum = wrap_add(index_sum, other.index_sum);
   fingerprint = modp::add(fingerprint, other.fingerprint);
 }
 
 std::optional<std::uint64_t> OneSparse::recover(
     std::uint64_t z, std::uint64_t slot_count) const {
   if (weight_sum != 1 && weight_sum != -1) return std::nullopt;
-  const std::int64_t slot_signed = index_sum * weight_sum;  // index / weight
+  const std::int64_t slot_signed = wrap_mul(index_sum, weight_sum);  // index / weight
   if (slot_signed < 0 ||
       static_cast<std::uint64_t>(slot_signed) >= slot_count) {
     return std::nullopt;
@@ -100,9 +120,18 @@ void EdgeSketch::account(Vertex v, Vertex w, int sign) {
 void EdgeSketch::merge(const EdgeSketch& other) {
   REFEREE_CHECK_MSG(n_ == other.n_ && seed_ == other.seed_,
                     "merging incompatible sketches");
-  for (std::size_t l = 0; l < levels_.size(); ++l) {
-    levels_[l].merge(other.levels_[l]);
-  }
+  // The Borůvka inner loop of the sketch referees lands here; hand the whole
+  // level bank to the dispatched kernel as flat int64 triples.
+  static_assert(std::is_standard_layout_v<OneSparse>);
+  static_assert(sizeof(OneSparse) == 3 * sizeof(std::int64_t));
+  static_assert(offsetof(OneSparse, weight_sum) == 0);
+  static_assert(offsetof(OneSparse, index_sum) == sizeof(std::int64_t));
+  static_assert(offsetof(OneSparse, fingerprint) == 2 * sizeof(std::int64_t));
+  static_assert(simd::kFingerprintMod == modp::kP);
+  simd::active_kernels().merge_onesparse(
+      reinterpret_cast<std::int64_t*>(levels_.data()),
+      reinterpret_cast<const std::int64_t*>(other.levels_.data()),
+      levels_.size());
 }
 
 std::optional<std::pair<Vertex, Vertex>> EdgeSketch::sample() const {

@@ -1,0 +1,80 @@
+// Runtime-dispatched SIMD kernels for the measured decode hot paths.
+//
+// Three kernels cover what profiling the benches showed actually matters:
+// 64-bit power sums (the degeneracy encoder/decoder fast path), OneSparse
+// triple merges (the Borůvka inner loop of the sketch referees), and the
+// counting-sort prefix sums (sketch grouping + CSR sealing). Everything
+// else stays scalar on purpose — e.g. elementary_from_power_sums_into is a
+// serial chain of BigInt carries with no lane parallelism to exploit.
+//
+// Contract: the vector and scalar paths are BIT-IDENTICAL, not just
+// approximately equal. All three kernels only reassociate wrapping uint64
+// additions (fully associative/commutative) or keep per-lane exact
+// arithmetic, so a transcript decodes to the same bytes whichever path ran.
+// tests/test_simd.cpp pins this, and CI builds once with
+// -DREFEREE_FORCE_SCALAR=ON to keep the fallback honest.
+//
+// Dispatch: active_kernels() picks AVX2 when the CPU has it, unless the
+// REFEREE_FORCE_SCALAR environment variable is set (to anything but "0")
+// or the REFEREE_FORCE_SCALAR compile definition removed the vector path
+// entirely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace referee::simd {
+
+/// Largest k the vectorized power-sum kernel handles before falling back to
+/// scalar (protocol k is small; 8 covers every caller with headroom).
+inline constexpr unsigned kMaxVectorPowers = 8;
+
+/// 2^61 - 1, the fingerprint field modulus. Mirrors modp::kP — support/
+/// cannot depend on sketch/, so the value is restated here and the equality
+/// is pinned by tests/test_simd.cpp.
+inline constexpr std::uint64_t kFingerprintMod =
+    (std::uint64_t{1} << 61) - 1;
+
+struct Kernels {
+  const char* name;
+
+  /// out[p] = Σ_i ids[i]^(p+1) for p in [0, k), wrapping uint64 arithmetic.
+  /// Overwrites out[0..k). The caller guarantees the true sums fit 64 bits
+  /// (power_sums_fit_u64) when exactness matters.
+  void (*power_sums_u64)(const std::uint32_t* ids, std::size_t count,
+                         unsigned k, std::uint64_t* out);
+
+  /// Pairwise merge of `triples` OneSparse cells laid out flat as
+  /// {weight_sum, index_sum, fingerprint} int64 triples: the first two of
+  /// each triple get a wrapping add, the third a mod-(2^61-1) add (operands
+  /// <= kFingerprintMod).
+  void (*merge_onesparse)(std::int64_t* dst, const std::int64_t* src,
+                          std::size_t triples);
+
+  /// In-place inclusive prefix sum over count uint64 values. Scalar in
+  /// every kernel table so far: the AVX2 in-register scan measured slower
+  /// than the serial add chain at 64-bit width (see simd.cpp), so the slot
+  /// exists for the dispatch seam, not because vectors won here.
+  void (*prefix_sum_u64)(std::uint64_t* data, std::size_t count);
+};
+
+/// The always-compiled scalar reference implementations.
+const Kernels& scalar_kernels();
+
+/// The dispatched implementations (decided once per process).
+const Kernels& active_kernels();
+
+/// Prefix sums over size_t offset arrays (counting sorts, CSR sealing).
+/// Routed through the kernel only where size_t is literally uint64_t; the
+/// reinterpret_cast is then an identity cast.
+inline void prefix_sum_sizes(std::size_t* data, std::size_t count) {
+  if constexpr (std::is_same_v<std::size_t, std::uint64_t>) {
+    active_kernels().prefix_sum_u64(reinterpret_cast<std::uint64_t*>(data),
+                                    count);
+  } else {
+    for (std::size_t i = 1; i < count; ++i) data[i] += data[i - 1];
+  }
+}
+
+}  // namespace referee::simd

@@ -14,8 +14,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 
+#include "graph/io.hpp"
 #include "model/campaign.hpp"
 
 namespace referee {
@@ -66,6 +68,47 @@ TEST(FaultContract, DefaultSweepHasZeroSilentWrongCells) {
     EXPECT_EQ(res.detail, expected_detail(spec.faults))
         << spec.generator << "/" << spec.protocol << " seed " << spec.seed;
     EXPECT_FALSE(res.journal.empty());
+  }
+}
+
+TEST(FaultContract, FileCellSweepCoversEveryProtocolAndStaysLoud) {
+  // The file-backed companion sweep: every campaign protocol over one
+  // on-disk edge list, fault-free and under each correlated fault model.
+  // Fault-free cells must decode exactly/correctly through the mmap'd CSR
+  // pipeline; faulted cells must refuse with the fault their plan
+  // predicts; nothing may be silently wrong.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "referee_fault_contract";
+  std::filesystem::create_directories(dir);
+  const std::string file = (dir / "sweep_tree.rgb").string();
+  ScenarioSpec tree_spec;
+  tree_spec.generator = "tree";
+  tree_spec.n = 48;
+  tree_spec.seed = 7;
+  const Graph g = make_campaign_graph(tree_spec);
+  const auto edges = g.edges();
+  write_edge_file(file, g.vertex_count(), edges);
+
+  const auto grid = expand_grid(file_cell_sweep_config(file));
+  ASSERT_EQ(grid.size(), 80u);  // 8 protocols × 2 seeds × 5 fault plans
+  const CampaignRunner runner;
+  const auto results = runner.run(grid);
+  ASSERT_EQ(results.size(), grid.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& spec = grid[i];
+    const auto& res = results[i];
+    ASSERT_TRUE(res.contract_ok)
+        << spec.protocol << " seed " << spec.seed << " -> " << res.outcome;
+    const std::string want = expected_detail(spec.faults);
+    if (want.empty()) {
+      EXPECT_TRUE(res.outcome == "exact" || res.outcome == "correct")
+          << spec.protocol << " seed " << spec.seed << " -> " << res.outcome
+          << " (" << res.detail << ")";
+    } else {
+      EXPECT_EQ(res.outcome, "loud") << spec.protocol << " seed " << spec.seed;
+      EXPECT_EQ(res.detail, want) << spec.protocol << " seed " << spec.seed;
+      EXPECT_FALSE(res.journal.empty());
+    }
   }
 }
 

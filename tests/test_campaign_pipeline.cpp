@@ -206,6 +206,34 @@ TEST_F(MmapMillionNodeCell, SecondSweepDecodesWithZeroArenaGrowth) {
       << "second sweep over the mmap'd cell allocated decode scratch";
 }
 
+TEST_F(MmapMillionNodeCell, DegeneracyCellReconstructsWithZeroArenaGrowth) {
+  // The tentpole acceptance pin: the heaviest protocol — full graph
+  // reconstruction via power-sum decode — over the same mmap'd 2^20-node
+  // edge list. The chord every 64 vertices keeps the decoder's windowed
+  // candidate scan honest (chord neighbours sit outside the initial
+  // window, forcing the widen-and-retry path), and the second sweep must
+  // stay allocation-free exactly like the stats cell above.
+  ScenarioSpec spec;
+  spec.generator = "file:" + path_;
+  spec.protocol = "degeneracy";
+  spec.seed = 5;
+
+  const auto first = run_scenario(spec);
+  EXPECT_EQ(first.outcome, "exact");
+  EXPECT_TRUE(first.contract_ok);
+  EXPECT_EQ(first.report.n, 1u << 20);
+
+  DecodeArena& arena = DecodeArena::for_current_thread();
+  const auto warm_growth = arena.stats().growth_events;
+  const auto warm_checkouts = arena.stats().checkouts;
+  const auto second = run_scenario(spec);
+  EXPECT_EQ(second.outcome, "exact");
+  EXPECT_GT(arena.stats().checkouts, warm_checkouts)
+      << "degeneracy file cell did not route decode scratch through the arena";
+  EXPECT_EQ(arena.stats().growth_events, warm_growth)
+      << "second degeneracy sweep over the mmap'd cell allocated scratch";
+}
+
 TEST_F(MmapMillionNodeCell, FileCellsStayLoudUnderCorrelatedFaults) {
   ScenarioSpec spec;
   spec.generator = "file:" + path_;
@@ -217,30 +245,50 @@ TEST_F(MmapMillionNodeCell, FileCellsStayLoudUnderCorrelatedFaults) {
   EXPECT_TRUE(res.contract_ok);
 }
 
-TEST(CampaignFileCells, MatchGraphPathGroundTruthOnSmallInputs) {
-  // The CSR pipeline and the Graph pipeline must agree: pack a generated
-  // graph, run the same protocols through both generator specs, compare
-  // outcome and frugality byte-for-byte relevant fields.
+TEST(CampaignFileCells, EveryProtocolMatchesTheGeneratedCellOnTheSameGraph) {
+  // The one-pipeline pin: pack a generated graph into a binary edge list,
+  // then run every campaign protocol twice — once through the generated
+  // (adjacency-list) path, once through the file-backed (mmap'd CSR) path.
+  // Same graph, same seed, same protocol ⇒ identical outcome and identical
+  // frugality accounting; the two representations must be indistinguishable
+  // end to end.
   const auto dir =
       std::filesystem::temp_directory_path() / "referee_campaign_tests";
   std::filesystem::create_directories(dir);
   const std::string file = (dir / "small.rgb").string();
   ScenarioSpec base;
-  base.generator = "gnp";
+  base.generator = "tree";  // in-class for every reconstruction protocol
   base.n = 48;
   base.seed = 9;
   const Graph g = make_campaign_graph(base);
   const auto edges = g.edges();
   write_edge_file(file, g.vertex_count(), edges);
 
-  for (const char* protocol : {"stats", "connectivity", "bipartite"}) {
+  for (const char* protocol :
+       {"degeneracy", "generalized", "forest", "bounded-degree", "stats",
+        "recognize-degeneracy", "connectivity", "bipartite"}) {
     ScenarioSpec file_spec;
-    file_spec.generator = "file:" + file;
+    file_spec.generator = "file:" + file;  // mmap'd CSR branch
     file_spec.protocol = protocol;
     file_spec.seed = base.seed;
-    const auto res = run_scenario(file_spec);
-    EXPECT_EQ(res.outcome, "correct") << protocol;
-    EXPECT_GT(res.report.max_bits, 0u) << protocol;
+    ScenarioSpec gen_spec = base;  // adjacency-list branch, same graph
+    gen_spec.protocol = protocol;
+
+    const auto file_res = run_scenario(file_spec);
+    const auto gen_res = run_scenario(gen_spec);
+    const bool reconstruction =
+        std::string(protocol) == "degeneracy" ||
+        std::string(protocol) == "generalized" ||
+        std::string(protocol) == "forest" ||
+        std::string(protocol) == "bounded-degree";
+    EXPECT_EQ(file_res.outcome, reconstruction ? "exact" : "correct")
+        << protocol << " (" << file_res.detail << ")";
+    EXPECT_TRUE(file_res.contract_ok) << protocol;
+    EXPECT_GT(file_res.report.max_bits, 0u) << protocol;
+    EXPECT_EQ(gen_res.outcome, file_res.outcome) << protocol;
+    EXPECT_EQ(gen_res.report.max_bits, file_res.report.max_bits) << protocol;
+    EXPECT_EQ(gen_res.report.total_bits, file_res.report.total_bits)
+        << protocol;
   }
 }
 

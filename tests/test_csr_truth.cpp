@@ -1,0 +1,193 @@
+// One graph pipeline: every ground-truth algorithm answers bit-identically
+// on Graph and CsrGraph inputs, because the overloads share one GraphView
+// body. This suite is the property pin behind that claim — campaign graphs
+// across every generator family, plus the degenerate shapes (empty graph,
+// single vertex, star, path) and the canonical-form guards (self-loop
+// rejection on both representations).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "campaign/scenario.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "graph/degeneracy.hpp"
+#include "graph/graph.hpp"
+#include "graph/view.hpp"
+#include "support/arena.hpp"
+#include "support/check.hpp"
+
+namespace referee {
+namespace {
+
+/// Every ground truth the campaign classifier consults, both
+/// representations, one assertion block. `label` names the graph in
+/// failure output.
+void expect_truths_match(const Graph& g, const std::string& label) {
+  const CsrGraph csr(g);
+  DecodeArena& arena = DecodeArena::for_current_thread();
+
+  // The view accessors themselves agree.
+  const GraphView gv(g);
+  const GraphView cv(csr);
+  ASSERT_EQ(gv.vertex_count(), cv.vertex_count()) << label;
+  ASSERT_EQ(gv.edge_count(), cv.edge_count()) << label;
+  EXPECT_EQ(gv.max_degree(), cv.max_degree()) << label;
+  EXPECT_TRUE(graphs_equal(g, cv)) << label;
+
+  // Degeneracy: full bucket result, flat arena value, bound checks.
+  const DegeneracyResult dg = degeneracy(g);
+  const DegeneracyResult dc = degeneracy(csr);
+  EXPECT_EQ(dg.degeneracy, dc.degeneracy) << label;
+  EXPECT_EQ(dg.removal_order, dc.removal_order) << label;
+  EXPECT_EQ(dg.core_number, dc.core_number) << label;
+  EXPECT_EQ(degeneracy_value(gv, arena), dg.degeneracy) << label;
+  EXPECT_EQ(degeneracy_value(cv, arena), dg.degeneracy) << label;
+  for (const std::size_t k : {std::size_t{0}, dg.degeneracy,
+                              dg.degeneracy + 1}) {
+    EXPECT_EQ(has_degeneracy_at_most(g, k), has_degeneracy_at_most(csr, k))
+        << label << " k=" << k;
+    EXPECT_EQ(has_degeneracy_at_most(g, k),
+              has_degeneracy_at_most(cv, k, arena))
+        << label << " k=" << k;
+  }
+
+  // The removal order reversed is a valid degeneracy-elimination order in
+  // the paper's convention — on both representations — and no order at all
+  // is valid below the degeneracy.
+  std::vector<Vertex> paper_order(dg.removal_order.rbegin(),
+                                  dg.removal_order.rend());
+  EXPECT_TRUE(is_valid_elimination_order(g, paper_order, dg.degeneracy))
+      << label;
+  EXPECT_TRUE(is_valid_elimination_order(csr, paper_order, dg.degeneracy))
+      << label;
+  if (dg.degeneracy > 0) {
+    EXPECT_FALSE(is_valid_elimination_order(g, paper_order,
+                                            dg.degeneracy - 1))
+        << label;
+    EXPECT_FALSE(is_valid_elimination_order(csr, paper_order,
+                                            dg.degeneracy - 1))
+        << label;
+  }
+
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}}) {
+    const auto gg = generalized_degeneracy_order(g, k);
+    const auto gc = generalized_degeneracy_order(csr, k);
+    EXPECT_EQ(gg.feasible, gc.feasible) << label << " k=" << k;
+    EXPECT_EQ(gg.removal_order, gc.removal_order) << label << " k=" << k;
+    EXPECT_EQ(gg.used_complement, gc.used_complement) << label << " k=" << k;
+  }
+
+  // Connectivity / bipartiteness / forests.
+  EXPECT_EQ(component_count(g), component_count(csr)) << label;
+  EXPECT_EQ(component_count(g), component_count(gv, arena)) << label;
+  EXPECT_EQ(component_count(g), component_count(cv, arena)) << label;
+  EXPECT_EQ(is_bipartite(g), is_bipartite(csr)) << label;
+  EXPECT_EQ(is_bipartite(g), is_bipartite(cv, arena)) << label;
+  EXPECT_EQ(spanning_forest(g), spanning_forest(csr)) << label;
+  EXPECT_EQ(is_forest(g), is_forest(csr)) << label;
+  EXPECT_EQ(is_forest(g), is_forest(cv, arena)) << label;
+}
+
+TEST(CsrTruth, EveryGroundTruthMatchesAcrossRepresentationsOnCampaignGraphs) {
+  for (const auto& generator : campaign_generators()) {
+    for (const std::size_t n : {9u, 33u, 64u}) {
+      for (const std::uint64_t seed : {1u, 2u}) {
+        ScenarioSpec spec;
+        spec.generator = generator;
+        spec.n = n;
+        spec.seed = seed;
+        const Graph g = make_campaign_graph(spec);
+        expect_truths_match(g, generator + "/n=" + std::to_string(n) +
+                                   "/seed=" + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(CsrTruth, EmptyAndSingletonGraphs) {
+  expect_truths_match(Graph(0), "empty");
+  expect_truths_match(Graph(1), "singleton");
+  expect_truths_match(Graph(5), "five isolated vertices");
+
+  const CsrGraph empty_csr{Graph(0)};
+  DecodeArena& arena = DecodeArena::for_current_thread();
+  EXPECT_EQ(degeneracy(empty_csr).degeneracy, 0u);
+  EXPECT_EQ(degeneracy_value(GraphView(empty_csr), arena), 0u);
+  EXPECT_EQ(component_count(empty_csr), 0u);
+  EXPECT_TRUE(is_bipartite(empty_csr));
+  EXPECT_TRUE(is_forest(empty_csr));
+  EXPECT_TRUE(spanning_forest(empty_csr).empty());
+}
+
+TEST(CsrTruth, StarAndPathShapes) {
+  Graph star(8);
+  for (Vertex v = 1; v < 8; ++v) star.add_edge(0, v);
+  expect_truths_match(star, "star");
+  EXPECT_EQ(degeneracy(CsrGraph(star)).degeneracy, 1u);
+  EXPECT_TRUE(is_forest(CsrGraph(star)));
+
+  Graph path(9);
+  for (Vertex v = 0; v + 1 < 9; ++v) path.add_edge(v, v + 1);
+  expect_truths_match(path, "path");
+  const CsrGraph path_csr(path);
+  EXPECT_EQ(component_count(path_csr), 1u);
+  EXPECT_TRUE(is_bipartite(path_csr));
+  EXPECT_EQ(spanning_forest(path_csr).size(), 8u);
+}
+
+TEST(CsrTruth, BothRepresentationsRejectSelfLoops) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), CheckError);
+  const std::vector<Edge> loop{{2, 2}};
+  EXPECT_THROW(CsrGraph(3, loop), CheckError);
+}
+
+TEST(CsrTruth, GraphsEqualDetectsEveryDifference) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const CsrGraph same(g);
+  EXPECT_TRUE(graphs_equal(g, same));
+  EXPECT_TRUE(graphs_equal(g, GraphView(g)));
+
+  Graph extra = g;
+  extra.add_edge(2, 3);
+  EXPECT_FALSE(graphs_equal(extra, GraphView(same)));
+  EXPECT_FALSE(graphs_equal(g, GraphView(CsrGraph(extra))));
+  EXPECT_FALSE(graphs_equal(Graph(5), GraphView(same)));
+}
+
+TEST(CsrTruth, ArenaBackedTruthsAreAllocationFreeOnceWarm) {
+  // The campaign classifier's contract: a second identical sweep of the
+  // arena-backed ground truths performs zero arena growth.
+  ScenarioSpec spec;
+  spec.generator = "gnp";
+  spec.n = 64;
+  spec.seed = 4;
+  const Graph g = make_campaign_graph(spec);
+  const CsrGraph csr(g);
+  const GraphView v(csr);
+  DecodeArena& arena = DecodeArena::for_current_thread();
+
+  std::size_t sink = 0;
+  auto sweep = [&] {
+    sink += degeneracy_value(v, arena);
+    sink += has_degeneracy_at_most(v, 3, arena) ? 1u : 0u;
+    sink += component_count(v, arena);
+    sink += is_bipartite(v, arena) ? 1u : 0u;
+    sink += is_forest(v, arena) ? 1u : 0u;
+  };
+  sweep();  // warm
+  const std::size_t first_sink = sink;
+  const auto warm_growth = arena.stats().growth_events;
+  const auto warm_checkouts = arena.stats().checkouts;
+  sweep();
+  EXPECT_EQ(sink, 2 * first_sink);  // deterministic truths, same answers
+  EXPECT_GT(arena.stats().checkouts, warm_checkouts);
+  EXPECT_EQ(arena.stats().growth_events, warm_growth)
+      << "warm ground-truth sweep allocated scratch";
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,191 @@
+// The SIMD shim's contract: whatever active_kernels() dispatches to is
+// BIT-IDENTICAL to the always-compiled scalar reference — wrapping uint64
+// power sums, OneSparse triple merges (mod-p fingerprints included), and
+// prefix sums. CI runs this suite twice: once on the normal build (vector
+// path active where the CPU has it) and once with -DREFEREE_FORCE_SCALAR=ON
+// or REFEREE_FORCE_SCALAR=1 in the environment, so the fallback can never
+// rot unnoticed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "bigint/biguint.hpp"
+#include "numth/power_sums.hpp"
+#include "sketch/l0_sampler.hpp"
+#include "sketch/modp.hpp"
+#include "support/arena.hpp"
+#include "support/bitstream.hpp"
+#include "support/simd.hpp"
+
+namespace referee {
+namespace {
+
+static_assert(simd::kFingerprintMod == modp::kP,
+              "support/ restates the fingerprint modulus; it must track "
+              "sketch/modp.hpp");
+
+TEST(Simd, DispatchReportsAName) {
+  EXPECT_NE(simd::scalar_kernels().name, nullptr);
+  EXPECT_STREQ(simd::scalar_kernels().name, "scalar");
+  EXPECT_NE(simd::active_kernels().name, nullptr);
+}
+
+TEST(Simd, PowerSumsKernelMatchesScalarBitForBit) {
+  // Equality must hold even when the sums wrap: both paths only
+  // reassociate wrapping uint64 additions.
+  std::mt19937_64 rng(7);
+  for (const std::size_t count : {0u, 1u, 3u, 4u, 5u, 17u, 100u, 1000u}) {
+    for (const unsigned k : {1u, 3u, simd::kMaxVectorPowers,
+                             simd::kMaxVectorPowers + 2}) {
+      std::vector<std::uint32_t> ids(count);
+      for (auto& id : ids) {
+        id = static_cast<std::uint32_t>(rng());  // full 32-bit range
+      }
+      std::vector<std::uint64_t> want(k, 0xfeedfeedull);
+      std::vector<std::uint64_t> got = want;
+      simd::scalar_kernels().power_sums_u64(ids.data(), ids.size(), k,
+                                            want.data());
+      simd::active_kernels().power_sums_u64(ids.data(), ids.size(), k,
+                                            got.data());
+      EXPECT_EQ(want, got) << "count=" << count << " k=" << k;
+    }
+  }
+}
+
+TEST(Simd, PowerSumsKernelMatchesBigUIntReference) {
+  // Within the power_sums_fit_u64 envelope, the kernel is exact — not just
+  // self-consistent. Reference built independently via add_contribution.
+  std::mt19937_64 rng(11);
+  const unsigned k = 4;
+  std::vector<NodeId> ids(37);
+  for (auto& id : ids) {
+    id = 1 + static_cast<NodeId>(rng() % 4096);  // 37 * 4096^4 << 2^64
+  }
+  ASSERT_TRUE(power_sums_fit_u64(4096, k, ids.size()));
+
+  std::vector<BigUInt> ref(k);
+  for (const NodeId id : ids) add_contribution(ref, id);
+
+  std::vector<std::uint64_t> got(k);
+  simd::active_kernels().power_sums_u64(ids.data(), ids.size(), k,
+                                        got.data());
+  for (unsigned p = 0; p < k; ++p) {
+    BigUInt expect;
+    expect.assign_u64(got[p]);
+    EXPECT_EQ(ref[p], expect) << "p=" << p;
+  }
+}
+
+TEST(Simd, PowerSumsIntoAgreesAcrossFastAndSlowPaths) {
+  // power_sums_into picks the u64 kernel when the sums fit and the BigUInt
+  // route otherwise; both must produce the same BigUInt values. Drive each
+  // path explicitly: small ids fit, a max-range id forces the slow route.
+  DecodeArena arena;
+  const unsigned k = 3;
+  for (const bool force_slow : {false, true}) {
+    std::vector<NodeId> ids{5, 9, 12, 700, 31};
+    if (force_slow) ids.push_back(0xffffffffu);  // d * n^k overflows
+    std::vector<BigUInt> ref(k);
+    for (const NodeId id : ids) add_contribution(ref, id);
+
+    std::vector<BigUInt> out;
+    power_sums_into(ids, k, arena, out);
+    ASSERT_GE(out.size(), std::size_t{k});
+    for (unsigned p = 0; p < k; ++p) {
+      EXPECT_EQ(out[p], ref[p]) << "p=" << p << " slow=" << force_slow;
+    }
+    EXPECT_EQ(power_sums(ids, k), ref) << "slow=" << force_slow;
+  }
+}
+
+TEST(Simd, MergeOneSparseMatchesScalarAndModpReference) {
+  // Random signed weight/index sums (wrapping adds) and fingerprints across
+  // the full [0, kP] operand range — including the kP boundary the wire
+  // format can produce.
+  std::mt19937_64 rng(13);
+  for (const std::size_t triples : {0u, 1u, 3u, 4u, 5u, 17u, 256u}) {
+    std::vector<std::int64_t> dst(3 * triples);
+    std::vector<std::int64_t> src(3 * triples);
+    for (std::size_t t = 0; t < triples; ++t) {
+      for (auto* a : {&dst, &src}) {
+        (*a)[3 * t] = static_cast<std::int64_t>(rng());      // weight_sum
+        (*a)[3 * t + 1] = static_cast<std::int64_t>(rng());  // index_sum
+        const std::uint64_t f =
+            t % 5 == 0 ? modp::kP : rng() % (modp::kP + 1);
+        (*a)[3 * t + 2] = static_cast<std::int64_t>(f);      // fingerprint
+      }
+    }
+
+    // Independent reference: the OneSparse member merge, cell by cell.
+    std::vector<std::int64_t> want = dst;
+    for (std::size_t t = 0; t < triples; ++t) {
+      OneSparse a{want[3 * t], want[3 * t + 1],
+                  static_cast<std::uint64_t>(want[3 * t + 2])};
+      const OneSparse b{src[3 * t], src[3 * t + 1],
+                        static_cast<std::uint64_t>(src[3 * t + 2])};
+      a.merge(b);
+      want[3 * t] = a.weight_sum;
+      want[3 * t + 1] = a.index_sum;
+      want[3 * t + 2] = static_cast<std::int64_t>(a.fingerprint);
+    }
+
+    std::vector<std::int64_t> scalar_got = dst;
+    simd::scalar_kernels().merge_onesparse(scalar_got.data(), src.data(),
+                                           triples);
+    std::vector<std::int64_t> active_got = dst;
+    simd::active_kernels().merge_onesparse(active_got.data(), src.data(),
+                                           triples);
+    EXPECT_EQ(scalar_got, want) << "triples=" << triples;
+    EXPECT_EQ(active_got, want) << "triples=" << triples;
+  }
+}
+
+TEST(Simd, EdgeSketchMergeStaysLinear) {
+  // End-to-end through the kernel-backed EdgeSketch::merge: merging two
+  // sketches equals sketching the union directly (linearity), down to the
+  // serialized bytes.
+  const std::uint64_t n = 64, seed = 99;
+  EdgeSketch a(n, seed), b(n, seed), direct(n, seed);
+  for (Vertex v = 0; v + 1 < 20; ++v) {
+    a.add_incident_edge(v, v + 1);
+    direct.add_incident_edge(v, v + 1);
+  }
+  for (Vertex v = 20; v + 2 < 60; v += 2) {
+    b.add_incident_edge(v, v + 2);
+    direct.add_incident_edge(v, v + 2);
+  }
+  a.merge(b);
+  BitWriter merged_bits, direct_bits;
+  a.write(merged_bits);
+  direct.write(direct_bits);
+  EXPECT_EQ(merged_bits.bytes(), direct_bits.bytes());
+}
+
+TEST(Simd, PrefixSumMatchesPartialSum) {
+  std::mt19937_64 rng(17);
+  for (const std::size_t count : {0u, 1u, 3u, 4u, 5u, 17u, 1000u}) {
+    std::vector<std::uint64_t> data(count);
+    for (auto& x : data) x = rng();  // wraparound included
+    std::vector<std::uint64_t> want(count);
+    std::partial_sum(data.begin(), data.end(), want.begin());
+
+    std::vector<std::uint64_t> scalar_got = data;
+    simd::scalar_kernels().prefix_sum_u64(scalar_got.data(), count);
+    std::vector<std::uint64_t> active_got = data;
+    simd::active_kernels().prefix_sum_u64(active_got.data(), count);
+    EXPECT_EQ(scalar_got, want) << "count=" << count;
+    EXPECT_EQ(active_got, want) << "count=" << count;
+
+    std::vector<std::size_t> sizes(data.begin(), data.end());
+    simd::prefix_sum_sizes(sizes.data(), sizes.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(sizes[i], static_cast<std::size_t>(want[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace referee
