@@ -22,9 +22,10 @@ std::vector<ScenarioResult> ThreadPoolBackend::run_cells(
             TranscriptSink cell_capture;
             if (capture_) {
               cell_capture = [&, id = cells[i].id](
-                                 std::uint64_t epoch, std::uint32_t n,
+                                 unsigned round, std::uint64_t epoch,
+                                 std::uint32_t n,
                                  std::span<const Message> wire) {
-                capture_(id, epoch, n, wire);
+                capture_(id, round, epoch, n, wire);
               };
             }
             results[i] =

@@ -58,11 +58,13 @@ class CampaignBackend {
 };
 
 /// A backend-level capture hook: the cell's stable id joins the wire
-/// transcript, so captured artifacts can be named per cell (the CLI
-/// writes `<dir>/cell-<id>.rtr`). Called concurrently from worker
-/// threads; implementations touching shared state must synchronize.
+/// transcript, so captured artifacts can be named per cell and round (the
+/// CLI writes `<dir>/cell-<id>.rtr` for round 0 and `cell-<id>.r<round>.rtr`
+/// for later rounds; single-round cells fire once with round 0). Called
+/// concurrently from worker threads; implementations touching shared state
+/// must synchronize.
 using CellTranscriptSink = std::function<void(
-    std::size_t cell_id, std::uint64_t epoch, std::uint32_t n,
+    std::size_t cell_id, unsigned round, std::uint64_t epoch, std::uint32_t n,
     std::span<const Message> wire)>;
 
 /// The in-process backend: cells shard over a ThreadPool (or run

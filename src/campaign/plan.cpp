@@ -24,6 +24,7 @@ std::vector<ScenarioSpec> expand_grid(const CampaignConfig& config) {
             spec.protocol = protocol;
             spec.seed = seed;
             spec.faults = plan;
+            spec.rounds = is_multi_round_protocol(protocol) ? config.rounds : 0;
             grid.push_back(std::move(spec));
           }
         }
@@ -37,13 +38,15 @@ CampaignConfig default_fault_sweep_config() {
   CampaignConfig config;
   config.generators = {"kdeg", "tree", "gnp", "apollonian"};
   config.sizes = {24};
-  config.protocols = {"degeneracy", "forest", "stats", "connectivity"};
+  config.protocols = {"degeneracy", "forest", "stats", "connectivity",
+                      "adaptive-degeneracy"};
   config.seeds = {1, 2};
   config.fault_plans = {
       FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.25}},
       FaultPlan{.correlated = CorrelatedFaults{.duplicate_ids = 2}},
       FaultPlan{.correlated = CorrelatedFaults{.payload_swaps = 2}},
       FaultPlan{.correlated = CorrelatedFaults{.stale_replays = 2}},
+      FaultPlan{.adaptive = AdaptiveFaults{.budget = 3}},
   };
   return config;
 }
@@ -54,7 +57,7 @@ CampaignConfig file_cell_sweep_config(const std::string& path) {
   config.sizes = {0};  // file cells take n from the file header
   config.protocols = {"degeneracy",           "generalized",  "forest",
                       "bounded-degree",       "stats",        "recognize-degeneracy",
-                      "connectivity",         "bipartite"};
+                      "connectivity",         "bipartite",    "adaptive-degeneracy"};
   config.seeds = {1, 2};
   config.fault_plans = {
       FaultPlan{},
@@ -62,6 +65,7 @@ CampaignConfig file_cell_sweep_config(const std::string& path) {
       FaultPlan{.correlated = CorrelatedFaults{.duplicate_ids = 2}},
       FaultPlan{.correlated = CorrelatedFaults{.payload_swaps = 2}},
       FaultPlan{.correlated = CorrelatedFaults{.stale_replays = 2}},
+      FaultPlan{.adaptive = AdaptiveFaults{.budget = 3}},
   };
   return config;
 }

@@ -30,23 +30,28 @@ struct CampaignConfig {
   std::vector<FaultPlan> fault_plans{FaultPlan{}};
   unsigned k = 3;
   double p = 0.1;
+  /// Round cap stamped onto multi-round cells (single-round protocols
+  /// always expand with rounds == 0, keeping their epochs unchanged).
+  unsigned rounds = 6;
 };
 
 /// The cartesian product of the config's axes, in deterministic order
 /// (generator-major, fault-plan-minor).
 std::vector<ScenarioSpec> expand_grid(const CampaignConfig& config);
 
-/// The adversarial fault sweep the harness and CI run by default: 128
-/// cells, every cell under exactly one correlated fault model. Under this
-/// grid every decoder must answer correctly or throw a typed DecodeError —
-/// zero silent-wrong cells, byte-identical JSON across shard and thread
-/// counts.
+/// The adversarial fault sweep the harness and CI run by default: 200
+/// cells (four generators × five protocols, one of them multi-round × two
+/// seeds × {four correlated fault models + the adaptive adversary}). Under
+/// this grid every decoder must answer correctly or throw a typed
+/// DecodeError — zero silent-wrong cells, byte-identical JSON across shard
+/// and thread counts.
 CampaignConfig default_fault_sweep_config();
 
 /// A file-backed companion sweep over one on-disk edge list: every
-/// non-reduction campaign protocol (all eight now qualify for file: cells)
-/// × two seeds × {fault-free + the four correlated fault models} = 80
-/// cells, all running the mmap/streamed CSR pipeline. `path` names a
+/// non-reduction campaign protocol (all eight single-round plus the
+/// multi-round adaptive-degeneracy qualify for file: cells) × two seeds ×
+/// {fault-free + four correlated fault models + the adaptive adversary}
+/// = 108 cells, all running the mmap/streamed CSR pipeline. `path` names a
 /// refgrph1 binary edge list; sizes carry a single 0 because file cells
 /// take n from the file header.
 CampaignConfig file_cell_sweep_config(const std::string& path);

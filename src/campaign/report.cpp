@@ -42,25 +42,27 @@ ReportRow CampaignReport::format_row(std::size_t id, const ScenarioSpec& s,
   append_f(row.json,
            "{\"i\": %zu, \"generator\": \"%s\", \"n\": %u, "
            "\"spec_n\": %zu, \"k\": %u, \"p\": %.6f, \"protocol\": \"%s\", "
-           "\"seed\": %llu, \"flip\": %.6f, \"trunc\": %.6f, "
+           "\"seed\": %llu, \"rounds\": %u, \"flip\": %.6f, \"trunc\": %.6f, "
            "\"drop\": %.6f, \"dup\": %u, \"swap\": %u, \"stale\": %u, "
+           "\"adaptive\": %u, "
            "\"outcome\": \"%s\", \"detail\": \"%s\", \"contract_ok\": %s, "
            "\"applied\": {\"flip\": %zu, \"trunc\": %zu, \"drop\": %zu, "
-           "\"dup\": %zu, \"swap\": %zu, \"stale\": %zu}, "
+           "\"dup\": %zu, \"swap\": %zu, \"stale\": %zu, \"adaptive\": %zu}, "
            "\"max_bits\": %zu, \"total_bits\": %zu, "
            "\"budget_bits\": %zu, \"constant\": %.6f}",
            id, s.generator.c_str(), r.report.n, s.n, s.k, s.p,
            s.protocol.c_str(), static_cast<unsigned long long>(s.seed),
-           s.faults.bit_flip_chance, s.faults.truncate_chance,
+           s.rounds, s.faults.bit_flip_chance, s.faults.truncate_chance,
            cor.drop_fraction, cor.duplicate_ids, cor.payload_swaps,
-           cor.stale_replays, r.outcome.c_str(), r.detail.c_str(),
-           r.contract_ok ? "true" : "false",
+           cor.stale_replays, s.faults.adaptive.budget, r.outcome.c_str(),
+           r.detail.c_str(), r.contract_ok ? "true" : "false",
            r.journal.count(FaultType::kBitFlip),
            r.journal.count(FaultType::kTruncate),
            r.journal.count(FaultType::kDrop),
            r.journal.count(FaultType::kDuplicateId),
            r.journal.count(FaultType::kPayloadSwap),
            r.journal.count(FaultType::kStaleReplay),
+           r.journal.adaptive_count(),
            r.report.max_bits, r.report.total_bits, r.report.budget_bits,
            r.report.constant());
   return row;

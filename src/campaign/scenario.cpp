@@ -10,7 +10,9 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "model/local_view.hpp"
+#include "model/multi_round_runner.hpp"
 #include "model/transcript.hpp"
+#include "protocols/adaptive_degeneracy.hpp"
 #include "protocols/bounded_degree.hpp"
 #include "protocols/degeneracy_protocol.hpp"
 #include "protocols/forest_protocol.hpp"
@@ -34,6 +36,7 @@ constexpr std::uint64_t kFaultStream = 0x6661756c74ull;   // "fault"
 constexpr std::uint64_t kSketchStream = 0x736b657463ull;  // "sketc"
 constexpr std::uint64_t kEpochStream = 0x65706f6368ull;   // "epoch"
 constexpr std::uint64_t kDonorStream = 0x646f6e6f72ull;   // "donor"
+constexpr std::uint64_t kRoundsStream = 0x726f756e6473ull;  // "rounds"
 
 constexpr std::string_view kFilePrefix = "file:";
 
@@ -102,6 +105,19 @@ std::shared_ptr<const LocalEncoder> make_campaign_protocol(
                                                /*verified=*/true);
   }
   throw CheckError("unknown campaign protocol: " + proto);
+}
+
+std::shared_ptr<const MultiRoundProtocol> make_campaign_multi_round_protocol(
+    const ScenarioSpec& spec) {
+  if (spec.protocol == "adaptive-degeneracy") {
+    // spec.rounds == 0 keeps the protocol's own generous default cap; a
+    // nonzero cap is a grid axis (and an epoch axis — see scenario_epoch),
+    // letting sweeps pin cells that finish in exactly 2 or 3 rounds.
+    return spec.rounds != 0
+               ? std::make_shared<AdaptiveDegeneracyReconstruction>(spec.rounds)
+               : std::make_shared<AdaptiveDegeneracyReconstruction>();
+  }
+  throw CheckError("unknown multi-round campaign protocol: " + spec.protocol);
 }
 
 namespace {
@@ -194,13 +210,104 @@ void finish_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
 
   // Capture the *wire* transcript — sealed and faulted, exactly what the
   // referee is about to see — before the open that may refuse it, so loud
-  // cells are replayable offline too.
-  if (capture != nullptr) (*capture)(epoch, n, transcript);
+  // cells are replayable offline too. One-round cells are round 0 of a
+  // one-round schedule.
+  if (capture != nullptr) (*capture)(0, epoch, n, transcript);
 
   auto payloads_s = arena.scratch<Message>();
   open_transcript_into(epoch, n, transcript, arena, *payloads_s);
   res.outcome = classify(
       spec, enc, n, std::span<const Message>(payloads_s->data(), n), arena);
+}
+
+/// Flatten a multi-round audit into the one-round report shape the row
+/// format carries: worst round's max message, summed inbound traffic.
+FrugalityReport flatten_multi_round_report(std::uint32_t n,
+                                           const MultiRoundReport& mr) {
+  FrugalityReport flat;
+  flat.n = n;
+  flat.max_bits = mr.max_bits;
+  for (const FrugalityReport& r : mr.per_round) {
+    flat.total_bits += r.total_bits;
+    flat.budget_bits = r.budget_bits;
+  }
+  if (flat.budget_bits == 0) flat.budget_bits = log_budget_bits(n);
+  return flat;
+}
+
+/// The multi-round cell pipeline: same input handling and grading as the
+/// one-round path, with the MultiRoundRunner supplying the wire discipline
+/// round by round (seal under round epochs, inject with per-round seeds,
+/// capture per round, typed refusal on any open).
+ScenarioResult run_multi_round_cell(const ScenarioSpec& spec,
+                                    const Simulator& sim,
+                                    std::vector<Message>& transcript,
+                                    DecodeArena& arena,
+                                    const TranscriptSink* capture) {
+  ScenarioResult res;
+  const CellInput in = make_cell_input(spec);
+  const GraphView g = in.view();
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const LocalViewPack views =
+      in.file_backed ? LocalViewPack(in.csr) : LocalViewPack(in.graph);
+
+  MultiRoundReport mr;
+  try {
+    const auto protocol = make_campaign_multi_round_protocol(spec);
+
+    FaultPlan plan = spec.faults;
+    plan.seed = mix64(spec.seed ^ kFaultStream);
+
+    // A stale replay steals the donor cell's *round-0* wire: the donor is
+    // the same multi-round protocol on the re-seeded cell, sealed under
+    // the donor's epoch — which this cell's round-0 open refuses.
+    std::vector<Message> donor;
+    if (spec.faults.correlated.stale_replays > 0) {
+      const ScenarioSpec dspec = stale_donor_spec(spec);
+      const auto dproto = make_campaign_multi_round_protocol(dspec);
+      const auto encode_round0 = [&](const LocalViewPack& dviews,
+                                     std::uint32_t dn) {
+        donor.resize(dn);
+        for (std::uint32_t v = 0; v < dn; ++v) {
+          donor[v] = dproto->node_message(dviews.view(static_cast<Vertex>(v)),
+                                          0, {});
+        }
+        seal_transcript(scenario_epoch(dspec), dn, donor);
+      };
+      if (in.file_backed) {
+        encode_round0(views, n);
+      } else {
+        const Graph dg = make_campaign_graph(dspec);
+        encode_round0(LocalViewPack(dg),
+                      static_cast<std::uint32_t>(dg.vertex_count()));
+      }
+    }
+
+    RoundTranscriptSink round_sink;
+    if (capture != nullptr) {
+      round_sink = [capture](unsigned round, std::uint64_t epoch,
+                             std::uint32_t nn, std::span<const Message> wire) {
+        (*capture)(round, epoch, nn, wire);
+      };
+    }
+
+    MultiRoundRunOptions opts;
+    opts.cell_epoch = scenario_epoch(spec);
+    opts.faults = plan.active() ? &plan : nullptr;
+    opts.round0_donor = donor;
+    opts.report = &mr;
+    opts.journal = &res.journal;
+    opts.capture = capture != nullptr ? &round_sink : nullptr;
+    const MultiRoundRunner runner(sim.pool());
+    const Graph h = runner.run(views, *protocol, transcript, arena, opts);
+    res.outcome = graphs_equal(h, g) ? "exact" : "silent-wrong";
+  } catch (const DecodeError& e) {
+    res.outcome = "loud";
+    res.detail = decode_fault_name(e.fault());
+  }
+  res.report = flatten_multi_round_report(n, mr);
+  res.contract_ok = res.outcome != "silent-wrong";
+  return res;
 }
 
 /// The single cell pipeline, generated and file-backed alike: input →
@@ -212,6 +319,9 @@ void finish_cell(const ScenarioSpec& spec, const LocalEncoder& enc,
 ScenarioResult run_cell(const ScenarioSpec& spec, const Simulator& sim,
                         std::vector<Message>& transcript, DecodeArena& arena,
                         const TranscriptSink* capture) {
+  if (is_multi_round_protocol(spec.protocol)) {
+    return run_multi_round_cell(spec, sim, transcript, arena, capture);
+  }
   ScenarioResult res;
   const CellInput in = make_cell_input(spec);
   const GraphView g = in.view();
@@ -274,6 +384,16 @@ const std::vector<std::string>& campaign_protocols() {
   return names;
 }
 
+const std::vector<std::string>& campaign_multi_round_protocols() {
+  static const std::vector<std::string> names{"adaptive-degeneracy"};
+  return names;
+}
+
+bool is_multi_round_protocol(const std::string& protocol) {
+  const auto& names = campaign_multi_round_protocols();
+  return std::find(names.begin(), names.end(), protocol) != names.end();
+}
+
 std::uint64_t scenario_epoch(const ScenarioSpec& spec) {
   std::uint64_t h = mix64(spec.seed ^ kEpochStream);
   h = mix64(h ^ fnv1a(spec.generator));
@@ -284,6 +404,10 @@ std::uint64_t scenario_epoch(const ScenarioSpec& spec) {
   // replay between two cells differing only in that axis would pass the
   // envelope. p is a grid axis too (gnp/bipartite families).
   h = mix64(h ^ std::bit_cast<std::uint64_t>(spec.p));
+  // The round cap shapes multi-round transcripts, so it is an epoch axis
+  // too — but only when set: every pre-existing cell has rounds == 0 and
+  // must keep its sealed epoch (the golden fixtures pin this).
+  if (spec.rounds != 0) h = mix64(h ^ kRoundsStream ^ spec.rounds);
   return h;
 }
 
@@ -353,6 +477,59 @@ ScenarioResult replay_scenario(const ScenarioSpec& spec,
   return res;
 }
 
+ScenarioResult replay_scenario(const ScenarioSpec& spec,
+                               const std::vector<std::string>& round_paths) {
+  REFEREE_CHECK_MSG(!round_paths.empty(),
+                    "multi-round replay needs at least one round transcript");
+  const CellInput in = make_cell_input(spec);
+  const GraphView g = in.view();
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const auto protocol = make_campaign_multi_round_protocol(spec);
+  const std::uint64_t cell_epoch = scenario_epoch(spec);
+  DecodeArena& arena = DecodeArena::for_current_thread();
+
+  ScenarioResult res;
+  std::vector<std::vector<Message>> inbox;
+  try {
+    for (unsigned round = 0; round < round_paths.size(); ++round) {
+      const MmapTranscriptSource source(round_paths[round]);
+      const std::uint64_t epoch = round_epoch(cell_epoch, round);
+      REFEREE_CHECK_MSG(source.epoch() == epoch,
+                        "transcript epoch does not match round " +
+                            std::to_string(round) + ": " + round_paths[round]);
+      REFEREE_CHECK_MSG(source.node_count() == n,
+                        "transcript node count does not match the scenario: " +
+                            round_paths[round]);
+      const std::vector<Message> wire = source.messages();
+      inbox.emplace_back();
+      open_transcript_into(epoch, n, wire, arena, inbox.back());
+      // Opened payloads are the pre-seal messages, so the replayed audit
+      // matches the live runner's pre-seal audit of the same round.
+      const FrugalityReport audit = audit_frugality(n, inbox.back());
+      res.report.n = n;
+      res.report.max_bits = std::max(res.report.max_bits, audit.max_bits);
+      res.report.total_bits += audit.total_bits;
+      res.report.budget_bits = audit.budget_bits;
+      auto outcome = protocol->referee_round(n, round, inbox);
+      if (outcome.result.has_value()) {
+        res.outcome = graphs_equal(*outcome.result, g) ? "exact"
+                                                       : "silent-wrong";
+        res.contract_ok = res.outcome != "silent-wrong";
+        return res;
+      }
+    }
+    // The live runner captured every executed round; running out of files
+    // without a result is exactly the stalled refusal it would have hit.
+    throw DecodeError(DecodeFault::kStalled,
+                      protocol->name() + ": transcript ends without result");
+  } catch (const DecodeError& e) {
+    res.outcome = "loud";
+    res.detail = decode_fault_name(e.fault());
+  }
+  res.contract_ok = true;
+  return res;
+}
+
 ScenarioSpec shrink_scenario(
     const ScenarioSpec& spec,
     const std::function<bool(const ScenarioSpec&)>& still_fails) {
@@ -372,6 +549,18 @@ ScenarioSpec shrink_scenario(
   };
   while (progress) {
     progress = false;
+    // Rounds shrink before n: dropping a whole round removes n messages at
+    // once, so a multi-round repro collapses to the earliest round that
+    // still trips before its payloads start shrinking.
+    if (current.rounds > 1) {
+      ScenarioSpec cand = current;
+      cand.rounds = std::max(1u, current.rounds / 2);
+      if (!attempt(std::move(cand))) {
+        cand = current;
+        cand.rounds = current.rounds - 1;
+        attempt(std::move(cand));
+      }
+    }
     if (current.n > 4) {
       ScenarioSpec cand = current;
       cand.n = std::max<std::size_t>(4, current.n / 2);
@@ -419,6 +608,14 @@ ScenarioSpec shrink_scenario(
         zero_field([&](ScenarioSpec& s) {
           s.faults.correlated.stale_replays = cor.stale_replays / 2;
         });
+      }
+    }
+    if (current.faults.adaptive.budget > 0) {
+      zero_field([](ScenarioSpec& s) { s.faults.adaptive.budget = 0; });
+      if (current.faults.adaptive.budget > 1) {
+        const unsigned budget = current.faults.adaptive.budget;
+        zero_field(
+            [budget](ScenarioSpec& s) { s.faults.adaptive.budget = budget / 2; });
       }
     }
     if (current.seed != 1) {

@@ -41,6 +41,11 @@ struct ScenarioSpec {
   std::string protocol = "degeneracy";  // see campaign_protocols()
   std::uint64_t seed = 1;               // graph randomness
   FaultPlan faults;                     // message corruption, if any
+  /// Round cap for multi-round protocols (campaign_multi_round_protocols());
+  /// 0 keeps the protocol's own default cap and MUST stay 0 for one-round
+  /// protocols — the epoch derivation only mixes a nonzero value, so every
+  /// pre-existing single-round cell keeps its sealed epoch.
+  unsigned rounds = 0;
 };
 
 /// Outcome of one scenario. `outcome` is one of:
@@ -63,6 +68,19 @@ struct ScenarioResult {
 /// Families / protocols the campaign knows how to instantiate by name.
 const std::vector<std::string>& campaign_generators();
 const std::vector<std::string>& campaign_protocols();
+
+/// Multi-round protocols the campaign can run as cells. Kept separate from
+/// campaign_protocols() — the one-round list feeds make_campaign_protocol
+/// and the golden one-round fixtures; these feed
+/// make_campaign_multi_round_protocol and the MultiRoundRunner cell path.
+const std::vector<std::string>& campaign_multi_round_protocols();
+bool is_multi_round_protocol(const std::string& protocol);
+
+/// The multi-round protocol instance a scenario runs (spec.protocol must be
+/// in campaign_multi_round_protocols()). spec.rounds, when nonzero, caps
+/// the rounds; past the cap the runner refuses with kStalled.
+std::shared_ptr<const MultiRoundProtocol> make_campaign_multi_round_protocol(
+    const ScenarioSpec& spec);
 
 /// "file:<path>" generator specs name an on-disk binary edge list instead
 /// of a named family; the cell's graph is mmap'd (or streamed through a
@@ -100,14 +118,16 @@ std::uint64_t scenario_epoch(const ScenarioSpec& spec);
 /// a re-derived seed (hence a different graph and a different epoch).
 ScenarioSpec stale_donor_spec(const ScenarioSpec& spec);
 
-/// Capture hook for the wire transcript of a cell: called once per run
+/// Capture hook for the wire transcript of a cell: called once per
+/// executed round (single-round cells fire exactly once, with round 0)
 /// with the sealed — and, when the cell injects faults, faulted — messages
 /// exactly as the referee is about to open them, plus the epoch they were
 /// sealed under. Fires for loud cells too (the capture happens before the
 /// open that refuses), so every outcome is replayable offline. Persist
 /// with write_transcript_file; replay with replay_scenario.
-using TranscriptSink = std::function<void(
-    std::uint64_t epoch, std::uint32_t n, std::span<const Message> wire)>;
+using TranscriptSink =
+    std::function<void(unsigned round, std::uint64_t epoch, std::uint32_t n,
+                       std::span<const Message> wire)>;
 
 /// Run a single cell end to end. This is exactly what the execution
 /// backends do per grid cell; exposed for the fault-contract harness and
@@ -131,10 +151,20 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Simulator& sim,
 ScenarioResult replay_scenario(const ScenarioSpec& spec,
                                const std::string& transcript_path);
 
+/// Multi-round offline replay: one captured reftrn1 file per executed
+/// round, in round order (what `refereectl campaign --capture-dir` writes
+/// as cell-<id>.rtr, cell-<id>.r1.rtr, …). Each file is opened under its
+/// round's epoch and fed to referee_round exactly as the live runner did;
+/// a cell that ran out of files without a result is graded kStalled.
+ScenarioResult replay_scenario(const ScenarioSpec& spec,
+                               const std::vector<std::string>& round_paths);
+
 /// Greedily shrink a failing cell to a minimal repro: while `still_fails`
-/// holds, shrink n, zero out fault families one at a time, halve fault
-/// counts and reset the seed. Deterministic; returns the smallest spec
-/// found (the input itself if `still_fails(spec)` is already false).
+/// holds, drop rounds (multi-round cells), shrink n (which drops messages
+/// within every round), zero out fault families one at a time, halve fault
+/// counts and the adaptive budget, and reset the seed. Deterministic;
+/// returns the smallest spec found (the input itself if
+/// `still_fails(spec)` is already false).
 ScenarioSpec shrink_scenario(
     const ScenarioSpec& spec,
     const std::function<bool(const ScenarioSpec&)>& still_fails);

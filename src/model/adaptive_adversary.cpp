@@ -1,0 +1,189 @@
+#include "model/adaptive_adversary.hpp"
+
+#include <algorithm>
+
+#include "model/envelope.hpp"
+#include "support/bits.hpp"
+#include "support/check.hpp"
+#include "support/random.hpp"
+
+namespace referee {
+
+namespace {
+
+// Stream tag for the adversary's only random choices (which header bit to
+// flip, where to cut a truncation). Target *selection* never consumes
+// randomness — it is a pure function of the wire — so the adaptive family
+// keeps the stream-alignment contract with every oblivious family.
+constexpr std::uint64_t kAdaptiveStream = 0x6164617074000005ull;  // "adapt"
+
+// Strike kinds rotate through the ranked targets in this order; the cost
+// of a strike is deducted from AdaptiveFaults::budget.
+enum class StrikeKind { kBlank, kHeaderFlip, kTruncate, kSwap };
+
+constexpr unsigned strike_cost(StrikeKind kind) {
+  switch (kind) {
+    case StrikeKind::kBlank: return 1;
+    case StrikeKind::kHeaderFlip: return 1;
+    case StrikeKind::kTruncate: return 2;
+    case StrikeKind::kSwap: return 3;
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::vector<StrikeContext> score_strike_targets(
+    std::span<const Message> wire) {
+  std::vector<StrikeContext> contexts;
+  contexts.reserve(wire.size());
+  std::size_t max_bits = 0;
+  for (const Message& m : wire) max_bits = std::max(max_bits, m.bit_size());
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    // Lower score = struck earlier. The dominant term prefers the largest
+    // payload (the wire-observable proxy for the highest-degree sender);
+    // the additive term prefers the epoch-boundary slots — the first and
+    // last message of the round — among equal sizes.
+    const bool boundary = i == 0 || i + 1 == wire.size();
+    StrikeContext ctx;
+    ctx.slot = i;
+    ctx.score = 4 * static_cast<std::uint64_t>(max_bits - wire[i].bit_size()) +
+                (boundary ? 0 : 2);
+    contexts.push_back(ctx);
+  }
+  // The beam discipline: always work on the context with the lowest score;
+  // ties resolve to the lower slot so the ranking is total and
+  // platform-independent.
+  std::sort(contexts.begin(), contexts.end(),
+            [](const StrikeContext& a, const StrikeContext& b) {
+              return a.score != b.score ? a.score < b.score : a.slot < b.slot;
+            });
+  return contexts;
+}
+
+FaultJournal apply_adaptive_adversary(std::vector<Message>& wire,
+                                      std::uint32_t n,
+                                      const AdaptiveFaults& adv,
+                                      std::uint64_t seed) {
+  FaultJournal journal;
+  if (!adv.active() || wire.empty()) return journal;
+  const auto contexts = score_strike_targets(wire);
+  const std::size_t header_bits =
+      static_cast<std::size_t>(kEpochTagBits) + log_budget_bits(n);
+
+  std::vector<bool> struck(wire.size(), false);
+  unsigned budget = adv.budget;
+  std::size_t kind_cursor = 0;  // rotates blank / flip / truncate / swap
+
+  const auto blank = [&](std::size_t slot) {
+    wire[slot] = Message();
+    journal.events.push_back(FaultEvent{FaultType::kAdaptiveBlank, slot, 0});
+  };
+
+  for (std::size_t rank = 0; rank < contexts.size() && budget > 0; ++rank) {
+    const std::size_t slot = contexts[rank].slot;
+    if (struck[slot]) continue;  // a swap already consumed this slot
+    auto kind = static_cast<StrikeKind>(kind_cursor % 4);
+    ++kind_cursor;
+    // Strikes that need an intact envelope header degrade to a blank when
+    // the slot cannot support them (message already shorter than the
+    // header) or the budget cannot afford them — a blank costs 1 and is
+    // always loud, so the adversary never wastes a point silently.
+    if (budget < strike_cost(kind) ||
+        (kind != StrikeKind::kBlank && wire[slot].bit_size() < header_bits)) {
+      kind = StrikeKind::kBlank;
+    }
+    struck[slot] = true;
+    Rng rng(mix64(seed ^ kAdaptiveStream ^ slot));
+    switch (kind) {
+      case StrikeKind::kBlank:
+        blank(slot);
+        break;
+      case StrikeKind::kHeaderFlip: {
+        // A flip in the tag region forges the epoch; in the id region it
+        // forges the sender. Either way the exact-width header field no
+        // longer matches, so the typed refusal is decidable from the bit
+        // index alone (see expected_envelope_fault).
+        const std::size_t bit = rng.below(header_bits);
+        wire[slot].flip_bit(bit);
+        journal.events.push_back(
+            FaultEvent{FaultType::kAdaptiveHeaderFlip, slot, bit});
+        break;
+      }
+      case StrikeKind::kTruncate: {
+        // Keep a nonzero prefix strictly inside the header, so the tag or
+        // id read is guaranteed to run off the end (kTruncated).
+        const std::size_t keep = 1 + rng.below(header_bits - 1);
+        wire[slot].truncate(keep);
+        journal.events.push_back(
+            FaultEvent{FaultType::kAdaptiveTruncate, slot, keep});
+        break;
+      }
+      case StrikeKind::kSwap: {
+        // Partner: the next unstruck context in score order. Identical
+        // wire messages would make the swap a silent no-op (possible only
+        // when an oblivious duplication already equalized them), so those
+        // partners are skipped.
+        std::size_t partner = wire.size();
+        for (std::size_t r = rank + 1; r < contexts.size(); ++r) {
+          const std::size_t cand = contexts[r].slot;
+          if (!struck[cand] && !(wire[cand] == wire[slot])) {
+            partner = cand;
+            break;
+          }
+        }
+        if (partner == wire.size()) {
+          kind = StrikeKind::kBlank;  // charged as the blank it became
+          blank(slot);
+          break;
+        }
+        struck[partner] = true;
+        std::swap(wire[slot], wire[partner]);
+        journal.events.push_back(FaultEvent{FaultType::kAdaptiveSwap,
+                                            std::min(slot, partner),
+                                            std::max(slot, partner)});
+        break;
+      }
+    }
+    budget -= strike_cost(kind);
+  }
+  return journal;
+}
+
+std::string expected_envelope_fault(const FaultJournal& journal,
+                                    std::uint32_t n) {
+  // open_transcript checks slots in id order; the lowest struck slot
+  // decides the refusal. Within a slot the check order is presence, then
+  // epoch tag, then sender id — which is exactly what each strike kind
+  // maps onto below.
+  (void)n;
+  std::size_t best_slot = static_cast<std::size_t>(-1);
+  std::string fault;
+  for (const FaultEvent& e : journal.events) {
+    if (!is_adaptive_fault(e.type)) continue;
+    const std::size_t slot = e.index;  // swaps store index < detail
+    if (slot >= best_slot) continue;
+    best_slot = slot;
+    switch (e.type) {
+      case FaultType::kAdaptiveBlank:
+        fault = decode_fault_name(DecodeFault::kMissingMessage);
+        break;
+      case FaultType::kAdaptiveTruncate:
+        fault = decode_fault_name(DecodeFault::kTruncated);
+        break;
+      case FaultType::kAdaptiveHeaderFlip:
+        fault = e.detail < static_cast<std::uint64_t>(kEpochTagBits)
+                    ? decode_fault_name(DecodeFault::kEpochMismatch)
+                    : decode_fault_name(DecodeFault::kIdMismatch);
+        break;
+      case FaultType::kAdaptiveSwap:
+        fault = decode_fault_name(DecodeFault::kIdMismatch);
+        break;
+      default:
+        break;
+    }
+  }
+  return fault;
+}
+
+}  // namespace referee

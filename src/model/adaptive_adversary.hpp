@@ -1,0 +1,81 @@
+// The transcript-aware (adaptive) fault injector.
+//
+// Every fault model before this one was oblivious: it corrupted slots drawn
+// blindly from a seed stream. A real adversary looks first. This injector
+// opens the sealed wire transcript — the exact bytes the referee is about
+// to see, via an in-memory envelope or an MmapTranscriptSource — scores
+// every slot from its *contents*, and spends a deterministic corruption
+// budget on the most valuable targets:
+//
+//   * largest payload first — under every campaign protocol the payload
+//     size grows with the sender's degree, so "largest payload" is the
+//     wire-observable proxy for "highest-degree sender";
+//   * epoch-boundary slots (the first and last message of the round) are
+//     preferred at equal size — they frame the transcript, and off-by-one
+//     decoders historically die there.
+//
+// The search shape follows the beam contexts of ltsmin's partial-order
+// reduction (SNIPPETS.md, por-beam.c): one scored StrikeContext per
+// candidate slot, a work list always consuming the context with the
+// lowest score, each consumption spending budget. Strike kinds rotate
+// through blank / header-flip / truncate / swap so a budget of a few
+// points exercises several distinct envelope checks per cell.
+//
+// Loudness by construction: every strike the adversary can afford targets
+// the *envelope*, where each corruption has a guaranteed typed refusal —
+//   blank                -> kMissingMessage
+//   header flip (tag)    -> kEpochMismatch
+//   header flip (id)     -> kIdMismatch
+//   truncate into header -> kTruncated
+//   swap two slots       -> kIdMismatch
+// so the zero-silent-wrong contract is testable per strike, not just per
+// sweep: expected_envelope_fault() replays the envelope's check order over
+// a journal and predicts the exact DecodeFault the referee must raise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/fault_model.hpp"
+#include "model/message.hpp"
+
+namespace referee {
+
+/// One scored candidate target — the por-beam "search context" of the
+/// budgeted strike search. Lower score = struck earlier.
+struct StrikeContext {
+  std::size_t slot = 0;
+  std::uint64_t score = 0;
+
+  friend bool operator==(const StrikeContext&, const StrikeContext&) = default;
+};
+
+/// Score every slot of a sealed wire transcript. Pure function of the wire
+/// (bit sizes and slot positions); exposed for the harness, which asserts
+/// the adversary really does strike the largest payload first.
+std::vector<StrikeContext> score_strike_targets(
+    std::span<const Message> wire);
+
+/// Apply the adaptive adversary to a sealed wire transcript in place.
+/// `n` is the node count the envelope was sealed for (header width =
+/// kEpochTagBits + log_budget_bits(n)); `seed` drives only the bit choice
+/// inside a chosen header region, never target selection. Returns the
+/// journal of applied strikes, in application order (lowest score first).
+/// Deterministic in (wire contents, n, adv.budget, seed).
+FaultJournal apply_adaptive_adversary(std::vector<Message>& wire,
+                                      std::uint32_t n,
+                                      const AdaptiveFaults& adv,
+                                      std::uint64_t seed);
+
+/// Predict the typed DecodeFault name ("missing-message", ...) the
+/// envelope must raise for a journal of adaptive strikes, by replaying the
+/// open_transcript check order: slots are checked in id order, and within
+/// a slot presence before tag before id. Empty string when the journal
+/// holds no adaptive events. The fault-contract harness asserts
+/// ScenarioResult::detail equals this — cause→effect per strike.
+std::string expected_envelope_fault(const FaultJournal& journal,
+                                    std::uint32_t n);
+
+}  // namespace referee

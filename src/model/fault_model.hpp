@@ -22,8 +22,10 @@
 namespace referee {
 
 /// Every way the injector can corrupt a transcript. The first two are the
-/// legacy independent per-message models; the rest are the correlated
-/// campaign-level models.
+/// legacy independent per-message models; the middle four are the correlated
+/// campaign-level models; the kAdaptive* strikes are chosen by the
+/// transcript-aware adversary (model/adaptive_adversary.hpp), which reads
+/// the sealed wire before deciding where to hit.
 enum class FaultType {
   kBitFlip,      // flip one uniformly chosen bit of a message
   kTruncate,     // keep a uniform proper prefix (>= 1 bit)
@@ -32,6 +34,10 @@ enum class FaultType {
   kPayloadSwap,  // swap the payloads of two vertices
   kStaleReplay,  // replace a message with the same node's message from a
                  // donor scenario cell (a different epoch)
+  kAdaptiveBlank,       // adversary blanks a scored target slot
+  kAdaptiveHeaderFlip,  // adversary flips one envelope-header bit
+  kAdaptiveTruncate,    // adversary truncates into the envelope header
+  kAdaptiveSwap,        // adversary swaps two scored target slots
 };
 
 constexpr const char* fault_type_name(FaultType type) {
@@ -42,8 +48,20 @@ constexpr const char* fault_type_name(FaultType type) {
     case FaultType::kDuplicateId: return "duplicate-id";
     case FaultType::kPayloadSwap: return "payload-swap";
     case FaultType::kStaleReplay: return "stale-replay";
+    case FaultType::kAdaptiveBlank: return "adaptive-blank";
+    case FaultType::kAdaptiveHeaderFlip: return "adaptive-header-flip";
+    case FaultType::kAdaptiveTruncate: return "adaptive-truncate";
+    case FaultType::kAdaptiveSwap: return "adaptive-swap";
   }
   return "unknown";
+}
+
+/// True for strikes chosen by the transcript-aware adversary.
+constexpr bool is_adaptive_fault(FaultType type) {
+  return type == FaultType::kAdaptiveBlank ||
+         type == FaultType::kAdaptiveHeaderFlip ||
+         type == FaultType::kAdaptiveTruncate ||
+         type == FaultType::kAdaptiveSwap;
 }
 
 /// Correlated fault knobs, expanded deterministically per campaign cell.
@@ -73,13 +91,35 @@ struct CorrelatedFaults {
                          const CorrelatedFaults&) = default;
 };
 
+/// The transcript-aware adversary's knobs. Unlike the oblivious families
+/// above, the adaptive injector *reads* the sealed wire before striking:
+/// it scores every slot from transcript contents (largest payload — a proxy
+/// for the highest-degree sender — and epoch-boundary slots first) and
+/// spends `budget` strike points lowest-score-first. Strike selection is a
+/// pure function of (wire bytes, seed, budget), so adaptive cells stay as
+/// reproducible as oblivious ones. See model/adaptive_adversary.hpp.
+struct AdaptiveFaults {
+  /// Strike points to spend. Blanks and header flips cost 1, truncations 2,
+  /// swaps 3; 0 disables the adversary.
+  unsigned budget = 0;
+
+  bool active() const { return budget > 0; }
+
+  friend bool operator==(const AdaptiveFaults&,
+                         const AdaptiveFaults&) = default;
+};
+
 /// One applied fault. `detail` is type-specific:
-///   kBitFlip      flipped bit index
-///   kTruncate     bits kept
-///   kDrop         0
-///   kDuplicateId  source slot whose message now also sits at `index`
-///   kPayloadSwap  partner slot (one event per pair, index < detail)
-///   kStaleReplay  0 (donor slot == index by construction)
+///   kBitFlip             flipped bit index
+///   kTruncate            bits kept
+///   kDrop                0
+///   kDuplicateId         source slot whose message now also sits at `index`
+///   kPayloadSwap         partner slot (one event per pair, index < detail)
+///   kStaleReplay         0 (donor slot == index by construction)
+///   kAdaptiveBlank       0
+///   kAdaptiveHeaderFlip  flipped header bit index (< tag+id width)
+///   kAdaptiveTruncate    bits kept (inside the envelope header)
+///   kAdaptiveSwap        partner slot (one event per pair, index < detail)
 struct FaultEvent {
   FaultType type = FaultType::kBitFlip;
   std::size_t index = 0;
@@ -101,14 +141,27 @@ struct FaultJournal {
     return c;
   }
 
-  /// Did any fault touch message slot `index`? (Payload swaps touch both
-  /// slots of the pair.)
+  /// Did any fault touch message slot `index`? (Swaps — payload or
+  /// adaptive — touch both slots of the pair.)
   bool touched(std::size_t index) const {
     for (const FaultEvent& e : events) {
       if (e.index == index) return true;
-      if (e.type == FaultType::kPayloadSwap && e.detail == index) return true;
+      if ((e.type == FaultType::kPayloadSwap ||
+           e.type == FaultType::kAdaptiveSwap) &&
+          e.detail == index) {
+        return true;
+      }
     }
     return false;
+  }
+
+  /// Strikes recorded by the transcript-aware adversary.
+  std::size_t adaptive_count() const {
+    std::size_t c = 0;
+    for (const FaultEvent& e : events) {
+      if (is_adaptive_fault(e.type)) ++c;
+    }
+    return c;
   }
 
   bool empty() const { return events.empty(); }

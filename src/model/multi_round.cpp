@@ -1,0 +1,101 @@
+#include "model/multi_round_runner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "model/envelope.hpp"
+#include "support/check.hpp"
+#include "support/random.hpp"
+
+namespace referee {
+
+namespace {
+
+// Stream tag deriving per-round epochs and fault seeds from the cell's.
+// Round 0 stays untouched on both axes so a 1-round cell is wire-identical
+// to a single-round campaign cell sealed under the same epoch.
+constexpr std::uint64_t kRoundStream = 0x726f756e64000006ull;  // "round"
+
+}  // namespace
+
+std::uint64_t round_epoch(std::uint64_t cell_epoch, unsigned round) {
+  if (round == 0) return cell_epoch;
+  return mix64(cell_epoch ^ kRoundStream ^ round);
+}
+
+std::uint64_t round_fault_seed(std::uint64_t seed, unsigned round) {
+  if (round == 0) return seed;
+  return mix64(seed ^ kRoundStream ^ round);
+}
+
+Graph MultiRoundRunner::run(const LocalViewPack& views,
+                            const MultiRoundProtocol& protocol,
+                            std::vector<Message>& wire, DecodeArena& arena,
+                            const MultiRoundRunOptions& opts) const {
+  const auto n = static_cast<std::uint32_t>(views.size());
+
+  // Out-parameters are written in place, round by round, so a typed refusal
+  // mid-cell still leaves the caller with the rounds executed and the
+  // faults applied up to the throw — classify_cell and shrink_scenario
+  // depend on that for multi-round repros.
+  MultiRoundReport report_fallback;
+  MultiRoundReport& report =
+      opts.report != nullptr ? *opts.report : report_fallback;
+  report = MultiRoundReport{};
+  FaultJournal journal_fallback;
+  FaultJournal& journal =
+      opts.journal != nullptr ? *opts.journal : journal_fallback;
+  journal.events.clear();
+
+  std::vector<std::vector<Message>> inbox;  // inbox[round][node], payloads
+  std::vector<Message> feedback;            // broadcasts so far
+  for (unsigned round = 0; round < protocol.max_rounds(); ++round) {
+    // Local phase: one uplink message per node, into the caller's reusable
+    // wire buffer.
+    wire.resize(n);
+    maybe_parallel_for(pool_, 0, n, [&](std::size_t v) {
+      wire[v] = protocol.node_message(views.view(static_cast<Vertex>(v)),
+                                      round, feedback);
+    });
+
+    // Frugality is audited pre-seal: the budget statement is about the
+    // protocol's payloads, not the envelope substrate.
+    report.per_round.push_back(audit_frugality(n, wire));
+    report.max_bits = std::max(report.max_bits, report.per_round.back().max_bits);
+    report.rounds_used = round + 1;
+
+    const std::uint64_t epoch = round_epoch(opts.cell_epoch, round);
+    seal_transcript(epoch, n, wire);
+
+    if (opts.faults != nullptr && opts.faults->active()) {
+      FaultPlan plan = *opts.faults;
+      plan.seed = round_fault_seed(opts.faults->seed, round);
+      // Stale replays splice donor messages sealed under the donor cell's
+      // epoch; the donor wire only exists for round 0 (and the tag check
+      // refuses there, so later rounds never reach this branch anyway).
+      if (round != 0) plan.correlated.stale_replays = 0;
+      FaultJournal applied = Simulator::inject_faults(
+          wire, plan, round == 0 ? opts.round0_donor : std::span<const Message>{});
+      journal.events.insert(journal.events.end(), applied.events.begin(),
+                            applied.events.end());
+    }
+
+    if (opts.capture != nullptr) (*opts.capture)(round, epoch, n, wire);
+
+    // Open under the round epoch: any envelope violation is a typed
+    // DecodeError, which propagates as this cell's loud refusal.
+    inbox.emplace_back();
+    open_transcript_into(epoch, n, wire, arena, inbox.back());
+
+    auto outcome = protocol.referee_round(n, round, inbox);
+    if (outcome.result.has_value()) {
+      return *std::move(outcome.result);
+    }
+    report.broadcast_bits += outcome.broadcast.bit_size();
+    feedback.push_back(std::move(outcome.broadcast));
+  }
+  throw DecodeError(DecodeFault::kStalled,
+                    protocol.name() + ": exceeded max_rounds without result");
+}
+
+}  // namespace referee

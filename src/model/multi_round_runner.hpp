@@ -1,0 +1,85 @@
+// MultiRoundRunner: multi-round protocols on the campaign substrate.
+//
+// Simulator::run_multi_round used to hand raw node messages straight to
+// the referee — no envelope, no faults, no capture. This runner puts every
+// round through the same wire discipline as a one-round campaign cell:
+//
+//   encode round r  →  audit frugality (pre-seal)  →  seal under the
+//   round's epoch  →  inject faults (per-round seed)  →  capture  →
+//   open (typed DecodeError on any violation)  →  referee_round
+//
+// Per-round epochs make cross-round replays detectable: a round-0 message
+// replayed into round 2 fails the tag check exactly like a cross-cell
+// stale replay. Round 0 seals under the cell epoch itself, so a multi-round
+// cell's first-round transcript stays replayable by the same single-round
+// tooling (`refereectl transcript decode`, replay_scenario); later rounds
+// derive their epochs from it.
+//
+// The runner is the arena-side twin of the campaign cell pipeline: the
+// caller owns the wire buffer and the DecodeArena and reuses both across
+// cells, so a warm worker re-running multi-round cells does not grow the
+// arena. Only the inbox rows (one small vector per executed round, required
+// by the MultiRoundProtocol interface) allocate per run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "model/multi_round.hpp"
+#include "model/simulator.hpp"
+#include "support/arena.hpp"
+
+namespace referee {
+
+/// The envelope epoch of round `round` in a cell sealed under
+/// `cell_epoch`. Round 0 is the cell epoch itself; later rounds mix in the
+/// round index, so every round of every cell is its own replay domain.
+std::uint64_t round_epoch(std::uint64_t cell_epoch, unsigned round);
+
+/// The fault-plan seed for round `round`: round 0 keeps the plan's seed
+/// (a 1-round cell corrupts exactly like a single-round cell), later
+/// rounds re-derive so identical wire shapes do not repeat corruption.
+std::uint64_t round_fault_seed(std::uint64_t seed, unsigned round);
+
+/// Capture hook: fires once per executed round with the sealed — and,
+/// when the cell injects faults, faulted — wire exactly as the referee is
+/// about to open it. The single-round TranscriptSink with a round index.
+using RoundTranscriptSink = std::function<void(
+    unsigned round, std::uint64_t epoch, std::uint32_t n,
+    std::span<const Message> wire)>;
+
+struct MultiRoundRunOptions {
+  std::uint64_t cell_epoch = 0;
+  /// Faults applied to every round's sealed wire (null → fault-free).
+  /// Stale replays splice the donor below into round 0 only: a donor
+  /// message is sealed under the donor cell's epoch, so round 0's open
+  /// refuses and later rounds are unreachable under such plans.
+  const FaultPlan* faults = nullptr;
+  std::span<const Message> round0_donor;
+  /// Out-parameters survive a loud refusal: on DecodeError they hold the
+  /// rounds executed and faults applied up to the throw.
+  MultiRoundReport* report = nullptr;
+  FaultJournal* journal = nullptr;
+  const RoundTranscriptSink* capture = nullptr;
+};
+
+class MultiRoundRunner {
+ public:
+  /// `pool` may be null (sequential node phase). Not owned.
+  explicit MultiRoundRunner(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Execute `protocol` to completion. `wire` is the caller's reusable
+  /// round buffer (the campaign backend's transcript vector); `arena`
+  /// supplies all decode scratch. Throws typed DecodeError when a round's
+  /// open refuses or the protocol exceeds max_rounds() (kStalled).
+  Graph run(const LocalViewPack& views, const MultiRoundProtocol& protocol,
+            std::vector<Message>& wire, DecodeArena& arena,
+            const MultiRoundRunOptions& opts = {}) const;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace referee

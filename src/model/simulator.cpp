@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "model/adaptive_adversary.hpp"
+#include "model/multi_round_runner.hpp"
+
 namespace referee {
 
 std::vector<Message> Simulator::run_local_phase(
@@ -47,32 +50,16 @@ bool Simulator::run_decision(const Graph& g, const DecisionProtocol& protocol,
 Graph Simulator::run_multi_round(const Graph& g,
                                  const MultiRoundProtocol& protocol,
                                  MultiRoundReport* report) const {
-  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  // Fault-free convenience form: the runner still seals/opens every round
+  // (under epoch 0), so the frugality audit and round accounting are the
+  // same ones a campaign cell would see.
   const LocalViewPack views(g);
-  std::vector<std::vector<Message>> inbox;     // inbox[round][node]
-  std::vector<Message> feedback;               // broadcasts so far
-  MultiRoundReport local_report;
-  for (unsigned round = 0; round < protocol.max_rounds(); ++round) {
-    std::vector<Message> round_msgs(n);
-    maybe_parallel_for(pool_, 0, n, [&](std::size_t v) {
-      round_msgs[v] = protocol.node_message(views.view(static_cast<Vertex>(v)),
-                                            round, feedback);
-    });
-    local_report.per_round.push_back(audit_frugality(n, round_msgs));
-    local_report.max_bits =
-        std::max(local_report.max_bits, local_report.per_round.back().max_bits);
-    local_report.rounds_used = round + 1;
-    inbox.push_back(std::move(round_msgs));
-    auto outcome = protocol.referee_round(n, round, inbox);
-    if (outcome.result.has_value()) {
-      if (report != nullptr) *report = std::move(local_report);
-      return *std::move(outcome.result);
-    }
-    local_report.broadcast_bits += outcome.broadcast.bit_size();
-    feedback.push_back(std::move(outcome.broadcast));
-  }
-  throw DecodeError(DecodeFault::kStalled,
-                    protocol.name() + ": exceeded max_rounds without result");
+  std::vector<Message> wire;
+  MultiRoundRunner runner(pool_);
+  MultiRoundRunOptions opts;
+  opts.report = report;
+  return runner.run(views, protocol, wire, DecodeArena::for_current_thread(),
+                    opts);
 }
 
 namespace {
@@ -174,6 +161,17 @@ FaultJournal Simulator::inject_faults(std::vector<Message>& messages,
       m.truncate(keep);
       journal.events.push_back(FaultEvent{FaultType::kTruncate, i, keep});
     }
+  }
+
+  // 6. The adaptive adversary strikes last: it reads the wire exactly as
+  // the oblivious families delivered it and spends its budget on the
+  // scored targets. Its journal entries append after every oblivious
+  // event, preserving application order end to end.
+  if (plan.adaptive.active()) {
+    FaultJournal adaptive = apply_adaptive_adversary(
+        messages, static_cast<std::uint32_t>(n), plan.adaptive, plan.seed);
+    journal.events.insert(journal.events.end(), adaptive.events.begin(),
+                          adaptive.events.end());
   }
   return journal;
 }

@@ -48,10 +48,17 @@ struct FaultPlan {
   /// Correlated campaign-level faults (drop subset, duplicate ids, payload
   /// swaps, stale replays), expanded deterministically from `seed`.
   CorrelatedFaults correlated;
+  /// The transcript-aware adversary (model/adaptive_adversary.hpp): runs
+  /// after every oblivious family — the last hop before the referee — and
+  /// picks its targets by reading the corrupted wire as delivered. Assumes
+  /// the transcript is sealed (its strikes aim at the envelope header), so
+  /// only enveloped pipelines (the campaign) should enable it.
+  AdaptiveFaults adaptive;
   std::uint64_t seed = 1;
 
   bool active() const {
-    return bit_flip_chance > 0 || truncate_chance > 0 || correlated.active();
+    return bit_flip_chance > 0 || truncate_chance > 0 || correlated.active() ||
+           adaptive.active();
   }
 };
 
@@ -59,6 +66,10 @@ class Simulator {
  public:
   /// `pool` may be null (sequential local phase). Not owned.
   explicit Simulator(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// The worker pool this simulator parallelizes over (may be null). Lets
+  /// cell runners hand the same pool to a MultiRoundRunner.
+  ThreadPool* pool() const { return pool_; }
 
   /// Local phase only: message vector indexed by id-1.
   std::vector<Message> run_local_phase(const Graph& g,
@@ -92,7 +103,8 @@ class Simulator {
   /// and journals every applied fault. Correlated families are applied
   /// first (stale replays, payload swaps, duplicate ids, drops — in that
   /// order), then the independent per-message flips/truncations act on the
-  /// wire as delivered. `stale_donor`, required iff
+  /// wire as delivered, then the transcript-aware adaptive adversary reads
+  /// the result and spends its budget. `stale_donor`, required iff
   /// plan.correlated.stale_replays > 0, is the sealed transcript of the
   /// donor scenario cell (same length as `messages`); replayed slots take
   /// the donor message of the same vertex.

@@ -10,15 +10,18 @@
 // cells to minimal repros.
 //
 // Set FAULT_SWEEP_SCALE=large in the environment (the CI fault-sweep job
-// does) to enlarge the default 128-cell sweep to 1024 cells.
+// does) to enlarge the default 200-cell sweep to 1600 cells.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <filesystem>
 #include <map>
 
+#include "campaign/backend.hpp"
 #include "graph/io.hpp"
+#include "model/adaptive_adversary.hpp"
 #include "model/campaign.hpp"
+#include "model/envelope.hpp"
 
 namespace referee {
 namespace {
@@ -37,8 +40,11 @@ CampaignConfig sweep_config() {
   return config;
 }
 
-/// The typed fault each single-family plan must surface as, given the
-/// envelope's check order (presence, epoch, id).
+/// The typed fault each single-family correlated plan must surface as,
+/// given the envelope's check order (presence, epoch, id). Returns "" for
+/// adaptive-only plans — their detail depends on which strikes the
+/// adversary chose, so it is predicted from the journal instead (see
+/// expected_cell_detail).
 std::string expected_detail(const FaultPlan& plan) {
   const CorrelatedFaults& cor = plan.correlated;
   if (cor.drop_fraction > 0) return "missing-message";
@@ -47,11 +53,21 @@ std::string expected_detail(const FaultPlan& plan) {
   return "";
 }
 
+/// The typed fault a sweep cell must refuse with: the plan-level prediction
+/// when a correlated family is in play, otherwise the strike-level
+/// prediction replayed from the cell's own adaptive journal.
+std::string expected_cell_detail(const ScenarioSpec& spec,
+                                 const ScenarioResult& res) {
+  const std::string want = expected_detail(spec.faults);
+  if (!want.empty()) return want;
+  return expected_envelope_fault(res.journal, res.report.n);
+}
+
 TEST(FaultContract, DefaultSweepHasZeroSilentWrongCells) {
   const auto config = sweep_config();
   const auto grid = expand_grid(config);
   if (!large_sweep()) {
-    EXPECT_EQ(grid.size(), 128u);  // the advertised default sweep
+    EXPECT_EQ(grid.size(), 200u);  // the advertised default sweep
   }
   const CampaignRunner runner;
   const auto results = runner.run(grid);
@@ -62,12 +78,17 @@ TEST(FaultContract, DefaultSweepHasZeroSilentWrongCells) {
     ASSERT_TRUE(res.contract_ok)
         << spec.generator << "/" << spec.protocol << " seed " << spec.seed;
     // Every plan in the sweep corrupts the wire deterministically, so
-    // every cell must refuse — and with the fault kind its plan predicts.
+    // every cell must refuse — and with the fault kind its plan (or, for
+    // adaptive cells, its journal) predicts.
     EXPECT_EQ(res.outcome, "loud")
         << spec.generator << "/" << spec.protocol << " seed " << spec.seed;
-    EXPECT_EQ(res.detail, expected_detail(spec.faults))
+    EXPECT_EQ(res.detail, expected_cell_detail(spec, res))
         << spec.generator << "/" << spec.protocol << " seed " << spec.seed;
     EXPECT_FALSE(res.journal.empty());
+    if (spec.faults.adaptive.active()) {
+      EXPECT_GT(res.journal.adaptive_count(), 0u)
+          << spec.generator << "/" << spec.protocol << " seed " << spec.seed;
+    }
   }
 }
 
@@ -90,7 +111,7 @@ TEST(FaultContract, FileCellSweepCoversEveryProtocolAndStaysLoud) {
   write_edge_file(file, g.vertex_count(), edges);
 
   const auto grid = expand_grid(file_cell_sweep_config(file));
-  ASSERT_EQ(grid.size(), 80u);  // 8 protocols × 2 seeds × 5 fault plans
+  ASSERT_EQ(grid.size(), 108u);  // 9 protocols × 2 seeds × 6 fault plans
   const CampaignRunner runner;
   const auto results = runner.run(grid);
   ASSERT_EQ(results.size(), grid.size());
@@ -99,27 +120,29 @@ TEST(FaultContract, FileCellSweepCoversEveryProtocolAndStaysLoud) {
     const auto& res = results[i];
     ASSERT_TRUE(res.contract_ok)
         << spec.protocol << " seed " << spec.seed << " -> " << res.outcome;
-    const std::string want = expected_detail(spec.faults);
-    if (want.empty()) {
+    if (!spec.faults.active()) {
       EXPECT_TRUE(res.outcome == "exact" || res.outcome == "correct")
           << spec.protocol << " seed " << spec.seed << " -> " << res.outcome
           << " (" << res.detail << ")";
     } else {
       EXPECT_EQ(res.outcome, "loud") << spec.protocol << " seed " << spec.seed;
-      EXPECT_EQ(res.detail, want) << spec.protocol << " seed " << spec.seed;
+      EXPECT_EQ(res.detail, expected_cell_detail(spec, res))
+          << spec.protocol << " seed " << spec.seed;
       EXPECT_FALSE(res.journal.empty());
     }
   }
 }
 
 TEST(FaultContract, SecondSweepPassIsByteIdenticalAndArenaQuiescent) {
-  // The decode-arena reuse contract: one thread, the default 128-cell sweep
+  // The decode-arena reuse contract: one thread, the default 200-cell sweep
   // run twice back to back. Pass 1 warms the calling thread's DecodeArena;
   // pass 2 must produce byte-identical referee-campaign-v3 JSON *and* zero
   // arena growth — the instrumented form of "a steady-state campaign cell
-  // performs no decode-path heap allocations".
+  // performs no decode-path heap allocations". Multi-round cells route
+  // their per-round inboxes through plain vectors, so they neither grow
+  // nor bypass the arena's scratch accounting.
   const auto grid = expand_grid(default_fault_sweep_config());
-  ASSERT_EQ(grid.size(), 128u);
+  ASSERT_EQ(grid.size(), 200u);
   const CampaignRunner runner;  // no pool: both passes on this thread
   const std::string first = campaign_json(grid, runner.run(grid));
   DecodeArena& arena = DecodeArena::for_current_thread();
@@ -161,8 +184,18 @@ const std::map<std::string, std::string>& in_class_generator() {
       {"reduce-square", "squarefree"},
       {"reduce-triangle", "bipartite"},
       {"reduce-diameter", "gnp"},
+      {"adaptive-degeneracy", "kdeg"},
   };
   return pairing;
+}
+
+/// Every campaign protocol, one-round and multi-round alike — the full
+/// loudness-matrix axis.
+std::vector<std::string> all_campaign_protocols() {
+  std::vector<std::string> names = campaign_protocols();
+  const auto& multi = campaign_multi_round_protocols();
+  names.insert(names.end(), multi.begin(), multi.end());
+  return names;
 }
 
 ScenarioSpec in_class_spec(const std::string& protocol, std::uint64_t seed) {
@@ -176,15 +209,23 @@ ScenarioSpec in_class_spec(const std::string& protocol, std::uint64_t seed) {
 }
 
 TEST(FaultContract, EveryProtocolCoversTheAdvertisedList) {
-  // The pairing table and campaign_protocols() must not drift apart.
-  ASSERT_EQ(in_class_generator().size(), campaign_protocols().size());
-  for (const auto& name : campaign_protocols()) {
+  // The pairing table and the advertised protocol lists (one-round plus
+  // multi-round) must not drift apart.
+  const auto all = all_campaign_protocols();
+  ASSERT_EQ(in_class_generator().size(), all.size());
+  for (const auto& name : all) {
     EXPECT_TRUE(in_class_generator().count(name)) << name;
+  }
+  for (const auto& name : campaign_multi_round_protocols()) {
+    EXPECT_TRUE(is_multi_round_protocol(name)) << name;
+  }
+  for (const auto& name : campaign_protocols()) {
+    EXPECT_FALSE(is_multi_round_protocol(name)) << name;
   }
 }
 
 TEST(FaultContract, FaultFreeInClassCellsDecodeThroughTheEnvelope) {
-  for (const auto& protocol : campaign_protocols()) {
+  for (const auto& protocol : all_campaign_protocols()) {
     for (const std::uint64_t seed : {1ull, 2ull}) {
       const ScenarioSpec spec = in_class_spec(protocol, seed);
       const auto res = run_scenario(spec);
@@ -209,7 +250,7 @@ TEST(FaultContract, EveryProtocolIsLoudUnderEveryCorrelatedFault) {
                                                .payload_swaps = 1,
                                                .stale_replays = 1}},
   };
-  for (const auto& protocol : campaign_protocols()) {
+  for (const auto& protocol : all_campaign_protocols()) {
     for (std::size_t p = 0; p < plans.size(); ++p) {
       for (const std::uint64_t seed : {1ull, 2ull}) {
         ScenarioSpec spec = in_class_spec(protocol, seed);
@@ -227,6 +268,129 @@ TEST(FaultContract, EveryProtocolIsLoudUnderEveryCorrelatedFault) {
         EXPECT_FALSE(res.journal.empty()) << protocol << " plan " << p;
       }
     }
+  }
+}
+
+TEST(FaultContract, AdaptiveAdversaryStrikesLargestPayloadFirst) {
+  // The strike search on a hand-built wire: the ranking must prefer the
+  // largest payload, break size ties toward the epoch-boundary slots, and
+  // rotate strike kinds while the predictor names the typed refusal the
+  // envelope will raise — verified against a real open.
+  const std::uint32_t n = 6;
+  const std::uint64_t epoch = 0xC0FFEEull;
+  std::vector<Message> wire;
+  for (const unsigned bits : {8u, 3u, 16u, 16u, 5u, 16u}) {
+    BitWriter w;
+    for (unsigned b = 0; b < bits; ++b) w.write_bit((b & 1u) != 0);
+    wire.push_back(Message::seal(std::move(w)));
+  }
+  seal_transcript(epoch, n, wire);
+
+  // Slots 2, 3 and 5 carry the largest payload; 5 sits on the epoch
+  // boundary so it outranks them, and ties resolve to the lower slot.
+  const auto targets = score_strike_targets(wire);
+  ASSERT_EQ(targets.size(), wire.size());
+  EXPECT_EQ(targets[0].slot, 5u);
+  EXPECT_EQ(targets[1].slot, 2u);
+  EXPECT_EQ(targets[2].slot, 3u);
+  EXPECT_EQ(targets[3].slot, 0u);  // next-largest, boundary
+
+  // Budget 7 affords the full kind rotation: blank(1) + flip(1) +
+  // truncate(2) + swap(3), spent on the ranked targets in order.
+  const auto journal =
+      apply_adaptive_adversary(wire, n, AdaptiveFaults{.budget = 7}, 1);
+  ASSERT_EQ(journal.events.size(), 4u);
+  EXPECT_EQ(journal.events[0].type, FaultType::kAdaptiveBlank);
+  EXPECT_EQ(journal.events[0].index, 5u);
+  EXPECT_EQ(journal.events[1].type, FaultType::kAdaptiveHeaderFlip);
+  EXPECT_EQ(journal.events[1].index, 2u);
+  EXPECT_EQ(journal.events[2].type, FaultType::kAdaptiveTruncate);
+  EXPECT_EQ(journal.events[2].index, 3u);
+  EXPECT_EQ(journal.events[3].type, FaultType::kAdaptiveSwap);
+
+  // Cause→effect: the envelope refuses with exactly the predicted fault.
+  const std::string want = expected_envelope_fault(journal, n);
+  EXPECT_FALSE(want.empty());
+  DecodeArena& arena = DecodeArena::for_current_thread();
+  auto out = arena.scratch<Message>();
+  try {
+    open_transcript_into(epoch, n, wire, arena, *out);
+    FAIL() << "struck transcript opened cleanly";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(decode_fault_name(e.fault()), want);
+  }
+
+  // Determinism: same (wire, seed, budget) -> same strikes, different
+  // seed -> same targets (selection never consumes randomness).
+  std::vector<Message> replay;
+  for (const unsigned bits : {8u, 3u, 16u, 16u, 5u, 16u}) {
+    BitWriter w;
+    for (unsigned b = 0; b < bits; ++b) w.write_bit((b & 1u) != 0);
+    replay.push_back(Message::seal(std::move(w)));
+  }
+  seal_transcript(epoch, n, replay);
+  const auto again =
+      apply_adaptive_adversary(replay, n, AdaptiveFaults{.budget = 7}, 1);
+  EXPECT_EQ(again.events, journal.events);
+}
+
+TEST(FaultContract, AdaptiveAdversaryIsLoudOnEveryProtocol) {
+  // The adaptive × protocol loudness matrix: under every campaign protocol
+  // (multi-round included) and a range of budgets, every strike the
+  // adversary affords must surface as the exact typed refusal predicted by
+  // replaying the envelope check order over the cell's own journal —
+  // cause→effect per strike, not just per sweep.
+  for (const auto& protocol : all_campaign_protocols()) {
+    for (const unsigned budget : {1u, 2u, 3u, 5u}) {
+      for (const std::uint64_t seed : {1ull, 2ull}) {
+        ScenarioSpec spec = in_class_spec(protocol, seed);
+        spec.faults = FaultPlan{.adaptive = AdaptiveFaults{.budget = budget}};
+        const auto res = run_scenario(spec);
+        EXPECT_EQ(res.outcome, "loud")
+            << protocol << " budget " << budget << " seed " << seed;
+        EXPECT_TRUE(res.contract_ok) << protocol << " budget " << budget;
+        EXPECT_GT(res.journal.adaptive_count(), 0u)
+            << protocol << " budget " << budget;
+        EXPECT_EQ(res.detail,
+                  expected_envelope_fault(res.journal, res.report.n))
+            << protocol << " budget " << budget << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(FaultContract, AdaptiveJournalsAreIdenticalAcrossThreadsAndShards) {
+  // The determinism property for adaptive and multi-round cells: the fault
+  // journal — strike for strike — and the referee-campaign-v3 rows of the
+  // default sweep are pure functions of (cell spec, seed, budget), never
+  // of the thread count or shard topology that executed them.
+  const CampaignPlan plan{default_fault_sweep_config()};
+  const ThreadPoolBackend sequential;
+  const auto baseline = sequential.run_cells(plan);
+  const std::string baseline_json =
+      CampaignReport::from_results(plan, baseline).to_json();
+  std::size_t adaptive_cells = 0;
+  for (const auto& res : baseline) {
+    if (res.journal.adaptive_count() > 0) ++adaptive_cells;
+  }
+  EXPECT_GT(adaptive_cells, 0u) << "sweep lost its adaptive cells";
+
+  ThreadPool pool(4);
+  const ThreadPoolBackend threaded(&pool);
+  const auto cells = threaded.run_cells(plan);
+  ASSERT_EQ(cells.size(), baseline.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].journal.events, baseline[i].journal.events)
+        << "cell " << i << " journal drifts across thread counts";
+  }
+
+  for (const unsigned count : {2u, 5u}) {
+    CampaignReport merged;
+    for (unsigned k = 0; k < count; ++k) {
+      merged.merge(threaded.run(plan.shard(k, count)));
+    }
+    EXPECT_TRUE(merged.complete());
+    EXPECT_EQ(merged.to_json(), baseline_json) << count << " shards";
   }
 }
 
@@ -270,6 +434,61 @@ TEST(FaultContract, ShrinkerFindsMinimalRepro) {
   EXPECT_EQ(minimal.seed, 1u);
   EXPECT_EQ(minimal.faults.bit_flip_chance, 0.0);
   EXPECT_EQ(minimal.faults.correlated.payload_swaps, 0u);
+  EXPECT_GT(minimal.faults.correlated.drop_fraction, 0.0);
+}
+
+TEST(FaultContract, ShrinkerMinimizesAdaptiveRepro) {
+  // An adaptive failure buried in oblivious noise: the shrinker must strip
+  // the bit noise, shrink the graph, and halve the strike budget down to
+  // the single cheapest strike that still trips the envelope.
+  ScenarioSpec spec;
+  spec.generator = "kdeg";
+  spec.protocol = "degeneracy";
+  spec.n = 32;
+  spec.seed = 5;
+  spec.faults = FaultPlan{.bit_flip_chance = 0.2,
+                          .truncate_chance = 0.1,
+                          .adaptive = AdaptiveFaults{.budget = 6}};
+  const auto still_fails = [](const ScenarioSpec& cand) {
+    const auto res = run_scenario(cand);
+    return res.outcome == "loud" && res.journal.adaptive_count() > 0;
+  };
+  ASSERT_TRUE(still_fails(spec));
+  const ScenarioSpec minimal = shrink_scenario(spec, still_fails);
+  EXPECT_TRUE(still_fails(minimal));
+  EXPECT_EQ(minimal.n, 4u);
+  EXPECT_EQ(minimal.seed, 1u);
+  EXPECT_EQ(minimal.faults.bit_flip_chance, 0.0);
+  EXPECT_EQ(minimal.faults.truncate_chance, 0.0);
+  EXPECT_EQ(minimal.faults.adaptive.budget, 1u);
+  // The minimal repro is still strike-predictable: detail equals the
+  // journal replay of the envelope check order.
+  const auto res = run_scenario(minimal);
+  EXPECT_EQ(res.detail, expected_envelope_fault(res.journal, res.report.n));
+}
+
+TEST(FaultContract, ShrinkerCollapsesMultiRoundRepro) {
+  // A multi-round failing cell whose fault trips at round 0: the round
+  // count is irrelevant noise, and rounds shrink before anything else, so
+  // the repro must collapse to a single round before n and seed shrink.
+  ScenarioSpec spec;
+  spec.generator = "kdeg";
+  spec.protocol = "adaptive-degeneracy";
+  spec.n = 16;
+  spec.rounds = 6;
+  spec.seed = 3;
+  spec.faults =
+      FaultPlan{.correlated = CorrelatedFaults{.drop_fraction = 0.25}};
+  const auto still_fails = [](const ScenarioSpec& cand) {
+    const auto res = run_scenario(cand);
+    return res.outcome == "loud" && res.detail == "missing-message";
+  };
+  ASSERT_TRUE(still_fails(spec));
+  const ScenarioSpec minimal = shrink_scenario(spec, still_fails);
+  EXPECT_TRUE(still_fails(minimal));
+  EXPECT_EQ(minimal.rounds, 1u);
+  EXPECT_EQ(minimal.n, 4u);
+  EXPECT_EQ(minimal.seed, 1u);
   EXPECT_GT(minimal.faults.correlated.drop_fraction, 0.0);
 }
 

@@ -30,7 +30,7 @@ CampaignConfig quick_config() {
 
 TEST(CampaignPlan, ShardsPartitionTheGridWithStableIds) {
   const CampaignPlan plan{default_fault_sweep_config()};
-  ASSERT_EQ(plan.total_cells(), 128u);
+  ASSERT_EQ(plan.total_cells(), 200u);
   EXPECT_TRUE(plan.is_full());
   EXPECT_FALSE(plan.is_shard());
   for (const unsigned count : {1u, 2u, 7u}) {
@@ -55,7 +55,7 @@ TEST(CampaignPlan, ShardsPartitionTheGridWithStableIds) {
 TEST(CampaignReport, MergedShardsAreByteIdenticalAcrossShardAndThreadCounts) {
   // The headline determinism pin: shard count {1, 2, 7} × thread count
   // {1, 4}, merged in descending shard order, all byte-identical to the
-  // sequential single-process report of the default 128-cell sweep.
+  // sequential single-process report of the default 200-cell sweep.
   const CampaignPlan plan{default_fault_sweep_config()};
   const std::string baseline = ThreadPoolBackend().run(plan).to_json();
   for (const unsigned threads : {1u, 4u}) {

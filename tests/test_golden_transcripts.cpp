@@ -23,7 +23,9 @@
 
 #include "model/campaign.hpp"
 #include "model/envelope.hpp"
+#include "model/multi_round_runner.hpp"
 #include "model/transcript.hpp"
+#include "support/arena.hpp"
 
 namespace referee {
 namespace {
@@ -142,6 +144,88 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+/// One captured round of a multi-round golden cell: the sealed wire
+/// exactly as the referee opened it, plus the round epoch it was sealed
+/// under.
+struct CapturedRound {
+  unsigned round = 0;
+  std::uint64_t epoch = 0;
+  std::vector<Message> wire;
+};
+
+/// Pin a fault-free multi-round cell: one .rtr fixture per executed round,
+/// named like the campaign's --capture-dir output (`<name>.rtr` for round
+/// 0, `<name>.r<k>.rtr` after). The generator is chosen so the doubling-k
+/// schedule finishes in exactly `rounds` rounds, making the fixture count
+/// itself part of the pin.
+void check_golden_multi_round(const std::string& name,
+                              const std::string& generator, unsigned rounds) {
+  ScenarioSpec spec;
+  spec.generator = generator;
+  spec.protocol = "adaptive-degeneracy";
+  spec.n = 12;
+  spec.seed = 1;
+  spec.rounds = rounds;
+
+  std::vector<CapturedRound> captured;
+  const TranscriptSink sink = [&captured](unsigned round, std::uint64_t epoch,
+                                          std::uint32_t /*n*/,
+                                          std::span<const Message> wire) {
+    captured.push_back({round, epoch, {wire.begin(), wire.end()}});
+  };
+  const Simulator sim;
+  std::vector<Message> transcript;
+  const auto res = run_scenario(spec, sim, transcript,
+                                DecodeArena::for_current_thread(), &sink);
+  EXPECT_EQ(res.outcome, "exact") << name << " -> " << res.detail;
+  ASSERT_EQ(captured.size(), rounds)
+      << name << " no longer runs a " << rounds << "-round schedule";
+
+  const std::uint64_t cell_epoch = scenario_epoch(spec);
+  const bool regen = std::getenv("REFEREE_REGEN_GOLDEN") != nullptr;
+  for (const CapturedRound& cap : captured) {
+    const std::string stem =
+        cap.round == 0 ? name : name + ".r" + std::to_string(cap.round);
+    const std::string path = fixture_path(stem, ".rtr");
+    EXPECT_EQ(cap.epoch, round_epoch(cell_epoch, cap.round))
+        << name << " round " << cap.round;
+    if (regen) {
+      write_transcript_file(path, cap.epoch, cap.wire);
+      continue;
+    }
+    ASSERT_TRUE(std::filesystem::exists(path))
+        << "missing fixture " << path
+        << " — run with REFEREE_REGEN_GOLDEN=1 and commit it";
+    const auto scratch = std::filesystem::temp_directory_path() /
+                         "referee_golden_tests" / (stem + ".rtr");
+    std::filesystem::create_directories(scratch.parent_path());
+    write_transcript_file(scratch.string(), cap.epoch, cap.wire);
+    EXPECT_EQ(read_file(scratch.string()), read_file(path))
+        << "round " << cap.round << " wire bytes of the '" << name
+        << "' golden cell changed. If the format change is intentional, "
+        << "regenerate with REFEREE_REGEN_GOLDEN=1 and commit the fixtures.";
+    const MmapTranscriptSource source(path);
+    EXPECT_EQ(source.epoch(), cap.epoch);
+    ASSERT_EQ(source.node_count(), cap.wire.size());
+    for (std::size_t i = 0; i < cap.wire.size(); ++i) {
+      EXPECT_EQ(source.message(i), cap.wire[i])
+          << "round " << cap.round << " message " << i;
+    }
+  }
+  if (regen) GTEST_SKIP() << "regenerated " << name << " fixtures";
+}
+
+TEST(GoldenMultiRound, TwoRoundCycleCellMatchesFixtures) {
+  // A cycle has degeneracy 2: k=1 fails round 0, k=2 succeeds round 1.
+  check_golden_multi_round("multiround.cycle", "cycle", 2);
+}
+
+TEST(GoldenMultiRound, ThreeRoundApollonianCellMatchesFixtures) {
+  // An Apollonian network has degeneracy 3: the doubling schedule needs
+  // k=4, reached in round 2.
+  check_golden_multi_round("multiround.apollonian", "apollonian", 3);
+}
 
 TEST(GoldenTranscriptEnvelope, SealedBytesMatchFixture) {
   // Pins the envelope format itself (tag width, id width, header order)

@@ -1,7 +1,8 @@
 // Sealed reftrn1 transcripts: binary round-trip, header validation,
 // crash-safe publication, and the offline-replay acceptance pin — every
-// cell of the default 128-cell correlated-fault sweep, captured live and
-// re-opened from its file, decodes to the same outcome offline.
+// cell of the default 200-cell correlated+adaptive sweep (multi-round
+// cells included), captured live and re-opened from its files, decodes to
+// the same outcome offline.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -146,34 +147,53 @@ TEST(SealedTranscript, PublicationIsAtomic) {
 }
 
 TEST(SealedTranscript, DefaultFaultSweepReplaysToIdenticalOutcomes) {
-  // The acceptance pin: capture every cell of the default 128-cell
-  // correlated-fault sweep — every protocol, every fault model, loud
-  // refusals included — and replay each sealed file offline. Outcome and
-  // detail must match the live run cell for cell.
+  // The acceptance pin: capture every cell of the default 200-cell
+  // correlated+adaptive sweep — every protocol (multi-round included),
+  // every fault model, loud refusals included — and replay each sealed
+  // capture offline. Outcome and detail must match the live run cell for
+  // cell. Multi-round cells capture one file per executed round and replay
+  // through the round-ordered overload.
   const auto dir = temp_dir() + "/sweep";
   std::filesystem::create_directories(dir);
   const CampaignPlan plan{default_fault_sweep_config()};
   ThreadPoolBackend backend;
-  backend.set_capture([&dir](std::size_t cell_id, std::uint64_t epoch,
-                             std::uint32_t n, std::span<const Message> wire) {
+  backend.set_capture([&dir](std::size_t cell_id, unsigned round,
+                             std::uint64_t epoch, std::uint32_t n,
+                             std::span<const Message> wire) {
     (void)n;
-    write_transcript_file(dir + "/cell-" + std::to_string(cell_id) + ".rtr",
+    const std::string suffix =
+        round == 0 ? ".rtr" : ".r" + std::to_string(round) + ".rtr";
+    write_transcript_file(dir + "/cell-" + std::to_string(cell_id) + suffix,
                           epoch, wire);
   });
   const auto live = backend.run_cells(plan);
   ASSERT_EQ(live.size(), plan.total_cells());
 
   std::size_t loud_replayed = 0;
+  std::size_t multi_round_replayed = 0;
   for (const auto& cell : plan.cells()) {
-    const std::string file = dir + "/cell-" + std::to_string(cell.id) + ".rtr";
-    ASSERT_TRUE(std::filesystem::exists(file)) << "cell " << cell.id;
-    const auto replay = replay_scenario(cell.spec, file);
+    const std::string stem = dir + "/cell-" + std::to_string(cell.id);
+    ASSERT_TRUE(std::filesystem::exists(stem + ".rtr")) << "cell " << cell.id;
+    ScenarioResult replay;
+    if (is_multi_round_protocol(cell.spec.protocol)) {
+      std::vector<std::string> rounds{stem + ".rtr"};
+      for (unsigned r = 1;; ++r) {
+        const std::string file = stem + ".r" + std::to_string(r) + ".rtr";
+        if (!std::filesystem::exists(file)) break;
+        rounds.push_back(file);
+      }
+      replay = replay_scenario(cell.spec, rounds);
+      ++multi_round_replayed;
+    } else {
+      replay = replay_scenario(cell.spec, stem + ".rtr");
+    }
     EXPECT_EQ(replay.outcome, live[cell.id].outcome) << "cell " << cell.id;
     EXPECT_EQ(replay.detail, live[cell.id].detail) << "cell " << cell.id;
     EXPECT_EQ(replay.contract_ok, live[cell.id].contract_ok);
     if (replay.outcome == "loud") ++loud_replayed;
   }
   EXPECT_GT(loud_replayed, 0u) << "sweep lost its loud cells";
+  EXPECT_GT(multi_round_replayed, 0u) << "sweep lost its multi-round cells";
 
   // A transcript replayed against the wrong cell's spec refuses loudly.
   const auto& first = plan.cells().front().spec;

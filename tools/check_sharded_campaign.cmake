@@ -1,5 +1,5 @@
 # CTest driver for the sharded-campaign determinism pin: the default
-# 128-cell fault sweep, run (1) single-process, (2) as explicit
+# 200-cell fault sweep, run (1) single-process, (2) as explicit
 # --shard k/N workers merged with --merge, and (3) through the
 # one-command subprocess backend — all three JSON artifacts must be
 # byte-identical.

@@ -24,23 +24,29 @@
 //   campaign [--generators a,b] [--sizes 24,48] [--protocols x,y]
 //            [--seeds N] [--seed-list 5,9] [--flips 0,0.01] [--truncs 0]
 //            [--drops 0,0.25] [--dups 0,2] [--swaps 0,2] [--stales 0,2]
+//            [--adaptive-budget 0,3] [--rounds R]
 //            [--k K] [--p P] [--threads T] [--json] [--out FILE]
 //            [--fault-sweep] [--shard k/N] [--backend pool|subprocess]
 //            [--shards N]
 //            run a scenario grid; deterministic (same flags -> same bytes).
-//            Fault-plan axes take the cartesian product; --fault-sweep
-//            runs the default 128-cell correlated-fault contract sweep.
-//            Generators may also be file:<path> binary edge lists (see
-//            `graph pack`). --shard k/N runs only shard k of N and emits a
-//            mergeable shard report; --backend subprocess --shards N forks
-//            N shard workers of this binary and merges their streams —
-//            the merged bytes equal a single-process run. To reproduce one
-//            failing cell from its JSON record, feed the row's fields back
-//            as single-valued axes (see README).
+//            Fault-plan axes take the cartesian product; --adaptive-budget
+//            arms the transcript-aware adversary with that strike budget;
+//            --fault-sweep runs the default 200-cell correlated+adaptive
+//            contract sweep (multi-round cells included; --rounds caps
+//            their round count). Protocols may include multi-round names
+//            (adaptive-degeneracy). Generators may also be file:<path>
+//            binary edge lists (see `graph pack`). --shard k/N runs only
+//            shard k of N and emits a mergeable shard report; --backend
+//            subprocess --shards N forks N shard workers of this binary
+//            and merges their streams — the merged bytes equal a
+//            single-process run. To reproduce one failing cell from its
+//            JSON record, feed the row's fields back as single-valued axes
+//            (see README).
 //            Reports stream: rows flow straight from workers to the
 //            output sink, so coordinator memory is O(shards), not O(grid).
 //            --capture-dir DIR seals every cell's post-injection wire
-//            transcript to DIR/cell-<id>.rtr for offline replay.
+//            transcript to DIR/cell-<id>.rtr for offline replay
+//            (multi-round cells add cell-<id>.r<round>.rtr per later round).
 //   campaign --merge s0.json,s1.json,... [--json] [--out FILE]
 //            k-way streaming merge of shard reports (from --shard runs,
 //            any shard count or nesting) into one report; byte-identical
@@ -652,9 +658,12 @@ int cmd_campaign(const Options& opts, int argc, char** argv) {
   const auto dups = count_axis("dups");
   const auto swaps = count_axis("swaps");
   const auto stales = count_axis("stales");
+  const auto adaptives = count_axis("adaptive-budget");
+  config.rounds = static_cast<unsigned>(opts.num("rounds", config.rounds));
   const bool any_fault_axis = opts.has("flips") || opts.has("truncs") ||
                               opts.has("drops") || opts.has("dups") ||
-                              opts.has("swaps") || opts.has("stales");
+                              opts.has("swaps") || opts.has("stales") ||
+                              opts.has("adaptive-budget");
   if (any_fault_axis || !opts.has("fault-sweep")) {
     config.fault_plans.clear();
     for (const double flip : flips) {
@@ -663,14 +672,17 @@ int cmd_campaign(const Options& opts, int argc, char** argv) {
           for (const unsigned dup : dups) {
             for (const unsigned swap : swaps) {
               for (const unsigned stale : stales) {
-                config.fault_plans.push_back(FaultPlan{
-                    .bit_flip_chance = flip,
-                    .truncate_chance = trunc,
-                    .correlated =
-                        CorrelatedFaults{.drop_fraction = drop,
-                                         .duplicate_ids = dup,
-                                         .payload_swaps = swap,
-                                         .stale_replays = stale}});
+                for (const unsigned adaptive : adaptives) {
+                  config.fault_plans.push_back(FaultPlan{
+                      .bit_flip_chance = flip,
+                      .truncate_chance = trunc,
+                      .correlated =
+                          CorrelatedFaults{.drop_fraction = drop,
+                                           .duplicate_ids = dup,
+                                           .payload_swaps = swap,
+                                           .stale_replays = stale},
+                      .adaptive = AdaptiveFaults{.budget = adaptive}});
+                }
               }
             }
           }
@@ -689,7 +701,8 @@ int cmd_campaign(const Options& opts, int argc, char** argv) {
   }
   for (const auto& protocol : config.protocols) {
     const auto& known = campaign_protocols();
-    if (std::find(known.begin(), known.end(), protocol) == known.end()) {
+    if (std::find(known.begin(), known.end(), protocol) == known.end() &&
+        !is_multi_round_protocol(protocol)) {
       std::fprintf(stderr, "unknown protocol: %s\n", protocol.c_str());
       return 2;
     }
@@ -753,12 +766,17 @@ int cmd_campaign(const Options& opts, int argc, char** argv) {
     // replay (`refereectl transcript decode`). Capture is keyed by the
     // stable cell id, so sharded runs over the same grid never collide.
     const std::string dir = opts.str("capture-dir", ".");
-    backend.set_capture([dir](std::size_t cell_id, std::uint64_t epoch,
-                              std::uint32_t n,
+    backend.set_capture([dir](std::size_t cell_id, unsigned round,
+                              std::uint64_t epoch, std::uint32_t n,
                               std::span<const Message> wire) {
       (void)n;
-      write_transcript_file(dir + "/cell-" + std::to_string(cell_id) + ".rtr",
-                            epoch, wire);
+      // Round 0 keeps the historical name so single-round replay tooling
+      // finds it unchanged; later rounds of multi-round cells get a
+      // round-suffixed sibling.
+      const std::string suffix =
+          round == 0 ? ".rtr" : ".r" + std::to_string(round) + ".rtr";
+      write_transcript_file(
+          dir + "/cell-" + std::to_string(cell_id) + suffix, epoch, wire);
     });
   }
   return run_campaign_streamed(
@@ -784,6 +802,9 @@ ScenarioSpec spec_from_opts(const Options& opts) {
       static_cast<unsigned>(opts.num("swap", 0));
   spec.faults.correlated.stale_replays =
       static_cast<unsigned>(opts.num("stale", 0));
+  spec.faults.adaptive.budget =
+      static_cast<unsigned>(opts.num("adaptive-budget", 0));
+  spec.rounds = static_cast<unsigned>(opts.num("rounds", 0));
   return spec;
 }
 
@@ -798,11 +819,26 @@ int cmd_transcript(const std::string& sub, const Options& opts) {
     const Simulator sim;
     std::vector<Message> transcript;
     bool captured = false;
-    const TranscriptSink sink = [&](std::uint64_t epoch, std::uint32_t n,
+    // Multi-round cells fire once per round: round 0 takes the requested
+    // name, later rounds insert .r<round> before the extension (or append
+    // it), mirroring the campaign --capture-dir naming.
+    const TranscriptSink sink = [&](unsigned round, std::uint64_t epoch,
+                                    std::uint32_t n,
                                     std::span<const Message> wire) {
-      write_transcript_file(out, epoch, wire);
-      std::fprintf(stderr, "captured %u sealed message(s), epoch %llx\n", n,
-                   static_cast<unsigned long long>(epoch));
+      std::string path = out;
+      if (round != 0) {
+        const std::string infix = ".r" + std::to_string(round);
+        const auto dot = path.rfind('.');
+        if (dot == std::string::npos) {
+          path += infix;
+        } else {
+          path.insert(dot, infix);
+        }
+      }
+      write_transcript_file(path, epoch, wire);
+      std::fprintf(stderr,
+                   "captured %u sealed message(s), round %u, epoch %llx\n", n,
+                   round, static_cast<unsigned long long>(epoch));
       captured = true;
     };
     const ScenarioResult res =
@@ -819,7 +855,11 @@ int cmd_transcript(const std::string& sub, const Options& opts) {
   }
   if (sub == "decode") {
     const std::string in = opts.str("in", "cell.rtr");
-    const ScenarioResult res = replay_scenario(spec, in);
+    // Multi-round cells replay from one file per round: --in takes the
+    // comma-separated round files in order.
+    const ScenarioResult res = is_multi_round_protocol(spec.protocol)
+                                   ? replay_scenario(spec, split_list(in))
+                                   : replay_scenario(spec, in);
     std::printf("outcome      %s\n", res.outcome.c_str());
     if (!res.detail.empty()) {
       std::printf("detail       %s\n", res.detail.c_str());
