@@ -1,0 +1,140 @@
+// Service-layer pricing: what does a request cost once it rides the
+// ServiceCore queue instead of the batch CLI? BM_ServiceDecodeSingle is
+// the floor — one decode-transcript request at a time through a warm
+// one-worker core (queue hop + dispatch + handler on a warm arena).
+// BM_ServiceDecodeBatched submits a burst of identical small decodes so
+// the worker's head-run coalescer can take them in one wakeup; the
+// per-item time should sit at or below the single-call floor once the
+// batcher amortises the pops. BM_ServiceDispatchOverhead prices the
+// table lookup + validation + queue round trip alone with a near-empty
+// handler (gen on a tiny path graph).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/procedure.hpp"
+#include "service/service_core.hpp"
+
+namespace {
+
+using namespace referee;
+
+Request make_request(std::string proc,
+                     std::map<std::string, std::string> args = {},
+                     std::string input = {}) {
+  Request request;
+  request.proc = std::move(proc);
+  request.args.values = std::move(args);
+  request.input = std::move(input);
+  return request;
+}
+
+/// Capture one transcript into the temp directory, once per process: the
+/// decode benches then re-decode the same file every iteration.
+const std::string& transcript_path() {
+  static const std::string path = [] {
+    const auto dir = std::filesystem::temp_directory_path() / "referee_bench";
+    std::filesystem::create_directories(dir);
+    const std::string file = (dir / "bench_service.rft").string();
+    std::ostringstream gen_out;
+    std::ostringstream gen_err;
+    ProcedureIO gen_io{gen_out, gen_err};
+    ProcedureContext context;
+    const Request gen = make_request(
+        "gen", {{"family", "kdeg"}, {"n", "96"}, {"k", "3"}, {"seed", "7"}});
+    if (find_procedure("gen")->handler(gen, context, gen_io) != 0) {
+      throw std::runtime_error("bench setup: gen failed");
+    }
+    std::ostringstream cap_out;
+    std::ostringstream cap_err;
+    ProcedureIO cap_io{cap_out, cap_err};
+    const Request capture =
+        make_request("capture", {{"k", "3"}, {"out", file}}, gen_out.str());
+    if (find_procedure("capture")->handler(capture, context, cap_io) != 0) {
+      throw std::runtime_error("bench setup: capture failed");
+    }
+    return file;
+  }();
+  return path;
+}
+
+void BM_ServiceDecodeSingle(benchmark::State& state) {
+  const std::string& path = transcript_path();
+  ServiceCore::Config config;
+  config.workers = 1;
+  ServiceCore core(config);
+  const Request request =
+      make_request("decode-transcript", {{"k", "3"}, {"in", path}});
+  // Warm the worker arena before timing: steady-state is the service story.
+  core.call(request);
+  for (auto _ : state) {
+    const ServiceResponse response = core.call(request);
+    if (response.exit_code != 0) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(response.output.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ServiceDecodeBatched(benchmark::State& state) {
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  const std::string& path = transcript_path();
+  ServiceCore::Config config;
+  config.workers = 1;
+  config.queue_capacity = 2 * burst;
+  config.batch_max = burst;
+  ServiceCore core(config);
+  const Request request =
+      make_request("decode-transcript", {{"k", "3"}, {"in", path}});
+  core.call(request);
+  std::vector<std::future<ServiceResponse>> pending;
+  pending.reserve(burst);
+  for (auto _ : state) {
+    pending.clear();
+    for (std::size_t i = 0; i < burst; ++i) {
+      pending.push_back(core.submit(request));
+    }
+    for (auto& future : pending) {
+      const ServiceResponse response = future.get();
+      if (response.exit_code != 0) state.SkipWithError("decode failed");
+      benchmark::DoNotOptimize(response.output.size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(burst));
+  const auto stats = core.stats();
+  for (const auto& row : stats.procedures) {
+    if (row.name == "decode-transcript") {
+      state.counters["batched"] = static_cast<double>(row.batched);
+      state.counters["batches"] = static_cast<double>(row.batches);
+    }
+  }
+}
+
+void BM_ServiceDispatchOverhead(benchmark::State& state) {
+  ServiceCore::Config config;
+  config.workers = 1;
+  ServiceCore core(config);
+  const Request request =
+      make_request("gen", {{"family", "path"}, {"n", "4"}});
+  core.call(request);
+  for (auto _ : state) {
+    const ServiceResponse response = core.call(request);
+    if (response.exit_code != 0) state.SkipWithError("gen failed");
+    benchmark::DoNotOptimize(response.output.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ServiceDecodeSingle)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServiceDecodeBatched)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServiceDispatchOverhead)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

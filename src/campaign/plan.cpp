@@ -34,6 +34,53 @@ std::vector<ScenarioSpec> expand_grid(const CampaignConfig& config) {
   return grid;
 }
 
+std::vector<FaultPlan> expand_fault_axes(const FaultAxes& axes) {
+  std::vector<FaultPlan> plans;
+  plans.reserve(axes.flips.size() * axes.truncs.size() * axes.drops.size() *
+                axes.dups.size() * axes.swaps.size() * axes.stales.size() *
+                axes.adaptive_budgets.size());
+  for (const double flip : axes.flips) {
+    for (const double trunc : axes.truncs) {
+      for (const double drop : axes.drops) {
+        for (const unsigned dup : axes.dups) {
+          for (const unsigned swap : axes.swaps) {
+            for (const unsigned stale : axes.stales) {
+              for (const unsigned adaptive : axes.adaptive_budgets) {
+                plans.push_back(FaultPlan{
+                    .bit_flip_chance = flip,
+                    .truncate_chance = trunc,
+                    .correlated = CorrelatedFaults{.drop_fraction = drop,
+                                                   .duplicate_ids = dup,
+                                                   .payload_swaps = swap,
+                                                   .stale_replays = stale},
+                    .adaptive = AdaptiveFaults{.budget = adaptive}});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return plans;
+}
+
+ShardSpec parse_shard_spec(const std::string& text) {
+  const auto slash = text.find('/');
+  REFEREE_CHECK_MSG(slash != std::string::npos && slash > 0 &&
+                        slash + 1 < text.size(),
+                    "shard spec wants k/N (e.g. 0/4): " + text);
+  ShardSpec spec;
+  try {
+    spec.index = static_cast<unsigned>(std::stoul(text.substr(0, slash)));
+    spec.count = static_cast<unsigned>(std::stoul(text.substr(slash + 1)));
+  } catch (const std::exception&) {
+    throw CheckError("shard spec wants k/N (e.g. 0/4): " + text);
+  }
+  REFEREE_CHECK_MSG(spec.count != 0 && spec.index < spec.count,
+                    "shard index out of range: " + text);
+  return spec;
+}
+
 CampaignConfig default_fault_sweep_config() {
   CampaignConfig config;
   config.generators = {"kdeg", "tree", "gnp", "apollonian"};

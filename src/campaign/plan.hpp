@@ -39,6 +39,33 @@ struct CampaignConfig {
 /// (generator-major, fault-plan-minor).
 std::vector<ScenarioSpec> expand_grid(const CampaignConfig& config);
 
+/// The seven CLI fault axes (--flips, --truncs, --drops, --dups, --swaps,
+/// --stales, --adaptive-budget). expand_fault_axes takes their cartesian
+/// product in that nesting order — flip-major, adaptive-minor — which is
+/// the fault_plans ordering every refereectl campaign grid has always
+/// used; hoisted here so the CLI and the served campaign procedure expand
+/// the identical plan list from one body.
+struct FaultAxes {
+  std::vector<double> flips{0.0};
+  std::vector<double> truncs{0.0};
+  std::vector<double> drops{0.0};
+  std::vector<unsigned> dups{0};
+  std::vector<unsigned> swaps{0};
+  std::vector<unsigned> stales{0};
+  std::vector<unsigned> adaptive_budgets{0};
+};
+std::vector<FaultPlan> expand_fault_axes(const FaultAxes& axes);
+
+/// Parsed "k/N" shard selector (e.g. "0/4"). parse_shard_spec throws
+/// CheckError on anything malformed or out of range (N == 0, k >= N) —
+/// one strict parser for the CLI flag, the served procedure and the
+/// subprocess backend's worker argv.
+struct ShardSpec {
+  unsigned index = 0;
+  unsigned count = 1;
+};
+ShardSpec parse_shard_spec(const std::string& text);
+
 /// The adversarial fault sweep the harness and CI run by default: 200
 /// cells (four generators × five protocols, one of them multi-round × two
 /// seeds × {four correlated fault models + the adaptive adversary}). Under

@@ -1,0 +1,225 @@
+#include "service/procedure.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace referee {
+
+const ProcedureDesc* find_procedure(std::string_view name) {
+  for (const ProcedureDesc& desc : procedure_table()) {
+    if (desc.name == name) return &desc;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Classic Levenshtein distance; flag names are short, so the O(nm) DP is
+/// effectively free.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t replace = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, replace});
+    }
+  }
+  return row[b.size()];
+}
+
+bool flag_known(const ProcedureDesc& desc, std::span<const Flag> extra,
+                std::string_view key) {
+  const auto match = [key](const Flag& f) { return f.name == key; };
+  return std::any_of(desc.flags.begin(), desc.flags.end(), match) ||
+         std::any_of(extra.begin(), extra.end(), match);
+}
+
+std::string unknown_flag_error(const ProcedureDesc& desc,
+                               std::string_view key) {
+  std::string error = "unknown flag --" + std::string(key) + " for " +
+                      std::string(desc.name);
+  const std::string nearest = nearest_flag(desc, key);
+  if (!nearest.empty()) {
+    error += " (did you mean --" + nearest + "?)";
+  } else {
+    error += " (it takes no flags)";
+  }
+  error += "; see `refereectl help " + std::string(desc.name) + "`";
+  return error;
+}
+
+}  // namespace
+
+std::string nearest_flag(const ProcedureDesc& desc, std::string_view flag) {
+  std::string best;
+  std::size_t best_distance = static_cast<std::size_t>(-1);
+  for (const Flag& candidate : desc.flags) {
+    const std::size_t distance = edit_distance(flag, candidate.name);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = std::string(candidate.name);
+    }
+  }
+  return best;
+}
+
+std::string parse_cli_args(const ProcedureDesc& desc, int argc,
+                           const char* const* argv, int first, Args& args,
+                           std::span<const Flag> extra) {
+  bool positional_filled = desc.positional.empty();
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-o") {
+      arg = "--out";  // the conventional short spelling for output files
+    }
+    if (arg.rfind("--", 0) != 0) {
+      if (!positional_filled) {
+        args.values[std::string(desc.positional)] = arg;
+        positional_filled = true;
+        continue;
+      }
+      return "unexpected argument '" + arg + "' for " +
+             std::string(desc.name) + "; see `refereectl help " +
+             std::string(desc.name) + "`";
+    }
+    const std::string key = arg.substr(2);
+    if (!flag_known(desc, extra, key)) return unknown_flag_error(desc, key);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.values[key] = argv[++i];
+    } else {
+      args.values[key] = "1";
+    }
+  }
+  if (!positional_filled) {
+    return std::string(desc.name) + " needs a <" +
+           std::string(desc.positional) + "> argument";
+  }
+  return "";
+}
+
+std::string validate_args(const ProcedureDesc& desc, const Args& args) {
+  for (const auto& [key, value] : args.values) {
+    (void)value;
+    if (!desc.positional.empty() && key == desc.positional) continue;
+    if (!flag_known(desc, {}, key)) return unknown_flag_error(desc, key);
+  }
+  if (!desc.positional.empty() && !args.has(std::string(desc.positional))) {
+    return std::string(desc.name) + " needs a <" +
+           std::string(desc.positional) + "> argument";
+  }
+  return "";
+}
+
+std::string help_text() {
+  std::ostringstream out;
+  out << "usage: refereectl <command> [--flags]\n\n";
+  std::size_t width = 0;
+  for (const ProcedureDesc& desc : procedure_table()) {
+    std::size_t name_width = desc.name.size();
+    if (!desc.positional.empty()) name_width += desc.positional.size() + 3;
+    width = std::max(width, name_width);
+  }
+  for (const ProcedureDesc& desc : procedure_table()) {
+    std::string name(desc.name);
+    if (!desc.positional.empty()) {
+      name += " <" + std::string(desc.positional) + ">";
+    }
+    out << "  " << name << std::string(width + 2 - name.size(), ' ')
+        << desc.summary << "\n";
+  }
+  out << "\n`refereectl help <command>` (or <command> --help) lists a "
+         "command's flags.\nCommands marked (stdin) read edge-list text "
+         "(\"n m\" header, then \"u v\" lines)\non standard input, so "
+         "commands compose with pipes:\n\n"
+         "  refereectl gen apollonian --n 80 --seed 7 | refereectl "
+         "reconstruct --k 3\n";
+  return out.str();
+}
+
+std::string procedure_help(const ProcedureDesc& desc) {
+  std::ostringstream out;
+  out << "usage: refereectl " << desc.name;
+  if (!desc.positional.empty()) out << " <" << desc.positional << ">";
+  if (!desc.flags.empty()) out << " [--flags]";
+  if (desc.reads_graph) out << "   (reads an edge-list graph on stdin)";
+  out << "\n\n  " << desc.summary << "\n";
+  if (!desc.flags.empty()) {
+    out << "\nflags:\n";
+    std::size_t width = 0;
+    for (const Flag& flag : desc.flags) {
+      width = std::max(width, flag.name.size() + flag.value_name.size() +
+                                  (flag.value_name.empty() ? 0 : 1));
+    }
+    for (const Flag& flag : desc.flags) {
+      std::string spelling = "--" + std::string(flag.name);
+      if (!flag.value_name.empty()) {
+        spelling += " " + std::string(flag.value_name);
+      }
+      out << "  " << spelling << std::string(width + 4 - spelling.size(), ' ')
+          << flag.help << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(csv);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> parse_u64_csv(const std::string& csv) {
+  std::vector<std::uint64_t> out;
+  for (const auto& item : split_csv(csv)) out.push_back(std::stoull(item));
+  return out;
+}
+
+std::vector<unsigned> parse_unsigned_csv(const std::string& csv) {
+  std::vector<unsigned> out;
+  for (const auto& item : split_csv(csv)) {
+    out.push_back(static_cast<unsigned>(std::stoul(item)));
+  }
+  return out;
+}
+
+std::vector<double> parse_double_csv(const std::string& csv) {
+  std::vector<double> out;
+  for (const auto& item : split_csv(csv)) out.push_back(std::stod(item));
+  return out;
+}
+
+void printf_to(std::ostream& out, const char* fmt, ...) {
+  char stack_buffer[1024];
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(stack_buffer, sizeof(stack_buffer), fmt,
+                                    args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(copy);
+    return;
+  }
+  if (static_cast<std::size_t>(needed) < sizeof(stack_buffer)) {
+    out.write(stack_buffer, needed);
+  } else {
+    std::string heap_buffer(static_cast<std::size_t>(needed) + 1, '\0');
+    std::vsnprintf(heap_buffer.data(), heap_buffer.size(), fmt, copy);
+    out.write(heap_buffer.data(), needed);
+  }
+  va_end(copy);
+}
+
+}  // namespace referee

@@ -1,0 +1,165 @@
+// The request/procedure execution core.
+//
+// Every refereectl subcommand body lives behind one static *procedure
+// table* (the RPC endpoint idiom of SNIPPETS.md Snippet 1: a fixed array
+// of named procedures, dispatch and help both generated from it). A
+// procedure takes a Request — a flag map plus, for graph-reading
+// procedures, the edge-list text that used to arrive on stdin — and
+// writes its results to a ProcedureIO instead of touching stdout/stderr
+// directly. That one signature is what lets three frontends share every
+// body byte-for-byte:
+//
+//   * the batch CLI (tools/refereectl.cpp): parse argv → Request,
+//     io = {std::cout, std::cerr}, exit code = handler return;
+//   * the in-process ServiceCore (service/service_core.hpp): Request in,
+//     captured output/log strings out;
+//   * the refereectl serve daemon (service/server.hpp): the same
+//     ServiceCore behind a Unix-socket JSON frame.
+//
+// Flag validation is strict and table-driven: an unknown flag is an
+// error naming the procedure and the nearest valid flag — the old
+// monolith silently ignored misplaced flags.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace referee {
+
+class ServiceCore;
+class ThreadPool;
+
+/// Flag values as parsed from argv or a wire frame: every value is a
+/// string; presence-only flags carry "1". The accessors mirror the lookup
+/// helpers every subcommand has always used.
+struct Args {
+  std::map<std::string, std::string> values;
+
+  bool has(const std::string& key) const { return values.count(key) > 0; }
+
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+
+  std::uint64_t num(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stoull(it->second);
+  }
+
+  double real(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stod(it->second);
+  }
+};
+
+/// One executable request: which procedure, with which flags, and (for
+/// graph-reading procedures) the edge-list text input.
+struct Request {
+  std::string proc;
+  Args args;
+  std::string input;
+};
+
+/// Where a procedure writes. The CLI passes std::cout/std::cerr; the
+/// service captures both into the response's output/log fields.
+struct ProcedureIO {
+  std::ostream& out;
+  std::ostream& err;
+};
+
+/// Ambient execution state a handler may use. `exe` is the refereectl
+/// binary path (the subprocess shard backend forks it); `pool`, when the
+/// request runs inside a service, is the service's persistent thread pool
+/// — its workers' thread_local DecodeArenas stay warm across requests;
+/// `core` is the owning ServiceCore (non-null only when served), which is
+/// how `service stats` reads counters.
+struct ProcedureContext {
+  std::string exe;
+  ThreadPool* pool = nullptr;
+  ServiceCore* core = nullptr;
+};
+
+/// One flag a procedure accepts. `value_name` is empty for presence-only
+/// flags ("--json"), else the metavar printed in help ("--k K").
+struct Flag {
+  std::string_view name;        // without the leading "--"
+  std::string_view value_name;  // "" for presence-only flags
+  std::string_view help;
+};
+
+using ProcedureHandler = int (*)(const Request&, const ProcedureContext&,
+                                 ProcedureIO&);
+
+/// One row of the static procedure table. CLI dispatch, `refereectl
+/// help`, per-procedure usage, wire dispatch and wire-side validation are
+/// all generated from these rows — there is no second list of commands.
+struct ProcedureDesc {
+  std::string_view name;        // "campaign", "transcript decode", ...
+  std::string_view summary;     // one-liner for the command index
+  std::string_view positional;  // key of the leading positional ("family")
+  bool reads_graph = false;     // consumes edge-list text (stdin / "input")
+  bool local_only = false;      // CLI-side only; the daemon refuses it
+  bool batchable = false;       // small decodes the service batcher coalesces
+  std::span<const Flag> flags;
+  ProcedureHandler handler = nullptr;
+};
+
+/// The table, in help order. Stable across a process — ServiceCore
+/// counters index into it.
+std::span<const ProcedureDesc> procedure_table();
+
+/// Exact-name lookup ("graph pack" is one name); nullptr when absent.
+const ProcedureDesc* find_procedure(std::string_view name);
+
+/// Parse argv[first..argc) into `args` for `desc`: "--flag [value]" pairs
+/// ("-o" aliases "--out", a flag not followed by a value records "1"),
+/// plus the procedure's single leading positional when it declares one.
+/// `extra` extends the valid-flag set (the `call` driver injects
+/// --socket). Returns "" on success, else a diagnostic naming the
+/// procedure and — for unknown flags — the nearest valid flag.
+std::string parse_cli_args(const ProcedureDesc& desc, int argc,
+                           const char* const* argv, int first, Args& args,
+                           std::span<const Flag> extra = {});
+
+/// Validate an already-built flag map (the wire path) against the table
+/// row; same diagnostics as parse_cli_args.
+std::string validate_args(const ProcedureDesc& desc, const Args& args);
+
+/// The closest valid flag by edit distance, or "" when the procedure
+/// takes no flags. Used for "did you mean --flips?" diagnostics.
+std::string nearest_flag(const ProcedureDesc& desc, std::string_view flag);
+
+/// The full command index ("usage: refereectl <command> ...") and one
+/// procedure's usage/flag listing — both rendered from the table.
+std::string help_text();
+std::string procedure_help(const ProcedureDesc& desc);
+
+/// Comma-separated list parsing, hoisted next to the table because the
+/// campaign, transcript and merge procedures all need it (the monolith
+/// duplicated these in several branches).
+std::vector<std::string> split_csv(const std::string& csv);
+std::vector<std::uint64_t> parse_u64_csv(const std::string& csv);
+std::vector<unsigned> parse_unsigned_csv(const std::string& csv);
+std::vector<double> parse_double_csv(const std::string& csv);
+
+#if defined(__GNUC__) || defined(__clang__)
+#define REFEREE_PRINTF_LIKE(fmt_index, first_arg) \
+  __attribute__((format(printf, fmt_index, first_arg)))
+#else
+#define REFEREE_PRINTF_LIKE(fmt_index, first_arg)
+#endif
+
+/// printf into an ostream: the handlers keep their printf-style format
+/// strings, the service captures their bytes. Identical bytes whether the
+/// stream is std::cout or an ostringstream — the byte-identity contract
+/// between CLI and served output rests on this.
+void printf_to(std::ostream& out, const char* fmt, ...)
+    REFEREE_PRINTF_LIKE(2, 3);
+
+}  // namespace referee

@@ -1,0 +1,1009 @@
+// The procedure table and every procedure body.
+//
+// These are the former tools/refereectl.cpp subcommand bodies, lifted
+// verbatim onto the ProcedureHandler signature: stdout/stderr became
+// io.out/io.err, the stdin graph became req.input, and argv became the
+// validated flag map. The format strings are unchanged on purpose — the
+// byte-identity contract (batch CLI == in-process core == served daemon)
+// is pinned by tests against these exact bytes.
+#include <algorithm>
+#include <csignal>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <set>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "campaign/backend.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/scenario.hpp"
+#include "campaign/stream.hpp"
+#include "campaign/subprocess.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/degeneracy.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/mincut.hpp"
+#include "graph/subgraphs.hpp"
+#include "model/simulator.hpp"
+#include "model/transcript.hpp"
+#include "numth/lookup.hpp"
+#include "protocols/adaptive_degeneracy.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+#include "protocols/recognition.hpp"
+#include "protocols/statistics.hpp"
+#include "reductions/oracles.hpp"
+#include "reductions/reductions.hpp"
+#include "service/procedure.hpp"
+#include "service/server.hpp"
+#include "service/service_core.hpp"
+#include "service/wire.hpp"
+#include "sketch/bipartiteness.hpp"
+#include "sketch/connectivity.hpp"
+#include "sketch/k_connectivity.hpp"
+#include "support/arena.hpp"
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace referee {
+namespace {
+
+Graph graph_from_input(const Request& req) { return from_edge_list(req.input); }
+
+Graph gen_family(const std::string& family, const Args& opts) {
+  const auto n = static_cast<std::size_t>(opts.num("n", 32));
+  const auto k = static_cast<unsigned>(opts.num("k", 3));
+  const double p = opts.real("p", 0.1);
+  Rng rng(opts.num("seed", 1));
+  Graph g;
+  if (family == "path") {
+    g = gen::path(n);
+  } else if (family == "cycle") {
+    g = gen::cycle(n);
+  } else if (family == "complete") {
+    g = gen::complete(n);
+  } else if (family == "star") {
+    g = gen::star(n - 1);
+  } else if (family == "grid") {
+    const auto rows = static_cast<std::size_t>(opts.num("rows", 4));
+    g = gen::grid(rows, (n + rows - 1) / rows);
+  } else if (family == "torus") {
+    const auto rows = static_cast<std::size_t>(opts.num("rows", 4));
+    g = gen::torus(rows, std::max<std::size_t>(3, n / rows));
+  } else if (family == "hypercube") {
+    g = gen::hypercube(static_cast<unsigned>(opts.num("dims", 4)));
+  } else if (family == "tree") {
+    g = gen::random_tree(n, rng);
+  } else if (family == "forest") {
+    g = gen::random_forest(n, opts.real("drop", 0.2), rng);
+  } else if (family == "gnp") {
+    g = gen::gnp(n, p, rng);
+  } else if (family == "gnm") {
+    g = gen::gnm(n, opts.num("m", 2 * n), rng);
+  } else if (family == "kdeg") {
+    g = gen::random_k_degenerate(n, k, rng, opts.has("exact"));
+  } else if (family == "ktree") {
+    g = gen::random_k_tree(n, k, rng);
+  } else if (family == "apollonian") {
+    g = gen::random_apollonian(n, rng);
+  } else if (family == "fattree") {
+    g = gen::fat_tree(static_cast<unsigned>(opts.num("arity", 4)),
+                      opts.has("hosts"));
+  } else if (family == "bipartite") {
+    g = gen::random_bipartite(n / 2, n - n / 2, p, rng);
+  } else if (family == "squarefree") {
+    g = gen::random_square_free(n, opts.num("attempts", 30 * n), rng);
+  } else {
+    throw CheckError("unknown family: " + family);
+  }
+  return g;
+}
+
+int cmd_gen(const Request& req, const ProcedureContext&, ProcedureIO& io) {
+  io.out << to_edge_list(gen_family(req.args.str("family", ""), req.args));
+  return 0;
+}
+
+int cmd_graph_pack(const Request& req, const ProcedureContext&,
+                   ProcedureIO& io) {
+  if (!req.args.has("out")) {
+    printf_to(io.err, "graph pack needs --out FILE (or -o FILE)\n");
+    return 2;
+  }
+  const Graph g = graph_from_input(req);
+  const auto edges = g.edges();
+  write_edge_file(req.args.str("out", ""), g.vertex_count(), edges);
+  printf_to(io.err, "packed %zu vertices / %zu edges to %s\n",
+            g.vertex_count(), edges.size(), req.args.str("out", "").c_str());
+  return 0;
+}
+
+int cmd_graph_gen(const Request& req, const ProcedureContext&,
+                  ProcedureIO& io) {
+  const std::string family = req.args.str("family", "");
+  if (!req.args.has("out")) {
+    printf_to(io.err, "graph gen writes binary: needs --out FILE "
+                      "(use plain `gen` for text)\n");
+    return 2;
+  }
+  const Graph g = gen_family(family, req.args);
+  const auto edges = g.edges();
+  write_edge_file(req.args.str("out", ""), g.vertex_count(), edges);
+  printf_to(io.err, "generated %s: %zu vertices / %zu edges to %s\n",
+            family.c_str(), g.vertex_count(), edges.size(),
+            req.args.str("out", "").c_str());
+  return 0;
+}
+
+int cmd_info(const Request& req, const ProcedureContext&, ProcedureIO& io) {
+  const Graph g = graph_from_input(req);
+  printf_to(io.out, "vertices        %zu\n", g.vertex_count());
+  printf_to(io.out, "edges           %zu\n", g.edge_count());
+  printf_to(io.out, "min/max degree  %zu / %zu\n", g.min_degree(),
+            g.max_degree());
+  const auto deg = degeneracy(g);
+  printf_to(io.out, "degeneracy      %zu\n", deg.degeneracy);
+  printf_to(io.out, "components      %zu\n", component_count(g));
+  const auto diam = diameter(g);
+  printf_to(io.out, "diameter        %s\n",
+            diam ? std::to_string(*diam).c_str() : "inf (disconnected)");
+  const auto gi = girth(g);
+  printf_to(io.out, "girth           %s\n",
+            gi ? std::to_string(*gi).c_str() : "inf (forest)");
+  printf_to(io.out, "bipartite       %s\n", is_bipartite(g) ? "yes" : "no");
+  printf_to(io.out, "triangles       %llu\n",
+            static_cast<unsigned long long>(count_triangles(g)));
+  printf_to(io.out, "squares (C4)    %llu\n",
+            static_cast<unsigned long long>(count_squares(g)));
+  printf_to(io.out, "treewidth <=    %zu (min-degree heuristic)\n",
+            treewidth_upper_bound_min_degree(g));
+  return 0;
+}
+
+std::shared_ptr<const NeighborhoodDecoder> pick_decoder(
+    const std::string& kind, std::uint32_t n, unsigned k) {
+  if (kind == "table") {
+    return std::make_shared<TableDecoder>(
+        std::make_shared<NeighborhoodTable>(n, k));
+  }
+  if (kind == "fast") {
+    return std::make_shared<SmallNewtonDecoder>(n, k);
+  }
+  return std::make_shared<NewtonDecoder>();
+}
+
+int cmd_reconstruct(const Request& req, const ProcedureContext&,
+                    ProcedureIO& io) {
+  const Graph g = graph_from_input(req);
+  const auto k = static_cast<unsigned>(req.args.num("k", 3));
+  const auto threads = static_cast<std::size_t>(req.args.num("threads", 0));
+  const auto decoder =
+      pick_decoder(req.args.str("decoder", "newton"),
+                   static_cast<std::uint32_t>(g.vertex_count()), k);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  const Simulator sim(pool.get());
+  const DegeneracyReconstruction protocol(k, decoder);
+  FrugalityReport report;
+  try {
+    const Graph h = sim.run_reconstruction(g, protocol, &report);
+    printf_to(io.err,
+              "reconstructed %zu vertices / %zu edges; "
+              "max message %zu bits (%.2f x log2(n+1)); exact: %s\n",
+              h.vertex_count(), h.edge_count(), report.max_bits,
+              report.constant(), h == g ? "yes" : "NO");
+    io.out << to_edge_list(h);
+    return h == g ? 0 : 1;
+  } catch (const DecodeError& e) {
+    printf_to(io.err, "reconstruction failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_recognize(const Request& req, const ProcedureContext&,
+                  ProcedureIO& io) {
+  const Graph g = graph_from_input(req);
+  const auto k = static_cast<unsigned>(req.args.num("k", 3));
+  const Simulator sim;
+  const bool accepted = sim.run_decision(g, *make_degeneracy_recognizer(k));
+  printf_to(io.out, "degeneracy <= %u: %s\n", k, accepted ? "yes" : "no");
+  return 0;
+}
+
+int cmd_adaptive(const Request& req, const ProcedureContext&,
+                 ProcedureIO& io) {
+  const Graph g = graph_from_input(req);
+  const Simulator sim;
+  const AdaptiveDegeneracyReconstruction protocol;
+  MultiRoundReport report;
+  const Graph h = sim.run_multi_round(g, protocol, &report);
+  printf_to(io.err,
+            "adaptive reconstruction: %u round(s), final guess k=%u, "
+            "max message %zu bits, %zu broadcast bit(s); exact: %s\n",
+            report.rounds_used,
+            AdaptiveDegeneracyReconstruction::k_for_round(
+                report.rounds_used - 1),
+            report.max_bits, report.broadcast_bits, h == g ? "yes" : "NO");
+  io.out << to_edge_list(h);
+  return h == g ? 0 : 1;
+}
+
+int cmd_connectivity(const Request& req, const ProcedureContext&,
+                     ProcedureIO& io) {
+  const Graph g = graph_from_input(req);
+  const SketchParams params{
+      .seed = req.args.num("seed", 0xC0FFEE),
+      .rounds = 0,
+      .copies = static_cast<unsigned>(req.args.num("copies", 3))};
+  const Simulator sim;
+  const SketchConnectivityProtocol protocol(params);
+  FrugalityReport report;
+  const auto msgs = sim.run_local_phase(g, protocol);
+  report = audit_frugality(static_cast<std::uint32_t>(g.vertex_count()), msgs);
+  const auto result =
+      protocol.decode(static_cast<std::uint32_t>(g.vertex_count()), msgs);
+  printf_to(io.out, "components      %zu (truth: %zu)\n",
+            result.component_count, component_count(g));
+  printf_to(io.out, "forest edges    %zu\n", result.forest.size());
+  printf_to(io.out, "bits per node   %zu (%.1f x log2(n+1))\n",
+            report.max_bits, report.constant());
+  return result.component_count == component_count(g) ? 0 : 1;
+}
+
+int cmd_bipartite(const Request& req, const ProcedureContext&,
+                  ProcedureIO& io) {
+  const Graph g = graph_from_input(req);
+  const SketchParams params{
+      .seed = req.args.num("seed", 0xB1B),
+      .rounds = 0,
+      .copies = static_cast<unsigned>(req.args.num("copies", 3))};
+  const Simulator sim;
+  const bool answer = sim.run_decision(g, SketchBipartitenessProtocol(params));
+  printf_to(io.out, "bipartite       %s (truth: %s)\n", answer ? "yes" : "no",
+            is_bipartite(g) ? "yes" : "no");
+  return answer == is_bipartite(g) ? 0 : 1;
+}
+
+int cmd_reduce(const Request& req, const ProcedureContext&, ProcedureIO& io) {
+  const Graph g = graph_from_input(req);
+  const std::string via = req.args.str("via", "diameter");
+  const Simulator sim;
+  std::unique_ptr<ReconstructionProtocol> delta;
+  if (via == "square") {
+    delta = std::make_unique<SquareReduction>(make_square_oracle());
+  } else if (via == "triangle") {
+    delta = std::make_unique<TriangleReduction>(make_triangle_oracle());
+  } else if (via == "diameter") {
+    delta = std::make_unique<DiameterReduction>(make_diameter_oracle(3));
+  } else {
+    printf_to(io.err, "unknown reduction: %s\n", via.c_str());
+    return 2;
+  }
+  const Graph h = sim.run_reconstruction(g, *delta);
+  printf_to(io.err, "Δ[%s] output %s the input\n", via.c_str(),
+            h == g ? "MATCHES" : "differs from");
+  io.out << to_edge_list(h);
+  return h == g ? 0 : 1;
+}
+
+int cmd_stats(const Request& req, const ProcedureContext&, ProcedureIO& io) {
+  const Graph g = graph_from_input(req);
+  const Simulator sim;
+  const DegreeStatistics protocol;
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const auto msgs = sim.run_local_phase(g, protocol);
+  const auto report = audit_frugality(n, msgs);
+  printf_to(io.out, "edges           %llu\n",
+            static_cast<unsigned long long>(
+                DegreeStatistics::edge_count(n, msgs)));
+  printf_to(io.out, "max degree      %u\n",
+            DegreeStatistics::max_degree(n, msgs));
+  printf_to(io.out, "min degree      %u\n",
+            DegreeStatistics::min_degree(n, msgs));
+  printf_to(io.out, "erdos-gallai    %s\n",
+            DegreeStatistics::erdos_gallai_feasible(n, msgs)
+                ? "feasible"
+                : "INFEASIBLE (corrupt transcript)");
+  printf_to(io.out, "connectivity    %s\n",
+            DegreeStatistics::connectivity_possible(n, msgs)
+                ? "possible (necessary conditions hold)"
+                : "impossible (isolated vertex or m < n-1)");
+  printf_to(io.out, "bits per node   %zu (%.1f x log2(n+1))\n",
+            report.max_bits, report.constant());
+  return 0;
+}
+
+int cmd_kconn(const Request& req, const ProcedureContext&, ProcedureIO& io) {
+  const Graph g = graph_from_input(req);
+  const auto k = static_cast<unsigned>(req.args.num("k", 2));
+  const SketchParams params{
+      .seed = req.args.num("seed", 0xC0DE),
+      .rounds = 0,
+      .copies = static_cast<unsigned>(req.args.num("copies", 4))};
+  const auto result = sketch_k_edge_connectivity(g, k, params);
+  printf_to(io.out,
+            "lambda >= %u     %s (certificate bound: %llu; truth: %llu)\n", k,
+            result.k_connected ? "yes" : "no",
+            static_cast<unsigned long long>(result.connectivity_lower_bound),
+            static_cast<unsigned long long>(edge_connectivity(g)));
+  printf_to(io.out, "certificate     %zu edges across %zu forests\n",
+            result.certificate.edge_count(), result.forests.size());
+  return 0;
+}
+
+int cmd_capture(const Request& req, const ProcedureContext&, ProcedureIO& io) {
+  const Graph g = graph_from_input(req);
+  const auto k = static_cast<unsigned>(req.args.num("k", 3));
+  const std::string out = req.args.str("out", "transcript.rft");
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(k);
+  Transcript t;
+  t.n = static_cast<std::uint32_t>(g.vertex_count());
+  t.messages = sim.run_local_phase(g, protocol);
+  std::ofstream os(out, std::ios::binary);
+  if (!os) {
+    printf_to(io.err, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  write_transcript(os, t);
+  const auto report = audit_frugality(t.n, t.messages);
+  printf_to(io.err, "captured %u messages (%zu bits total) to %s\n", t.n,
+            report.total_bits, out.c_str());
+  return 0;
+}
+
+int cmd_decode_transcript(const Request& req, const ProcedureContext&,
+                          ProcedureIO& io) {
+  const auto k = static_cast<unsigned>(req.args.num("k", 3));
+  const std::string in = req.args.str("in", "transcript.rft");
+  std::ifstream is(in, std::ios::binary);
+  if (!is) {
+    printf_to(io.err, "cannot open %s\n", in.c_str());
+    return 1;
+  }
+  const Transcript t = read_transcript(is);
+  const DegeneracyReconstruction protocol(k);
+  try {
+    const Graph h = protocol.reconstruct(t.n, t.messages);
+    printf_to(io.err, "decoded %u nodes -> %zu edges\n", t.n, h.edge_count());
+    io.out << to_edge_list(h);
+    return 0;
+  } catch (const DecodeError& e) {
+    printf_to(io.err, "decode failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+/// Swallows streamed bytes when neither --json nor --out wants them; the
+/// table is printed from the writer's folded aggregates instead.
+struct NullBuffer final : std::streambuf {
+  int overflow(int c) override { return c; }
+};
+
+/// Print the human table / replay the JSON per the output flags, using
+/// only the writer's incremental fold — never the materialized report —
+/// and derive the exit code from the loud-failure contract: any
+/// silent-wrong cell fails the run. `note_partial` mentions incomplete
+/// coverage on the log stream (the merge path's courtesy note).
+int finish_streamed(const StreamingReportWriter& writer, const Args& opts,
+                    ProcedureIO& io, bool note_partial) {
+  const AggregateFolder& folder = writer.folder();
+  if (note_partial && folder.rows() < writer.plan_cells()) {
+    printf_to(io.err,
+              "note: merged %zu of %zu cells — emitting a partial "
+              "(shard) report\n",
+              folder.rows(), writer.plan_cells());
+  }
+  if (opts.has("out") && opts.has("json")) {
+    // The canonical bytes streamed to the file; replay them to the output
+    // stream without rebuilding the report in memory.
+    std::ifstream is(opts.str("out", ""), std::ios::binary);
+    io.out << is.rdbuf();
+  }
+  if (!opts.has("json")) {
+    printf_to(io.out, "%-14s %-22s %9s %4s %5s %7s %9s %7s\n", "generator",
+              "protocol", "scenarios", "ok", "loud", "silent", "max_bits",
+              "c");
+    for (const auto& a : folder.aggregates()) {
+      printf_to(io.out, "%-14s %-22s %9zu %4zu %5zu %7zu %9zu %7.2f\n",
+                a.generator.c_str(), a.protocol.c_str(), a.scenarios, a.ok,
+                a.loud, a.silent_wrong, a.max_bits, a.max_constant);
+    }
+    printf_to(io.out, "total scenarios %zu/%zu, silent-wrong %zu\n",
+              folder.rows(), writer.plan_cells(), folder.silent_wrong());
+  }
+  return folder.silent_wrong() == 0 ? 0 : 1;
+}
+
+/// Run `produce` against a StreamingReportWriter wired to the right
+/// destination (--out file, --json output stream, else a null sink):
+/// report rows flow straight from the producer to bytes, so peak memory is
+/// independent of the grid size.
+int run_campaign_streamed(const std::function<void(ReportSink&)>& produce,
+                          const Args& opts, ProcedureIO& io,
+                          bool note_partial = false) {
+  NullBuffer null_buffer;
+  std::ostream null_stream(&null_buffer);
+  std::ofstream file;
+  std::ostream* out = &null_stream;
+  if (opts.has("out")) {
+    file.open(opts.str("out", "campaign.json"), std::ios::binary);
+    if (!file) {
+      printf_to(io.err, "cannot open %s\n", opts.str("out", "").c_str());
+      return 1;
+    }
+    out = &file;
+  } else if (opts.has("json")) {
+    out = &io.out;
+  }
+  StreamingReportWriter writer(*out);
+  produce(writer);
+  if (file.is_open()) file.close();
+  return finish_streamed(writer, opts, io, note_partial);
+}
+
+int cmd_campaign_merge(const Args& opts, ProcedureIO& io) {
+  const auto paths = split_csv(opts.str("merge", ""));
+  if (paths.empty()) {
+    printf_to(io.err, "--merge needs a comma-separated shard file list\n");
+    return 2;
+  }
+  std::vector<std::ifstream> files;
+  files.reserve(paths.size());
+  for (const auto& path : paths) {
+    files.emplace_back(path, std::ios::binary);
+    if (!files.back()) {
+      printf_to(io.err, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+  }
+  std::vector<std::istream*> inputs;
+  inputs.reserve(files.size());
+  for (auto& file : files) inputs.push_back(&file);
+  // K-way streaming merge: rows flow shard-file → writer one at a time,
+  // so merging a million-cell campaign needs O(shards) memory.
+  return run_campaign_streamed(
+      [&](ReportSink& sink) { merge_report_streams(inputs, sink); }, opts, io,
+      /*note_partial=*/true);
+}
+
+/// The worker argv for subprocess shards: this campaign invocation's grid
+/// flags, minus everything that controls execution or output — the worker
+/// re-expands the same deterministic grid and adds its own --shard/--json.
+/// Rebuilt from the flag map (sorted key order); grid expansion does not
+/// depend on flag order, so the worker's plan is identical.
+std::vector<std::string> shard_worker_args(const Args& opts) {
+  static const std::set<std::string> kControlKeys{
+      "backend", "shards", "shard", "merge", "threads", "json", "out"};
+  std::vector<std::string> args;
+  for (const auto& [key, value] : opts.values) {
+    if (kControlKeys.count(key) > 0) continue;
+    args.push_back("--" + key);
+    if (value != "1") args.push_back(value);
+  }
+  return args;
+}
+
+int cmd_campaign(const Request& req, const ProcedureContext& ctx,
+                 ProcedureIO& io) {
+  const Args& opts = req.args;
+  if (opts.has("merge")) return cmd_campaign_merge(opts, io);
+  CampaignConfig config;
+  if (opts.has("fault-sweep")) config = default_fault_sweep_config();
+  if (opts.has("generators")) {
+    config.generators = split_csv(opts.str("generators", ""));
+  }
+  if (opts.has("protocols")) {
+    config.protocols = split_csv(opts.str("protocols", ""));
+  }
+  if (opts.has("sizes")) {
+    config.sizes.clear();
+    for (const auto s : parse_u64_csv(opts.str("sizes", ""))) {
+      config.sizes.push_back(s);
+    }
+  }
+  if (opts.has("seeds")) {
+    config.seeds.clear();
+    for (std::uint64_t s = 1; s <= opts.num("seeds", 4); ++s) {
+      config.seeds.push_back(s);
+    }
+  }
+  if (opts.has("seed-list")) {
+    config.seeds = parse_u64_csv(opts.str("seed-list", ""));
+  }
+  config.k = static_cast<unsigned>(opts.num("k", config.k));
+  config.p = opts.real("p", config.p);
+  config.rounds = static_cast<unsigned>(opts.num("rounds", config.rounds));
+  FaultAxes axes;
+  if (opts.has("flips")) axes.flips = parse_double_csv(opts.str("flips", ""));
+  if (opts.has("truncs")) {
+    axes.truncs = parse_double_csv(opts.str("truncs", ""));
+  }
+  if (opts.has("drops")) axes.drops = parse_double_csv(opts.str("drops", ""));
+  if (opts.has("dups")) axes.dups = parse_unsigned_csv(opts.str("dups", ""));
+  if (opts.has("swaps")) {
+    axes.swaps = parse_unsigned_csv(opts.str("swaps", ""));
+  }
+  if (opts.has("stales")) {
+    axes.stales = parse_unsigned_csv(opts.str("stales", ""));
+  }
+  if (opts.has("adaptive-budget")) {
+    axes.adaptive_budgets = parse_unsigned_csv(opts.str("adaptive-budget", ""));
+  }
+  const bool any_fault_axis = opts.has("flips") || opts.has("truncs") ||
+                              opts.has("drops") || opts.has("dups") ||
+                              opts.has("swaps") || opts.has("stales") ||
+                              opts.has("adaptive-budget");
+  if (any_fault_axis || !opts.has("fault-sweep")) {
+    config.fault_plans = expand_fault_axes(axes);
+  }
+
+  for (const auto& generator : config.generators) {
+    const auto& known = campaign_generators();
+    if (!is_file_generator(generator) &&
+        std::find(known.begin(), known.end(), generator) == known.end()) {
+      printf_to(io.err, "unknown generator: %s\n", generator.c_str());
+      return 2;
+    }
+  }
+  for (const auto& protocol : config.protocols) {
+    const auto& known = campaign_protocols();
+    if (std::find(known.begin(), known.end(), protocol) == known.end() &&
+        !is_multi_round_protocol(protocol)) {
+      printf_to(io.err, "unknown protocol: %s\n", protocol.c_str());
+      return 2;
+    }
+  }
+
+  CampaignPlan plan(config);
+  if (opts.has("shard")) {
+    try {
+      const ShardSpec shard = parse_shard_spec(opts.str("shard", ""));
+      plan = plan.shard(shard.index, shard.count);
+    } catch (const CheckError& e) {
+      printf_to(io.err, "--shard: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  const std::string backend_name = opts.str("backend", "pool");
+  if (backend_name == "subprocess") {
+    if (opts.has("shard")) {
+      printf_to(io.err,
+                "--backend subprocess shards the plan itself; drop "
+                "--shard\n");
+      return 2;
+    }
+    const auto shards = static_cast<unsigned>(opts.num("shards", 4));
+    auto worker_args = shard_worker_args(opts);
+    if (opts.has("threads")) {
+      // Split the requested budget across workers instead of letting each
+      // one default to a full hardware-sized pool.
+      const auto total = static_cast<unsigned>(opts.num("threads", 0));
+      worker_args.push_back("--threads");
+      worker_args.push_back(std::to_string(std::max(1u, total / shards)));
+    }
+    const SubprocessShardBackend backend(ctx.exe, std::move(worker_args),
+                                         shards);
+    // run_to streams worker rows through the k-way merge into the output
+    // sink, so the coordinator never materializes the full grid.
+    return run_campaign_streamed(
+        [&](ReportSink& sink) { backend.run_to(plan, sink); }, opts, io);
+  }
+  if (backend_name != "pool") {
+    printf_to(io.err, "unknown backend: %s (pool, subprocess)\n",
+              backend_name.c_str());
+    return 2;
+  }
+
+  // Pool selection: an explicit --threads wins (1 means sequential). With
+  // no --threads, a served request reuses the core's persistent inner pool
+  // (possibly none — then cells run sequentially on the service worker,
+  // whose thread_local DecodeArena stays warm across requests), while the
+  // batch CLI keeps its historical hardware-sized private pool.
+  std::unique_ptr<ThreadPool> own_pool;
+  ThreadPool* pool = nullptr;
+  if (opts.has("threads")) {
+    const auto threads = static_cast<std::size_t>(opts.num("threads", 0));
+    if (threads != 1) {
+      own_pool = std::make_unique<ThreadPool>(threads);
+      pool = own_pool.get();
+    }
+  } else if (ctx.core != nullptr) {
+    pool = ctx.pool;
+  } else {
+    own_pool = std::make_unique<ThreadPool>(0);
+    pool = own_pool.get();
+  }
+  ThreadPoolBackend backend(pool);
+  if (opts.has("capture-dir")) {
+    // Persist every cell's post-injection wire transcript for offline
+    // replay (`refereectl transcript decode`). Capture is keyed by the
+    // stable cell id, so sharded runs over the same grid never collide.
+    const std::string dir = opts.str("capture-dir", ".");
+    backend.set_capture([dir](std::size_t cell_id, unsigned round,
+                              std::uint64_t epoch, std::uint32_t n,
+                              std::span<const Message> wire) {
+      (void)n;
+      // Round 0 keeps the historical name so single-round replay tooling
+      // finds it unchanged; later rounds of multi-round cells get a
+      // round-suffixed sibling.
+      const std::string suffix =
+          round == 0 ? ".rtr" : ".r" + std::to_string(round) + ".rtr";
+      write_transcript_file(
+          dir + "/cell-" + std::to_string(cell_id) + suffix, epoch, wire);
+    });
+  }
+  return run_campaign_streamed(
+      [&](ReportSink& sink) { backend.run_to(plan, sink); }, opts, io);
+}
+
+/// A single cell spec from CLI flags — the same axes a campaign JSON row
+/// records, so a captured cell's identity round-trips through the shell.
+ScenarioSpec spec_from_args(const Args& opts) {
+  ScenarioSpec spec;
+  spec.generator = opts.str("generator", spec.generator);
+  spec.n = static_cast<std::size_t>(opts.num("n", spec.n));
+  spec.k = static_cast<unsigned>(opts.num("k", spec.k));
+  spec.p = opts.real("p", spec.p);
+  spec.protocol = opts.str("protocol", spec.protocol);
+  spec.seed = opts.num("seed", spec.seed);
+  spec.faults.bit_flip_chance = opts.real("flip", 0.0);
+  spec.faults.truncate_chance = opts.real("trunc", 0.0);
+  spec.faults.correlated.drop_fraction = opts.real("drop", 0.0);
+  spec.faults.correlated.duplicate_ids =
+      static_cast<unsigned>(opts.num("dup", 0));
+  spec.faults.correlated.payload_swaps =
+      static_cast<unsigned>(opts.num("swap", 0));
+  spec.faults.correlated.stale_replays =
+      static_cast<unsigned>(opts.num("stale", 0));
+  spec.faults.adaptive.budget =
+      static_cast<unsigned>(opts.num("adaptive-budget", 0));
+  spec.rounds = static_cast<unsigned>(opts.num("rounds", 0));
+  return spec;
+}
+
+int cmd_transcript_capture(const Request& req, const ProcedureContext&,
+                           ProcedureIO& io) {
+  const ScenarioSpec spec = spec_from_args(req.args);
+  const std::string out = req.args.str("out", "cell.rtr");
+  const Simulator sim;
+  std::vector<Message> transcript;
+  bool captured = false;
+  // Multi-round cells fire once per round: round 0 takes the requested
+  // name, later rounds insert .r<round> before the extension (or append
+  // it), mirroring the campaign --capture-dir naming.
+  const TranscriptSink sink = [&](unsigned round, std::uint64_t epoch,
+                                  std::uint32_t n,
+                                  std::span<const Message> wire) {
+    std::string path = out;
+    if (round != 0) {
+      const std::string infix = ".r" + std::to_string(round);
+      const auto dot = path.rfind('.');
+      if (dot == std::string::npos) {
+        path += infix;
+      } else {
+        path.insert(dot, infix);
+      }
+    }
+    write_transcript_file(path, epoch, wire);
+    printf_to(io.err, "captured %u sealed message(s), round %u, epoch %llx\n",
+              n, round, static_cast<unsigned long long>(epoch));
+    captured = true;
+  };
+  const ScenarioResult res = run_scenario(
+      spec, sim, transcript, DecodeArena::for_current_thread(), &sink);
+  if (!captured) {
+    printf_to(io.err, "cell finished without sealing a transcript\n");
+    return 1;
+  }
+  printf_to(io.err, "%s/%s cell -> %s (outcome %s)\n", spec.generator.c_str(),
+            spec.protocol.c_str(), out.c_str(), res.outcome.c_str());
+  return res.outcome == "silent-wrong" ? 1 : 0;
+}
+
+int cmd_transcript_decode(const Request& req, const ProcedureContext&,
+                          ProcedureIO& io) {
+  const ScenarioSpec spec = spec_from_args(req.args);
+  const std::string in = req.args.str("in", "cell.rtr");
+  // Multi-round cells replay from one file per round: --in takes the
+  // comma-separated round files in order.
+  const ScenarioResult res = is_multi_round_protocol(spec.protocol)
+                                 ? replay_scenario(spec, split_csv(in))
+                                 : replay_scenario(spec, in);
+  printf_to(io.out, "outcome      %s\n", res.outcome.c_str());
+  if (!res.detail.empty()) {
+    printf_to(io.out, "detail       %s\n", res.detail.c_str());
+  }
+  printf_to(io.out, "contract_ok  %s\n", res.contract_ok ? "yes" : "NO");
+  printf_to(io.out, "max_bits     %zu\n", res.report.max_bits);
+  return res.contract_ok ? 0 : 1;
+}
+
+int cmd_selftest(const Request&, const ProcedureContext&, ProcedureIO& io) {
+  Rng rng(99);
+  const Graph g = gen::random_apollonian(40, rng);
+  const Simulator sim;
+  const Graph h = sim.run_reconstruction(g, DegeneracyReconstruction(3));
+  const bool recon_ok = h == g;
+  const bool sketch_ok = sim.run_decision(
+      gen::connected_gnp(50, 0.08, rng),
+      SketchConnectivityProtocol(
+          SketchParams{.seed = 5, .rounds = 0, .copies = 4}));
+  printf_to(io.out, "reconstruction: %s\nsketch connectivity: %s\n",
+            recon_ok ? "ok" : "FAIL", sketch_ok ? "ok" : "FAIL");
+  return recon_ok && sketch_ok ? 0 : 1;
+}
+
+/// The serve signal bridge: SIGTERM/SIGINT write one byte to the server's
+/// shutdown pipe (write() is async-signal-safe), which the accept loop
+/// polls. Plain volatile sig_atomic_t — no locks in the handler.
+volatile sig_atomic_t g_serve_shutdown_fd = -1;
+
+void serve_signal_handler(int) {
+  const int fd = g_serve_shutdown_fd;
+  if (fd >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+int cmd_serve(const Request& req, const ProcedureContext& ctx,
+              ProcedureIO& io) {
+  if (!req.args.has("socket")) {
+    printf_to(io.err, "serve needs --socket PATH\n");
+    return 2;
+  }
+  ServiceCore::Config config;
+  config.workers = static_cast<std::size_t>(req.args.num("workers", 2));
+  config.queue_capacity = static_cast<std::size_t>(req.args.num("queue", 64));
+  config.batch_max = static_cast<std::size_t>(req.args.num("batch", 8));
+  config.pool_threads =
+      static_cast<std::size_t>(req.args.num("pool-threads", 0));
+  config.exe = ctx.exe;
+  ServiceCore core(config);
+  ServiceServer server(
+      ServiceServer::Config{req.args.str("socket", ""), &core});
+  g_serve_shutdown_fd = server.shutdown_write_fd();
+  struct sigaction action {};
+  action.sa_handler = serve_signal_handler;
+  struct sigaction old_term {};
+  struct sigaction old_int {};
+  ::sigaction(SIGTERM, &action, &old_term);
+  ::sigaction(SIGINT, &action, &old_int);
+  const int rc = server.serve(io.err);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  ::sigaction(SIGINT, &old_int, nullptr);
+  g_serve_shutdown_fd = -1;
+  return rc;
+}
+
+int cmd_call_stub(const Request&, const ProcedureContext&, ProcedureIO& io) {
+  printf_to(io.err,
+            "call is the CLI client driver; invoke it as `refereectl call "
+            "--socket PATH <procedure> [flags]`\n");
+  return 2;
+}
+
+int cmd_service_stats(const Request&, const ProcedureContext& ctx,
+                      ProcedureIO& io) {
+  if (ctx.core == nullptr) {
+    printf_to(io.err,
+              "service stats reads a live daemon's counters; start one with "
+              "`refereectl serve --socket PATH` and use `refereectl call "
+              "--socket PATH service stats`\n");
+    return 2;
+  }
+  io.out << format_service_stats(ctx.core->stats());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// The table. Flag inventories first (shared ones factored), then the rows.
+
+constexpr Flag kGenFlags[] = {
+    {"n", "N", "vertex count (default 32)"},
+    {"m", "M", "edge count, gnm only (default 2n)"},
+    {"k", "K", "degeneracy parameter, kdeg/ktree (default 3)"},
+    {"p", "P", "edge probability, gnp/bipartite (default 0.1)"},
+    {"seed", "S", "RNG seed (default 1)"},
+    {"arity", "A", "fattree switch arity (default 4)"},
+    {"rows", "R", "grid/torus rows (default 4)"},
+    {"dims", "D", "hypercube dimensions (default 4)"},
+    {"drop", "F", "forest edge-drop fraction (default 0.2)"},
+    {"exact", "", "kdeg: force degeneracy exactly k"},
+    {"hosts", "", "fattree: include host leaves"},
+    {"attempts", "T", "squarefree insertion attempts (default 30n)"},
+};
+
+constexpr Flag kGraphGenFlags[] = {
+    {"n", "N", "vertex count (default 32)"},
+    {"m", "M", "edge count, gnm only (default 2n)"},
+    {"k", "K", "degeneracy parameter, kdeg/ktree (default 3)"},
+    {"p", "P", "edge probability, gnp/bipartite (default 0.1)"},
+    {"seed", "S", "RNG seed (default 1)"},
+    {"arity", "A", "fattree switch arity (default 4)"},
+    {"rows", "R", "grid/torus rows (default 4)"},
+    {"dims", "D", "hypercube dimensions (default 4)"},
+    {"drop", "F", "forest edge-drop fraction (default 0.2)"},
+    {"exact", "", "kdeg: force degeneracy exactly k"},
+    {"hosts", "", "fattree: include host leaves"},
+    {"attempts", "T", "squarefree insertion attempts (default 30n)"},
+    {"out", "FILE", "binary edge file to write (-o works too)"},
+};
+
+constexpr Flag kGraphPackFlags[] = {
+    {"out", "FILE", "binary edge file to write (-o works too)"},
+};
+
+constexpr Flag kReconstructFlags[] = {
+    {"k", "K", "degeneracy bound (default 3)"},
+    {"decoder", "KIND", "newton | fast | table (default newton)"},
+    {"threads", "T", "decode thread pool size (default 0 = hardware)"},
+};
+
+constexpr Flag kRecognizeFlags[] = {
+    {"k", "K", "degeneracy bound to decide (default 3)"},
+};
+
+constexpr Flag kConnectivityFlags[] = {
+    {"seed", "S", "sketch seed (default 0xC0FFEE)"},
+    {"copies", "C", "sketch copies per node (default 3)"},
+};
+
+constexpr Flag kKconnFlags[] = {
+    {"k", "K", "edge-connectivity bound (default 2)"},
+    {"seed", "S", "sketch seed (default 0xC0DE)"},
+    {"copies", "C", "sketch copies per forest (default 4)"},
+};
+
+constexpr Flag kBipartiteFlags[] = {
+    {"seed", "S", "sketch seed (default 0xB1B)"},
+    {"copies", "C", "sketch copies per node (default 3)"},
+};
+
+constexpr Flag kReduceFlags[] = {
+    {"via", "KIND", "square | triangle | diameter (default diameter)"},
+};
+
+constexpr Flag kCaptureFlags[] = {
+    {"k", "K", "degeneracy bound (default 3)"},
+    {"out", "FILE", "transcript file to write (default transcript.rft)"},
+};
+
+constexpr Flag kDecodeTranscriptFlags[] = {
+    {"k", "K", "degeneracy bound (default 3)"},
+    {"in", "FILE", "transcript file to read (default transcript.rft)"},
+};
+
+constexpr Flag kCampaignFlags[] = {
+    {"generators", "A,B", "generator axis (default kdeg,tree,gnp,apollonian)"},
+    {"sizes", "N,M", "vertex-count axis (default 24,48)"},
+    {"protocols", "X,Y", "protocol axis (campaign or multi-round names)"},
+    {"seeds", "N", "seed axis 1..N (default 4)"},
+    {"seed-list", "A,B", "explicit seed axis (overrides --seeds)"},
+    {"flips", "P,Q", "bit-flip chance axis (default 0)"},
+    {"truncs", "P,Q", "truncation chance axis (default 0)"},
+    {"drops", "P,Q", "correlated drop-fraction axis (default 0)"},
+    {"dups", "N,M", "duplicate-id count axis (default 0)"},
+    {"swaps", "N,M", "payload-swap count axis (default 0)"},
+    {"stales", "N,M", "stale-replay count axis (default 0)"},
+    {"adaptive-budget", "N,M", "adaptive adversary strike budget axis"},
+    {"rounds", "R", "round cap for multi-round cells (default 6)"},
+    {"k", "K", "degeneracy parameter (default 3)"},
+    {"p", "P", "gnp edge probability (default 0.1)"},
+    {"threads", "T", "pool size; 1 = sequential (default 0 = hardware)"},
+    {"json", "", "emit the referee-campaign-v3 JSON report"},
+    {"out", "FILE", "stream the JSON report to FILE"},
+    {"fault-sweep", "", "run the default 200-cell contract sweep"},
+    {"shard", "k/N", "run only shard k of N (mergeable shard report)"},
+    {"backend", "NAME", "pool | subprocess (default pool)"},
+    {"shards", "N", "subprocess backend: worker count (default 4)"},
+    {"merge", "A,B", "k-way merge shard report files instead of running"},
+    {"capture-dir", "DIR", "seal each cell's wire transcript into DIR"},
+};
+
+constexpr Flag kTranscriptCaptureFlags[] = {
+    {"generator", "G", "cell generator (campaign name or file:PATH)"},
+    {"n", "N", "cell size"},
+    {"k", "K", "degeneracy parameter"},
+    {"p", "P", "gnp edge probability"},
+    {"protocol", "NAME", "cell protocol (campaign or multi-round name)"},
+    {"seed", "S", "cell seed"},
+    {"flip", "P", "bit-flip chance"},
+    {"trunc", "P", "truncation chance"},
+    {"drop", "P", "correlated drop fraction"},
+    {"dup", "N", "duplicate-id count"},
+    {"swap", "N", "payload-swap count"},
+    {"stale", "N", "stale-replay count"},
+    {"adaptive-budget", "N", "adaptive adversary strike budget"},
+    {"rounds", "R", "round cap for multi-round protocols"},
+    {"out", "FILE", "sealed transcript to write (default cell.rtr)"},
+};
+
+constexpr Flag kTranscriptDecodeFlags[] = {
+    {"generator", "G", "cell generator (campaign name or file:PATH)"},
+    {"n", "N", "cell size"},
+    {"k", "K", "degeneracy parameter"},
+    {"p", "P", "gnp edge probability"},
+    {"protocol", "NAME", "cell protocol (campaign or multi-round name)"},
+    {"seed", "S", "cell seed"},
+    {"flip", "P", "bit-flip chance"},
+    {"trunc", "P", "truncation chance"},
+    {"drop", "P", "correlated drop fraction"},
+    {"dup", "N", "duplicate-id count"},
+    {"swap", "N", "payload-swap count"},
+    {"stale", "N", "stale-replay count"},
+    {"adaptive-budget", "N", "adaptive adversary strike budget"},
+    {"rounds", "R", "round cap for multi-round protocols"},
+    {"in", "FILE", "sealed transcript(s); multi-round: file,per,round"},
+};
+
+constexpr Flag kServeFlags[] = {
+    {"socket", "PATH", "Unix-domain socket to listen on (required)"},
+    {"workers", "N", "service worker threads (default 2)"},
+    {"queue", "N", "bounded request queue capacity (default 64)"},
+    {"batch", "N", "max coalesced batch of small decodes (default 8)"},
+    {"pool-threads", "N", "inner pool for batches/campaigns (default 0)"},
+};
+
+constexpr Flag kCallFlags[] = {
+    {"socket", "PATH", "daemon socket to connect to (required)"},
+};
+
+constexpr ProcedureDesc kProcedures[] = {
+    {"gen", "generate a graph family as edge-list text", "family", false,
+     false, false, kGenFlags, cmd_gen},
+    {"graph gen", "generate a family straight to a binary edge file",
+     "family", false, false, false, kGraphGenFlags, cmd_graph_gen},
+    {"graph pack", "pack edge-list text into a binary edge file", "", true,
+     false, false, kGraphPackFlags, cmd_graph_pack},
+    {"info", "structural report (degeneracy, diameter, ...)", "", true, false,
+     false, {}, cmd_info},
+    {"stats", "what 2 log n bits/node buy (degree statistics)", "", true,
+     false, false, {}, cmd_stats},
+    {"reconstruct", "one-round degeneracy reconstruction via the referee",
+     "", true, false, false, kReconstructFlags, cmd_reconstruct},
+    {"recognize", "one-round \"degeneracy <= K?\" decision", "", true, false,
+     false, kRecognizeFlags, cmd_recognize},
+    {"adaptive", "multi-round reconstruction, k discovered", "", true, false,
+     false, {}, cmd_adaptive},
+    {"connectivity", "sketch connectivity (components + spanning forest)",
+     "", true, false, false, kConnectivityFlags, cmd_connectivity},
+    {"kconn", "k-edge-connectivity via sketch peeling", "", true, false,
+     false, kKconnFlags, cmd_kconn},
+    {"bipartite", "sketch bipartiteness decision", "", true, false, false,
+     kBipartiteFlags, cmd_bipartite},
+    {"reduce", "run a Δ-reduction protocol (square/triangle/diameter)", "",
+     true, false, false, kReduceFlags, cmd_reduce},
+    {"capture", "run the local phase, save the transcript", "", true, false,
+     false, kCaptureFlags, cmd_capture},
+    {"decode-transcript", "referee decode of a saved transcript, offline",
+     "", false, false, true, kDecodeTranscriptFlags, cmd_decode_transcript},
+    {"transcript capture", "run one campaign cell, seal its wire transcript",
+     "", false, false, false, kTranscriptCaptureFlags, cmd_transcript_capture},
+    {"transcript decode", "replay a sealed cell transcript offline", "",
+     false, false, true, kTranscriptDecodeFlags, cmd_transcript_decode},
+    {"campaign", "run a deterministic scenario grid (same flags, same bytes)",
+     "", false, false, false, kCampaignFlags, cmd_campaign},
+    {"selftest", "quick end-to-end sanity run", "", false, false, false, {},
+     cmd_selftest},
+    {"serve", "long-lived daemon on a Unix socket (JSON frames)", "", false,
+     true, false, kServeFlags, cmd_serve},
+    {"call", "send one procedure to a running daemon", "procedure", false,
+     true, false, kCallFlags, cmd_call_stub},
+    {"service stats", "live daemon counters (latency, sheds, batches)", "",
+     false, false, false, {}, cmd_service_stats},
+};
+
+}  // namespace
+
+std::span<const ProcedureDesc> procedure_table() { return kProcedures; }
+
+}  // namespace referee

@@ -1,0 +1,159 @@
+#include "service/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/service_core.hpp"
+#include "service/wire.hpp"
+#include "support/check.hpp"
+
+namespace referee {
+
+ServiceServer::ServiceServer(Config config) : config_(std::move(config)) {
+  REFEREE_CHECK_MSG(config_.core != nullptr, "server needs a ServiceCore");
+  REFEREE_CHECK_MSG(::pipe(shutdown_pipe_) == 0,
+                    std::string("cannot create shutdown pipe: ") +
+                        std::strerror(errno));
+}
+
+ServiceServer::~ServiceServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (int fd : shutdown_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void ServiceServer::request_shutdown() {
+  const char byte = 'q';
+  while (::write(shutdown_pipe_[1], &byte, 1) < 0 && errno == EINTR) {
+  }
+}
+
+void ServiceServer::reap_finished_locked() {
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->done.load()) {
+      (*it)->thread.join();
+      ::close((*it)->fd);  // the joiner owns the close: no fd reuse races
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServiceServer::handle_connection(Connection* connection) {
+  std::string payload;
+  for (;;) {
+    try {
+      if (!read_frame(connection->fd, payload)) break;  // clean EOF
+    } catch (const std::exception&) {
+      break;  // truncated frame or reset — nothing left to answer
+    }
+    ServiceResponse response;
+    try {
+      Request request = parse_request(payload);
+      response = config_.core->call(std::move(request));
+    } catch (const std::exception& e) {
+      response.status = ServiceStatus::kBadRequest;
+      response.exit_code = 2;
+      response.log = std::string("bad request: ") + e.what() + "\n";
+    }
+    try {
+      write_frame(connection->fd, format_response(response));
+    } catch (const std::exception&) {
+      break;  // peer went away mid-response
+    }
+  }
+  connection->done.store(true);
+}
+
+int ServiceServer::serve(std::ostream& log) {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    log << "cannot create socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    log << "socket path too long: " << config_.socket_path << "\n";
+    return 1;
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+  ::unlink(config_.socket_path.c_str());  // stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    log << "cannot bind " << config_.socket_path << ": "
+        << std::strerror(errno) << "\n";
+    return 1;
+  }
+  log << "serving on " << config_.socket_path << " ("
+      << config_.core->config().workers << " worker(s), queue "
+      << config_.core->config().queue_capacity << ")\n";
+  ready_.store(true);
+
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {shutdown_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      log << "poll failed: " << std::strerror(errno) << "\n";
+      break;
+    }
+    if (fds[1].revents != 0) break;  // shutdown byte
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      log << "accept failed: " << std::strerror(errno) << "\n";
+      break;
+    }
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    reap_finished_locked();
+    auto connection = std::make_unique<Connection>();
+    connection->fd = client;
+    Connection* raw = connection.get();
+    connection->thread = std::thread([this, raw] { handle_connection(raw); });
+    connections_.push_back(std::move(connection));
+  }
+
+  // Drain: no new connections, half-close the live ones (in-flight
+  // responses still go out, the next read EOFs), finish every admitted
+  // request, then report.
+  ready_.store(false);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(config_.socket_path.c_str());
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_) {
+      ::shutdown(connection->fd, SHUT_RD);
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Connection> victim;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (connections_.empty()) break;
+      victim = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    victim->thread.join();
+    ::close(victim->fd);
+  }
+  config_.core->drain();
+  log << "drained; served requests completed\n";
+  return 0;
+}
+
+}  // namespace referee

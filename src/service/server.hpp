@@ -1,0 +1,81 @@
+// refereectl serve — the Unix-domain-socket front of a ServiceCore.
+//
+// One listener thread (the caller of serve()) accepts connections and
+// hands each to its own connection thread; a connection reads
+// length-prefixed JSON request frames (service/wire.hpp), runs them
+// through the core, and writes one response frame per request, in order.
+// Admission control lives entirely in the core — a connection thread
+// blocks only on its *own* in-flight request, while a full queue answers
+// new requests instantly with kOverloaded.
+//
+// Shutdown is a drain, not an abort: request_shutdown() (or one byte
+// written to shutdown_write_fd(), which is all a SIGTERM handler does)
+// stops the accept loop, half-closes every live connection (the response
+// in flight still goes out; the next read sees EOF), joins the connection
+// threads, and drains the core so every admitted request completes before
+// serve() returns 0.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace referee {
+
+class ServiceCore;
+
+class ServiceServer {
+ public:
+  struct Config {
+    std::string socket_path;
+    ServiceCore* core = nullptr;
+  };
+
+  explicit ServiceServer(Config config);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Bind, listen, accept until shutdown is requested, then drain.
+  /// Lifecycle notes go to `log` (the CLI passes stderr). Returns 0 after
+  /// a clean drain, 1 when the socket could not be bound.
+  int serve(std::ostream& log);
+
+  /// Ask the accept loop to stop; safe from any thread. serve() returns
+  /// after the drain completes.
+  void request_shutdown();
+
+  /// The pipe a signal handler may write one byte to — write() is
+  /// async-signal-safe, which request_shutdown() (it locks nothing, but
+  /// allocates no memory either) is not guaranteed to be.
+  int shutdown_write_fd() const { return shutdown_pipe_[1]; }
+
+  /// True once the socket is bound and the accept loop is running —
+  /// what tests poll instead of sleeping.
+  bool ready() const { return ready_.load(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
+  void handle_connection(Connection* connection);
+  void reap_finished_locked();
+
+  Config config_;
+  int listen_fd_ = -1;
+  int shutdown_pipe_[2] = {-1, -1};
+  std::atomic<bool> ready_{false};
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace referee

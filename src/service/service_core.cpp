@@ -1,0 +1,257 @@
+#include "service/service_core.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "support/arena.hpp"
+#include "support/thread_pool.hpp"
+
+namespace referee {
+
+namespace {
+
+ServiceResponse immediate(ServiceStatus status, int exit_code,
+                          std::string log) {
+  ServiceResponse response;
+  response.status = status;
+  response.exit_code = exit_code;
+  response.log = std::move(log);
+  return response;
+}
+
+std::future<ServiceResponse> ready_future(ServiceResponse response) {
+  std::promise<ServiceResponse> promise;
+  auto future = promise.get_future();
+  promise.set_value(std::move(response));
+  return future;
+}
+
+}  // namespace
+
+ServiceCore::ServiceCore(const Config& config,
+                         std::span<const ProcedureDesc> table)
+    : config_(config),
+      table_(table),
+      queue_(config.queue_capacity),
+      counters_(new Counters[table.size()]),
+      worker_arena_growth_(
+          new std::atomic<std::uint64_t>[std::max<std::size_t>(
+              1, config.workers)]) {
+  if (config_.workers == 0) config_.workers = 1;
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    worker_arena_growth_[i].store(0, std::memory_order_relaxed);
+  }
+  if (config_.pool_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(config_.pool_threads);
+  }
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ServiceCore::~ServiceCore() { drain(); }
+
+void ServiceCore::drain() {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  if (drained_.load()) return;
+  queue_.close();
+  for (auto& worker : workers_) worker.join();
+  drained_.store(true);
+}
+
+std::future<ServiceResponse> ServiceCore::submit(Request request) {
+  const ProcedureDesc* desc = nullptr;
+  std::size_t slot = 0;
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (table_[i].name == request.proc) {
+      desc = &table_[i];
+      slot = i;
+      break;
+    }
+  }
+  if (desc == nullptr) {
+    rejected_unknown_.fetch_add(1, std::memory_order_relaxed);
+    return ready_future(immediate(ServiceStatus::kUnknownProcedure, 2,
+                                  "unknown procedure: " + request.proc +
+                                      "\n"));
+  }
+  if (desc->local_only) {
+    rejected_bad_request_.fetch_add(1, std::memory_order_relaxed);
+    return ready_future(immediate(
+        ServiceStatus::kBadRequest, 2,
+        request.proc + " runs only in the CLI driver, not in the service\n"));
+  }
+  const std::string invalid = validate_args(*desc, request.args);
+  if (!invalid.empty()) {
+    rejected_bad_request_.fetch_add(1, std::memory_order_relaxed);
+    return ready_future(
+        immediate(ServiceStatus::kBadRequest, 2, invalid + "\n"));
+  }
+  Counters& counters = counters_[slot];
+  counters.requests.fetch_add(1, std::memory_order_relaxed);
+  Job job;
+  job.request = std::move(request);
+  job.desc = desc;
+  job.slot = slot;
+  job.enqueued = std::chrono::steady_clock::now();
+  auto future = job.promise.get_future();
+  if (!queue_.try_push(std::move(job))) {
+    // Shed: the queue is full (or draining). The job was not consumed, so
+    // its promise still answers — typed refusal, never an unbounded wait.
+    counters.shed.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(immediate(
+        ServiceStatus::kOverloaded, 3,
+        "overloaded: service queue full (capacity " +
+            std::to_string(queue_.capacity()) + "), request shed\n"));
+  }
+  return future;
+}
+
+ServiceResponse ServiceCore::call(Request request) {
+  return submit(std::move(request)).get();
+}
+
+void ServiceCore::worker_loop(std::size_t worker_index) {
+  for (;;) {
+    auto first = queue_.pop();
+    if (!first) return;  // closed and drained
+    std::vector<Job> batch;
+    batch.push_back(std::move(*first));
+    const ProcedureDesc* desc = batch.front().desc;
+    if (desc->batchable) {
+      while (batch.size() < config_.batch_max) {
+        auto next = queue_.try_pop_if(
+            [desc](const Job& job) { return job.desc == desc; });
+        if (!next) break;
+        batch.push_back(std::move(*next));
+      }
+    }
+    if (batch.size() > 1) {
+      Counters& counters = counters_[batch.front().slot];
+      counters.batches.fetch_add(1, std::memory_order_relaxed);
+      counters.batched.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+    if (pool_ && batch.size() > 1) {
+      // One pool wakeup for the whole coalesced run.
+      pool_->parallel_for(
+          0, batch.size(), [&](std::size_t i) { run_job(batch[i]); },
+          /*grain=*/1);
+    } else {
+      for (auto& job : batch) run_job(job);
+    }
+    worker_arena_growth_[worker_index].store(
+        DecodeArena::for_current_thread().growth_events(),
+        std::memory_order_relaxed);
+    // Answer only after the growth slot is published: a caller that calls
+    // stats() the moment its future resolves must see this job's arenas.
+    for (auto& job : batch) job.promise.set_value(std::move(job.response));
+  }
+}
+
+void ServiceCore::run_job(Job& job) {
+  std::ostringstream out;
+  std::ostringstream err;
+  ProcedureIO io{out, err};
+  ProcedureContext context;
+  context.exe = config_.exe;
+  context.pool = pool_.get();
+  context.core = this;
+  ServiceResponse response;
+  try {
+    response.exit_code = job.desc->handler(job.request, context, io);
+    response.status = response.exit_code == 0 ? ServiceStatus::kOk
+                                              : ServiceStatus::kError;
+  } catch (const std::exception& e) {
+    response.exit_code = 1;
+    response.status = ServiceStatus::kError;
+    err << "error: " << e.what() << "\n";
+  }
+  response.output = out.str();
+  response.log = err.str();
+  Counters& counters = counters_[job.slot];
+  if (response.status == ServiceStatus::kOk) {
+    counters.ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - job.enqueued)
+          .count());
+  counters.total_micros.fetch_add(micros, std::memory_order_relaxed);
+  std::uint64_t seen = counters.max_micros.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !counters.max_micros.compare_exchange_weak(
+             seen, micros, std::memory_order_relaxed)) {
+  }
+  job.response = std::move(response);
+}
+
+ServiceStatsSnapshot ServiceCore::stats() {
+  ServiceStatsSnapshot snapshot;
+  snapshot.workers = config_.workers;
+  snapshot.pool_threads = pool_ ? pool_->size() : 0;
+  snapshot.queue_capacity = queue_.capacity();
+  snapshot.queue_depth = queue_.size();
+  snapshot.batch_max = config_.batch_max;
+  snapshot.rejected_unknown = rejected_unknown_.load();
+  snapshot.rejected_bad_request = rejected_bad_request_.load();
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    snapshot.arena_growth_events += worker_arena_growth_[i].load();
+  }
+  if (pool_) {
+    // Each inner-pool thread reports its own thread_local arena; the
+    // barrier probe pins one visit per worker thread.
+    std::vector<std::uint64_t> growth(pool_->size(), 0);
+    pool_->for_each_worker([&](std::size_t i) {
+      growth[i] = DecodeArena::for_current_thread().growth_events();
+    });
+    for (const auto value : growth) snapshot.arena_growth_events += value;
+  }
+  snapshot.procedures.reserve(table_.size());
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (table_[i].local_only) continue;
+    const Counters& counters = counters_[i];
+    ServiceProcedureStats row;
+    row.name = std::string(table_[i].name);
+    row.requests = counters.requests.load();
+    row.ok = counters.ok.load();
+    row.errors = counters.errors.load();
+    row.shed = counters.shed.load();
+    row.batches = counters.batches.load();
+    row.batched = counters.batched.load();
+    row.total_micros = counters.total_micros.load();
+    row.max_micros = counters.max_micros.load();
+    snapshot.procedures.push_back(std::move(row));
+  }
+  return snapshot;
+}
+
+std::string format_service_stats(const ServiceStatsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"referee-service-stats\":1,\"workers\":" << snapshot.workers
+      << ",\"pool_threads\":" << snapshot.pool_threads
+      << ",\"queue_capacity\":" << snapshot.queue_capacity
+      << ",\"queue_depth\":" << snapshot.queue_depth
+      << ",\"batch_max\":" << snapshot.batch_max
+      << ",\"arena_growth_events\":" << snapshot.arena_growth_events
+      << ",\"rejected_unknown\":" << snapshot.rejected_unknown
+      << ",\"rejected_bad_request\":" << snapshot.rejected_bad_request
+      << ",\"procedures\":[";
+  for (std::size_t i = 0; i < snapshot.procedures.size(); ++i) {
+    const ServiceProcedureStats& row = snapshot.procedures[i];
+    if (i != 0) out << ',';
+    out << "{\"name\":\"" << row.name << "\",\"requests\":" << row.requests
+        << ",\"ok\":" << row.ok << ",\"errors\":" << row.errors
+        << ",\"shed\":" << row.shed << ",\"batches\":" << row.batches
+        << ",\"batched\":" << row.batched
+        << ",\"total_micros\":" << row.total_micros
+        << ",\"max_micros\":" << row.max_micros << "}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+}  // namespace referee

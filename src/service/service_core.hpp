@@ -1,0 +1,153 @@
+// ServiceCore — the long-lived execution engine behind refereectl serve.
+//
+// A core owns W persistent worker threads fed by one BoundedQueue. The
+// workers never die between requests, so each worker's thread_local
+// DecodeArena (support/arena.hpp) stays warm: after the first request of a
+// given shape, steady-state requests decode with zero arena growth — the
+// property stats() exposes as arena_growth_events and the service tests
+// pin. Admission control is the queue's capacity: submit() never blocks
+// and never queues unboundedly; when the queue is full the request is
+// answered immediately with a typed kOverloaded refusal (exit code 3).
+//
+// Batching: consecutive queued requests for the same *batchable* procedure
+// (small transcript decodes) are coalesced by the popping worker into one
+// batch and dispatched as a single parallel_for over the core's optional
+// inner ThreadPool — one pool wakeup for N decodes instead of N.
+//
+// Per-procedure counters (requests/ok/errors/shed/batches/latency) index
+// straight into the procedure table, so `service stats` is one atomic
+// sweep with no string lookups on the hot path.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/procedure.hpp"
+#include "service/wire.hpp"
+#include "support/bounded_queue.hpp"
+
+namespace referee {
+
+class ThreadPool;
+
+/// One procedure's counters as reported by `service stats`.
+struct ServiceProcedureStats {
+  std::string name;
+  std::uint64_t requests = 0;  // admitted or shed (everything addressed here)
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t shed = 0;          // refused with kOverloaded
+  std::uint64_t batches = 0;       // coalesced dispatches (size > 1)
+  std::uint64_t batched = 0;       // requests that rode those dispatches
+  std::uint64_t total_micros = 0;  // enqueue → completion, summed
+  std::uint64_t max_micros = 0;
+};
+
+struct ServiceStatsSnapshot {
+  std::size_t workers = 0;
+  std::size_t pool_threads = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t queue_depth = 0;
+  std::size_t batch_max = 0;
+  /// Sum of DecodeArena growth events across every service worker and
+  /// inner-pool thread — flat across identical requests once warm.
+  std::uint64_t arena_growth_events = 0;
+  std::uint64_t rejected_unknown = 0;
+  std::uint64_t rejected_bad_request = 0;
+  std::vector<ServiceProcedureStats> procedures;  // table order, servable only
+};
+
+/// Deterministic JSON rendering of a snapshot ("referee-service-stats": 1).
+std::string format_service_stats(const ServiceStatsSnapshot& snapshot);
+
+class ServiceCore {
+ public:
+  struct Config {
+    std::size_t workers = 2;
+    std::size_t queue_capacity = 64;
+    /// Largest coalesced batch of batchable requests per dispatch.
+    std::size_t batch_max = 8;
+    /// Inner ThreadPool threads for batched dispatch and served campaigns;
+    /// 0 = no inner pool (batches run inline on the popping worker).
+    std::size_t pool_threads = 0;
+    /// refereectl binary path, forked by the subprocess campaign backend.
+    std::string exe;
+  };
+
+  /// `table` defaults to the real procedure table; tests inject a custom
+  /// table to pin admission behavior with handlers they control.
+  explicit ServiceCore(const Config& config,
+                       std::span<const ProcedureDesc> table = procedure_table());
+  ~ServiceCore();
+
+  ServiceCore(const ServiceCore&) = delete;
+  ServiceCore& operator=(const ServiceCore&) = delete;
+
+  /// Admit or refuse `request`; the returned future is always eventually
+  /// ready and submit() itself never blocks. Unknown procedures, local-only
+  /// procedures and invalid flags resolve immediately (kUnknownProcedure /
+  /// kBadRequest); a full queue resolves immediately with kOverloaded.
+  std::future<ServiceResponse> submit(Request request);
+
+  /// submit() and wait — the in-process single-request convenience.
+  ServiceResponse call(Request request);
+
+  ServiceStatsSnapshot stats();
+
+  /// Stop admitting, run every queued request to completion, join the
+  /// workers. Idempotent; the destructor calls it.
+  void drain();
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct Job {
+    Request request;
+    const ProcedureDesc* desc = nullptr;
+    std::size_t slot = 0;  // index into counters_ / the table span
+    std::promise<ServiceResponse> promise;
+    // run_job() parks the result here; the worker answers the promise only
+    // after publishing its arena-growth slot, so a caller that reads
+    // stats() right after call() returns sees the work it just caused.
+    ServiceResponse response;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct Counters {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> batched{0};
+    std::atomic<std::uint64_t> total_micros{0};
+    std::atomic<std::uint64_t> max_micros{0};
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void run_job(Job& job);
+
+  Config config_;
+  std::span<const ProcedureDesc> table_;
+  BoundedQueue<Job> queue_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::thread> workers_;
+  std::unique_ptr<Counters[]> counters_;  // one per table row
+  /// Each service worker publishes its thread_local arena's growth count
+  /// here after every batch; stats() sums them plus an inner-pool probe.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> worker_arena_growth_;
+  std::atomic<std::uint64_t> rejected_unknown_{0};
+  std::atomic<std::uint64_t> rejected_bad_request_{0};
+  std::atomic<bool> drained_{false};
+  std::mutex drain_mutex_;
+};
+
+}  // namespace referee

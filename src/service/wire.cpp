@@ -1,0 +1,387 @@
+#include "service/wire.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/check.hpp"
+
+namespace referee {
+
+std::string_view service_status_name(ServiceStatus status) {
+  switch (status) {
+    case ServiceStatus::kOk:
+      return "ok";
+    case ServiceStatus::kError:
+      return "error";
+    case ServiceStatus::kOverloaded:
+      return "overloaded";
+    case ServiceStatus::kBadRequest:
+      return "bad-request";
+    case ServiceStatus::kUnknownProcedure:
+      return "unknown-procedure";
+  }
+  return "error";
+}
+
+ServiceStatus service_status_from_name(std::string_view name) {
+  if (name == "ok") return ServiceStatus::kOk;
+  if (name == "error") return ServiceStatus::kError;
+  if (name == "overloaded") return ServiceStatus::kOverloaded;
+  if (name == "bad-request") return ServiceStatus::kBadRequest;
+  if (name == "unknown-procedure") return ServiceStatus::kUnknownProcedure;
+  throw CheckError("unknown service status: " + std::string(name));
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_request(const Request& request) {
+  std::ostringstream out;
+  out << "{\"proc\":\"" << json_escape(request.proc) << "\",\"args\":{";
+  bool first = true;
+  for (const auto& [key, value] : request.args.values) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(key) << "\":\"" << json_escape(value) << '"';
+  }
+  out << "},\"input\":\"" << json_escape(request.input) << "\"}";
+  return out.str();
+}
+
+std::string format_response(const ServiceResponse& response) {
+  std::ostringstream out;
+  out << "{\"status\":\"" << service_status_name(response.status)
+      << "\",\"exit\":" << response.exit_code << ",\"output\":\""
+      << json_escape(response.output) << "\",\"log\":\""
+      << json_escape(response.log) << "\"}";
+  return out.str();
+}
+
+namespace {
+
+/// Cursor over a JSON payload for the two rigid shapes the wire speaks.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw CheckError("wire JSON: " + what + " at byte " + std::to_string(pos));
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of frame");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool consume_if(char c) {
+    if (pos < text.size() && peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("dangling escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("short \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          // The formatters only emit \u00XX for control bytes; decode the
+          // BMP generally anyway (UTF-8) so hand-written frames survive.
+          if (value < 0x80) {
+            out += static_cast<char>(value);
+          } else if (value < 0x800) {
+            out += static_cast<char>(0xC0 | (value >> 6));
+            out += static_cast<char>(0x80 | (value & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (value >> 12));
+            out += static_cast<char>(0x80 | ((value >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (value & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  long long parse_int() {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    if (pos == start || (text[start] == '-' && pos == start + 1)) {
+      fail("expected an integer");
+    }
+    return std::stoll(std::string(text.substr(start, pos - start)));
+  }
+
+  void expect_end() {
+    skip_ws();
+    if (pos != text.size()) fail("trailing bytes after JSON value");
+  }
+};
+
+}  // namespace
+
+Request parse_request(std::string_view json) {
+  Cursor cur{json};
+  Request request;
+  cur.expect('{');
+  if (!cur.consume_if('}')) {
+    do {
+      const std::string key = cur.parse_string();
+      cur.expect(':');
+      if (key == "proc") {
+        request.proc = cur.parse_string();
+      } else if (key == "input") {
+        request.input = cur.parse_string();
+      } else if (key == "args") {
+        cur.expect('{');
+        if (!cur.consume_if('}')) {
+          do {
+            const std::string arg = cur.parse_string();
+            cur.expect(':');
+            request.args.values[arg] = cur.parse_string();
+          } while (cur.consume_if(','));
+          cur.expect('}');
+        }
+      } else {
+        cur.fail("unknown request field \"" + key + "\"");
+      }
+    } while (cur.consume_if(','));
+    cur.expect('}');
+  }
+  cur.expect_end();
+  if (request.proc.empty()) throw CheckError("wire JSON: request names no proc");
+  return request;
+}
+
+ServiceResponse parse_response(std::string_view json) {
+  Cursor cur{json};
+  ServiceResponse response;
+  bool saw_status = false;
+  cur.expect('{');
+  if (!cur.consume_if('}')) {
+    do {
+      const std::string key = cur.parse_string();
+      cur.expect(':');
+      if (key == "status") {
+        response.status = service_status_from_name(cur.parse_string());
+        saw_status = true;
+      } else if (key == "exit") {
+        response.exit_code = static_cast<int>(cur.parse_int());
+      } else if (key == "output") {
+        response.output = cur.parse_string();
+      } else if (key == "log") {
+        response.log = cur.parse_string();
+      } else {
+        cur.fail("unknown response field \"" + key + "\"");
+      }
+    } while (cur.consume_if(','));
+    cur.expect('}');
+  }
+  cur.expect_end();
+  REFEREE_CHECK_MSG(saw_status, "wire JSON: response carries no status");
+  return response;
+}
+
+namespace {
+
+/// Full read of `want` bytes. Returns false only on EOF before the first
+/// byte when `eof_ok`; any other short read throws.
+bool read_exact(int fd, char* buffer, std::size_t want, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::read(fd, buffer + got, want - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw CheckError("wire frame truncated (peer hung up mid-frame)");
+    }
+    if (errno == EINTR) continue;
+    throw CheckError(std::string("wire read failed: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload) {
+  char header[4];
+  if (!read_exact(fd, header, sizeof(header), /*eof_ok=*/true)) return false;
+  std::uint32_t length = 0;
+  for (int i = 3; i >= 0; --i) {
+    length = (length << 8) | static_cast<unsigned char>(header[i]);
+  }
+  REFEREE_CHECK_MSG(length <= kMaxFrameBytes,
+                    "wire frame length " + std::to_string(length) +
+                        " exceeds the " + std::to_string(kMaxFrameBytes) +
+                        "-byte cap");
+  payload.resize(length);
+  if (length > 0) read_exact(fd, payload.data(), length, /*eof_ok=*/false);
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  REFEREE_CHECK_MSG(payload.size() <= kMaxFrameBytes,
+                    "wire frame payload exceeds the cap");
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  char header[4];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((length >> (8 * i)) & 0xFF);
+  }
+  const auto write_all = [fd](const char* data, std::size_t want) {
+    std::size_t sent = 0;
+    while (sent < want) {
+      const ssize_t n = ::write(fd, data + sent, want - sent);
+      if (n >= 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      throw CheckError(std::string("wire write failed: ") +
+                       std::strerror(errno));
+    }
+  };
+  write_all(header, sizeof(header));
+  write_all(payload.data(), payload.size());
+}
+
+ServiceClient::ServiceClient(const std::string& socket_path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  REFEREE_CHECK_MSG(fd_ >= 0, std::string("cannot create socket: ") +
+                                  std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  REFEREE_CHECK_MSG(socket_path.size() < sizeof(addr.sun_path),
+                    "socket path too long: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw CheckError("cannot connect to " + socket_path + ": " +
+                     std::strerror(err));
+  }
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServiceResponse ServiceClient::call(const Request& request) {
+  write_frame(fd_, format_request(request));
+  std::string payload;
+  REFEREE_CHECK_MSG(read_frame(fd_, payload),
+                    "daemon hung up before answering");
+  return parse_response(payload);
+}
+
+}  // namespace referee

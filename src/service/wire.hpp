@@ -1,0 +1,99 @@
+// The refereectl serve wire protocol.
+//
+// One frame = a 4-byte little-endian u32 payload length followed by that
+// many bytes of UTF-8 JSON. Requests name a procedure from the table plus
+// its flag map (all values strings, exactly the CLI's flag grammar) and,
+// for graph-reading procedures, the edge-list text that the batch CLI
+// would read on stdin:
+//
+//   {"proc":"campaign","args":{"generators":"tree","json":"1"},"input":""}
+//
+// Responses carry a typed status — "ok", "error", "overloaded" (admission
+// control shed the request), "bad-request" (unknown flag / local-only
+// procedure / malformed frame), "unknown-procedure" — plus the procedure's
+// exit code and its captured output (stdout bytes) and log (stderr bytes):
+//
+//   {"status":"ok","exit":0,"output":"...","log":"..."}
+//
+// The JSON reader/writer below is deliberately rigid: it parses exactly
+// these two shapes (flat objects of strings plus one integer field) and
+// nothing else, so the daemon carries no JSON-library dependency and a
+// malformed frame fails loudly as bad-request instead of half-parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/procedure.hpp"
+
+namespace referee {
+
+enum class ServiceStatus {
+  kOk,
+  kError,
+  kOverloaded,
+  kBadRequest,
+  kUnknownProcedure,
+};
+
+/// Wire spelling of a status ("ok", "overloaded", ...).
+std::string_view service_status_name(ServiceStatus status);
+
+/// Inverse of service_status_name; throws CheckError on anything else.
+ServiceStatus service_status_from_name(std::string_view name);
+
+/// What the service answers with — for every request, shed or served.
+struct ServiceResponse {
+  ServiceStatus status = ServiceStatus::kOk;
+  int exit_code = 0;
+  std::string output;  // the procedure's stdout bytes
+  std::string log;     // the procedure's stderr bytes
+};
+
+/// JSON string escaping for the two formatters ('"', '\\', control bytes).
+std::string json_escape(std::string_view text);
+
+std::string format_request(const Request& request);
+std::string format_response(const ServiceResponse& response);
+
+/// Strict parsers for exactly the shapes the formatters emit (field order
+/// free, unknown fields rejected). Throw CheckError on malformed input.
+Request parse_request(std::string_view json);
+ServiceResponse parse_response(std::string_view json);
+
+/// Frame cap: a response embedding a whole campaign JSON fits easily, a
+/// corrupt length prefix does not get to allocate gigabytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+/// Read one length-prefixed frame from `fd` into `payload`. Returns false
+/// on clean EOF at a frame boundary; throws CheckError on truncation, I/O
+/// errors, or an oversized length prefix.
+bool read_frame(int fd, std::string& payload);
+
+/// Write one length-prefixed frame; throws CheckError on I/O errors or an
+/// oversized payload.
+void write_frame(int fd, std::string_view payload);
+
+/// A blocking Unix-domain-socket client for the daemon: connect once, then
+/// call() per request. This is what `refereectl call` and the service
+/// smoke tests speak.
+class ServiceClient {
+ public:
+  /// Connects to the daemon's socket; throws CheckError when the daemon
+  /// is not there.
+  explicit ServiceClient(const std::string& socket_path);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// One round trip: frame the request, read the response frame. Throws
+  /// CheckError when the daemon hangs up mid-call.
+  ServiceResponse call(const Request& request);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace referee

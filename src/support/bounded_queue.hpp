@@ -1,0 +1,120 @@
+// Fixed-capacity MPMC queue with shed-on-full admission semantics.
+//
+// The referee service (src/service/) needs the opposite of an unbounded
+// task queue: when producers outrun consumers the queue must refuse new
+// work *immediately* — try_push returns false and the caller sheds the
+// request with a typed kOverloaded refusal — instead of queueing without
+// bound and turning overload into unbounded latency. The shape follows the
+// fixed server/client queues of the RPC endpoint idiom (SNIPPETS.md
+// Snippet 1): capacity is chosen once, at construction, and is the whole
+// admission-control policy.
+//
+// Concurrency: a mutex + condition variable protect a deque — deliberately
+// boring so the queue is correct under TSan without atomics heroics.
+// Multiple producers and multiple consumers are supported; close() wakes
+// every blocked consumer and makes further pushes fail, so shutdown never
+// hangs a worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace referee {
+
+template <class T>
+class BoundedQueue {
+ public:
+  /// Capacity is clamped to at least 1: a zero-capacity queue would shed
+  /// everything, which is never what a caller means.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Admission control: enqueue `value` unless the queue is full or
+  /// closed. Never blocks — a false return is the signal to shed, and the
+  /// value is only moved from on success, so a shed caller still owns it
+  /// (the service must answer a rejected job's promise).
+  bool try_push(T&& value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  bool try_push(const T& value) {
+    T copy(value);
+    return try_push(std::move(copy));
+  }
+
+  /// Block until an item arrives or the queue is closed *and* drained;
+  /// nullopt means "no more work, ever" — the consumer's exit signal.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> value(std::move(items_.front()));
+    items_.pop_front();
+    return value;
+  }
+
+  /// Non-blocking pop: nullopt when the queue is momentarily empty.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> value(std::move(items_.front()));
+    items_.pop_front();
+    return value;
+  }
+
+  /// Pop the head only if `pred(head)` holds — the service batcher's
+  /// coalescing primitive: it drains the contiguous run of batchable
+  /// requests at the head without reordering anything behind them.
+  template <class Pred>
+  std::optional<T> try_pop_if(const Pred& pred) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty() || !pred(items_.front())) return std::nullopt;
+    std::optional<T> value(std::move(items_.front()));
+    items_.pop_front();
+    return value;
+  }
+
+  /// No further pushes succeed; blocked consumers drain the remaining
+  /// items and then observe nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace referee

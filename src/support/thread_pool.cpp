@@ -120,6 +120,36 @@ void ThreadPool::parallel_for_chunks(
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::for_each_worker(const std::function<void(std::size_t)>& fn) {
+  std::lock_guard<std::mutex> probe_lock(probe_mutex_);
+  const std::size_t n = workers_.size();
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t arrived = 0;
+  std::size_t finished = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&, i] {
+      {
+        std::unique_lock<std::mutex> lock(m);
+        ++arrived;
+        cv.notify_all();
+        // Hold the worker until every probe task is resident: with one
+        // task per free worker and n tasks total, residency == one per
+        // worker, which is what makes fn see each thread exactly once.
+        cv.wait(lock, [&] { return arrived == n; });
+      }
+      fn(i);
+      {
+        std::lock_guard<std::mutex> lock(m);
+        ++finished;
+      }
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return finished == n; });
+}
+
 void maybe_parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
                         const std::function<void(std::size_t)>& body,
                         std::size_t serial_cutoff) {

@@ -54,11 +54,23 @@ class ThreadPool {
       const std::function<void(std::size_t, std::size_t)>& body,
       std::size_t grain = 0);
 
+  /// Run `fn(worker_index)` exactly once on every worker thread and block
+  /// until all have finished. The tasks rendezvous at an internal barrier,
+  /// which is what pins one task per worker: a pool thread runs one task
+  /// at a time, so `size()` simultaneously-resident tasks occupy distinct
+  /// workers. This is the service layer's probe for per-worker
+  /// thread_local state (warm DecodeArena stats); it queues behind any
+  /// in-flight work rather than interrupting it. Concurrent probes are
+  /// serialized internally — two interleaved barriers could otherwise
+  /// split the workers between them and deadlock.
+  void for_each_worker(const std::function<void(std::size_t)>& fn);
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
+  std::mutex probe_mutex_;  // serializes for_each_worker barriers
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;

@@ -1,0 +1,118 @@
+#include "support/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace referee {
+namespace {
+
+TEST(BoundedQueue, CapacityIsClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(BoundedQueue, ShedsWhenFullAndRecoversAfterPop) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: shed, immediately
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));  // capacity freed
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, FailedPushLeavesTheValueIntact) {
+  BoundedQueue<std::string> q(1);
+  ASSERT_TRUE(q.try_push("first"));
+  std::string second = "second";
+  ASSERT_FALSE(q.try_push(std::move(second)));
+  // The shed value was not consumed — the service answers its promise.
+  EXPECT_EQ(second, "second");
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.try_push(3));  // no admissions after close
+  EXPECT_EQ(q.pop(), 1);        // but queued work still drains
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);  // the consumer's exit signal
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  q.close();
+  consumer.join();  // would hang forever if close() failed to wake pop()
+}
+
+TEST(BoundedQueue, TryPopIsNonBlocking) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_EQ(q.try_pop(), 7);
+}
+
+TEST(BoundedQueue, TryPopIfTakesOnlyAMatchingHead) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_TRUE(q.try_push(5));
+  const auto even = [](int v) { return v % 2 == 0; };
+  EXPECT_EQ(q.try_pop_if(even), 2);
+  EXPECT_EQ(q.try_pop_if(even), 4);
+  EXPECT_EQ(q.try_pop_if(even), std::nullopt);  // head 5 does not match
+  EXPECT_EQ(q.size(), 3u - 2u);                 // and it was not removed
+  EXPECT_EQ(q.pop(), 5);
+}
+
+TEST(BoundedQueue, ConcurrentProducersAndConsumersDeliverEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(8);
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto value = q.pop()) {
+        sum.fetch_add(*value);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = p * kPerProducer + i;
+        // A full queue sheds; a real producer retries or gives up. Retry —
+        // this test pins delivery, the shed path is pinned above.
+        while (!q.try_push(std::move(value))) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,301 @@
+#include "service/service_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/plan.hpp"
+#include "service/procedure.hpp"
+#include "support/check.hpp"
+
+namespace referee {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A tiny controllable procedure table: "slow" blocks until released (so
+// tests can fill the queue deterministically), "echo" is batchable.
+
+std::mutex g_gate_mutex;
+std::condition_variable g_gate_cv;
+int g_slow_started = 0;
+bool g_release = false;
+
+void reset_gate() {
+  std::lock_guard<std::mutex> lock(g_gate_mutex);
+  g_slow_started = 0;
+  g_release = false;
+}
+
+void release_gate() {
+  {
+    std::lock_guard<std::mutex> lock(g_gate_mutex);
+    g_release = true;
+  }
+  g_gate_cv.notify_all();
+}
+
+void wait_slow_started(int count) {
+  std::unique_lock<std::mutex> lock(g_gate_mutex);
+  g_gate_cv.wait(lock, [count] { return g_slow_started >= count; });
+}
+
+int slow_handler(const Request&, const ProcedureContext&, ProcedureIO&) {
+  std::unique_lock<std::mutex> lock(g_gate_mutex);
+  ++g_slow_started;
+  g_gate_cv.notify_all();
+  g_gate_cv.wait(lock, [] { return g_release; });
+  return 0;
+}
+
+constexpr Flag kEchoFlags[] = {{"x", "V", "value to echo"}};
+
+int echo_handler(const Request& req, const ProcedureContext&,
+                 ProcedureIO& io) {
+  io.out << req.args.str("x", "");
+  return 0;
+}
+
+constexpr ProcedureDesc kTestTable[] = {
+    {"slow", "blocks until released", "", false, false, false, {},
+     slow_handler},
+    {"echo", "echoes --x", "", false, false, true, kEchoFlags, echo_handler},
+};
+
+Request make_request(std::string proc,
+                     std::map<std::string, std::string> args = {}) {
+  Request request;
+  request.proc = std::move(proc);
+  request.args.values = std::move(args);
+  return request;
+}
+
+TEST(ServiceCoreAdmission, FullQueueShedsImmediatelyWithTypedRefusal) {
+  reset_gate();
+  ServiceCore::Config config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  ServiceCore core(config, kTestTable);
+
+  auto running = core.submit(make_request("slow"));
+  wait_slow_started(1);  // the worker is now pinned inside the handler
+  auto queued = core.submit(make_request("slow"));  // fills the queue
+  auto shed = core.submit(make_request("slow"));    // must shed, not wait
+
+  // The refusal is immediate: the future is ready without any release.
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  const ServiceResponse refusal = shed.get();
+  EXPECT_EQ(refusal.status, ServiceStatus::kOverloaded);
+  EXPECT_EQ(refusal.exit_code, 3);
+  EXPECT_NE(refusal.log.find("overloaded"), std::string::npos);
+
+  release_gate();
+  EXPECT_EQ(running.get().status, ServiceStatus::kOk);
+  EXPECT_EQ(queued.get().status, ServiceStatus::kOk);
+
+  const ServiceStatsSnapshot stats = core.stats();
+  ASSERT_EQ(stats.procedures.size(), 2u);
+  EXPECT_EQ(stats.procedures[0].name, "slow");
+  EXPECT_EQ(stats.procedures[0].requests, 3u);
+  EXPECT_EQ(stats.procedures[0].ok, 2u);
+  EXPECT_EQ(stats.procedures[0].shed, 1u);
+}
+
+TEST(ServiceCoreAdmission, UnknownAndInvalidRequestsResolveImmediately) {
+  ServiceCore::Config config;
+  config.workers = 1;
+  ServiceCore core(config, kTestTable);
+
+  const ServiceResponse unknown = core.call(make_request("nope"));
+  EXPECT_EQ(unknown.status, ServiceStatus::kUnknownProcedure);
+  EXPECT_EQ(unknown.exit_code, 2);
+
+  const ServiceResponse bad =
+      core.call(make_request("echo", {{"bogus", "1"}}));
+  EXPECT_EQ(bad.status, ServiceStatus::kBadRequest);
+  EXPECT_NE(bad.log.find("did you mean --x"), std::string::npos);
+
+  const ServiceStatsSnapshot stats = core.stats();
+  EXPECT_EQ(stats.rejected_unknown, 1u);
+  EXPECT_EQ(stats.rejected_bad_request, 1u);
+}
+
+TEST(ServiceCoreAdmission, RealTableRefusesLocalOnlyProcedures) {
+  ServiceCore::Config config;
+  config.workers = 1;
+  ServiceCore core(config);
+  const ServiceResponse served =
+      core.call(make_request("serve", {{"socket", "/tmp/x.sock"}}));
+  EXPECT_EQ(served.status, ServiceStatus::kBadRequest);
+  EXPECT_NE(served.log.find("CLI"), std::string::npos);
+}
+
+TEST(ServiceCoreBatching, ConsecutiveBatchableRequestsCoalesce) {
+  reset_gate();
+  ServiceCore::Config config;
+  config.workers = 1;
+  config.queue_capacity = 16;
+  config.batch_max = 8;
+  ServiceCore core(config, kTestTable);
+
+  // Pin the worker, then queue four echoes behind it: on release the
+  // worker pops the first echo and coalesces the contiguous run.
+  auto blocker = core.submit(make_request("slow"));
+  wait_slow_started(1);
+  std::vector<std::future<ServiceResponse>> echoes;
+  for (int i = 0; i < 4; ++i) {
+    echoes.push_back(
+        core.submit(make_request("echo", {{"x", std::to_string(i)}})));
+  }
+  release_gate();
+  EXPECT_EQ(blocker.get().status, ServiceStatus::kOk);
+  for (int i = 0; i < 4; ++i) {
+    const ServiceResponse response = echoes[i].get();
+    EXPECT_EQ(response.status, ServiceStatus::kOk);
+    EXPECT_EQ(response.output, std::to_string(i));  // per-request bytes kept
+  }
+  const ServiceStatsSnapshot stats = core.stats();
+  ASSERT_EQ(stats.procedures.size(), 2u);
+  EXPECT_EQ(stats.procedures[1].name, "echo");
+  EXPECT_EQ(stats.procedures[1].ok, 4u);
+  EXPECT_EQ(stats.procedures[1].batches, 1u);
+  EXPECT_EQ(stats.procedures[1].batched, 4u);
+}
+
+TEST(ServiceCoreBatching, BatchMaxBoundsTheCoalescedRun) {
+  reset_gate();
+  ServiceCore::Config config;
+  config.workers = 1;
+  config.queue_capacity = 16;
+  config.batch_max = 2;
+  ServiceCore core(config, kTestTable);
+  auto blocker = core.submit(make_request("slow"));
+  wait_slow_started(1);
+  std::vector<std::future<ServiceResponse>> echoes;
+  for (int i = 0; i < 4; ++i) {
+    echoes.push_back(
+        core.submit(make_request("echo", {{"x", std::to_string(i)}})));
+  }
+  release_gate();
+  for (auto& f : echoes) EXPECT_EQ(f.get().status, ServiceStatus::kOk);
+  blocker.get();
+  const ServiceStatsSnapshot stats = core.stats();
+  EXPECT_EQ(stats.procedures[1].batches, 2u);  // 4 echoes as 2+2, never 4
+  EXPECT_EQ(stats.procedures[1].batched, 4u);
+}
+
+TEST(ServiceCoreWarmth, SecondIdenticalCampaignGrowsNoArena) {
+  // One worker, no inner pool: every cell decodes on the same persistent
+  // thread, so its thread_local DecodeArena must reach steady state after
+  // the first request — the warm-arena contract of the service.
+  ServiceCore::Config config;
+  config.workers = 1;
+  config.pool_threads = 0;
+  ServiceCore core(config);
+  const Request campaign = make_request(
+      "campaign", {{"generators", "kdeg"},
+                   {"sizes", "16"},
+                   {"protocols", "degeneracy"},
+                   {"seed-list", "1"},
+                   {"json", "1"}});
+  const ServiceResponse first = core.call(campaign);
+  ASSERT_EQ(first.status, ServiceStatus::kOk) << first.log;
+  const std::uint64_t after_first = core.stats().arena_growth_events;
+  const ServiceResponse second = core.call(campaign);
+  ASSERT_EQ(second.status, ServiceStatus::kOk) << second.log;
+  const std::uint64_t after_second = core.stats().arena_growth_events;
+  EXPECT_EQ(first.output, second.output);  // same bytes while we are here
+  EXPECT_EQ(after_first, after_second) << "second identical request grew an "
+                                          "arena: workers are not warm";
+}
+
+TEST(ServiceCoreStats, CountersAreMonotoneAndFormatted) {
+  ServiceCore::Config config;
+  config.workers = 1;
+  ServiceCore core(config, kTestTable);
+  const ServiceStatsSnapshot before = core.stats();
+  reset_gate();
+  release_gate();  // slow returns immediately once released up front
+  core.call(make_request("slow"));
+  const ServiceStatsSnapshot after = core.stats();
+  EXPECT_GE(after.procedures[0].requests, before.procedures[0].requests + 1);
+  EXPECT_GE(after.procedures[0].total_micros,
+            before.procedures[0].total_micros);
+  const std::string json = format_service_stats(after);
+  EXPECT_NE(json.find("\"referee-service-stats\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"slow\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The hoisted campaign flag helpers the table shares with the CLI.
+
+TEST(FaultAxes, ExpandsFlipMajorAdaptiveMinor) {
+  FaultAxes axes;
+  axes.flips = {0.0, 0.5};
+  axes.dups = {0, 2};
+  const auto plans = expand_fault_axes(axes);
+  ASSERT_EQ(plans.size(), 4u);
+  EXPECT_EQ(plans[0].bit_flip_chance, 0.0);
+  EXPECT_EQ(plans[0].correlated.duplicate_ids, 0u);
+  EXPECT_EQ(plans[1].bit_flip_chance, 0.0);
+  EXPECT_EQ(plans[1].correlated.duplicate_ids, 2u);
+  EXPECT_EQ(plans[2].bit_flip_chance, 0.5);
+  EXPECT_EQ(plans[2].correlated.duplicate_ids, 0u);
+  EXPECT_EQ(plans[3].bit_flip_chance, 0.5);
+  EXPECT_EQ(plans[3].correlated.duplicate_ids, 2u);
+}
+
+TEST(FaultAxes, DefaultAxesYieldOneCleanPlan) {
+  const auto plans = expand_fault_axes(FaultAxes{});
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].bit_flip_chance, 0.0);
+  EXPECT_EQ(plans[0].adaptive.budget, 0u);
+}
+
+TEST(ShardSpecParse, AcceptsKOverN) {
+  const ShardSpec spec = parse_shard_spec("2/6");
+  EXPECT_EQ(spec.index, 2u);
+  EXPECT_EQ(spec.count, 6u);
+}
+
+TEST(ShardSpecParse, RejectsMalformedAndOutOfRange) {
+  EXPECT_THROW(parse_shard_spec("4/4"), CheckError);
+  EXPECT_THROW(parse_shard_spec("1/0"), CheckError);
+  EXPECT_THROW(parse_shard_spec("04"), CheckError);
+  EXPECT_THROW(parse_shard_spec("x/4"), CheckError);
+  EXPECT_THROW(parse_shard_spec("1/"), CheckError);
+  EXPECT_THROW(parse_shard_spec("/4"), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Table-driven parsing: the diagnostics the CLI shim relies on.
+
+TEST(ProcedureTable, UnknownFlagNamesProcedureAndNearestFlag) {
+  const ProcedureDesc* campaign = find_procedure("campaign");
+  ASSERT_NE(campaign, nullptr);
+  Args args;
+  const char* argv[] = {"--flps", "0.1"};
+  const std::string error = parse_cli_args(*campaign, 2, argv, 0, args);
+  EXPECT_NE(error.find("campaign"), std::string::npos);
+  EXPECT_NE(error.find("--flips"), std::string::npos);
+}
+
+TEST(ProcedureTable, HelpRendersEveryProcedure) {
+  const std::string help = help_text();
+  for (const ProcedureDesc& desc : procedure_table()) {
+    EXPECT_NE(help.find(std::string(desc.name)), std::string::npos)
+        << "help omits " << desc.name;
+  }
+  const std::string campaign_help =
+      procedure_help(*find_procedure("campaign"));
+  EXPECT_NE(campaign_help.find("--capture-dir"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace referee

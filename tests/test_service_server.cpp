@@ -1,0 +1,227 @@
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/check.hpp"
+
+#include "service/procedure.hpp"
+#include "service/service_core.hpp"
+#include "service/wire.hpp"
+
+namespace referee {
+namespace {
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/referee-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// A live daemon for one test: core + server + serving thread, torn down
+/// by a drain in the destructor.
+struct LiveServer {
+  explicit LiveServer(const std::string& path,
+                      ServiceCore::Config config = {})
+      : core(config), server(ServiceServer::Config{path, &core}) {
+    thread = std::thread([this] { exit_code = server.serve(log); });
+    while (!server.ready()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  ~LiveServer() {
+    if (thread.joinable()) {
+      server.request_shutdown();
+      thread.join();
+    }
+  }
+
+  void shutdown() {
+    server.request_shutdown();
+    thread.join();
+  }
+
+  ServiceCore core;
+  ServiceServer server;
+  std::ostringstream log;
+  std::thread thread;
+  int exit_code = -1;
+};
+
+Request make_request(std::string proc,
+                     std::map<std::string, std::string> args = {},
+                     std::string input = {}) {
+  Request request;
+  request.proc = std::move(proc);
+  request.args.values = std::move(args);
+  request.input = std::move(input);
+  return request;
+}
+
+TEST(WireFormat, RequestRoundTripsThroughJson) {
+  Request request = make_request(
+      "campaign", {{"generators", "kdeg,tree"}, {"json", "1"}},
+      "6 5\n0 1\n\"quoted\\back\"\n");
+  const Request parsed = parse_request(format_request(request));
+  EXPECT_EQ(parsed.proc, request.proc);
+  EXPECT_EQ(parsed.args.values, request.args.values);
+  EXPECT_EQ(parsed.input, request.input);
+}
+
+TEST(WireFormat, ResponseRoundTripsThroughJson) {
+  ServiceResponse response;
+  response.status = ServiceStatus::kOverloaded;
+  response.exit_code = 3;
+  response.output = "line\nwith\ttabs";
+  response.log = "control\x01byte";
+  const ServiceResponse parsed = parse_response(format_response(response));
+  EXPECT_EQ(parsed.status, response.status);
+  EXPECT_EQ(parsed.exit_code, response.exit_code);
+  EXPECT_EQ(parsed.output, response.output);
+  EXPECT_EQ(parsed.log, response.log);
+}
+
+TEST(WireFormat, MalformedFramesFailLoudly) {
+  EXPECT_THROW(parse_request("{"), CheckError);
+  EXPECT_THROW(parse_request("{\"proc\":\"x\",\"evil\":\"y\"}"), CheckError);
+  EXPECT_THROW(parse_request("{\"args\":{}}"), CheckError);  // no proc
+  EXPECT_THROW(parse_response("{\"exit\":0}"), CheckError);  // no status
+}
+
+TEST(ServiceServer, ServesARequestOverTheSocket) {
+  const std::string path = test_socket_path("basic");
+  LiveServer live(path);
+  ServiceClient client(path);
+  const ServiceResponse response = client.call(
+      make_request("gen", {{"family", "path"}, {"n", "6"}, {"seed", "1"}}));
+  EXPECT_EQ(response.status, ServiceStatus::kOk);
+  EXPECT_EQ(response.exit_code, 0);
+  EXPECT_EQ(response.output, "6 5\n0 1\n1 2\n2 3\n3 4\n4 5\n");
+}
+
+TEST(ServiceServer, CampaignBytesMatchAcrossAllThreeFrontends) {
+  // The byte-identity pin of the refactor: the same campaign request run
+  // (a) through the handler directly — the batch CLI path, (b) through an
+  // in-process ServiceCore, (c) over the serve socket, produces the
+  // identical referee-campaign-v3 JSON.
+  const Request request = make_request("campaign", {{"generators", "kdeg"},
+                                                    {"sizes", "16"},
+                                                    {"protocols", "degeneracy"},
+                                                    {"seeds", "2"},
+                                                    {"json", "1"}});
+  std::ostringstream out;
+  std::ostringstream err;
+  ProcedureIO io{out, err};
+  ProcedureContext context;
+  const ProcedureDesc* desc = find_procedure("campaign");
+  ASSERT_NE(desc, nullptr);
+  ASSERT_EQ(desc->handler(request, context, io), 0);
+  const std::string cli_bytes = out.str();
+  ASSERT_FALSE(cli_bytes.empty());
+
+  ServiceCore::Config config;
+  config.workers = 2;
+  ServiceCore core(config);
+  const ServiceResponse in_process = core.call(request);
+  ASSERT_EQ(in_process.status, ServiceStatus::kOk) << in_process.log;
+  EXPECT_EQ(in_process.output, cli_bytes);
+
+  const std::string path = test_socket_path("identity");
+  LiveServer live(path);
+  ServiceClient client(path);
+  const ServiceResponse served = client.call(request);
+  ASSERT_EQ(served.status, ServiceStatus::kOk) << served.log;
+  EXPECT_EQ(served.output, cli_bytes);
+}
+
+TEST(ServiceServer, ConcurrentClientsAllGetTheirOwnBytes) {
+  const std::string path = test_socket_path("concurrent");
+  ServiceCore::Config config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  LiveServer live(path, config);
+  constexpr int kClients = 4;
+  constexpr int kCallsEach = 5;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ServiceClient client(path);
+      for (int i = 0; i < kCallsEach; ++i) {
+        const int n = 4 + (c * kCallsEach + i) % 5;
+        const ServiceResponse response = client.call(make_request(
+            "gen", {{"family", "path"}, {"n", std::to_string(n)}}));
+        // A path on n vertices has n-1 edges; the header pins whose
+        // response this is.
+        const std::string expected_header =
+            std::to_string(n) + " " + std::to_string(n - 1) + "\n";
+        if (response.status != ServiceStatus::kOk ||
+            response.output.rfind(expected_header, 0) != 0) {
+          ++failures[c];
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(failures[c], 0);
+}
+
+TEST(ServiceServer, UnknownProcedureAnswersTyped) {
+  const std::string path = test_socket_path("unknown");
+  LiveServer live(path);
+  ServiceClient client(path);
+  const ServiceResponse response = client.call(make_request("frobnicate"));
+  EXPECT_EQ(response.status, ServiceStatus::kUnknownProcedure);
+  EXPECT_EQ(response.exit_code, 2);
+}
+
+TEST(ServiceServer, ShutdownDrainsAndUnlinksTheSocket) {
+  const std::string path = test_socket_path("drain");
+  {
+    LiveServer live(path);
+    ServiceClient client(path);
+    EXPECT_EQ(client.call(make_request("selftest")).status,
+              ServiceStatus::kOk);
+    live.shutdown();
+    EXPECT_EQ(live.exit_code, 0);
+    EXPECT_NE(live.log.str().find("drained"), std::string::npos);
+  }
+  // The socket file is gone: a restart can bind cleanly.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(ServiceServer, ServedStatsReportTheDaemonCounters) {
+  const std::string path = test_socket_path("stats");
+  LiveServer live(path);
+  ServiceClient client(path);
+  ASSERT_EQ(client
+                .call(make_request("gen", {{"family", "path"}, {"n", "4"}}))
+                .status,
+            ServiceStatus::kOk);
+  const ServiceResponse first = client.call(make_request("service stats"));
+  ASSERT_EQ(first.status, ServiceStatus::kOk) << first.log;
+  EXPECT_NE(first.output.find("\"referee-service-stats\":1"),
+            std::string::npos);
+  const ServiceResponse second = client.call(make_request("service stats"));
+  // Monotone: the second snapshot has seen at least the first stats call.
+  const auto count_of = [](const std::string& json, const std::string& name) {
+    const auto at = json.find("\"name\":\"" + name + "\"");
+    EXPECT_NE(at, std::string::npos);
+    const auto req_at = json.find("\"requests\":", at);
+    return std::stoull(json.substr(req_at + 11));
+  };
+  EXPECT_GT(count_of(second.output, "service stats"),
+            count_of(first.output, "service stats") - 1);
+  EXPECT_EQ(count_of(second.output, "gen"), 1u);
+}
+
+}  // namespace
+}  // namespace referee

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Service smoke: boot `refereectl serve` on a throwaway socket, drive it
+# through the `call` client (encode, decode, campaign, stats), assert the
+# served campaign bytes match the batch CLI byte-for-byte, assert the
+# stats counters are monotone across calls, then SIGTERM the daemon and
+# require a clean drain (exit 0, socket unlinked).
+#
+# Usage: check_service.sh /path/to/refereectl
+set -euo pipefail
+
+REFEREECTL=${1:?usage: check_service.sh /path/to/refereectl}
+
+workdir=$(mktemp -d)
+socket="$workdir/referee.sock"
+cleanup() {
+  if [[ -n "${serve_pid:-}" ]] && kill -0 "$serve_pid" 2>/dev/null; then
+    kill -TERM "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+"$REFEREECTL" serve --socket "$socket" --workers 2 --queue 32 \
+  2> "$workdir/serve.log" &
+serve_pid=$!
+
+for _ in $(seq 1 100); do
+  [[ -S "$socket" ]] && break
+  kill -0 "$serve_pid" || { cat "$workdir/serve.log"; exit 1; }
+  sleep 0.05
+done
+[[ -S "$socket" ]] || { echo "socket never appeared"; exit 1; }
+
+call() { "$REFEREECTL" call --socket "$socket" "$@"; }
+
+echo "== gen over the socket"
+call gen path --n 6 --seed 1 > "$workdir/path.txt"
+head -1 "$workdir/path.txt" | grep -qx "6 5"
+
+echo "== capture + decode round trip over the socket"
+call gen kdeg --n 48 --k 3 --seed 7 > "$workdir/graph.txt"
+call capture --k 3 --out "$workdir/t.rft" < "$workdir/graph.txt"
+call decode-transcript --k 3 --in "$workdir/t.rft" > "$workdir/decoded.txt"
+# The decode returns a graph on the same vertex count.
+head -1 "$workdir/decoded.txt" | grep -q "^48 "
+
+echo "== served campaign bytes match the batch CLI"
+campaign_args=(campaign --generators kdeg,tree --sizes 16,24
+  --protocols degeneracy,forest --seeds 2 --json)
+"$REFEREECTL" "${campaign_args[@]}" > "$workdir/local.json"
+call "${campaign_args[@]}" > "$workdir/served.json"
+cmp "$workdir/local.json" "$workdir/served.json"
+
+echo "== stats counters are monotone"
+call service stats > "$workdir/stats1.json"
+call service stats > "$workdir/stats2.json"
+python3 - "$workdir/stats1.json" "$workdir/stats2.json" <<'PY'
+import json, sys
+first = json.load(open(sys.argv[1]))
+second = json.load(open(sys.argv[2]))
+assert first["referee-service-stats"] == 1
+rows1 = {row["name"]: row for row in first["procedures"]}
+rows2 = {row["name"]: row for row in second["procedures"]}
+assert set(rows1) == set(rows2), "procedure inventory changed between snapshots"
+for name, row in rows1.items():
+    for key in ("requests", "ok", "errors", "shed", "batches", "batched",
+                "total_micros"):
+        assert rows2[name][key] >= row[key], f"{name}.{key} went backwards"
+assert rows1["gen"]["ok"] == 2, rows1["gen"]
+assert rows1["campaign"]["ok"] == 1, rows1["campaign"]
+assert rows2["service stats"]["requests"] > rows1["service stats"]["requests"]
+print("stats monotone across", len(rows1), "procedures")
+PY
+
+echo "== SIGTERM drains cleanly"
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+status=$?
+[[ $status -eq 0 ]] || { echo "serve exited $status"; cat "$workdir/serve.log"; exit 1; }
+grep -q "drained" "$workdir/serve.log"
+[[ ! -e "$socket" ]] || { echo "socket not unlinked"; exit 1; }
+serve_pid=""
+
+echo "service smoke OK"

@@ -6,69 +6,16 @@
 //   refereectl gen apollonian --n 80 --seed 7 |
 //   refereectl reconstruct --k 3
 //
-// Commands:
-//   gen <family> [--n N] [--m M] [--k K] [--p P] [--seed S] [--arity A]
-//       families: path cycle complete star grid torus hypercube tree forest
-//                 gnp gnm kdeg ktree apollonian fattree bipartite squarefree
-//   info                         structural report (degeneracy, diameter, ...)
-//   reconstruct --k K [--decoder newton|fast|table] [--threads T]
-//   recognize  --k K             one-round "degeneracy <= K?" decision
-//   adaptive                     multi-round reconstruction, k discovered
-//   stats                        what 2 log n bits/node buy (degree stats)
-//   connectivity [--copies C] [--seed S]
-//   kconn --k K [--copies C]     k-edge-connectivity via sketch peeling
-//   bipartite    [--copies C] [--seed S]
-//   reduce --via square|triangle|diameter
-//   capture --k K --out FILE     run the local phase, save the transcript
-//   decode-transcript --k K --in FILE   referee decode, offline
-//   campaign [--generators a,b] [--sizes 24,48] [--protocols x,y]
-//            [--seeds N] [--seed-list 5,9] [--flips 0,0.01] [--truncs 0]
-//            [--drops 0,0.25] [--dups 0,2] [--swaps 0,2] [--stales 0,2]
-//            [--adaptive-budget 0,3] [--rounds R]
-//            [--k K] [--p P] [--threads T] [--json] [--out FILE]
-//            [--fault-sweep] [--shard k/N] [--backend pool|subprocess]
-//            [--shards N]
-//            run a scenario grid; deterministic (same flags -> same bytes).
-//            Fault-plan axes take the cartesian product; --adaptive-budget
-//            arms the transcript-aware adversary with that strike budget;
-//            --fault-sweep runs the default 200-cell correlated+adaptive
-//            contract sweep (multi-round cells included; --rounds caps
-//            their round count). Protocols may include multi-round names
-//            (adaptive-degeneracy). Generators may also be file:<path>
-//            binary edge lists (see `graph pack`). --shard k/N runs only
-//            shard k of N and emits a mergeable shard report; --backend
-//            subprocess --shards N forks N shard workers of this binary
-//            and merges their streams — the merged bytes equal a
-//            single-process run. To reproduce one failing cell from its
-//            JSON record, feed the row's fields back as single-valued axes
-//            (see README).
-//            Reports stream: rows flow straight from workers to the
-//            output sink, so coordinator memory is O(shards), not O(grid).
-//            --capture-dir DIR seals every cell's post-injection wire
-//            transcript to DIR/cell-<id>.rtr for offline replay
-//            (multi-round cells add cell-<id>.r<round>.rtr per later round).
-//   campaign --merge s0.json,s1.json,... [--json] [--out FILE]
-//            k-way streaming merge of shard reports (from --shard runs,
-//            any shard count or nesting) into one report; byte-identical
-//            to the unsharded run once every shard is present, without
-//            ever holding a full report in memory.
-//   transcript capture --generator G --protocol P [cell axes + fault
-//            knobs --flip --trunc --drop --dup --swap --stale] --out FILE
-//            run one campaign cell, seal its wire transcript (reftrn1)
-//   transcript decode --in FILE [same cell axes]
-//            re-open a sealed transcript offline and grade it against the
-//            cell's deterministic ground truth; reproduces the live
-//            outcome, loud refusals included
-//   graph pack --out FILE        stdin edge-list text -> binary edge file
-//   graph gen <family> [gen flags] -o FILE   generate straight to binary
-//   selftest                     quick end-to-end sanity run
-#include <algorithm>
-#include <cstdio>
-#include <fstream>
+// This file is deliberately thin: every command body lives in the static
+// procedure table (src/service/procedure.hpp), which also powers the
+// refereectl serve daemon and the in-process ServiceCore. The driver only
+// (1) resolves the command name (two-word names like "graph pack" and
+// "service stats" included), (2) parses argv against the table's flag
+// inventory, (3) slurps stdin for graph-reading procedures, and (4) runs
+// the handler against stdout/stderr — or, for `call`, sends the request
+// to a running daemon instead and replays its captured bytes.
+// `refereectl help [command]` and all usage text render from the table.
 #include <iostream>
-#include <map>
-#include <memory>
-#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -77,521 +24,12 @@
 #include <unistd.h>
 #endif
 
-#include "campaign/backend.hpp"
-#include "campaign/plan.hpp"
-#include "campaign/report.hpp"
-#include "campaign/scenario.hpp"
-#include "campaign/stream.hpp"
-#include "campaign/subprocess.hpp"
-#include "graph/algorithms.hpp"
-#include "graph/degeneracy.hpp"
-#include "graph/generators.hpp"
-#include "graph/io.hpp"
-#include "graph/subgraphs.hpp"
-#include "graph/mincut.hpp"
-#include "model/simulator.hpp"
-#include "model/transcript.hpp"
-#include "numth/lookup.hpp"
-#include "protocols/adaptive_degeneracy.hpp"
-#include "protocols/degeneracy_protocol.hpp"
-#include "protocols/recognition.hpp"
-#include "protocols/statistics.hpp"
-#include "reductions/oracles.hpp"
-#include "reductions/reductions.hpp"
-#include "sketch/bipartiteness.hpp"
-#include "sketch/connectivity.hpp"
-#include "sketch/k_connectivity.hpp"
+#include "service/procedure.hpp"
+#include "service/wire.hpp"
 
 namespace {
 
 using namespace referee;
-
-struct Options {
-  std::map<std::string, std::string> values;
-
-  bool has(const std::string& key) const { return values.count(key) > 0; }
-
-  std::string str(const std::string& key, const std::string& fallback) const {
-    const auto it = values.find(key);
-    return it == values.end() ? fallback : it->second;
-  }
-
-  std::uint64_t num(const std::string& key, std::uint64_t fallback) const {
-    const auto it = values.find(key);
-    return it == values.end() ? fallback : std::stoull(it->second);
-  }
-
-  double real(const std::string& key, double fallback) const {
-    const auto it = values.find(key);
-    return it == values.end() ? fallback : std::stod(it->second);
-  }
-};
-
-Options parse_options(int argc, char** argv, int first) {
-  Options opts;
-  for (int i = first; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg == "-o") {
-      arg = "--out";  // the conventional short spelling for output files
-    }
-    if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-      std::exit(2);
-    }
-    arg = arg.substr(2);
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      opts.values[arg] = argv[++i];
-    } else {
-      opts.values[arg] = "1";
-    }
-  }
-  return opts;
-}
-
-Graph read_graph_stdin() {
-  std::ostringstream buffer;
-  buffer << std::cin.rdbuf();
-  return from_edge_list(buffer.str());
-}
-
-Graph gen_family(const std::string& family, const Options& opts) {
-  const auto n = static_cast<std::size_t>(opts.num("n", 32));
-  const auto k = static_cast<unsigned>(opts.num("k", 3));
-  const double p = opts.real("p", 0.1);
-  Rng rng(opts.num("seed", 1));
-  Graph g;
-  if (family == "path") {
-    g = gen::path(n);
-  } else if (family == "cycle") {
-    g = gen::cycle(n);
-  } else if (family == "complete") {
-    g = gen::complete(n);
-  } else if (family == "star") {
-    g = gen::star(n - 1);
-  } else if (family == "grid") {
-    const auto rows = static_cast<std::size_t>(opts.num("rows", 4));
-    g = gen::grid(rows, (n + rows - 1) / rows);
-  } else if (family == "torus") {
-    const auto rows = static_cast<std::size_t>(opts.num("rows", 4));
-    g = gen::torus(rows, std::max<std::size_t>(3, n / rows));
-  } else if (family == "hypercube") {
-    g = gen::hypercube(static_cast<unsigned>(opts.num("dims", 4)));
-  } else if (family == "tree") {
-    g = gen::random_tree(n, rng);
-  } else if (family == "forest") {
-    g = gen::random_forest(n, opts.real("drop", 0.2), rng);
-  } else if (family == "gnp") {
-    g = gen::gnp(n, p, rng);
-  } else if (family == "gnm") {
-    g = gen::gnm(n, opts.num("m", 2 * n), rng);
-  } else if (family == "kdeg") {
-    g = gen::random_k_degenerate(n, k, rng, opts.has("exact"));
-  } else if (family == "ktree") {
-    g = gen::random_k_tree(n, k, rng);
-  } else if (family == "apollonian") {
-    g = gen::random_apollonian(n, rng);
-  } else if (family == "fattree") {
-    g = gen::fat_tree(static_cast<unsigned>(opts.num("arity", 4)),
-                      opts.has("hosts"));
-  } else if (family == "bipartite") {
-    g = gen::random_bipartite(n / 2, n - n / 2, p, rng);
-  } else if (family == "squarefree") {
-    g = gen::random_square_free(n, opts.num("attempts", 30 * n), rng);
-  } else {
-    throw CheckError("unknown family: " + family);
-  }
-  return g;
-}
-
-int cmd_gen(const std::string& family, const Options& opts) {
-  std::fputs(to_edge_list(gen_family(family, opts)).c_str(), stdout);
-  return 0;
-}
-
-int cmd_graph(const std::string& sub, int argc, char** argv, int first) {
-  if (sub == "pack") {
-    const Options opts = parse_options(argc, argv, first);
-    if (!opts.has("out")) {
-      std::fprintf(stderr, "graph pack needs --out FILE (or -o FILE)\n");
-      return 2;
-    }
-    const Graph g = read_graph_stdin();
-    const auto edges = g.edges();
-    write_edge_file(opts.str("out", ""), g.vertex_count(), edges);
-    std::fprintf(stderr, "packed %zu vertices / %zu edges to %s\n",
-                 g.vertex_count(), edges.size(), opts.str("out", "").c_str());
-    return 0;
-  }
-  if (sub == "gen") {
-    if (first >= argc) {
-      std::fprintf(stderr, "graph gen needs a family\n");
-      return 2;
-    }
-    const std::string family = argv[first];
-    const Options opts = parse_options(argc, argv, first + 1);
-    if (!opts.has("out")) {
-      std::fprintf(stderr, "graph gen writes binary: needs --out FILE "
-                           "(use plain `gen` for text)\n");
-      return 2;
-    }
-    const Graph g = gen_family(family, opts);
-    const auto edges = g.edges();
-    write_edge_file(opts.str("out", ""), g.vertex_count(), edges);
-    std::fprintf(stderr, "generated %s: %zu vertices / %zu edges to %s\n",
-                 family.c_str(), g.vertex_count(), edges.size(),
-                 opts.str("out", "").c_str());
-    return 0;
-  }
-  std::fprintf(stderr, "unknown graph subcommand: %s (pack, gen)\n",
-               sub.c_str());
-  return 2;
-}
-
-int cmd_info(const Graph& g) {
-  std::printf("vertices        %zu\n", g.vertex_count());
-  std::printf("edges           %zu\n", g.edge_count());
-  std::printf("min/max degree  %zu / %zu\n", g.min_degree(), g.max_degree());
-  const auto deg = degeneracy(g);
-  std::printf("degeneracy      %zu\n", deg.degeneracy);
-  std::printf("components      %zu\n", component_count(g));
-  const auto diam = diameter(g);
-  std::printf("diameter        %s\n",
-              diam ? std::to_string(*diam).c_str() : "inf (disconnected)");
-  const auto gi = girth(g);
-  std::printf("girth           %s\n",
-              gi ? std::to_string(*gi).c_str() : "inf (forest)");
-  std::printf("bipartite       %s\n", is_bipartite(g) ? "yes" : "no");
-  std::printf("triangles       %llu\n",
-              static_cast<unsigned long long>(count_triangles(g)));
-  std::printf("squares (C4)    %llu\n",
-              static_cast<unsigned long long>(count_squares(g)));
-  std::printf("treewidth <=    %zu (min-degree heuristic)\n",
-              treewidth_upper_bound_min_degree(g));
-  return 0;
-}
-
-std::shared_ptr<const NeighborhoodDecoder> pick_decoder(
-    const std::string& kind, std::uint32_t n, unsigned k) {
-  if (kind == "table") {
-    return std::make_shared<TableDecoder>(
-        std::make_shared<NeighborhoodTable>(n, k));
-  }
-  if (kind == "fast") {
-    return std::make_shared<SmallNewtonDecoder>(n, k);
-  }
-  return std::make_shared<NewtonDecoder>();
-}
-
-int cmd_reconstruct(const Graph& g, const Options& opts) {
-  const auto k = static_cast<unsigned>(opts.num("k", 3));
-  const auto threads = static_cast<std::size_t>(opts.num("threads", 0));
-  const auto decoder =
-      pick_decoder(opts.str("decoder", "newton"),
-                   static_cast<std::uint32_t>(g.vertex_count()), k);
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-  const Simulator sim(pool.get());
-  const DegeneracyReconstruction protocol(k, decoder);
-  FrugalityReport report;
-  try {
-    const Graph h = sim.run_reconstruction(g, protocol, &report);
-    std::fprintf(stderr,
-                 "reconstructed %zu vertices / %zu edges; "
-                 "max message %zu bits (%.2f x log2(n+1)); exact: %s\n",
-                 h.vertex_count(), h.edge_count(), report.max_bits,
-                 report.constant(), h == g ? "yes" : "NO");
-    std::fputs(to_edge_list(h).c_str(), stdout);
-    return h == g ? 0 : 1;
-  } catch (const DecodeError& e) {
-    std::fprintf(stderr, "reconstruction failed: %s\n", e.what());
-    return 1;
-  }
-}
-
-int cmd_recognize(const Graph& g, const Options& opts) {
-  const auto k = static_cast<unsigned>(opts.num("k", 3));
-  const Simulator sim;
-  const bool accepted = sim.run_decision(g, *make_degeneracy_recognizer(k));
-  std::printf("degeneracy <= %u: %s\n", k, accepted ? "yes" : "no");
-  return 0;
-}
-
-int cmd_adaptive(const Graph& g) {
-  const Simulator sim;
-  const AdaptiveDegeneracyReconstruction protocol;
-  MultiRoundReport report;
-  const Graph h = sim.run_multi_round(g, protocol, &report);
-  std::fprintf(stderr,
-               "adaptive reconstruction: %u round(s), final guess k=%u, "
-               "max message %zu bits, %zu broadcast bit(s); exact: %s\n",
-               report.rounds_used,
-               AdaptiveDegeneracyReconstruction::k_for_round(
-                   report.rounds_used - 1),
-               report.max_bits, report.broadcast_bits,
-               h == g ? "yes" : "NO");
-  std::fputs(to_edge_list(h).c_str(), stdout);
-  return h == g ? 0 : 1;
-}
-
-int cmd_connectivity(const Graph& g, const Options& opts) {
-  const SketchParams params{
-      .seed = opts.num("seed", 0xC0FFEE),
-      .rounds = 0,
-      .copies = static_cast<unsigned>(opts.num("copies", 3))};
-  const Simulator sim;
-  const SketchConnectivityProtocol protocol(params);
-  FrugalityReport report;
-  const auto msgs = sim.run_local_phase(g, protocol);
-  report = audit_frugality(static_cast<std::uint32_t>(g.vertex_count()), msgs);
-  const auto result =
-      protocol.decode(static_cast<std::uint32_t>(g.vertex_count()), msgs);
-  std::printf("components      %zu (truth: %zu)\n", result.component_count,
-              component_count(g));
-  std::printf("forest edges    %zu\n", result.forest.size());
-  std::printf("bits per node   %zu (%.1f x log2(n+1))\n", report.max_bits,
-              report.constant());
-  return result.component_count == component_count(g) ? 0 : 1;
-}
-
-int cmd_bipartite(const Graph& g, const Options& opts) {
-  const SketchParams params{
-      .seed = opts.num("seed", 0xB1B),
-      .rounds = 0,
-      .copies = static_cast<unsigned>(opts.num("copies", 3))};
-  const Simulator sim;
-  const bool answer = sim.run_decision(g, SketchBipartitenessProtocol(params));
-  std::printf("bipartite       %s (truth: %s)\n", answer ? "yes" : "no",
-              is_bipartite(g) ? "yes" : "no");
-  return answer == is_bipartite(g) ? 0 : 1;
-}
-
-int cmd_reduce(const Graph& g, const Options& opts) {
-  const std::string via = opts.str("via", "diameter");
-  const Simulator sim;
-  std::unique_ptr<ReconstructionProtocol> delta;
-  if (via == "square") {
-    delta = std::make_unique<SquareReduction>(make_square_oracle());
-  } else if (via == "triangle") {
-    delta = std::make_unique<TriangleReduction>(make_triangle_oracle());
-  } else if (via == "diameter") {
-    delta = std::make_unique<DiameterReduction>(make_diameter_oracle(3));
-  } else {
-    std::fprintf(stderr, "unknown reduction: %s\n", via.c_str());
-    return 2;
-  }
-  const Graph h = sim.run_reconstruction(g, *delta);
-  std::fprintf(stderr, "Δ[%s] output %s the input\n", via.c_str(),
-               h == g ? "MATCHES" : "differs from");
-  std::fputs(to_edge_list(h).c_str(), stdout);
-  return h == g ? 0 : 1;
-}
-
-int cmd_stats(const Graph& g) {
-  const Simulator sim;
-  const DegreeStatistics protocol;
-  const auto n = static_cast<std::uint32_t>(g.vertex_count());
-  const auto msgs = sim.run_local_phase(g, protocol);
-  const auto report = audit_frugality(n, msgs);
-  std::printf("edges           %llu\n",
-              static_cast<unsigned long long>(
-                  DegreeStatistics::edge_count(n, msgs)));
-  std::printf("max degree      %u\n", DegreeStatistics::max_degree(n, msgs));
-  std::printf("min degree      %u\n", DegreeStatistics::min_degree(n, msgs));
-  std::printf("erdos-gallai    %s\n",
-              DegreeStatistics::erdos_gallai_feasible(n, msgs)
-                  ? "feasible"
-                  : "INFEASIBLE (corrupt transcript)");
-  std::printf("connectivity    %s\n",
-              DegreeStatistics::connectivity_possible(n, msgs)
-                  ? "possible (necessary conditions hold)"
-                  : "impossible (isolated vertex or m < n-1)");
-  std::printf("bits per node   %zu (%.1f x log2(n+1))\n", report.max_bits,
-              report.constant());
-  return 0;
-}
-
-int cmd_kconn(const Graph& g, const Options& opts) {
-  const auto k = static_cast<unsigned>(opts.num("k", 2));
-  const SketchParams params{
-      .seed = opts.num("seed", 0xC0DE),
-      .rounds = 0,
-      .copies = static_cast<unsigned>(opts.num("copies", 4))};
-  const auto result = sketch_k_edge_connectivity(g, k, params);
-  std::printf("lambda >= %u     %s (certificate bound: %llu; truth: %llu)\n",
-              k, result.k_connected ? "yes" : "no",
-              static_cast<unsigned long long>(
-                  result.connectivity_lower_bound),
-              static_cast<unsigned long long>(edge_connectivity(g)));
-  std::printf("certificate     %zu edges across %zu forests\n",
-              result.certificate.edge_count(), result.forests.size());
-  return 0;
-}
-
-int cmd_capture(const Graph& g, const Options& opts) {
-  const auto k = static_cast<unsigned>(opts.num("k", 3));
-  const std::string out = opts.str("out", "transcript.rft");
-  const Simulator sim;
-  const DegeneracyReconstruction protocol(k);
-  Transcript t;
-  t.n = static_cast<std::uint32_t>(g.vertex_count());
-  t.messages = sim.run_local_phase(g, protocol);
-  std::ofstream os(out, std::ios::binary);
-  if (!os) {
-    std::fprintf(stderr, "cannot open %s\n", out.c_str());
-    return 1;
-  }
-  write_transcript(os, t);
-  const auto report = audit_frugality(t.n, t.messages);
-  std::fprintf(stderr, "captured %u messages (%zu bits total) to %s\n", t.n,
-               report.total_bits, out.c_str());
-  return 0;
-}
-
-int cmd_decode_transcript(const Options& opts) {
-  const auto k = static_cast<unsigned>(opts.num("k", 3));
-  const std::string in = opts.str("in", "transcript.rft");
-  std::ifstream is(in, std::ios::binary);
-  if (!is) {
-    std::fprintf(stderr, "cannot open %s\n", in.c_str());
-    return 1;
-  }
-  const Transcript t = read_transcript(is);
-  const DegeneracyReconstruction protocol(k);
-  try {
-    const Graph h = protocol.reconstruct(t.n, t.messages);
-    std::fprintf(stderr, "decoded %u nodes -> %zu edges\n", t.n,
-                 h.edge_count());
-    std::fputs(to_edge_list(h).c_str(), stdout);
-    return 0;
-  } catch (const DecodeError& e) {
-    std::fprintf(stderr, "decode failed: %s\n", e.what());
-    return 1;
-  }
-}
-
-std::vector<std::string> split_list(const std::string& csv) {
-  std::vector<std::string> out;
-  std::string item;
-  std::istringstream is(csv);
-  while (std::getline(is, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-/// Swallows streamed bytes when neither --json nor --out wants them; the
-/// table is printed from the writer's folded aggregates instead.
-struct NullBuffer final : std::streambuf {
-  int overflow(int c) override { return c; }
-};
-
-/// Print the human table / replay the JSON per the output flags, using
-/// only the writer's incremental fold — never the materialized report —
-/// and derive the exit code from the loud-failure contract: any
-/// silent-wrong cell fails the run. `note_partial` mentions incomplete
-/// coverage on stderr (the merge path's courtesy note).
-int finish_streamed(const StreamingReportWriter& writer, const Options& opts,
-                    bool note_partial) {
-  const AggregateFolder& folder = writer.folder();
-  if (note_partial && folder.rows() < writer.plan_cells()) {
-    std::fprintf(stderr,
-                 "note: merged %zu of %zu cells — emitting a partial "
-                 "(shard) report\n",
-                 folder.rows(), writer.plan_cells());
-  }
-  if (opts.has("out") && opts.has("json")) {
-    // The canonical bytes streamed to the file; replay them to stdout
-    // without rebuilding the report in memory.
-    std::ifstream is(opts.str("out", ""), std::ios::binary);
-    std::cout << is.rdbuf();
-  }
-  if (!opts.has("json")) {
-    std::printf("%-14s %-22s %9s %4s %5s %7s %9s %7s\n", "generator",
-                "protocol", "scenarios", "ok", "loud", "silent", "max_bits",
-                "c");
-    for (const auto& a : folder.aggregates()) {
-      std::printf("%-14s %-22s %9zu %4zu %5zu %7zu %9zu %7.2f\n",
-                  a.generator.c_str(), a.protocol.c_str(), a.scenarios, a.ok,
-                  a.loud, a.silent_wrong, a.max_bits, a.max_constant);
-    }
-    std::printf("total scenarios %zu/%zu, silent-wrong %zu\n", folder.rows(),
-                writer.plan_cells(), folder.silent_wrong());
-  }
-  return folder.silent_wrong() == 0 ? 0 : 1;
-}
-
-/// Run `produce` against a StreamingReportWriter wired to the right
-/// destination (--out file, --json stdout, else a null sink): report rows
-/// flow straight from the producer to bytes, so the CLI's peak memory is
-/// independent of the grid size.
-int run_campaign_streamed(const std::function<void(ReportSink&)>& produce,
-                          const Options& opts, bool note_partial = false) {
-  NullBuffer null_buffer;
-  std::ostream null_stream(&null_buffer);
-  std::ofstream file;
-  std::ostream* out = &null_stream;
-  if (opts.has("out")) {
-    file.open(opts.str("out", "campaign.json"), std::ios::binary);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", opts.str("out", "").c_str());
-      return 1;
-    }
-    out = &file;
-  } else if (opts.has("json")) {
-    out = &std::cout;
-  }
-  StreamingReportWriter writer(*out);
-  produce(writer);
-  if (file.is_open()) file.close();
-  return finish_streamed(writer, opts, note_partial);
-}
-
-int cmd_campaign_merge(const Options& opts) {
-  const auto paths = split_list(opts.str("merge", ""));
-  if (paths.empty()) {
-    std::fprintf(stderr, "--merge needs a comma-separated shard file list\n");
-    return 2;
-  }
-  std::vector<std::ifstream> files;
-  files.reserve(paths.size());
-  for (const auto& path : paths) {
-    files.emplace_back(path, std::ios::binary);
-    if (!files.back()) {
-      std::fprintf(stderr, "cannot open %s\n", path.c_str());
-      return 1;
-    }
-  }
-  std::vector<std::istream*> inputs;
-  inputs.reserve(files.size());
-  for (auto& file : files) inputs.push_back(&file);
-  // K-way streaming merge: rows flow shard-file → writer one at a time,
-  // so merging a million-cell campaign needs O(shards) memory.
-  return run_campaign_streamed(
-      [&](ReportSink& sink) { merge_report_streams(inputs, sink); }, opts,
-      /*note_partial=*/true);
-}
-
-/// The worker argv for subprocess shards: this campaign invocation's grid
-/// flags, minus everything that controls execution or output — the worker
-/// re-expands the same deterministic grid and adds its own --shard/--json.
-std::vector<std::string> shard_worker_args(int argc, char** argv) {
-  static const std::set<std::string> kControlFlags{
-      "--backend", "--shards", "--shard", "--merge",
-      "--threads", "--json",   "--out",   "-o"};
-  std::vector<std::string> args;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const bool control = kControlFlags.count(arg) > 0;
-    const bool has_value =
-        i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0;
-    if (!control) args.push_back(arg);
-    if (has_value) {
-      if (!control) args.push_back(argv[i + 1]);
-      ++i;
-    }
-  }
-  return args;
-}
 
 /// Path of this very binary, for forking shard workers of ourselves.
 std::string self_exe(const char* argv0) {
@@ -606,346 +44,142 @@ std::string self_exe(const char* argv0) {
   return argv0;
 }
 
-int cmd_campaign(const Options& opts, int argc, char** argv) {
-  if (opts.has("merge")) return cmd_campaign_merge(opts);
-  CampaignConfig config;
-  if (opts.has("fault-sweep")) config = default_fault_sweep_config();
-  if (opts.has("generators")) config.generators = split_list(opts.str("generators", ""));
-  if (opts.has("protocols")) config.protocols = split_list(opts.str("protocols", ""));
-  if (opts.has("sizes")) {
-    config.sizes.clear();
-    for (const auto& s : split_list(opts.str("sizes", ""))) {
-      config.sizes.push_back(std::stoull(s));
+/// Longest-match lookup: try "argv[i] argv[i+1]" before "argv[i]" so
+/// two-word procedures resolve, and report how many argv slots the name
+/// consumed.
+const ProcedureDesc* resolve_procedure(int argc, char** argv, int first,
+                                       int& consumed) {
+  if (first >= argc) return nullptr;
+  if (first + 1 < argc) {
+    const std::string two =
+        std::string(argv[first]) + " " + argv[first + 1];
+    if (const ProcedureDesc* desc = find_procedure(two)) {
+      consumed = 2;
+      return desc;
     }
   }
-  if (opts.has("seeds")) {
-    config.seeds.clear();
-    for (std::uint64_t s = 1; s <= opts.num("seeds", 4); ++s) {
-      config.seeds.push_back(s);
-    }
-  }
-  if (opts.has("seed-list")) {
-    config.seeds.clear();
-    for (const auto& s : split_list(opts.str("seed-list", ""))) {
-      config.seeds.push_back(std::stoull(s));
-    }
-  }
-  config.k = static_cast<unsigned>(opts.num("k", config.k));
-  config.p = opts.real("p", config.p);
-  const auto real_axis = [&](const char* key) {
-    std::vector<double> values{0.0};
-    if (opts.has(key)) {
-      values.clear();
-      for (const auto& s : split_list(opts.str(key, ""))) {
-        values.push_back(std::stod(s));
-      }
-    }
-    return values;
-  };
-  const auto count_axis = [&](const char* key) {
-    std::vector<unsigned> values{0};
-    if (opts.has(key)) {
-      values.clear();
-      for (const auto& s : split_list(opts.str(key, ""))) {
-        values.push_back(static_cast<unsigned>(std::stoul(s)));
-      }
-    }
-    return values;
-  };
-  const auto flips = real_axis("flips");
-  const auto truncs = real_axis("truncs");
-  const auto drops = real_axis("drops");
-  const auto dups = count_axis("dups");
-  const auto swaps = count_axis("swaps");
-  const auto stales = count_axis("stales");
-  const auto adaptives = count_axis("adaptive-budget");
-  config.rounds = static_cast<unsigned>(opts.num("rounds", config.rounds));
-  const bool any_fault_axis = opts.has("flips") || opts.has("truncs") ||
-                              opts.has("drops") || opts.has("dups") ||
-                              opts.has("swaps") || opts.has("stales") ||
-                              opts.has("adaptive-budget");
-  if (any_fault_axis || !opts.has("fault-sweep")) {
-    config.fault_plans.clear();
-    for (const double flip : flips) {
-      for (const double trunc : truncs) {
-        for (const double drop : drops) {
-          for (const unsigned dup : dups) {
-            for (const unsigned swap : swaps) {
-              for (const unsigned stale : stales) {
-                for (const unsigned adaptive : adaptives) {
-                  config.fault_plans.push_back(FaultPlan{
-                      .bit_flip_chance = flip,
-                      .truncate_chance = trunc,
-                      .correlated =
-                          CorrelatedFaults{.drop_fraction = drop,
-                                           .duplicate_ids = dup,
-                                           .payload_swaps = swap,
-                                           .stale_replays = stale},
-                      .adaptive = AdaptiveFaults{.budget = adaptive}});
-                }
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  consumed = 1;
+  return find_procedure(argv[first]);
+}
 
-  for (const auto& generator : config.generators) {
-    const auto& known = campaign_generators();
-    if (!is_file_generator(generator) &&
-        std::find(known.begin(), known.end(), generator) == known.end()) {
-      std::fprintf(stderr, "unknown generator: %s\n", generator.c_str());
-      return 2;
-    }
+bool wants_help(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") return true;
   }
-  for (const auto& protocol : config.protocols) {
-    const auto& known = campaign_protocols();
-    if (std::find(known.begin(), known.end(), protocol) == known.end() &&
-        !is_multi_round_protocol(protocol)) {
-      std::fprintf(stderr, "unknown protocol: %s\n", protocol.c_str());
-      return 2;
-    }
-  }
+  return false;
+}
 
-  CampaignPlan plan(config);
-  if (opts.has("shard")) {
-    const std::string shard = opts.str("shard", "");
-    const auto slash = shard.find('/');
-    if (slash == std::string::npos) {
-      std::fprintf(stderr, "--shard wants k/N (e.g. --shard 0/4)\n");
-      return 2;
-    }
-    const auto k = static_cast<unsigned>(std::stoul(shard.substr(0, slash)));
-    const auto count =
-        static_cast<unsigned>(std::stoul(shard.substr(slash + 1)));
-    if (count == 0 || k >= count) {
-      std::fprintf(stderr, "--shard index out of range: %s\n", shard.c_str());
-      return 2;
-    }
-    plan = plan.shard(k, count);
-  }
+std::string slurp_stdin() {
+  std::ostringstream buffer;
+  buffer << std::cin.rdbuf();
+  return buffer.str();
+}
 
-  const std::string backend_name = opts.str("backend", "pool");
-  if (backend_name == "subprocess") {
-    if (opts.has("shard")) {
-      std::fprintf(stderr,
-                   "--backend subprocess shards the plan itself; drop "
-                   "--shard\n");
-      return 2;
-    }
-    const auto shards =
-        static_cast<unsigned>(opts.num("shards", 4));
-    auto worker_args = shard_worker_args(argc, argv);
-    if (opts.has("threads")) {
-      // Split the requested budget across workers instead of letting each
-      // one default to a full hardware-sized pool.
-      const auto total = static_cast<unsigned>(opts.num("threads", 0));
-      worker_args.push_back("--threads");
-      worker_args.push_back(std::to_string(std::max(1u, total / shards)));
-    }
-    const SubprocessShardBackend backend(self_exe(argv[0]),
-                                         std::move(worker_args), shards);
-    // run_to streams worker rows through the k-way merge into the output
-    // sink, so the coordinator never materializes the full grid.
-    return run_campaign_streamed(
-        [&](ReportSink& sink) { backend.run_to(plan, sink); }, opts);
+/// `refereectl call --socket PATH <procedure> [flags]` — the daemon
+/// client. Flags after the procedure name validate against the *remote*
+/// procedure's table row (--socket stays valid anywhere), the request is
+/// framed over the socket, and the daemon's captured stdout/stderr bytes
+/// replay here verbatim — same bytes, same exit code as running the
+/// procedure locally.
+int run_call(int argc, char** argv) {
+  static const Flag kSocketFlag[] = {
+      {"socket", "PATH", "daemon socket to connect to (required)"}};
+  // Find the remote procedure name: the first non-flag token after "call".
+  int name_at = 2;
+  while (name_at < argc) {
+    const std::string arg = argv[name_at];
+    if (arg.rfind("--", 0) != 0) break;
+    // every call-level flag ("--socket") takes a value
+    name_at += 2;
   }
-  if (backend_name != "pool") {
-    std::fprintf(stderr, "unknown backend: %s (pool, subprocess)\n",
-                 backend_name.c_str());
+  int consumed = 0;
+  const ProcedureDesc* desc = resolve_procedure(argc, argv, name_at, consumed);
+  if (name_at >= argc || desc == nullptr) {
+    std::cerr << "call needs a procedure name; see `refereectl help`\n";
     return 2;
   }
-
-  const auto threads = static_cast<std::size_t>(opts.num("threads", 0));
-  std::unique_ptr<ThreadPool> pool;
-  if (threads != 1) pool = std::make_unique<ThreadPool>(threads);
-  ThreadPoolBackend backend(pool.get());
-  if (opts.has("capture-dir")) {
-    // Persist every cell's post-injection wire transcript for offline
-    // replay (`refereectl transcript decode`). Capture is keyed by the
-    // stable cell id, so sharded runs over the same grid never collide.
-    const std::string dir = opts.str("capture-dir", ".");
-    backend.set_capture([dir](std::size_t cell_id, unsigned round,
-                              std::uint64_t epoch, std::uint32_t n,
-                              std::span<const Message> wire) {
-      (void)n;
-      // Round 0 keeps the historical name so single-round replay tooling
-      // finds it unchanged; later rounds of multi-round cells get a
-      // round-suffixed sibling.
-      const std::string suffix =
-          round == 0 ? ".rtr" : ".r" + std::to_string(round) + ".rtr";
-      write_transcript_file(
-          dir + "/cell-" + std::to_string(cell_id) + suffix, epoch, wire);
-    });
+  Request request;
+  request.proc = std::string(desc->name);
+  // Parse the leading call flags and the trailing procedure flags as one
+  // argv, against the remote procedure's inventory plus --socket.
+  std::vector<const char*> rest;
+  for (int i = 2; i < name_at; ++i) rest.push_back(argv[i]);
+  for (int i = name_at + consumed; i < argc; ++i) rest.push_back(argv[i]);
+  Args merged;
+  const std::string error =
+      parse_cli_args(*desc, static_cast<int>(rest.size()), rest.data(), 0,
+                     merged, kSocketFlag);
+  if (!error.empty()) {
+    std::cerr << error << "\n";
+    return 2;
   }
-  return run_campaign_streamed(
-      [&](ReportSink& sink) { backend.run_to(plan, sink); }, opts);
-}
-
-/// A single cell spec from CLI flags — the same axes a campaign JSON row
-/// records, so a captured cell's identity round-trips through the shell.
-ScenarioSpec spec_from_opts(const Options& opts) {
-  ScenarioSpec spec;
-  spec.generator = opts.str("generator", spec.generator);
-  spec.n = static_cast<std::size_t>(opts.num("n", spec.n));
-  spec.k = static_cast<unsigned>(opts.num("k", spec.k));
-  spec.p = opts.real("p", spec.p);
-  spec.protocol = opts.str("protocol", spec.protocol);
-  spec.seed = opts.num("seed", spec.seed);
-  spec.faults.bit_flip_chance = opts.real("flip", 0.0);
-  spec.faults.truncate_chance = opts.real("trunc", 0.0);
-  spec.faults.correlated.drop_fraction = opts.real("drop", 0.0);
-  spec.faults.correlated.duplicate_ids =
-      static_cast<unsigned>(opts.num("dup", 0));
-  spec.faults.correlated.payload_swaps =
-      static_cast<unsigned>(opts.num("swap", 0));
-  spec.faults.correlated.stale_replays =
-      static_cast<unsigned>(opts.num("stale", 0));
-  spec.faults.adaptive.budget =
-      static_cast<unsigned>(opts.num("adaptive-budget", 0));
-  spec.rounds = static_cast<unsigned>(opts.num("rounds", 0));
-  return spec;
-}
-
-/// `transcript capture` runs one cell and seals its post-injection wire
-/// transcript to a reftrn1 file; `transcript decode` re-opens such a file
-/// offline and grades it against the cell's deterministic ground truth —
-/// the forensic loop for any campaign row, faulted or clean.
-int cmd_transcript(const std::string& sub, const Options& opts) {
-  const ScenarioSpec spec = spec_from_opts(opts);
-  if (sub == "capture") {
-    const std::string out = opts.str("out", "cell.rtr");
-    const Simulator sim;
-    std::vector<Message> transcript;
-    bool captured = false;
-    // Multi-round cells fire once per round: round 0 takes the requested
-    // name, later rounds insert .r<round> before the extension (or append
-    // it), mirroring the campaign --capture-dir naming.
-    const TranscriptSink sink = [&](unsigned round, std::uint64_t epoch,
-                                    std::uint32_t n,
-                                    std::span<const Message> wire) {
-      std::string path = out;
-      if (round != 0) {
-        const std::string infix = ".r" + std::to_string(round);
-        const auto dot = path.rfind('.');
-        if (dot == std::string::npos) {
-          path += infix;
-        } else {
-          path.insert(dot, infix);
-        }
-      }
-      write_transcript_file(path, epoch, wire);
-      std::fprintf(stderr,
-                   "captured %u sealed message(s), round %u, epoch %llx\n", n,
-                   round, static_cast<unsigned long long>(epoch));
-      captured = true;
-    };
-    const ScenarioResult res =
-        run_scenario(spec, sim, transcript,
-                     DecodeArena::for_current_thread(), &sink);
-    if (!captured) {
-      std::fprintf(stderr, "cell finished without sealing a transcript\n");
-      return 1;
-    }
-    std::fprintf(stderr, "%s/%s cell -> %s (outcome %s)\n",
-                 spec.generator.c_str(), spec.protocol.c_str(), out.c_str(),
-                 res.outcome.c_str());
-    return res.outcome == "silent-wrong" ? 1 : 0;
+  if (!merged.has("socket")) {
+    std::cerr << "call needs --socket PATH\n";
+    return 2;
   }
-  if (sub == "decode") {
-    const std::string in = opts.str("in", "cell.rtr");
-    // Multi-round cells replay from one file per round: --in takes the
-    // comma-separated round files in order.
-    const ScenarioResult res = is_multi_round_protocol(spec.protocol)
-                                   ? replay_scenario(spec, split_list(in))
-                                   : replay_scenario(spec, in);
-    std::printf("outcome      %s\n", res.outcome.c_str());
-    if (!res.detail.empty()) {
-      std::printf("detail       %s\n", res.detail.c_str());
-    }
-    std::printf("contract_ok  %s\n", res.contract_ok ? "yes" : "NO");
-    std::printf("max_bits     %zu\n", res.report.max_bits);
-    return res.contract_ok ? 0 : 1;
-  }
-  std::fprintf(stderr, "unknown transcript subcommand: %s (capture, decode)\n",
-               sub.c_str());
-  return 2;
-}
-
-int cmd_selftest() {
-  Rng rng(99);
-  const Graph g = gen::random_apollonian(40, rng);
-  const Simulator sim;
-  const Graph h = sim.run_reconstruction(g, DegeneracyReconstruction(3));
-  const bool recon_ok = h == g;
-  const bool sketch_ok = sim.run_decision(
-      gen::connected_gnp(50, 0.08, rng),
-      SketchConnectivityProtocol(SketchParams{.seed = 5, .rounds = 0,
-                                              .copies = 4}));
-  std::printf("reconstruction: %s\nsketch connectivity: %s\n",
-              recon_ok ? "ok" : "FAIL", sketch_ok ? "ok" : "FAIL");
-  return recon_ok && sketch_ok ? 0 : 1;
-}
-
-void usage() {
-  std::fputs(
-      "usage: refereectl <command> [options]\n"
-      "commands: gen info stats reconstruct recognize adaptive connectivity\n"
-      "          kconn bipartite reduce capture decode-transcript campaign\n"
-      "          transcript graph selftest   (see source header for flags)\n",
-      stderr);
+  const std::string socket_path = merged.str("socket", "");
+  merged.values.erase("socket");
+  request.args = std::move(merged);
+  if (desc->reads_graph) request.input = slurp_stdin();
+  ServiceClient client(socket_path);
+  const ServiceResponse response = client.call(request);
+  std::cout << response.output;
+  std::cerr << response.log;
+  return response.exit_code;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
+    std::cerr << help_text();
     return 2;
   }
   const std::string command = argv[1];
   try {
-    if (command == "gen") {
-      if (argc < 3) {
-        usage();
-        return 2;
+    if (command == "help" || command == "--help") {
+      int consumed = 0;
+      if (const ProcedureDesc* desc =
+              resolve_procedure(argc, argv, 2, consumed)) {
+        std::cout << procedure_help(*desc);
+      } else {
+        std::cout << help_text();
       }
-      return cmd_gen(argv[2], parse_options(argc, argv, 3));
+      return 0;
     }
-    if (command == "graph") {
-      if (argc < 3) {
-        usage();
-        return 2;
+    if (command == "call") {
+      if (wants_help(argc, argv, 2)) {
+        std::cout << procedure_help(*find_procedure("call"));
+        return 0;
       }
-      return cmd_graph(argv[2], argc, argv, 3);
+      return run_call(argc, argv);
     }
-    if (command == "transcript") {
-      if (argc < 3) {
-        usage();
-        return 2;
-      }
-      return cmd_transcript(argv[2], parse_options(argc, argv, 3));
+    int consumed = 0;
+    const ProcedureDesc* desc = resolve_procedure(argc, argv, 1, consumed);
+    if (desc == nullptr) {
+      std::cerr << "unknown command: " << command
+                << "\n\n" << help_text();
+      return 2;
     }
-    const Options opts = parse_options(argc, argv, 2);
-    if (command == "selftest") return cmd_selftest();
-    if (command == "campaign") return cmd_campaign(opts, argc, argv);
-    if (command == "decode-transcript") return cmd_decode_transcript(opts);
-    const Graph g = read_graph_stdin();
-    if (command == "info") return cmd_info(g);
-    if (command == "reconstruct") return cmd_reconstruct(g, opts);
-    if (command == "recognize") return cmd_recognize(g, opts);
-    if (command == "adaptive") return cmd_adaptive(g);
-    if (command == "stats") return cmd_stats(g);
-    if (command == "connectivity") return cmd_connectivity(g, opts);
-    if (command == "kconn") return cmd_kconn(g, opts);
-    if (command == "bipartite") return cmd_bipartite(g, opts);
-    if (command == "reduce") return cmd_reduce(g, opts);
-    if (command == "capture") return cmd_capture(g, opts);
-    usage();
-    return 2;
+    if (wants_help(argc, argv, 1 + consumed)) {
+      std::cout << procedure_help(*desc);
+      return 0;
+    }
+    Request request;
+    request.proc = std::string(desc->name);
+    const std::string error =
+        parse_cli_args(*desc, argc, argv, 1 + consumed, request.args);
+    if (!error.empty()) {
+      std::cerr << error << "\n";
+      return 2;
+    }
+    if (desc->reads_graph) request.input = slurp_stdin();
+    ProcedureContext context;
+    context.exe = self_exe(argv[0]);
+    ProcedureIO io{std::cout, std::cerr};
+    return desc->handler(request, context, io);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
 }
