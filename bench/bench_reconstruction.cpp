@@ -8,11 +8,14 @@
 // abort.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "graph/generators.hpp"
 #include "model/simulator.hpp"
 #include "protocols/degeneracy_protocol.hpp"
 #include "protocols/forest_protocol.hpp"
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -93,8 +96,62 @@ void BM_ReconstructKDegenerate(benchmark::State& state) {
   state.counters["k"] = static_cast<double>(k);
 }
 
+// The intra-cell scaling row: a 2^20-node degeneracy cell's global phase
+// (transcript already on the wire) at each cell-pool size. Arg 0 is the
+// serial peel reference; Arg 1 is the frontier-batched path without real
+// pool parallelism (the lane batcher still runs); 2 and 8 fan the parse and
+// frontier decodes out. Graph and transcript are built once and shared
+// across configs, so the rows time exactly the referee.
+//
+// The cell is K_{2,m}: every big-side vertex is degree-2 and prunable at
+// once, so the first frontier is ~2^20 independent same-degree decodes —
+// the widest fan-out the peel can produce — and each decode's neighbours
+// are the two lowest ids, which keeps the ascending-prefix candidate
+// window at its floor. (A uniform-random k-degenerate graph at this size
+// is not usable here: its neighbours are uniform over the id space, so
+// the prefix window grows to Θ(alive) per vertex on any path, serial or
+// batched — see the ROADMAP decode-headroom note.)
+struct MillionCell {
+  Graph g{0};
+  std::vector<Message> msgs;
+};
+
+const MillionCell& million_cell() {
+  static const MillionCell cell = [] {
+    MillionCell c;
+    c.g = gen::complete_bipartite(2, (std::size_t{1} << 20) - 2);
+    const DegeneracyReconstruction protocol(2);
+    const Simulator sim;
+    c.msgs = sim.run_local_phase(c.g, protocol);
+    return c;
+  }();
+  return cell;
+}
+
+void BM_DecodeMillionNodeCell(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto& cell = million_cell();
+  const auto n = static_cast<std::uint32_t>(cell.g.vertex_count());
+  const DegeneracyReconstruction protocol(2);
+  DecodeArena arena;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads >= 1) pool = std::make_unique<ThreadPool>(threads);
+  CellPoolScope scope(pool.get());
+  for (auto _ : state) {
+    if (threads == 0) {
+      verify(protocol.reconstruct_serial(n, cell.msgs, arena), cell.g);
+    } else {
+      verify(protocol.reconstruct(n, cell.msgs, arena), cell.g);
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["cell_threads"] = static_cast<double>(threads);
+}
+
 }  // namespace
 
+BENCHMARK(BM_DecodeMillionNodeCell)->Arg(0)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ReconstructForest)->Arg(256)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ReconstructForestViaGeneralK)->Arg(256)->Arg(1024)

@@ -54,6 +54,14 @@ class BigInt {
     if (!is_zero()) negative_ = !negative_;
   }
 
+  /// In-place reset from a little-endian limb magnitude plus sign (sign is
+  /// dropped for zero), keeping limb capacity. Counterpart of
+  /// BigUInt::assign_limbs for the batched-Newton unpack.
+  void assign_limbs(std::span<const std::uint64_t> limbs, bool negative) {
+    magnitude_.assign_limbs(limbs);
+    negative_ = negative && !magnitude_.is_zero();
+  }
+
   BigInt& operator+=(const BigInt& rhs);
   BigInt& operator-=(const BigInt& rhs) { return *this += -rhs; }
   BigInt& operator*=(const BigInt& rhs);

@@ -9,6 +9,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +38,14 @@ class BigUInt {
   void assign_u64(std::uint64_t v) {
     limbs_.clear();
     if (v != 0) limbs_.push_back(v);
+  }
+
+  /// In-place reset from little-endian limbs (trailing zeros tolerated and
+  /// trimmed), keeping limb capacity. The unpack path of the lane-batched
+  /// Newton kernel, which hands back fixed-width limb rows.
+  void assign_limbs(std::span<const std::uint64_t> limbs) {
+    limbs_.assign(limbs.begin(), limbs.end());
+    trim();
   }
 
   /// Number of bits in the binary representation (0 for zero).

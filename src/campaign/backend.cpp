@@ -17,6 +17,9 @@ std::vector<ScenarioResult> ThreadPoolBackend::run_cells(
         // stays warm across chunks, campaigns and sweeps on that worker, so
         // after the first cells the whole global phase stops allocating.
         DecodeArena& arena = DecodeArena::for_current_thread();
+        // Install the intra-cell pool for this worker (thread_local, so it
+        // must happen inside the chunk body, not on the caller).
+        CellPoolScope cell_scope(cell_pool_);
         for (std::size_t i = lo; i < hi; ++i) {
           try {
             TranscriptSink cell_capture;

@@ -84,6 +84,14 @@ class ThreadPoolBackend final : public CampaignBackend {
     capture_ = std::move(capture);
   }
 
+  /// Intra-cell worker pool, installed (via CellPoolScope) on each grid
+  /// worker while it executes cells so referees can shard their transcript
+  /// parse and frontier decodes. Null (default) keeps cells single-threaded.
+  /// MUST be a different pool than the grid pool — a grid worker blocking in
+  /// a parallel_for on its own pool can deadlock; one shared intra-cell pool
+  /// across all grid workers is fine. Results are bit-identical either way.
+  void set_cell_pool(ThreadPool* cell_pool) { cell_pool_ = cell_pool; }
+
   CampaignReport run(const CampaignPlan& plan) const override;
 
   /// The detail path: full ScenarioResults (fault journal, frugality
@@ -94,6 +102,7 @@ class ThreadPoolBackend final : public CampaignBackend {
 
  private:
   ThreadPool* pool_;
+  ThreadPool* cell_pool_ = nullptr;
   CellTranscriptSink capture_;
 };
 

@@ -1,6 +1,10 @@
 #include "numth/newton.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "support/check.hpp"
+#include "support/simd.hpp"
 
 namespace referee {
 
@@ -45,6 +49,81 @@ void elementary_from_power_sums_into(std::span<const BigUInt> p,
     acc.div_exact_u64(i);
     out[i - 1] = acc;
   }
+}
+
+std::size_t newton_batch_width(unsigned d, std::uint32_t n) {
+  if (d == 0) return 0;
+  const std::size_t L = std::bit_width(static_cast<std::uint64_t>(n));
+  const std::size_t Q = std::bit_width(static_cast<std::uint64_t>(d) + 1);
+  const std::size_t bits = static_cast<std::size_t>(d) * (1 + Q + L) +
+                           std::bit_width(static_cast<std::uint64_t>(d)) + 1;
+  const std::size_t width = (bits + 63) / 64;
+  return width <= simd::kNewtonMaxLimbs ? width : 0;
+}
+
+bool newton_batch_fits(std::span<const BigUInt> p, unsigned d,
+                       std::uint32_t n) {
+  const std::size_t L = std::bit_width(static_cast<std::uint64_t>(n));
+  const std::size_t Q = std::bit_width(static_cast<std::uint64_t>(d) + 1);
+  for (std::size_t j = 1; j <= p.size(); ++j) {
+    if (p[j - 1].bit_length() > j * L + Q) return false;
+  }
+  return true;
+}
+
+unsigned elementary_from_power_sums_lanes(std::span<const NewtonLane> lanes,
+                                          unsigned d, std::size_t width,
+                                          DecodeArena& arena) {
+  REFEREE_CHECK(d > 0);
+  REFEREE_CHECK(lanes.size() <= simd::kNewtonLanes);
+  REFEREE_CHECK(width > 0 && width <= simd::kNewtonMaxLimbs);
+  const std::size_t cells =
+      static_cast<std::size_t>(d) * width * simd::kNewtonLanes;
+  auto sums_s = arena.scratch<std::uint64_t>();
+  auto elem_s = arena.scratch<std::uint64_t>();
+  auto& sums = *sums_s;
+  auto& elem = *elem_s;
+  grow_to(sums, cells);
+  grow_to(elem, cells);
+  // Zero everything first: pad lanes (all-zero power sums) convert to
+  // all-zero elementaries with exact divisions, so they can never fault.
+  std::fill(sums.begin(), sums.begin() + cells, 0);
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    for (unsigned v = 0; v < d; ++v) {
+      const auto& limbs = lanes[lane].sums[v].limbs();
+      const std::size_t base =
+          static_cast<std::size_t>(v) * width * simd::kNewtonLanes;
+      for (std::size_t w = 0; w < limbs.size(); ++w) {
+        sums[base + w * simd::kNewtonLanes + lane] = limbs[w];
+      }
+    }
+  }
+  const unsigned faults =
+      simd::active_kernels().newton_batch(sums.data(), d, width, elem.data());
+  std::uint64_t row[simd::kNewtonMaxLimbs];
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    if ((faults >> lane) & 1u) continue;
+    const std::span<BigInt> out = lanes[lane].out;
+    for (unsigned v = 0; v < d; ++v) {
+      const std::size_t base =
+          static_cast<std::size_t>(v) * width * simd::kNewtonLanes;
+      for (std::size_t w = 0; w < width; ++w) {
+        row[w] = elem[base + w * simd::kNewtonLanes + lane];
+      }
+      const bool negative = (row[width - 1] >> 63) != 0;
+      if (negative) {
+        std::uint64_t carry = 1;
+        for (std::size_t w = 0; w < width; ++w) {
+          const std::uint64_t s = ~row[w] + carry;
+          carry = s < carry ? 1 : 0;
+          row[w] = s;
+        }
+      }
+      out[v].assign_limbs(std::span<const std::uint64_t>(row, width),
+                          negative);
+    }
+  }
+  return faults;
 }
 
 std::vector<BigInt> power_sums_from_elementary(std::span<const BigInt> e,

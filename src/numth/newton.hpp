@@ -35,4 +35,42 @@ void elementary_from_power_sums_into(std::span<const BigUInt> p,
 std::vector<BigInt> power_sums_from_elementary(std::span<const BigInt> e,
                                                unsigned k);
 
+/// Fixed limb width for a lane-batched degree-d conversion with ids <= n:
+/// the smallest W such that every Newton intermediate provably fits a
+/// signed 64*W-bit two's-complement value, assuming each input obeys
+/// bitlen(p_j) <= j*L + Q with L = bitlen(n), Q = bitlen(d+1) (what
+/// newton_batch_fits checks). By induction on i·e_i = Σ ±e_{i-j}·p_j the
+/// magnitudes satisfy |e_i| <= 2^{i(1+Q+L)}, so the pre-division
+/// accumulator needs at most d(1+Q+L) + bitlen(d) bits plus a sign bit.
+/// Returns 0 when that exceeds simd::kNewtonMaxLimbs — callers then stay
+/// on the exact BigInt path.
+std::size_t newton_batch_width(unsigned d, std::uint32_t n);
+
+/// True when the (possibly corrupt) power sums still satisfy the per-index
+/// bit bound the width proof assumes. A genuine degree-d neighbourhood
+/// always passes (p_j <= d·n^j); a corrupt message that fails simply takes
+/// the exact BigInt path, whose typed fault is the contract either way.
+bool newton_batch_fits(std::span<const BigUInt> p, unsigned d,
+                       std::uint32_t n);
+
+/// One independent decode occupying one SIMD lane of a batched conversion.
+struct NewtonLane {
+  std::span<const BigUInt> sums;  ///< p_1..p_d
+  std::span<BigInt> out;          ///< receives e_1..e_d (size >= d)
+};
+
+/// Lane-batched elementary_from_power_sums_into over up to
+/// simd::kNewtonLanes same-degree decodes (unused lanes are zero-padded
+/// internally). Every lane must have passed newton_batch_fits for this
+/// (d, n, width = newton_batch_width(d, n)). Returns a bitmask of lanes
+/// whose conversion hit an inexact division: those lanes' out vectors are
+/// untouched and the caller MUST rerun them through
+/// elementary_from_power_sums_into so the raised DecodeError is
+/// bit-identical to the serial path's. Non-faulted lanes produce exactly
+/// the serial results — the fixed-width arithmetic is exact within the
+/// proven bound.
+unsigned elementary_from_power_sums_lanes(std::span<const NewtonLane> lanes,
+                                          unsigned d, std::size_t width,
+                                          DecodeArena& arena);
+
 }  // namespace referee

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/bits.hpp"
+#include "support/thread_pool.hpp"
 
 namespace referee {
 
@@ -41,45 +42,88 @@ Graph BoundedDegreeReconstruction::reconstruct(std::uint32_t n,
   auto claimed_s = arena.scratch<NodeId>();
   std::vector<std::size_t>& offsets = *offsets_s;
   std::vector<NodeId>& claimed = *claimed_s;
-  offsets.clear();
-  claimed.clear();
-  offsets.push_back(0);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    BitReader r = messages[i].reader();
-    const auto id = static_cast<NodeId>(r.read_bits(id_bits));
-    if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
-                      "message id does not match sender");
-    const std::uint64_t deg = r.read_bits(id_bits);
-    if (deg > max_degree_) throw DecodeError(DecodeFault::kMalformed,
-                      "claimed degree exceeds bound");
-    for (std::uint64_t j = 0; j < deg; ++j) {
-      const auto nb = static_cast<NodeId>(r.read_bits(id_bits));
-      if (nb < 1 || nb > n || nb == id) {
-        throw DecodeError(DecodeFault::kMalformed,
-                      "claimed neighbour id out of range");
-      }
-      claimed.push_back(nb);
-    }
-    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
-                      "trailing bits in message");
-    offsets.push_back(claimed.size());
-  }
+  // Two-pass parallel parse. Pass 1 reads every header into deg[i]
+  // (messages are framed, so each one re-reads independently); a prefix sum
+  // turns the degrees into CSR offsets; pass 2 fills each message's claimed
+  // slice. Faults from both passes land in one lowest-index reduction —
+  // pass-1 records first, so at equal index a header fault outranks a
+  // neighbour fault, which is the serial per-message parse order.
+  ThreadPool* const pool = cell_pool();
+  auto deg_s = arena.scratch<std::size_t>();
+  auto failed_s = arena.scratch<std::uint8_t>();
+  std::vector<std::size_t>& deg = *deg_s;
+  std::vector<std::uint8_t>& failed = *failed_s;
+  deg.assign(n, 0);
+  failed.assign(n, 0);
+  LowestIndexFault parse_faults;
+  parallel_for_collecting(
+      pool, 0, n,
+      [&](std::size_t i) {
+        try {
+          BitReader r = messages[i].reader();
+          const auto id = static_cast<NodeId>(r.read_bits(id_bits));
+          if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
+                            "message id does not match sender");
+          const std::uint64_t d = r.read_bits(id_bits);
+          if (d > max_degree_) throw DecodeError(DecodeFault::kMalformed,
+                            "claimed degree exceeds bound");
+          deg[i] = d;
+        } catch (...) {
+          failed[i] = 1;
+          throw;
+        }
+      },
+      parse_faults);
+  grow_to(offsets, static_cast<std::size_t>(n) + 1);
+  offsets[0] = 0;
+  for (std::uint32_t i = 0; i < n; ++i) offsets[i + 1] = offsets[i] + deg[i];
+  grow_to(claimed, offsets[n]);
+  parallel_for_collecting(
+      pool, 0, n,
+      [&](std::size_t i) {
+        if (failed[i]) return;  // pass-1 fault already recorded for i
+        BitReader r = messages[i].reader();
+        const auto id = static_cast<NodeId>(r.read_bits(id_bits));
+        r.read_bits(id_bits);  // degree, validated in pass 1
+        for (std::size_t j = 0; j < deg[i]; ++j) {
+          const auto nb = static_cast<NodeId>(r.read_bits(id_bits));
+          if (nb < 1 || nb > n || nb == id) {
+            throw DecodeError(DecodeFault::kMalformed,
+                          "claimed neighbour id out of range");
+          }
+          claimed[offsets[i] + j] = nb;
+        }
+        if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
+                          "trailing bits in message");
+      },
+      parse_faults);
+  parse_faults.rethrow_if_any();
   const auto claimed_row = [&](std::size_t i) {
     return std::span<const NodeId>(claimed.data() + offsets[i],
                                    offsets[i + 1] - offsets[i]);
   };
-  // Cross-validate: {u, v} is an edge iff both endpoints report it.
+  // Cross-validate: {u, v} is an edge iff both endpoints report it. The
+  // reciprocity scan is read-only over the CSR pair, so it fans out over
+  // the pool (lowest-index fault, matching the serial walk); the surviving
+  // edges are then inserted serially.
+  LowestIndexFault check_faults;
+  parallel_for_collecting(
+      pool, 0, n,
+      [&](std::size_t i) {
+        for (const NodeId nb : claimed_row(i)) {
+          const auto back = claimed_row(nb - 1);
+          if (std::find(back.begin(), back.end(), i + 1) == back.end()) {
+            throw DecodeError(DecodeFault::kInconsistent,
+                          "edge reported by one endpoint only");
+          }
+        }
+      },
+      check_faults);
+  check_faults.rethrow_if_any();
   Graph h(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     for (const NodeId nb : claimed_row(i)) {
       const std::size_t j = nb - 1;
-      const auto back = claimed_row(j);
-      const bool reciprocated =
-          std::find(back.begin(), back.end(), i + 1) != back.end();
-      if (!reciprocated) {
-        throw DecodeError(DecodeFault::kInconsistent,
-                      "edge reported by one endpoint only");
-      }
       if (j > i) h.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j));
     }
   }

@@ -1,12 +1,47 @@
 #include "protocols/degeneracy_protocol.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 
+#include "numth/newton.hpp"
 #include "numth/power_sums.hpp"
+#include "numth/roots.hpp"
 #include "support/bits.hpp"
+#include "support/simd.hpp"
+#include "support/thread_pool.hpp"
 
 namespace referee {
+
+namespace {
+
+/// Parse one transcript message into its degree and k-entry power-sum row.
+/// Index-local (touches nothing but `deg_out` and `row`), so the parallel
+/// parse can run it over disjoint slots from any worker.
+void parse_degeneracy_message(const Message& m, std::uint32_t i, int id_bits,
+                              unsigned k, std::uint32_t n,
+                              std::size_t& deg_out, BigUInt* row) {
+  BitReader r = m.reader();
+  const auto id = static_cast<NodeId>(r.read_bits(id_bits));
+  if (id != i + 1) {
+    throw DecodeError(DecodeFault::kIdMismatch,
+                      "message id does not match sender");
+  }
+  deg_out = r.read_bits(id_bits);
+  if (deg_out >= n) {
+    throw DecodeError(DecodeFault::kMalformed, "degree out of range");
+  }
+  for (unsigned p = 0; p < k; ++p) row[p].read_from(r);
+  if (!r.exhausted()) {
+    throw DecodeError(DecodeFault::kTrailingBits, "trailing bits in message");
+  }
+}
+
+// Per-frontier-vertex decode state for one batched round.
+constexpr std::uint8_t kHaveElem = 1;  // elementary slice precomputed
+constexpr std::uint8_t kFailed = 2;    // fault recorded; skip further phases
+
+}  // namespace
 
 DegeneracyReconstruction::DegeneracyReconstruction(
     unsigned k, std::shared_ptr<const NeighborhoodDecoder> decoder)
@@ -34,15 +69,16 @@ void DegeneracyReconstruction::encode(const LocalViewRef& view,
 std::size_t DegeneracyReconstruction::message_bits(const LocalViewRef& view,
                                                    unsigned k) {
   std::size_t bits = 2 * static_cast<std::size_t>(log_budget_bits(view.n));
-  for (const auto& s : power_sums(view.neighbor_ids, k)) {
-    bits += s.encoded_bits();
-  }
+  DecodeArena& arena = DecodeArena::for_current_thread();
+  auto sums_s = arena.scratch<BigUInt>();
+  power_sums_into(view.neighbor_ids, k, arena, *sums_s);
+  for (unsigned p = 0; p < k; ++p) bits += (*sums_s)[p].encoded_bits();
   return bits;
 }
 
-Graph DegeneracyReconstruction::reconstruct(std::uint32_t n,
-                                            std::span<const Message> messages,
-                                            DecodeArena& arena) const {
+Graph DegeneracyReconstruction::reconstruct_serial(
+    std::uint32_t n, std::span<const Message> messages,
+    DecodeArena& arena) const {
   if (messages.size() != n) {
     throw DecodeError(DecodeFault::kCountMismatch,
                       "expected one message per node");
@@ -59,16 +95,8 @@ Graph DegeneracyReconstruction::reconstruct(std::uint32_t n,
   deg.assign(n, 0);
   grow_to(sums, static_cast<std::size_t>(n) * k_);
   for (std::uint32_t i = 0; i < n; ++i) {
-    BitReader r = messages[i].reader();
-    const auto id = static_cast<NodeId>(r.read_bits(id_bits));
-    if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
-                      "message id does not match sender");
-    deg[i] = r.read_bits(id_bits);
-    if (deg[i] >= n) throw DecodeError(DecodeFault::kMalformed,
-                      "degree out of range");
-    for (unsigned p = 0; p < k_; ++p) sums[i * k_ + p].read_from(r);
-    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
-                      "trailing bits in message");
+    parse_degeneracy_message(messages[i], i, id_bits, k_, n, deg[i],
+                             sums.data() + static_cast<std::size_t>(i) * k_);
   }
   const auto row = [&](std::size_t i) {
     return std::span<BigUInt>(sums.data() + i * k_, k_);
@@ -178,6 +206,455 @@ Graph DegeneracyReconstruction::reconstruct(std::uint32_t n,
     alive[xi] = 0;
     next_alive[x] = x + 1;
     --remaining;
+  }
+  return h;
+}
+
+// Frontier-batched peel, the default reconstruct path. Serial equivalence
+// (pinned by tests/test_parallel_decode.cpp against reconstruct_serial):
+//
+//  * Each round drains the entire prunable frontier F (every alive vertex
+//    with residual degree <= k). All frontier vertices decode against the
+//    SAME round-start snapshot, so a frontier vertex recovers its full
+//    residual neighbourhood — including edges to other frontier members,
+//    found from both sides. The apply phase walks F in ascending id order
+//    and skips the second sighting of a frontier-internal edge, so every
+//    edge is recorded exactly once, from its lower-id frontier endpoint.
+//  * k-core peeling is order-independent (Batagelj–Zaversnik): the level
+//    structure, the stall condition, and the final edge set do not depend
+//    on whether vertices leave one at a time (serial min-heap) or level by
+//    level (rounds), so the final Graph is bit-identical.
+//  * Faults stay deterministic under any thread count: the parse and the
+//    per-vertex decodes run under parallel_for_collecting, which runs every
+//    index and rethrows the lowest-index exception — exactly the fault the
+//    ascending serial walk would have raised first.
+//
+// Parallelism enters in three places, all gated on cell_pool(): the
+// transcript parse, the frontier decodes, and (for the stock Newton
+// decoder) the elementary conversions, which additionally run
+// simd::kNewtonLanes same-degree vertices per SIMD-lane batch.
+Graph DegeneracyReconstruction::reconstruct(std::uint32_t n,
+                                            std::span<const Message> messages,
+                                            DecodeArena& arena) const {
+  if (messages.size() != n) {
+    throw DecodeError(DecodeFault::kCountMismatch,
+                      "expected one message per node");
+  }
+  const int id_bits = log_budget_bits(n);
+  ThreadPool* const pool = cell_pool();
+
+  // Warm-arena discipline: within each element-type pool, scratches are
+  // checked out in non-increasing order of their worst-case size and
+  // reserved to that bound up front. The arena hands out
+  // largest-capacity-first, so this mapping gives every role a block that
+  // already fits it on a repeat run — the zero-growth second sweep the
+  // campaign pipeline tests pin.
+  const std::size_t size_t_bound =
+      std::max<std::size_t>(static_cast<std::size_t>(n) + 1,
+                            static_cast<std::size_t>(k_) + 2);
+  auto deg_s = arena.scratch<std::size_t>();
+  auto offsets_s = arena.scratch<std::size_t>();
+  auto dcount_s = arena.scratch<std::size_t>();
+  auto group_start_s = arena.scratch<std::size_t>();
+  std::vector<std::size_t>& deg = *deg_s;
+  deg.reserve(size_t_bound);
+  offsets_s->reserve(size_t_bound);
+  // dcount and group_start need far less, but an equal reservation stops
+  // them from winning a bigger block than a nested decode scratch needs
+  // back on the next sweep (largest-first would hand the displaced role a
+  // smaller block and grow it — a warm-sweep allocation).
+  dcount_s->reserve(size_t_bound);
+  group_start_s->reserve(size_t_bound);
+  auto sums_s = arena.scratch<BigUInt>();
+  std::vector<BigUInt>& sums = *sums_s;
+  deg.assign(n, 0);
+  grow_to(sums, static_cast<std::size_t>(n) * k_);
+  {
+    LowestIndexFault parse_faults;
+    parallel_for_collecting(
+        pool, 0, n,
+        [&](std::size_t i) {
+          parse_degeneracy_message(messages[i],
+                                   static_cast<std::uint32_t>(i), id_bits, k_,
+                                   n, deg[i], sums.data() + i * k_);
+        },
+        parse_faults);
+    parse_faults.rethrow_if_any();
+  }
+  const auto row = [&](std::size_t i) {
+    return std::span<BigUInt>(sums.data() + i * k_, k_);
+  };
+  std::size_t total_deg = 0;
+  for (std::uint32_t i = 0; i < n; ++i) total_deg += deg[i];
+  const std::size_t node_bound = std::max<std::size_t>(total_deg, n);
+
+  Graph h(n);
+  auto neigh_s = arena.scratch<NodeId>();
+  auto alive_ids_s = arena.scratch<NodeId>();
+  auto frontier_s = arena.scratch<NodeId>();
+  auto order_s = arena.scratch<NodeId>();
+  auto members_s = arena.scratch<NodeId>();
+  auto pending_s = arena.scratch<NodeId>();
+  auto elem_s = arena.scratch<BigInt>();
+  auto alive_s = arena.scratch<std::uint8_t>();
+  auto state_s = arena.scratch<std::uint8_t>();
+  neigh_s->reserve(node_bound);
+  alive_ids_s->reserve(n);
+  frontier_s->reserve(n);
+  order_s->reserve(n);
+  members_s->reserve(n);
+  pending_s->reserve(n);
+  elem_s->reserve(node_bound);
+  std::vector<std::uint8_t>& alive = *alive_s;
+  // Ascending alive ids with lazy deletion: dead entries are skipped via the
+  // bitmap during candidate scans (read-only inside a round, so the parallel
+  // decode phase needs no locks) and physically removed only when they reach
+  // half the vector — O(n) compaction work total, amortised.
+  std::vector<NodeId>& alive_ids = *alive_ids_s;
+  std::vector<NodeId>& frontier = *frontier_s;
+  std::vector<NodeId>& pending = *pending_s;
+  // offsets[fi] is the flat start of frontier[fi]'s decoded-neighbour slice
+  // (and elementary slice); sizes are the round-start residual degrees.
+  std::vector<std::size_t>& offsets = *offsets_s;
+  std::vector<NodeId>& neigh = *neigh_s;
+  std::vector<BigInt>& elem = *elem_s;
+  std::vector<std::uint8_t>& state = *state_s;
+  std::vector<NodeId>& order = *order_s;
+  std::vector<std::size_t>& dcount = *dcount_s;
+  std::vector<NodeId>& members = *members_s;
+  std::vector<std::size_t>& group_start = *group_start_s;
+
+  alive.assign(n, 1);
+  alive_ids.clear();
+  for (std::uint32_t id = 1; id <= n; ++id) alive_ids.push_back(id);
+  frontier.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (deg[i] <= k_) frontier.push_back(i + 1);
+  }
+
+  // Lane batching applies only to the stock Newton decoder, whose decode is
+  // exactly elementary_from_power_sums_into + roots_among_into; other
+  // strategies take the per-vertex decode_into path below.
+  const auto* const newton = dynamic_cast<const NewtonDecoder*>(decoder_.get());
+
+  std::size_t remaining = n;
+  std::size_t stale = 0;
+  while (remaining > 0) {
+    if (frontier.empty()) {
+      throw DecodeError(DecodeFault::kStalled,
+                        "pruning stalled: graph degeneracy exceeds k=" +
+                            std::to_string(k_));
+    }
+    const std::size_t m = frontier.size();
+    grow_to(offsets, m + 1);
+    offsets[0] = 0;
+    for (std::size_t fi = 0; fi < m; ++fi) {
+      offsets[fi + 1] = offsets[fi] + deg[frontier[fi] - 1];
+    }
+    const std::size_t total = offsets[m];
+    grow_to(neigh, total);
+    state.assign(m, 0);
+
+    LowestIndexFault faults;
+
+    if (newton != nullptr && total > 0) {
+      grow_to(elem, total);
+      // Counting-sort frontier indices by residual degree (stable, so lane
+      // grouping is deterministic), then pack batch groups of up to
+      // kNewtonLanes vertices whose degree has an eligible fixed width and
+      // whose sums pass the bit bound. Everything else keeps the exact
+      // per-vertex path in the decode phase.
+      dcount.assign(static_cast<std::size_t>(k_) + 2, 0);
+      for (std::size_t fi = 0; fi < m; ++fi) {
+        ++dcount[deg[frontier[fi] - 1] + 1];
+      }
+      for (std::size_t d2 = 1; d2 < dcount.size(); ++d2) {
+        dcount[d2] += dcount[d2 - 1];
+      }
+      grow_to(order, m);
+      for (std::size_t fi = 0; fi < m; ++fi) {
+        order[dcount[deg[frontier[fi] - 1]]++] = static_cast<NodeId>(fi);
+      }
+      members.clear();
+      group_start.clear();
+      std::size_t run_begin = 0;
+      while (run_begin < m) {
+        const auto d = static_cast<unsigned>(deg[frontier[order[run_begin]] - 1]);
+        std::size_t run_end = run_begin;
+        while (run_end < m &&
+               deg[frontier[order[run_end]] - 1] == d) {
+          ++run_end;
+        }
+        const std::size_t width = d == 0 ? 0 : newton_batch_width(d, n);
+        if (width > 0) {
+          std::size_t in_group = 0;
+          for (std::size_t e = run_begin; e < run_end; ++e) {
+            const std::size_t fi = order[e];
+            const std::size_t xi = frontier[fi] - 1;
+            if (!newton_batch_fits(
+                    std::span<const BigUInt>(sums.data() + xi * k_, d), d,
+                    n)) {
+              continue;
+            }
+            if (in_group == 0) group_start.push_back(members.size());
+            members.push_back(static_cast<NodeId>(fi));
+            state[fi] = kHaveElem;
+            in_group = (in_group + 1) % simd::kNewtonLanes;
+          }
+        }
+        run_begin = run_end;
+      }
+      group_start.push_back(members.size());
+
+      const std::size_t num_groups = group_start.size() - 1;
+      maybe_parallel_for(
+          pool, 0, num_groups,
+          [&](std::size_t g) {
+            DecodeArena& warena = DecodeArena::for_current_thread();
+            const std::size_t lo = group_start[g];
+            const std::size_t nl = group_start[g + 1] - lo;
+            const auto d = static_cast<unsigned>(
+                deg[frontier[members[lo]] - 1]);
+            const std::size_t width = newton_batch_width(d, n);
+            NewtonLane lanes[simd::kNewtonLanes];
+            std::size_t lane_fi[simd::kNewtonLanes];
+            for (std::size_t l = 0; l < nl; ++l) {
+              const std::size_t fi = members[lo + l];
+              const std::size_t xi = frontier[fi] - 1;
+              lanes[l] = NewtonLane{
+                  std::span<const BigUInt>(sums.data() + xi * k_, d),
+                  std::span<BigInt>(elem.data() + offsets[fi], d)};
+              lane_fi[l] = fi;
+            }
+            const unsigned fmask = elementary_from_power_sums_lanes(
+                std::span<const NewtonLane>(lanes, nl), d, width, warena);
+            for (std::size_t l = 0; l < nl; ++l) {
+              if (((fmask >> l) & 1u) == 0) continue;
+              const std::size_t fi = lane_fi[l];
+              // Rerun the exact path for the serial-identical exception
+              // (within the proven width bound the two paths agree, so a
+              // batch fault IS an exact-path fault).
+              try {
+                auto exact_s = warena.scratch<BigInt>();
+                elementary_from_power_sums_into(lanes[l].sums, warena,
+                                                *exact_s);
+                for (unsigned v = 0; v < d; ++v) {
+                  lanes[l].out[v] = (*exact_s)[v];
+                }
+              } catch (...) {
+                faults.record(fi, std::current_exception());
+                state[fi] = kFailed;
+              }
+            }
+          },
+          /*serial_cutoff=*/8);
+    }
+
+    parallel_for_collecting(
+        pool, 0, m,
+        [&](std::size_t fi) {
+          if ((state[fi] & kFailed) != 0) return;
+          const NodeId x = frontier[fi];
+          const std::size_t xi = x - 1;
+          const auto d =
+              static_cast<unsigned>(offsets[fi + 1] - offsets[fi]);
+          DecodeArena& warena = DecodeArena::for_current_thread();
+          auto cand_s = warena.scratch<NodeId>();
+          auto out_s = warena.scratch<NodeId>();
+          std::vector<NodeId>& candidates = *cand_s;
+          std::vector<NodeId>& out = *out_s;
+          const bool have_elem = (state[fi] & kHaveElem) != 0;
+          const std::span<const BigInt> es =
+              have_elem ? std::span<const BigInt>(elem.data() + offsets[fi], d)
+                        : std::span<const BigInt>();
+          const std::span<const BigUInt> srow(sums.data() + xi * k_, k_);
+          // Spread-bounded first try. The residual power sums bound where
+          // the roots can be: with s1 = Σr and s2 = Σr², every root lies in
+          // [(s1−B)/d, (s1+B)/d] for B² = d·(d·s2 − s1²) (each squared
+          // deviation is at most the sum of all of them). When that id
+          // window covers few alive entries — paths, grids, chords, K_{2,m}
+          // leaves, every id-local family where a prefix scan of the
+          // round-start snapshot would degrade a mass-peel round to Θ(n²) —
+          // one windowed try succeeds by construction on a clean transcript.
+          // When the spread is wide (uniform-id families) or the sums are
+          // corrupt, we skip straight to the unmodified prefix ladder below,
+          // which also backstops a faulted windowed try; the exception at
+          // completion is still the full-alive-list one by definition, and
+          // candidate content never changes a successful decode (the
+          // elementary polynomial has exactly the d residual neighbours as
+          // roots, and matches_power_sums still validates).
+          bool decoded = false;
+          if (d >= 1 && srow[0].limbs().size() <= 2 &&
+              (d == 1 || srow[1].limbs().size() <= 2)) {
+            const auto u128_of = [](const BigUInt& v) {
+              unsigned __int128 r = 0;
+              const auto& ls = v.limbs();
+              if (ls.size() > 1) r = static_cast<unsigned __int128>(ls[1]) << 64;
+              if (!ls.empty()) r |= ls[0];
+              return r;
+            };
+            const unsigned __int128 s1v = u128_of(srow[0]);
+            const unsigned __int128 dd = d;
+            bool have_range = false;
+            NodeId lo_id = 1;
+            NodeId hi_id = 0;
+            if (d == 1) {
+              // The residual sum IS the single root.
+              if (s1v >= 1 && s1v <= n) {
+                lo_id = hi_id = static_cast<NodeId>(s1v);
+                have_range = true;
+              }
+            } else if (s1v < (static_cast<unsigned __int128>(1) << 52) &&
+                       d < (1u << 20)) {
+              const unsigned __int128 s2v = u128_of(srow[1]);
+              if (s2v < (static_cast<unsigned __int128>(1) << 100) &&
+                  dd * s2v >= s1v * s1v) {
+                const unsigned __int128 b2 = dd * (dd * s2v - s1v * s1v);
+                // +2 absorbs the long-double rounding so B only over-covers.
+                const unsigned __int128 b =
+                    static_cast<unsigned __int128>(static_cast<std::uint64_t>(
+                        std::sqrt(static_cast<long double>(b2)))) +
+                    2;
+                const unsigned __int128 lo128 =
+                    s1v > b ? (s1v - b) / dd : 0;
+                const unsigned __int128 hi128 = (s1v + b) / dd + 1;
+                lo_id = lo128 >= 1 ? static_cast<NodeId>(lo128) : 1;
+                hi_id = hi128 <= n ? static_cast<NodeId>(hi128) : n;
+                have_range = lo_id <= hi_id;
+              }
+            }
+            if (have_range) {
+              const auto lo_it = std::lower_bound(alive_ids.begin(),
+                                                  alive_ids.end(), lo_id);
+              const auto hi_it =
+                  std::lower_bound(lo_it, alive_ids.end(),
+                                   static_cast<NodeId>(hi_id + 1));
+              const auto span_len =
+                  static_cast<std::size_t>(hi_it - lo_it);
+              // Engage only when the window is a small slice of the alive
+              // set; otherwise the prefix ladder's early tries are cheaper.
+              if (span_len > 0 && 2 * span_len <= remaining) {
+                candidates.clear();
+                for (auto it = lo_it; it != hi_it; ++it) {
+                  const NodeId id = *it;
+                  if (alive[id - 1] && id != x) candidates.push_back(id);
+                }
+                if (!candidates.empty()) {
+                  try {
+                    if (have_elem) {
+                      roots_among_into(es, candidates, warena, out);
+                    } else {
+                      decoder_->decode_into(d, srow, candidates, warena, out);
+                    }
+                    decoded = true;
+                  } catch (const DecodeError&) {
+                    // Corrupt sums can forge a plausible window; the ladder
+                    // below re-derives the fault from the full alive list.
+                  }
+                }
+              }
+            }
+          }
+          // Ascending-prefix ladder, identical to the serial peel's: offer
+          // the first `window` alive ids, widen ×8 on a miss, and the
+          // terminal try is the full alive list.
+          std::size_t window = std::max<std::size_t>(16, 2 * std::size_t{d});
+          while (!decoded) {
+            candidates.clear();
+            std::size_t pos = 0;
+            while (candidates.size() < window && pos < alive_ids.size()) {
+              const NodeId id = alive_ids[pos++];
+              if (alive[id - 1] && id != x) candidates.push_back(id);
+            }
+            while (pos < alive_ids.size() &&
+                   (!alive[alive_ids[pos] - 1] || alive_ids[pos] == x)) {
+              ++pos;
+            }
+            const bool complete = pos == alive_ids.size();
+            try {
+              if (have_elem) {
+                roots_among_into(es, candidates, warena, out);
+              } else {
+                decoder_->decode_into(d, srow, candidates, warena, out);
+              }
+              decoded = true;
+            } catch (const DecodeError&) {
+              if (complete) throw;
+              window *= 8;
+            }
+          }
+          if (!matches_power_sums(srow, out, warena)) {
+            throw DecodeError(DecodeFault::kInconsistent,
+                              "decoded neighbourhood fails power-sum check");
+          }
+          if (out.size() != d) {
+            // Unreachable with the in-tree decoders (they throw on a wrong
+            // count); guards the flat-slice write below.
+            throw DecodeError(DecodeFault::kInconsistent,
+                              "decoded neighbourhood has wrong size");
+          }
+          std::copy(out.begin(), out.end(), neigh.begin() + offsets[fi]);
+        },
+        faults, /*serial_cutoff=*/4);
+    faults.rethrow_if_any();
+
+    // Apply phase: serial, ascending frontier id, exactly the serial peel's
+    // mutation order for the edges it records.
+    pending.clear();
+    for (std::size_t fi = 0; fi < m; ++fi) {
+      const NodeId x = frontier[fi];
+      const std::size_t xi = x - 1;
+      const std::span<const NodeId> list(neigh.data() + offsets[fi],
+                                         offsets[fi + 1] - offsets[fi]);
+      for (const NodeId w : list) {
+        const std::size_t wi = w - 1;
+        if (!alive[wi]) {
+          // A dead neighbour is legal only as the second sighting of a
+          // frontier-internal edge: an earlier member of THIS round whose
+          // own decode reciprocated x. Anything else is the serial peel's
+          // "already pruned" inconsistency (including an asymmetric decode,
+          // which stays loud here).
+          const auto it =
+              std::lower_bound(frontier.begin(), frontier.end(), w);
+          bool reciprocated = false;
+          if (it != frontier.end() && *it == w) {
+            const auto wfi = static_cast<std::size_t>(it - frontier.begin());
+            const std::span<const NodeId> wlist(
+                neigh.data() + offsets[wfi],
+                offsets[wfi + 1] - offsets[wfi]);
+            reciprocated =
+                std::find(wlist.begin(), wlist.end(), x) != wlist.end();
+          }
+          if (!reciprocated) {
+            throw DecodeError(DecodeFault::kInconsistent,
+                              "decoded neighbour already pruned");
+          }
+          continue;
+        }
+        h.add_edge(static_cast<Vertex>(xi), static_cast<Vertex>(wi));
+        if (deg[wi] == 0) {
+          throw DecodeError(DecodeFault::kInconsistent, "degree underflow");
+        }
+        --deg[wi];
+        subtract_contribution(row(wi), x, arena);
+        // Degrees drop by single steps, so a non-frontier vertex crosses
+        // the prunable threshold exactly when it lands on k (frontier
+        // members are already <= k and never re-enter).
+        if (deg[wi] == k_) pending.push_back(w);
+      }
+      alive[xi] = 0;
+      --remaining;
+    }
+    stale += m;
+    if (2 * stale >= alive_ids.size()) {
+      alive_ids.erase(
+          std::remove_if(alive_ids.begin(), alive_ids.end(),
+                         [&](NodeId id) { return !alive[id - 1]; }),
+          alive_ids.end());
+      stale = 0;
+    }
+    std::sort(pending.begin(), pending.end());
+    frontier.assign(pending.begin(), pending.end());
   }
   return h;
 }

@@ -35,8 +35,22 @@ class DegeneracyReconstruction final : public ReconstructionProtocol {
   std::string name() const override;
   void encode(const LocalViewRef& view, BitWriter& w) const override;
   using ReconstructionProtocol::reconstruct;
+
+  /// Frontier-batched peel: each round drains the whole prunable frontier,
+  /// decoding every frontier vertex against the same round-start snapshot
+  /// (parallelised over cell_pool() when one is installed, with the stock
+  /// Newton decoder additionally lane-batching same-degree conversions).
+  /// Output and faults are bit-identical to reconstruct_serial for every
+  /// transcript and thread count.
   Graph reconstruct(std::uint32_t n, std::span<const Message> messages,
                     DecodeArena& arena) const override;
+
+  /// The one-vertex-at-a-time reference peel (the pre-batching
+  /// implementation, kept verbatim): pops the lowest prunable id, decodes,
+  /// applies. The equivalence oracle for tests and for auditing the
+  /// batched path.
+  Graph reconstruct_serial(std::uint32_t n, std::span<const Message> messages,
+                           DecodeArena& arena) const;
 
   /// Exact number of bits the local function produces for a view — used by
   /// experiment E1 to compare against the Lemma 2 bound without running the

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "support/bits.hpp"
+#include "support/thread_pool.hpp"
 
 namespace referee {
 
@@ -30,15 +31,24 @@ Graph ForestReconstruction::reconstruct(std::uint32_t n,
   std::vector<std::uint64_t>& sum = *sum_s;
   deg.assign(n, 0);
   sum.assign(n, 0);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    BitReader r = messages[i].reader();
-    const auto id = static_cast<NodeId>(r.read_bits(id_bits));
-    if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
-                      "message id does not match sender");
-    deg[i] = r.read_bits(id_bits);
-    sum[i] = r.read_bits(2 * id_bits);
-    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
-                      "trailing bits in message");
+  {
+    // Parallel transcript parse: per-message independent, disjoint writes,
+    // lowest-index fault wins (same loudness as the serial scan).
+    LowestIndexFault parse_faults;
+    parallel_for_collecting(
+        cell_pool(), 0, n,
+        [&](std::size_t i) {
+          BitReader r = messages[i].reader();
+          const auto id = static_cast<NodeId>(r.read_bits(id_bits));
+          if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
+                            "message id does not match sender");
+          deg[i] = r.read_bits(id_bits);
+          sum[i] = r.read_bits(2 * id_bits);
+          if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
+                            "trailing bits in message");
+        },
+        parse_faults);
+    parse_faults.rethrow_if_any();
   }
 
   Graph h(n);

@@ -5,6 +5,7 @@
 
 #include "numth/power_sums.hpp"
 #include "support/bits.hpp"
+#include "support/thread_pool.hpp"
 
 namespace referee {
 
@@ -58,18 +59,29 @@ Graph GeneralizedDegeneracyReconstruction::reconstruct(
   deg.assign(n, 0);
   grow_to(nb_sums, static_cast<std::size_t>(n) * k_);
   grow_to(co_sums, static_cast<std::size_t>(n) * k_);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    BitReader r = messages[i].reader();
-    const auto id = static_cast<NodeId>(r.read_bits(id_bits));
-    if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
-                      "message id does not match sender");
-    deg[i] = r.read_bits(id_bits);
-    if (deg[i] >= n) throw DecodeError(DecodeFault::kMalformed,
-                      "degree out of range");
-    for (unsigned p = 0; p < k_; ++p) nb_sums[i * k_ + p].read_from(r);
-    for (unsigned p = 0; p < k_; ++p) co_sums[i * k_ + p].read_from(r);
-    if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
-                      "trailing bits in message");
+  {
+    // Parallel transcript parse over the intra-cell pool: each message
+    // writes only its own degree slot and its two power-sum rows, and the
+    // lowest-index fault wins so the loudness contract matches the serial
+    // scan under any thread count.
+    LowestIndexFault parse_faults;
+    parallel_for_collecting(
+        cell_pool(), 0, n,
+        [&](std::size_t i) {
+          BitReader r = messages[i].reader();
+          const auto id = static_cast<NodeId>(r.read_bits(id_bits));
+          if (id != i + 1) throw DecodeError(DecodeFault::kIdMismatch,
+                            "message id does not match sender");
+          deg[i] = r.read_bits(id_bits);
+          if (deg[i] >= n) throw DecodeError(DecodeFault::kMalformed,
+                            "degree out of range");
+          for (unsigned p = 0; p < k_; ++p) nb_sums[i * k_ + p].read_from(r);
+          for (unsigned p = 0; p < k_; ++p) co_sums[i * k_ + p].read_from(r);
+          if (!r.exhausted()) throw DecodeError(DecodeFault::kTrailingBits,
+                            "trailing bits in message");
+        },
+        parse_faults);
+    parse_faults.rethrow_if_any();
   }
   const auto nb_row = [&](std::size_t i) {
     return std::span<BigUInt>(nb_sums.data() + i * k_, k_);

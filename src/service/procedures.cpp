@@ -621,7 +621,21 @@ int cmd_campaign(const Request& req, const ProcedureContext& ctx,
     own_pool = std::make_unique<ThreadPool>(0);
     pool = own_pool.get();
   }
+  // Intra-cell pool: --cell-threads N lets each executing cell shard its
+  // transcript parse and frontier decodes N ways — the lever when big
+  // file-backed cells underfill the grid. Always a pool distinct from the
+  // grid pool (a grid worker blocking on its own pool can deadlock), shared
+  // by all grid workers; reports are bit-identical for every value.
+  std::unique_ptr<ThreadPool> own_cell_pool;
+  if (opts.has("cell-threads")) {
+    const auto cell_threads =
+        static_cast<std::size_t>(opts.num("cell-threads", 1));
+    if (cell_threads != 1) {
+      own_cell_pool = std::make_unique<ThreadPool>(cell_threads);
+    }
+  }
   ThreadPoolBackend backend(pool);
+  if (own_cell_pool) backend.set_cell_pool(own_cell_pool.get());
   if (opts.has("capture-dir")) {
     // Persist every cell's post-injection wire transcript for offline
     // replay (`refereectl transcript decode`). Capture is keyed by the
@@ -899,6 +913,9 @@ constexpr Flag kCampaignFlags[] = {
     {"k", "K", "degeneracy parameter (default 3)"},
     {"p", "P", "gnp edge probability (default 0.1)"},
     {"threads", "T", "pool size; 1 = sequential (default 0 = hardware)"},
+    {"cell-threads", "N",
+     "intra-cell pool: parallel parse/decode inside each cell; 1 = off "
+     "(default), 0 = hardware"},
     {"json", "", "emit the referee-campaign-v3 JSON report"},
     {"out", "FILE", "stream the JSON report to FILE"},
     {"fault-sweep", "", "run the default 200-cell contract sweep"},

@@ -25,7 +25,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <typeinfo>
 #include <vector>
 
 namespace referee {
@@ -89,13 +92,19 @@ class DecodeArena {
 
   /// Check a vector<T> out of the pool (largest capacity first, so a warm
   /// pool satisfies the largest request without growing). Creates one when
-  /// the pool is dry — a growth event.
+  /// the pool is dry — a growth event. Set REFEREE_ARENA_TRACE=1 to print
+  /// every growth event with its element type — the way to find which
+  /// scratch role broke a zero-growth warm-sweep pin.
   template <class T>
   ArenaScratch<T> scratch() {
     auto& pool = pool_for<T>();
     ++stats_.checkouts;
     if (pool.free_list.empty()) {
       ++stats_.growth_events;
+      if (std::getenv("REFEREE_ARENA_TRACE") != nullptr) {
+        std::fprintf(stderr, "[arena] dry type=%zu (%s)\n",
+                     detail::arena_type_index<T>(), typeid(T).name());
+      }
       return ArenaScratch<T>(this, std::make_unique<std::vector<T>>());
     }
     // Largest-capacity-first keeps the pass-2 growth count at zero even when
@@ -157,6 +166,11 @@ class DecodeArena {
     if (cap > checkout_capacity) {
       ++stats_.growth_events;
       stats_.bytes_reserved += (cap - checkout_capacity) * sizeof(T);
+      if (std::getenv("REFEREE_ARENA_TRACE") != nullptr) {
+        std::fprintf(stderr, "[arena] grow type=%zu (%s) %zu -> %zu\n",
+                     detail::arena_type_index<T>(), typeid(T).name(),
+                     checkout_capacity, cap);
+      }
     }
     pool_for<T>().free_list.push_back(std::move(vec));
   }

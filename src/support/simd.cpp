@@ -44,8 +44,133 @@ void prefix_sum_u64_scalar(std::uint64_t* data, std::size_t count) {
   for (std::size_t i = 1; i < count; ++i) data[i] += data[i - 1];
 }
 
+// --- lane-batched Newton helpers -----------------------------------------
+//
+// Fixed-width two's-complement arithmetic on little-endian uint64 limbs.
+// Everything wraps mod 2^(64*width); the caller sized width so the true
+// values fit, which makes wrapping arithmetic exact (signs included — two's
+// complement is just the mod-2^(64W) residue, so add/sub/mul need no sign
+// handling at all; only the division extracts the sign).
+
+// In-place two's-complement negate.
+void negate_limbs(std::uint64_t* limbs, std::size_t width) {
+  std::uint64_t carry = 1;
+  for (std::size_t w = 0; w < width; ++w) {
+    const std::uint64_t s = ~limbs[w] + carry;
+    carry = s < carry ? 1 : 0;
+    limbs[w] = s;
+  }
+}
+
+// Exact in-place signed division by the Newton step index; false when the
+// remainder is non-zero (corrupt power sums — the fault the BigInt path
+// reports as DecodeError).
+bool div_exact_limbs(std::uint64_t* limbs, std::size_t width,
+                     std::uint64_t divisor) {
+  const bool neg = (limbs[width - 1] >> 63) != 0;
+  if (neg) negate_limbs(limbs, width);
+  unsigned __int128 rem = 0;
+  for (std::size_t w = width; w-- > 0;) {
+    const unsigned __int128 cur = (rem << 64) | limbs[w];
+    limbs[w] = static_cast<std::uint64_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  if (rem != 0) return false;
+  if (neg) negate_limbs(limbs, width);
+  return true;
+}
+
+// out = a * b truncated to width limbs (exact mod 2^(64*width)) via a
+// 192-bit column accumulator — three carries cover width <= 4 partials per
+// column with headroom.
+void mul_trunc_limbs(const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t width, std::uint64_t* out) {
+  std::uint64_t c0 = 0, c1 = 0, c2 = 0;
+  for (std::size_t rw = 0; rw < width; ++rw) {
+    for (std::size_t x = 0; x <= rw; ++x) {
+      const unsigned __int128 p =
+          static_cast<unsigned __int128>(a[x]) * b[rw - x];
+      const auto plo = static_cast<std::uint64_t>(p);
+      const auto phi = static_cast<std::uint64_t>(p >> 64);
+      c0 += plo;
+      const std::uint64_t carry = c0 < plo ? 1u : 0u;
+      c1 += phi;
+      std::uint64_t carry2 = c1 < phi ? 1u : 0u;
+      c1 += carry;
+      carry2 += c1 < carry ? 1u : 0u;
+      c2 += carry2;
+    }
+    out[rw] = c0;
+    c0 = c1;
+    c1 = c2;
+    c2 = 0;
+  }
+}
+
+void add_limbs(std::uint64_t* acc, const std::uint64_t* t, std::size_t width) {
+  std::uint64_t carry = 0;
+  for (std::size_t w = 0; w < width; ++w) {
+    std::uint64_t s = acc[w] + t[w];
+    const std::uint64_t c = s < t[w] ? 1u : 0u;
+    s += carry;
+    carry = c | (s < carry ? 1u : 0u);
+    acc[w] = s;
+  }
+}
+
+void sub_limbs(std::uint64_t* acc, const std::uint64_t* t, std::size_t width) {
+  std::uint64_t borrow = 0;
+  for (std::size_t w = 0; w < width; ++w) {
+    const std::uint64_t d1 = acc[w] - t[w];
+    const std::uint64_t b = acc[w] < t[w] ? 1u : 0u;
+    const std::uint64_t d2 = d1 - borrow;
+    acc[w] = d2;
+    borrow = b | (d1 < borrow ? 1u : 0u);
+  }
+}
+
+unsigned newton_batch_scalar(const std::uint64_t* sums, unsigned d,
+                             std::size_t width, std::uint64_t* elem) {
+  const auto at = [width](std::size_t value, std::size_t w,
+                          std::size_t lane) {
+    return (value * width + w) * kNewtonLanes + lane;
+  };
+  std::uint64_t one[kNewtonMaxLimbs] = {1};
+  std::uint64_t a[kNewtonMaxLimbs];
+  std::uint64_t b[kNewtonMaxLimbs];
+  std::uint64_t acc[kNewtonMaxLimbs];
+  std::uint64_t term[kNewtonMaxLimbs];
+  unsigned faults = 0;
+  for (std::size_t lane = 0; lane < kNewtonLanes; ++lane) {
+    for (unsigned i = 1; i <= d; ++i) {
+      for (std::size_t w = 0; w < width; ++w) acc[w] = 0;
+      for (unsigned j = 1; j <= i; ++j) {
+        for (std::size_t w = 0; w < width; ++w) {
+          a[w] = i - j == 0 ? one[w] : elem[at(i - j - 1, w, lane)];
+          b[w] = sums[at(j - 1, w, lane)];
+        }
+        mul_trunc_limbs(a, b, width, term);
+        if (j % 2 == 0) {
+          sub_limbs(acc, term, width);
+        } else {
+          add_limbs(acc, term, width);
+        }
+      }
+      if (!div_exact_limbs(acc, width, i)) {
+        faults |= 1u << lane;
+        break;
+      }
+      for (std::size_t w = 0; w < width; ++w) {
+        elem[at(i - 1, w, lane)] = acc[w];
+      }
+    }
+  }
+  return faults;
+}
+
 constexpr Kernels kScalar{"scalar", power_sums_u64_scalar,
-                          merge_onesparse_scalar, prefix_sum_u64_scalar};
+                          merge_onesparse_scalar, newton_batch_scalar,
+                          prefix_sum_u64_scalar};
 
 #if REFEREE_SIMD_HAVE_AVX2
 
@@ -128,13 +253,166 @@ __attribute__((target("avx2"))) void merge_onesparse_avx2(
   merge_onesparse_scalar(dst, src, triples - t);
 }
 
+// Unsigned 64-bit a < b per lane (AVX2 only has signed compares; biasing
+// both operands by 2^63 turns the unsigned order into the signed one).
+__attribute__((target("avx2"))) inline __m256i u64_lt(__m256i a, __m256i b) {
+  const __m256i bias =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ull));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(b, bias),
+                            _mm256_xor_si256(a, bias));
+}
+
+// All-ones/zero compare mask -> 0/1 carry.
+__attribute__((target("avx2"))) inline __m256i mask_to_one(__m256i m) {
+  return _mm256_srli_epi64(m, 63);
+}
+
+// Full 64x64 -> 128 product per lane from four 32x32 partials
+// (_mm256_mul_epu32 multiplies the low 32 bits of each 64-bit lane).
+__attribute__((target("avx2"))) inline void mul_64x64(__m256i x, __m256i y,
+                                                      __m256i* lo,
+                                                      __m256i* hi) {
+  const __m256i lomask = _mm256_set1_epi64x(0xffffffffll);
+  const __m256i xh = _mm256_srli_epi64(x, 32);
+  const __m256i yh = _mm256_srli_epi64(y, 32);
+  const __m256i t = _mm256_mul_epu32(x, y);  // xl*yl
+  const __m256i u =
+      _mm256_add_epi64(_mm256_mul_epu32(xh, y), _mm256_srli_epi64(t, 32));
+  const __m256i v =
+      _mm256_add_epi64(_mm256_mul_epu32(x, yh), _mm256_and_si256(u, lomask));
+  *lo = _mm256_or_si256(_mm256_and_si256(t, lomask), _mm256_slli_epi64(v, 32));
+  *hi = _mm256_add_epi64(
+      _mm256_mul_epu32(xh, yh),
+      _mm256_add_epi64(_mm256_srli_epi64(u, 32), _mm256_srli_epi64(v, 32)));
+}
+
+// term = a * b truncated to width limbs, all four lanes at once. A null
+// a_base means the implicit e_0 = 1 operand. Same 192-bit column
+// accumulator as the scalar path, vectorized across lanes — the bits are
+// identical because every operation is exact wrapping integer arithmetic.
+__attribute__((target("avx2"))) inline void mul_trunc_rows(
+    const std::uint64_t* a_base, const std::uint64_t* b_base,
+    std::size_t width, __m256i* term) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one0 = _mm256_set1_epi64x(1);
+  __m256i c0 = zero;
+  __m256i c1 = zero;
+  __m256i c2 = zero;
+  for (std::size_t rw = 0; rw < width; ++rw) {
+    for (std::size_t x = 0; x <= rw; ++x) {
+      const __m256i av =
+          a_base == nullptr
+              ? (x == 0 ? one0 : zero)
+              : _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                    a_base + x * kNewtonLanes));
+      const __m256i bv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          b_base + (rw - x) * kNewtonLanes));
+      __m256i plo;
+      __m256i phi;
+      mul_64x64(av, bv, &plo, &phi);
+      __m256i s = _mm256_add_epi64(c0, plo);
+      const __m256i carry = mask_to_one(u64_lt(s, plo));
+      c0 = s;
+      s = _mm256_add_epi64(c1, phi);
+      __m256i carry2 = mask_to_one(u64_lt(s, phi));
+      const __m256i s2 = _mm256_add_epi64(s, carry);
+      carry2 = _mm256_or_si256(carry2, mask_to_one(u64_lt(s2, carry)));
+      c1 = s2;
+      c2 = _mm256_add_epi64(c2, carry2);
+    }
+    term[rw] = c0;
+    c0 = c1;
+    c1 = c2;
+    c2 = zero;
+  }
+}
+
+// acc +=/-= term across width limbs with lane-local carry/borrow chains.
+__attribute__((target("avx2"))) inline void add_rows(__m256i* acc,
+                                                     const __m256i* term,
+                                                     std::size_t width) {
+  __m256i carry = _mm256_setzero_si256();
+  for (std::size_t w = 0; w < width; ++w) {
+    __m256i s = _mm256_add_epi64(acc[w], term[w]);
+    const __m256i c = u64_lt(s, term[w]);
+    s = _mm256_add_epi64(s, carry);
+    carry = mask_to_one(_mm256_or_si256(c, u64_lt(s, carry)));
+    acc[w] = s;
+  }
+}
+
+__attribute__((target("avx2"))) inline void sub_rows(__m256i* acc,
+                                                     const __m256i* term,
+                                                     std::size_t width) {
+  __m256i borrow = _mm256_setzero_si256();
+  for (std::size_t w = 0; w < width; ++w) {
+    const __m256i d1 = _mm256_sub_epi64(acc[w], term[w]);
+    const __m256i b = u64_lt(acc[w], term[w]);
+    const __m256i d2 = _mm256_sub_epi64(d1, borrow);
+    borrow = mask_to_one(_mm256_or_si256(b, u64_lt(d1, borrow)));
+    acc[w] = d2;
+  }
+}
+
+__attribute__((target("avx2"))) unsigned newton_batch_avx2(
+    const std::uint64_t* sums, unsigned d, std::size_t width,
+    std::uint64_t* elem) {
+  __m256i acc[kNewtonMaxLimbs];
+  __m256i term[kNewtonMaxLimbs];
+  alignas(32) std::uint64_t cols[kNewtonMaxLimbs][kNewtonLanes];
+  std::uint64_t lane_val[kNewtonMaxLimbs];
+  unsigned faults = 0;
+  for (unsigned i = 1; i <= d; ++i) {
+    for (std::size_t w = 0; w < width; ++w) acc[w] = _mm256_setzero_si256();
+    for (unsigned j = 1; j <= i; ++j) {
+      const std::uint64_t* a_base =
+          i - j == 0
+              ? nullptr
+              : elem + static_cast<std::size_t>(i - j - 1) * width *
+                           kNewtonLanes;
+      const std::uint64_t* b_base =
+          sums + static_cast<std::size_t>(j - 1) * width * kNewtonLanes;
+      mul_trunc_rows(a_base, b_base, width, term);
+      if (j % 2 == 0) {
+        sub_rows(acc, term, width);
+      } else {
+        add_rows(acc, term, width);
+      }
+    }
+    // The division by i stays scalar per lane: it is one short remainder
+    // chain per step, and a faulted lane needs its own verdict anyway.
+    for (std::size_t w = 0; w < width; ++w) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(cols[w]), acc[w]);
+    }
+    for (std::size_t lane = 0; lane < kNewtonLanes; ++lane) {
+      if ((faults >> lane) & 1u) continue;  // garbage already; skip the work
+      for (std::size_t w = 0; w < width; ++w) lane_val[w] = cols[w][lane];
+      if (!div_exact_limbs(lane_val, width, i)) {
+        faults |= 1u << lane;
+        continue;
+      }
+      for (std::size_t w = 0; w < width; ++w) cols[w][lane] = lane_val[w];
+    }
+    for (std::size_t w = 0; w < width; ++w) {
+      // elem is caller scratch with no 32-byte alignment guarantee.
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(
+                              elem + (static_cast<std::size_t>(i - 1) * width +
+                                      w) *
+                                  kNewtonLanes),
+                          _mm256_load_si256(
+                              reinterpret_cast<const __m256i*>(cols[w])));
+    }
+  }
+  return faults;
+}
+
 // The prefix-sum slot stays scalar even in the AVX2 table: a 64-bit
 // in-register scan (permute4x64 + blend shifts, carry broadcast) was
 // benchmarked 1.3–2.3x SLOWER than the serial add chain — the cross-lane
 // permute latency loses to the one-add-per-cycle dependency chain at this
 // element width. Measured, not assumed; see bench_simd_kernels.
 constexpr Kernels kAvx2{"avx2", power_sums_u64_avx2, merge_onesparse_avx2,
-                        prefix_sum_u64_scalar};
+                        newton_batch_avx2, prefix_sum_u64_scalar};
 
 #endif  // REFEREE_SIMD_HAVE_AVX2
 

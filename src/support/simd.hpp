@@ -1,11 +1,12 @@
 // Runtime-dispatched SIMD kernels for the measured decode hot paths.
 //
-// Three kernels cover what profiling the benches showed actually matters:
+// Four kernels cover what profiling the benches showed actually matters:
 // 64-bit power sums (the degeneracy encoder/decoder fast path), OneSparse
-// triple merges (the Borůvka inner loop of the sketch referees), and the
-// counting-sort prefix sums (sketch grouping + CSR sealing). Everything
-// else stays scalar on purpose — e.g. elementary_from_power_sums_into is a
-// serial chain of BigInt carries with no lane parallelism to exploit.
+// triple merges (the Borůvka inner loop of the sketch referees), the
+// counting-sort prefix sums (sketch grouping + CSR sealing), and the
+// lane-batched Newton identities (frontier-batched peeling decodes
+// independent same-degree vertices, so the serial BigInt carry chain of
+// one decode becomes four fixed-width chains running across AVX2 lanes).
 //
 // Contract: the vector and scalar paths are BIT-IDENTICAL, not just
 // approximately equal. All three kernels only reassociate wrapping uint64
@@ -36,6 +37,16 @@ inline constexpr unsigned kMaxVectorPowers = 8;
 inline constexpr std::uint64_t kFingerprintMod =
     (std::uint64_t{1} << 61) - 1;
 
+/// Independent decodes processed per batched-Newton call — one per AVX2
+/// 64-bit lane.
+inline constexpr std::size_t kNewtonLanes = 4;
+
+/// Largest fixed limb width the batched Newton kernel supports (256-bit
+/// two's-complement values). Callers size the width from the degree/id
+/// bound (numth/newton.hpp: newton_batch_width) and fall back to the
+/// BigInt path past this.
+inline constexpr std::size_t kNewtonMaxLimbs = 4;
+
 struct Kernels {
   const char* name;
 
@@ -51,6 +62,22 @@ struct Kernels {
   /// <= kFingerprintMod).
   void (*merge_onesparse)(std::int64_t* dst, const std::int64_t* src,
                           std::size_t triples);
+
+  /// Lane-batched Newton's identities: kNewtonLanes independent degree-d
+  /// power-sum → elementary-symmetric conversions over fixed-width
+  /// two's-complement values in structure-of-arrays layout. `sums` holds
+  /// p_1..p_d and `elem` receives e_1..e_d; value v's limb w of lane l
+  /// (little-endian limbs) sits at flat index (v*width + w)*kNewtonLanes + l,
+  /// so one (value, limb) row is kNewtonLanes contiguous uint64 — a single
+  /// AVX2 vector. All arithmetic wraps mod 2^(64*width), which is exact
+  /// two's-complement arithmetic whenever the caller sized `width` to bound
+  /// every intermediate (newton_batch_width does). width <= kNewtonMaxLimbs.
+  /// Returns a bitmask of lanes that hit an inexact division by the step
+  /// index (corrupt power sums); a faulted lane's elem values are
+  /// unspecified and the caller must rerun that lane through the exact
+  /// BigInt path for the serial fault.
+  unsigned (*newton_batch)(const std::uint64_t* sums, unsigned d,
+                           std::size_t width, std::uint64_t* elem);
 
   /// In-place inclusive prefix sum over count uint64 values. Scalar in
   /// every kernel table so far: the AVX2 in-register scan measured slower

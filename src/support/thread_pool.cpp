@@ -109,10 +109,12 @@ void ThreadPool::parallel_for_chunks(
         }
       }
       {
+        // Notify under the lock: done_cv lives on the caller's stack, and
+        // an unlocked notify can race the woken caller destroying it.
         std::lock_guard<std::mutex> lock(done_mutex);
         ++done;
+        done_cv.notify_one();
       }
-      done_cv.notify_one();
     });
   }
   std::unique_lock<std::mutex> lock(done_mutex);
@@ -140,10 +142,12 @@ void ThreadPool::for_each_worker(const std::function<void(std::size_t)>& fn) {
       }
       fn(i);
       {
+        // Same stack-lifetime rule as parallel_for_chunks: notify while
+        // holding m so the caller cannot destroy cv mid-notify.
         std::lock_guard<std::mutex> lock(m);
         ++finished;
+        cv.notify_all();
       }
-      cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(m);
@@ -157,6 +161,54 @@ void maybe_parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
     pool->parallel_for(begin, end, body);
   } else {
     for (std::size_t i = begin; i < end; ++i) body(i);
+  }
+}
+
+namespace {
+thread_local ThreadPool* t_cell_pool = nullptr;
+}  // namespace
+
+ThreadPool* cell_pool() { return t_cell_pool; }
+
+CellPoolScope::CellPoolScope(ThreadPool* pool) : prev_(t_cell_pool) {
+  t_cell_pool = pool;
+}
+
+CellPoolScope::~CellPoolScope() { t_cell_pool = prev_; }
+
+void LowestIndexFault::record(std::size_t index, std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index < index_) {
+    index_ = index;
+    error_ = std::move(error);
+  }
+}
+
+void LowestIndexFault::rethrow_if_any() const {
+  if (error_) std::rethrow_exception(error_);
+}
+
+void parallel_for_collecting(ThreadPool* pool, std::size_t begin,
+                             std::size_t end,
+                             const std::function<void(std::size_t)>& body,
+                             LowestIndexFault& faults,
+                             std::size_t serial_cutoff) {
+  const auto guarded = [&](std::size_t i) {
+    try {
+      body(i);
+    } catch (...) {
+      faults.record(i, std::current_exception());
+    }
+  };
+  if (pool != nullptr && end - begin >= serial_cutoff && pool->size() > 1) {
+    pool->parallel_for_chunks(begin, end,
+                              [&](std::size_t lo, std::size_t hi) {
+                                for (std::size_t i = lo; i < hi; ++i) {
+                                  guarded(i);
+                                }
+                              });
+  } else {
+    for (std::size_t i = begin; i < end; ++i) guarded(i);
   }
 }
 

@@ -84,6 +84,65 @@ void maybe_parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
                         const std::function<void(std::size_t)>& body,
                         std::size_t serial_cutoff = 256);
 
+/// The intra-cell worker pool for the thread that is currently executing a
+/// campaign cell (or a bare reconstruct): referees consult this to shard
+/// their transcript parse and frontier decodes. Null means "stay serial" —
+/// the default, and what grid-level sharding uses when cells already
+/// saturate the machine. The pool MUST be distinct from the pool whose
+/// worker set the scope: a worker blocking in parallel_for on its own pool
+/// can deadlock when every sibling is similarly blocked. One shared
+/// intra-cell pool across many grid workers is fine (concurrent
+/// parallel_for calls from different caller threads are supported).
+ThreadPool* cell_pool();
+
+/// RAII installer for cell_pool() on the current thread. Scopes nest; each
+/// restores the previous pool on destruction.
+class CellPoolScope {
+ public:
+  explicit CellPoolScope(ThreadPool* pool);
+  ~CellPoolScope();
+
+  CellPoolScope(const CellPoolScope&) = delete;
+  CellPoolScope& operator=(const CellPoolScope&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
+
+/// Lowest-index error reduction for deterministic parallel loops whose
+/// serial counterpart throws at the first failing index: workers record
+/// (index, exception) pairs and only the smallest index survives, so the
+/// rethrown fault is the serial loop's fault regardless of scheduling.
+class LowestIndexFault {
+ public:
+  /// Keep `error` if `index` beats the current minimum. Thread-safe.
+  void record(std::size_t index, std::exception_ptr error);
+
+  bool any() const { return error_ != nullptr; }
+  std::size_t index() const { return index_; }
+
+  /// Rethrow the recorded minimum-index exception, if any.
+  void rethrow_if_any() const;
+
+ private:
+  std::mutex mutex_;
+  std::size_t index_ = static_cast<std::size_t>(-1);
+  std::exception_ptr error_;
+};
+
+/// Run `body(i)` over [begin, end) — on `pool` when non-null and the range
+/// clears `serial_cutoff`, inline otherwise — catching each index's
+/// exception into `faults` instead of letting it unwind. Every index runs
+/// (no early abandon: a later fault must not shadow an earlier index that
+/// had not started yet), so after the loop `faults.rethrow_if_any()` raises
+/// exactly the serial loop's first fault. Bodies must confine their side
+/// effects to per-index slots for that equivalence to hold.
+void parallel_for_collecting(ThreadPool* pool, std::size_t begin,
+                             std::size_t end,
+                             const std::function<void(std::size_t)>& body,
+                             LowestIndexFault& faults,
+                             std::size_t serial_cutoff = 256);
+
 /// Chunked analogue of maybe_parallel_for: the sequential fallback is a
 /// single body(begin, end) call, so per-chunk scratch state is set up once.
 void maybe_parallel_for_chunks(

@@ -1,0 +1,370 @@
+// Bit-identity matrix for the intra-cell parallel decode paths.
+//
+// The contract under test: DegeneracyReconstruction::reconstruct (parallel
+// parse + frontier-batched peel + lane-batched Newton) produces bit-identical
+// graphs and bit-identical typed faults to reconstruct_serial, for every
+// generator family, every cell-pool size, and every transcript — clean or
+// corrupted. The same holds for the parallel-parse referees (generalized /
+// bounded-degree / forest), and a whole campaign's JSON must not change by a
+// byte when cells borrow an intra-cell pool.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/backend.hpp"
+#include "campaign/plan.hpp"
+#include "graph/generators.hpp"
+#include "model/campaign.hpp"
+#include "model/simulator.hpp"
+#include "numth/newton.hpp"
+#include "numth/power_sums.hpp"
+#include "protocols/bounded_degree.hpp"
+#include "protocols/degeneracy_protocol.hpp"
+#include "protocols/forest_protocol.hpp"
+#include "protocols/generalized_degeneracy.hpp"
+#include "support/simd.hpp"
+#include "support/thread_pool.hpp"
+
+namespace referee {
+namespace {
+
+// Decode outcome flattened for comparison: either a graph or a typed fault.
+// The campaign's loud detail is decode_fault_name(fault), so comparing the
+// enum pins the reported detail too.
+struct Outcome {
+  std::optional<Graph> graph;
+  std::optional<DecodeFault> fault;
+
+  bool operator==(const Outcome& o) const {
+    return graph == o.graph && fault == o.fault;
+  }
+};
+
+Outcome decode_with(const ReconstructionProtocol& protocol, std::uint32_t n,
+                    std::span<const Message> messages, ThreadPool* pool,
+                    bool serial_peel = false) {
+  CellPoolScope scope(pool);
+  DecodeArena arena;
+  try {
+    if (serial_peel) {
+      const auto* deg =
+          dynamic_cast<const DegeneracyReconstruction*>(&protocol);
+      return Outcome{deg->reconstruct_serial(n, messages, arena), {}};
+    }
+    return Outcome{protocol.reconstruct(n, messages, arena), {}};
+  } catch (const DecodeError& e) {
+    return Outcome{{}, e.fault()};
+  }
+}
+
+std::string describe(const Outcome& o) {
+  if (o.graph) return "graph(" + std::to_string(o.graph->edge_count()) + ")";
+  return std::string("loud:") + decode_fault_name(*o.fault);
+}
+
+// Every pool size of the matrix: no pool installed, and shared intra-cell
+// pools of 1, 2 and 8 workers.
+void expect_matrix_identical(const ReconstructionProtocol& protocol,
+                             std::uint32_t n,
+                             std::span<const Message> messages,
+                             const std::string& label,
+                             bool has_serial_peel = false) {
+  const Outcome base = decode_with(protocol, n, messages, nullptr);
+  if (has_serial_peel) {
+    const Outcome serial =
+        decode_with(protocol, n, messages, nullptr, /*serial_peel=*/true);
+    EXPECT_EQ(base, serial) << label << ": frontier-batched "
+                            << describe(base) << " vs serial peel "
+                            << describe(serial);
+  }
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const Outcome pooled = decode_with(protocol, n, messages, &pool);
+    EXPECT_EQ(base, pooled)
+        << label << ": " << threads << "-thread pool " << describe(pooled)
+        << " vs unpooled " << describe(base);
+  }
+}
+
+struct FamilyCase {
+  std::string label;
+  unsigned k;
+  std::function<Graph(Rng&)> make;
+};
+
+class ParallelDecodeSweep : public ::testing::TestWithParam<FamilyCase> {};
+
+// Clean transcripts: the batched decode must reproduce the input graph and
+// match the serial peel across every pool size.
+TEST_P(ParallelDecodeSweep, CleanTranscriptBitIdentity) {
+  const auto& fc = GetParam();
+  Rng rng(811);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(fc.k);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Graph g = fc.make(rng);
+    const auto n = static_cast<std::uint32_t>(g.vertex_count());
+    const auto msgs = sim.run_local_phase(g, protocol);
+    const Outcome want{g, {}};
+    EXPECT_EQ(decode_with(protocol, n, msgs, nullptr), want) << fc.label;
+    expect_matrix_identical(protocol, n, msgs, fc.label,
+                            /*has_serial_peel=*/true);
+  }
+}
+
+// Correlated-fault sweep: under heavy bit flips and truncations the batched
+// decode raises the same typed DecodeFault as the serial peel (and the same
+// graph on the don't-care flips that decode cleanly), at every pool size.
+TEST_P(ParallelDecodeSweep, CorrelatedFaultBitIdentity) {
+  const auto& fc = GetParam();
+  Rng rng(823);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(fc.k);
+  const Graph g = fc.make(rng);
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const auto clean = sim.run_local_phase(g, protocol);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto msgs = clean;
+    const FaultPlan plan{
+        .bit_flip_chance = (trial % 2 == 0) ? 0.8 : 0.0,
+        .truncate_chance = (trial % 2 == 0) ? 0.0 : 0.5,
+        .seed = 5000u + static_cast<std::uint64_t>(trial)};
+    Simulator::inject_faults(msgs, plan);
+    expect_matrix_identical(protocol, n, msgs,
+                            fc.label + "/fault" + std::to_string(trial),
+                            /*has_serial_peel=*/true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ParallelDecodeSweep,
+    ::testing::Values(
+        FamilyCase{"empty", 1, [](Rng&) { return gen::empty(40); }},
+        FamilyCase{"path", 1, [](Rng&) { return gen::path(60); }},
+        FamilyCase{"cycle", 2, [](Rng&) { return gen::cycle(48); }},
+        FamilyCase{"star", 1, [](Rng&) { return gen::star(40); }},
+        FamilyCase{"complete", 5, [](Rng&) { return gen::complete(6); }},
+        FamilyCase{"complete-bipartite", 3,
+                   [](Rng&) { return gen::complete_bipartite(3, 20); }},
+        FamilyCase{"grid", 2, [](Rng&) { return gen::grid(7, 8); }},
+        FamilyCase{"torus", 4, [](Rng&) { return gen::torus(6, 7); }},
+        FamilyCase{"hypercube", 4, [](Rng&) { return gen::hypercube(4); }},
+        FamilyCase{"binary-tree", 1,
+                   [](Rng&) { return gen::binary_tree(50); }},
+        FamilyCase{"caterpillar", 1,
+                   [](Rng&) { return gen::caterpillar(20, 3); }},
+        FamilyCase{"random-tree", 1,
+                   [](Rng& r) { return gen::random_tree(60, r); }},
+        FamilyCase{"random-forest", 1,
+                   [](Rng& r) { return gen::random_forest(60, 0.2, r); }},
+        FamilyCase{"2-degenerate", 2,
+                   [](Rng& r) { return gen::random_k_degenerate(70, 2, r); }},
+        FamilyCase{"3-degenerate-exact", 3,
+                   [](Rng& r) {
+                     return gen::random_k_degenerate(60, 3, r, true);
+                   }},
+        FamilyCase{"4-tree", 4,
+                   [](Rng& r) { return gen::random_k_tree(40, 4, r); }},
+        FamilyCase{"apollonian", 3,
+                   [](Rng& r) { return gen::random_apollonian(50, r); }}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      std::string name = info.param.label;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// A cell large enough that every frontier round actually fans out over the
+// pool and the lane batcher sees full groups.
+TEST(ParallelDecode, LargeCellBitIdentity) {
+  Rng rng(829);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(3);
+  const Graph g = gen::random_k_degenerate(4000, 3, rng, true);
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const auto msgs = sim.run_local_phase(g, protocol);
+  EXPECT_EQ(decode_with(protocol, n, msgs, nullptr), (Outcome{g, {}}));
+  expect_matrix_identical(protocol, n, msgs, "kdeg-4000",
+                          /*has_serial_peel=*/true);
+}
+
+// Out-of-class input: the peel must stall identically (not fabricate or
+// change fault type) whichever path runs.
+TEST(ParallelDecode, StallIsBitIdentical) {
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  const Graph g = gen::complete(6);  // degeneracy 5 > k = 2
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const auto msgs = sim.run_local_phase(g, protocol);
+  const Outcome base = decode_with(protocol, n, msgs, nullptr);
+  ASSERT_TRUE(base.fault.has_value());
+  EXPECT_EQ(*base.fault, DecodeFault::kStalled);
+  expect_matrix_identical(protocol, n, msgs, "K6-stall",
+                          /*has_serial_peel=*/true);
+}
+
+// Loudness determinism: with several faulty messages the raised fault is the
+// lowest-index one, regardless of the pool size or scheduling.
+TEST(ParallelDecode, LowestIndexParseFaultWins) {
+  Rng rng(839);
+  const Simulator sim;
+  const DegeneracyReconstruction protocol(2);
+  const Graph g = gen::random_k_degenerate(60, 2, rng);
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  auto msgs = sim.run_local_phase(g, protocol);
+  // Message 7 truncated (kTruncated mid-parse), message 40 truncated to
+  // empty as well; the raised fault must always be message 7's.
+  msgs[40].truncate(1);
+  msgs[7].truncate(msgs[7].bit_size() / 3);
+  const Outcome base = decode_with(protocol, n, msgs, nullptr);
+  ASSERT_TRUE(base.fault.has_value());
+  expect_matrix_identical(protocol, n, msgs, "two-faults",
+                          /*has_serial_peel=*/true);
+}
+
+// The parallel-parse referees (no frontier machinery) get the same matrix:
+// same graph on clean transcripts, same typed fault on corrupted ones.
+template <typename Protocol>
+void parse_matrix(const Protocol& protocol, const Graph& g,
+                  const std::string& label) {
+  const Simulator sim;
+  const auto n = static_cast<std::uint32_t>(g.vertex_count());
+  const auto clean = sim.run_local_phase(g, protocol);
+  EXPECT_EQ(decode_with(protocol, n, clean, nullptr), (Outcome{g, {}}))
+      << label;
+  expect_matrix_identical(protocol, n, clean, label);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto msgs = clean;
+    const FaultPlan plan{.bit_flip_chance = 0.7, .truncate_chance = 0.2,
+                         .seed = 9000u + static_cast<std::uint64_t>(trial)};
+    Simulator::inject_faults(msgs, plan);
+    expect_matrix_identical(protocol, n, msgs,
+                            label + "/fault" + std::to_string(trial));
+  }
+}
+
+TEST(ParallelDecode, GeneralizedDegeneracyParseMatrix) {
+  Rng rng(853);
+  parse_matrix(GeneralizedDegeneracyReconstruction(2),
+               gen::random_k_degenerate(50, 2, rng), "generalized");
+}
+
+TEST(ParallelDecode, BoundedDegreeParseMatrix) {
+  Rng rng(857);
+  parse_matrix(BoundedDegreeReconstruction(4),
+               gen::random_regular(40, 4, rng), "bounded-degree");
+}
+
+TEST(ParallelDecode, ForestParseMatrix) {
+  Rng rng(859);
+  parse_matrix(ForestReconstruction(), gen::random_forest(60, 0.15, rng),
+               "forest");
+}
+
+// Lane-batched Newton: the batched conversion equals the exact BigInt path
+// on genuine power sums, lane for lane, and the scalar kernel equals the
+// dispatched one (the AVX2 path where the CPU has it).
+TEST(ParallelDecode, LaneBatchMatchesExactPath) {
+  Rng rng(863);
+  DecodeArena arena;
+  const std::uint32_t n = 1u << 20;
+  for (const unsigned d : {1u, 2u, 3u, 4u}) {
+    const std::size_t width = newton_batch_width(d, n);
+    ASSERT_GT(width, 0u) << "d=" << d;
+    std::vector<std::vector<BigUInt>> sums(simd::kNewtonLanes);
+    std::vector<std::vector<BigInt>> batched(simd::kNewtonLanes);
+    std::vector<NewtonLane> lanes;
+    for (std::size_t l = 0; l < simd::kNewtonLanes; ++l) {
+      std::vector<NodeId> ids;
+      while (ids.size() < d) {
+        const auto id = static_cast<NodeId>(rng.between(1, n));
+        if (std::find(ids.begin(), ids.end(), id) == ids.end())
+          ids.push_back(id);
+      }
+      power_sums_into(ids, d, arena, sums[l]);
+      ASSERT_TRUE(newton_batch_fits(
+          std::span<const BigUInt>(sums[l].data(), d), d, n));
+      batched[l].resize(d);
+      lanes.push_back(NewtonLane{
+          std::span<const BigUInt>(sums[l].data(), d),
+          std::span<BigInt>(batched[l].data(), d)});
+    }
+    const unsigned faults =
+        elementary_from_power_sums_lanes(lanes, d, width, arena);
+    EXPECT_EQ(faults, 0u);
+    for (std::size_t l = 0; l < simd::kNewtonLanes; ++l) {
+      std::vector<BigInt> exact;
+      elementary_from_power_sums_into(
+          std::span<const BigUInt>(sums[l].data(), d), arena, exact);
+      for (unsigned i = 0; i < d; ++i) {
+        EXPECT_EQ(batched[l][i], exact[i]) << "d=" << d << " lane=" << l;
+      }
+    }
+  }
+}
+
+// Kernel-level pin: the dispatched newton_batch and the scalar reference
+// produce the same limbs and the same fault mask on the same SoA input,
+// including a lane with deliberately corrupt (inexact-division) sums.
+TEST(ParallelDecode, NewtonBatchKernelScalarParity) {
+  Rng rng(877);
+  const unsigned d = 3;
+  const std::size_t width = 3;
+  std::vector<std::uint64_t> sums(d * width * simd::kNewtonLanes);
+  for (auto& limb : sums) limb = rng.next();
+  // Keep values small-magnitude positive so most lanes run to completion:
+  // zero the top limbs, then let lane 2 keep huge sums (likely fault).
+  for (unsigned v = 0; v < d; ++v) {
+    for (std::size_t w = 1; w < width; ++w) {
+      for (std::size_t l = 0; l < simd::kNewtonLanes; ++l) {
+        if (l != 2) sums[(v * width + w) * simd::kNewtonLanes + l] = 0;
+      }
+    }
+  }
+  std::vector<std::uint64_t> elem_scalar(d * width * simd::kNewtonLanes, 0);
+  std::vector<std::uint64_t> elem_active(elem_scalar);
+  const unsigned f_scalar = simd::scalar_kernels().newton_batch(
+      sums.data(), d, width, elem_scalar.data());
+  const unsigned f_active = simd::active_kernels().newton_batch(
+      sums.data(), d, width, elem_active.data());
+  EXPECT_EQ(f_scalar, f_active);
+  for (std::size_t i = 0; i < elem_scalar.size(); ++i) {
+    const std::size_t lane = i % simd::kNewtonLanes;
+    if ((f_scalar >> lane) & 1u) continue;  // faulted lanes: unspecified
+    EXPECT_EQ(elem_scalar[i], elem_active[i]) << "flat index " << i;
+  }
+}
+
+// Whole-campaign pin: the default fault-sweep grid emits byte-identical JSON
+// whether cells run single-threaded or borrow a shared intra-cell pool.
+TEST(ParallelDecode, CampaignJsonByteIdenticalAcrossCellPools) {
+  CampaignConfig config;
+  config.generators = {"kdeg", "apollonian", "tree"};
+  config.sizes = {24, 48};
+  config.protocols = {"degeneracy", "forest", "bounded-degree"};
+  config.seeds = {1, 2};
+  config.fault_plans = {
+      FaultPlan{.bit_flip_chance = 0.0, .truncate_chance = 0.0},
+      FaultPlan{.bit_flip_chance = 0.6, .truncate_chance = 0.2},
+  };
+  const CampaignPlan plan{config};
+  ThreadPool grid_pool(4);
+  const ThreadPoolBackend baseline(&grid_pool);
+  const std::string want = baseline.run(plan).to_json();
+  for (const std::size_t cell_threads : {1u, 2u, 8u}) {
+    ThreadPool cell_pool_instance(cell_threads);
+    ThreadPoolBackend pooled(&grid_pool);
+    pooled.set_cell_pool(&cell_pool_instance);
+    EXPECT_EQ(pooled.run(plan).to_json(), want)
+        << "cell_threads=" << cell_threads;
+  }
+}
+
+}  // namespace
+}  // namespace referee
