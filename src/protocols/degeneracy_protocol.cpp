@@ -224,10 +224,16 @@ Graph DegeneracyReconstruction::reconstruct_serial(
 //    structure, the stall condition, and the final edge set do not depend
 //    on whether vertices leave one at a time (serial min-heap) or level by
 //    level (rounds), so the final Graph is bit-identical.
-//  * Faults stay deterministic under any thread count: the parse and the
-//    per-vertex decodes run under parallel_for_collecting, which runs every
-//    index and rethrows the lowest-index exception — exactly the fault the
-//    ascending serial walk would have raised first.
+//  * Faults are exactly the serial peel's, under any thread count. Parse
+//    faults run under parallel_for_collecting, which runs every index and
+//    rethrows the lowest-index exception — the fault the serial parse loop
+//    raises first, same throw site and message. Peel-phase faults (a decode
+//    failure, a reciprocity anomaly, a degree underflow) depend on how the
+//    serial min-heap interleaves rounds, so the batched path never raises
+//    its own: it falls back to reconstruct_serial on the pristine
+//    transcript and surfaces that outcome verbatim. In particular an
+//    asymmetric frontier-internal claim (x lists w, w never lists x) is
+//    rejected exactly as serially — never absorbed into an accepted graph.
 //
 // Parallelism enters in three places, all gated on cell_pool(): the
 // transcript parse, the frontier decodes, and (for the stock Newton
@@ -507,7 +513,13 @@ Graph DegeneracyReconstruction::reconstruct(std::uint32_t n,
             } else if (s1v < (static_cast<unsigned __int128>(1) << 52) &&
                        d < (1u << 20)) {
               const unsigned __int128 s2v = u128_of(srow[1]);
+              // dd*s2v < 2^107 keeps b2 = dd*(dd*s2v − s1v²) below 2^127:
+              // the product cannot wrap mod 2^128 and its long-double sqrt
+              // stays strictly under 2^64, so the uint64 cast is defined
+              // even on crafted in-guard sums. Clean transcripts always
+              // qualify (d·s2 ≤ d²·n² < 2^104 for d < 2^20, n ≤ 2^32).
               if (s2v < (static_cast<unsigned __int128>(1) << 100) &&
+                  dd * s2v < (static_cast<unsigned __int128>(1) << 107) &&
                   dd * s2v >= s1v * s1v) {
                 const unsigned __int128 b2 = dd * (dd * s2v - s1v * s1v);
                 // +2 absorbs the long-double rounding so B only over-covers.
@@ -596,10 +608,23 @@ Graph DegeneracyReconstruction::reconstruct(std::uint32_t n,
           std::copy(out.begin(), out.end(), neigh.begin() + offsets[fi]);
         },
         faults, /*serial_cutoff=*/4);
-    faults.rethrow_if_any();
+    if (faults.any()) {
+      // A decode-phase fault means a Byzantine or out-of-class transcript.
+      // WHICH vertex faults first serially depends on how the min-heap
+      // interleaves later rounds with this one and on frontier-internal
+      // subtractions the snapshot decode never sees, so don't guess:
+      // re-run the reference path and surface exactly its outcome — fault
+      // type, message, everything. Loud cells only, so the extra serial
+      // decode never taxes an accepting run.
+      return reconstruct_serial(n, messages, arena);
+    }
 
     // Apply phase: serial, ascending frontier id, exactly the serial peel's
-    // mutation order for the edges it records.
+    // mutation order for the edges it records. Any reciprocity anomaly
+    // defers to reconstruct_serial the same way as a decode fault: the
+    // serial peel raises the fault at the victim's own decode (its residual
+    // sums stop matching once the fabricated edge is subtracted), with
+    // order-dependent detail the batched path cannot reproduce locally.
     pending.clear();
     for (std::size_t fi = 0; fi < m; ++fi) {
       const NodeId x = frontier[fi];
@@ -608,32 +633,40 @@ Graph DegeneracyReconstruction::reconstruct(std::uint32_t n,
                                          offsets[fi + 1] - offsets[fi]);
       for (const NodeId w : list) {
         const std::size_t wi = w - 1;
-        if (!alive[wi]) {
-          // A dead neighbour is legal only as the second sighting of a
-          // frontier-internal edge: an earlier member of THIS round whose
-          // own decode reciprocated x. Anything else is the serial peel's
-          // "already pruned" inconsistency (including an asymmetric decode,
-          // which stays loud here).
+        // Only this round's frontier members can be dead here or sit at or
+        // below the prunable threshold, so anything else skips the
+        // membership search: it is a plain edge to a later round.
+        if (!alive[wi] || deg[wi] <= k_) {
           const auto it =
               std::lower_bound(frontier.begin(), frontier.end(), w);
-          bool reciprocated = false;
           if (it != frontier.end() && *it == w) {
+            // Frontier-internal edge: w decodes this round too, so the
+            // claim must appear from BOTH sides — whether w was applied
+            // already (dead; skip the second sighting of a verified edge)
+            // or is still pending in this round (alive; record the edge
+            // once, from x). An asymmetric claim — x lists w but w never
+            // lists x — is Byzantine and must stay loud, not be silently
+            // absorbed into the graph.
             const auto wfi = static_cast<std::size_t>(it - frontier.begin());
             const std::span<const NodeId> wlist(
                 neigh.data() + offsets[wfi],
                 offsets[wfi + 1] - offsets[wfi]);
-            reciprocated =
-                std::find(wlist.begin(), wlist.end(), x) != wlist.end();
+            if (std::find(wlist.begin(), wlist.end(), x) == wlist.end()) {
+              return reconstruct_serial(n, messages, arena);
+            }
+            if (!alive[wi]) continue;
+          } else if (!alive[wi]) {
+            // Dead yet never in this round's frontier: impossible for a
+            // decode against the round-start snapshot; stay loud via the
+            // reference path.
+            return reconstruct_serial(n, messages, arena);
           }
-          if (!reciprocated) {
-            throw DecodeError(DecodeFault::kInconsistent,
-                              "decoded neighbour already pruned");
-          }
-          continue;
         }
         h.add_edge(static_cast<Vertex>(xi), static_cast<Vertex>(wi));
         if (deg[wi] == 0) {
-          throw DecodeError(DecodeFault::kInconsistent, "degree underflow");
+          // Serial raises "degree underflow" here only when its peel order
+          // also walks this edge; defer rather than assume it does.
+          return reconstruct_serial(n, messages, arena);
         }
         --deg[wi];
         subtract_contribution(row(wi), x, arena);

@@ -185,7 +185,12 @@ void LowestIndexFault::record(std::size_t index, std::exception_ptr error) {
 }
 
 void LowestIndexFault::rethrow_if_any() const {
-  if (error_) std::rethrow_exception(error_);
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void parallel_for_collecting(ThreadPool* pool, std::size_t begin,

@@ -118,14 +118,23 @@ class LowestIndexFault {
   /// Keep `error` if `index` beats the current minimum. Thread-safe.
   void record(std::size_t index, std::exception_ptr error);
 
-  bool any() const { return error_ != nullptr; }
-  std::size_t index() const { return index_; }
+  /// Accessors take the mutex too, so they are safe even if polled while
+  /// workers are still record()ing (the usual call site is after the
+  /// parallel loop has joined, where the lock is uncontended).
+  bool any() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return error_ != nullptr;
+  }
+  std::size_t index() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_;
+  }
 
   /// Rethrow the recorded minimum-index exception, if any.
   void rethrow_if_any() const;
 
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::size_t index_ = static_cast<std::size_t>(-1);
   std::exception_ptr error_;
 };

@@ -20,7 +20,10 @@
 #include "campaign/plan.hpp"
 #include "graph/generators.hpp"
 #include "model/campaign.hpp"
+#include "model/local_view.hpp"
+#include "model/message.hpp"
 #include "model/simulator.hpp"
+#include "support/bitstream.hpp"
 #include "numth/newton.hpp"
 #include "numth/power_sums.hpp"
 #include "protocols/bounded_degree.hpp"
@@ -33,15 +36,20 @@
 namespace referee {
 namespace {
 
-// Decode outcome flattened for comparison: either a graph or a typed fault.
-// The campaign's loud detail is decode_fault_name(fault), so comparing the
-// enum pins the reported detail too.
+// Decode outcome flattened for comparison: either a graph or a typed fault
+// plus its full what() message. The campaign's loud detail is
+// decode_fault_name(fault), so comparing the enum pins the reported detail;
+// comparing the message additionally pins WHICH check tripped, so an
+// accept-vs-reject or wrong-throw-site divergence between the serial and
+// batched paths cannot hide behind a shared enum value (nearly every
+// decode-path fault is kInconsistent).
 struct Outcome {
   std::optional<Graph> graph;
   std::optional<DecodeFault> fault;
+  std::string message;
 
   bool operator==(const Outcome& o) const {
-    return graph == o.graph && fault == o.fault;
+    return graph == o.graph && fault == o.fault && message == o.message;
   }
 };
 
@@ -54,17 +62,18 @@ Outcome decode_with(const ReconstructionProtocol& protocol, std::uint32_t n,
     if (serial_peel) {
       const auto* deg =
           dynamic_cast<const DegeneracyReconstruction*>(&protocol);
-      return Outcome{deg->reconstruct_serial(n, messages, arena), {}};
+      return Outcome{deg->reconstruct_serial(n, messages, arena), {}, {}};
     }
-    return Outcome{protocol.reconstruct(n, messages, arena), {}};
+    return Outcome{protocol.reconstruct(n, messages, arena), {}, {}};
   } catch (const DecodeError& e) {
-    return Outcome{{}, e.fault()};
+    return Outcome{{}, e.fault(), e.what()};
   }
 }
 
 std::string describe(const Outcome& o) {
   if (o.graph) return "graph(" + std::to_string(o.graph->edge_count()) + ")";
-  return std::string("loud:") + decode_fault_name(*o.fault);
+  return std::string("loud:") + decode_fault_name(*o.fault) + " (" +
+         o.message + ")";
 }
 
 // Every pool size of the matrix: no pool installed, and shared intra-cell
@@ -225,6 +234,59 @@ TEST(ParallelDecode, LowestIndexParseFaultWins) {
   const Outcome base = decode_with(protocol, n, msgs, nullptr);
   ASSERT_TRUE(base.fault.has_value());
   expect_matrix_identical(protocol, n, msgs, "two-faults",
+                          /*has_serial_peel=*/true);
+}
+
+// Hand-encode a transcript where each vertex claims an arbitrary (possibly
+// mutually inconsistent) neighbour list — the adversarial shapes the random
+// fault sweeps never generate.
+std::vector<Message> encode_claims(const DegeneracyReconstruction& protocol,
+                                   std::uint32_t n,
+                                   const std::vector<std::vector<NodeId>>&
+                                       claims) {
+  std::vector<Message> msgs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BitWriter w;
+    protocol.encode(LocalViewRef(i + 1, n, claims[i]), w);
+    msgs.push_back(Message::seal(std::move(w)));
+  }
+  return msgs;
+}
+
+// Soundness: an asymmetric frontier-internal claim — x lists w, but w (a
+// member of the same peel round, applied later) never lists x — must stay
+// loud. The serial peel rejects it at the victim's own decode once the
+// fabricated edge has been subtracted from its sums; the batched path must
+// reject identically (same typed fault, same message), never absorb the
+// fabricated edge into an accepted graph.
+TEST(ParallelDecode, AsymmetricFrontierClaimStaysLoud) {
+  const DegeneracyReconstruction protocol(1);
+  const std::uint32_t n = 3;
+  // 1 -> {2}, 2 -> {3}, 3 -> {2}: every vertex is in the first frontier, 1
+  // claims 2, and 2 claims only 3.
+  const auto msgs =
+      encode_claims(protocol, n, {{2}, {3}, {2}});
+  const Outcome serial =
+      decode_with(protocol, n, msgs, nullptr, /*serial_peel=*/true);
+  ASSERT_TRUE(serial.fault.has_value()) << describe(serial);
+  EXPECT_EQ(*serial.fault, DecodeFault::kInconsistent);
+  expect_matrix_identical(protocol, n, msgs, "asymmetric-claim",
+                          /*has_serial_peel=*/true);
+}
+
+// The mirrored orientation: the higher-id member claims an earlier (already
+// applied, hence dead) member that never reciprocated. Exercises the
+// dead-neighbour arm of the reciprocity check.
+TEST(ParallelDecode, AsymmetricClaimOnDeadFrontierMemberStaysLoud) {
+  const DegeneracyReconstruction protocol(1);
+  const std::uint32_t n = 3;
+  // 1 -> {}, 2 -> {1}, 3 -> {}: 2 claims 1 after 1 has been applied and
+  // pruned without ever claiming 2.
+  const auto msgs = encode_claims(protocol, n, {{}, {1}, {}});
+  const Outcome serial =
+      decode_with(protocol, n, msgs, nullptr, /*serial_peel=*/true);
+  ASSERT_TRUE(serial.fault.has_value()) << describe(serial);
+  expect_matrix_identical(protocol, n, msgs, "asymmetric-dead-claim",
                           /*has_serial_peel=*/true);
 }
 
